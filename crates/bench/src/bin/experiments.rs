@@ -1,0 +1,34 @@
+//! CLI harness: runs every experiment and prints the paper-vs-measured
+//! tables. Pass experiment ids (`e1 e3 ...`) to run a subset.
+
+use bench::experiments::*;
+use bench::report::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |id: &str| all || args.iter().any(|a| a == id);
+
+    println!("uMiddle evaluation harness (simulated testbed)");
+    if want("e1") {
+        println!("{}", render_e1(&e1_service_level(5)));
+    }
+    if want("e2") {
+        println!("{}", render_e2(&e2_device_level()));
+    }
+    if want("e3") {
+        println!("{}", render_e3(&e3_transport_level(30)));
+    }
+    if want("e4") {
+        println!("{}", render_e4(&e4_ablation_translation()));
+    }
+    if want("e5") {
+        println!("{}", render_e5(&e5_ablation_qos()));
+    }
+    if want("e6") {
+        println!("{}", render_e6(&e6_directory_scale(&[2, 4, 8, 12], 4)));
+    }
+    if want("e7") {
+        println!("{}", render_e7(&e7_ablation_scatter()));
+    }
+}

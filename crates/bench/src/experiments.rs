@@ -1,0 +1,1115 @@
+//! The experiment implementations, one per paper table/figure.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::{
+    Addr, Ctx, Process, SegmentConfig, SimDuration, SimTime, StreamEvent, StreamId, World,
+};
+use umiddle_bridges::{
+    behaviors, direct, BluetoothMapper, MediaBrokerMapper, NativeService, RmiMapper, UpnpMapper,
+};
+use umiddle_core::{Direction, QosPolicy, Shape, UMessage};
+use umiddle_usdl::UsdlLibrary;
+
+use crate::fixtures::{
+    hub_world, runtime_node, ByteMeter, MbSaturatingProducer, WireRule, Wirer,
+};
+
+fn mean(durations: &[SimDuration]) -> SimDuration {
+    if durations.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let total: u64 = durations.iter().map(|d| d.as_nanos()).sum();
+    SimDuration::from_nanos(total / durations.len() as u64)
+}
+
+// =====================================================================
+// E1 — Figure 10: service-level bridging (translator generation)
+// =====================================================================
+
+/// One row of the Figure-10 reproduction.
+#[derive(Debug, Clone)]
+pub struct MappingRow {
+    /// Device type label.
+    pub device: String,
+    /// Mean time from native discovery to directory registration.
+    pub mean_time: SimDuration,
+    /// Instantiation rate (instances per second), the paper's metric.
+    pub rate_per_sec: f64,
+    /// Paper's approximate rate for comparison.
+    pub paper_rate: f64,
+    /// Samples measured.
+    pub samples: usize,
+}
+
+/// Runs the service-level bridging experiment (Figure 10).
+///
+/// For each device type, `repetitions` isolated worlds are built, each
+/// with one device; the measured quantity is the time from the mapper
+/// first hearing about the device to the translator's registration.
+pub fn e1_service_level(repetitions: usize) -> Vec<MappingRow> {
+    use platform_upnp::{AirconLogic, ClockLogic, DeviceLogic, LightLogic, UpnpDevice};
+
+    fn upnp_once(seed: u64, logic: Box<dyn DeviceLogic>) -> SimDuration {
+        let (mut world, hub) = hub_world(seed);
+        let (_h1, rt) = runtime_node(&mut world, "h1", 0, &[hub]);
+        let dev_node = world.add_node("device");
+        world.attach(dev_node, hub).unwrap();
+        world.add_process(dev_node, Box::new(UpnpDevice::new(logic, 5000)));
+        let mapper = UpnpMapper::with_defaults(rt, UsdlLibrary::bundled());
+        let stats = mapper.stats_handle();
+        let h1 = world.node_of(rt).unwrap();
+        world.add_process(h1, Box::new(mapper));
+        world.run_until(SimTime::from_secs(30));
+        let stats = stats.borrow();
+        stats
+            .mappings
+            .first()
+            .map(|(_, _, d)| *d)
+            .expect("device mapped within 30s")
+    }
+
+    fn mouse_once(seed: u64) -> SimDuration {
+        use platform_bluetooth::{HidpMouse, MouseConfig};
+        let mut world = World::new(seed);
+        world.trace_mut().set_log_enabled(false);
+        let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+        let (_h1, rt) = runtime_node(&mut world, "h1", 0, &[pico]);
+        let m_node = world.add_node("mouse");
+        world.attach(m_node, pico).unwrap();
+        world.add_process(
+            m_node,
+            Box::new(HidpMouse::new(MouseConfig {
+                name: "HIDP Mouse".to_owned(),
+                click_interval: None,
+                motion_interval: None,
+                click_limit: 0,
+            })),
+        );
+        let mapper = BluetoothMapper::with_defaults(rt, UsdlLibrary::bundled());
+        let stats = mapper.stats_handle();
+        let h1 = world.node_of(rt).unwrap();
+        world.add_process(h1, Box::new(mapper));
+        world.run_until(SimTime::from_secs(30));
+        let stats = stats.borrow();
+        stats
+            .mappings
+            .first()
+            .map(|(_, _, d)| *d)
+            .expect("mouse mapped within 30s")
+    }
+
+    let mut rows = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let cases: Vec<(&str, f64, Box<dyn Fn(u64) -> SimDuration>)> = vec![
+        (
+            "UPnP clock (14 ports, 2 services)",
+            0.7,
+            Box::new(|seed| {
+                upnp_once(seed, Box::new(ClockLogic::new("Clock", "uuid:clock")))
+            }),
+        ),
+        (
+            "UPnP air conditioner",
+            3.5,
+            Box::new(|seed| {
+                upnp_once(seed, Box::new(AirconLogic::new("Aircon", "uuid:ac")))
+            }),
+        ),
+        (
+            "UPnP light",
+            4.0,
+            Box::new(|seed| upnp_once(seed, Box::new(LightLogic::new("Light", "uuid:light")))),
+        ),
+        ("Bluetooth HIDP mouse", 5.0, Box::new(mouse_once)),
+    ];
+    for (device, paper_rate, run) in cases {
+        let samples: Vec<SimDuration> = (0..repetitions).map(|i| run(1000 + i as u64)).collect();
+        let m = mean(&samples);
+        rows.push(MappingRow {
+            device: device.to_owned(),
+            mean_time: m,
+            rate_per_sec: if m.is_zero() { 0.0 } else { 1.0 / m.as_secs_f64() },
+            paper_rate,
+            samples: samples.len(),
+        });
+    }
+    rows
+}
+
+// =====================================================================
+// E2 — §5.2: device-level bridging latency
+// =====================================================================
+
+/// Results of the device-level latency experiment.
+#[derive(Debug, Clone)]
+pub struct DeviceLevelResults {
+    /// Mean end-to-end UPnP SetPower latency (input → completion).
+    pub upnp_total: SimDuration,
+    /// The uMiddle-side share of that latency (control translation).
+    pub upnp_umiddle_share: SimDuration,
+    /// Number of actions measured.
+    pub upnp_samples: usize,
+    /// Mean Bluetooth mouse signal translation latency.
+    pub mouse_translation: SimDuration,
+    /// Number of signals measured.
+    pub mouse_samples: usize,
+}
+
+/// Runs the §5.2 experiment: 100 SetPower actions on the UPnP light and
+/// 100 Bluetooth mouse signals.
+pub fn e2_device_level() -> DeviceLevelResults {
+    use platform_upnp::{LightLogic, UpnpDevice};
+
+    // --- UPnP light: 100 actions ---
+    let (mut world, hub) = hub_world(7);
+    let (h1, rt) = runtime_node(&mut world, "h1", 0, &[hub]);
+    let light_node = world.add_node("light");
+    world.attach(light_node, hub).unwrap();
+    world.add_process(
+        light_node,
+        Box::new(UpnpDevice::new(
+            Box::new(LightLogic::new("Bench Light", "uuid:bl")),
+            5000,
+        )),
+    );
+    let mapper = UpnpMapper::with_defaults(rt, UsdlLibrary::bundled());
+    let upnp_stats = mapper.stats_handle();
+    world.add_process(h1, Box::new(mapper));
+    // 100 pulses, spaced well beyond the expected 160 ms latency.
+    let shape = Shape::builder()
+        .digital("toggle", Direction::Output, "text/plain".parse().unwrap())
+        .build()
+        .unwrap();
+    world.add_process(
+        h1,
+        Box::new(NativeService::new(
+            "Bench Switch",
+            shape,
+            rt,
+            Box::new(behaviors::PeriodicSource::new(
+                "toggle",
+                SimDuration::from_millis(400),
+                100,
+                |_| UMessage::text("1"),
+            )),
+        )),
+    );
+    let wirer = Wirer::new(
+        rt,
+        vec![WireRule::new("Bench Switch", "toggle", "Bench Light", "switch-on")],
+    );
+    world.add_process(h1, Box::new(wirer));
+    world.run_until(SimTime::from_secs(120));
+    let upnp_latencies = upnp_stats.borrow().action_latencies.clone();
+
+    // --- Bluetooth mouse: 100 signals ---
+    let mut world = World::new(8);
+    world.trace_mut().set_log_enabled(false);
+    let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+    let (h1, rt) = runtime_node(&mut world, "h1", 0, &[pico]);
+    let m_node = world.add_node("mouse");
+    world.attach(m_node, pico).unwrap();
+    world.add_process(
+        m_node,
+        Box::new(platform_bluetooth::HidpMouse::new(
+            platform_bluetooth::MouseConfig {
+                name: "Bench Mouse".to_owned(),
+                click_interval: Some(SimDuration::from_millis(200)),
+                motion_interval: None,
+                click_limit: 50, // 50 press + 50 release = 100 signals
+            },
+        )),
+    );
+    let mapper = BluetoothMapper::with_defaults(rt, UsdlLibrary::bundled());
+    let bt_stats = mapper.stats_handle();
+    world.add_process(h1, Box::new(mapper));
+    world.run_until(SimTime::from_secs(60));
+    let mouse_latencies = bt_stats.borrow().translation_latencies.clone();
+
+    DeviceLevelResults {
+        upnp_total: mean(&upnp_latencies),
+        upnp_umiddle_share: umiddle_bridges::calib::CONTROL_TRANSLATION,
+        upnp_samples: upnp_latencies.len(),
+        mouse_translation: mean(&mouse_latencies),
+        mouse_samples: mouse_latencies.len(),
+    }
+}
+
+// =====================================================================
+// E3 — Figure 11: transport-level bridging throughput
+// =====================================================================
+
+/// One Figure-11 series.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Test name.
+    pub test: String,
+    /// Measured goodput in Mbps.
+    pub mbps: f64,
+    /// The paper's value.
+    pub paper_mbps: f64,
+    /// Messages (or bytes for the baseline) observed.
+    pub observed: usize,
+}
+
+/// A plain bulk TCP sender (for the baseline row).
+struct BulkTcp {
+    target: Addr,
+    total: usize,
+    sent: usize,
+    stream: Option<StreamId>,
+}
+
+impl Process for BulkTcp {
+    fn name(&self) -> &str {
+        "bulk-tcp"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.stream = ctx.connect(self.target).ok();
+    }
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
+        if Some(stream) != self.stream {
+            return;
+        }
+        if matches!(event, StreamEvent::Connected | StreamEvent::Writable) {
+            while self.sent < self.total {
+                let n = (self.total - self.sent).min(8192);
+                match ctx.stream_send(stream, vec![0xCD; n]) {
+                    Ok(()) => self.sent += n,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
+/// A stream sink that records `(time, cumulative bytes)`.
+struct TcpMeter {
+    port: u16,
+    samples: Rc<RefCell<Vec<(u64, u64)>>>,
+}
+
+impl Process for TcpMeter {
+    fn name(&self) -> &str {
+        "tcp-meter"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.listen(self.port).unwrap();
+    }
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, _stream: StreamId, event: StreamEvent) {
+        if let StreamEvent::Data(d) = event {
+            let mut samples = self.samples.borrow_mut();
+            let total = samples.last().map(|(_, b)| *b).unwrap_or(0) + d.len() as u64;
+            samples.push((ctx.now().as_nanos(), total));
+        }
+    }
+}
+
+fn goodput_from_samples(samples: &[(u64, u64)], from: u64, to: u64) -> f64 {
+    let at = |t: u64| -> u64 {
+        samples
+            .iter()
+            .take_while(|(ts, _)| *ts <= t)
+            .last()
+            .map(|(_, b)| *b)
+            .unwrap_or(0)
+    };
+    let bytes = at(to).saturating_sub(at(from));
+    bytes as f64 * 8.0 / ((to - from) as f64 / 1e9) / 1e6
+}
+
+/// Runs the transport-level throughput experiment (Figure 11).
+///
+/// `measure_secs` is the measurement window after a warmup; the paper's
+/// numbers are 7.9 (TCP), 6.2 (MB), 3.2 (RMI), 2.9 (RMI-MB) Mbps.
+pub fn e3_transport_level(measure_secs: u64) -> Vec<ThroughputRow> {
+    let warmup = 30u64;
+    let end = warmup + measure_secs;
+    let mut rows = Vec::new();
+
+    // --- TCP baseline ---
+    {
+        eprintln!("e3: tcp baseline...");
+        let (mut world, hub) = hub_world(31);
+        let a = world.add_node("a");
+        let b = world.add_node("b");
+        world.attach(a, hub).unwrap();
+        world.attach(b, hub).unwrap();
+        let samples = Rc::new(RefCell::new(Vec::new()));
+        world.add_process(
+            b,
+            Box::new(TcpMeter {
+                port: 80,
+                samples: Rc::clone(&samples),
+            }),
+        );
+        world.add_process(
+            a,
+            Box::new(BulkTcp {
+                target: Addr::new(b, 80),
+                total: 200_000_000, // far more than the window can move
+                sent: 0,
+                stream: None,
+            }),
+        );
+        world.run_until(SimTime::from_secs(end));
+        let samples = samples.borrow();
+        rows.push(ThroughputRow {
+            test: "TCP baseline".to_owned(),
+            mbps: goodput_from_samples(&samples, warmup * 1_000_000_000, end * 1_000_000_000),
+            paper_mbps: 7.9,
+            observed: samples.len(),
+        });
+    }
+
+    // --- MB test: broker channel -> uMiddle sink ---
+    {
+        eprintln!("e3: mb test...");
+        let (mut world, hub) = hub_world(32);
+        let n1 = world.add_node("n1");
+        world.attach(n1, hub).unwrap();
+        world.add_process(n1, Box::new(platform_mediabroker::MediaBroker::new()));
+        let broker = Addr::new(n1, platform_mediabroker::BROKER_PORT);
+        world.add_process(n1, Box::new(MbSaturatingProducer::new(broker, "bench", 1400)));
+        let (h2, rt) = runtime_node(&mut world, "n2", 0, &[hub]);
+        world.add_process(
+            h2,
+            Box::new(MediaBrokerMapper::new(rt, UsdlLibrary::bundled(), broker, vec![])),
+        );
+        let meter = ByteMeter::new();
+        let samples = Rc::clone(&meter.samples);
+        world.add_process(
+            h2,
+            Box::new(NativeService::new(
+                "MB Meter",
+                Shape::builder()
+                    .digital(
+                        "in",
+                        Direction::Input,
+                        "application/octet-stream".parse().unwrap(),
+                    )
+                    .build()
+                    .unwrap(),
+                rt,
+                Box::new(meter),
+            )),
+        );
+        world.add_process(
+            h2,
+            Box::new(Wirer::new(
+                rt,
+                vec![WireRule::new("MB channel bench", "media-out", "MB Meter", "in")],
+            )),
+        );
+        world.run_until(SimTime::from_secs(end));
+        let samples = samples.borrow();
+        rows.push(ThroughputRow {
+            test: "MB test".to_owned(),
+            mbps: goodput_from_samples(&samples, warmup * 1_000_000_000, end * 1_000_000_000),
+            paper_mbps: 6.2,
+            observed: samples.len(),
+        });
+    }
+
+    // --- RMI test: uMiddle source -> echo -> uMiddle sink ---
+    {
+        eprintln!("e3: rmi test...");
+        let (mut world, hub) = hub_world(33);
+        let (h2, rt) = runtime_node(&mut world, "n2", 0, &[hub]);
+        let n3 = world.add_node("n3");
+        world.attach(n3, hub).unwrap();
+        world.add_process(n3, Box::new(platform_rmi::RmiRegistry::new()));
+        let registry = Addr::new(n3, platform_rmi::REGISTRY_PORT);
+        world.add_process(n3, Box::new(platform_rmi::RmiObjectServer::echo(2099, registry)));
+        world.add_process(
+            h2,
+            Box::new(RmiMapper::new(
+                rt,
+                UsdlLibrary::bundled(),
+                registry,
+                vec!["EchoService".to_owned()],
+            )),
+        );
+        let src_shape = Shape::builder()
+            .digital(
+                "out",
+                Direction::Output,
+                "application/octet-stream".parse().unwrap(),
+            )
+            .build()
+            .unwrap();
+        world.add_process(
+            h2,
+            Box::new(NativeService::new(
+                "RMI Feeder",
+                src_shape,
+                rt,
+                Box::new(behaviors::PeriodicSource::new(
+                    "out",
+                    SimDuration::from_millis(1),
+                    0,
+                    |_| {
+                        UMessage::new(
+                            "application/octet-stream".parse().unwrap(),
+                            vec![0xEF; 1400],
+                        )
+                    },
+                )),
+            )),
+        );
+        let meter = ByteMeter::new();
+        let samples = Rc::clone(&meter.samples);
+        world.add_process(
+            h2,
+            Box::new(NativeService::new(
+                "RMI Meter",
+                Shape::builder()
+                    .digital(
+                        "in",
+                        Direction::Input,
+                        "application/octet-stream".parse().unwrap(),
+                    )
+                    .build()
+                    .unwrap(),
+                rt,
+                Box::new(meter),
+            )),
+        );
+        world.add_process(
+            h2,
+            Box::new(Wirer::new(
+                rt,
+                vec![
+                    WireRule::new("RMI Feeder", "out", "EchoService", "request")
+                        .with_qos(QosPolicy::bounded_drop_newest(64 * 1024)),
+                    WireRule::new("EchoService", "response", "RMI Meter", "in"),
+                ],
+            )),
+        );
+        world.run_until(SimTime::from_secs(end));
+        let samples = samples.borrow();
+        rows.push(ThroughputRow {
+            test: "RMI test".to_owned(),
+            mbps: goodput_from_samples(&samples, warmup * 1_000_000_000, end * 1_000_000_000),
+            paper_mbps: 3.2,
+            observed: samples.len(),
+        });
+    }
+
+    // --- RMI-MB test: MB channel -> RMI echo -> uMiddle sink ---
+    {
+        eprintln!("e3: rmi-mb test...");
+        let (mut world, hub) = hub_world(34);
+        let n1 = world.add_node("n1");
+        world.attach(n1, hub).unwrap();
+        world.add_process(n1, Box::new(platform_mediabroker::MediaBroker::new()));
+        let broker = Addr::new(n1, platform_mediabroker::BROKER_PORT);
+        // Paced at ~4.7 Mbps: stands in for the TCP congestion control the
+        // simulated transport lacks (see MbSaturatingProducer docs).
+        world.add_process(
+            n1,
+            Box::new(MbSaturatingProducer::paced(
+                broker,
+                "bench",
+                1400,
+                SimDuration::from_micros(2_400),
+            )),
+        );
+        let (h2, rt) = runtime_node(&mut world, "n2", 0, &[hub]);
+        let n3 = world.add_node("n3");
+        world.attach(n3, hub).unwrap();
+        world.add_process(n3, Box::new(platform_rmi::RmiRegistry::new()));
+        let registry = Addr::new(n3, platform_rmi::REGISTRY_PORT);
+        // One-way delivery measurement: the RMI endpoint acknowledges
+        // instead of echoing the payload (paper §5.3: "sends the messages
+        // to the Java RMI service through uMiddle").
+        world.add_process(
+            n3,
+            Box::new(platform_rmi::RmiObjectServer::echo_ack(2099, registry)),
+        );
+        world.add_process(
+            h2,
+            Box::new(MediaBrokerMapper::new(rt, UsdlLibrary::bundled(), broker, vec![])),
+        );
+        world.add_process(
+            h2,
+            Box::new(RmiMapper::new(
+                rt,
+                UsdlLibrary::bundled(),
+                registry,
+                vec!["EchoService".to_owned()],
+            )),
+        );
+        let meter = ByteMeter::new();
+        let samples = Rc::clone(&meter.samples);
+        world.add_process(
+            h2,
+            Box::new(NativeService::new(
+                "Bridge Meter",
+                Shape::builder()
+                    .digital(
+                        "in",
+                        Direction::Input,
+                        "application/octet-stream".parse().unwrap(),
+                    )
+                    .build()
+                    .unwrap(),
+                rt,
+                Box::new(meter),
+            )),
+        );
+        world.add_process(
+            h2,
+            Box::new(Wirer::new(
+                rt,
+                vec![
+                    WireRule::new("MB channel bench", "media-out", "EchoService", "request")
+                        .with_qos(QosPolicy::bounded_drop_newest(64 * 1024)),
+                    WireRule::new("EchoService", "response", "Bridge Meter", "in"),
+                ],
+            )),
+        );
+        world.run_until(SimTime::from_secs(end));
+        // Each sample is one acknowledged 1400-byte delivery; compute
+        // goodput from the delivery count in the window.
+        let samples = samples.borrow();
+        let in_window = samples
+            .iter()
+            .filter(|(t, _)| *t >= warmup * 1_000_000_000 && *t <= end * 1_000_000_000)
+            .count();
+        let mbps = in_window as f64 * 1400.0 * 8.0 / measure_secs as f64 / 1e6;
+        rows.push(ThroughputRow {
+            test: "RMI-MB test".to_owned(),
+            mbps,
+            paper_mbps: 2.9,
+            observed: samples.len(),
+        });
+    }
+
+    rows
+}
+
+// =====================================================================
+// E4 — design-space ablation: direct vs mediated translation
+// =====================================================================
+
+/// Results of the translation-model ablation.
+#[derive(Debug, Clone)]
+pub struct AblationTranslationResults {
+    /// `(device types, direct translators, mediated translators)` growth.
+    pub growth: Vec<(usize, usize, usize)>,
+    /// Images the hardwired direct bridge delivered in its scenario.
+    pub direct_delivered: u64,
+    /// RenderMedia actions the mediated stack delivered in the same
+    /// scenario.
+    pub mediated_delivered: u64,
+}
+
+/// Runs the E4 ablation: the n(n−1)-vs-n growth table, plus both bridge
+/// styles driving the camera→TV scenario.
+pub fn e4_ablation_translation() -> AblationTranslationResults {
+    use platform_bluetooth::BipCamera;
+    use platform_upnp::{MediaRendererLogic, UpnpDevice};
+
+    let growth: Vec<(usize, usize, usize)> = [2usize, 4, 8, 16, 32]
+        .iter()
+        .map(|&n| {
+            let c = direct::translators_required(n);
+            (n, c.direct, c.mediated)
+        })
+        .collect();
+
+    // Direct bridge scenario.
+    let direct_delivered = {
+        let (mut world, hub) = hub_world(41);
+        let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+        let bridge_node = world.add_node("bridge");
+        world.attach(bridge_node, hub).unwrap();
+        world.attach(bridge_node, pico).unwrap();
+        let cam_node = world.add_node("camera");
+        world.attach(cam_node, pico).unwrap();
+        world.add_process(cam_node, Box::new(BipCamera::new("Cam", 3, 10_000)));
+        let tv_node = world.add_node("tv");
+        world.attach(tv_node, hub).unwrap();
+        world.add_process(
+            tv_node,
+            Box::new(UpnpDevice::new(
+                Box::new(MediaRendererLogic::new("TV", "uuid:tv")),
+                5000,
+            )),
+        );
+        world.add_process(
+            bridge_node,
+            Box::new(direct::DirectBipToRendererBridge::new(
+                6000,
+                SimDuration::from_secs(10),
+            )),
+        );
+        world.run_until(SimTime::from_secs(60));
+        world.trace().counter("direct_bridge.delivered")
+    };
+
+    // Mediated scenario: same devices through uMiddle.
+    let mediated_delivered = {
+        let (mut world, hub) = hub_world(42);
+        let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+        let (h1, rt) = runtime_node(&mut world, "h1", 0, &[hub, pico]);
+        let cam_node = world.add_node("camera");
+        world.attach(cam_node, pico).unwrap();
+        world.add_process(cam_node, Box::new(BipCamera::new("Cam", 3, 10_000)));
+        let tv_node = world.add_node("tv");
+        world.attach(tv_node, hub).unwrap();
+        world.add_process(
+            tv_node,
+            Box::new(UpnpDevice::new(
+                Box::new(MediaRendererLogic::new("TV", "uuid:tv")),
+                5000,
+            )),
+        );
+        world.add_process(
+            h1,
+            Box::new(BluetoothMapper::with_defaults(rt, UsdlLibrary::bundled())),
+        );
+        world.add_process(
+            h1,
+            Box::new(UpnpMapper::with_defaults(rt, UsdlLibrary::bundled())),
+        );
+        // A trigger that captures every 10 s.
+        let shape = Shape::builder()
+            .digital("press", Direction::Output, "text/plain".parse().unwrap())
+            .build()
+            .unwrap();
+        world.add_process(
+            h1,
+            Box::new(NativeService::new(
+                "Trigger",
+                shape,
+                rt,
+                Box::new(behaviors::PeriodicSource::new(
+                    "press",
+                    SimDuration::from_secs(10),
+                    0,
+                    |_| UMessage::text("snap"),
+                )),
+            )),
+        );
+        world.add_process(
+            h1,
+            Box::new(Wirer::new(
+                rt,
+                vec![
+                    WireRule::new("Trigger", "press", "Cam", "capture"),
+                    WireRule::new("Cam", "image-out", "TV", "media-in"),
+                ],
+            )),
+        );
+        world.run_until(SimTime::from_secs(60));
+        world.trace().counter("upnp.actions")
+    };
+
+    AblationTranslationResults {
+        growth,
+        direct_delivered,
+        mediated_delivered,
+    }
+}
+
+// =====================================================================
+// E5 — QoS ablation (the paper's future work, §5.3/§7)
+// =====================================================================
+
+/// One QoS-policy row.
+#[derive(Debug, Clone)]
+pub struct QosRow {
+    /// Policy label.
+    pub policy: String,
+    /// Messages delivered to the slow consumer.
+    pub delivered: u64,
+    /// Messages dropped by the policy.
+    pub dropped: u64,
+    /// High-water mark of buffered bytes.
+    pub max_buffered: usize,
+}
+
+/// Runs the QoS ablation: a fast producer against a slow consumer under
+/// different translation-buffer policies.
+pub fn e5_ablation_qos() -> Vec<QosRow> {
+    let policies: Vec<(String, QosPolicy)> = vec![
+        ("unbounded (paper's original)".to_owned(), QosPolicy::unbounded()),
+        (
+            "bounded 16 KiB, drop-oldest".to_owned(),
+            QosPolicy::bounded_drop_oldest(16 * 1024),
+        ),
+        (
+            "bounded 16 KiB, drop-newest".to_owned(),
+            QosPolicy::bounded_drop_newest(16 * 1024),
+        ),
+        (
+            "bounded 16 KiB + 20 KB/s token bucket".to_owned(),
+            QosPolicy::bounded_drop_oldest(16 * 1024).with_rate(20_000, 4_096),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (i, (label, qos)) in policies.into_iter().enumerate() {
+        let (mut world, hub) = hub_world(50 + i as u64);
+        let node = world.add_node("host");
+        world.attach(node, hub).unwrap();
+        let rt_obj = umiddle_core::UmiddleRuntime::new(umiddle_core::RuntimeConfig::new(
+            umiddle_core::RuntimeId(0),
+        ));
+        let rt_stats = rt_obj.stats_handle();
+        let rt = world.add_process(node, Box::new(rt_obj));
+
+        let src_shape = Shape::builder()
+            .digital("out", Direction::Output, "text/plain".parse().unwrap())
+            .build()
+            .unwrap();
+        world.add_process(
+            node,
+            Box::new(NativeService::new(
+                "Fast Producer",
+                src_shape,
+                rt,
+                Box::new(behaviors::PeriodicSource::new(
+                    "out",
+                    SimDuration::from_millis(5),
+                    2000,
+                    |i| UMessage::new("text/plain".parse().unwrap(), vec![b'x'; 1000])
+                        .with_meta("seq", i.to_string()),
+                )),
+            )),
+        );
+        let mut consumer = behaviors::Echo::new("unused-out");
+        consumer.cost = SimDuration::from_millis(50);
+        let count = Rc::clone(&consumer.count);
+        let sink_shape = Shape::builder()
+            .digital("in", Direction::Input, "text/plain".parse().unwrap())
+            .digital("unused-out", Direction::Output, "text/plain".parse().unwrap())
+            .build()
+            .unwrap();
+        world.add_process(
+            node,
+            Box::new(NativeService::new(
+                "Slow Consumer",
+                sink_shape,
+                rt,
+                Box::new(consumer),
+            )),
+        );
+        world.add_process(
+            node,
+            Box::new(Wirer::new(
+                rt,
+                vec![WireRule::new("Fast Producer", "out", "Slow Consumer", "in")
+                    .with_qos(qos)],
+            )),
+        );
+        world.run_until(SimTime::from_secs(60));
+        let stats = *rt_stats.borrow();
+        rows.push(QosRow {
+            policy: label,
+            delivered: *count.borrow(),
+            dropped: stats.qos_dropped,
+            max_buffered: stats.max_buffered_bytes,
+        });
+    }
+    rows
+}
+
+// =====================================================================
+// E6 — directory scalability across runtimes
+// =====================================================================
+
+/// One directory-scale row.
+#[derive(Debug, Clone)]
+pub struct DirectoryScaleRow {
+    /// Number of runtimes.
+    pub runtimes: usize,
+    /// Translators per runtime.
+    pub per_runtime: usize,
+    /// Time until every runtime's watcher saw every translator.
+    pub convergence: SimDuration,
+    /// Total directory datagrams on the wire.
+    pub advertisements: u64,
+}
+
+/// Runs the directory-scalability experiment: N runtimes × M services,
+/// measuring federation-wide convergence.
+pub fn e6_directory_scale(sizes: &[usize], per_runtime: usize) -> Vec<DirectoryScaleRow> {
+    use umiddle_core::{DirectoryEvent, Query, RuntimeClient, RuntimeEvent};
+
+    struct Watcher {
+        runtime: simnet::ProcId,
+        expected: usize,
+        seen: Rc<RefCell<usize>>,
+        done_at: Rc<RefCell<Option<SimTime>>>,
+    }
+    impl Process for Watcher {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let client = RuntimeClient::new(self.runtime);
+            client.add_listener(ctx, Query::All);
+        }
+        fn on_local(
+            &mut self,
+            ctx: &mut Ctx<'_>,
+            _from: simnet::ProcId,
+            msg: simnet::LocalMessage,
+        ) {
+            let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+            if let RuntimeEvent::Directory(DirectoryEvent::Appeared(_)) = *event {
+                let mut seen = self.seen.borrow_mut();
+                *seen += 1;
+                if *seen >= self.expected && self.done_at.borrow().is_none() {
+                    *self.done_at.borrow_mut() = Some(ctx.now());
+                }
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let (mut world, hub) = hub_world(60 + n as u64);
+        let mut watchers = Vec::new();
+        for i in 0..n {
+            let (node, rt) = runtime_node(&mut world, &format!("h{i}"), i as u32, &[hub]);
+            for j in 0..per_runtime {
+                let shape = Shape::builder()
+                    .digital("out", Direction::Output, "text/plain".parse().unwrap())
+                    .build()
+                    .unwrap();
+                world.add_process(
+                    node,
+                    Box::new(NativeService::new(
+                        &format!("svc-{i}-{j}"),
+                        shape,
+                        rt,
+                        Box::new(behaviors::Recorder::new()),
+                    )),
+                );
+            }
+            let done_at = Rc::new(RefCell::new(None));
+            let seen = Rc::new(RefCell::new(0));
+            world.add_process(
+                node,
+                Box::new(Watcher {
+                    runtime: rt,
+                    expected: n * per_runtime,
+                    seen,
+                    done_at: Rc::clone(&done_at),
+                }),
+            );
+            watchers.push(done_at);
+        }
+        world.run_until(SimTime::from_secs(60));
+        let convergence = watchers
+            .iter()
+            .filter_map(|d| *d.borrow())
+            .max()
+            .unwrap_or(SimTime::from_secs(60));
+        rows.push(DirectoryScaleRow {
+            runtimes: n,
+            per_runtime,
+            convergence: convergence.saturating_since(SimTime::ZERO),
+            advertisements: world.trace().counter("umiddle.registrations"),
+        });
+    }
+    rows
+}
+
+// =====================================================================
+// E7 — ablation: aggregated vs scattered visibility (§2.2.2 / §3.6)
+// =====================================================================
+
+/// Results of the visibility ablation.
+#[derive(Debug, Clone)]
+pub struct ScatterResults {
+    /// Camera-capture execution (mapper input → image emitted) when the
+    /// command originates inside the semantic space.
+    pub aggregated_capture: SimDuration,
+    /// The same execution when the command originates from a native UPnP
+    /// control point through the exporter — should match: the bridge work
+    /// is identical.
+    pub scattered_capture: SimDuration,
+    /// The *additional* command-delivery hop scattering introduces: the
+    /// native control point's SOAP round trip to the exporter.
+    pub scattered_command_rt: SimDuration,
+    /// Captures measured in each mode.
+    pub samples: (usize, usize),
+}
+
+/// Runs the scattered-visibility ablation: the identical Bluetooth
+/// camera capture, once commanded from inside the intermediary semantic
+/// space, once from a native UPnP control point through the exporter.
+pub fn e7_ablation_scatter() -> ScatterResults {
+    use platform_bluetooth::BipCamera;
+    use umiddle_bridges::UpnpExporter;
+
+    // --- aggregated: a native uMiddle trigger fires the shutter ---
+    let aggregated = {
+        let (mut world, hub) = hub_world(71);
+        let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+        let (h1, rt) = runtime_node(&mut world, "h1", 0, &[hub, pico]);
+        let cam_node = world.add_node("camera");
+        world.attach(cam_node, pico).unwrap();
+        world.add_process(cam_node, Box::new(BipCamera::new("Cam", 1, 8_000)));
+        let mapper = BluetoothMapper::with_defaults(rt, UsdlLibrary::bundled());
+        let stats = mapper.stats_handle();
+        world.add_process(h1, Box::new(mapper));
+        let shape = Shape::builder()
+            .digital("press", Direction::Output, "text/plain".parse().unwrap())
+            .build()
+            .unwrap();
+        world.add_process(
+            h1,
+            Box::new(NativeService::new(
+                "Trigger",
+                shape,
+                rt,
+                Box::new(behaviors::PeriodicSource::new(
+                    "press",
+                    SimDuration::from_secs(10),
+                    10,
+                    |_| UMessage::text("snap"),
+                )),
+            )),
+        );
+        world.add_process(
+            h1,
+            Box::new(Wirer::new(
+                rt,
+                vec![WireRule::new("Trigger", "press", "Cam", "capture")],
+            )),
+        );
+        world.run_until(SimTime::from_secs(130));
+        let latencies = stats.borrow().action_latencies.clone();
+        (mean_of(&latencies), latencies.len())
+    };
+
+    // --- scattered: a native UPnP control point via the exporter ---
+    let scattered = {
+        use platform_upnp::{ControlPoint, CpEvent, SoapCall};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct NativeCp {
+            cp: ControlPoint,
+            target: Option<Addr>,
+            pending_start: Option<SimTime>,
+            latencies: Rc<RefCell<Vec<SimDuration>>>,
+            shots: u32,
+        }
+        impl NativeCp {
+            fn fire(&mut self, ctx: &mut Ctx<'_>) {
+                if let (Some(location), None) = (self.target, self.pending_start) {
+                    self.pending_start = Some(ctx.now());
+                    let call =
+                        SoapCall::new("Exported", "SetCapture").with_arg("Value", "snap");
+                    self.cp.invoke(ctx, location, &call, u64::from(self.shots));
+                }
+            }
+        }
+        impl Process for NativeCp {
+            fn name(&self) -> &str {
+                "native-cp"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.bind(7000).unwrap();
+                let _ = ctx.join_group(platform_upnp::SSDP_GROUP);
+                self.cp.listen_events(ctx, 7001);
+                ctx.set_timer(SimDuration::from_secs(5), 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                match token {
+                    1
+                        if self.target.is_none() => {
+                            self.cp.search(ctx, "urn:umiddle:device:Exported:1", 7000);
+                            ctx.set_timer(SimDuration::from_secs(5), 1);
+                        }
+                    2 => self.fire(ctx),
+                    _ => {}
+                }
+            }
+            fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: simnet::Datagram) {
+                if let Some(CpEvent::DeviceSeen { location, .. }) = self.cp.handle_ssdp(ctx, &d)
+                {
+                    if self.target.is_none() {
+                        self.target = Some(location);
+                        ctx.set_timer(SimDuration::from_secs(5), 2);
+                    }
+                }
+            }
+            fn on_stream(
+                &mut self,
+                ctx: &mut Ctx<'_>,
+                s: simnet::StreamId,
+                e: simnet::StreamEvent,
+            ) {
+                for ev in self.cp.handle_stream(ctx, s, e) {
+                    if matches!(ev, CpEvent::ActionResult { .. }) {
+                        if let Some(start) = self.pending_start.take() {
+                            self.latencies
+                                .borrow_mut()
+                                .push(ctx.now().saturating_since(start));
+                            self.shots += 1;
+                            if self.shots < 10 {
+                                ctx.set_timer(SimDuration::from_secs(10), 2);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let (mut world, hub) = hub_world(72);
+        let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+        let (h1, rt) = runtime_node(&mut world, "h1", 0, &[hub, pico]);
+        let cam_node = world.add_node("camera");
+        world.attach(cam_node, pico).unwrap();
+        world.add_process(cam_node, Box::new(BipCamera::new("Cam", 1, 8_000)));
+        let mapper = BluetoothMapper::with_defaults(rt, UsdlLibrary::bundled());
+        let mapper_stats = mapper.stats_handle();
+        world.add_process(h1, Box::new(mapper));
+        world.add_process(
+            h1,
+            Box::new(UpnpExporter::new(
+                rt,
+                umiddle_core::Query::Platform("bluetooth".to_owned()),
+                6100,
+            )),
+        );
+        let cp_node = world.add_node("cp");
+        world.attach(cp_node, hub).unwrap();
+        let latencies = Rc::new(RefCell::new(Vec::new()));
+        world.add_process(
+            cp_node,
+            Box::new(NativeCp {
+                cp: ControlPoint::new(),
+                target: None,
+                pending_start: None,
+                latencies: Rc::clone(&latencies),
+                shots: 0,
+            }),
+        );
+        world.run_until(SimTime::from_secs(180));
+        let soap_rts = latencies.borrow().clone();
+        let captures = mapper_stats.borrow().action_latencies.clone();
+        (mean_of(&captures), mean_of(&soap_rts), captures.len())
+    };
+
+    ScatterResults {
+        aggregated_capture: aggregated.0,
+        scattered_capture: scattered.0,
+        scattered_command_rt: scattered.1,
+        samples: (aggregated.1, scattered.2),
+    }
+}
+
+fn mean_of(durations: &[SimDuration]) -> SimDuration {
+    if durations.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let total: u64 = durations.iter().map(|d| d.as_nanos()).sum();
+    SimDuration::from_nanos(total / durations.len() as u64)
+}

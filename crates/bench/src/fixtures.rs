@@ -1,0 +1,331 @@
+//! Shared world-building blocks for the experiment harness.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::{
+    Addr, Ctx, LocalMessage, NodeId, ProcId, Process, SegmentConfig, StreamEvent, StreamId, World,
+};
+use umiddle_core::{
+    DirectoryEvent, PortRef, QosPolicy, Query, RuntimeClient, RuntimeConfig, RuntimeEvent,
+    RuntimeId, UmiddleRuntime,
+};
+
+/// Adds a node attached to the given segments, with its own runtime.
+pub fn runtime_node(
+    world: &mut World,
+    name: &str,
+    id: u32,
+    segments: &[simnet::SegmentId],
+) -> (NodeId, ProcId) {
+    let node = world.add_node(name);
+    for s in segments {
+        world.attach(node, *s).expect("attach");
+    }
+    let rt = world.add_process(
+        node,
+        Box::new(UmiddleRuntime::new(RuntimeConfig::new(RuntimeId(id)))),
+    );
+    (node, rt)
+}
+
+/// A wiring rule: connect `src` to `dst` (by name substring + port) when
+/// both appear in the directory.
+#[derive(Debug, Clone)]
+pub struct WireRule {
+    /// Source translator name substring.
+    pub src_name: String,
+    /// Source port name.
+    pub src_port: String,
+    /// Destination translator name substring.
+    pub dst_name: String,
+    /// Destination port name.
+    pub dst_port: String,
+    /// The path's QoS policy.
+    pub qos: QosPolicy,
+}
+
+impl WireRule {
+    /// A rule with unbounded QoS.
+    pub fn new(src_name: &str, src_port: &str, dst_name: &str, dst_port: &str) -> WireRule {
+        WireRule {
+            src_name: src_name.to_owned(),
+            src_port: src_port.to_owned(),
+            dst_name: dst_name.to_owned(),
+            dst_port: dst_port.to_owned(),
+            qos: QosPolicy::unbounded(),
+        }
+    }
+
+    /// Overrides the QoS policy.
+    pub fn with_qos(mut self, qos: QosPolicy) -> WireRule {
+        self.qos = qos;
+        self
+    }
+}
+
+/// An application that watches the directory and wires translators
+/// together according to rules.
+pub struct Wirer {
+    runtime: ProcId,
+    client: Option<RuntimeClient>,
+    rules: Vec<WireRule>,
+    srcs: Vec<Option<PortRef>>,
+    dsts: Vec<Option<PortRef>>,
+    wired: Vec<bool>,
+    /// Connections established (shared).
+    pub connected: Rc<RefCell<u32>>,
+}
+
+impl Wirer {
+    /// Creates a wirer.
+    pub fn new(runtime: ProcId, rules: Vec<WireRule>) -> Wirer {
+        let n = rules.len();
+        Wirer {
+            runtime,
+            client: None,
+            rules,
+            srcs: vec![None; n],
+            dsts: vec![None; n],
+            wired: vec![false; n],
+            connected: Rc::new(RefCell::new(0)),
+        }
+    }
+
+    fn try_wire(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.rules.len() {
+            if self.wired[i] {
+                continue;
+            }
+            if let (Some(src), Some(dst)) = (self.srcs[i].clone(), self.dsts[i].clone()) {
+                self.wired[i] = true;
+                self.client.as_mut().expect("client set").connect_ports(
+                    ctx,
+                    src,
+                    dst,
+                    self.rules[i].qos.clone(),
+                );
+            }
+        }
+    }
+}
+
+impl Process for Wirer {
+    fn name(&self) -> &str {
+        "wirer"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let client = RuntimeClient::new(self.runtime);
+        client.add_listener(ctx, Query::All);
+        self.client = Some(client);
+    }
+    fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+        match *event {
+            RuntimeEvent::Directory(DirectoryEvent::Appeared(profile)) => {
+                for (i, rule) in self.rules.iter().enumerate() {
+                    if profile.name().contains(&rule.src_name) {
+                        self.srcs[i] = Some(PortRef::new(profile.id(), rule.src_port.clone()));
+                    }
+                    if profile.name().contains(&rule.dst_name) {
+                        self.dsts[i] = Some(PortRef::new(profile.id(), rule.dst_port.clone()));
+                    }
+                }
+                self.try_wire(ctx);
+            }
+            RuntimeEvent::Connected { .. } => {
+                *self.connected.borrow_mut() += 1;
+            }
+            RuntimeEvent::ConnectFailed { reason, .. } => {
+                panic!("bench wiring failed: {reason}");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A MediaBroker producer for benchmarks: registers a channel and emits
+/// fixed-size Data frames, either saturating (fills the send buffer and
+/// refills on `Writable`) or paced by an interval.
+///
+/// The paced mode stands in for TCP congestion control, which the
+/// simulated transport (fixed window, go-back-N) lacks: on the paper's
+/// shared hub, competing TCP flows adapted to each other, while an
+/// unpaced fixed-window flow would monopolize the medium.
+pub struct MbSaturatingProducer {
+    /// Broker address.
+    pub broker: Addr,
+    /// Channel name.
+    pub channel: String,
+    /// Payload bytes per frame.
+    pub frame_size: usize,
+    /// `None` = saturate; `Some(i)` = one frame every `i`.
+    pub pace: Option<simnet::SimDuration>,
+    stream: Option<StreamId>,
+    acked: bool,
+    acc: platform_mediabroker::MbAccumulator,
+}
+
+impl MbSaturatingProducer {
+    /// Creates a saturating producer.
+    pub fn new(broker: Addr, channel: &str, frame_size: usize) -> MbSaturatingProducer {
+        MbSaturatingProducer {
+            broker,
+            channel: channel.to_owned(),
+            frame_size,
+            pace: None,
+            stream: None,
+            acked: false,
+            acc: platform_mediabroker::MbAccumulator::new(),
+        }
+    }
+
+    /// Creates a paced producer.
+    pub fn paced(
+        broker: Addr,
+        channel: &str,
+        frame_size: usize,
+        interval: simnet::SimDuration,
+    ) -> MbSaturatingProducer {
+        let mut p = MbSaturatingProducer::new(broker, channel, frame_size);
+        p.pace = Some(interval);
+        p
+    }
+
+    fn frame(&self) -> Vec<u8> {
+        platform_mediabroker::MbFrame::Data {
+            payload: vec![0xAB; self.frame_size],
+        }
+        .encode_framed()
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(stream) = self.stream else { return };
+        if !self.acked {
+            return;
+        }
+        let frame = self.frame();
+        // Fill the send buffer completely; the resulting buffer-full
+        // rejection arms the Writable notification that resumes us.
+        loop {
+            if ctx.stream_send(stream, frame.clone()).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+impl Process for MbSaturatingProducer {
+    fn name(&self) -> &str {
+        "mb-bench-producer"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.stream = ctx.connect(self.broker).ok();
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if let (Some(stream), Some(interval), true) = (self.stream, self.pace, self.acked) {
+            let frame = self.frame();
+            let _ = ctx.stream_send(stream, frame);
+            ctx.set_timer(interval, 0);
+        }
+    }
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
+        if Some(stream) != self.stream {
+            return;
+        }
+        match event {
+            StreamEvent::Connected => {
+                let _ = ctx.stream_send(
+                    stream,
+                    platform_mediabroker::MbFrame::Produce {
+                        channel: self.channel.clone(),
+                        media_type: "application/octet-stream".to_owned(),
+                    }
+                    .encode_framed(),
+                );
+            }
+            StreamEvent::Data(data) => {
+                self.acc.push(&data);
+                while let Ok(Some(f)) = self.acc.next() {
+                    if f == platform_mediabroker::MbFrame::Ack && !self.acked {
+                        self.acked = true;
+                        match self.pace {
+                            Some(interval) => {
+                                ctx.set_timer(interval, 0);
+                            }
+                            None => self.pump(ctx),
+                        }
+                    }
+                }
+            }
+            StreamEvent::Writable
+                if self.pace.is_none() => {
+                    self.pump(ctx);
+                }
+            _ => {}
+        }
+    }
+}
+
+/// A byte-counting native sink behaviour with timestamped totals,
+/// readable from outside the world.
+#[derive(Debug, Clone, Default)]
+pub struct ByteMeter {
+    /// `(virtual time nanos, cumulative bytes)` samples, one per message.
+    pub samples: Rc<RefCell<Vec<(u64, u64)>>>,
+}
+
+impl ByteMeter {
+    /// Creates a meter.
+    pub fn new() -> ByteMeter {
+        ByteMeter::default()
+    }
+
+    /// Goodput in Mbps between two virtual times.
+    pub fn goodput_mbps(&self, from_nanos: u64, to_nanos: u64) -> f64 {
+        let samples = self.samples.borrow();
+        let bytes: u64 = {
+            let at = |t: u64| -> u64 {
+                samples
+                    .iter()
+                    .take_while(|(ts, _)| *ts <= t)
+                    .last()
+                    .map(|(_, b)| *b)
+                    .unwrap_or(0)
+            };
+            at(to_nanos).saturating_sub(at(from_nanos))
+        };
+        let secs = (to_nanos - from_nanos) as f64 / 1e9;
+        if secs <= 0.0 {
+            0.0
+        } else {
+            bytes as f64 * 8.0 / secs / 1e6
+        }
+    }
+
+    /// Total messages observed.
+    pub fn count(&self) -> usize {
+        self.samples.borrow().len()
+    }
+}
+
+impl umiddle_bridges::NativeBehavior for ByteMeter {
+    fn on_input(
+        &mut self,
+        env: &mut umiddle_bridges::NativeEnv<'_, '_>,
+        _port: &str,
+        msg: umiddle_core::UMessage,
+    ) {
+        let mut samples = self.samples.borrow_mut();
+        let total = samples.last().map(|(_, b)| *b).unwrap_or(0) + msg.body().len() as u64;
+        samples.push((env.now().as_nanos(), total));
+    }
+}
+
+/// Builds a standard 10 Mbps hub world.
+pub fn hub_world(seed: u64) -> (World, simnet::SegmentId) {
+    let mut world = World::new(seed);
+    world.trace_mut().set_log_enabled(false);
+    let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+    (world, hub)
+}

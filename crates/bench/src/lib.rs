@@ -1,0 +1,27 @@
+//! # bench — the uMiddle evaluation harness
+//!
+//! Regenerates every table and figure of the paper's §5 plus the
+//! ablations DESIGN.md calls for:
+//!
+//! * [`experiments::e1_service_level`] — Figure 10 (translator
+//!   generation rates).
+//! * [`experiments::e2_device_level`] — §5.2 (SetPower / mouse-signal
+//!   latency).
+//! * [`experiments::e3_transport_level`] — Figure 11 (TCP / MB / RMI /
+//!   RMI-MB throughput).
+//! * [`experiments::e4_ablation_translation`] — direct vs mediated
+//!   translation (§2.2.1 / Table 1).
+//! * [`experiments::e5_ablation_qos`] — QoS control (§5.3 / §7 future
+//!   work).
+//! * [`experiments::e6_directory_scale`] — directory federation
+//!   scalability (§3.6).
+//!
+//! Run everything with `cargo bench -p bench` (the `figures` bench
+//! target) or `cargo run -p bench --bin experiments --release`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fixtures;
+pub mod report;

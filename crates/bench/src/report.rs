@@ -1,0 +1,142 @@
+//! Plain-text report rendering for the experiment harness.
+
+use crate::experiments::*;
+
+fn hr(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+/// Renders the Figure-10 table.
+pub fn render_e1(rows: &[MappingRow]) -> String {
+    let mut out = hr("E1 / Figure 10 — service-level bridging (translator generation)");
+    out.push_str(&format!(
+        "{:40} {:>12} {:>12} {:>12} {:>8}\n",
+        "device", "mean time", "rate (/s)", "paper (/s)", "samples"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:40} {:>12} {:>12.2} {:>12.1} {:>8}\n",
+            r.device,
+            r.mean_time.to_string(),
+            r.rate_per_sec,
+            r.paper_rate,
+            r.samples
+        ));
+    }
+    out
+}
+
+/// Renders the §5.2 table.
+pub fn render_e2(r: &DeviceLevelResults) -> String {
+    let mut out = hr("E2 / §5.2 — device-level bridging latency");
+    out.push_str(&format!(
+        "UPnP SetPower total        : {:>10}   (paper: 160 ms, n={})\n",
+        r.upnp_total.to_string(),
+        r.upnp_samples
+    ));
+    out.push_str(&format!(
+        "  of which uMiddle         : {:>10}   (paper: ~10 ms)\n",
+        r.upnp_umiddle_share.to_string()
+    ));
+    out.push_str(&format!(
+        "  of which UPnP domain     : {:>10}   (paper: ~150 ms)\n",
+        (r.upnp_total - r.upnp_umiddle_share).to_string()
+    ));
+    out.push_str(&format!(
+        "Bluetooth signal translate : {:>10}   (paper: 23 ms, n={})\n",
+        r.mouse_translation.to_string(),
+        r.mouse_samples
+    ));
+    out
+}
+
+/// Renders the Figure-11 table.
+pub fn render_e3(rows: &[ThroughputRow]) -> String {
+    let mut out = hr("E3 / Figure 11 — transport-level bridging throughput");
+    out.push_str(&format!(
+        "{:16} {:>12} {:>12} {:>10}\n",
+        "test", "Mbps", "paper Mbps", "messages"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:16} {:>12.2} {:>12.1} {:>10}\n",
+            r.test, r.mbps, r.paper_mbps, r.observed
+        ));
+    }
+    out
+}
+
+/// Renders the E4 ablation.
+pub fn render_e4(r: &AblationTranslationResults) -> String {
+    let mut out = hr("E4 — translation-model ablation (direct vs mediated)");
+    out.push_str(&format!(
+        "{:>14} {:>18} {:>20}\n",
+        "device types", "direct n(n-1)", "mediated n"
+    ));
+    for (n, d, m) in &r.growth {
+        out.push_str(&format!("{n:>14} {d:>18} {m:>20}\n"));
+    }
+    out.push_str(&format!(
+        "camera→TV delivered: direct bridge {} frames, mediated stack {} frames\n",
+        r.direct_delivered, r.mediated_delivered
+    ));
+    out
+}
+
+/// Renders the E5 ablation.
+pub fn render_e5(rows: &[QosRow]) -> String {
+    let mut out = hr("E5 — QoS ablation (fast producer, 50 ms/message consumer)");
+    out.push_str(&format!(
+        "{:44} {:>10} {:>10} {:>14}\n",
+        "policy", "delivered", "dropped", "max buffered"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:44} {:>10} {:>10} {:>13}B\n",
+            r.policy, r.delivered, r.dropped, r.max_buffered
+        ));
+    }
+    out
+}
+
+/// Renders the E6 scalability table.
+pub fn render_e6(rows: &[DirectoryScaleRow]) -> String {
+    let mut out = hr("E6 — directory federation scalability");
+    out.push_str(&format!(
+        "{:>10} {:>14} {:>14} {:>16}\n",
+        "runtimes", "services/rt", "convergence", "registrations"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>14} {:>14} {:>16}\n",
+            r.runtimes,
+            r.per_runtime,
+            r.convergence.to_string(),
+            r.advertisements
+        ));
+    }
+    out
+}
+
+/// Renders the E7 ablation.
+pub fn render_e7(r: &ScatterResults) -> String {
+    let mut out = hr("E7 — visibility ablation (aggregated vs scattered, §2.2.2)");
+    out.push_str(&format!(
+        "capture execution, aggregated origin          : {:>10}  (n={})\n",
+        r.aggregated_capture.to_string(),
+        r.samples.0
+    ));
+    out.push_str(&format!(
+        "capture execution, scattered origin           : {:>10}  (n={})\n",
+        r.scattered_capture.to_string(),
+        r.samples.1
+    ));
+    out.push_str(&format!(
+        "extra command hop under scattering (SOAP RT)  : {:>10}\n",
+        r.scattered_command_rt.to_string()
+    ));
+    out.push_str(
+        "(the bridge work is identical; scattering buys native-app access\n          at the price of one SOAP hop per command and one exporter per\n          native platform)\n",
+    );
+    out
+}

@@ -1,0 +1,513 @@
+//! BIP — the Basic Imaging Profile over OBEX: the paper's Bluetooth
+//! digital camera (and, with a different USDL document, a photo printer).
+//!
+//! The camera stores JPEG images and serves OBEX GET `ImagePull`
+//! requests; a PUT named `RemoteShutter` triggers a capture. The printer
+//! accepts OBEX PUT `ImagePush` transfers and "prints" them (a counter).
+
+use simnet::{Ctx, Datagram, Process, StreamEvent, StreamId};
+use std::collections::HashMap;
+
+use crate::calib;
+use crate::device::BtDeviceCore;
+use crate::obex::{put_packets, Header, ObexAccumulator, ObexPacket, Opcode};
+use crate::sdp::ServiceRecord;
+
+/// The OBEX stream port (stands in for the BIP RFCOMM channel).
+pub const PSM_OBEX: u16 = 9;
+
+/// Class-of-device bits for an imaging device.
+pub const COD_IMAGING: u32 = 0x0680;
+
+/// OBEX body chunk size (fits the piconet MTU with headers to spare).
+pub const OBEX_CHUNK: usize = 512;
+
+const TIMER_INQUIRY_BASE: u64 = 1000;
+
+/// A stored image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredImage {
+    /// Image name (`img0001.jpg`).
+    pub name: String,
+    /// JPEG bytes (synthetic).
+    pub data: Vec<u8>,
+}
+
+/// Generates a deterministic synthetic JPEG-ish payload of `size` bytes.
+pub fn synthetic_jpeg(seed: u8, size: usize) -> Vec<u8> {
+    let mut data = Vec::with_capacity(size);
+    // JPEG SOI marker then pseudo-random payload.
+    data.extend_from_slice(&[0xFF, 0xD8]);
+    let mut state = (seed as u32).wrapping_mul(2_654_435_761).wrapping_add(1);
+    while data.len() < size.saturating_sub(2) {
+        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        data.push((state >> 24) as u8);
+    }
+    data.extend_from_slice(&[0xFF, 0xD9]);
+    data
+}
+
+/// The simulated BIP camera.
+#[derive(Debug)]
+pub struct BipCamera {
+    core: BtDeviceCore,
+    images: Vec<StoredImage>,
+    sessions: HashMap<StreamId, ObexAccumulator>,
+    captures: u32,
+}
+
+impl BipCamera {
+    /// Creates a camera preloaded with `image_count` synthetic images of
+    /// `image_size` bytes each.
+    pub fn new(name: &str, image_count: usize, image_size: usize) -> BipCamera {
+        let records = vec![
+            ServiceRecord::new(0x10002, "bip-camera", name, PSM_OBEX)
+                .with_attribute(0x0100, "imaging")
+                .with_attribute(0x0200, "image/jpeg"),
+        ];
+        let images = (0..image_count)
+            .map(|i| StoredImage {
+                name: format!("img{i:04}.jpg"),
+                data: synthetic_jpeg(i as u8, image_size),
+            })
+            .collect();
+        BipCamera {
+            core: BtDeviceCore::new(name, COD_IMAGING, records, TIMER_INQUIRY_BASE),
+            images,
+            sessions: HashMap::new(),
+            captures: 0,
+        }
+    }
+
+    /// Number of stored images.
+    pub fn image_count(&self) -> usize {
+        self.images.len()
+    }
+
+    fn handle_packet(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, pkt: ObexPacket) {
+        ctx.busy(calib::OBEX_PACKET_PROCESS);
+        match pkt.opcode {
+            Opcode::Connect => {
+                let _ = ctx.stream_send(stream, ObexPacket::new(Opcode::Success).encode());
+            }
+            Opcode::Get => {
+                // ImagePull: find the requested image (or the first).
+                let requested = pkt.name().map(str::to_owned);
+                let image = match &requested {
+                    Some(name) => self.images.iter().find(|i| &i.name == name),
+                    None => self.images.first(),
+                };
+                match image {
+                    Some(img) => {
+                        ctx.bump("bt.bip_pulls", 1);
+                        let total = img.data.len();
+                        let chunks: Vec<Vec<u8>> = img
+                            .data
+                            .chunks(OBEX_CHUNK)
+                            .map(|c| c.to_vec())
+                            .collect();
+                        let n = chunks.len().max(1);
+                        for (i, chunk) in chunks.into_iter().enumerate() {
+                            let last = i + 1 == n;
+                            let mut resp = ObexPacket::new(if last {
+                                Opcode::Success
+                            } else {
+                                Opcode::Continue
+                            });
+                            if i == 0 {
+                                resp = resp
+                                    .with_header(Header::Name(img.name.clone()))
+                                    .with_header(Header::Type("image/jpeg".to_owned()))
+                                    .with_header(Header::Length(total as u32));
+                            }
+                            resp = resp.with_header(if last {
+                                Header::EndOfBody(chunk)
+                            } else {
+                                Header::Body(chunk)
+                            });
+                            ctx.busy(calib::OBEX_PACKET_PROCESS);
+                            let _ = ctx.stream_send(stream, resp.encode());
+                        }
+                        if total == 0 {
+                            let resp = ObexPacket::new(Opcode::Success)
+                                .with_header(Header::EndOfBody(Vec::new()));
+                            let _ = ctx.stream_send(stream, resp.encode());
+                        }
+                    }
+                    None => {
+                        let _ =
+                            ctx.stream_send(stream, ObexPacket::new(Opcode::BadRequest).encode());
+                    }
+                }
+            }
+            Opcode::Put | Opcode::PutFinal
+                // RemoteShutter: a capture command.
+                if pkt.name() == Some("RemoteShutter") => {
+                    if pkt.opcode == Opcode::PutFinal {
+                        self.captures += 1;
+                        let idx = self.images.len();
+                        self.images.push(StoredImage {
+                            name: format!("img{idx:04}.jpg"),
+                            data: synthetic_jpeg(idx as u8, 16 * 1024),
+                        });
+                        ctx.bump("bt.bip_captures", 1);
+                        let _ =
+                            ctx.stream_send(stream, ObexPacket::new(Opcode::Success).encode());
+                    } else {
+                        let _ =
+                            ctx.stream_send(stream, ObexPacket::new(Opcode::Continue).encode());
+                    }
+                }
+            _ => {
+                let _ = ctx.stream_send(stream, ObexPacket::new(Opcode::BadRequest).encode());
+            }
+        }
+    }
+}
+
+impl Process for BipCamera {
+    fn name(&self) -> &str {
+        "bip-camera"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.start(ctx);
+        ctx.listen(PSM_OBEX).expect("obex psm free");
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        self.core.handle_datagram(ctx, &dgram);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        self.core.handle_timer(ctx, token);
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
+        if self.core.handle_sdp_stream(ctx, stream, &event) {
+            return;
+        }
+        match event {
+            StreamEvent::Accepted { local_port, .. } if local_port == PSM_OBEX => {
+                self.sessions.insert(stream, ObexAccumulator::new());
+            }
+            StreamEvent::Data(data) => {
+                let Some(acc) = self.sessions.get_mut(&stream) else {
+                    return;
+                };
+                acc.push(&data);
+                loop {
+                    match self.sessions.get_mut(&stream).and_then(|a| a.next().transpose()) {
+                        Some(Ok(pkt)) => self.handle_packet(ctx, stream, pkt),
+                        Some(Err(_)) => {
+                            ctx.bump("bt.obex_errors", 1);
+                            ctx.stream_close(stream);
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            StreamEvent::Closed | StreamEvent::ConnectFailed => {
+                self.sessions.remove(&stream);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The simulated BIP photo printer: accepts `ImagePush` PUTs.
+#[derive(Debug)]
+pub struct BipPrinter {
+    core: BtDeviceCore,
+    sessions: HashMap<StreamId, (ObexAccumulator, Vec<u8>)>,
+    printed: u32,
+}
+
+impl BipPrinter {
+    /// Creates a printer.
+    pub fn new(name: &str) -> BipPrinter {
+        let records = vec![
+            ServiceRecord::new(0x10003, "bip-printer", name, PSM_OBEX)
+                .with_attribute(0x0100, "imaging"),
+        ];
+        BipPrinter {
+            core: BtDeviceCore::new(name, COD_IMAGING, records, TIMER_INQUIRY_BASE),
+            sessions: HashMap::new(),
+            printed: 0,
+        }
+    }
+
+    /// Pages printed so far.
+    pub fn printed(&self) -> u32 {
+        self.printed
+    }
+}
+
+impl Process for BipPrinter {
+    fn name(&self) -> &str {
+        "bip-printer"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.start(ctx);
+        ctx.listen(PSM_OBEX).expect("obex psm free");
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        self.core.handle_datagram(ctx, &dgram);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        self.core.handle_timer(ctx, token);
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
+        if self.core.handle_sdp_stream(ctx, stream, &event) {
+            return;
+        }
+        match event {
+            StreamEvent::Accepted { local_port, .. } if local_port == PSM_OBEX => {
+                self.sessions.insert(stream, (ObexAccumulator::new(), Vec::new()));
+            }
+            StreamEvent::Data(data) => {
+                let Some((acc, _)) = self.sessions.get_mut(&stream) else {
+                    return;
+                };
+                acc.push(&data);
+                loop {
+                    let pkt = match self
+                        .sessions
+                        .get_mut(&stream)
+                        .and_then(|(a, _)| a.next().transpose())
+                    {
+                        Some(Ok(pkt)) => pkt,
+                        Some(Err(_)) => {
+                            ctx.stream_close(stream);
+                            break;
+                        }
+                        None => break,
+                    };
+                    ctx.busy(calib::OBEX_PACKET_PROCESS);
+                    match pkt.opcode {
+                        Opcode::Connect => {
+                            let _ = ctx
+                                .stream_send(stream, ObexPacket::new(Opcode::Success).encode());
+                        }
+                        Opcode::Put => {
+                            if let Some((_, body)) = self.sessions.get_mut(&stream) {
+                                body.extend(pkt.body());
+                            }
+                            let _ = ctx
+                                .stream_send(stream, ObexPacket::new(Opcode::Continue).encode());
+                        }
+                        Opcode::PutFinal => {
+                            let total = if let Some((_, body)) = self.sessions.get_mut(&stream) {
+                                body.extend(pkt.body());
+                                let n = body.len();
+                                body.clear();
+                                n
+                            } else {
+                                0
+                            };
+                            self.printed += 1;
+                            ctx.bump("bt.bip_printed", 1);
+                            ctx.bump("bt.bip_printed_bytes", total as u64);
+                            let _ = ctx
+                                .stream_send(stream, ObexPacket::new(Opcode::Success).encode());
+                        }
+                        _ => {
+                            let _ = ctx
+                                .stream_send(stream, ObexPacket::new(Opcode::BadRequest).encode());
+                        }
+                    }
+                }
+            }
+            StreamEvent::Closed | StreamEvent::ConnectFailed => {
+                self.sessions.remove(&stream);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Client-side helper: pulls an image over an established OBEX stream by
+/// accumulating GET response packets. Returns the full object once the
+/// final packet arrives.
+#[derive(Debug, Default)]
+pub struct ObexGetClient {
+    acc: ObexAccumulator,
+    body: Vec<u8>,
+    name: Option<String>,
+}
+
+impl ObexGetClient {
+    /// Creates an idle client.
+    pub fn new() -> ObexGetClient {
+        ObexGetClient::default()
+    }
+
+    /// Feeds response bytes; returns `Some((name, data))` when complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error description on protocol violations.
+    #[allow(clippy::type_complexity)]
+    pub fn push(&mut self, bytes: &[u8]) -> Result<Option<(Option<String>, Vec<u8>)>, String> {
+        self.acc.push(bytes);
+        while let Some(pkt) = self.acc.next()? {
+            if self.name.is_none() {
+                self.name = pkt.name().map(str::to_owned);
+            }
+            match pkt.opcode {
+                Opcode::Continue => self.body.extend(pkt.body()),
+                Opcode::Success => {
+                    self.body.extend(pkt.body());
+                    let data = std::mem::take(&mut self.body);
+                    return Ok(Some((self.name.take(), data)));
+                }
+                Opcode::BadRequest => return Err("device rejected the request".to_owned()),
+                other => return Err(format!("unexpected {other:?} during GET")),
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Builds the OBEX request bytes for an ImagePull GET.
+pub fn image_pull_request(name: Option<&str>) -> Vec<u8> {
+    let mut pkt = ObexPacket::new(Opcode::Get).with_header(Header::Type("x-bt/img-img".to_owned()));
+    if let Some(n) = name {
+        pkt = pkt.with_header(Header::Name(n.to_owned()));
+    }
+    pkt.encode()
+}
+
+/// Builds the OBEX request packets for an ImagePush PUT.
+pub fn image_push_packets(name: &str, data: &[u8]) -> Vec<ObexPacket> {
+    put_packets(name, "image/jpeg", data, OBEX_CHUNK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Addr, SegmentConfig, SimTime, World};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn synthetic_jpeg_has_markers() {
+        let img = synthetic_jpeg(1, 1024);
+        assert_eq!(&img[..2], &[0xFF, 0xD8]);
+        assert_eq!(&img[img.len() - 2..], &[0xFF, 0xD9]);
+        assert_eq!(synthetic_jpeg(1, 1024), synthetic_jpeg(1, 1024));
+        assert_ne!(synthetic_jpeg(1, 1024), synthetic_jpeg(2, 1024));
+    }
+
+    /// A host that pulls an image from the camera over the piconet.
+    struct Puller {
+        camera: Addr,
+        client: ObexGetClient,
+        #[allow(clippy::type_complexity)]
+        got: Rc<RefCell<Option<(Option<String>, Vec<u8>)>>>,
+    }
+    impl simnet::Process for Puller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.connect(self.camera).unwrap();
+        }
+        fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
+            match event {
+                StreamEvent::Connected => {
+                    let _ = ctx.stream_send(stream, image_pull_request(None));
+                }
+                StreamEvent::Data(data) => {
+                    if let Ok(Some(result)) = self.client.push(&data) {
+                        *self.got.borrow_mut() = Some(result);
+                        ctx.stream_close(stream);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn image_pull_over_piconet() {
+        let mut world = World::new(21);
+        let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+        let cam_node = world.add_node("camera");
+        let host_node = world.add_node("host");
+        world.attach(cam_node, pico).unwrap();
+        world.attach(host_node, pico).unwrap();
+        let camera = BipCamera::new("Pocket Camera", 2, 20_000);
+        assert_eq!(camera.image_count(), 2);
+        world.add_process(cam_node, Box::new(camera));
+        let got = Rc::new(RefCell::new(None));
+        world.add_process(
+            host_node,
+            Box::new(Puller {
+                camera: Addr::new(cam_node, PSM_OBEX),
+                client: ObexGetClient::new(),
+                got: Rc::clone(&got),
+            }),
+        );
+        world.run_until(SimTime::from_secs(10));
+        let got = got.borrow();
+        let (name, data) = got.as_ref().expect("image pulled");
+        assert_eq!(name.as_deref(), Some("img0000.jpg"));
+        assert_eq!(data, &synthetic_jpeg(0, 20_000));
+    }
+
+    /// A host that pushes an image to the printer.
+    struct Pusher {
+        printer: Addr,
+        acc: ObexAccumulator,
+        done: Rc<RefCell<bool>>,
+    }
+    impl simnet::Process for Pusher {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.connect(self.printer).unwrap();
+        }
+        fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
+            match event {
+                StreamEvent::Connected => {
+                    for pkt in image_push_packets("photo.jpg", &synthetic_jpeg(9, 5000)) {
+                        let _ = ctx.stream_send(stream, pkt.encode());
+                    }
+                }
+                StreamEvent::Data(data) => {
+                    self.acc.push(&data);
+                    while let Ok(Some(pkt)) = self.acc.next() {
+                        if pkt.opcode == Opcode::Success {
+                            *self.done.borrow_mut() = true;
+                            ctx.stream_close(stream);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn image_push_to_printer() {
+        let mut world = World::new(22);
+        let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+        let p_node = world.add_node("printer");
+        let host_node = world.add_node("host");
+        world.attach(p_node, pico).unwrap();
+        world.attach(host_node, pico).unwrap();
+        world.add_process(p_node, Box::new(BipPrinter::new("Photo Printer")));
+        let done = Rc::new(RefCell::new(false));
+        world.add_process(
+            host_node,
+            Box::new(Pusher {
+                printer: Addr::new(p_node, PSM_OBEX),
+                acc: ObexAccumulator::new(),
+                done: Rc::clone(&done),
+            }),
+        );
+        world.run_until(SimTime::from_secs(10));
+        assert!(*done.borrow(), "printer acknowledged the push");
+    }
+}

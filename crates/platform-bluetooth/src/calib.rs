@@ -1,0 +1,30 @@
+//! CPU/latency calibration for the simulated Bluetooth stack.
+//!
+//! The paper used BlueZ on Linux with real hardware; inquiry scan
+//! windows, SDP processing and per-packet costs below are chosen to land
+//! the HIDP mouse mapping rate near the paper's ~5 instantiations/second
+//! (Figure 10) and the per-click translation near 23 ms (§5.2).
+
+use simnet::SimDuration;
+
+/// Lower bound of a device's inquiry-scan response delay.
+pub const INQUIRY_RESPONSE_MIN: SimDuration = SimDuration::from_millis(20);
+
+/// Upper bound of a device's inquiry-scan response delay.
+pub const INQUIRY_RESPONSE_MAX: SimDuration = SimDuration::from_millis(90);
+
+/// Device-side cost of serving one SDP search.
+pub const SDP_PROCESS: SimDuration = SimDuration::from_millis(15);
+
+/// Cost of parsing or building one SDP PDU on the host.
+pub const SDP_CODEC: SimDuration = SimDuration::from_millis(4);
+
+/// Per-OBEX-packet processing cost (session state machine + headers).
+pub const OBEX_PACKET_PROCESS: SimDuration = SimDuration::from_millis(2);
+
+/// Device-side cost of producing one HID report.
+pub const HIDP_REPORT_COST: SimDuration = SimDuration::from_micros(400);
+
+/// Baseband connection (paging) setup time for a new L2CAP-equivalent
+/// stream to a device.
+pub const PAGE_LATENCY: SimDuration = SimDuration::from_millis(40);

@@ -1,0 +1,36 @@
+//! # platform-bluetooth — a simulated Bluetooth platform
+//!
+//! The second native platform of the paper's running example: a piconet
+//! (simnet's `bluetooth_piconet` segment: 723 kbps shared medium, at most
+//! eight devices) carrying:
+//!
+//! * **Inquiry** ([`InquiryMessage`], [`INQUIRY_GROUP`]): device
+//!   discovery with scan-window response delays.
+//! * **SDP** ([`SdpPdu`], [`ServiceRecord`]): binary service-discovery
+//!   PDUs; records carry the profile id the uMiddle mapper keys USDL
+//!   lookups on.
+//! * **OBEX** ([`ObexPacket`], [`ObexAccumulator`]): object exchange with
+//!   chunked bodies.
+//! * **BIP** ([`BipCamera`], [`BipPrinter`]): the paper's digital camera
+//!   (ImagePull / RemoteShutter) and photo printer (ImagePush).
+//! * **HIDP** ([`HidpMouse`], [`HidReport`]): the mouse whose click
+//!   translation §5.2 benchmarks at 23 ms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+mod bip;
+mod device;
+mod hidp;
+mod obex;
+mod sdp;
+
+pub use bip::{
+    image_pull_request, image_push_packets, synthetic_jpeg, BipCamera, BipPrinter, ObexGetClient,
+    StoredImage, OBEX_CHUNK, PSM_OBEX,
+};
+pub use device::{BtDeviceCore, InquiryMessage, INQUIRY_GROUP};
+pub use hidp::{HidReport, HidpMouse, MouseConfig, ReportAccumulator, COD_MOUSE, PSM_HID};
+pub use obex::{put_packets, Header, ObexAccumulator, ObexPacket, Opcode};
+pub use sdp::{SdpPdu, ServiceRecord, PSM_SDP};

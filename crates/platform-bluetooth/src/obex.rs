@@ -1,0 +1,384 @@
+//! OBEX — the object exchange protocol Bluetooth profiles like BIP build
+//! on.
+//!
+//! The paper's BIP translator "implements the OBEX protocol using the
+//! base-protocol support provided by the Bluetooth mapper". We model the
+//! packet layer (connect / put / get with headers, chunked bodies,
+//! continue responses) as a binary codec plus accumulation over streams.
+
+/// OBEX opcodes (final-bit variants included where used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Session setup.
+    Connect,
+    /// Push data (non-final packet).
+    Put,
+    /// Push data, final packet.
+    PutFinal,
+    /// Pull data.
+    Get,
+    /// Success, more packets follow.
+    Continue,
+    /// Final success.
+    Success,
+    /// Failure.
+    BadRequest,
+}
+
+impl Opcode {
+    fn to_byte(self) -> u8 {
+        match self {
+            Opcode::Connect => 0x80,
+            Opcode::Put => 0x02,
+            Opcode::PutFinal => 0x82,
+            Opcode::Get => 0x83,
+            Opcode::Continue => 0x90,
+            Opcode::Success => 0xA0,
+            Opcode::BadRequest => 0xC0,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Opcode> {
+        Some(match b {
+            0x80 => Opcode::Connect,
+            0x02 => Opcode::Put,
+            0x82 => Opcode::PutFinal,
+            0x83 => Opcode::Get,
+            0x90 => Opcode::Continue,
+            0xA0 => Opcode::Success,
+            0xC0 => Opcode::BadRequest,
+            _ => return None,
+        })
+    }
+}
+
+/// OBEX header identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Header {
+    /// Object name (UTF-8 here; real OBEX uses UTF-16).
+    Name(String),
+    /// MIME type of the object.
+    Type(String),
+    /// Total length of the object being transferred.
+    Length(u32),
+    /// A body chunk (more follow).
+    Body(Vec<u8>),
+    /// The final body chunk.
+    EndOfBody(Vec<u8>),
+    /// Application-specific parameters.
+    AppParams(Vec<u8>),
+}
+
+const HI_NAME: u8 = 0x01;
+const HI_TYPE: u8 = 0x42;
+const HI_LENGTH: u8 = 0xC3;
+const HI_BODY: u8 = 0x48;
+const HI_END_OF_BODY: u8 = 0x49;
+const HI_APP_PARAMS: u8 = 0x4C;
+
+/// One OBEX packet: opcode plus headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObexPacket {
+    /// The operation or response code.
+    pub opcode: Opcode,
+    /// Headers in order.
+    pub headers: Vec<Header>,
+}
+
+impl ObexPacket {
+    /// Creates a packet.
+    pub fn new(opcode: Opcode) -> ObexPacket {
+        ObexPacket {
+            opcode,
+            headers: Vec::new(),
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, header: Header) -> ObexPacket {
+        self.headers.push(header);
+        self
+    }
+
+    /// First `Name` header, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.headers.iter().find_map(|h| match h {
+            Header::Name(n) => Some(n.as_str()),
+            _ => None,
+        })
+    }
+
+    /// First `Type` header, if any.
+    pub fn mime_type(&self) -> Option<&str> {
+        self.headers.iter().find_map(|h| match h {
+            Header::Type(t) => Some(t.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Concatenated body bytes (Body + EndOfBody headers).
+    pub fn body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for h in &self.headers {
+            match h {
+                Header::Body(b) | Header::EndOfBody(b) => out.extend_from_slice(b),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the packet carries an `EndOfBody` header.
+    pub fn is_final_body(&self) -> bool {
+        self.headers.iter().any(|h| matches!(h, Header::EndOfBody(_)))
+    }
+
+    /// Encodes the packet: `opcode (1) | length (2, BE) | headers`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        for h in &self.headers {
+            match h {
+                Header::Name(s) => put_bytes(&mut payload, HI_NAME, s.as_bytes()),
+                Header::Type(s) => put_bytes(&mut payload, HI_TYPE, s.as_bytes()),
+                Header::Length(n) => {
+                    payload.push(HI_LENGTH);
+                    payload.extend_from_slice(&n.to_be_bytes());
+                }
+                Header::Body(b) => put_bytes(&mut payload, HI_BODY, b),
+                Header::EndOfBody(b) => put_bytes(&mut payload, HI_END_OF_BODY, b),
+                Header::AppParams(b) => put_bytes(&mut payload, HI_APP_PARAMS, b),
+            }
+        }
+        let total = 3 + payload.len();
+        let mut out = Vec::with_capacity(total);
+        out.push(self.opcode.to_byte());
+        out.extend_from_slice(&(total as u16).to_be_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes one packet from the front of `buf`. Returns the packet and
+    /// bytes consumed, `Ok(None)` if more bytes are needed, or `Err` on a
+    /// malformed packet.
+    pub fn decode(buf: &[u8]) -> Result<Option<(ObexPacket, usize)>, String> {
+        if buf.len() < 3 {
+            return Ok(None);
+        }
+        let opcode =
+            Opcode::from_byte(buf[0]).ok_or_else(|| format!("unknown opcode {:#x}", buf[0]))?;
+        let total = u16::from_be_bytes([buf[1], buf[2]]) as usize;
+        if total < 3 {
+            return Err("packet length too small".to_owned());
+        }
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let mut headers = Vec::new();
+        let mut pos = 3;
+        while pos < total {
+            let hi = buf[pos];
+            pos += 1;
+            match hi {
+                HI_LENGTH => {
+                    if pos + 4 > total {
+                        return Err("truncated length header".to_owned());
+                    }
+                    headers.push(Header::Length(u32::from_be_bytes([
+                        buf[pos],
+                        buf[pos + 1],
+                        buf[pos + 2],
+                        buf[pos + 3],
+                    ])));
+                    pos += 4;
+                }
+                HI_NAME | HI_TYPE | HI_BODY | HI_END_OF_BODY | HI_APP_PARAMS => {
+                    if pos + 2 > total {
+                        return Err("truncated header length".to_owned());
+                    }
+                    let hlen = u16::from_be_bytes([buf[pos], buf[pos + 1]]) as usize;
+                    pos += 2;
+                    if hlen < 3 || pos + hlen - 3 > total {
+                        return Err("bad header length".to_owned());
+                    }
+                    let data = buf[pos..pos + hlen - 3].to_vec();
+                    pos += hlen - 3;
+                    headers.push(match hi {
+                        HI_NAME => Header::Name(
+                            String::from_utf8(data).map_err(|_| "bad utf-8 name".to_owned())?,
+                        ),
+                        HI_TYPE => Header::Type(
+                            String::from_utf8(data).map_err(|_| "bad utf-8 type".to_owned())?,
+                        ),
+                        HI_BODY => Header::Body(data),
+                        HI_END_OF_BODY => Header::EndOfBody(data),
+                        _ => Header::AppParams(data),
+                    });
+                }
+                other => return Err(format!("unknown header id {other:#x}")),
+            }
+        }
+        Ok(Some((ObexPacket { opcode, headers }, total)))
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, hi: u8, data: &[u8]) {
+    out.push(hi);
+    out.extend_from_slice(&((data.len() + 3) as u16).to_be_bytes());
+    out.extend_from_slice(data);
+}
+
+/// Accumulates stream bytes and yields complete OBEX packets.
+#[derive(Debug, Default)]
+pub struct ObexAccumulator {
+    buf: Vec<u8>,
+}
+
+impl ObexAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> ObexAccumulator {
+        ObexAccumulator::default()
+    }
+
+    /// Feeds received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete packet, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on malformed packets; the buffered bytes are
+    /// discarded so the session can be aborted cleanly.
+    #[allow(clippy::should_implement_trait)] // framer convention, not an Iterator
+    pub fn next(&mut self) -> Result<Option<ObexPacket>, String> {
+        match ObexPacket::decode(&self.buf) {
+            Ok(Some((pkt, used))) => {
+                self.buf.drain(..used);
+                Ok(Some(pkt))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                self.buf.clear();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Splits an object into OBEX PUT packets of at most `chunk` body bytes.
+pub fn put_packets(name: &str, mime: &str, data: &[u8], chunk: usize) -> Vec<ObexPacket> {
+    let chunk = chunk.max(1);
+    let mut packets = Vec::new();
+    let n = data.len();
+    let mut offset = 0;
+    let mut first = true;
+    loop {
+        let end = (offset + chunk).min(n);
+        let last = end == n;
+        let mut pkt = ObexPacket::new(if last { Opcode::PutFinal } else { Opcode::Put });
+        if first {
+            pkt = pkt
+                .with_header(Header::Name(name.to_owned()))
+                .with_header(Header::Type(mime.to_owned()))
+                .with_header(Header::Length(n as u32));
+            first = false;
+        }
+        let body = data[offset..end].to_vec();
+        pkt = pkt.with_header(if last {
+            Header::EndOfBody(body)
+        } else {
+            Header::Body(body)
+        });
+        packets.push(pkt);
+        if last {
+            break;
+        }
+        offset = end;
+    }
+    packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn packet_round_trip() {
+        let pkt = ObexPacket::new(Opcode::PutFinal)
+            .with_header(Header::Name("img01.jpg".to_owned()))
+            .with_header(Header::Type("image/jpeg".to_owned()))
+            .with_header(Header::Length(5))
+            .with_header(Header::EndOfBody(vec![1, 2, 3, 4, 5]));
+        let bytes = pkt.encode();
+        let (back, used) = ObexPacket::decode(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, pkt);
+        assert_eq!(back.name(), Some("img01.jpg"));
+        assert_eq!(back.mime_type(), Some("image/jpeg"));
+        assert_eq!(back.body(), vec![1, 2, 3, 4, 5]);
+        assert!(back.is_final_body());
+    }
+
+    #[test]
+    fn partial_packets_wait() {
+        let bytes = ObexPacket::new(Opcode::Connect).encode();
+        let mut acc = ObexAccumulator::new();
+        acc.push(&bytes[..2]);
+        assert_eq!(acc.next().unwrap(), None);
+        acc.push(&bytes[2..]);
+        assert_eq!(acc.next().unwrap().unwrap().opcode, Opcode::Connect);
+    }
+
+    #[test]
+    fn put_packets_reassemble() {
+        let data: Vec<u8> = (0..=255).cycle().take(2000).map(|b: u16| b as u8).collect();
+        let packets = put_packets("x.bin", "application/octet-stream", &data, 512);
+        assert_eq!(packets.len(), 4);
+        assert_eq!(packets[0].name(), Some("x.bin"));
+        assert!(packets.last().unwrap().is_final_body());
+        let mut got = Vec::new();
+        for p in &packets {
+            got.extend(p.body());
+        }
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn empty_object_is_single_final_packet() {
+        let packets = put_packets("empty", "text/plain", &[], 512);
+        assert_eq!(packets.len(), 1);
+        assert!(packets[0].is_final_body());
+        assert!(packets[0].body().is_empty());
+    }
+
+    #[test]
+    fn malformed_packets_error_not_panic() {
+        assert!(ObexPacket::decode(&[0xFF, 0x00, 0x03]).is_err());
+        assert!(ObexPacket::decode(&[0x80, 0x00, 0x02]).is_err());
+        // Bad header id inside a well-formed envelope.
+        assert!(ObexPacket::decode(&[0x80, 0x00, 0x04, 0x77]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = ObexPacket::decode(&bytes);
+        }
+
+        #[test]
+        fn chunking_preserves_data(
+            data in proptest::collection::vec(any::<u8>(), 0..4096),
+            chunk in 1usize..1024,
+        ) {
+            let packets = put_packets("n", "t/t", &data, chunk);
+            let mut got = Vec::new();
+            for p in &packets {
+                got.extend(p.body());
+            }
+            prop_assert_eq!(got, data);
+            prop_assert!(packets.last().unwrap().is_final_body());
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! SDP — the Bluetooth Service Discovery Protocol, as binary PDUs.
+//!
+//! After inquiry finds a device, a host connects to its SDP server (PSM 1
+//! in real Bluetooth; a well-known stream port here) and asks which
+//! services it offers. Records carry the profile identifier the uMiddle
+//! mapper keys its USDL lookup on ("bip-camera", "hidp-mouse", …).
+
+use std::fmt;
+
+/// The well-known stream port of the SDP server on every device
+/// (stands in for L2CAP PSM 0x0001).
+pub const PSM_SDP: u16 = 1;
+
+/// One SDP service record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRecord {
+    /// Record handle, unique per device.
+    pub handle: u32,
+    /// Profile identifier (`bip-camera`, `hidp-mouse`, …); maps to a
+    /// USDL device type.
+    pub profile: String,
+    /// Human-readable service name.
+    pub name: String,
+    /// The stream port (PSM/RFCOMM channel analogue) the service listens
+    /// on.
+    pub psm: u16,
+    /// Additional attributes as `(id, value)` pairs.
+    pub attributes: Vec<(u16, String)>,
+}
+
+impl ServiceRecord {
+    /// Creates a record.
+    pub fn new(handle: u32, profile: &str, name: &str, psm: u16) -> ServiceRecord {
+        ServiceRecord {
+            handle,
+            profile: profile.to_owned(),
+            name: name.to_owned(),
+            psm,
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn with_attribute(mut self, id: u16, value: impl Into<String>) -> ServiceRecord {
+        self.attributes.push((id, value.into()));
+        self
+    }
+}
+
+impl fmt::Display for ServiceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sdp#{} {} ({}) psm {}", self.handle, self.profile, self.name, self.psm)
+    }
+}
+
+/// SDP protocol data units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdpPdu {
+    /// Asks for all records whose profile contains the pattern (empty
+    /// pattern = all records).
+    SearchRequest {
+        /// Transaction id echoed in the response.
+        transaction: u16,
+        /// Substring pattern over profile identifiers.
+        pattern: String,
+    },
+    /// The matching records.
+    SearchResponse {
+        /// Transaction id from the request.
+        transaction: u16,
+        /// Matching records.
+        records: Vec<ServiceRecord>,
+    },
+    /// Protocol error.
+    Error {
+        /// Transaction id from the request.
+        transaction: u16,
+        /// Error code.
+        code: u16,
+    },
+}
+
+const PDU_SEARCH_REQ: u8 = 0x02;
+const PDU_SEARCH_RSP: u8 = 0x03;
+const PDU_ERROR: u8 = 0x01;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    let n = b.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(n as u16).to_be_bytes());
+    out.extend_from_slice(&b[..n]);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        let b = self.take(2)?;
+        Some(u16::from_be_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn str(&mut self) -> Option<String> {
+        let n = self.u16()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).ok()
+    }
+}
+
+impl SdpPdu {
+    /// Encodes the PDU (big-endian, like real Bluetooth).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            SdpPdu::SearchRequest {
+                transaction,
+                pattern,
+            } => {
+                out.push(PDU_SEARCH_REQ);
+                out.extend_from_slice(&transaction.to_be_bytes());
+                put_str(&mut out, pattern);
+            }
+            SdpPdu::SearchResponse {
+                transaction,
+                records,
+            } => {
+                out.push(PDU_SEARCH_RSP);
+                out.extend_from_slice(&transaction.to_be_bytes());
+                out.extend_from_slice(&(records.len() as u16).to_be_bytes());
+                for r in records {
+                    out.extend_from_slice(&r.handle.to_be_bytes());
+                    put_str(&mut out, &r.profile);
+                    put_str(&mut out, &r.name);
+                    out.extend_from_slice(&r.psm.to_be_bytes());
+                    out.extend_from_slice(&(r.attributes.len() as u16).to_be_bytes());
+                    for (id, v) in &r.attributes {
+                        out.extend_from_slice(&id.to_be_bytes());
+                        put_str(&mut out, v);
+                    }
+                }
+            }
+            SdpPdu::Error { transaction, code } => {
+                out.push(PDU_ERROR);
+                out.extend_from_slice(&transaction.to_be_bytes());
+                out.extend_from_slice(&code.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a PDU. Returns `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<SdpPdu> {
+        let mut c = Cursor { buf: bytes, pos: 0 };
+        let pdu = match c.u8()? {
+            PDU_SEARCH_REQ => SdpPdu::SearchRequest {
+                transaction: c.u16()?,
+                pattern: c.str()?,
+            },
+            PDU_SEARCH_RSP => {
+                let transaction = c.u16()?;
+                let n = c.u16()? as usize;
+                let mut records = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    let handle = c.u32()?;
+                    let profile = c.str()?;
+                    let name = c.str()?;
+                    let psm = c.u16()?;
+                    let n_attrs = c.u16()? as usize;
+                    let mut attributes = Vec::with_capacity(n_attrs.min(64));
+                    for _ in 0..n_attrs {
+                        let id = c.u16()?;
+                        let v = c.str()?;
+                        attributes.push((id, v));
+                    }
+                    records.push(ServiceRecord {
+                        handle,
+                        profile,
+                        name,
+                        psm,
+                        attributes,
+                    });
+                }
+                SdpPdu::SearchResponse {
+                    transaction,
+                    records,
+                }
+            }
+            PDU_ERROR => SdpPdu::Error {
+                transaction: c.u16()?,
+                code: c.u16()?,
+            },
+            _ => return None,
+        };
+        if c.pos == bytes.len() {
+            Some(pdu)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates a search pattern against a record.
+    pub fn pattern_matches(pattern: &str, record: &ServiceRecord) -> bool {
+        pattern.is_empty() || record.profile.contains(pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_record() -> ServiceRecord {
+        ServiceRecord::new(0x10000, "bip-camera", "Pocket Camera", 9)
+            .with_attribute(0x0100, "imaging")
+            .with_attribute(0x0200, "jpeg")
+    }
+
+    #[test]
+    fn all_pdus_round_trip() {
+        let pdus = vec![
+            SdpPdu::SearchRequest {
+                transaction: 7,
+                pattern: "bip".to_owned(),
+            },
+            SdpPdu::SearchResponse {
+                transaction: 7,
+                records: vec![sample_record()],
+            },
+            SdpPdu::SearchResponse {
+                transaction: 8,
+                records: vec![],
+            },
+            SdpPdu::Error {
+                transaction: 9,
+                code: 0x0003,
+            },
+        ];
+        for p in pdus {
+            assert_eq!(SdpPdu::decode(&p.encode()), Some(p));
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = SdpPdu::SearchResponse {
+            transaction: 1,
+            records: vec![sample_record()],
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(SdpPdu::decode(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = SdpPdu::Error {
+            transaction: 1,
+            code: 2,
+        }
+        .encode();
+        bytes.push(0xaa);
+        assert!(SdpPdu::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn pattern_matching() {
+        let r = sample_record();
+        assert!(SdpPdu::pattern_matches("", &r));
+        assert!(SdpPdu::pattern_matches("bip", &r));
+        assert!(SdpPdu::pattern_matches("bip-camera", &r));
+        assert!(!SdpPdu::pattern_matches("hidp", &r));
+    }
+
+    proptest! {
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = SdpPdu::decode(&bytes);
+        }
+
+        #[test]
+        fn record_round_trip(
+            handle in any::<u32>(),
+            profile in "[a-z-]{1,16}",
+            name in "[ -~]{0,24}",
+            psm in any::<u16>(),
+        ) {
+            let pdu = SdpPdu::SearchResponse {
+                transaction: 1,
+                records: vec![ServiceRecord::new(handle, &profile, &name, psm)],
+            };
+            prop_assert_eq!(SdpPdu::decode(&pdu.encode()), Some(pdu));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # platform-mediabroker — a simulated MediaBroker
+//!
+//! MediaBroker (Modahl et al., IEEE PerCom 2004) is the Georgia Tech
+//! "architecture for pervasive computing": a distributed media
+//! transformation infrastructure. The paper uses an MB service as the
+//! fast endpoint of its transport-level benchmark (6.2 Mbps vs RMI's
+//! 3.2, Figure 11) — its advantage is lean binary framing ([`MbFrame`])
+//! and a type lattice ([`TypeLattice`]) that lets the broker
+//! ([`MediaBroker`]) downgrade streams to what consumers accept.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod types;
+
+pub use broker::{MbAccumulator, MbFrame, MediaBroker, BROKER_PORT, FORWARD_COST};
+pub use types::TypeLattice;

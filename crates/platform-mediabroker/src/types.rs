@@ -1,0 +1,106 @@
+//! The MediaBroker type lattice.
+//!
+//! MediaBroker (Modahl et al., PerCom 2004) is "a distributed media
+//! transformation infrastructure": producers publish typed media streams
+//! and the broker can *downgrade* a stream along a type lattice to what a
+//! consumer can accept (raw video → JPEG frames → thumbnails, PCM audio
+//! → compressed, …). We model the lattice as a forest of named types with
+//! explicit edges and per-edge transformation costs.
+
+use std::collections::BTreeMap;
+
+use simnet::SimDuration;
+
+/// A media-type lattice: nodes are type names, edges are allowed
+/// downgrades with a CPU cost per kilobyte transformed.
+#[derive(Debug, Clone, Default)]
+pub struct TypeLattice {
+    /// child -> parent (downgrade target) edges with cost per KiB.
+    edges: BTreeMap<String, Vec<(String, SimDuration)>>,
+}
+
+impl TypeLattice {
+    /// Creates an empty lattice.
+    pub fn new() -> TypeLattice {
+        TypeLattice::default()
+    }
+
+    /// The default lattice used by the bundled broker.
+    pub fn standard() -> TypeLattice {
+        let mut l = TypeLattice::new();
+        l.add_edge("video/raw", "video/jpeg-frames", SimDuration::from_micros(900));
+        l.add_edge("video/jpeg-frames", "image/jpeg", SimDuration::from_micros(150));
+        l.add_edge("image/jpeg", "image/thumbnail", SimDuration::from_micros(400));
+        l.add_edge("audio/pcm", "audio/compressed", SimDuration::from_micros(600));
+        l.add_edge("application/octet-stream", "application/octet-stream", SimDuration::ZERO);
+        l
+    }
+
+    /// Adds a downgrade edge.
+    pub fn add_edge(&mut self, from: &str, to: &str, cost_per_kib: SimDuration) {
+        self.edges
+            .entry(from.to_owned())
+            .or_default()
+            .push((to.to_owned(), cost_per_kib));
+    }
+
+    /// Finds the cheapest downgrade path from `from` to `to`; returns the
+    /// total cost per KiB, or `None` if unreachable. Identical types cost
+    /// nothing.
+    pub fn conversion_cost(&self, from: &str, to: &str) -> Option<SimDuration> {
+        if from == to {
+            return Some(SimDuration::ZERO);
+        }
+        // Dijkstra over a tiny graph.
+        let mut best: BTreeMap<&str, SimDuration> = BTreeMap::new();
+        let mut frontier = vec![(from, SimDuration::ZERO)];
+        while let Some((node, cost)) = frontier.pop() {
+            if let Some(prev) = best.get(node) {
+                if *prev <= cost {
+                    continue;
+                }
+            }
+            best.insert(node, cost);
+            if let Some(edges) = self.edges.get(node) {
+                for (next, edge_cost) in edges {
+                    frontier.push((next, cost + *edge_cost));
+                }
+            }
+        }
+        best.get(to).copied()
+    }
+
+    /// Returns `true` if a stream of type `from` can serve a consumer
+    /// wanting `to`.
+    pub fn convertible(&self, from: &str, to: &str) -> bool {
+        self.conversion_cost(from, to).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_free() {
+        let l = TypeLattice::standard();
+        assert_eq!(l.conversion_cost("video/raw", "video/raw"), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn multi_hop_downgrade_accumulates_cost() {
+        let l = TypeLattice::standard();
+        let direct = l.conversion_cost("video/raw", "video/jpeg-frames").unwrap();
+        let two_hop = l.conversion_cost("video/raw", "image/jpeg").unwrap();
+        assert!(two_hop > direct);
+        assert!(l.convertible("video/raw", "image/thumbnail"));
+    }
+
+    #[test]
+    fn upgrades_are_impossible() {
+        let l = TypeLattice::standard();
+        assert!(!l.convertible("image/jpeg", "video/raw"));
+        assert!(!l.convertible("audio/compressed", "audio/pcm"));
+        assert!(!l.convertible("image/jpeg", "audio/pcm"));
+    }
+}

@@ -1,0 +1,25 @@
+//! CPU-cost calibration for the simulated RMI stack.
+//!
+//! Java serialization on 2006-era hardware was slow: object graphs
+//! traverse reflectively, strings copy, and every value is boxed. The
+//! constants below make the RMI echo land near the paper's 3.2 Mbps on a
+//! 10 Mbps hub (Figure 11): per-call fixed cost plus per-byte marshal
+//! cost, applied on both marshal and unmarshal, on both sides.
+
+use simnet::SimDuration;
+
+/// Fixed per-marshal-operation cost (reflection, stream headers).
+pub const MARSHAL_FIXED: SimDuration = SimDuration::from_micros(180);
+
+/// Per-byte marshal/unmarshal cost (~1 µs/B ≈ 1 MB/s, Java 1.4-era
+/// object serialization with reflection). Calibrated so the bridged RMI
+/// echo lands near the paper's 3.2 Mbps (Figure 11).
+pub const MARSHAL_PER_BYTE_NANOS: u64 = 1_000;
+
+/// Registry request processing.
+pub const REGISTRY_PROCESS: SimDuration = SimDuration::from_micros(500);
+
+/// Computes the marshal/unmarshal cost for a value of `bytes` wire size.
+pub fn marshal_cost(bytes: usize) -> SimDuration {
+    MARSHAL_FIXED + SimDuration::from_nanos(bytes as u64 * MARSHAL_PER_BYTE_NANOS)
+}

@@ -1,0 +1,23 @@
+//! # platform-rmi — a simulated Java RMI platform
+//!
+//! One of the paper's benchmark platforms (§5.3): a registry
+//! ([`RmiRegistry`], port 1099), remote object servers
+//! ([`RmiObjectServer`], including the `EchoService` used by the
+//! transport-level benchmark), a chatty JRMP-like call protocol with a
+//! DGC ping handshake per call ([`RmiFrame`]), and verbose
+//! Java-serialization-style marshaling ([`JavaValue`]). The verbosity and
+//! chatter reproduce RMI's low bridged throughput in Figure 11.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+mod marshal;
+mod protocol;
+mod service;
+
+pub use marshal::JavaValue;
+pub use protocol::{FrameAccumulator, RmiFrame};
+pub use service::{
+    MethodHandler, RmiClient, RmiClientEvent, RmiObjectServer, RmiRegistry, REGISTRY_PORT,
+};

@@ -1,0 +1,299 @@
+//! Java-serialization-style marshaling.
+//!
+//! Java RMI's wire format is notoriously verbose: every object carries
+//! its full class name, field names and type tags. That verbosity (plus
+//! per-call protocol chatter) is why the paper's RMI echo tops out at
+//! 3.2 Mbps on a 10 Mbps hub (Figure 11) while MediaBroker reaches 6.2.
+//! This codec reproduces the *structure* of that cost: self-describing
+//! tagged values with embedded names.
+
+use std::fmt;
+
+/// A marshaled Java-ish value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JavaValue {
+    /// `null`.
+    Null,
+    /// `int`.
+    Int(i32),
+    /// `long`.
+    Long(i64),
+    /// `java.lang.String`.
+    Str(String),
+    /// `byte[]`.
+    Bytes(Vec<u8>),
+    /// An object: class name plus named fields.
+    Object {
+        /// Fully qualified class name.
+        class: String,
+        /// Field name/value pairs.
+        fields: Vec<(String, JavaValue)>,
+    },
+    /// A list of values.
+    List(Vec<JavaValue>),
+}
+
+impl fmt::Display for JavaValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JavaValue::Null => write!(f, "null"),
+            JavaValue::Int(v) => write!(f, "{v}"),
+            JavaValue::Long(v) => write!(f, "{v}L"),
+            JavaValue::Str(s) => write!(f, "{s:?}"),
+            JavaValue::Bytes(b) => write!(f, "byte[{}]", b.len()),
+            JavaValue::Object { class, fields } => {
+                write!(f, "{class}{{{} fields}}", fields.len())
+            }
+            JavaValue::List(items) => write!(f, "list[{}]", items.len()),
+        }
+    }
+}
+
+const TAG_NULL: u8 = 0x70;
+const TAG_INT: u8 = 0x49;
+const TAG_LONG: u8 = 0x4A;
+const TAG_STR: u8 = 0x74;
+const TAG_BYTES: u8 = 0x42;
+const TAG_OBJECT: u8 = 0x73;
+const TAG_LIST: u8 = 0x4C;
+/// Stream magic, like JRMP's `0xACED`.
+const MAGIC: u16 = 0xACED;
+/// Recursion bound for hostile input.
+const MAX_DEPTH: u32 = 64;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    out.extend_from_slice(&(b.len().min(u16::MAX as usize) as u16).to_be_bytes());
+    out.extend_from_slice(&b[..b.len().min(u16::MAX as usize)]);
+}
+
+impl JavaValue {
+    /// Marshals the value, including the stream magic header.
+    pub fn marshal(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_be_bytes());
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut Vec<u8>) {
+        match self {
+            JavaValue::Null => out.push(TAG_NULL),
+            JavaValue::Int(v) => {
+                out.push(TAG_INT);
+                // Self-describing: type name travels with the value.
+                put_str(out, "int");
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            JavaValue::Long(v) => {
+                out.push(TAG_LONG);
+                put_str(out, "long");
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            JavaValue::Str(s) => {
+                out.push(TAG_STR);
+                put_str(out, "java.lang.String");
+                put_str(out, s);
+            }
+            JavaValue::Bytes(b) => {
+                out.push(TAG_BYTES);
+                put_str(out, "[B");
+                out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+                out.extend_from_slice(b);
+            }
+            JavaValue::Object { class, fields } => {
+                out.push(TAG_OBJECT);
+                put_str(out, class);
+                out.extend_from_slice(&(fields.len() as u16).to_be_bytes());
+                for (name, value) in fields {
+                    put_str(out, name);
+                    value.write(out);
+                }
+            }
+            JavaValue::List(items) => {
+                out.push(TAG_LIST);
+                put_str(out, "java.util.ArrayList");
+                out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+                for item in items {
+                    item.write(out);
+                }
+            }
+        }
+    }
+
+    /// Unmarshals a value.
+    pub fn unmarshal(bytes: &[u8]) -> Option<JavaValue> {
+        let mut c = Cursor { buf: bytes, pos: 0 };
+        if c.u16()? != MAGIC {
+            return None;
+        }
+        let v = c.value(0)?;
+        if c.pos == bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Size in bytes when marshaled (used for CPU-cost accounting).
+    pub fn marshaled_len(&self) -> usize {
+        self.marshal().len()
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        let b = self.take(2)?;
+        Some(u16::from_be_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn str(&mut self) -> Option<String> {
+        let n = self.u16()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+    fn value(&mut self, depth: u32) -> Option<JavaValue> {
+        if depth > MAX_DEPTH {
+            return None;
+        }
+        Some(match self.u8()? {
+            TAG_NULL => JavaValue::Null,
+            TAG_INT => {
+                let _ty = self.str()?;
+                let b = self.take(4)?;
+                JavaValue::Int(i32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+            }
+            TAG_LONG => {
+                let _ty = self.str()?;
+                let b = self.take(8)?;
+                JavaValue::Long(i64::from_be_bytes([
+                    b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+                ]))
+            }
+            TAG_STR => {
+                let _ty = self.str()?;
+                JavaValue::Str(self.str()?)
+            }
+            TAG_BYTES => {
+                let _ty = self.str()?;
+                let n = self.u32()? as usize;
+                JavaValue::Bytes(self.take(n)?.to_vec())
+            }
+            TAG_OBJECT => {
+                let class = self.str()?;
+                let n = self.u16()? as usize;
+                let mut fields = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    let name = self.str()?;
+                    let value = self.value(depth + 1)?;
+                    fields.push((name, value));
+                }
+                JavaValue::Object { class, fields }
+            }
+            TAG_LIST => {
+                let _class = self.str()?;
+                let n = self.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    items.push(self.value(depth + 1)?);
+                }
+                JavaValue::List(items)
+            }
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> JavaValue {
+        JavaValue::Object {
+            class: "edu.gatech.Echo$Message".to_owned(),
+            fields: vec![
+                ("seq".to_owned(), JavaValue::Long(42)),
+                ("payload".to_owned(), JavaValue::Bytes(vec![7; 1400])),
+                ("note".to_owned(), JavaValue::Str("hello".to_owned())),
+                ("next".to_owned(), JavaValue::Null),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let v = sample();
+        assert_eq!(JavaValue::unmarshal(&v.marshal()), Some(v));
+    }
+
+    #[test]
+    fn verbosity_overhead_is_substantial() {
+        // 1400 payload bytes marshal to noticeably more: the RMI cost.
+        let v = sample();
+        let len = v.marshaled_len();
+        assert!(len > 1400 + 60, "marshal adds names and tags: {len}");
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut bytes = sample().marshal();
+        bytes[0] = 0;
+        assert_eq!(JavaValue::unmarshal(&bytes), None);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().marshal();
+        for cut in 0..bytes.len().min(64) {
+            assert!(JavaValue::unmarshal(&bytes[..cut]).is_none());
+        }
+    }
+
+    fn arb_value() -> impl Strategy<Value = JavaValue> {
+        let leaf = prop_oneof![
+            Just(JavaValue::Null),
+            any::<i32>().prop_map(JavaValue::Int),
+            any::<i64>().prop_map(JavaValue::Long),
+            "[a-zA-Z0-9 ]{0,32}".prop_map(JavaValue::Str),
+            proptest::collection::vec(any::<u8>(), 0..64).prop_map(JavaValue::Bytes),
+        ];
+        leaf.prop_recursive(3, 32, 4, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..4).prop_map(JavaValue::List),
+                ("[a-zA-Z.$]{1,24}", proptest::collection::vec(("[a-z]{1,8}", inner), 0..4))
+                    .prop_map(|(class, fields)| JavaValue::Object { class, fields }),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_values_round_trip(v in arb_value()) {
+            prop_assert_eq!(JavaValue::unmarshal(&v.marshal()), Some(v));
+        }
+
+        #[test]
+        fn unmarshal_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = JavaValue::unmarshal(&bytes);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The JRMP-like call protocol and the registry wire format.
+//!
+//! Every remote call is a length-prefixed frame over a stream, preceded by
+//! a distributed-garbage-collection ping/ack pair (the chatter that,
+//! together with marshaling verbosity, keeps RMI throughput low in the
+//! paper's Figure 11).
+
+use crate::marshal::JavaValue;
+
+/// Frames exchanged with RMI endpoints (object servers and the registry).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RmiFrame {
+    /// DGC liveness ping sent before each call.
+    Ping,
+    /// DGC ping acknowledgment.
+    PingAck,
+    /// A remote method invocation.
+    Call {
+        /// Correlation id.
+        call_id: u64,
+        /// Bound object name.
+        object: String,
+        /// Method name.
+        method: String,
+        /// Marshaled arguments.
+        args: Vec<JavaValue>,
+    },
+    /// A normal return.
+    Return {
+        /// Correlation id from the call.
+        call_id: u64,
+        /// The marshaled result.
+        result: JavaValue,
+    },
+    /// A remote exception.
+    Exception {
+        /// Correlation id from the call.
+        call_id: u64,
+        /// Exception message.
+        message: String,
+    },
+    /// Registry: bind a name to an object endpoint `(node index, port)`.
+    Bind {
+        /// The name to bind.
+        name: String,
+        /// Node index of the object server.
+        node: u32,
+        /// Stream port of the object server.
+        port: u16,
+    },
+    /// Registry: look up a name.
+    Lookup {
+        /// Correlation id.
+        call_id: u64,
+        /// The name to resolve.
+        name: String,
+    },
+    /// Registry: lookup result (`None` encoded as a `NotBound` exception).
+    LookupResult {
+        /// Correlation id from the lookup.
+        call_id: u64,
+        /// Node index of the object server.
+        node: u32,
+        /// Stream port of the object server.
+        port: u16,
+    },
+}
+
+const TAG_PING: u8 = 1;
+const TAG_PING_ACK: u8 = 2;
+const TAG_CALL: u8 = 3;
+const TAG_RETURN: u8 = 4;
+const TAG_EXCEPTION: u8 = 5;
+const TAG_BIND: u8 = 6;
+const TAG_LOOKUP: u8 = 7;
+const TAG_LOOKUP_RESULT: u8 = 8;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    out.extend_from_slice(&(b.len().min(u16::MAX as usize) as u16).to_be_bytes());
+    out.extend_from_slice(&b[..b.len().min(u16::MAX as usize)]);
+}
+
+fn put_value(out: &mut Vec<u8>, v: &JavaValue) {
+    let m = v.marshal();
+    out.extend_from_slice(&(m.len() as u32).to_be_bytes());
+    out.extend_from_slice(&m);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        let b = self.take(2)?;
+        Some(u16::from_be_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        Some(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+    fn str(&mut self) -> Option<String> {
+        let n = self.u16()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+    fn value(&mut self) -> Option<JavaValue> {
+        let n = self.u32()? as usize;
+        JavaValue::unmarshal(self.take(n)?)
+    }
+}
+
+impl RmiFrame {
+    /// Encodes the frame body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            RmiFrame::Ping => out.push(TAG_PING),
+            RmiFrame::PingAck => out.push(TAG_PING_ACK),
+            RmiFrame::Call {
+                call_id,
+                object,
+                method,
+                args,
+            } => {
+                out.push(TAG_CALL);
+                out.extend_from_slice(&call_id.to_be_bytes());
+                put_str(&mut out, object);
+                put_str(&mut out, method);
+                out.extend_from_slice(&(args.len() as u16).to_be_bytes());
+                for a in args {
+                    put_value(&mut out, a);
+                }
+            }
+            RmiFrame::Return { call_id, result } => {
+                out.push(TAG_RETURN);
+                out.extend_from_slice(&call_id.to_be_bytes());
+                put_value(&mut out, result);
+            }
+            RmiFrame::Exception { call_id, message } => {
+                out.push(TAG_EXCEPTION);
+                out.extend_from_slice(&call_id.to_be_bytes());
+                put_str(&mut out, message);
+            }
+            RmiFrame::Bind { name, node, port } => {
+                out.push(TAG_BIND);
+                put_str(&mut out, name);
+                out.extend_from_slice(&node.to_be_bytes());
+                out.extend_from_slice(&port.to_be_bytes());
+            }
+            RmiFrame::Lookup { call_id, name } => {
+                out.push(TAG_LOOKUP);
+                out.extend_from_slice(&call_id.to_be_bytes());
+                put_str(&mut out, name);
+            }
+            RmiFrame::LookupResult {
+                call_id,
+                node,
+                port,
+            } => {
+                out.push(TAG_LOOKUP_RESULT);
+                out.extend_from_slice(&call_id.to_be_bytes());
+                out.extend_from_slice(&node.to_be_bytes());
+                out.extend_from_slice(&port.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Encodes with a `u32` length prefix for stream framing.
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let body = self.encode();
+        let mut out = Vec::with_capacity(body.len() + 4);
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a frame body.
+    pub fn decode(bytes: &[u8]) -> Option<RmiFrame> {
+        let mut c = Cursor { buf: bytes, pos: 0 };
+        let frame = match c.u8()? {
+            TAG_PING => RmiFrame::Ping,
+            TAG_PING_ACK => RmiFrame::PingAck,
+            TAG_CALL => {
+                let call_id = c.u64()?;
+                let object = c.str()?;
+                let method = c.str()?;
+                let n = c.u16()? as usize;
+                let mut args = Vec::with_capacity(n.min(16));
+                for _ in 0..n {
+                    args.push(c.value()?);
+                }
+                RmiFrame::Call {
+                    call_id,
+                    object,
+                    method,
+                    args,
+                }
+            }
+            TAG_RETURN => RmiFrame::Return {
+                call_id: c.u64()?,
+                result: c.value()?,
+            },
+            TAG_EXCEPTION => RmiFrame::Exception {
+                call_id: c.u64()?,
+                message: c.str()?,
+            },
+            TAG_BIND => RmiFrame::Bind {
+                name: c.str()?,
+                node: c.u32()?,
+                port: c.u16()?,
+            },
+            TAG_LOOKUP => RmiFrame::Lookup {
+                call_id: c.u64()?,
+                name: c.str()?,
+            },
+            TAG_LOOKUP_RESULT => RmiFrame::LookupResult {
+                call_id: c.u64()?,
+                node: c.u32()?,
+                port: c.u16()?,
+            },
+            _ => return None,
+        };
+        if c.pos == bytes.len() {
+            Some(frame)
+        } else {
+            None
+        }
+    }
+}
+
+/// Accumulates stream bytes into frames.
+#[derive(Debug, Default)]
+pub struct FrameAccumulator {
+    buf: Vec<u8>,
+}
+
+impl FrameAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> FrameAccumulator {
+        FrameAccumulator::default()
+    }
+
+    /// Feeds bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed frames (buffer is cleared).
+    #[allow(clippy::should_implement_trait)] // framer convention, not an Iterator
+    pub fn next(&mut self) -> Result<Option<RmiFrame>, String> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let body: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
+        match RmiFrame::decode(&body) {
+            Some(f) => Ok(Some(f)),
+            None => {
+                self.buf.clear();
+                Err("malformed RMI frame".to_owned())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn frames() -> Vec<RmiFrame> {
+        vec![
+            RmiFrame::Ping,
+            RmiFrame::PingAck,
+            RmiFrame::Call {
+                call_id: 9,
+                object: "EchoService".to_owned(),
+                method: "echo".to_owned(),
+                args: vec![JavaValue::Bytes(vec![1; 64]), JavaValue::Int(5)],
+            },
+            RmiFrame::Return {
+                call_id: 9,
+                result: JavaValue::Str("ok".to_owned()),
+            },
+            RmiFrame::Exception {
+                call_id: 9,
+                message: "java.rmi.NotBoundException".to_owned(),
+            },
+            RmiFrame::Bind {
+                name: "EchoService".to_owned(),
+                node: 3,
+                port: 2099,
+            },
+            RmiFrame::Lookup {
+                call_id: 1,
+                name: "EchoService".to_owned(),
+            },
+            RmiFrame::LookupResult {
+                call_id: 1,
+                node: 3,
+                port: 2099,
+            },
+        ]
+    }
+
+    #[test]
+    fn all_frames_round_trip() {
+        for f in frames() {
+            assert_eq!(RmiFrame::decode(&f.encode()), Some(f));
+        }
+    }
+
+    #[test]
+    fn accumulator_reassembles_chunked_frames() {
+        let mut wire = Vec::new();
+        for f in frames() {
+            wire.extend(f.encode_framed());
+        }
+        let mut acc = FrameAccumulator::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(3) {
+            acc.push(chunk);
+            while let Some(f) = acc.next().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames());
+    }
+
+    #[test]
+    fn malformed_frame_is_an_error() {
+        let mut acc = FrameAccumulator::new();
+        acc.push(&[0, 0, 0, 1, 0xEE]);
+        assert!(acc.next().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = RmiFrame::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! CPU-cost calibration constants for the simulated UPnP stack.
+//!
+//! The paper's testbed ran a Java UPnP stack (CyberLink) on 2.0 GHz
+//! Pentium M laptops; XML marshaling dominated its costs (§5.2 attributes
+//! 150 of the 160 ms per SetPower round trip to "the UPnP domain
+//! (marshaling/unmarshaling XML messages and controlling the light
+//! switch)"). These constants model that era's costs via
+//! [`Ctx::busy`](simnet::Ctx::busy); they are deliberately centralized so
+//! EXPERIMENTS.md can reference every knob.
+
+use simnet::SimDuration;
+
+/// Fixed overhead of parsing or serializing one XML document on the
+/// 2006-era Java stack (DOM setup, string churn).
+pub const XML_CODEC_FIXED: SimDuration = SimDuration::from_millis(12);
+
+/// Additional XML codec cost per payload byte (~10 µs/B, i.e. ~100 KB/s
+/// DOM throughput — mid-2000s Java).
+pub const XML_CODEC_PER_BYTE_NANOS: u64 = 10_000;
+
+/// Device-internal processing for one action invocation (state update,
+/// callback into device logic, eventing bookkeeping).
+pub const ACTION_PROCESS: SimDuration = SimDuration::from_millis(100);
+
+/// Cost of one SSDP message parse/build (tiny text headers).
+pub const SSDP_CODEC: SimDuration = SimDuration::from_micros(300);
+
+/// Time the device takes to accept a GENA subscription.
+pub const SUBSCRIBE_PROCESS: SimDuration = SimDuration::from_millis(25);
+
+/// Computes the CPU cost of encoding or decoding `bytes` of XML.
+pub fn xml_codec_cost(bytes: usize) -> SimDuration {
+    XML_CODEC_FIXED + SimDuration::from_nanos(bytes as u64 * XML_CODEC_PER_BYTE_NANOS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_cost_scales_with_size() {
+        // A ~500 B SOAP envelope costs ~17 ms; a 6 KB description ~72 ms.
+        let soap = xml_codec_cost(500);
+        let desc = xml_codec_cost(6000);
+        assert!(soap >= SimDuration::from_millis(15) && soap <= SimDuration::from_millis(20));
+        assert!(desc >= SimDuration::from_millis(60) && desc <= SimDuration::from_millis(90));
+    }
+}

@@ -1,0 +1,290 @@
+//! UPnP device and service descriptions.
+//!
+//! A UPnP device exposes an XML *device description* (friendly name, type
+//! URN, UDN, service list) and, per service, an SCPD-style *service
+//! description* (actions with arguments, evented state variables). This
+//! module models both and their XML forms; the emulated device serves
+//! them over HTTP, and the mapper fetches and parses them to build
+//! translators — the dominant cost in the paper's Figure 10.
+
+use umiddle_usdl::Element;
+
+/// Direction of a SOAP action argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgDirection {
+    /// Caller supplies the value.
+    In,
+    /// Device returns the value.
+    Out,
+}
+
+/// One argument of an action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionArg {
+    /// Argument name.
+    pub name: String,
+    /// In or out.
+    pub direction: ArgDirection,
+    /// The related state variable's name.
+    pub related_statevar: String,
+}
+
+/// One action of a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionDesc {
+    /// Action name (`SetPower`).
+    pub name: String,
+    /// Arguments in declaration order.
+    pub args: Vec<ActionArg>,
+}
+
+/// One state variable of a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateVarDesc {
+    /// Variable name (`Power`).
+    pub name: String,
+    /// Whether changes are evented via GENA.
+    pub send_events: bool,
+    /// Initial value.
+    pub initial: String,
+}
+
+/// A service description (type, id, actions, state variables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDesc {
+    /// Service type URN segment (`SwitchPower`).
+    pub service_type: String,
+    /// Actions.
+    pub actions: Vec<ActionDesc>,
+    /// State variables.
+    pub state_vars: Vec<StateVarDesc>,
+}
+
+impl ServiceDesc {
+    /// Creates an empty service.
+    pub fn new(service_type: &str) -> ServiceDesc {
+        ServiceDesc {
+            service_type: service_type.to_owned(),
+            actions: Vec::new(),
+            state_vars: Vec::new(),
+        }
+    }
+
+    /// Adds an action (builder style).
+    pub fn with_action(mut self, action: ActionDesc) -> ServiceDesc {
+        self.actions.push(action);
+        self
+    }
+
+    /// Adds a state variable (builder style).
+    pub fn with_statevar(mut self, name: &str, send_events: bool, initial: &str) -> ServiceDesc {
+        self.state_vars.push(StateVarDesc {
+            name: name.to_owned(),
+            send_events,
+            initial: initial.to_owned(),
+        });
+        self
+    }
+
+    /// Looks up an action by name.
+    pub fn action(&self, name: &str) -> Option<&ActionDesc> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+
+    /// Serializes the SCPD XML.
+    pub fn to_xml(&self) -> Element {
+        let mut service = Element::new("service").with_attr("serviceType", &self.service_type);
+        let mut actions = Element::new("actionList");
+        for a in &self.actions {
+            let mut action = Element::new("action").with_child(
+                Element::new("name").with_text(&a.name),
+            );
+            let mut args = Element::new("argumentList");
+            for arg in &a.args {
+                args = args.with_child(
+                    Element::new("argument")
+                        .with_child(Element::new("name").with_text(&arg.name))
+                        .with_child(Element::new("direction").with_text(match arg.direction {
+                            ArgDirection::In => "in",
+                            ArgDirection::Out => "out",
+                        }))
+                        .with_child(
+                            Element::new("relatedStateVariable")
+                                .with_text(&arg.related_statevar),
+                        ),
+                );
+            }
+            action = action.with_child(args);
+            actions = actions.with_child(action);
+        }
+        service = service.with_child(actions);
+        let mut vars = Element::new("serviceStateTable");
+        for v in &self.state_vars {
+            vars = vars.with_child(
+                Element::new("stateVariable")
+                    .with_attr("sendEvents", if v.send_events { "yes" } else { "no" })
+                    .with_child(Element::new("name").with_text(&v.name))
+                    .with_child(Element::new("defaultValue").with_text(&v.initial)),
+            );
+        }
+        service.with_child(vars)
+    }
+
+    /// Parses a `<service>` element.
+    pub fn from_xml(e: &Element) -> Option<ServiceDesc> {
+        let service_type = e.attr("serviceType")?.to_owned();
+        let mut desc = ServiceDesc::new(&service_type);
+        if let Some(list) = e.child("actionList") {
+            for a in list.children_named("action") {
+                let name = a.child("name")?.text();
+                let mut args = Vec::new();
+                if let Some(arg_list) = a.child("argumentList") {
+                    for arg in arg_list.children_named("argument") {
+                        args.push(ActionArg {
+                            name: arg.child("name")?.text(),
+                            direction: match arg.child("direction")?.text().as_str() {
+                                "in" => ArgDirection::In,
+                                _ => ArgDirection::Out,
+                            },
+                            related_statevar: arg.child("relatedStateVariable")?.text(),
+                        });
+                    }
+                }
+                desc.actions.push(ActionDesc { name, args });
+            }
+        }
+        if let Some(table) = e.child("serviceStateTable") {
+            for v in table.children_named("stateVariable") {
+                desc.state_vars.push(StateVarDesc {
+                    name: v.child("name")?.text(),
+                    send_events: v.attr("sendEvents") == Some("yes"),
+                    initial: v.child("defaultValue").map(Element::text).unwrap_or_default(),
+                });
+            }
+        }
+        Some(desc)
+    }
+}
+
+/// A full device description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceDesc {
+    /// Device type URN (`urn:umiddle:device:Clock:1`).
+    pub device_type: String,
+    /// Human-readable name (`Kitchen Clock`).
+    pub friendly_name: String,
+    /// Unique device name (`uuid:...`).
+    pub udn: String,
+    /// Services.
+    pub services: Vec<ServiceDesc>,
+}
+
+impl DeviceDesc {
+    /// Creates a device description.
+    pub fn new(device_type: &str, friendly_name: &str, udn: &str) -> DeviceDesc {
+        DeviceDesc {
+            device_type: device_type.to_owned(),
+            friendly_name: friendly_name.to_owned(),
+            udn: udn.to_owned(),
+            services: Vec::new(),
+        }
+    }
+
+    /// Adds a service (builder style).
+    pub fn with_service(mut self, service: ServiceDesc) -> DeviceDesc {
+        self.services.push(service);
+        self
+    }
+
+    /// Finds the service owning an action.
+    pub fn service_for_action(&self, action: &str) -> Option<&ServiceDesc> {
+        self.services.iter().find(|s| s.action(action).is_some())
+    }
+
+    /// Finds a service by type segment.
+    pub fn service(&self, service_type: &str) -> Option<&ServiceDesc> {
+        self.services.iter().find(|s| s.service_type == service_type)
+    }
+
+    /// Serializes the full description document (device + inline SCPDs,
+    /// like the single-fetch layout CyberLink's samples use).
+    pub fn to_xml(&self) -> String {
+        let mut root = Element::new("root")
+            .with_attr("xmlns", "urn:schemas-upnp-org:device-1-0");
+        let mut device = Element::new("device")
+            .with_child(Element::new("deviceType").with_text(&self.device_type))
+            .with_child(Element::new("friendlyName").with_text(&self.friendly_name))
+            .with_child(Element::new("UDN").with_text(&self.udn));
+        let mut services = Element::new("serviceList");
+        for s in &self.services {
+            services = services.with_child(s.to_xml());
+        }
+        device = device.with_child(services);
+        root = root.with_child(device);
+        root.to_document()
+    }
+
+    /// Parses a description document.
+    pub fn parse(xml: &str) -> Option<DeviceDesc> {
+        let root = Element::parse(xml).ok()?;
+        let device = root.find("device")?;
+        let mut desc = DeviceDesc::new(
+            &device.child("deviceType")?.text(),
+            &device.child("friendlyName")?.text(),
+            &device.child("UDN")?.text(),
+        );
+        if let Some(list) = device.child("serviceList") {
+            for s in list.children_named("service") {
+                desc.services.push(ServiceDesc::from_xml(s)?);
+            }
+        }
+        Some(desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeviceDesc {
+        DeviceDesc::new("urn:umiddle:device:BinaryLight:1", "Hall Light", "uuid:42")
+            .with_service(
+                ServiceDesc::new("SwitchPower")
+                    .with_action(ActionDesc {
+                        name: "SetPower".to_owned(),
+                        args: vec![ActionArg {
+                            name: "Power".to_owned(),
+                            direction: ArgDirection::In,
+                            related_statevar: "Power".to_owned(),
+                        }],
+                    })
+                    .with_statevar("Power", true, "0"),
+            )
+    }
+
+    #[test]
+    fn description_round_trip() {
+        let desc = sample();
+        let xml = desc.to_xml();
+        let back = DeviceDesc::parse(&xml).unwrap();
+        assert_eq!(desc, back);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let desc = sample();
+        assert!(desc.service("SwitchPower").is_some());
+        assert!(desc.service("Nope").is_none());
+        assert_eq!(
+            desc.service_for_action("SetPower").unwrap().service_type,
+            "SwitchPower"
+        );
+        assert!(desc.service_for_action("GetTime").is_none());
+    }
+
+    #[test]
+    fn malformed_description_rejected() {
+        assert!(DeviceDesc::parse("<root/>").is_none());
+        assert!(DeviceDesc::parse("not xml").is_none());
+    }
+}

@@ -1,0 +1,422 @@
+//! Concrete emulated devices: the evaluation corpus of the paper.
+//!
+//! The paper's Figure 10 benchmarks mapping a CyberLink-emulated clock,
+//! air conditioner and light; §5.2 controls the light switch; §4 uses a
+//! MediaRenderer TV. These logics plug into [`UpnpDevice`](crate::UpnpDevice).
+
+use simnet::SimDuration;
+
+use crate::description::{ActionArg, ActionDesc, ArgDirection, DeviceDesc, ServiceDesc};
+use crate::device::{DeviceLogic, StateTable};
+
+fn in_arg(name: &str, var: &str) -> ActionArg {
+    ActionArg {
+        name: name.to_owned(),
+        direction: ArgDirection::In,
+        related_statevar: var.to_owned(),
+    }
+}
+
+fn out_arg(name: &str, var: &str) -> ActionArg {
+    ActionArg {
+        name: name.to_owned(),
+        direction: ArgDirection::Out,
+        related_statevar: var.to_owned(),
+    }
+}
+
+fn action(name: &str, args: Vec<ActionArg>) -> ActionDesc {
+    ActionDesc {
+        name: name.to_owned(),
+        args,
+    }
+}
+
+/// The binary light of the paper's §3.4/§5.2: `SetPower` with `1`/`0`.
+#[derive(Debug, Clone)]
+pub struct LightLogic {
+    friendly_name: String,
+    udn: String,
+}
+
+impl LightLogic {
+    /// Creates a light with the given friendly name and unique id.
+    pub fn new(friendly_name: &str, udn: &str) -> LightLogic {
+        LightLogic {
+            friendly_name: friendly_name.to_owned(),
+            udn: udn.to_owned(),
+        }
+    }
+}
+
+impl DeviceLogic for LightLogic {
+    fn description(&self) -> DeviceDesc {
+        DeviceDesc::new(
+            "urn:umiddle:device:BinaryLight:1",
+            &self.friendly_name,
+            &self.udn,
+        )
+        .with_service(
+            ServiceDesc::new("SwitchPower")
+                .with_action(action("SetPower", vec![in_arg("Power", "Power")]))
+                .with_action(action("GetPower", vec![out_arg("Power", "Power")]))
+                .with_statevar("Power", true, "0"),
+        )
+    }
+
+    fn invoke(
+        &mut self,
+        action: &str,
+        args: &[(String, String)],
+        state: &mut StateTable,
+    ) -> Result<Vec<(String, String)>, (u32, String)> {
+        match action {
+            "SetPower" => {
+                let v = args
+                    .iter()
+                    .find(|(k, _)| k == "Power")
+                    .map(|(_, v)| v.as_str())
+                    .ok_or((402, "missing Power argument".to_owned()))?;
+                if v != "0" && v != "1" {
+                    return Err((600, format!("Power must be 0 or 1, got {v:?}")));
+                }
+                state.set("Power", v);
+                Ok(vec![])
+            }
+            "GetPower" => Ok(vec![(
+                "Power".to_owned(),
+                state.get("Power").unwrap_or("0").to_owned(),
+            )]),
+            other => Err((401, format!("Invalid Action {other}"))),
+        }
+    }
+}
+
+/// The clock of Figure 10: two services (TimeKeeping, Alarm), many
+/// actions and evented variables — the most expensive device to map.
+#[derive(Debug, Clone)]
+pub struct ClockLogic {
+    friendly_name: String,
+    udn: String,
+    seconds: u64,
+}
+
+impl ClockLogic {
+    /// Creates a clock.
+    pub fn new(friendly_name: &str, udn: &str) -> ClockLogic {
+        ClockLogic {
+            friendly_name: friendly_name.to_owned(),
+            udn: udn.to_owned(),
+            seconds: 0,
+        }
+    }
+}
+
+impl DeviceLogic for ClockLogic {
+    fn description(&self) -> DeviceDesc {
+        DeviceDesc::new("urn:umiddle:device:Clock:1", &self.friendly_name, &self.udn)
+            .with_service(
+                ServiceDesc::new("TimeKeeping")
+                    .with_action(action("SetTime", vec![in_arg("NewTime", "Time")]))
+                    .with_action(action("GetTime", vec![out_arg("CurrentTime", "Time")]))
+                    .with_action(action("SetDate", vec![in_arg("NewDate", "Date")]))
+                    .with_action(action("GetDate", vec![out_arg("CurrentDate", "Date")]))
+                    .with_action(action("SetTimeZone", vec![in_arg("NewTimeZone", "TimeZone")]))
+                    .with_action(action("SetFormat", vec![in_arg("Format", "Format")]))
+                    .with_statevar("Time", true, "00:00:00")
+                    .with_statevar("Date", true, "2006-01-01")
+                    .with_statevar("TimeZone", false, "UTC")
+                    .with_statevar("Format", false, "24h")
+                    .with_statevar("Tick", true, "0"),
+            )
+            .with_service(
+                ServiceDesc::new("Alarm")
+                    .with_action(action("SetAlarm", vec![in_arg("AlarmTime", "AlarmTime")]))
+                    .with_action(action(
+                        "SetAlarmEnabled",
+                        vec![in_arg("Enabled", "AlarmEnabled")],
+                    ))
+                    .with_statevar("AlarmTime", true, "")
+                    .with_statevar("AlarmEnabled", false, "0"),
+            )
+    }
+
+    fn invoke(
+        &mut self,
+        action: &str,
+        args: &[(String, String)],
+        state: &mut StateTable,
+    ) -> Result<Vec<(String, String)>, (u32, String)> {
+        let arg = |name: &str| {
+            args.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .ok_or((402u32, format!("missing argument {name}")))
+        };
+        match action {
+            "SetTime" => {
+                state.set("Time", arg("NewTime")?);
+                Ok(vec![])
+            }
+            "GetTime" => Ok(vec![(
+                "CurrentTime".to_owned(),
+                state.get("Time").unwrap_or_default().to_owned(),
+            )]),
+            "SetDate" => {
+                state.set("Date", arg("NewDate")?);
+                Ok(vec![])
+            }
+            "GetDate" => Ok(vec![(
+                "CurrentDate".to_owned(),
+                state.get("Date").unwrap_or_default().to_owned(),
+            )]),
+            "SetTimeZone" => {
+                state.set("TimeZone", arg("NewTimeZone")?);
+                Ok(vec![])
+            }
+            "SetFormat" => {
+                state.set("Format", arg("Format")?);
+                Ok(vec![])
+            }
+            "SetAlarm" => {
+                state.set("AlarmTime", arg("AlarmTime")?);
+                Ok(vec![])
+            }
+            "SetAlarmEnabled" => {
+                state.set("AlarmEnabled", arg("Enabled")?);
+                Ok(vec![])
+            }
+            other => Err((401, format!("Invalid Action {other}"))),
+        }
+    }
+
+    fn tick(&mut self, state: &mut StateTable) {
+        self.seconds += 1;
+        state.set("Tick", self.seconds.to_string());
+        state.set(
+            "Time",
+            format!(
+                "{:02}:{:02}:{:02}",
+                self.seconds / 3600 % 24,
+                self.seconds / 60 % 60,
+                self.seconds % 60
+            ),
+        );
+    }
+
+    fn tick_interval(&self) -> Option<SimDuration> {
+        Some(SimDuration::from_secs(1))
+    }
+}
+
+/// The air conditioner of Figure 10.
+#[derive(Debug, Clone)]
+pub struct AirconLogic {
+    friendly_name: String,
+    udn: String,
+}
+
+impl AirconLogic {
+    /// Creates an air conditioner.
+    pub fn new(friendly_name: &str, udn: &str) -> AirconLogic {
+        AirconLogic {
+            friendly_name: friendly_name.to_owned(),
+            udn: udn.to_owned(),
+        }
+    }
+}
+
+impl DeviceLogic for AirconLogic {
+    fn description(&self) -> DeviceDesc {
+        DeviceDesc::new(
+            "urn:umiddle:device:AirConditioner:1",
+            &self.friendly_name,
+            &self.udn,
+        )
+        .with_service(
+            ServiceDesc::new("Hvac")
+                .with_action(action("SetMode", vec![in_arg("Mode", "Mode")]))
+                .with_action(action("SetTarget", vec![in_arg("Target", "Target")]))
+                .with_action(action(
+                    "GetTemperature",
+                    vec![out_arg("Temperature", "Temperature")],
+                ))
+                .with_statevar("Mode", true, "off")
+                .with_statevar("Target", false, "22")
+                .with_statevar("Temperature", true, "25"),
+        )
+    }
+
+    fn invoke(
+        &mut self,
+        action: &str,
+        args: &[(String, String)],
+        state: &mut StateTable,
+    ) -> Result<Vec<(String, String)>, (u32, String)> {
+        match action {
+            "SetMode" => {
+                let mode = args
+                    .iter()
+                    .find(|(k, _)| k == "Mode")
+                    .map(|(_, v)| v.clone())
+                    .ok_or((402, "missing Mode".to_owned()))?;
+                if !["off", "cool", "heat", "fan"].contains(&mode.as_str()) {
+                    return Err((600, format!("unknown mode {mode:?}")));
+                }
+                state.set("Mode", mode);
+                Ok(vec![])
+            }
+            "SetTarget" => {
+                let t = args
+                    .iter()
+                    .find(|(k, _)| k == "Target")
+                    .map(|(_, v)| v.clone())
+                    .ok_or((402, "missing Target".to_owned()))?;
+                t.parse::<i32>().map_err(|_| (600, "Target must be an integer".to_owned()))?;
+                state.set("Target", t);
+                Ok(vec![])
+            }
+            "GetTemperature" => Ok(vec![(
+                "Temperature".to_owned(),
+                state.get("Temperature").unwrap_or("25").to_owned(),
+            )]),
+            other => Err((401, format!("Invalid Action {other}"))),
+        }
+    }
+}
+
+/// The MediaRenderer TV of the camera-to-TV scenario. Rendering a media
+/// payload updates `TransportState` and counts frames in `FramesShown`.
+#[derive(Debug, Clone)]
+pub struct MediaRendererLogic {
+    friendly_name: String,
+    udn: String,
+    frames: u64,
+}
+
+impl MediaRendererLogic {
+    /// Creates a renderer.
+    pub fn new(friendly_name: &str, udn: &str) -> MediaRendererLogic {
+        MediaRendererLogic {
+            friendly_name: friendly_name.to_owned(),
+            udn: udn.to_owned(),
+            frames: 0,
+        }
+    }
+}
+
+impl DeviceLogic for MediaRendererLogic {
+    fn description(&self) -> DeviceDesc {
+        DeviceDesc::new(
+            "urn:umiddle:device:MediaRenderer:1",
+            &self.friendly_name,
+            &self.udn,
+        )
+        .with_service(
+            ServiceDesc::new("AVTransport")
+                .with_action(action("RenderMedia", vec![in_arg("Media", "FramesShown")]))
+                .with_action(action(
+                    "SetTransportState",
+                    vec![in_arg("State", "TransportState")],
+                ))
+                .with_statevar("TransportState", true, "STOPPED")
+                .with_statevar("FramesShown", true, "0"),
+        )
+    }
+
+    fn invoke(
+        &mut self,
+        action: &str,
+        args: &[(String, String)],
+        state: &mut StateTable,
+    ) -> Result<Vec<(String, String)>, (u32, String)> {
+        match action {
+            "RenderMedia" => {
+                self.frames += 1;
+                state.set("FramesShown", self.frames.to_string());
+                state.set("TransportState", "PLAYING");
+                Ok(vec![])
+            }
+            "SetTransportState" => {
+                let s = args
+                    .iter()
+                    .find(|(k, _)| k == "State")
+                    .map(|(_, v)| v.clone())
+                    .ok_or((402, "missing State".to_owned()))?;
+                state.set("TransportState", s);
+                Ok(vec![])
+            }
+            other => Err((401, format!("Invalid Action {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_validates_power_values() {
+        let mut light = LightLogic::new("L", "uuid:l");
+        let mut state = StateTable::default();
+        assert!(light
+            .invoke("SetPower", &[("Power".to_owned(), "1".to_owned())], &mut state)
+            .is_ok());
+        assert_eq!(state.get("Power"), Some("1"));
+        assert!(light
+            .invoke("SetPower", &[("Power".to_owned(), "7".to_owned())], &mut state)
+            .is_err());
+        assert!(light.invoke("Explode", &[], &mut state).is_err());
+        let out = light.invoke("GetPower", &[], &mut state).unwrap();
+        assert_eq!(out, vec![("Power".to_owned(), "1".to_owned())]);
+    }
+
+    #[test]
+    fn clock_description_is_the_papers_big_one() {
+        let clock = ClockLogic::new("C", "uuid:c");
+        let desc = clock.description();
+        assert_eq!(desc.services.len(), 2, "two services: the paper's extra entities");
+        let actions: usize = desc.services.iter().map(|s| s.actions.len()).sum();
+        assert!(actions >= 8, "clock is action-rich: {actions}");
+        // Its description XML is markedly larger than the light's.
+        let light_len = LightLogic::new("L", "uuid:l").description().to_xml().len();
+        assert!(desc.to_xml().len() > 2 * light_len);
+    }
+
+    #[test]
+    fn clock_ticks_advance_time() {
+        let mut clock = ClockLogic::new("C", "uuid:c");
+        let mut state = StateTable::default();
+        for _ in 0..61 {
+            clock.tick(&mut state);
+        }
+        assert_eq!(state.get("Time"), Some("00:01:01"));
+    }
+
+    #[test]
+    fn aircon_rejects_bad_modes_and_targets() {
+        let mut ac = AirconLogic::new("A", "uuid:a");
+        let mut state = StateTable::default();
+        assert!(ac
+            .invoke("SetMode", &[("Mode".to_owned(), "cool".to_owned())], &mut state)
+            .is_ok());
+        assert!(ac
+            .invoke("SetMode", &[("Mode".to_owned(), "toast".to_owned())], &mut state)
+            .is_err());
+        assert!(ac
+            .invoke("SetTarget", &[("Target".to_owned(), "cold".to_owned())], &mut state)
+            .is_err());
+    }
+
+    #[test]
+    fn renderer_counts_frames() {
+        let mut tv = MediaRendererLogic::new("TV", "uuid:tv");
+        let mut state = StateTable::default();
+        for _ in 0..3 {
+            tv.invoke("RenderMedia", &[("Media".to_owned(), "...".to_owned())], &mut state)
+                .unwrap();
+        }
+        assert_eq!(state.get("FramesShown"), Some("3"));
+        assert_eq!(state.get("TransportState"), Some("PLAYING"));
+    }
+}

@@ -1,0 +1,616 @@
+//! # platform-webservices — a simulated web-services platform
+//!
+//! The paper bridges "various web services". We model XML-RPC-style
+//! services: each exposes a fetchable XML description
+//! ([`ServiceDescription`]) and accepts [`MethodCall`]s over HTTP POST
+//! (reusing the HTTP codec from `platform-upnp` — the stacks genuinely
+//! shared HTTP in that era). [`WsServer`] hosts pluggable operations;
+//! [`WsClient`] is the engine the uMiddle mapper embeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use platform_upnp::{HttpAccumulator, HttpMessage, HttpRequest, HttpResponse};
+use simnet::{Addr, Ctx, Process, SimDuration, StreamEvent, StreamId};
+use umiddle_usdl::Element;
+
+/// Host-side XML processing cost per call or response.
+pub const WS_XML_COST: SimDuration = SimDuration::from_millis(8);
+
+/// An XML-RPC-style method call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodCall {
+    /// Operation name.
+    pub method: String,
+    /// String parameters, in order.
+    pub params: Vec<String>,
+}
+
+impl MethodCall {
+    /// Creates a call.
+    pub fn new(method: &str, params: Vec<String>) -> MethodCall {
+        MethodCall {
+            method: method.to_owned(),
+            params,
+        }
+    }
+
+    /// Serializes to XML.
+    pub fn to_xml(&self) -> String {
+        let mut root = Element::new("methodCall")
+            .with_child(Element::new("methodName").with_text(&self.method));
+        let mut params = Element::new("params");
+        for p in &self.params {
+            params = params.with_child(
+                Element::new("param").with_child(Element::new("value").with_text(p.clone())),
+            );
+        }
+        root = root.with_child(params);
+        root.to_document()
+    }
+
+    /// Parses from XML.
+    pub fn parse(xml: &str) -> Option<MethodCall> {
+        let root = Element::parse(xml).ok()?;
+        if root.local_name() != "methodCall" {
+            return None;
+        }
+        let method = root.child("methodName")?.text();
+        let params = root
+            .child("params")
+            .map(|ps| {
+                ps.children_named("param")
+                    .filter_map(|p| p.child("value").map(Element::text))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Some(MethodCall { method, params })
+    }
+}
+
+/// The reply to a method call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MethodResponse {
+    /// Success with a string value.
+    Value(String),
+    /// A fault with code and message.
+    Fault {
+        /// Fault code.
+        code: i32,
+        /// Fault description.
+        message: String,
+    },
+}
+
+impl MethodResponse {
+    /// Serializes to XML.
+    pub fn to_xml(&self) -> String {
+        let root = match self {
+            MethodResponse::Value(v) => Element::new("methodResponse").with_child(
+                Element::new("params").with_child(
+                    Element::new("param")
+                        .with_child(Element::new("value").with_text(v.clone())),
+                ),
+            ),
+            MethodResponse::Fault { code, message } => Element::new("methodResponse").with_child(
+                Element::new("fault")
+                    .with_child(Element::new("faultCode").with_text(code.to_string()))
+                    .with_child(Element::new("faultString").with_text(message.clone())),
+            ),
+        };
+        root.to_document()
+    }
+
+    /// Parses from XML.
+    pub fn parse(xml: &str) -> Option<MethodResponse> {
+        let root = Element::parse(xml).ok()?;
+        if root.local_name() != "methodResponse" {
+            return None;
+        }
+        if let Some(fault) = root.child("fault") {
+            return Some(MethodResponse::Fault {
+                code: fault.child("faultCode")?.text().parse().ok()?,
+                message: fault.child("faultString")?.text(),
+            });
+        }
+        Some(MethodResponse::Value(
+            root.child("params")?.child("param")?.child("value")?.text(),
+        ))
+    }
+}
+
+/// A service's self-description, served at `/service.xml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    /// Service name.
+    pub name: String,
+    /// Service kind keyed by the mapper's USDL lookup (`logger`,
+    /// `weather`, …).
+    pub kind: String,
+    /// Operation names.
+    pub operations: Vec<String>,
+}
+
+impl ServiceDescription {
+    /// Serializes to XML.
+    pub fn to_xml(&self) -> String {
+        let mut root = Element::new("service")
+            .with_attr("name", &self.name)
+            .with_attr("kind", &self.kind);
+        for op in &self.operations {
+            root = root.with_child(Element::new("operation").with_attr("name", op));
+        }
+        root.to_document()
+    }
+
+    /// Parses from XML.
+    pub fn parse(xml: &str) -> Option<ServiceDescription> {
+        let root = Element::parse(xml).ok()?;
+        if root.local_name() != "service" {
+            return None;
+        }
+        Some(ServiceDescription {
+            name: root.attr("name")?.to_owned(),
+            kind: root.attr("kind")?.to_owned(),
+            operations: root
+                .children_named("operation")
+                .filter_map(|o| o.attr("name").map(str::to_owned))
+                .collect(),
+        })
+    }
+}
+
+/// An operation implementation.
+pub type Operation = Box<dyn FnMut(&[String]) -> Result<String, String>>;
+
+/// A web-service server process.
+pub struct WsServer {
+    description: ServiceDescription,
+    port: u16,
+    operations: HashMap<String, Operation>,
+    conns: HashMap<StreamId, HttpAccumulator>,
+}
+
+impl std::fmt::Debug for WsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WsServer")
+            .field("name", &self.description.name)
+            .field("port", &self.port)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WsServer {
+    /// Creates a server for `kind` named `name` on `port`.
+    pub fn new(name: &str, kind: &str, port: u16) -> WsServer {
+        WsServer {
+            description: ServiceDescription {
+                name: name.to_owned(),
+                kind: kind.to_owned(),
+                operations: Vec::new(),
+            },
+            port,
+            operations: HashMap::new(),
+            conns: HashMap::new(),
+        }
+    }
+
+    /// Registers an operation (builder style).
+    pub fn with_operation(mut self, name: &str, op: Operation) -> WsServer {
+        self.description.operations.push(name.to_owned());
+        self.operations.insert(name.to_owned(), op);
+        self
+    }
+
+    /// A log service matching the bundled `logger` USDL document:
+    /// `append(entry)` and `tail()`.
+    pub fn logger(name: &str, port: u16) -> WsServer {
+        let log: std::rc::Rc<std::cell::RefCell<Vec<String>>> =
+            std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log2 = std::rc::Rc::clone(&log);
+        WsServer::new(name, "logger", port)
+            .with_operation(
+                "append",
+                Box::new(move |params| {
+                    let entry = params.first().cloned().unwrap_or_default();
+                    log.borrow_mut().push(entry);
+                    Ok("ok".to_owned())
+                }),
+            )
+            .with_operation(
+                "tail",
+                Box::new(move |_| {
+                    let entries = log2.borrow();
+                    Ok(entries
+                        .iter()
+                        .rev()
+                        .take(10)
+                        .rev()
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join("\n"))
+                }),
+            )
+    }
+
+    /// A weather service matching the bundled `weather` USDL document.
+    pub fn weather(name: &str, port: u16) -> WsServer {
+        let location = std::rc::Rc::new(std::cell::RefCell::new("atlanta".to_owned()));
+        let location2 = std::rc::Rc::clone(&location);
+        WsServer::new(name, "weather", port)
+            .with_operation(
+                "current",
+                Box::new(move |_| {
+                    Ok(format!("sunny in {} at 24C", location.borrow()))
+                }),
+            )
+            .with_operation(
+                "locate",
+                Box::new(move |params| {
+                    let loc = params
+                        .first()
+                        .cloned()
+                        .ok_or_else(|| "missing location".to_owned())?;
+                    *location2.borrow_mut() = loc;
+                    Ok("ok".to_owned())
+                }),
+            )
+    }
+}
+
+impl Process for WsServer {
+    fn name(&self) -> &str {
+        "ws-server"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.listen(self.port).expect("ws port free");
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
+        match event {
+            StreamEvent::Accepted { .. } => {
+                self.conns.insert(stream, HttpAccumulator::new());
+            }
+            StreamEvent::Data(data) => {
+                let Some(acc) = self.conns.get_mut(&stream) else { return };
+                acc.push(&data);
+                let Some(Ok(HttpMessage::Request(req))) = acc.take_message() else {
+                    return;
+                };
+                ctx.busy(WS_XML_COST);
+                let response = match (req.method.as_str(), req.path.as_str()) {
+                    ("GET", "/service.xml") => HttpResponse::xml(self.description.to_xml()),
+                    ("POST", "/rpc") => {
+                        let call = std::str::from_utf8(&req.body)
+                            .ok()
+                            .and_then(MethodCall::parse);
+                        let resp = match call {
+                            Some(call) => match self.operations.get_mut(&call.method) {
+                                Some(op) => match op(&call.params) {
+                                    Ok(v) => MethodResponse::Value(v),
+                                    Err(m) => MethodResponse::Fault {
+                                        code: 500,
+                                        message: m,
+                                    },
+                                },
+                                None => MethodResponse::Fault {
+                                    code: 404,
+                                    message: format!("no operation {}", call.method),
+                                },
+                            },
+                            None => MethodResponse::Fault {
+                                code: 400,
+                                message: "malformed call".to_owned(),
+                            },
+                        };
+                        ctx.bump("ws.calls", 1);
+                        HttpResponse::xml(resp.to_xml())
+                    }
+                    _ => HttpResponse::new(404),
+                };
+                let _ = ctx.stream_send(stream, response.to_bytes());
+                ctx.stream_close(stream);
+            }
+            StreamEvent::Closed | StreamEvent::ConnectFailed => {
+                self.conns.remove(&stream);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Client-side events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WsEvent {
+    /// A description fetch completed.
+    Description {
+        /// Where it came from.
+        location: Addr,
+        /// The description.
+        desc: ServiceDescription,
+    },
+    /// A call completed.
+    CallResult {
+        /// Correlation id.
+        call_id: u64,
+        /// The response.
+        response: MethodResponse,
+    },
+    /// A request failed at the transport level.
+    Failed {
+        /// Correlation id (0 for description fetches).
+        call_id: u64,
+    },
+}
+
+#[derive(Debug)]
+enum WsPending {
+    Describe { location: Addr, acc: HttpAccumulator, request: Vec<u8> },
+    Call { call_id: u64, acc: HttpAccumulator, request: Vec<u8> },
+}
+
+/// The client engine for host processes (the uMiddle mapper, tests).
+#[derive(Debug, Default)]
+pub struct WsClient {
+    pending: HashMap<StreamId, WsPending>,
+}
+
+impl WsClient {
+    /// Creates a client.
+    pub fn new() -> WsClient {
+        WsClient::default()
+    }
+
+    /// Fetches `/service.xml` from a service.
+    pub fn describe(&mut self, ctx: &mut Ctx<'_>, location: Addr) {
+        let request = HttpRequest::new("GET", "/service.xml").to_bytes();
+        if let Ok(stream) = ctx.connect(location) {
+            self.pending.insert(
+                stream,
+                WsPending::Describe {
+                    location,
+                    acc: HttpAccumulator::new(),
+                    request,
+                },
+            );
+        }
+    }
+
+    /// Invokes an operation.
+    pub fn call(&mut self, ctx: &mut Ctx<'_>, location: Addr, call: &MethodCall, call_id: u64) {
+        ctx.busy(WS_XML_COST);
+        let request = HttpRequest::new("POST", "/rpc")
+            .with_body(call.to_xml().into_bytes())
+            .to_bytes();
+        if let Ok(stream) = ctx.connect(location) {
+            self.pending.insert(
+                stream,
+                WsPending::Call {
+                    call_id,
+                    acc: HttpAccumulator::new(),
+                    request,
+                },
+            );
+        }
+    }
+
+    /// Feeds a stream event; returns completed operations.
+    pub fn handle_stream(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        stream: StreamId,
+        event: StreamEvent,
+    ) -> Vec<WsEvent> {
+        let mut out = Vec::new();
+        match event {
+            StreamEvent::Connected => {
+                if let Some(p) = self.pending.get_mut(&stream) {
+                    let request = match p {
+                        WsPending::Describe { request, .. } | WsPending::Call { request, .. } => {
+                            std::mem::take(request)
+                        }
+                    };
+                    let _ = ctx.stream_send(stream, request);
+                }
+            }
+            StreamEvent::Data(data) => {
+                let Some(p) = self.pending.get_mut(&stream) else { return out };
+                let acc = match p {
+                    WsPending::Describe { acc, .. } | WsPending::Call { acc, .. } => acc,
+                };
+                acc.push(&data);
+                if let Some(msg) = acc.take_message() {
+                    let p = self.pending.remove(&stream).expect("present");
+                    ctx.stream_close(stream);
+                    ctx.busy(WS_XML_COST);
+                    match (p, msg) {
+                        (WsPending::Describe { location, .. }, Ok(HttpMessage::Response(r))) => {
+                            match std::str::from_utf8(&r.body)
+                                .ok()
+                                .and_then(ServiceDescription::parse)
+                            {
+                                Some(desc) => out.push(WsEvent::Description { location, desc }),
+                                None => out.push(WsEvent::Failed { call_id: 0 }),
+                            }
+                        }
+                        (WsPending::Call { call_id, .. }, Ok(HttpMessage::Response(r))) => {
+                            match std::str::from_utf8(&r.body)
+                                .ok()
+                                .and_then(MethodResponse::parse)
+                            {
+                                Some(response) => {
+                                    out.push(WsEvent::CallResult { call_id, response })
+                                }
+                                None => out.push(WsEvent::Failed { call_id }),
+                            }
+                        }
+                        (WsPending::Describe { .. }, _) => {
+                            out.push(WsEvent::Failed { call_id: 0 })
+                        }
+                        (WsPending::Call { call_id, .. }, _) => {
+                            out.push(WsEvent::Failed { call_id })
+                        }
+                    }
+                }
+            }
+            StreamEvent::Closed | StreamEvent::ConnectFailed => {
+                if let Some(p) = self.pending.remove(&stream) {
+                    let call_id = match p {
+                        WsPending::Describe { .. } => 0,
+                        WsPending::Call { call_id, .. } => call_id,
+                    };
+                    out.push(WsEvent::Failed { call_id });
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{SegmentConfig, SimTime, World};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn call_and_response_round_trip() {
+        let call = MethodCall::new("append", vec!["hello".to_owned(), "x<y".to_owned()]);
+        assert_eq!(MethodCall::parse(&call.to_xml()), Some(call));
+        for r in [
+            MethodResponse::Value("ok".to_owned()),
+            MethodResponse::Fault {
+                code: 404,
+                message: "no & such".to_owned(),
+            },
+        ] {
+            assert_eq!(MethodResponse::parse(&r.to_xml()), Some(r));
+        }
+    }
+
+    #[test]
+    fn description_round_trip() {
+        let d = ServiceDescription {
+            name: "Event Log".to_owned(),
+            kind: "logger".to_owned(),
+            operations: vec!["append".to_owned(), "tail".to_owned()],
+        };
+        assert_eq!(ServiceDescription::parse(&d.to_xml()), Some(d));
+    }
+
+    struct Driver {
+        client: WsClient,
+        target: Addr,
+        results: Rc<RefCell<Vec<WsEvent>>>,
+        step: u32,
+    }
+    impl Process for Driver {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.client.describe(ctx, self.target);
+        }
+        fn on_stream(&mut self, ctx: &mut Ctx<'_>, s: StreamId, e: StreamEvent) {
+            for ev in self.client.handle_stream(ctx, s, e) {
+                match &ev {
+                    WsEvent::Description { location, .. } => {
+                        self.step = 1;
+                        let call = MethodCall::new("append", vec!["entry one".to_owned()]);
+                        self.client.call(ctx, *location, &call, 1);
+                    }
+                    WsEvent::CallResult { call_id: 1, .. } => {
+                        let call = MethodCall::new("tail", vec![]);
+                        self.client.call(ctx, self.target, &call, 2);
+                    }
+                    _ => {}
+                }
+                self.results.borrow_mut().push(ev);
+            }
+        }
+    }
+
+    #[test]
+    fn describe_append_tail_cycle() {
+        let mut world = World::new(61);
+        let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+        let s_node = world.add_node("server");
+        let c_node = world.add_node("client");
+        world.attach(s_node, hub).unwrap();
+        world.attach(c_node, hub).unwrap();
+        world.add_process(s_node, Box::new(WsServer::logger("Event Log", 8080)));
+        let results = Rc::new(RefCell::new(Vec::new()));
+        world.add_process(
+            c_node,
+            Box::new(Driver {
+                client: WsClient::new(),
+                target: Addr::new(s_node, 8080),
+                results: Rc::clone(&results),
+                step: 0,
+            }),
+        );
+        world.run_until(SimTime::from_secs(5));
+        let results = results.borrow();
+        assert!(matches!(results.first(), Some(WsEvent::Description { desc, .. }) if desc.kind == "logger"));
+        assert!(matches!(
+            results.get(1),
+            Some(WsEvent::CallResult {
+                call_id: 1,
+                response: MethodResponse::Value(_)
+            })
+        ));
+        match results.get(2) {
+            Some(WsEvent::CallResult {
+                call_id: 2,
+                response: MethodResponse::Value(v),
+            }) => assert_eq!(v, "entry one"),
+            other => panic!("expected tail result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_operation_faults() {
+        let mut world = World::new(62);
+        let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+        let s_node = world.add_node("server");
+        let c_node = world.add_node("client");
+        world.attach(s_node, hub).unwrap();
+        world.attach(c_node, hub).unwrap();
+        world.add_process(s_node, Box::new(WsServer::weather("Weather", 8080)));
+        let results = Rc::new(RefCell::new(Vec::new()));
+        struct One {
+            client: WsClient,
+            target: Addr,
+            results: Rc<RefCell<Vec<WsEvent>>>,
+        }
+        impl Process for One {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let call = MethodCall::new("explode", vec![]);
+                self.client.call(ctx, self.target, &call, 5);
+            }
+            fn on_stream(&mut self, ctx: &mut Ctx<'_>, s: StreamId, e: StreamEvent) {
+                self.results
+                    .borrow_mut()
+                    .extend(self.client.handle_stream(ctx, s, e));
+            }
+        }
+        world.add_process(
+            c_node,
+            Box::new(One {
+                client: WsClient::new(),
+                target: Addr::new(s_node, 8080),
+                results: Rc::clone(&results),
+            }),
+        );
+        world.run_until(SimTime::from_secs(3));
+        assert!(matches!(
+            results.borrow().first(),
+            Some(WsEvent::CallResult {
+                call_id: 5,
+                response: MethodResponse::Fault { code: 404, .. }
+            })
+        ));
+    }
+}

@@ -1,0 +1,188 @@
+//! Tracing and metrics for simulations.
+//!
+//! Every [`World`](crate::World) owns a [`Trace`]: a bounded event log plus
+//! a set of named counters. Protocol code bumps counters and logs events via
+//! [`Ctx`](crate::Ctx); benches and tests read them back to assert on
+//! behaviour (frames on a segment, bytes delivered, retransmissions, …).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time the event was logged.
+    pub time: SimTime,
+    /// Short source tag (usually the process name).
+    pub source: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.source, self.message)
+    }
+}
+
+/// Bounded event log plus named counters.
+#[derive(Debug)]
+pub struct Trace {
+    log_enabled: bool,
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    counters: BTreeMap<String, u64>,
+}
+
+impl Trace {
+    /// Creates a trace with logging enabled and the given event capacity.
+    pub fn new(capacity: usize) -> Trace {
+        Trace {
+            log_enabled: true,
+            capacity,
+            events: Vec::new(),
+            dropped: 0,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Enables or disables event logging (counters always work).
+    pub fn set_log_enabled(&mut self, enabled: bool) {
+        self.log_enabled = enabled;
+    }
+
+    /// Records an event if logging is enabled and capacity remains.
+    pub fn log(&mut self, time: SimTime, source: impl Into<String>, message: impl Into<String>) {
+        if !self.log_enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            time,
+            source: source.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn bump(&mut self, counter: &str, n: u64) {
+        *self.counters.entry(counter.to_owned()).or_insert(0) += n;
+    }
+
+    /// Returns the value of a counter (zero if never bumped).
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.counters.get(counter).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events discarded because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears events and counters.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.counters.clear();
+        self.dropped = 0;
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Trace {
+        Trace::new(50_000)
+    }
+}
+
+/// Aggregate statistics for one network segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentStats {
+    /// Frames successfully transmitted (including lost-after-tx frames).
+    pub frames: u64,
+    /// Payload bytes carried by those frames (excluding link overhead).
+    pub payload_bytes: u64,
+    /// Frames dropped by the loss model.
+    pub dropped: u64,
+    /// Total time the medium was occupied.
+    pub busy: SimDuration,
+}
+
+impl SegmentStats {
+    /// Mean utilization of the medium over `elapsed` virtual time, in
+    /// `[0, 1]`. Returns 0 for zero elapsed time.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = Trace::default();
+        t.bump("frames", 2);
+        t.bump("frames", 3);
+        assert_eq!(t.counter("frames"), 5);
+        assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn log_respects_capacity() {
+        let mut t = Trace::new(2);
+        for i in 0..4 {
+            t.log(SimTime::ZERO, "src", format!("event {i}"));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut t = Trace::default();
+        t.set_log_enabled(false);
+        t.log(SimTime::ZERO, "src", "hidden");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn event_display_is_readable() {
+        let ev = TraceEvent {
+            time: SimTime::from_millis(1),
+            source: "mapper".to_owned(),
+            message: "device found".to_owned(),
+        };
+        assert_eq!(ev.to_string(), "[1.000ms] mapper: device found");
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let stats = SegmentStats {
+            busy: SimDuration::from_millis(500),
+            ..SegmentStats::default()
+        };
+        let u = stats.utilization(SimDuration::from_secs(1));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(stats.utilization(SimDuration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! uMiddle Pads — the GUI-based application generator (paper §4.1),
+//! headless.
+//!
+//! Pads provides "cross-platform virtual cabling": translators appear as
+//! icons on a canvas, and the user wires them together by drawing lines;
+//! a runtime environment behind the GUI establishes the real end-to-end
+//! device connections. This module is the runtime environment plus a
+//! headless canvas model: icons track the directory, wires validate port
+//! compatibility before connecting, and the canvas can be rendered as
+//! text (the GUI stand-in).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simnet::{Ctx, LocalMessage, ProcId, Process};
+use umiddle_core::{
+    ConnectionId, DirectoryEvent, Direction, PortRef, QosPolicy, Query, RuntimeClient,
+    RuntimeEvent, TranslatorId, TranslatorProfile,
+};
+
+/// One icon on the canvas: a translator plus a position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Icon {
+    /// The translator it represents.
+    pub profile: TranslatorProfile,
+    /// Grid position assigned by auto-layout.
+    pub position: (u32, u32),
+}
+
+/// One wire between ports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wire {
+    /// Source output port.
+    pub src: PortRef,
+    /// Destination input port.
+    pub dst: PortRef,
+    /// The established connection, once the runtime confirms.
+    pub connection: Option<ConnectionId>,
+}
+
+/// The observable canvas state, shared with tests/UIs.
+#[derive(Debug, Clone, Default)]
+pub struct Canvas {
+    /// Icons by translator id.
+    pub icons: Vec<Icon>,
+    /// Wires in creation order.
+    pub wires: Vec<Wire>,
+    /// Rejected wiring attempts: `(src, dst, reason)`.
+    pub rejected: Vec<(PortRef, PortRef, String)>,
+}
+
+impl Canvas {
+    /// Finds an icon by (substring of) translator name.
+    pub fn icon_by_name(&self, name: &str) -> Option<&Icon> {
+        self.icons.iter().find(|i| i.profile.name().contains(name))
+    }
+
+    /// Renders the canvas as text — the headless stand-in for the
+    /// paper's Figure 8 screenshot.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::from("uMiddle Pads\n============\n");
+        for icon in &self.icons {
+            out.push_str(&format!(
+                "[{}] {:20} ({}) ports: {}\n",
+                icon.profile.id(),
+                icon.profile.name(),
+                icon.profile.platform(),
+                icon.profile.shape().ports().len(),
+            ));
+        }
+        out.push_str("wires:\n");
+        for w in &self.wires {
+            let status = if w.connection.is_some() { "=" } else { "~" };
+            out.push_str(&format!("  {} {status}{status}> {}\n", w.src, w.dst));
+        }
+        out
+    }
+}
+
+/// Commands other processes send to Pads (the "user" drawing on the
+/// canvas).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PadsCommand {
+    /// Draw a wire between ports identified by translator-name substring
+    /// and port name.
+    DrawWire {
+        /// Source translator name substring.
+        src_name: String,
+        /// Source port.
+        src_port: String,
+        /// Destination translator name substring.
+        dst_name: String,
+        /// Destination port.
+        dst_port: String,
+    },
+    /// Remove a wire (disconnects).
+    RemoveWire {
+        /// Index into the canvas wire list.
+        index: usize,
+    },
+}
+
+/// The Pads application process.
+pub struct Pads {
+    runtime: ProcId,
+    client: Option<RuntimeClient>,
+    canvas: Rc<RefCell<Canvas>>,
+    /// Wires awaiting their Connected event: token → wire index.
+    pending: HashMap<u64, usize>,
+    /// Wires requested before both endpoints exist.
+    deferred: Vec<PadsCommand>,
+    next_pos: u32,
+}
+
+impl std::fmt::Debug for Pads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pads")
+            .field("icons", &self.canvas.borrow().icons.len())
+            .field("wires", &self.canvas.borrow().wires.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pads {
+    /// Creates the application bound to a runtime.
+    pub fn new(runtime: ProcId) -> Pads {
+        Pads {
+            runtime,
+            client: None,
+            canvas: Rc::new(RefCell::new(Canvas::default())),
+            pending: HashMap::new(),
+            deferred: Vec::new(),
+            next_pos: 0,
+        }
+    }
+
+    /// Shared canvas handle; clone before adding the process to a world.
+    pub fn canvas_handle(&self) -> Rc<RefCell<Canvas>> {
+        Rc::clone(&self.canvas)
+    }
+
+    fn resolve(&self, name: &str, port: &str) -> Option<(PortRef, TranslatorProfile)> {
+        let canvas = self.canvas.borrow();
+        let icon = canvas.icons.iter().find(|i| i.profile.name().contains(name))?;
+        Some((
+            PortRef::new(icon.profile.id(), port),
+            icon.profile.clone(),
+        ))
+    }
+
+    fn try_draw(&mut self, ctx: &mut Ctx<'_>, cmd: &PadsCommand) -> bool {
+        let PadsCommand::DrawWire {
+            src_name,
+            src_port,
+            dst_name,
+            dst_port,
+        } = cmd
+        else {
+            return true;
+        };
+        let (Some((src, src_profile)), Some((dst, dst_profile))) = (
+            self.resolve(src_name, src_port),
+            self.resolve(dst_name, dst_port),
+        ) else {
+            return false; // endpoints not on the canvas yet
+        };
+        // Validate like the GUI would before letting the user drop the
+        // wire: matching directions and data types.
+        let sp = src_profile.shape().port(src_port);
+        let dp = dst_profile.shape().port(dst_port);
+        let problem = match (sp, dp) {
+            (None, _) => Some(format!("no port {src_port} on {src_name}")),
+            (_, None) => Some(format!("no port {dst_port} on {dst_name}")),
+            (Some(s), Some(d)) => {
+                if s.direction != Direction::Output {
+                    Some(format!("{src_port} is not an output"))
+                } else if d.direction != Direction::Input {
+                    Some(format!("{dst_port} is not an input"))
+                } else if !s.kind.matches(&d.kind) {
+                    Some(format!("data types differ: {} vs {}", s.kind, d.kind))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(reason) = problem {
+            self.canvas.borrow_mut().rejected.push((src, dst, reason));
+            return true; // handled (rejected)
+        }
+        let client = self.client.as_mut().expect("client set");
+        let token = client.connect_ports(ctx, src.clone(), dst.clone(), QosPolicy::unbounded());
+        let mut canvas = self.canvas.borrow_mut();
+        canvas.wires.push(Wire {
+            src,
+            dst,
+            connection: None,
+        });
+        self.pending.insert(token, canvas.wires.len() - 1);
+        true
+    }
+
+    fn handle_command(&mut self, ctx: &mut Ctx<'_>, cmd: PadsCommand) {
+        match &cmd {
+            PadsCommand::DrawWire { .. } => {
+                if !self.try_draw(ctx, &cmd) {
+                    self.deferred.push(cmd);
+                }
+            }
+            PadsCommand::RemoveWire { index } => {
+                let wire = {
+                    let mut canvas = self.canvas.borrow_mut();
+                    if *index >= canvas.wires.len() {
+                        return;
+                    }
+                    canvas.wires.remove(*index)
+                };
+                if let Some(connection) = wire.connection {
+                    let client = self.client.as_ref().expect("client set");
+                    client.disconnect(ctx, connection);
+                }
+            }
+        }
+    }
+
+    fn retry_deferred(&mut self, ctx: &mut Ctx<'_>) {
+        let deferred = std::mem::take(&mut self.deferred);
+        for cmd in deferred {
+            if !self.try_draw(ctx, &cmd) {
+                self.deferred.push(cmd);
+            }
+        }
+    }
+}
+
+impl Process for Pads {
+    fn name(&self) -> &str {
+        "pads"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let client = RuntimeClient::new(self.runtime);
+        client.add_listener(ctx, Query::All);
+        self.client = Some(client);
+    }
+
+    fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
+        let msg = match msg.downcast::<PadsCommand>() {
+            Ok(cmd) => {
+                self.handle_command(ctx, *cmd);
+                return;
+            }
+            Err(original) => original,
+        };
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+        match *event {
+            RuntimeEvent::Directory(DirectoryEvent::Appeared(profile)) => {
+                let mut canvas = self.canvas.borrow_mut();
+                if !canvas.icons.iter().any(|i| i.profile.id() == profile.id()) {
+                    let pos = (self.next_pos % 6, self.next_pos / 6);
+                    self.next_pos += 1;
+                    canvas.icons.push(Icon {
+                        profile,
+                        position: pos,
+                    });
+                }
+                drop(canvas);
+                self.retry_deferred(ctx);
+            }
+            RuntimeEvent::Directory(DirectoryEvent::Disappeared(id)) => {
+                let mut canvas = self.canvas.borrow_mut();
+                canvas.icons.retain(|i| i.profile.id() != id);
+                // Wires to/from the departed translator die with it.
+                canvas
+                    .wires
+                    .retain(|w| w.src.translator != id && w.dst.translator != id);
+            }
+            RuntimeEvent::Connected { token, connection } => {
+                if let Some(idx) = self.pending.remove(&token) {
+                    if let Some(wire) = self.canvas.borrow_mut().wires.get_mut(idx) {
+                        wire.connection = Some(connection);
+                    }
+                }
+            }
+            RuntimeEvent::ConnectFailed { token, reason } => {
+                if let Some(idx) = self.pending.remove(&token) {
+                    let mut canvas = self.canvas.borrow_mut();
+                    if idx < canvas.wires.len() {
+                        let wire = canvas.wires.remove(idx);
+                        canvas.rejected.push((wire.src, wire.dst, reason));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Convenience: returns the translator ids currently on a canvas.
+pub fn canvas_translators(canvas: &Canvas) -> Vec<TranslatorId> {
+    canvas.icons.iter().map(|i| i.profile.id()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canvas_rendering_lists_icons_and_wires() {
+        let mut canvas = Canvas::default();
+        let profile = TranslatorProfile::builder(
+            TranslatorId::new(umiddle_core::RuntimeId(0), 1),
+            "Camera",
+        )
+        .platform("bluetooth")
+        .build();
+        canvas.icons.push(Icon {
+            profile,
+            position: (0, 0),
+        });
+        canvas.wires.push(Wire {
+            src: PortRef::new(TranslatorId::new(umiddle_core::RuntimeId(0), 1), "out"),
+            dst: PortRef::new(TranslatorId::new(umiddle_core::RuntimeId(0), 2), "in"),
+            connection: None,
+        });
+        let text = canvas.render_ascii();
+        assert!(text.contains("Camera"));
+        assert!(text.contains("~~>"), "unestablished wire drawn dashed");
+        assert!(canvas.icon_by_name("Cam").is_some());
+        assert!(canvas.icon_by_name("Printer").is_none());
+    }
+}

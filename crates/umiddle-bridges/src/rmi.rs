@@ -1,0 +1,279 @@
+//! The Java RMI mapper: registry polling + request/response translators.
+//!
+//! Discovery on RMI is registry lookup: the mapper polls the registry for
+//! the object names it is configured to bridge, and registers a
+//! translator per bound object. An `Input` on the translator's `request`
+//! port becomes a remote `echo` call (marshaled Java-style); the return
+//! value is emitted on the `response` port. This is the slow endpoint of
+//! the paper's Figure 11.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use platform_rmi::{JavaValue, RmiClient, RmiClientEvent};
+use simnet::{
+    Addr, Ctx, LocalMessage, ProcId, Process, SimDuration, SimTime, StreamEvent, StreamId,
+};
+use umiddle_core::{
+    ack_input_done, handle_input_done_echo, ConnectionId, MimeType, RuntimeClient, RuntimeEvent,
+    TranslatorId, UMessage,
+};
+use umiddle_usdl::UsdlLibrary;
+
+use crate::calib;
+use crate::upnp::MapperStats;
+
+const TIMER_POLL: u64 = 1;
+
+#[derive(Debug)]
+struct RmiObject {
+    name: String,
+    addr: Option<Addr>,
+    translator: Option<TranslatorId>,
+    seen_at: SimTime,
+}
+
+/// The RMI mapper process.
+pub struct RmiMapper {
+    runtime: ProcId,
+    usdl: UsdlLibrary,
+    registry: Addr,
+    object_names: Vec<String>,
+    poll_interval: SimDuration,
+    rmi: RmiClient,
+    client: Option<RuntimeClient>,
+    objects: Vec<RmiObject>,
+    /// rmi call id → purpose.
+    calls: HashMap<u64, RmiCall>,
+    next_call: u64,
+    pending_regs: HashMap<u64, usize>,
+    by_translator: HashMap<TranslatorId, usize>,
+    stats: Rc<RefCell<MapperStats>>,
+}
+
+#[derive(Debug)]
+enum RmiCall {
+    Lookup { object_idx: usize },
+    Invoke {
+        translator: TranslatorId,
+        connection: ConnectionId,
+    },
+}
+
+impl std::fmt::Debug for RmiMapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RmiMapper")
+            .field("objects", &self.objects.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RmiMapper {
+    /// Creates a mapper bridging the named remote objects.
+    pub fn new(
+        runtime: ProcId,
+        usdl: UsdlLibrary,
+        registry: Addr,
+        object_names: Vec<String>,
+    ) -> RmiMapper {
+        RmiMapper {
+            runtime,
+            usdl,
+            registry,
+            object_names,
+            poll_interval: SimDuration::from_secs(5),
+            rmi: RmiClient::new(),
+            client: None,
+            objects: Vec::new(),
+            calls: HashMap::new(),
+            next_call: 1,
+            pending_regs: HashMap::new(),
+            by_translator: HashMap::new(),
+            stats: Rc::new(RefCell::new(MapperStats::default())),
+        }
+    }
+
+    /// Shared statistics handle.
+    pub fn stats_handle(&self) -> Rc<RefCell<MapperStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    fn poll(&mut self, ctx: &mut Ctx<'_>) {
+        for (idx, obj) in self.objects.iter().enumerate() {
+            if obj.addr.is_none() {
+                let call_id = self.next_call;
+                self.next_call += 1;
+                self.calls.insert(call_id, RmiCall::Lookup { object_idx: idx });
+                self.rmi.lookup(ctx, self.registry, &obj.name, call_id);
+            }
+        }
+    }
+
+    fn handle_rmi_event(&mut self, ctx: &mut Ctx<'_>, event: RmiClientEvent) {
+        match event {
+            RmiClientEvent::Resolved { call_id, addr } => {
+                let Some(RmiCall::Lookup { object_idx }) = self.calls.remove(&call_id) else {
+                    return;
+                };
+                let Some(obj) = self.objects.get_mut(object_idx) else { return };
+                if obj.addr.is_some() {
+                    return;
+                }
+                obj.addr = Some(addr);
+                obj.seen_at = ctx.now();
+                let Some(doc) = self.usdl.get("rmi", &obj.name) else {
+                    ctx.bump("mapper.rmi.unknown_object", 1);
+                    return;
+                };
+                let doc = doc.clone();
+                ctx.busy(calib::instantiation_cost(doc.ports().len(), 0));
+                let profile = doc.profile(Some(&format!("{} (RMI)", obj.name)));
+                let client = self.client.as_mut().expect("client set");
+                let me = ctx.me();
+                let token = client.register(ctx, profile, me);
+                self.pending_regs.insert(token, object_idx);
+            }
+            RmiClientEvent::Returned { call_id, result } => {
+                let Some(RmiCall::Invoke {
+                    translator,
+                    connection,
+                }) = self.calls.remove(&call_id)
+                else {
+                    return;
+                };
+                // Emit the echoed value on the response port.
+                let body = match result {
+                    JavaValue::Bytes(b) => b,
+                    other => other.to_string().into_bytes(),
+                };
+                let mime: MimeType = "application/octet-stream".parse().expect("static");
+                ctx.busy(calib::STREAM_TRANSLATION);
+                self.stats.borrow_mut().actions += 1;
+                let client = self.client.as_ref().expect("client set");
+                client.output(ctx, translator, "response", UMessage::new(mime, body));
+                ack_input_done(ctx, self.runtime, connection, translator);
+            }
+            RmiClientEvent::Raised { call_id, message } => {
+                ctx.trace(format!("rmi exception: {message}"));
+                if let Some(RmiCall::Invoke {
+                    translator,
+                    connection,
+                }) = self.calls.remove(&call_id)
+                {
+                    ack_input_done(ctx, self.runtime, connection, translator);
+                }
+            }
+            RmiClientEvent::Failed { call_id } => {
+                match self.calls.remove(&call_id) {
+                    Some(RmiCall::Invoke {
+                        translator,
+                        connection,
+                    }) => ack_input_done(ctx, self.runtime, connection, translator),
+                    Some(RmiCall::Lookup { .. }) | None => {}
+                }
+            }
+        }
+    }
+
+    fn handle_runtime_event(&mut self, ctx: &mut Ctx<'_>, event: RuntimeEvent) {
+        match event {
+            RuntimeEvent::Registered { token, translator } => {
+                let Some(idx) = self.pending_regs.remove(&token) else { return };
+                let Some(obj) = self.objects.get_mut(idx) else { return };
+                obj.translator = Some(translator);
+                self.by_translator.insert(translator, idx);
+                let elapsed = ctx.now().saturating_since(obj.seen_at);
+                self.stats
+                    .borrow_mut()
+                    .mappings
+                    .push((obj.name.clone(), format!("{} (RMI)", obj.name), elapsed));
+                ctx.bump("mapper.rmi.mapped", 1);
+            }
+            RuntimeEvent::Input {
+                translator,
+                port,
+                msg,
+                connection,
+            } => {
+                if port != "request" {
+                    ack_input_done(ctx, self.runtime, connection, translator);
+                    return;
+                }
+                let Some(&idx) = self.by_translator.get(&translator) else { return };
+                let Some(obj) = self.objects.get(idx) else { return };
+                let Some(addr) = obj.addr else {
+                    ack_input_done(ctx, self.runtime, connection, translator);
+                    return;
+                };
+                ctx.busy(calib::STREAM_TRANSLATION);
+                let call_id = self.next_call;
+                self.next_call += 1;
+                self.calls.insert(
+                    call_id,
+                    RmiCall::Invoke {
+                        translator,
+                        connection,
+                    },
+                );
+                let name = obj.name.clone();
+                self.rmi.call(
+                    ctx,
+                    addr,
+                    &name,
+                    "echo",
+                    vec![JavaValue::Bytes(msg.into_body())],
+                    call_id,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Process for RmiMapper {
+    fn name(&self) -> &str {
+        "rmi-mapper"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.client = Some(RuntimeClient::new(self.runtime));
+        self.objects = self
+            .object_names
+            .iter()
+            .map(|name| RmiObject {
+                name: name.clone(),
+                addr: None,
+                translator: None,
+                seen_at: ctx.now(),
+            })
+            .collect();
+        self.poll(ctx);
+        let interval = self.poll_interval;
+        ctx.set_timer(interval, TIMER_POLL);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TIMER_POLL {
+            self.poll(ctx);
+            let interval = self.poll_interval;
+            ctx.set_timer(interval, TIMER_POLL);
+        }
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
+        let events = self.rmi.handle_stream(ctx, stream, event);
+        for ev in events {
+            self.handle_rmi_event(ctx, ev);
+        }
+    }
+
+    fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
+        if handle_input_done_echo(ctx, &msg) {
+            return;
+        }
+        if let Ok(event) = msg.downcast::<RuntimeEvent>() {
+            self.handle_runtime_event(ctx, *event);
+        }
+    }
+}

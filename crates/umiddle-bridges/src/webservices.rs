@@ -1,0 +1,314 @@
+//! The web-services mapper: description probing and RPC translators.
+//!
+//! Web services have no multicast discovery; the mapper is configured
+//! with endpoint addresses to probe. Each description's `kind` selects a
+//! USDL document. Inputs invoke the bound operation; output ports with
+//! polling bindings (`tail`, `current`) are refreshed on a timer and
+//! emitted when their value changes.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use platform_webservices::{MethodCall, MethodResponse, WsClient, WsEvent};
+use simnet::{
+    Addr, Ctx, LocalMessage, ProcId, Process, SimDuration, SimTime, StreamEvent, StreamId,
+};
+use umiddle_core::{
+    ack_input_done, handle_input_done_echo, ConnectionId, RuntimeClient, RuntimeEvent,
+    TranslatorId, UMessage,
+};
+use umiddle_usdl::{UsdlDocument, UsdlLibrary};
+
+use crate::calib;
+use crate::upnp::MapperStats;
+
+const TIMER_POLL: u64 = 1;
+
+#[derive(Debug)]
+struct WsService {
+    location: Addr,
+    doc: Option<UsdlDocument>,
+    translator: Option<TranslatorId>,
+    seen_at: SimTime,
+    /// Last emitted value per polled output port (dedup).
+    last_values: HashMap<String, String>,
+}
+
+#[derive(Debug)]
+enum WsCall {
+    Input {
+        translator: TranslatorId,
+        connection: ConnectionId,
+    },
+    Poll {
+        service_idx: usize,
+        port: String,
+    },
+}
+
+/// The web-services mapper process.
+pub struct WsMapper {
+    runtime: ProcId,
+    usdl: UsdlLibrary,
+    ws: WsClient,
+    endpoints: Vec<Addr>,
+    poll_interval: SimDuration,
+    client: Option<RuntimeClient>,
+    services: Vec<WsService>,
+    calls: HashMap<u64, WsCall>,
+    next_call: u64,
+    pending_regs: HashMap<u64, usize>,
+    by_translator: HashMap<TranslatorId, usize>,
+    stats: Rc<RefCell<MapperStats>>,
+}
+
+impl std::fmt::Debug for WsMapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WsMapper")
+            .field("services", &self.services.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WsMapper {
+    /// Creates a mapper probing the given endpoints.
+    pub fn new(runtime: ProcId, usdl: UsdlLibrary, endpoints: Vec<Addr>) -> WsMapper {
+        WsMapper {
+            runtime,
+            usdl,
+            ws: WsClient::new(),
+            endpoints,
+            poll_interval: SimDuration::from_secs(10),
+            client: None,
+            services: Vec::new(),
+            calls: HashMap::new(),
+            next_call: 1,
+            pending_regs: HashMap::new(),
+            by_translator: HashMap::new(),
+            stats: Rc::new(RefCell::new(MapperStats::default())),
+        }
+    }
+
+    /// Shared statistics handle.
+    pub fn stats_handle(&self) -> Rc<RefCell<MapperStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    fn poll_outputs(&mut self, ctx: &mut Ctx<'_>) {
+        let polls: Vec<(usize, Addr, String, String)> = self
+            .services
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, s)| {
+                let doc = s.doc.as_ref()?;
+                s.translator?;
+                Some((idx, s.location, doc.clone()))
+            })
+            .flat_map(|(idx, location, doc)| {
+                doc.ports()
+                    .iter()
+                    .filter(|p| p.spec.direction == umiddle_core::Direction::Output)
+                    .filter_map(|p| {
+                        let op = p.bindings.iter().find_map(|b| b.get("operation"))?;
+                        Some((idx, location, p.spec.name.clone(), op.to_owned()))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (idx, location, port, operation) in polls {
+            let call_id = self.next_call;
+            self.next_call += 1;
+            self.calls.insert(
+                call_id,
+                WsCall::Poll {
+                    service_idx: idx,
+                    port,
+                },
+            );
+            self.ws
+                .call(ctx, location, &MethodCall::new(&operation, vec![]), call_id);
+        }
+    }
+
+    fn handle_ws_event(&mut self, ctx: &mut Ctx<'_>, event: WsEvent) {
+        match event {
+            WsEvent::Description { location, desc } => {
+                let Some(svc) = self
+                    .services
+                    .iter_mut()
+                    .find(|s| s.location == location && s.doc.is_none())
+                else {
+                    return;
+                };
+                let Some(doc) = self.usdl.get("webservices", &desc.kind) else {
+                    ctx.bump("mapper.ws.unknown_kind", 1);
+                    return;
+                };
+                let doc = doc.clone();
+                svc.doc = Some(doc.clone());
+                svc.seen_at = ctx.now();
+                ctx.busy(calib::instantiation_cost(doc.ports().len(), 0));
+                let profile = doc.profile(Some(&desc.name));
+                let client = self.client.as_mut().expect("client set");
+                let me = ctx.me();
+                let token = client.register(ctx, profile, me);
+                let idx = self
+                    .services
+                    .iter()
+                    .position(|s| s.location == location)
+                    .expect("found above");
+                self.pending_regs.insert(token, idx);
+            }
+            WsEvent::CallResult { call_id, response } => {
+                match self.calls.remove(&call_id) {
+                    Some(WsCall::Input {
+                        translator,
+                        connection,
+                    }) => {
+                        self.stats.borrow_mut().actions += 1;
+                        ack_input_done(ctx, self.runtime, connection, translator);
+                    }
+                    Some(WsCall::Poll { service_idx, port }) => {
+                        let MethodResponse::Value(value) = response else { return };
+                        let Some(svc) = self.services.get_mut(service_idx) else { return };
+                        let Some(translator) = svc.translator else { return };
+                        if svc.last_values.get(&port) == Some(&value) || value.is_empty() {
+                            return;
+                        }
+                        svc.last_values.insert(port.clone(), value.clone());
+                        ctx.busy(calib::EVENT_TRANSLATION);
+                        self.stats.borrow_mut().events += 1;
+                        let client = self.client.as_ref().expect("client set");
+                        client.output(ctx, translator, port, UMessage::text(value));
+                    }
+                    None => {}
+                }
+            }
+            WsEvent::Failed { call_id } => {
+                if let Some(WsCall::Input {
+                    translator,
+                    connection,
+                }) = self.calls.remove(&call_id)
+                {
+                    ack_input_done(ctx, self.runtime, connection, translator);
+                }
+            }
+        }
+    }
+
+    fn handle_runtime_event(&mut self, ctx: &mut Ctx<'_>, event: RuntimeEvent) {
+        match event {
+            RuntimeEvent::Registered { token, translator } => {
+                let Some(idx) = self.pending_regs.remove(&token) else { return };
+                let Some(svc) = self.services.get_mut(idx) else { return };
+                svc.translator = Some(translator);
+                self.by_translator.insert(translator, idx);
+                let elapsed = ctx.now().saturating_since(svc.seen_at);
+                let kind = svc
+                    .doc
+                    .as_ref()
+                    .map(|d| d.device_type().to_owned())
+                    .unwrap_or_default();
+                self.stats.borrow_mut().mappings.push((
+                    kind,
+                    format!("ws@{}", svc.location),
+                    elapsed,
+                ));
+                ctx.bump("mapper.ws.mapped", 1);
+            }
+            RuntimeEvent::Input {
+                translator,
+                port,
+                msg,
+                connection,
+            } => {
+                let Some(&idx) = self.by_translator.get(&translator) else { return };
+                let Some(svc) = self.services.get(idx) else { return };
+                let Some(doc) = svc.doc.as_ref() else { return };
+                let Some(usdl_port) = doc.port(&port) else {
+                    ack_input_done(ctx, self.runtime, connection, translator);
+                    return;
+                };
+                let Some(operation) = usdl_port
+                    .bindings
+                    .iter()
+                    .find_map(|b| b.get("operation"))
+                    .map(str::to_owned)
+                else {
+                    ack_input_done(ctx, self.runtime, connection, translator);
+                    return;
+                };
+                ctx.busy(calib::CONTROL_TRANSLATION);
+                let call_id = self.next_call;
+                self.next_call += 1;
+                self.calls.insert(
+                    call_id,
+                    WsCall::Input {
+                        translator,
+                        connection,
+                    },
+                );
+                let param = msg.body_text().unwrap_or_default().to_owned();
+                let location = svc.location;
+                self.ws.call(
+                    ctx,
+                    location,
+                    &MethodCall::new(&operation, vec![param]),
+                    call_id,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Process for WsMapper {
+    fn name(&self) -> &str {
+        "ws-mapper"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.client = Some(RuntimeClient::new(self.runtime));
+        self.services = self
+            .endpoints
+            .iter()
+            .map(|&location| WsService {
+                location,
+                doc: None,
+                translator: None,
+                seen_at: ctx.now(),
+                last_values: HashMap::new(),
+            })
+            .collect();
+        for location in self.endpoints.clone() {
+            self.ws.describe(ctx, location);
+        }
+        let interval = self.poll_interval;
+        ctx.set_timer(interval, TIMER_POLL);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TIMER_POLL {
+            self.poll_outputs(ctx);
+            let interval = self.poll_interval;
+            ctx.set_timer(interval, TIMER_POLL);
+        }
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
+        let events = self.ws.handle_stream(ctx, stream, event);
+        for ev in events {
+            self.handle_ws_event(ctx, ev);
+        }
+    }
+
+    fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
+        if handle_input_done_echo(ctx, &msg) {
+            return;
+        }
+        if let Ok(event) = msg.downcast::<RuntimeEvent>() {
+            self.handle_runtime_event(ctx, *event);
+        }
+    }
+}

@@ -1,0 +1,708 @@
+//! End-to-end bridging tests: native devices on their own platforms,
+//! mapped into uMiddle and wired together across platform boundaries.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use platform_bluetooth::{BipCamera, HidpMouse, MouseConfig};
+use platform_mediabroker::MediaBroker;
+use platform_motes::{BaseStation, Mote};
+use platform_rmi::{RmiObjectServer, RmiRegistry, REGISTRY_PORT};
+use platform_upnp::{LightLogic, MediaRendererLogic, UpnpDevice};
+use platform_webservices::WsServer;
+use simnet::{
+    Addr, Ctx, LocalMessage, NodeId, ProcId, Process, SegmentConfig, SimDuration, SimTime, World,
+};
+use umiddle_bridges::{
+    behaviors, BluetoothMapper, MediaBrokerMapper, MotesMapper, NativeService, RmiMapper,
+    UpnpMapper, WsMapper,
+};
+use umiddle_core::{
+    DirectoryEvent, Direction, PortRef, QosPolicy, Query, RuntimeClient, RuntimeConfig,
+    RuntimeEvent, RuntimeId, Shape, UMessage, UmiddleRuntime,
+};
+use umiddle_usdl::UsdlLibrary;
+
+/// A wiring rule: connect `src` to `dst` when both appear.
+#[derive(Debug, Clone)]
+struct WireRule {
+    src_name: String,
+    src_port: String,
+    dst_name: String,
+    dst_port: String,
+}
+
+/// An application that watches the directory and wires translators
+/// together by (substring of) name.
+struct Wirer {
+    runtime: ProcId,
+    client: Option<RuntimeClient>,
+    rules: Vec<WireRule>,
+    /// Resolved ports: (rule idx, src, dst).
+    srcs: Vec<Option<PortRef>>,
+    dsts: Vec<Option<PortRef>>,
+    wired: Vec<bool>,
+    connected: Rc<RefCell<u32>>,
+}
+
+impl Wirer {
+    fn new(runtime: ProcId, rules: Vec<WireRule>) -> Wirer {
+        let n = rules.len();
+        Wirer {
+            runtime,
+            client: None,
+            rules,
+            srcs: vec![None; n],
+            dsts: vec![None; n],
+            wired: vec![false; n],
+            connected: Rc::new(RefCell::new(0)),
+        }
+    }
+
+    fn try_wire(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.rules.len() {
+            if self.wired[i] {
+                continue;
+            }
+            if let (Some(src), Some(dst)) = (self.srcs[i].clone(), self.dsts[i].clone()) {
+                self.wired[i] = true;
+                self.client
+                    .as_mut()
+                    .expect("client set")
+                    .connect_ports(ctx, src, dst, QosPolicy::unbounded());
+            }
+        }
+    }
+}
+
+impl Process for Wirer {
+    fn name(&self) -> &str {
+        "wirer"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let client = RuntimeClient::new(self.runtime);
+        client.add_listener(ctx, Query::All);
+        self.client = Some(client);
+    }
+    fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+        match *event {
+            RuntimeEvent::Directory(DirectoryEvent::Appeared(profile)) => {
+                for (i, rule) in self.rules.iter().enumerate() {
+                    if profile.name().contains(&rule.src_name) {
+                        self.srcs[i] =
+                            Some(PortRef::new(profile.id(), rule.src_port.clone()));
+                    }
+                    if profile.name().contains(&rule.dst_name) {
+                        self.dsts[i] =
+                            Some(PortRef::new(profile.id(), rule.dst_port.clone()));
+                    }
+                }
+                self.try_wire(ctx);
+            }
+            RuntimeEvent::Connected { .. } => {
+                *self.connected.borrow_mut() += 1;
+            }
+            RuntimeEvent::ConnectFailed { reason, .. } => {
+                panic!("wiring failed: {reason}");
+            }
+            _ => {}
+        }
+    }
+}
+
+fn add_runtime(world: &mut World, node: NodeId, id: u32) -> ProcId {
+    world.add_process(
+        node,
+        Box::new(UmiddleRuntime::new(RuntimeConfig::new(RuntimeId(id)))),
+    )
+}
+
+fn recorder_shape(mime: &str) -> Shape {
+    Shape::builder()
+        .digital("in", Direction::Input, mime.parse().unwrap())
+        .build()
+        .unwrap()
+}
+
+/// The paper's flagship scenario: a Bluetooth BIP camera bridged to a
+/// UPnP MediaRenderer TV, triggered by a native uMiddle button.
+#[test]
+fn camera_to_tv_across_platforms() {
+    let mut world = World::new(101);
+    let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+    let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+
+    // H1: runtime + Bluetooth mapper (attached to both segments).
+    let h1 = world.add_node("h1");
+    world.attach(h1, hub).unwrap();
+    world.attach(h1, pico).unwrap();
+    let rt1 = add_runtime(&mut world, h1, 0);
+
+    // H2: runtime + UPnP mapper.
+    let h2 = world.add_node("h2");
+    world.attach(h2, hub).unwrap();
+    let rt2 = add_runtime(&mut world, h2, 1);
+
+    // Native devices.
+    let cam_node = world.add_node("camera");
+    world.attach(cam_node, pico).unwrap();
+    world.add_process(cam_node, Box::new(BipCamera::new("Pocket Camera", 2, 20_000)));
+
+    let tv_node = world.add_node("tv");
+    world.attach(tv_node, hub).unwrap();
+    world.add_process(
+        tv_node,
+        Box::new(UpnpDevice::new(
+            Box::new(MediaRendererLogic::new("Living Room TV", "uuid:tv")),
+            5000,
+        )),
+    );
+
+    // Mappers (after devices, order does not matter).
+    let bt = BluetoothMapper::with_defaults(rt1, UsdlLibrary::bundled());
+    let bt_stats = bt.stats_handle();
+    world.add_process(h1, Box::new(bt));
+    let up = UpnpMapper::with_defaults(rt2, UsdlLibrary::bundled());
+    let up_stats = up.stats_handle();
+    world.add_process(h2, Box::new(up));
+
+    // A native button that "presses" every 5 s starting late enough for
+    // discovery and wiring to settle.
+    let button_shape = Shape::builder()
+        .digital("press", Direction::Output, "text/plain".parse().unwrap())
+        .build()
+        .unwrap();
+    world.add_process(
+        h1,
+        Box::new(NativeService::new(
+            "Shutter Button",
+            button_shape,
+            rt1,
+            Box::new(behaviors::PeriodicSource::new(
+                "press",
+                SimDuration::from_secs(20),
+                3,
+                |_| UMessage::text("snap"),
+            )),
+        )),
+    );
+
+    // Wire button -> camera.capture and camera.image-out -> tv.media-in.
+    world.add_process(
+        h1,
+        Box::new(Wirer::new(
+            rt1,
+            vec![
+                WireRule {
+                    src_name: "Shutter Button".to_owned(),
+                    src_port: "press".to_owned(),
+                    dst_name: "Pocket Camera".to_owned(),
+                    dst_port: "capture".to_owned(),
+                },
+                WireRule {
+                    src_name: "Pocket Camera".to_owned(),
+                    src_port: "image-out".to_owned(),
+                    dst_name: "Living Room TV".to_owned(),
+                    dst_port: "media-in".to_owned(),
+                },
+            ],
+        )),
+    );
+
+    world.run_until(SimTime::from_secs(90));
+
+    assert!(
+        !bt_stats.borrow().mappings.is_empty(),
+        "camera mapped: {:?}",
+        bt_stats.borrow()
+    );
+    assert!(
+        !up_stats.borrow().mappings.is_empty(),
+        "tv mapped: {:?}",
+        up_stats.borrow()
+    );
+    // The TV's RenderMedia action actually executed on the native device.
+    let renders = world.trace().counter("upnp.actions");
+    assert!(renders >= 1, "TV rendered {renders} frames");
+    // And images crossed the bridge (shutter -> pull -> emit).
+    assert!(
+        world.trace().counter("bt.bip_captures") >= 1,
+        "camera captured"
+    );
+}
+
+/// §5.2's device-level scenario: the Bluetooth mouse's clicks flow to a
+/// native recorder.
+#[test]
+fn mouse_clicks_reach_a_native_recorder() {
+    let mut world = World::new(102);
+    let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+    let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+    let h1 = world.add_node("h1");
+    world.attach(h1, hub).unwrap();
+    world.attach(h1, pico).unwrap();
+    let rt = add_runtime(&mut world, h1, 0);
+
+    let mouse_node = world.add_node("mouse");
+    world.attach(mouse_node, pico).unwrap();
+    world.add_process(
+        mouse_node,
+        Box::new(HidpMouse::new(MouseConfig {
+            name: "HIDP Mouse".to_owned(),
+            click_interval: Some(SimDuration::from_millis(400)),
+            motion_interval: None,
+            click_limit: 5,
+        })),
+    );
+
+    let bt = BluetoothMapper::with_defaults(rt, UsdlLibrary::bundled());
+    world.add_process(h1, Box::new(bt));
+
+    let recorder = behaviors::Recorder::new();
+    let received = Rc::clone(&recorder.received);
+    world.add_process(
+        h1,
+        Box::new(NativeService::new(
+            "Click Recorder",
+            recorder_shape("text/plain"),
+            rt,
+            Box::new(recorder),
+        )),
+    );
+
+    world.add_process(
+        h1,
+        Box::new(Wirer::new(
+            rt,
+            vec![WireRule {
+                src_name: "HIDP Mouse".to_owned(),
+                src_port: "clicks".to_owned(),
+                dst_name: "Click Recorder".to_owned(),
+                dst_port: "in".to_owned(),
+            }]),
+        ),
+    );
+
+    world.run_until(SimTime::from_secs(60));
+    let received = received.borrow();
+    // 5 clicks = 5 presses + 5 releases; wiring may miss early ones.
+    assert!(
+        received.len() >= 6,
+        "recorder saw {} click events",
+        received.len()
+    );
+    assert!(received
+        .iter()
+        .all(|(_, m)| m.body_text() == Some("press") || m.body_text() == Some("release")));
+    assert!(world.trace().counter("mapper.bt.hid_translated") >= 6);
+}
+
+/// RMI echo through uMiddle: a native source feeds the RMI translator's
+/// request port; the echoed responses land in a recorder.
+#[test]
+fn rmi_echo_bridged() {
+    let mut world = World::new(103);
+    let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+    let h1 = world.add_node("h1");
+    let reg_node = world.add_node("registry");
+    let srv_node = world.add_node("rmi-server");
+    for n in [h1, reg_node, srv_node] {
+        world.attach(n, hub).unwrap();
+    }
+    let rt = add_runtime(&mut world, h1, 0);
+    world.add_process(reg_node, Box::new(RmiRegistry::new()));
+    let registry = Addr::new(reg_node, REGISTRY_PORT);
+    world.add_process(srv_node, Box::new(RmiObjectServer::echo(2099, registry)));
+    world.add_process(
+        h1,
+        Box::new(RmiMapper::new(
+            rt,
+            UsdlLibrary::bundled(),
+            registry,
+            vec!["EchoService".to_owned()],
+        )),
+    );
+
+    // Source: 1400-byte messages, like the paper's transport benchmark.
+    let src_shape = Shape::builder()
+        .digital(
+            "out",
+            Direction::Output,
+            "application/octet-stream".parse().unwrap(),
+        )
+        .build()
+        .unwrap();
+    world.add_process(
+        h1,
+        Box::new(NativeService::new(
+            "Payload Source",
+            src_shape,
+            rt,
+            Box::new(behaviors::PeriodicSource::new(
+                "out",
+                SimDuration::from_secs(10),
+                4,
+                |i| {
+                    UMessage::new(
+                        "application/octet-stream".parse().unwrap(),
+                        vec![i as u8; 1400],
+                    )
+                },
+            )),
+        )),
+    );
+    let recorder = behaviors::Recorder::new();
+    let received = Rc::clone(&recorder.received);
+    world.add_process(
+        h1,
+        Box::new(NativeService::new(
+            "Echo Recorder",
+            recorder_shape("application/octet-stream"),
+            rt,
+            Box::new(recorder),
+        )),
+    );
+    world.add_process(
+        h1,
+        Box::new(Wirer::new(
+            rt,
+            vec![
+                WireRule {
+                    src_name: "Payload Source".to_owned(),
+                    src_port: "out".to_owned(),
+                    dst_name: "EchoService".to_owned(),
+                    dst_port: "request".to_owned(),
+                },
+                WireRule {
+                    src_name: "EchoService".to_owned(),
+                    src_port: "response".to_owned(),
+                    dst_name: "Echo Recorder".to_owned(),
+                    dst_port: "in".to_owned(),
+                },
+            ],
+        )),
+    );
+
+    world.run_until(SimTime::from_secs(60));
+    let received = received.borrow();
+    assert!(
+        received.len() >= 2,
+        "echoed responses recorded: {}",
+        received.len()
+    );
+    assert!(received.iter().all(|(_, m)| m.body().len() == 1400));
+}
+
+/// Motes readings flow to a recorder via per-mote translators.
+#[test]
+fn mote_readings_bridged() {
+    let mut world = World::new(104);
+    let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+    let radio = world.add_segment(SegmentConfig::mote_radio());
+    let h1 = world.add_node("h1");
+    world.attach(h1, hub).unwrap();
+    world.attach(h1, radio).unwrap();
+    let rt = add_runtime(&mut world, h1, 0);
+
+    for i in 0..2 {
+        let m_node = world.add_node(format!("mote{i}"));
+        world.attach(m_node, radio).unwrap();
+        world.add_process(
+            m_node,
+            Box::new(Mote::new(i as u16 + 1, SimDuration::from_secs(2))),
+        );
+    }
+
+    let mapper = MotesMapper::new(rt, UsdlLibrary::bundled(), None);
+    let mapper_stats = mapper.stats_handle();
+    let mapper_proc = world.add_process(h1, Box::new(mapper));
+    world.add_process(h1, Box::new(BaseStation::new(Some(mapper_proc))));
+
+    let recorder = behaviors::Recorder::new();
+    let received = Rc::clone(&recorder.received);
+    world.add_process(
+        h1,
+        Box::new(NativeService::new(
+            "Temp Recorder",
+            recorder_shape("text/plain"),
+            rt,
+            Box::new(recorder),
+        )),
+    );
+    world.add_process(
+        h1,
+        Box::new(Wirer::new(
+            rt,
+            vec![WireRule {
+                src_name: "Mote 1".to_owned(),
+                src_port: "temperature".to_owned(),
+                dst_name: "Temp Recorder".to_owned(),
+                dst_port: "in".to_owned(),
+            }]),
+        ),
+    );
+
+    world.run_until(SimTime::from_secs(60));
+    assert_eq!(
+        mapper_stats.borrow().mappings.len(),
+        2,
+        "both motes mapped"
+    );
+    let received = received.borrow();
+    assert!(
+        received.len() >= 5,
+        "temperature readings recorded: {}",
+        received.len()
+    );
+}
+
+/// MediaBroker channels and web services both appear as translators.
+#[test]
+fn mediabroker_and_webservice_mapped() {
+    let mut world = World::new(105);
+    let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+    let h1 = world.add_node("h1");
+    let mb_node = world.add_node("broker");
+    let ws_node = world.add_node("ws");
+    for n in [h1, mb_node, ws_node] {
+        world.attach(n, hub).unwrap();
+    }
+    let rt = add_runtime(&mut world, h1, 0);
+    world.add_process(mb_node, Box::new(MediaBroker::new()));
+    world.add_process(ws_node, Box::new(WsServer::logger("Event Log", 8080)));
+
+    // A raw MB producer so the roster has a channel to discover.
+    struct RawProducer {
+        broker: Addr,
+    }
+    impl Process for RawProducer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.connect(self.broker).unwrap();
+        }
+        fn on_stream(
+            &mut self,
+            ctx: &mut Ctx<'_>,
+            stream: simnet::StreamId,
+            event: simnet::StreamEvent,
+        ) {
+            if matches!(event, simnet::StreamEvent::Connected) {
+                let _ = ctx.stream_send(
+                    stream,
+                    platform_mediabroker::MbFrame::Produce {
+                        channel: "webcam".to_owned(),
+                        media_type: "application/octet-stream".to_owned(),
+                    }
+                    .encode_framed(),
+                );
+            }
+        }
+    }
+    let broker_addr = Addr::new(mb_node, platform_mediabroker::BROKER_PORT);
+    world.add_process(mb_node, Box::new(RawProducer { broker: broker_addr }));
+
+    let mb_mapper = MediaBrokerMapper::new(rt, UsdlLibrary::bundled(), broker_addr, vec![]);
+    let mb_stats = mb_mapper.stats_handle();
+    world.add_process(h1, Box::new(mb_mapper));
+
+    let ws_mapper = WsMapper::new(rt, UsdlLibrary::bundled(), vec![Addr::new(ws_node, 8080)]);
+    let ws_stats = ws_mapper.stats_handle();
+    world.add_process(h1, Box::new(ws_mapper));
+
+    world.run_until(SimTime::from_secs(30));
+    assert!(
+        mb_stats
+            .borrow()
+            .mappings
+            .iter()
+            .any(|(_, name, _)| name.contains("webcam")),
+        "mb channel mapped: {:?}",
+        mb_stats.borrow().mappings
+    );
+    assert!(
+        ws_stats
+            .borrow()
+            .mappings
+            .iter()
+            .any(|(kind, _, _)| kind == "logger"),
+        "ws mapped: {:?}",
+        ws_stats.borrow().mappings
+    );
+}
+
+/// The UPnP light switch controlled through uMiddle — §5.2's scenario.
+#[test]
+fn upnp_light_switch_through_umiddle() {
+    let mut world = World::new(106);
+    let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+    let h1 = world.add_node("h1");
+    let light_node = world.add_node("light");
+    world.attach(h1, hub).unwrap();
+    world.attach(light_node, hub).unwrap();
+    let rt = add_runtime(&mut world, h1, 0);
+    world.add_process(
+        light_node,
+        Box::new(UpnpDevice::new(
+            Box::new(LightLogic::new("Hall Light", "uuid:hall")),
+            5000,
+        )),
+    );
+    world.add_process(
+        h1,
+        Box::new(UpnpMapper::with_defaults(rt, UsdlLibrary::bundled())),
+    );
+
+    // A switch app that sends "on" pulses into the light's switch-on port.
+    let switch_shape = Shape::builder()
+        .digital("toggle", Direction::Output, "text/plain".parse().unwrap())
+        .build()
+        .unwrap();
+    world.add_process(
+        h1,
+        Box::new(NativeService::new(
+            "Wall Switch",
+            switch_shape,
+            rt,
+            Box::new(behaviors::PeriodicSource::new(
+                "toggle",
+                SimDuration::from_secs(10),
+                3,
+                |_| UMessage::text("1"),
+            )),
+        )),
+    );
+    // Watch the light's power-state output.
+    let recorder = behaviors::Recorder::new();
+    let received = Rc::clone(&recorder.received);
+    world.add_process(
+        h1,
+        Box::new(NativeService::new(
+            "State Recorder",
+            recorder_shape("text/plain"),
+            rt,
+            Box::new(recorder),
+        )),
+    );
+    world.add_process(
+        h1,
+        Box::new(Wirer::new(
+            rt,
+            vec![
+                WireRule {
+                    src_name: "Wall Switch".to_owned(),
+                    src_port: "toggle".to_owned(),
+                    dst_name: "Hall Light".to_owned(),
+                    dst_port: "switch-on".to_owned(),
+                },
+                WireRule {
+                    src_name: "Hall Light".to_owned(),
+                    src_port: "power-state".to_owned(),
+                    dst_name: "State Recorder".to_owned(),
+                    dst_port: "in".to_owned(),
+                },
+            ],
+        )),
+    );
+
+    world.run_until(SimTime::from_secs(60));
+    // The SetPower action ran on the native device...
+    assert!(world.trace().counter("upnp.actions") >= 1);
+    // ...and the resulting GENA event crossed back into the common space.
+    let received = received.borrow();
+    assert!(
+        received.iter().any(|(_, m)| m.body_text() == Some("1")),
+        "power-state=1 observed: {received:?}"
+    );
+}
+
+/// The scattered-visibility extension (design 2-a): a *native* UPnP
+/// control point — with no uMiddle code at all — discovers the exported
+/// Bluetooth camera and triggers its shutter over plain SOAP.
+#[test]
+fn scattered_visibility_exports_camera_to_native_upnp() {
+    use platform_upnp::{ControlPoint, CpEvent, SoapCall};
+    use simnet::{Datagram, StreamEvent, StreamId};
+    use umiddle_bridges::UpnpExporter;
+
+    let mut world = World::new(107);
+    let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+    let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+    let h1 = world.add_node("h1");
+    world.attach(h1, hub).unwrap();
+    world.attach(h1, pico).unwrap();
+    let rt = add_runtime(&mut world, h1, 0);
+    world.add_process(
+        h1,
+        Box::new(BluetoothMapper::with_defaults(rt, UsdlLibrary::bundled())),
+    );
+    let cam_node = world.add_node("camera");
+    world.attach(cam_node, pico).unwrap();
+    world.add_process(cam_node, Box::new(BipCamera::new("Pocket Camera", 1, 8_000)));
+
+    // The exporter projects Bluetooth translators back out as UPnP.
+    world.add_process(
+        h1,
+        Box::new(UpnpExporter::new(
+            rt,
+            Query::Platform("bluetooth".to_owned()),
+            6100,
+        )),
+    );
+
+    // A COMPLETELY NATIVE UPnP control point on another node.
+    struct NativeCp {
+        cp: ControlPoint,
+        fired: Rc<RefCell<u32>>,
+    }
+    impl Process for NativeCp {
+        fn name(&self) -> &str {
+            "native-upnp-cp"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.bind(7000).unwrap();
+            let _ = ctx.join_group(platform_upnp::SSDP_GROUP);
+            self.cp.listen_events(ctx, 7001);
+            // Re-search periodically until the export appears.
+            ctx.set_timer(SimDuration::from_secs(5), 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            self.cp.search(ctx, "urn:umiddle:device:Exported:1", 7000);
+            ctx.set_timer(SimDuration::from_secs(5), 1);
+        }
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: Datagram) {
+            if let Some(CpEvent::DeviceSeen { location, .. }) = self.cp.handle_ssdp(ctx, &d) {
+                if *self.fired.borrow() == 0 {
+                    *self.fired.borrow_mut() = 1;
+                    let call = SoapCall::new("Exported", "SetCapture").with_arg("Value", "snap");
+                    self.cp.invoke(ctx, location, &call, 1);
+                }
+            }
+        }
+        fn on_stream(&mut self, ctx: &mut Ctx<'_>, s: StreamId, e: StreamEvent) {
+            for ev in self.cp.handle_stream(ctx, s, e) {
+                if matches!(ev, CpEvent::ActionResult { .. }) {
+                    *self.fired.borrow_mut() = 2;
+                }
+            }
+        }
+    }
+    let fired = Rc::new(RefCell::new(0));
+    let cp_node = world.add_node("native-cp");
+    world.attach(cp_node, hub).unwrap();
+    world.add_process(
+        cp_node,
+        Box::new(NativeCp {
+            cp: ControlPoint::new(),
+            fired: Rc::clone(&fired),
+        }),
+    );
+
+    world.run_until(SimTime::from_secs(120));
+    assert_eq!(*fired.borrow(), 2, "native CP invoked the exported action");
+    // The SOAP call crossed uMiddle and fired the real Bluetooth shutter.
+    assert!(
+        world.trace().counter("bt.bip_captures") >= 1,
+        "camera captured via native UPnP: {:?}",
+        world.trace().counters().collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,285 @@
+//! The paper's §2 design space, as data: four architectural dimensions,
+//! their options, and the Table-1 mutual-compatibility chart.
+//!
+//! The paper frames all bridging frameworks as points in a 4-dimension
+//! space and argues certain combinations cannot coexist (Table 1).
+//! Encoding the chart as code lets the test suite verify the paper's
+//! reasoning — in particular that uMiddle's own configuration (1-b,
+//! 2-b, 3-b, 4-b) is internally consistent, and that the alternatives
+//! named in §6 (UIC, Speakeasy) are too.
+
+use std::fmt;
+
+/// Dimension 1 (§2.2.1): how device semantics are translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TranslationModel {
+    /// 1-a: a dedicated translator per device-type pair — n(n−1) of them.
+    Direct,
+    /// 1-b: translate through a common intermediary representation.
+    Mediated,
+}
+
+/// Dimension 2 (§2.2.2): where proxy representations are visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticDistribution {
+    /// 2-a: proxies scattered into every native platform.
+    Scattered,
+    /// 2-b: proxies aggregated in the intermediary space only.
+    Aggregated,
+}
+
+/// Dimension 3 (§2.2.3): granularity of the intermediary representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticsGranularity {
+    /// 3-a: whole device types (requires a device ontology).
+    CoarseGrained,
+    /// 3-b: typed communication endpoints (Service Shaping).
+    FineGrained,
+}
+
+/// Dimension 4 (§2.2.4): where translation happens at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InteropLocation {
+    /// 4-a: on the devices themselves (requires modifying them).
+    AtTheEdge,
+    /// 4-b: on intermediary nodes in the infrastructure.
+    Infrastructure,
+}
+
+/// A complete point in the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// Dimension 1 choice.
+    pub translation: TranslationModel,
+    /// Dimension 2 choice.
+    pub distribution: SemanticDistribution,
+    /// Dimension 3 choice (meaningful only for mediated translation).
+    pub granularity: Option<SemanticsGranularity>,
+    /// Dimension 4 choice.
+    pub location: InteropLocation,
+}
+
+impl DesignPoint {
+    /// uMiddle's configuration (§3.1): mediated, aggregated,
+    /// fine-grained, in the infrastructure.
+    pub fn umiddle() -> DesignPoint {
+        DesignPoint {
+            translation: TranslationModel::Mediated,
+            distribution: SemanticDistribution::Aggregated,
+            granularity: Some(SemanticsGranularity::FineGrained),
+            location: InteropLocation::Infrastructure,
+        }
+    }
+
+    /// UIC's and Speakeasy's configuration as the paper reads them (§6):
+    /// mediated, aggregated, coarse-grained, at the edge.
+    pub fn uic_speakeasy() -> DesignPoint {
+        DesignPoint {
+            translation: TranslationModel::Mediated,
+            distribution: SemanticDistribution::Aggregated,
+            granularity: Some(SemanticsGranularity::CoarseGrained),
+            location: InteropLocation::AtTheEdge,
+        }
+    }
+
+    /// Validates the point against Table 1's compatibility constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.translation {
+            TranslationModel::Direct => {
+                // Table 1: 2-b, 3-a and 3-b are "specific to the mediated
+                // translation; hence they cannot coexist with the direct
+                // translation".
+                if self.distribution == SemanticDistribution::Aggregated {
+                    return Err(
+                        "aggregated visibility (2-b) is incompatible with direct \
+                         translation (1-a): aggregation needs an intermediary space"
+                            .to_owned(),
+                    );
+                }
+                if self.granularity.is_some() {
+                    return Err(
+                        "intermediary granularity (3-a/3-b) is meaningless under \
+                         direct translation (1-a): there is no intermediary \
+                         representation to have a granularity"
+                            .to_owned(),
+                    );
+                }
+            }
+            TranslationModel::Mediated => {
+                if self.granularity.is_none() {
+                    return Err(
+                        "mediated translation (1-b) requires choosing an \
+                         intermediary granularity (3-a or 3-b)"
+                            .to_owned(),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Translators required to bridge `n` device types under this point's
+    /// translation model (the paper's scalability argument).
+    pub fn translators_required(&self, n: usize) -> usize {
+        match self.translation {
+            TranslationModel::Direct => n.saturating_mul(n.saturating_sub(1)),
+            TranslationModel::Mediated => n,
+        }
+    }
+
+    /// Whether devices need modification under this design (the paper's
+    /// §6 criticism of at-the-edge systems).
+    pub fn requires_device_modification(&self) -> bool {
+        self.location == InteropLocation::AtTheEdge
+    }
+
+    /// Whether native applications can use foreign devices (§3.6's first
+    /// system characteristic — the price of aggregation).
+    pub fn native_apps_see_foreign_devices(&self) -> bool {
+        self.distribution == SemanticDistribution::Scattered
+    }
+
+    /// Whether the design can bridge different *physical* transports
+    /// (§2.2.4: impractical at the edge).
+    pub fn bridges_physical_transports(&self) -> bool {
+        self.location == InteropLocation::Infrastructure
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}/{:?}/{:?}/{:?}",
+            self.translation, self.distribution, self.granularity, self.location
+        )
+    }
+}
+
+/// Enumerates every structurally representable design point (including
+/// invalid ones), for exhaustive checks.
+pub fn all_points() -> Vec<DesignPoint> {
+    let mut out = Vec::new();
+    for translation in [TranslationModel::Direct, TranslationModel::Mediated] {
+        for distribution in [
+            SemanticDistribution::Scattered,
+            SemanticDistribution::Aggregated,
+        ] {
+            for granularity in [
+                None,
+                Some(SemanticsGranularity::CoarseGrained),
+                Some(SemanticsGranularity::FineGrained),
+            ] {
+                for location in [InteropLocation::AtTheEdge, InteropLocation::Infrastructure] {
+                    out.push(DesignPoint {
+                        translation,
+                        distribution,
+                        granularity,
+                        location,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn umiddles_own_point_is_valid() {
+        let p = DesignPoint::umiddle();
+        assert_eq!(p.validate(), Ok(()));
+        assert!(!p.requires_device_modification());
+        assert!(p.bridges_physical_transports());
+        assert!(!p.native_apps_see_foreign_devices());
+    }
+
+    #[test]
+    fn uic_speakeasy_point_is_valid_but_needs_device_changes() {
+        let p = DesignPoint::uic_speakeasy();
+        assert_eq!(p.validate(), Ok(()));
+        // The paper's §6 criticism in code form:
+        assert!(p.requires_device_modification());
+        assert!(!p.bridges_physical_transports());
+    }
+
+    #[test]
+    fn table_1_exclusions_hold() {
+        // Direct translation cannot carry aggregated visibility…
+        let bad = DesignPoint {
+            translation: TranslationModel::Direct,
+            distribution: SemanticDistribution::Aggregated,
+            granularity: None,
+            location: InteropLocation::Infrastructure,
+        };
+        assert!(bad.validate().is_err());
+        // …nor an intermediary granularity.
+        let bad = DesignPoint {
+            translation: TranslationModel::Direct,
+            distribution: SemanticDistribution::Scattered,
+            granularity: Some(SemanticsGranularity::FineGrained),
+            location: InteropLocation::AtTheEdge,
+        };
+        assert!(bad.validate().is_err());
+        // Mediated translation must pick a granularity.
+        let bad = DesignPoint {
+            translation: TranslationModel::Mediated,
+            distribution: SemanticDistribution::Aggregated,
+            granularity: None,
+            location: InteropLocation::Infrastructure,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn table_1_row_one_direct_only_leaves_the_edge_choice() {
+        // "When taking the direct translation approach, the only design
+        // choice is between at-the-edge (4-a) and in the infrastructure
+        // (4-b)."
+        let valid: Vec<DesignPoint> = all_points()
+            .into_iter()
+            .filter(|p| p.translation == TranslationModel::Direct && p.validate().is_ok())
+            .collect();
+        assert_eq!(valid.len(), 2);
+        assert!(valid
+            .iter()
+            .all(|p| p.distribution == SemanticDistribution::Scattered
+                && p.granularity.is_none()));
+        let locations: std::collections::HashSet<_> =
+            valid.iter().map(|p| p.location).collect();
+        assert_eq!(locations.len(), 2);
+    }
+
+    #[test]
+    fn scaling_argument() {
+        let direct = DesignPoint {
+            translation: TranslationModel::Direct,
+            distribution: SemanticDistribution::Scattered,
+            granularity: None,
+            location: InteropLocation::Infrastructure,
+        };
+        let mediated = DesignPoint::umiddle();
+        for n in 2..64 {
+            assert!(direct.translators_required(n) >= mediated.translators_required(n));
+        }
+        assert_eq!(direct.translators_required(10), 90);
+        assert_eq!(mediated.translators_required(10), 10);
+    }
+
+    #[test]
+    fn exhaustive_point_count() {
+        // 2 × 2 × 3 × 2 structural combinations.
+        assert_eq!(all_points().len(), 24);
+        // Valid ones: direct (1 distribution × 1 granularity × 2 locations)
+        // + mediated (2 × 2 × 2) = 2 + 8 = 10.
+        let valid = all_points().iter().filter(|p| p.validate().is_ok()).count();
+        assert_eq!(valid, 10);
+    }
+}

@@ -1,0 +1,203 @@
+//! The directory replica each runtime maintains.
+//!
+//! "The uMiddle directory module handles the exchange of device
+//! advertisements among hosts" (paper §3.2). Each runtime keeps a full
+//! replica of the federation's translator profiles, refreshed by periodic
+//! advertisements with a TTL and pruned on expiry or explicit byes. The
+//! replica serves `lookup(Query)` locally and feeds directory listeners.
+
+use std::collections::BTreeMap;
+
+use simnet::{Addr, SimTime};
+
+use crate::id::TranslatorId;
+use crate::profile::TranslatorProfile;
+use crate::query::Query;
+
+/// One replica entry: a profile plus liveness bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectoryEntry {
+    /// The advertised profile.
+    pub profile: TranslatorProfile,
+    /// Transport address of the hosting runtime.
+    pub home: Addr,
+    /// When the entry expires unless refreshed.
+    pub expires: SimTime,
+    /// `true` if the translator is hosted by this runtime (local entries
+    /// never expire).
+    pub local: bool,
+}
+
+/// Effect of applying an advertisement to the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpsertEffect {
+    /// The translator was not known before.
+    Appeared,
+    /// The entry was refreshed (TTL extended, profile possibly updated).
+    Refreshed,
+}
+
+/// The in-memory directory replica.
+#[derive(Debug, Default)]
+pub struct DirectoryTable {
+    entries: BTreeMap<TranslatorId, DirectoryEntry>,
+}
+
+impl DirectoryTable {
+    /// Creates an empty table.
+    pub fn new() -> DirectoryTable {
+        DirectoryTable::default()
+    }
+
+    /// Applies an advertisement.
+    pub fn upsert(
+        &mut self,
+        profile: TranslatorProfile,
+        home: Addr,
+        expires: SimTime,
+        local: bool,
+    ) -> UpsertEffect {
+        let id = profile.id();
+        let effect = if self.entries.contains_key(&id) {
+            UpsertEffect::Refreshed
+        } else {
+            UpsertEffect::Appeared
+        };
+        self.entries.insert(
+            id,
+            DirectoryEntry {
+                profile,
+                home,
+                expires,
+                local,
+            },
+        );
+        effect
+    }
+
+    /// Removes an entry (explicit bye). Returns it if present.
+    pub fn remove(&mut self, id: TranslatorId) -> Option<DirectoryEntry> {
+        self.entries.remove(&id)
+    }
+
+    /// Drops remote entries whose TTL lapsed; returns the expired ids.
+    pub fn expire(&mut self, now: SimTime) -> Vec<TranslatorId> {
+        let dead: Vec<TranslatorId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.local && e.expires <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &dead {
+            self.entries.remove(id);
+        }
+        dead
+    }
+
+    /// Looks up an entry by id.
+    pub fn get(&self, id: TranslatorId) -> Option<&DirectoryEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Serves the paper's `lookup(Query)`: profiles matching the query.
+    pub fn lookup(&self, query: &Query) -> Vec<&TranslatorProfile> {
+        self.entries
+            .values()
+            .map(|e| &e.profile)
+            .filter(|p| query.matches(p))
+            .collect()
+    }
+
+    /// All entries, ordered by translator id.
+    pub fn iter(&self) -> impl Iterator<Item = &DirectoryEntry> {
+        self.entries.values()
+    }
+
+    /// Entries hosted by this runtime.
+    pub fn local_entries(&self) -> impl Iterator<Item = &DirectoryEntry> {
+        self.entries.values().filter(|e| e.local)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::RuntimeId;
+    use simnet::NodeId;
+
+    fn profile(local: u32, name: &str) -> TranslatorProfile {
+        TranslatorProfile::builder(TranslatorId::new(RuntimeId(0), local), name).build()
+    }
+
+    fn addr() -> Addr {
+        Addr::new(NodeId::from_index(0), 47_001)
+    }
+
+    #[test]
+    fn upsert_reports_appearance_then_refresh() {
+        let mut t = DirectoryTable::new();
+        let p = profile(1, "cam");
+        assert_eq!(
+            t.upsert(p.clone(), addr(), SimTime::from_secs(15), false),
+            UpsertEffect::Appeared
+        );
+        assert_eq!(
+            t.upsert(p, addr(), SimTime::from_secs(30), false),
+            UpsertEffect::Refreshed
+        );
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn expiry_skips_local_entries() {
+        let mut t = DirectoryTable::new();
+        t.upsert(profile(1, "remote"), addr(), SimTime::from_secs(10), false);
+        t.upsert(profile(2, "local"), addr(), SimTime::from_secs(10), true);
+        let dead = t.expire(SimTime::from_secs(20));
+        assert_eq!(dead, vec![TranslatorId::new(RuntimeId(0), 1)]);
+        assert_eq!(t.len(), 1);
+        assert!(t.get(TranslatorId::new(RuntimeId(0), 2)).is_some());
+    }
+
+    #[test]
+    fn refresh_extends_ttl() {
+        let mut t = DirectoryTable::new();
+        t.upsert(profile(1, "x"), addr(), SimTime::from_secs(10), false);
+        t.upsert(profile(1, "x"), addr(), SimTime::from_secs(25), false);
+        assert!(t.expire(SimTime::from_secs(20)).is_empty());
+        assert_eq!(t.expire(SimTime::from_secs(25)).len(), 1);
+    }
+
+    #[test]
+    fn lookup_filters() {
+        let mut t = DirectoryTable::new();
+        t.upsert(profile(1, "Camera"), addr(), SimTime::MAX, true);
+        t.upsert(profile(2, "Printer"), addr(), SimTime::MAX, true);
+        let q = Query::NameContains("cam".to_owned());
+        let hits = t.lookup(&q);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name(), "Camera");
+        assert_eq!(t.lookup(&Query::All).len(), 2);
+        assert!(t.lookup(&Query::None).is_empty());
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut t = DirectoryTable::new();
+        t.upsert(profile(1, "x"), addr(), SimTime::MAX, false);
+        let e = t.remove(TranslatorId::new(RuntimeId(0), 1)).unwrap();
+        assert_eq!(e.profile.name(), "x");
+        assert!(t.is_empty());
+        assert!(t.remove(TranslatorId::new(RuntimeId(0), 1)).is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! Messages that flow along message paths in the common semantic space.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::mime::MimeType;
+
+/// A typed message traveling through the intermediary semantic space.
+///
+/// A `UMessage` is what translators emit on output ports and receive on
+/// input ports: a MIME-typed byte payload plus optional string metadata
+/// (source device, timestamps, sequence numbers).
+///
+/// # Examples
+///
+/// ```
+/// use umiddle_core::UMessage;
+///
+/// let msg = UMessage::new("text/plain".parse()?, b"21.5".to_vec())
+///     .with_meta("unit", "celsius");
+/// assert_eq!(msg.meta("unit"), Some("celsius"));
+/// assert_eq!(msg.body(), b"21.5");
+/// # Ok::<(), umiddle_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UMessage {
+    mime: MimeType,
+    body: Vec<u8>,
+    meta: BTreeMap<String, String>,
+}
+
+impl UMessage {
+    /// Creates a message.
+    pub fn new(mime: MimeType, body: Vec<u8>) -> UMessage {
+        UMessage {
+            mime,
+            body,
+            meta: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a `text/plain` message from a string — the common case for
+    /// control signals ("1"/"0" in the paper's UPnP light example).
+    pub fn text(body: impl Into<String>) -> UMessage {
+        UMessage {
+            mime: MimeType::new("text", "plain").expect("static mime is valid"),
+            body: body.into().into_bytes(),
+            meta: BTreeMap::new(),
+        }
+    }
+
+    /// The message's MIME type.
+    pub fn mime(&self) -> &MimeType {
+        &self.mime
+    }
+
+    /// The payload bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// The payload as UTF-8 text, if valid.
+    pub fn body_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Total in-memory size used for buffer accounting: body plus
+    /// metadata bytes.
+    pub fn size(&self) -> usize {
+        self.body.len()
+            + self
+                .meta
+                .iter()
+                .map(|(k, v)| k.len() + v.len())
+                .sum::<usize>()
+    }
+
+    /// Adds a metadata entry (builder style).
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> UMessage {
+        self.meta.insert(key.into(), value.into());
+        self
+    }
+
+    /// Looks up a metadata entry.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta.get(key).map(String::as_str)
+    }
+
+    /// All metadata entries, sorted by key.
+    pub fn metas(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.meta.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Consumes the message and returns its payload.
+    pub fn into_body(self) -> Vec<u8> {
+        self.body
+    }
+}
+
+impl fmt::Display for UMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}B]", self.mime, self.body.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_constructor_sets_plain() {
+        let m = UMessage::text("on");
+        assert_eq!(m.mime().to_string(), "text/plain");
+        assert_eq!(m.body_text(), Some("on"));
+    }
+
+    #[test]
+    fn size_counts_meta() {
+        let m = UMessage::text("ab").with_meta("k", "vv");
+        assert_eq!(m.size(), 2 + 1 + 2);
+    }
+
+    #[test]
+    fn non_utf8_body_text_is_none() {
+        let m = UMessage::new("application/octet-stream".parse().unwrap(), vec![0xff, 0xfe]);
+        assert_eq!(m.body_text(), None);
+        assert_eq!(m.into_body(), vec![0xff, 0xfe]);
+    }
+}

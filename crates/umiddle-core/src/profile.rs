@@ -1,0 +1,187 @@
+//! Translator profiles: what the directory stores and queries select.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::id::TranslatorId;
+use crate::shape::Shape;
+
+/// The advertised description of a translator in the intermediary
+/// semantic space: identity, human-readable name, originating platform,
+/// shape, and free-form attributes.
+///
+/// Profiles are what [`lookup`](crate::Query) returns and what the
+/// directory module gossips between runtimes.
+///
+/// # Examples
+///
+/// ```
+/// use umiddle_core::{Direction, RuntimeId, Shape, TranslatorId, TranslatorProfile};
+///
+/// let shape = Shape::builder()
+///     .digital("image-out", Direction::Output, "image/jpeg".parse()?)
+///     .build()?;
+/// let profile = TranslatorProfile::builder(
+///     TranslatorId::new(RuntimeId(0), 3),
+///     "BIP Camera",
+/// )
+/// .platform("bluetooth")
+/// .shape(shape)
+/// .attr("profile", "bip")
+/// .build();
+/// assert_eq!(profile.platform(), "bluetooth");
+/// # Ok::<(), umiddle_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranslatorProfile {
+    id: TranslatorId,
+    name: String,
+    platform: String,
+    shape: Shape,
+    attrs: BTreeMap<String, String>,
+}
+
+impl TranslatorProfile {
+    /// Starts building a profile. `"umiddle"` is the default platform,
+    /// meaning a native uMiddle service.
+    pub fn builder(id: TranslatorId, name: impl Into<String>) -> TranslatorProfileBuilder {
+        TranslatorProfileBuilder {
+            profile: TranslatorProfile {
+                id,
+                name: name.into(),
+                platform: "umiddle".to_owned(),
+                shape: Shape::default(),
+                attrs: BTreeMap::new(),
+            },
+        }
+    }
+
+    /// The globally unique translator id.
+    pub fn id(&self) -> TranslatorId {
+        self.id
+    }
+
+    /// Human-readable device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The platform the device was imported from (`"upnp"`,
+    /// `"bluetooth"`, `"rmi"`, `"umiddle"` for native services, …).
+    pub fn platform(&self) -> &str {
+        &self.platform
+    }
+
+    /// The device's shape (its set of typed ports).
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Looks up a free-form attribute.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs.get(key).map(String::as_str)
+    }
+
+    /// All attributes, sorted by key.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Re-keys a profile onto a different translator id (used when the
+    /// same device description is instantiated repeatedly).
+    pub fn with_id(mut self, id: TranslatorId) -> TranslatorProfile {
+        self.id = id;
+        self
+    }
+}
+
+impl fmt::Display for TranslatorProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:?} [{}] {}",
+            self.id, self.name, self.platform, self.shape
+        )
+    }
+}
+
+/// Builder for [`TranslatorProfile`].
+#[derive(Debug, Clone)]
+pub struct TranslatorProfileBuilder {
+    profile: TranslatorProfile,
+}
+
+impl TranslatorProfileBuilder {
+    /// Sets the originating platform.
+    pub fn platform(mut self, platform: impl Into<String>) -> TranslatorProfileBuilder {
+        self.profile.platform = platform.into();
+        self
+    }
+
+    /// Sets the shape.
+    pub fn shape(mut self, shape: Shape) -> TranslatorProfileBuilder {
+        self.profile.shape = shape;
+        self
+    }
+
+    /// Adds an attribute.
+    pub fn attr(
+        mut self,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> TranslatorProfileBuilder {
+        self.profile.attrs.insert(key.into(), value.into());
+        self
+    }
+
+    /// Finishes the profile.
+    pub fn build(self) -> TranslatorProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::RuntimeId;
+    use crate::shape::Direction;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let p = TranslatorProfile::builder(TranslatorId::new(RuntimeId(1), 2), "Thing").build();
+        assert_eq!(p.platform(), "umiddle");
+        assert!(p.shape().ports().is_empty());
+        assert_eq!(p.attr("x"), None);
+
+        let p2 = TranslatorProfile::builder(TranslatorId::new(RuntimeId(1), 3), "Other")
+            .platform("upnp")
+            .attr("a", "1")
+            .attr("b", "2")
+            .build();
+        assert_eq!(p2.platform(), "upnp");
+        let attrs: Vec<_> = p2.attrs().collect();
+        assert_eq!(attrs, vec![("a", "1"), ("b", "2")]);
+    }
+
+    #[test]
+    fn with_id_rekeys() {
+        let p = TranslatorProfile::builder(TranslatorId::new(RuntimeId(0), 0), "X").build();
+        let q = p.clone().with_id(TranslatorId::new(RuntimeId(9), 9));
+        assert_eq!(q.id(), TranslatorId::new(RuntimeId(9), 9));
+        assert_eq!(q.name(), p.name());
+    }
+
+    #[test]
+    fn display_mentions_name_and_platform() {
+        let shape = Shape::builder()
+            .digital("o", Direction::Output, "a/b".parse().unwrap())
+            .build()
+            .unwrap();
+        let p = TranslatorProfile::builder(TranslatorId::new(RuntimeId(0), 1), "Cam")
+            .platform("bluetooth")
+            .shape(shape)
+            .build();
+        let s = p.to_string();
+        assert!(s.contains("Cam") && s.contains("bluetooth"));
+    }
+}

@@ -1,0 +1,361 @@
+//! QoS control for message paths: translation buffers and rate limiting.
+//!
+//! The paper's §5.3 observes that when a path's consumer is slower than its
+//! producer (a Java RMI sink behind a MediaBroker source, or any Bluetooth
+//! device), data "accumulates in the uMiddle's translation buffer", and
+//! concludes that "the universal interoperability layer should provide some
+//! QoS control mechanism" — explicitly left as future work (§7). This
+//! module implements that mechanism: each connection owns a
+//! [`TranslationBuffer`] with a capacity, an overflow [`QosPolicy`], and an
+//! optional token-bucket rate limit. The E5 ablation benchmark measures the
+//! buffer-occupancy / drop-rate trade-off it buys.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use simnet::{SimDuration, SimTime};
+
+use crate::message::UMessage;
+
+/// What to do when a translation buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Grow without bound (the paper's original behaviour — what made QoS
+    /// necessary).
+    #[default]
+    Unbounded,
+    /// Drop the newly arriving message.
+    DropNewest,
+    /// Drop the oldest queued message to make room (keeps the stream
+    /// fresh — right for live media).
+    DropOldest,
+}
+
+impl fmt::Display for OverflowPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OverflowPolicy::Unbounded => "unbounded",
+            OverflowPolicy::DropNewest => "drop-newest",
+            OverflowPolicy::DropOldest => "drop-oldest",
+        })
+    }
+}
+
+/// Token-bucket rate limiter configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained rate in bytes per second.
+    pub bytes_per_second: u64,
+    /// Burst capacity in bytes.
+    pub burst_bytes: u64,
+}
+
+/// Per-connection QoS configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QosPolicy {
+    /// Buffer capacity in bytes; `None` means unbounded.
+    pub capacity_bytes: Option<usize>,
+    /// Overflow behaviour when `capacity_bytes` is exceeded.
+    pub overflow: OverflowPolicy,
+    /// Optional token-bucket limit on the drain rate.
+    pub rate: Option<RateLimit>,
+}
+
+impl QosPolicy {
+    /// The paper's original behaviour: no QoS at all.
+    pub fn unbounded() -> QosPolicy {
+        QosPolicy::default()
+    }
+
+    /// A bounded buffer that drops the oldest messages on overflow.
+    pub fn bounded_drop_oldest(capacity_bytes: usize) -> QosPolicy {
+        QosPolicy {
+            capacity_bytes: Some(capacity_bytes),
+            overflow: OverflowPolicy::DropOldest,
+            rate: None,
+        }
+    }
+
+    /// A bounded buffer that rejects new messages on overflow.
+    pub fn bounded_drop_newest(capacity_bytes: usize) -> QosPolicy {
+        QosPolicy {
+            capacity_bytes: Some(capacity_bytes),
+            overflow: OverflowPolicy::DropNewest,
+            rate: None,
+        }
+    }
+
+    /// Adds a token-bucket rate limit (builder style).
+    pub fn with_rate(mut self, bytes_per_second: u64, burst_bytes: u64) -> QosPolicy {
+        self.rate = Some(RateLimit {
+            bytes_per_second,
+            burst_bytes,
+        });
+        self
+    }
+}
+
+/// Statistics accumulated by a translation buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferStats {
+    /// Messages accepted into the buffer.
+    pub enqueued: u64,
+    /// Messages handed to the drain.
+    pub dequeued: u64,
+    /// Previously accepted messages evicted by [`OverflowPolicy::DropOldest`].
+    pub evicted: u64,
+    /// Offered messages rejected outright (never buffered).
+    pub rejected: u64,
+    /// High-water mark of buffered bytes.
+    pub max_occupancy_bytes: usize,
+}
+
+impl BufferStats {
+    /// Total messages discarded by the overflow policy.
+    pub fn dropped(&self) -> u64 {
+        self.evicted + self.rejected
+    }
+}
+
+/// The buffer that sits between a source port and the (possibly slower or
+/// remote) destination of a message path.
+#[derive(Debug)]
+pub struct TranslationBuffer {
+    policy: QosPolicy,
+    queue: VecDeque<UMessage>,
+    bytes: usize,
+    tokens: f64,
+    last_refill: SimTime,
+    stats: BufferStats,
+}
+
+impl TranslationBuffer {
+    /// Creates a buffer with the given policy.
+    pub fn new(policy: QosPolicy) -> TranslationBuffer {
+        let tokens = policy.rate.map(|r| r.burst_bytes as f64).unwrap_or(0.0);
+        TranslationBuffer {
+            policy,
+            queue: VecDeque::new(),
+            bytes: 0,
+            tokens,
+            last_refill: SimTime::ZERO,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn occupancy_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &QosPolicy {
+        &self.policy
+    }
+
+    /// Size of the next message to drain, if any. Used to check downstream
+    /// capacity before committing to a [`TranslationBuffer::poll`].
+    pub fn front_size(&self) -> Option<usize> {
+        self.queue.front().map(UMessage::size)
+    }
+
+    /// Offers a message to the buffer. Returns `true` if it was accepted
+    /// (possibly after evicting older messages), `false` if it was dropped.
+    pub fn offer(&mut self, msg: UMessage) -> bool {
+        let size = msg.size();
+        if let Some(cap) = self.policy.capacity_bytes {
+            match self.policy.overflow {
+                OverflowPolicy::Unbounded => {}
+                OverflowPolicy::DropNewest => {
+                    if self.bytes + size > cap {
+                        self.stats.rejected += 1;
+                        return false;
+                    }
+                }
+                OverflowPolicy::DropOldest => {
+                    while !self.queue.is_empty() && self.bytes + size > cap {
+                        if let Some(old) = self.queue.pop_front() {
+                            self.bytes -= old.size();
+                            self.stats.evicted += 1;
+                        }
+                    }
+                    if self.queue.is_empty() && size > cap {
+                        // The message alone exceeds capacity.
+                        self.stats.rejected += 1;
+                        return false;
+                    }
+                }
+            }
+        }
+        self.bytes += size;
+        self.queue.push_back(msg);
+        self.stats.enqueued += 1;
+        self.stats.max_occupancy_bytes = self.stats.max_occupancy_bytes.max(self.bytes);
+        true
+    }
+
+    /// Refills rate-limit tokens up to `now`.
+    fn refill(&mut self, now: SimTime) {
+        if let Some(rate) = self.policy.rate {
+            let elapsed = now.saturating_since(self.last_refill);
+            self.tokens = (self.tokens
+                + rate.bytes_per_second as f64 * elapsed.as_secs_f64())
+            .min(rate.burst_bytes as f64);
+        }
+        self.last_refill = now;
+    }
+
+    /// Takes the next message if the rate limiter allows it.
+    ///
+    /// When rate-limited and a message is waiting, returns
+    /// `Err(wait)` with the duration until enough tokens accrue.
+    pub fn poll(&mut self, now: SimTime) -> Result<Option<UMessage>, SimDuration> {
+        self.refill(now);
+        let Some(front_size) = self.queue.front().map(UMessage::size) else {
+            return Ok(None);
+        };
+        if let Some(rate) = self.policy.rate {
+            if (self.tokens as u64) < front_size as u64 {
+                let deficit = front_size as f64 - self.tokens;
+                let wait = deficit / rate.bytes_per_second as f64;
+                return Err(SimDuration::from_secs_f64(wait.max(1e-9)));
+            }
+            self.tokens -= front_size as f64;
+        }
+        let msg = self.queue.pop_front().expect("front checked above");
+        self.bytes -= msg.size();
+        self.stats.dequeued += 1;
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn msg(n: usize) -> UMessage {
+        UMessage::new(
+            "application/octet-stream".parse().unwrap(),
+            vec![0u8; n],
+        )
+    }
+
+    #[test]
+    fn unbounded_accepts_everything() {
+        let mut b = TranslationBuffer::new(QosPolicy::unbounded());
+        for _ in 0..100 {
+            assert!(b.offer(msg(1000)));
+        }
+        assert_eq!(b.occupancy_bytes(), 100_000);
+        assert_eq!(b.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn drop_newest_rejects_overflow() {
+        let mut b = TranslationBuffer::new(QosPolicy::bounded_drop_newest(2500));
+        assert!(b.offer(msg(1000)));
+        assert!(b.offer(msg(1000)));
+        assert!(!b.offer(msg(1000)));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.stats().rejected, 1);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_to_make_room() {
+        let mut b = TranslationBuffer::new(QosPolicy::bounded_drop_oldest(2500));
+        for i in 0..4 {
+            let m = msg(1000).with_meta("i", i.to_string());
+            // Size includes metadata; keep payload dominant.
+            assert!(b.offer(m), "message {i} accepted after eviction");
+        }
+        assert_eq!(b.stats().evicted, 2);
+        let first = b.poll(SimTime::ZERO).unwrap().unwrap();
+        assert_eq!(first.meta("i"), Some("2"));
+    }
+
+    #[test]
+    fn oversized_message_dropped_even_when_empty() {
+        let mut b = TranslationBuffer::new(QosPolicy::bounded_drop_oldest(100));
+        assert!(!b.offer(msg(500)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn token_bucket_paces_drain() {
+        // 1000 B/s, burst 1000 B; three 1000 B messages take ~2 s to drain.
+        let mut b =
+            TranslationBuffer::new(QosPolicy::unbounded().with_rate(1000, 1000));
+        for _ in 0..3 {
+            assert!(b.offer(msg(1000)));
+        }
+        let t0 = SimTime::ZERO;
+        assert!(b.poll(t0).unwrap().is_some(), "burst allows the first");
+        let wait = b.poll(t0).unwrap_err();
+        assert_eq!(wait, SimDuration::from_secs(1));
+        let t1 = t0 + wait;
+        assert!(b.poll(t1).unwrap().is_some());
+        let wait2 = b.poll(t1).unwrap_err();
+        let t2 = t1 + wait2;
+        assert!(b.poll(t2).unwrap().is_some());
+        assert!(b.poll(t2).unwrap().is_none());
+    }
+
+    proptest! {
+        /// Conservation: enqueued = dequeued + dropped + still queued,
+        /// under any interleaving of offers and polls.
+        #[test]
+        fn conservation(
+            ops in proptest::collection::vec((any::<bool>(), 1usize..2000), 1..200),
+            cap in proptest::option::of(100usize..5000),
+        ) {
+            let policy = QosPolicy {
+                capacity_bytes: cap,
+                overflow: OverflowPolicy::DropOldest,
+                rate: None,
+            };
+            let mut b = TranslationBuffer::new(policy);
+            let mut t = SimTime::ZERO;
+            for (is_offer, size) in ops {
+                if is_offer {
+                    b.offer(msg(size));
+                } else {
+                    t += SimDuration::from_millis(1);
+                    let _ = b.poll(t);
+                }
+            }
+            let s = b.stats();
+            // Conservation: everything accepted is either delivered,
+            // evicted, or still queued.
+            prop_assert_eq!(s.enqueued, s.dequeued + s.evicted + b.len() as u64);
+            if let Some(cap) = cap {
+                prop_assert!(b.occupancy_bytes() <= cap || b.len() == 1);
+            }
+        }
+
+        /// Occupancy never exceeds the high-water mark.
+        #[test]
+        fn high_water_mark(ops in proptest::collection::vec(1usize..500, 1..50)) {
+            let mut b = TranslationBuffer::new(QosPolicy::unbounded());
+            for size in ops {
+                b.offer(msg(size));
+                prop_assert!(b.occupancy_bytes() <= b.stats().max_occupancy_bytes);
+            }
+        }
+    }
+}

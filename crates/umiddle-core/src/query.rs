@@ -1,0 +1,304 @@
+//! The query algebra used for directory lookup and dynamic device binding.
+//!
+//! The paper's Directory API takes a `Query` and returns "profiles of
+//! translators that match" (§3.3 Figure 6), and the Transport API accepts a
+//! query as a *template shape* for dynamic message paths (§3.5 Figure 7).
+//! This module provides a small, composable predicate algebra over
+//! [`TranslatorProfile`](crate::TranslatorProfile)s: port-template
+//! predicates (the core of Service Shaping), name/platform/attribute
+//! predicates, and boolean combinators.
+
+use std::fmt;
+
+use crate::profile::TranslatorProfile;
+use crate::shape::{Direction, PortKind};
+
+/// A predicate over translator profiles.
+///
+/// # Examples
+///
+/// Find anything that accepts JPEG images and shows something visibly —
+/// the paper's "view this image one way or another":
+///
+/// ```
+/// use umiddle_core::{Direction, PerceptionType, PortKind, Query};
+///
+/// let q = Query::has_port(Direction::Input, PortKind::Digital("image/jpeg".parse()?))
+///     .and(Query::has_port(
+///         Direction::Output,
+///         PortKind::physical(PerceptionType::Visible, "*"),
+///     ));
+/// println!("{q}");
+/// # Ok::<(), umiddle_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Matches every profile.
+    All,
+    /// Matches no profile.
+    None,
+    /// Matches profiles whose shape has a port with this direction and a
+    /// matching kind (wildcards allowed).
+    HasPort {
+        /// Required port direction.
+        direction: Direction,
+        /// Port kind pattern (wildcards allowed).
+        kind: PortKind,
+    },
+    /// Matches profiles whose human-readable name equals the string
+    /// (case-insensitive).
+    NameIs(String),
+    /// Matches profiles whose name contains the substring
+    /// (case-insensitive).
+    NameContains(String),
+    /// Matches profiles imported from the given platform (`"upnp"`,
+    /// `"bluetooth"`, `"umiddle"`, …).
+    Platform(String),
+    /// Matches profiles whose attribute `key` equals `value`.
+    Attr {
+        /// Attribute key.
+        key: String,
+        /// Required value.
+        value: String,
+    },
+    /// Matches profiles that carry the attribute key at all.
+    HasAttr(String),
+    /// Both sub-queries match.
+    And(Box<Query>, Box<Query>),
+    /// Either sub-query matches.
+    Or(Box<Query>, Box<Query>),
+    /// The sub-query does not match.
+    Not(Box<Query>),
+}
+
+impl Query {
+    /// Convenience constructor for [`Query::HasPort`].
+    pub fn has_port(direction: Direction, kind: PortKind) -> Query {
+        Query::HasPort { direction, kind }
+    }
+
+    /// Convenience constructor for [`Query::Attr`].
+    pub fn attr(key: impl Into<String>, value: impl Into<String>) -> Query {
+        Query::Attr {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Query) -> Query {
+        Query::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Query) -> Query {
+        Query::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Query {
+        Query::Not(Box::new(self))
+    }
+
+    /// Evaluates the query against a profile.
+    pub fn matches(&self, profile: &TranslatorProfile) -> bool {
+        match self {
+            Query::All => true,
+            Query::None => false,
+            Query::HasPort { direction, kind } => {
+                profile.shape().has_matching_port(*direction, kind)
+            }
+            Query::NameIs(name) => profile.name().eq_ignore_ascii_case(name),
+            Query::NameContains(part) => profile
+                .name()
+                .to_ascii_lowercase()
+                .contains(&part.to_ascii_lowercase()),
+            Query::Platform(p) => profile.platform().eq_ignore_ascii_case(p),
+            Query::Attr { key, value } => profile.attr(key) == Some(value.as_str()),
+            Query::HasAttr(key) => profile.attr(key).is_some(),
+            Query::And(a, b) => a.matches(profile) && b.matches(profile),
+            Query::Or(a, b) => a.matches(profile) || b.matches(profile),
+            Query::Not(q) => !q.matches(profile),
+        }
+    }
+
+    /// Filters an iterator of profiles down to the matches.
+    pub fn filter<'a, I>(&'a self, profiles: I) -> impl Iterator<Item = &'a TranslatorProfile>
+    where
+        I: IntoIterator<Item = &'a TranslatorProfile>,
+        I::IntoIter: 'a,
+    {
+        profiles.into_iter().filter(move |p| self.matches(p))
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::All => write!(f, "all"),
+            Query::None => write!(f, "none"),
+            Query::HasPort { direction, kind } => write!(f, "port({direction} {kind})"),
+            Query::NameIs(n) => write!(f, "name={n:?}"),
+            Query::NameContains(n) => write!(f, "name~{n:?}"),
+            Query::Platform(p) => write!(f, "platform={p:?}"),
+            Query::Attr { key, value } => write!(f, "attr[{key:?}]={value:?}"),
+            Query::HasAttr(key) => write!(f, "attr[{key:?}]"),
+            Query::And(a, b) => write!(f, "({a} & {b})"),
+            Query::Or(a, b) => write!(f, "({a} | {b})"),
+            Query::Not(q) => write!(f, "!{q}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{RuntimeId, TranslatorId};
+    use crate::mime::MimeType;
+    use crate::profile::TranslatorProfile;
+    use crate::shape::{PerceptionType, Shape};
+    use proptest::prelude::*;
+
+    fn mime(s: &str) -> MimeType {
+        s.parse().unwrap()
+    }
+
+    fn tv_profile() -> TranslatorProfile {
+        let shape = Shape::builder()
+            .digital("media-in", Direction::Input, mime("image/*"))
+            .physical("display", Direction::Output, PerceptionType::Visible, "screen")
+            .build()
+            .unwrap();
+        TranslatorProfile::builder(TranslatorId::new(RuntimeId(0), 1), "Living Room TV")
+            .platform("upnp")
+            .shape(shape)
+            .attr("location", "living-room")
+            .build()
+    }
+
+    fn printer_profile() -> TranslatorProfile {
+        let shape = Shape::builder()
+            .digital("doc-in", Direction::Input, mime("text/ps"))
+            .physical("page", Direction::Output, PerceptionType::Visible, "paper")
+            .build()
+            .unwrap();
+        TranslatorProfile::builder(TranslatorId::new(RuntimeId(0), 2), "Laser Printer")
+            .platform("umiddle")
+            .shape(shape)
+            .build()
+    }
+
+    #[test]
+    fn port_queries_select_by_affordance() {
+        let tv = tv_profile();
+        let printer = printer_profile();
+        // "View it one way or another": visible/* output.
+        let view = Query::has_port(
+            Direction::Output,
+            PortKind::physical(PerceptionType::Visible, "*"),
+        );
+        assert!(view.matches(&tv));
+        assert!(view.matches(&printer));
+        // "Print it": visible/paper output.
+        let print = Query::has_port(
+            Direction::Output,
+            PortKind::physical(PerceptionType::Visible, "paper"),
+        );
+        assert!(!print.matches(&tv));
+        assert!(print.matches(&printer));
+        // Accepts JPEG input: only the TV (printer wants PostScript).
+        let jpeg_in = Query::has_port(Direction::Input, PortKind::Digital(mime("image/jpeg")));
+        assert!(jpeg_in.matches(&tv));
+        assert!(!jpeg_in.matches(&printer));
+    }
+
+    #[test]
+    fn name_platform_attr_queries() {
+        let tv = tv_profile();
+        assert!(Query::NameIs("living room tv".to_owned()).matches(&tv));
+        assert!(Query::NameContains("TV".to_owned()).matches(&tv));
+        assert!(Query::Platform("UPnP".to_owned()).matches(&tv));
+        assert!(Query::attr("location", "living-room").matches(&tv));
+        assert!(!Query::attr("location", "kitchen").matches(&tv));
+        assert!(Query::HasAttr("location".to_owned()).matches(&tv));
+        assert!(!Query::HasAttr("owner".to_owned()).matches(&tv));
+    }
+
+    #[test]
+    fn combinators() {
+        let tv = tv_profile();
+        let q = Query::Platform("upnp".to_owned())
+            .and(Query::NameContains("tv".to_owned()))
+            .or(Query::None);
+        assert!(q.matches(&tv));
+        assert!(!q.not().matches(&tv));
+    }
+
+    #[test]
+    fn filter_selects_matching_profiles() {
+        let profiles = vec![tv_profile(), printer_profile()];
+        let q = Query::Platform("upnp".to_owned());
+        let names: Vec<&str> = q.filter(&profiles).map(|p| p.name()).collect();
+        assert_eq!(names, vec!["Living Room TV"]);
+    }
+
+    fn arb_query() -> impl Strategy<Value = Query> {
+        let leaf = prop_oneof![
+            Just(Query::All),
+            Just(Query::None),
+            "[a-z]{1,6}".prop_map(Query::NameContains),
+            "[a-z]{1,6}".prop_map(Query::Platform),
+            ("[a-z]{1,4}", "[a-z]{1,4}").prop_map(|(k, v)| Query::attr(k, v)),
+        ];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| a.and(b)),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| a.or(b)),
+                inner.prop_map(Query::not),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Double negation is the identity on evaluation.
+        #[test]
+        fn double_negation(q in arb_query()) {
+            let p = tv_profile();
+            prop_assert_eq!(q.matches(&p), q.clone().not().not().matches(&p));
+        }
+
+        /// De Morgan: !(a & b) == !a | !b on evaluation.
+        #[test]
+        fn de_morgan(a in arb_query(), b in arb_query()) {
+            let p = tv_profile();
+            let lhs = a.clone().and(b.clone()).not();
+            let rhs = a.not().or(b.not());
+            prop_assert_eq!(lhs.matches(&p), rhs.matches(&p));
+        }
+
+        /// `All` is the identity of `and`; `None` the identity of `or`.
+        #[test]
+        fn identities(q in arb_query()) {
+            let p = tv_profile();
+            prop_assert_eq!(q.matches(&p), q.clone().and(Query::All).matches(&p));
+            prop_assert_eq!(q.matches(&p), q.clone().or(Query::None).matches(&p));
+        }
+
+        /// `and`/`or` evaluate commutatively.
+        #[test]
+        fn commutativity(a in arb_query(), b in arb_query()) {
+            let p = tv_profile();
+            prop_assert_eq!(
+                a.clone().and(b.clone()).matches(&p),
+                b.clone().and(a.clone()).matches(&p)
+            );
+            prop_assert_eq!(
+                a.clone().or(b.clone()).matches(&p),
+                b.or(a).matches(&p)
+            );
+        }
+    }
+}

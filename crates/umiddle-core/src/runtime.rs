@@ -1,0 +1,1147 @@
+//! The uMiddle runtime: a simnet process hosting the directory and
+//! transport modules of one intermediary translator node.
+//!
+//! One runtime runs per participating host (the paper's H1, H2, …).
+//! Mappers, native services and applications on the same node talk to it
+//! through the local API ([`RuntimeRequest`]/[`RuntimeEvent`]); runtimes
+//! talk to each other through the directory protocol (multicast + unicast
+//! datagrams) and the transport protocol (streams carrying path messages).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simnet::{
+    Addr, Ctx, Datagram, LocalMessage, ProcId, Process, SimDuration, StreamEvent, StreamId,
+};
+
+use crate::api::{ConnectTarget, DirectoryEvent, RuntimeEvent, RuntimeRequest};
+use crate::directory::{DirectoryTable, UpsertEffect};
+use crate::error::{CoreError, CoreResult};
+use crate::id::{ConnectionId, PortRef, RuntimeId, TranslatorId};
+use crate::message::UMessage;
+use crate::profile::TranslatorProfile;
+use crate::qos::{QosPolicy, TranslationBuffer};
+use crate::query::Query;
+use crate::shape::{Direction, PortKind};
+use crate::wire::{FrameDecoder, WireMessage, WireTarget};
+
+/// Timer token for the periodic advertise/expire tick.
+const TIMER_TICK: u64 = 0;
+/// Timer tokens at or above this value are QoS drain retries; the token
+/// minus the base is the path uid.
+const TIMER_DRAIN_BASE: u64 = 1;
+
+/// Configuration of a uMiddle runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// This runtime's federation-unique id.
+    pub id: RuntimeId,
+    /// Unicast datagram port for directory control traffic.
+    pub directory_port: u16,
+    /// Multicast group port shared by the federation.
+    pub multicast_group: u16,
+    /// Stream listener port for path messages.
+    pub transport_port: u16,
+    /// Interval between advertisement refreshes.
+    pub advertise_interval: SimDuration,
+    /// Remote entries expire after `advertise_interval * ttl_factor`.
+    pub ttl_factor: u32,
+    /// Maximum unacknowledged local input deliveries per path.
+    pub delivery_credit: u32,
+}
+
+impl RuntimeConfig {
+    /// Default configuration for the given runtime id.
+    pub fn new(id: RuntimeId) -> RuntimeConfig {
+        RuntimeConfig {
+            id,
+            directory_port: 47_000,
+            multicast_group: 47_010,
+            transport_port: 47_001,
+            advertise_interval: SimDuration::from_secs(5),
+            ttl_factor: 3,
+            delivery_credit: 4,
+        }
+    }
+
+    fn ttl(&self) -> SimDuration {
+        self.advertise_interval * u64::from(self.ttl_factor)
+    }
+}
+
+#[derive(Debug)]
+struct LocalTranslator {
+    profile: TranslatorProfile,
+    delegate: ProcId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Requester {
+    /// A process on this node (with its connect token).
+    Local(ProcId),
+    /// Nobody to notify (connection created via a forwarded request).
+    Remote,
+}
+
+#[derive(Debug)]
+struct PathState {
+    uid: u64,
+    dst: PortRef,
+    /// Transport address of the destination's home runtime, or `None`
+    /// when the destination translator is hosted by this runtime.
+    home: Option<Addr>,
+    buffer: TranslationBuffer,
+    inflight: u32,
+    timer_pending: bool,
+}
+
+#[derive(Debug)]
+struct Connection {
+    id: ConnectionId,
+    src: PortRef,
+    src_kind: PortKind,
+    target: ConnectTarget,
+    qos: QosPolicy,
+    requester: Requester,
+    paths: Vec<PathState>,
+}
+
+#[derive(Debug)]
+struct PeerLink {
+    stream: StreamId,
+    up: bool,
+}
+
+/// Statistics a runtime exposes for tests and benchmarks.
+///
+/// Obtain a shared handle with [`UmiddleRuntime::stats_handle`] *before*
+/// moving the runtime into the world, then read it any time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Path messages forwarded to local delegates.
+    pub local_deliveries: u64,
+    /// Path messages sent to remote runtimes.
+    pub remote_sends: u64,
+    /// Path messages received from remote runtimes.
+    pub remote_receives: u64,
+    /// Messages dropped by QoS policies on currently live paths.
+    pub qos_dropped: u64,
+    /// Bytes currently buffered across all live paths.
+    pub buffered_bytes: usize,
+    /// High-water mark of total buffered bytes across all paths.
+    pub max_buffered_bytes: usize,
+}
+
+/// The uMiddle runtime process. Add one to a node with
+/// [`simnet::World::add_process`], then hand its [`ProcId`] to mappers,
+/// native services and applications on that node.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{SegmentConfig, SimTime, World};
+/// use umiddle_core::{RuntimeConfig, RuntimeId, UmiddleRuntime};
+///
+/// let mut world = World::new(1);
+/// let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+/// let host = world.add_node("host");
+/// world.attach(host, hub)?;
+/// let runtime = UmiddleRuntime::new(RuntimeConfig::new(RuntimeId(0)));
+/// let stats = runtime.stats_handle(); // keep before moving it in
+/// let _rt = world.add_process(host, Box::new(runtime));
+/// world.run_until(SimTime::from_secs(10));
+/// assert_eq!(stats.borrow().local_deliveries, 0); // nothing wired yet
+/// # Ok::<(), simnet::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct UmiddleRuntime {
+    cfg: RuntimeConfig,
+    directory: DirectoryTable,
+    next_translator: u32,
+    next_connection: u32,
+    next_path_uid: u64,
+    next_wire_token: u64,
+    local_translators: HashMap<TranslatorId, LocalTranslator>,
+    connections: HashMap<ConnectionId, Connection>,
+    listeners: Vec<(ProcId, Query)>,
+    /// Forwarded connect requests awaiting a reply: wire token →
+    /// (local requester, its token).
+    pending_connects: HashMap<u64, (ProcId, u64)>,
+    /// Outgoing links keyed by peer transport address.
+    peers: HashMap<Addr, PeerLink>,
+    /// Reverse map from stream to peer address (outgoing links).
+    peer_by_stream: HashMap<StreamId, Addr>,
+    /// Decoders for accepted (incoming) streams.
+    incoming: HashMap<StreamId, FrameDecoder>,
+    stats: Rc<RefCell<RuntimeStats>>,
+}
+
+impl UmiddleRuntime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(cfg: RuntimeConfig) -> UmiddleRuntime {
+        UmiddleRuntime {
+            cfg,
+            directory: DirectoryTable::new(),
+            next_translator: 1,
+            next_connection: 1,
+            next_path_uid: 0,
+            next_wire_token: 1,
+            local_translators: HashMap::new(),
+            connections: HashMap::new(),
+            listeners: Vec::new(),
+            pending_connects: HashMap::new(),
+            peers: HashMap::new(),
+            peer_by_stream: HashMap::new(),
+            incoming: HashMap::new(),
+            stats: Rc::new(RefCell::new(RuntimeStats::default())),
+        }
+    }
+
+    /// This runtime's id.
+    pub fn id(&self) -> RuntimeId {
+        self.cfg.id
+    }
+
+    /// A shared handle to this runtime's statistics. Clone it before
+    /// moving the runtime into a [`simnet::World`]; it stays readable
+    /// while the simulation runs.
+    pub fn stats_handle(&self) -> Rc<RefCell<RuntimeStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    /// A snapshot of the accumulated statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        *self.stats.borrow()
+    }
+
+    fn directory_addr(&self, ctx: &Ctx<'_>) -> Addr {
+        Addr::new(ctx.node(), self.cfg.directory_port)
+    }
+
+    fn transport_addr(&self, ctx: &Ctx<'_>) -> Addr {
+        Addr::new(ctx.node(), self.cfg.transport_port)
+    }
+
+    // ------------------------------------------------------------------
+    // Directory protocol
+    // ------------------------------------------------------------------
+
+    fn multicast_wire(&mut self, ctx: &mut Ctx<'_>, msg: &WireMessage) {
+        let _ = ctx.multicast(self.cfg.directory_port, self.cfg.multicast_group, msg.encode());
+    }
+
+    fn unicast_wire(&mut self, ctx: &mut Ctx<'_>, to: Addr, msg: &WireMessage) {
+        let _ = ctx.send_to(self.cfg.directory_port, to, msg.encode());
+    }
+
+    fn advertise(&mut self, ctx: &mut Ctx<'_>, profile: TranslatorProfile) {
+        let home = self.transport_addr(ctx);
+        self.multicast_wire(ctx, &WireMessage::Advertise { profile, home });
+    }
+
+    fn notify_listeners(&mut self, ctx: &mut Ctx<'_>, event: &DirectoryEvent) {
+        for (proc, query) in self.listeners.clone() {
+            let interested = match event {
+                DirectoryEvent::Appeared(profile) => query.matches(profile),
+                // Disappearance carries no profile; deliver to everyone
+                // (listeners track what they saw appear).
+                DirectoryEvent::Disappeared(_) => true,
+            };
+            if interested {
+                ctx.send_local(proc, RuntimeEvent::Directory(event.clone()));
+            }
+        }
+    }
+
+    fn handle_appearance(&mut self, ctx: &mut Ctx<'_>, profile: &TranslatorProfile) {
+        self.notify_listeners(ctx, &DirectoryEvent::Appeared(profile.clone()));
+        self.bind_query_connections(ctx, profile);
+    }
+
+    fn handle_disappearance(&mut self, ctx: &mut Ctx<'_>, id: TranslatorId) {
+        self.notify_listeners(ctx, &DirectoryEvent::Disappeared(id));
+        // Remove connections whose source vanished.
+        let dead: Vec<ConnectionId> = self
+            .connections
+            .values()
+            .filter(|c| c.src.translator == id)
+            .map(|c| c.id)
+            .collect();
+        for cid in dead {
+            self.connections.remove(&cid);
+        }
+        // Unbind paths targeting the vanished translator.
+        let mut unbound: Vec<(ConnectionId, Requester, PortRef)> = Vec::new();
+        for conn in self.connections.values_mut() {
+            let before = conn.paths.len();
+            conn.paths.retain(|p| {
+                if p.dst.translator == id {
+                    unbound.push((conn.id, conn.requester, p.dst.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            let _ = before;
+        }
+        for (connection, requester, dst) in unbound {
+            if let Requester::Local(proc) = requester {
+                ctx.send_local(proc, RuntimeEvent::PathUnbound { connection, dst });
+            }
+        }
+    }
+
+    fn on_wire_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        let msg = match WireMessage::decode(&dgram.data) {
+            Ok(m) => m,
+            Err(e) => {
+                ctx.bump("umiddle.wire_decode_errors", 1);
+                ctx.trace(format!("bad wire datagram from {}: {e}", dgram.src));
+                return;
+            }
+        };
+        match msg {
+            WireMessage::Advertise { profile, home } => {
+                if profile.id().runtime == self.cfg.id {
+                    return; // our own advertisement echoed back
+                }
+                let expires = ctx.now() + self.cfg.ttl();
+                let effect = self.directory.upsert(profile.clone(), home, expires, false);
+                if effect == UpsertEffect::Appeared {
+                    ctx.bump("umiddle.directory_appearances", 1);
+                    self.handle_appearance(ctx, &profile);
+                }
+            }
+            WireMessage::Bye { translator } => {
+                if self.directory.remove(translator).is_some() {
+                    self.handle_disappearance(ctx, translator);
+                }
+            }
+            WireMessage::Probe { reply_to } => {
+                let home = self.transport_addr(ctx);
+                let locals: Vec<TranslatorProfile> = self
+                    .directory
+                    .local_entries()
+                    .map(|e| e.profile.clone())
+                    .collect();
+                for profile in locals {
+                    self.unicast_wire(ctx, reply_to, &WireMessage::Advertise { profile, home });
+                }
+            }
+            WireMessage::ConnectReply { token, result } => {
+                if let Some((proc, local_token)) = self.pending_connects.remove(&token) {
+                    let event = match result {
+                        Ok(connection) => RuntimeEvent::Connected {
+                            token: local_token,
+                            connection,
+                        },
+                        Err(reason) => RuntimeEvent::ConnectFailed {
+                            token: local_token,
+                            reason,
+                        },
+                    };
+                    ctx.send_local(proc, event);
+                }
+            }
+            // Control requests normally arrive over streams, but accept
+            // them by datagram too (they fit easily).
+            WireMessage::ConnectRequest {
+                token,
+                reply_to,
+                src,
+                target,
+                qos,
+            } => self.handle_connect_request(ctx, token, reply_to, src, target, qos),
+            WireMessage::DisconnectRequest { connection } => {
+                self.remove_connection(ctx, connection);
+            }
+            WireMessage::PathMessage { .. } => {
+                ctx.bump("umiddle.path_on_datagram", 1);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Registration & lookup
+    // ------------------------------------------------------------------
+
+    fn handle_register(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: ProcId,
+        token: u64,
+        profile: TranslatorProfile,
+        delegate: ProcId,
+    ) {
+        let id = TranslatorId::new(self.cfg.id, self.next_translator);
+        self.next_translator += 1;
+        let profile = profile.with_id(id);
+        let home = self.transport_addr(ctx);
+        self.directory
+            .upsert(profile.clone(), home, simnet::SimTime::MAX, true);
+        self.local_translators.insert(
+            id,
+            LocalTranslator {
+                profile: profile.clone(),
+                delegate,
+            },
+        );
+        ctx.send_local(from, RuntimeEvent::Registered { token, translator: id });
+        ctx.bump("umiddle.registrations", 1);
+        self.advertise(ctx, profile.clone());
+        self.handle_appearance(ctx, &profile);
+    }
+
+    fn handle_unregister(&mut self, ctx: &mut Ctx<'_>, translator: TranslatorId) {
+        if self.local_translators.remove(&translator).is_none() {
+            return;
+        }
+        self.directory.remove(translator);
+        self.multicast_wire(ctx, &WireMessage::Bye { translator });
+        self.handle_disappearance(ctx, translator);
+    }
+
+    // ------------------------------------------------------------------
+    // Connections
+    // ------------------------------------------------------------------
+
+    /// Validates that `src` names a digital output port; returns its kind.
+    fn validate_src(&self, src: &PortRef) -> CoreResult<PortKind> {
+        let entry = self
+            .directory
+            .get(src.translator)
+            .ok_or(CoreError::UnknownTranslator(src.translator))?;
+        let port = entry
+            .profile
+            .shape()
+            .port(&src.port)
+            .ok_or_else(|| CoreError::UnknownPort(src.clone()))?;
+        if port.direction != Direction::Output {
+            return Err(CoreError::Incompatible(format!(
+                "source port {src} is not an output"
+            )));
+        }
+        if !port.kind.is_digital() {
+            return Err(CoreError::Incompatible(format!(
+                "source port {src} is not digital"
+            )));
+        }
+        Ok(port.kind.clone())
+    }
+
+    /// Validates a static destination against the source kind; returns
+    /// the destination's home address (`None` when local).
+    fn validate_dst(&self, src_kind: &PortKind, dst: &PortRef) -> CoreResult<Option<Addr>> {
+        let entry = self
+            .directory
+            .get(dst.translator)
+            .ok_or(CoreError::UnknownTranslator(dst.translator))?;
+        let port = entry
+            .profile
+            .shape()
+            .port(&dst.port)
+            .ok_or_else(|| CoreError::UnknownPort(dst.clone()))?;
+        if port.direction != Direction::Input {
+            return Err(CoreError::Incompatible(format!(
+                "destination port {dst} is not an input"
+            )));
+        }
+        if !port.kind.matches(src_kind) {
+            return Err(CoreError::Incompatible(format!(
+                "data types differ: {} vs {}",
+                src_kind, port.kind
+            )));
+        }
+        Ok(if entry.local { None } else { Some(entry.home) })
+    }
+
+    fn new_path(&mut self, dst: PortRef, home: Option<Addr>, qos: &QosPolicy) -> PathState {
+        let uid = self.next_path_uid;
+        self.next_path_uid += 1;
+        PathState {
+            uid,
+            dst,
+            home,
+            buffer: TranslationBuffer::new(qos.clone()),
+            inflight: 0,
+            timer_pending: false,
+        }
+    }
+
+    /// Creates a connection whose source translator is hosted locally.
+    fn connect_local_src(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: PortRef,
+        target: ConnectTarget,
+        qos: QosPolicy,
+        requester: Requester,
+    ) -> CoreResult<ConnectionId> {
+        let src_kind = self.validate_src(&src)?;
+        let id = ConnectionId::new(self.cfg.id, self.next_connection);
+        let mut paths = Vec::new();
+        match &target {
+            ConnectTarget::Port(dst) => {
+                let home = self.validate_dst(&src_kind, dst)?;
+                paths.push(self.new_path(dst.clone(), home, &qos));
+            }
+            ConnectTarget::Query(query) => {
+                let matches = self.query_bindings(query, &src, &src_kind);
+                for (dst, home) in matches {
+                    paths.push(self.new_path(dst, home, &qos));
+                }
+            }
+        }
+        self.next_connection += 1;
+        let bound: Vec<PortRef> = paths.iter().map(|p| p.dst.clone()).collect();
+        self.connections.insert(
+            id,
+            Connection {
+                id,
+                src,
+                src_kind,
+                target,
+                qos,
+                requester,
+                paths,
+            },
+        );
+        ctx.bump("umiddle.connections", 1);
+        if let Requester::Local(proc) = requester {
+            for dst in bound {
+                ctx.send_local(proc, RuntimeEvent::PathBound { connection: id, dst });
+            }
+        }
+        Ok(id)
+    }
+
+    /// Finds `(dst port, home)` bindings for a query template: every
+    /// directory profile matching the query contributes its first input
+    /// port whose type matches the source.
+    fn query_bindings(
+        &self,
+        query: &Query,
+        src: &PortRef,
+        src_kind: &PortKind,
+    ) -> Vec<(PortRef, Option<Addr>)> {
+        let mut out = Vec::new();
+        for entry in self.directory.iter() {
+            let profile = &entry.profile;
+            if profile.id() == src.translator || !query.matches(profile) {
+                continue;
+            }
+            let port = profile.shape().ports_in(Direction::Input).find(|p| {
+                p.kind.is_digital() && p.kind.matches(src_kind)
+            });
+            if let Some(port) = port {
+                out.push((
+                    PortRef::new(profile.id(), port.name.clone()),
+                    if entry.local { None } else { Some(entry.home) },
+                ));
+            }
+        }
+        out
+    }
+
+    /// Adds paths to query connections when a new profile appears.
+    fn bind_query_connections(&mut self, ctx: &mut Ctx<'_>, profile: &TranslatorProfile) {
+        let entry_home = self.directory.get(profile.id()).map(|e| {
+            if e.local {
+                None
+            } else {
+                Some(e.home)
+            }
+        });
+        let Some(home) = entry_home else { return };
+        let candidates: Vec<ConnectionId> = self
+            .connections
+            .values()
+            .filter(|c| matches!(c.target, ConnectTarget::Query(_)))
+            .map(|c| c.id)
+            .collect();
+        for cid in candidates {
+            let Some(conn) = self.connections.get(&cid) else { continue };
+            let ConnectTarget::Query(query) = &conn.target else { continue };
+            if profile.id() == conn.src.translator
+                || !query.matches(profile)
+                || conn.paths.iter().any(|p| p.dst.translator == profile.id())
+            {
+                continue;
+            }
+            let port = profile
+                .shape()
+                .ports_in(Direction::Input)
+                .find(|p| p.kind.is_digital() && p.kind.matches(&conn.src_kind))
+                .map(|p| p.name.clone());
+            let Some(port) = port else { continue };
+            let dst = PortRef::new(profile.id(), port);
+            let qos = conn.qos.clone();
+            let requester = conn.requester;
+            let path = self.new_path(dst.clone(), home, &qos);
+            if let Some(conn) = self.connections.get_mut(&cid) {
+                conn.paths.push(path);
+            }
+            if let Requester::Local(proc) = requester {
+                ctx.send_local(
+                    proc,
+                    RuntimeEvent::PathBound {
+                        connection: cid,
+                        dst,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_connect(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: ProcId,
+        token: u64,
+        src: PortRef,
+        target: ConnectTarget,
+        qos: QosPolicy,
+    ) {
+        // Source hosted here: create the connection directly.
+        if src.translator.runtime == self.cfg.id {
+            let result =
+                self.connect_local_src(ctx, src, target, qos, Requester::Local(from));
+            let event = match result {
+                Ok(connection) => RuntimeEvent::Connected { token, connection },
+                Err(e) => RuntimeEvent::ConnectFailed {
+                    token,
+                    reason: e.to_string(),
+                },
+            };
+            ctx.send_local(from, event);
+            return;
+        }
+        // Source is remote: forward to its home runtime.
+        let Some(entry) = self.directory.get(src.translator) else {
+            ctx.send_local(
+                from,
+                RuntimeEvent::ConnectFailed {
+                    token,
+                    reason: CoreError::UnknownTranslator(src.translator).to_string(),
+                },
+            );
+            return;
+        };
+        let home = entry.home;
+        let wire_token = self.next_wire_token;
+        self.next_wire_token += 1;
+        self.pending_connects.insert(wire_token, (from, token));
+        let reply_to = self.directory_addr(ctx);
+        let wire_target = match target {
+            ConnectTarget::Port(p) => WireTarget::Port(p),
+            ConnectTarget::Query(q) => WireTarget::Query(q),
+        };
+        // Control traffic goes to the peer's directory port; by convention
+        // the peer's directory port is its transport port's sibling, but we
+        // only know the transport address from advertisements, so control
+        // messages are sent there minus the offset between the two ports.
+        let peer_directory = Addr::new(
+            home.node,
+            home.port
+                .wrapping_sub(self.cfg.transport_port)
+                .wrapping_add(self.cfg.directory_port),
+        );
+        self.unicast_wire(
+            ctx,
+            peer_directory,
+            &WireMessage::ConnectRequest {
+                token: wire_token,
+                reply_to,
+                src,
+                target: wire_target,
+                qos,
+            },
+        );
+    }
+
+    fn handle_connect_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        token: u64,
+        reply_to: Addr,
+        src: PortRef,
+        target: WireTarget,
+        qos: QosPolicy,
+    ) {
+        let target = match target {
+            WireTarget::Port(p) => ConnectTarget::Port(p),
+            WireTarget::Query(q) => ConnectTarget::Query(q),
+        };
+        let result = if src.translator.runtime == self.cfg.id {
+            self.connect_local_src(ctx, src, target, qos, Requester::Remote)
+                .map_err(|e| e.to_string())
+        } else {
+            Err("source translator is not hosted here".to_owned())
+        };
+        self.unicast_wire(ctx, reply_to, &WireMessage::ConnectReply { token, result });
+    }
+
+    fn remove_connection(&mut self, ctx: &mut Ctx<'_>, connection: ConnectionId) {
+        if connection.runtime == self.cfg.id {
+            self.connections.remove(&connection);
+            return;
+        }
+        // Owned by a remote runtime: forward the disconnect there (any
+        // directory entry from that runtime gives us its address).
+        let home = self
+            .directory
+            .iter()
+            .find(|e| e.profile.id().runtime == connection.runtime && !e.local)
+            .map(|e| e.home);
+        if let Some(home) = home {
+            let peer_directory = Addr::new(
+                home.node,
+                home.port
+                    .wrapping_sub(self.cfg.transport_port)
+                    .wrapping_add(self.cfg.directory_port),
+            );
+            self.unicast_wire(ctx, peer_directory, &WireMessage::DisconnectRequest { connection });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message forwarding
+    // ------------------------------------------------------------------
+
+    fn handle_output(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: ProcId,
+        translator: TranslatorId,
+        port: String,
+        msg: UMessage,
+    ) {
+        let Some(local) = self.local_translators.get(&translator) else {
+            ctx.bump("umiddle.output_unknown_translator", 1);
+            return;
+        };
+        if local.delegate != from {
+            ctx.bump("umiddle.output_wrong_delegate", 1);
+            return;
+        }
+        let targets: Vec<ConnectionId> = self
+            .connections
+            .values()
+            .filter(|c| c.src.translator == translator && c.src.port == port)
+            .map(|c| c.id)
+            .collect();
+        for cid in targets {
+            if let Some(conn) = self.connections.get_mut(&cid) {
+                let mut dropped = 0;
+                for p in &mut conn.paths {
+                    if !p.buffer.offer(msg.clone()) {
+                        dropped += 1;
+                    }
+                }
+                if dropped > 0 {
+                    ctx.bump("umiddle.qos_dropped", dropped);
+                }
+            }
+            self.drain_connection(ctx, cid);
+        }
+        self.update_buffer_watermark();
+    }
+
+    fn update_buffer_watermark(&mut self) {
+        let mut total = 0usize;
+        let mut dropped = 0u64;
+        for p in self.connections.values().flat_map(|c| c.paths.iter()) {
+            total += p.buffer.occupancy_bytes();
+            dropped += p.buffer.stats().dropped();
+        }
+        let mut stats = self.stats.borrow_mut();
+        stats.buffered_bytes = total;
+        stats.qos_dropped = dropped;
+        stats.max_buffered_bytes = stats.max_buffered_bytes.max(total);
+    }
+
+    /// Total bytes currently buffered across all paths (for E5).
+    pub fn buffered_bytes(&self) -> usize {
+        self.connections
+            .values()
+            .flat_map(|c| c.paths.iter())
+            .map(|p| p.buffer.occupancy_bytes())
+            .sum()
+    }
+
+    fn drain_connection(&mut self, ctx: &mut Ctx<'_>, cid: ConnectionId) {
+        let Some(conn) = self.connections.get(&cid) else { return };
+        let n_paths = conn.paths.len();
+        for idx in 0..n_paths {
+            self.drain_path(ctx, cid, idx);
+        }
+    }
+
+    /// Pushes buffered messages down one path, respecting delivery credit
+    /// (local destinations), stream capacity (remote destinations) and the
+    /// QoS rate limiter.
+    fn drain_path(&mut self, ctx: &mut Ctx<'_>, cid: ConnectionId, idx: usize) {
+        loop {
+            let now = ctx.now();
+            // Inspect state immutably first.
+            let Some(conn) = self.connections.get(&cid) else { return };
+            let Some(path) = conn.paths.get(idx) else { return };
+            if path.buffer.is_empty() {
+                return;
+            }
+            let credit = self.cfg.delivery_credit;
+            match path.home {
+                None => {
+                    if path.inflight >= credit {
+                        return; // wait for InputDone
+                    }
+                    let dst = path.dst.clone();
+                    let Some(delegate) = self
+                        .local_translators
+                        .get(&dst.translator)
+                        .map(|t| t.delegate)
+                    else {
+                        // Destination vanished; drop the backlog.
+                        if let Some(conn) = self.connections.get_mut(&cid) {
+                            if let Some(path) = conn.paths.get_mut(idx) {
+                                while path.buffer.poll(now).unwrap_or(None).is_some() {}
+                            }
+                        }
+                        return;
+                    };
+                    let uid = path.uid;
+                    let msg = {
+                        let conn = self.connections.get_mut(&cid).expect("checked");
+                        let path = conn.paths.get_mut(idx).expect("checked");
+                        match path.buffer.poll(now) {
+                            Ok(Some(m)) => {
+                                path.inflight += 1;
+                                m
+                            }
+                            Ok(None) => return,
+                            Err(wait) => {
+                                if !path.timer_pending {
+                                    path.timer_pending = true;
+                                    ctx.set_timer(wait, TIMER_DRAIN_BASE + uid);
+                                }
+                                return;
+                            }
+                        }
+                    };
+                    self.stats.borrow_mut().local_deliveries += 1;
+                    ctx.send_local(
+                        delegate,
+                        RuntimeEvent::Input {
+                            translator: dst.translator,
+                            port: dst.port,
+                            msg,
+                            connection: cid,
+                        },
+                    );
+                }
+                Some(home) => {
+                    let front = path.buffer.front_size().unwrap_or(0);
+                    let uid = path.uid;
+                    let dst = path.dst.clone();
+                    // Ensure a link exists.
+                    let stream = match self.peers.get(&home) {
+                        Some(link) if link.up => link.stream,
+                        Some(_) => return, // connecting; flushed on Connected
+                        None => {
+                            let Ok(stream) = ctx.connect(home) else { return };
+                            self.peers.insert(home, PeerLink { stream, up: false });
+                            self.peer_by_stream.insert(stream, home);
+                            return;
+                        }
+                    };
+                    // Leave room for framing overhead.
+                    if ctx.stream_sendable(stream) < front + 512 {
+                        return; // resumed by Writable
+                    }
+                    let msg = {
+                        let conn = self.connections.get_mut(&cid).expect("checked");
+                        let path = conn.paths.get_mut(idx).expect("checked");
+                        match path.buffer.poll(now) {
+                            Ok(Some(m)) => m,
+                            Ok(None) => return,
+                            Err(wait) => {
+                                if !path.timer_pending {
+                                    path.timer_pending = true;
+                                    ctx.set_timer(wait, TIMER_DRAIN_BASE + uid);
+                                }
+                                return;
+                            }
+                        }
+                    };
+                    let wire = WireMessage::PathMessage {
+                        connection: cid,
+                        dst,
+                        msg,
+                    }
+                    .encode_framed();
+                    self.stats.borrow_mut().remote_sends += 1;
+                    if ctx.stream_send(stream, wire).is_err() {
+                        // Stream filled up or died between checks; the
+                        // message is lost (counted, not silently).
+                        ctx.bump("umiddle.remote_send_failed", 1);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_input_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        connection: ConnectionId,
+        translator: TranslatorId,
+    ) {
+        let Some(conn) = self.connections.get_mut(&connection) else { return };
+        let Some(idx) = conn
+            .paths
+            .iter()
+            .position(|p| p.home.is_none() && p.dst.translator == translator && p.inflight > 0)
+        else {
+            return;
+        };
+        conn.paths[idx].inflight -= 1;
+        self.drain_path(ctx, connection, idx);
+        self.update_buffer_watermark();
+    }
+
+    fn handle_drain_timer(&mut self, ctx: &mut Ctx<'_>, uid: u64) {
+        let found = self.connections.iter().find_map(|(cid, c)| {
+            c.paths
+                .iter()
+                .position(|p| p.uid == uid)
+                .map(|idx| (*cid, idx))
+        });
+        if let Some((cid, idx)) = found {
+            if let Some(conn) = self.connections.get_mut(&cid) {
+                if let Some(path) = conn.paths.get_mut(idx) {
+                    path.timer_pending = false;
+                }
+            }
+            self.drain_path(ctx, cid, idx);
+        }
+    }
+
+    fn handle_path_message(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        connection: ConnectionId,
+        dst: PortRef,
+        msg: UMessage,
+    ) {
+        self.stats.borrow_mut().remote_receives += 1;
+        let Some(local) = self.local_translators.get(&dst.translator) else {
+            ctx.bump("umiddle.path_unknown_dst", 1);
+            return;
+        };
+        if local.profile.shape().port(&dst.port).is_none() {
+            ctx.bump("umiddle.path_unknown_port", 1);
+            return;
+        }
+        ctx.send_local(
+            local.delegate,
+            RuntimeEvent::Input {
+                translator: dst.translator,
+                port: dst.port,
+                msg,
+                connection,
+            },
+        );
+    }
+
+    fn on_stream_wire(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, data: Vec<u8>) {
+        let Some(decoder) = self.incoming.get_mut(&stream) else { return };
+        decoder.push(&data);
+        loop {
+            match self.incoming.get_mut(&stream).and_then(|d| d.next().transpose()) {
+                Some(Ok(msg)) => match msg {
+                    WireMessage::PathMessage {
+                        connection,
+                        dst,
+                        msg,
+                    } => self.handle_path_message(ctx, connection, dst, msg),
+                    WireMessage::ConnectRequest {
+                        token,
+                        reply_to,
+                        src,
+                        target,
+                        qos,
+                    } => self.handle_connect_request(ctx, token, reply_to, src, target, qos),
+                    WireMessage::DisconnectRequest { connection } => {
+                        self.remove_connection(ctx, connection)
+                    }
+                    _ => ctx.bump("umiddle.unexpected_stream_msg", 1),
+                },
+                Some(Err(e)) => {
+                    ctx.bump("umiddle.wire_decode_errors", 1);
+                    ctx.trace(format!("bad stream frame: {e}"));
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn drain_paths_via(&mut self, ctx: &mut Ctx<'_>, home: Addr) {
+        let work: Vec<(ConnectionId, usize)> = self
+            .connections
+            .iter()
+            .flat_map(|(cid, c)| {
+                c.paths
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.home == Some(home))
+                    .map(move |(idx, _)| (*cid, idx))
+            })
+            .collect();
+        for (cid, idx) in work {
+            self.drain_path(ctx, cid, idx);
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        // Refresh our advertisements.
+        let locals: Vec<TranslatorProfile> = self
+            .directory
+            .local_entries()
+            .map(|e| e.profile.clone())
+            .collect();
+        for profile in locals {
+            self.advertise(ctx, profile);
+        }
+        // Expire stale remote entries.
+        for id in self.directory.expire(ctx.now()) {
+            ctx.bump("umiddle.directory_expiries", 1);
+            self.handle_disappearance(ctx, id);
+        }
+        let interval = self.cfg.advertise_interval;
+        ctx.set_timer(interval, TIMER_TICK);
+    }
+}
+
+impl Process for UmiddleRuntime {
+    fn name(&self) -> &str {
+        "umiddle-runtime"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(self.cfg.directory_port)
+            .expect("directory port available");
+        ctx.listen(self.cfg.transport_port)
+            .expect("transport port available");
+        let _ = ctx.join_group(self.cfg.multicast_group);
+        let reply_to = self.directory_addr(ctx);
+        self.multicast_wire(ctx, &WireMessage::Probe { reply_to });
+        let interval = self.cfg.advertise_interval;
+        ctx.set_timer(interval, TIMER_TICK);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        self.on_wire_datagram(ctx, dgram);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TIMER_TICK {
+            self.tick(ctx);
+        } else {
+            self.handle_drain_timer(ctx, token - TIMER_DRAIN_BASE);
+        }
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
+        match event {
+            StreamEvent::Accepted { .. } => {
+                self.incoming.insert(stream, FrameDecoder::new());
+            }
+            StreamEvent::Data(data) => {
+                if self.incoming.contains_key(&stream) {
+                    self.on_stream_wire(ctx, stream, data);
+                }
+                // Outgoing links carry no return traffic today.
+            }
+            StreamEvent::Connected => {
+                if let Some(home) = self.peer_by_stream.get(&stream).copied() {
+                    if let Some(link) = self.peers.get_mut(&home) {
+                        link.up = true;
+                    }
+                    self.drain_paths_via(ctx, home);
+                }
+            }
+            StreamEvent::Writable => {
+                if let Some(home) = self.peer_by_stream.get(&stream).copied() {
+                    self.drain_paths_via(ctx, home);
+                }
+            }
+            StreamEvent::Closed | StreamEvent::ConnectFailed => {
+                if let Some(home) = self.peer_by_stream.remove(&stream) {
+                    self.peers.remove(&home);
+                }
+                self.incoming.remove(&stream);
+            }
+        }
+    }
+
+    fn on_local(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: LocalMessage) {
+        let Ok(request) = msg.downcast::<RuntimeRequest>() else {
+            ctx.bump("umiddle.unknown_local_msg", 1);
+            return;
+        };
+        match *request {
+            RuntimeRequest::Register {
+                token,
+                profile,
+                delegate,
+            } => self.handle_register(ctx, from, token, profile, delegate),
+            RuntimeRequest::Unregister { translator } => self.handle_unregister(ctx, translator),
+            RuntimeRequest::Lookup { token, query } => {
+                let profiles: Vec<TranslatorProfile> =
+                    self.directory.lookup(&query).into_iter().cloned().collect();
+                ctx.send_local(from, RuntimeEvent::LookupResult { token, profiles });
+            }
+            RuntimeRequest::AddListener { query } => {
+                // Report existing matches immediately.
+                let matches: Vec<TranslatorProfile> =
+                    self.directory.lookup(&query).into_iter().cloned().collect();
+                for profile in matches {
+                    ctx.send_local(
+                        from,
+                        RuntimeEvent::Directory(DirectoryEvent::Appeared(profile)),
+                    );
+                }
+                self.listeners.push((from, query));
+            }
+            RuntimeRequest::RemoveListener => {
+                self.listeners.retain(|(p, _)| *p != from);
+            }
+            RuntimeRequest::Connect {
+                token,
+                src,
+                target,
+                qos,
+            } => self.handle_connect(ctx, from, token, src, target, qos),
+            RuntimeRequest::Disconnect { connection } => self.remove_connection(ctx, connection),
+            RuntimeRequest::Output {
+                translator,
+                port,
+                msg,
+            } => self.handle_output(ctx, from, translator, port, msg),
+            RuntimeRequest::InputDone {
+                connection,
+                translator,
+            } => self.handle_input_done(ctx, connection, translator),
+        }
+    }
+
+    fn on_stop(&mut self, ctx: &mut Ctx<'_>) {
+        // Orderly shutdown: tell peers our translators are gone.
+        let ids: Vec<TranslatorId> = self.local_translators.keys().copied().collect();
+        for translator in ids {
+            self.multicast_wire(ctx, &WireMessage::Bye { translator });
+        }
+    }
+}

@@ -1,0 +1,862 @@
+//! Wire codec for inter-runtime protocol messages.
+//!
+//! uMiddle runtimes exchange two kinds of traffic: *directory* messages
+//! (advertisements, byes, probes — multicast or unicast datagrams) and
+//! *transport* messages (path payloads — over streams). Both use this
+//! compact little-endian binary encoding. The codec is total: any byte
+//! sequence either decodes to a message or yields a
+//! [`CoreError::Decode`](crate::CoreError::Decode); it never panics.
+
+use simnet::{Addr, NodeId};
+
+use crate::error::{CoreError, CoreResult};
+use crate::id::{ConnectionId, PortRef, RuntimeId, TranslatorId};
+use crate::message::UMessage;
+use crate::mime::MimeType;
+use crate::profile::TranslatorProfile;
+use crate::qos::{OverflowPolicy, QosPolicy, RateLimit};
+use crate::query::Query;
+use crate::shape::{Direction, PerceptionType, PortKind, PortSpec, Shape};
+
+/// Messages exchanged between uMiddle runtimes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// A translator exists (sent on registration, on probe response, and
+    /// periodically as a refresh). `home` is the advertising runtime's
+    /// transport listener address.
+    Advertise {
+        /// The advertised profile.
+        profile: TranslatorProfile,
+        /// Transport address of the hosting runtime.
+        home: Addr,
+    },
+    /// A translator is gone.
+    Bye {
+        /// The departed translator.
+        translator: TranslatorId,
+    },
+    /// A runtime booted and asks peers to re-advertise; responses are
+    /// unicast to `reply_to`.
+    Probe {
+        /// Directory address of the probing runtime.
+        reply_to: Addr,
+    },
+    /// A path payload destined for an input port of a translator hosted by
+    /// the receiving runtime.
+    PathMessage {
+        /// The connection this message travels on.
+        connection: ConnectionId,
+        /// Destination input port.
+        dst: PortRef,
+        /// The payload.
+        msg: UMessage,
+    },
+    /// A connect request forwarded to the runtime hosting the source port
+    /// (connections always live at the source's home runtime).
+    ConnectRequest {
+        /// Correlation token chosen by the requesting runtime.
+        token: u64,
+        /// Directory address to send the [`WireMessage::ConnectReply`] to.
+        reply_to: Addr,
+        /// Source output port.
+        src: PortRef,
+        /// Static port target or dynamic query template.
+        target: WireTarget,
+        /// QoS policy for the new connection.
+        qos: QosPolicy,
+    },
+    /// Reply to a forwarded connect request.
+    ConnectReply {
+        /// Correlation token from the request.
+        token: u64,
+        /// The created connection on success.
+        result: Result<ConnectionId, String>,
+    },
+    /// Tears down a connection owned by the receiving runtime.
+    DisconnectRequest {
+        /// The connection to remove.
+        connection: ConnectionId,
+    },
+}
+
+/// Serializable connect target (mirrors the runtime API's target type).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireTarget {
+    /// A specific input port.
+    Port(PortRef),
+    /// A query template, evaluated adaptively against the directory.
+    Query(Query),
+}
+
+const TAG_ADVERTISE: u8 = 1;
+const TAG_BYE: u8 = 2;
+const TAG_PROBE: u8 = 3;
+const TAG_PATH: u8 = 4;
+const TAG_CONNECT_REQ: u8 = 5;
+const TAG_CONNECT_REPLY: u8 = 6;
+const TAG_DISCONNECT: u8 = 7;
+
+const KIND_DIGITAL: u8 = 0;
+const KIND_PHYSICAL: u8 = 1;
+
+impl WireMessage {
+    /// Encodes the message to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            WireMessage::Advertise { profile, home } => {
+                w.u8(TAG_ADVERTISE);
+                encode_profile(&mut w, profile);
+                encode_addr(&mut w, *home);
+            }
+            WireMessage::Bye { translator } => {
+                w.u8(TAG_BYE);
+                encode_translator_id(&mut w, *translator);
+            }
+            WireMessage::Probe { reply_to } => {
+                w.u8(TAG_PROBE);
+                encode_addr(&mut w, *reply_to);
+            }
+            WireMessage::PathMessage {
+                connection,
+                dst,
+                msg,
+            } => {
+                w.u8(TAG_PATH);
+                w.u32(connection.runtime.0);
+                w.u32(connection.local);
+                encode_translator_id(&mut w, dst.translator);
+                w.str(&dst.port);
+                encode_umessage(&mut w, msg);
+            }
+            WireMessage::ConnectRequest {
+                token,
+                reply_to,
+                src,
+                target,
+                qos,
+            } => {
+                w.u8(TAG_CONNECT_REQ);
+                w.u64(*token);
+                encode_addr(&mut w, *reply_to);
+                encode_translator_id(&mut w, src.translator);
+                w.str(&src.port);
+                match target {
+                    WireTarget::Port(p) => {
+                        w.u8(0);
+                        encode_translator_id(&mut w, p.translator);
+                        w.str(&p.port);
+                    }
+                    WireTarget::Query(q) => {
+                        w.u8(1);
+                        encode_query(&mut w, q);
+                    }
+                }
+                encode_qos(&mut w, qos);
+            }
+            WireMessage::ConnectReply { token, result } => {
+                w.u8(TAG_CONNECT_REPLY);
+                w.u64(*token);
+                match result {
+                    Ok(conn) => {
+                        w.u8(0);
+                        w.u32(conn.runtime.0);
+                        w.u32(conn.local);
+                    }
+                    Err(e) => {
+                        w.u8(1);
+                        w.str(e);
+                    }
+                }
+            }
+            WireMessage::DisconnectRequest { connection } => {
+                w.u8(TAG_DISCONNECT);
+                w.u32(connection.runtime.0);
+                w.u32(connection.local);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a message from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Decode`] on truncated or malformed input.
+    pub fn decode(bytes: &[u8]) -> CoreResult<WireMessage> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_ADVERTISE => WireMessage::Advertise {
+                profile: decode_profile(&mut r)?,
+                home: decode_addr(&mut r)?,
+            },
+            TAG_BYE => WireMessage::Bye {
+                translator: decode_translator_id(&mut r)?,
+            },
+            TAG_PROBE => WireMessage::Probe {
+                reply_to: decode_addr(&mut r)?,
+            },
+            TAG_PATH => WireMessage::PathMessage {
+                connection: ConnectionId::new(RuntimeId(r.u32()?), r.u32()?),
+                dst: {
+                    let t = decode_translator_id(&mut r)?;
+                    let port = r.str()?;
+                    PortRef::new(t, port)
+                },
+                msg: decode_umessage(&mut r)?,
+            },
+            TAG_CONNECT_REQ => WireMessage::ConnectRequest {
+                token: r.u64()?,
+                reply_to: decode_addr(&mut r)?,
+                src: {
+                    let t = decode_translator_id(&mut r)?;
+                    let port = r.str()?;
+                    PortRef::new(t, port)
+                },
+                target: match r.u8()? {
+                    0 => {
+                        let t = decode_translator_id(&mut r)?;
+                        let port = r.str()?;
+                        WireTarget::Port(PortRef::new(t, port))
+                    }
+                    1 => WireTarget::Query(decode_query(&mut r, 0)?),
+                    other => {
+                        return Err(CoreError::Decode(format!("unknown target tag {other}")))
+                    }
+                },
+                qos: decode_qos(&mut r)?,
+            },
+            TAG_CONNECT_REPLY => WireMessage::ConnectReply {
+                token: r.u64()?,
+                result: match r.u8()? {
+                    0 => Ok(ConnectionId::new(RuntimeId(r.u32()?), r.u32()?)),
+                    1 => Err(r.str()?),
+                    other => {
+                        return Err(CoreError::Decode(format!("unknown result tag {other}")))
+                    }
+                },
+            },
+            TAG_DISCONNECT => WireMessage::DisconnectRequest {
+                connection: ConnectionId::new(RuntimeId(r.u32()?), r.u32()?),
+            },
+            other => return Err(CoreError::Decode(format!("unknown tag {other}"))),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+
+    /// Encodes with a `u32` length prefix, for framing on a byte stream.
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let body = self.encode();
+        let mut out = Vec::with_capacity(body.len() + 4);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+/// Incremental decoder of length-prefixed [`WireMessage`]s from a byte
+/// stream, tolerant of arbitrary chunking.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Feeds received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete message, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Decode`] if a complete frame fails to decode
+    /// (the frame is consumed, so decoding can continue).
+    #[allow(clippy::should_implement_trait)] // framer convention, not an Iterator
+    pub fn next(&mut self) -> CoreResult<Option<WireMessage>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
+        WireMessage::decode(&frame).map(Some)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer { out: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        self.u16(bytes.len().min(u16::MAX as usize) as u16);
+        self.out.extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.out.extend_from_slice(b);
+    }
+    fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> CoreResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(CoreError::Decode("truncated".to_owned()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> CoreResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> CoreResult<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> CoreResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> CoreResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+    fn str(&mut self) -> CoreResult<String> {
+        let len = self.u16()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| CoreError::Decode("invalid utf-8".to_owned()))
+    }
+    fn bytes(&mut self) -> CoreResult<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+    fn finish(&self) -> CoreResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CoreError::Decode(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Composite encoders
+// ---------------------------------------------------------------------
+
+fn encode_addr(w: &mut Writer, addr: Addr) {
+    w.u32(addr.node.index() as u32);
+    w.u16(addr.port);
+}
+
+fn decode_addr(r: &mut Reader<'_>) -> CoreResult<Addr> {
+    let node = NodeId::from_index(r.u32()? as usize);
+    let port = r.u16()?;
+    Ok(Addr::new(node, port))
+}
+
+fn encode_translator_id(w: &mut Writer, id: TranslatorId) {
+    w.u32(id.runtime.0);
+    w.u32(id.local);
+}
+
+fn decode_translator_id(r: &mut Reader<'_>) -> CoreResult<TranslatorId> {
+    Ok(TranslatorId::new(RuntimeId(r.u32()?), r.u32()?))
+}
+
+fn encode_port_kind(w: &mut Writer, kind: &PortKind) {
+    match kind {
+        PortKind::Digital(m) => {
+            w.u8(KIND_DIGITAL);
+            w.str(&m.to_string());
+        }
+        PortKind::Physical { perception, media } => {
+            w.u8(KIND_PHYSICAL);
+            w.str(&perception.to_string());
+            w.str(media);
+        }
+    }
+}
+
+fn decode_port_kind(r: &mut Reader<'_>) -> CoreResult<PortKind> {
+    match r.u8()? {
+        KIND_DIGITAL => {
+            let m: MimeType = r.str()?.parse()?;
+            Ok(PortKind::Digital(m))
+        }
+        KIND_PHYSICAL => {
+            let perception: PerceptionType = r.str()?.parse()?;
+            let media = r.str()?;
+            Ok(PortKind::physical(perception, &media))
+        }
+        other => Err(CoreError::Decode(format!("unknown port kind {other}"))),
+    }
+}
+
+fn encode_shape(w: &mut Writer, shape: &Shape) {
+    w.u16(shape.ports().len() as u16);
+    for p in shape.ports() {
+        w.str(&p.name);
+        w.u8(match p.direction {
+            Direction::Input => 0,
+            Direction::Output => 1,
+        });
+        encode_port_kind(w, &p.kind);
+    }
+}
+
+fn decode_shape(r: &mut Reader<'_>) -> CoreResult<Shape> {
+    let n = r.u16()? as usize;
+    let mut ports = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = r.str()?;
+        let direction = match r.u8()? {
+            0 => Direction::Input,
+            1 => Direction::Output,
+            other => return Err(CoreError::Decode(format!("unknown direction {other}"))),
+        };
+        let kind = decode_port_kind(r)?;
+        ports.push(PortSpec {
+            name,
+            direction,
+            kind,
+        });
+    }
+    Shape::from_ports(ports).map_err(|e| CoreError::Decode(e.to_string()))
+}
+
+fn encode_profile(w: &mut Writer, p: &TranslatorProfile) {
+    encode_translator_id(w, p.id());
+    w.str(p.name());
+    w.str(p.platform());
+    encode_shape(w, p.shape());
+    let attrs: Vec<_> = p.attrs().collect();
+    w.u16(attrs.len() as u16);
+    for (k, v) in attrs {
+        w.str(k);
+        w.str(v);
+    }
+}
+
+fn decode_profile(r: &mut Reader<'_>) -> CoreResult<TranslatorProfile> {
+    let id = decode_translator_id(r)?;
+    let name = r.str()?;
+    let platform = r.str()?;
+    let shape = decode_shape(r)?;
+    let mut builder = TranslatorProfile::builder(id, name)
+        .platform(platform)
+        .shape(shape);
+    let n = r.u16()? as usize;
+    for _ in 0..n {
+        let k = r.str()?;
+        let v = r.str()?;
+        builder = builder.attr(k, v);
+    }
+    Ok(builder.build())
+}
+
+/// Maximum query nesting depth accepted by the decoder (defense against
+/// stack exhaustion from hostile input).
+const MAX_QUERY_DEPTH: u32 = 32;
+
+fn encode_query(w: &mut Writer, q: &Query) {
+    match q {
+        Query::All => w.u8(0),
+        Query::None => w.u8(1),
+        Query::HasPort { direction, kind } => {
+            w.u8(2);
+            w.u8(match direction {
+                Direction::Input => 0,
+                Direction::Output => 1,
+            });
+            encode_port_kind(w, kind);
+        }
+        Query::NameIs(s) => {
+            w.u8(3);
+            w.str(s);
+        }
+        Query::NameContains(s) => {
+            w.u8(4);
+            w.str(s);
+        }
+        Query::Platform(s) => {
+            w.u8(5);
+            w.str(s);
+        }
+        Query::Attr { key, value } => {
+            w.u8(6);
+            w.str(key);
+            w.str(value);
+        }
+        Query::HasAttr(key) => {
+            w.u8(7);
+            w.str(key);
+        }
+        Query::And(a, b) => {
+            w.u8(8);
+            encode_query(w, a);
+            encode_query(w, b);
+        }
+        Query::Or(a, b) => {
+            w.u8(9);
+            encode_query(w, a);
+            encode_query(w, b);
+        }
+        Query::Not(a) => {
+            w.u8(10);
+            encode_query(w, a);
+        }
+    }
+}
+
+fn decode_query(r: &mut Reader<'_>, depth: u32) -> CoreResult<Query> {
+    if depth > MAX_QUERY_DEPTH {
+        return Err(CoreError::Decode("query too deep".to_owned()));
+    }
+    Ok(match r.u8()? {
+        0 => Query::All,
+        1 => Query::None,
+        2 => Query::HasPort {
+            direction: match r.u8()? {
+                0 => Direction::Input,
+                1 => Direction::Output,
+                other => return Err(CoreError::Decode(format!("unknown direction {other}"))),
+            },
+            kind: decode_port_kind(r)?,
+        },
+        3 => Query::NameIs(r.str()?),
+        4 => Query::NameContains(r.str()?),
+        5 => Query::Platform(r.str()?),
+        6 => Query::Attr {
+            key: r.str()?,
+            value: r.str()?,
+        },
+        7 => Query::HasAttr(r.str()?),
+        8 => Query::And(
+            Box::new(decode_query(r, depth + 1)?),
+            Box::new(decode_query(r, depth + 1)?),
+        ),
+        9 => Query::Or(
+            Box::new(decode_query(r, depth + 1)?),
+            Box::new(decode_query(r, depth + 1)?),
+        ),
+        10 => Query::Not(Box::new(decode_query(r, depth + 1)?)),
+        other => return Err(CoreError::Decode(format!("unknown query tag {other}"))),
+    })
+}
+
+fn encode_qos(w: &mut Writer, q: &QosPolicy) {
+    match q.capacity_bytes {
+        Some(cap) => {
+            w.u8(1);
+            w.u64(cap as u64);
+        }
+        None => w.u8(0),
+    }
+    w.u8(match q.overflow {
+        OverflowPolicy::Unbounded => 0,
+        OverflowPolicy::DropNewest => 1,
+        OverflowPolicy::DropOldest => 2,
+    });
+    match q.rate {
+        Some(rate) => {
+            w.u8(1);
+            w.u64(rate.bytes_per_second);
+            w.u64(rate.burst_bytes);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn decode_qos(r: &mut Reader<'_>) -> CoreResult<QosPolicy> {
+    let capacity_bytes = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()? as usize),
+        other => return Err(CoreError::Decode(format!("unknown capacity tag {other}"))),
+    };
+    let overflow = match r.u8()? {
+        0 => OverflowPolicy::Unbounded,
+        1 => OverflowPolicy::DropNewest,
+        2 => OverflowPolicy::DropOldest,
+        other => return Err(CoreError::Decode(format!("unknown overflow tag {other}"))),
+    };
+    let rate = match r.u8()? {
+        0 => None,
+        1 => Some(RateLimit {
+            bytes_per_second: r.u64()?,
+            burst_bytes: r.u64()?,
+        }),
+        other => return Err(CoreError::Decode(format!("unknown rate tag {other}"))),
+    };
+    Ok(QosPolicy {
+        capacity_bytes,
+        overflow,
+        rate,
+    })
+}
+
+fn encode_umessage(w: &mut Writer, m: &UMessage) {
+    w.str(&m.mime().to_string());
+    w.bytes(m.body());
+    let metas: Vec<_> = m.metas().collect();
+    w.u16(metas.len() as u16);
+    for (k, v) in metas {
+        w.str(k);
+        w.str(v);
+    }
+}
+
+fn decode_umessage(r: &mut Reader<'_>) -> CoreResult<UMessage> {
+    let mime: MimeType = r.str()?.parse()?;
+    let body = r.bytes()?;
+    let mut m = UMessage::new(mime, body);
+    let n = r.u16()? as usize;
+    for _ in 0..n {
+        let k = r.str()?;
+        let v = r.str()?;
+        m = m.with_meta(k, v);
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_profile() -> TranslatorProfile {
+        let shape = Shape::builder()
+            .digital("in", Direction::Input, "image/jpeg".parse().unwrap())
+            .physical(
+                "screen",
+                Direction::Output,
+                PerceptionType::Visible,
+                "screen",
+            )
+            .build()
+            .unwrap();
+        TranslatorProfile::builder(TranslatorId::new(RuntimeId(3), 14), "TV")
+            .platform("upnp")
+            .shape(shape)
+            .attr("room", "living")
+            .build()
+    }
+
+    #[test]
+    fn advertise_round_trip() {
+        let msg = WireMessage::Advertise {
+            profile: sample_profile(),
+            home: Addr::new(NodeId::from_index(2), 47_001),
+        };
+        let back = WireMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn bye_probe_round_trip() {
+        for msg in [
+            WireMessage::Bye {
+                translator: TranslatorId::new(RuntimeId(1), 9),
+            },
+            WireMessage::Probe {
+                reply_to: Addr::new(NodeId::from_index(0), 47_000),
+            },
+        ] {
+            assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn path_message_round_trip() {
+        let msg = WireMessage::PathMessage {
+            connection: ConnectionId::new(RuntimeId(2), 5),
+            dst: PortRef::new(TranslatorId::new(RuntimeId(0), 7), "media-in"),
+            msg: UMessage::new("image/jpeg".parse().unwrap(), vec![1, 2, 3])
+                .with_meta("seq", "42"),
+        };
+        assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = WireMessage::Bye {
+            translator: TranslatorId::new(RuntimeId(1), 1),
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(WireMessage::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = WireMessage::Probe {
+            reply_to: Addr::new(NodeId::from_index(0), 1),
+        }
+        .encode();
+        bytes.push(0);
+        assert!(WireMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn frame_decoder_handles_arbitrary_chunking() {
+        let msgs = vec![
+            WireMessage::Bye {
+                translator: TranslatorId::new(RuntimeId(0), 1),
+            },
+            WireMessage::Advertise {
+                profile: sample_profile(),
+                home: Addr::new(NodeId::from_index(1), 47_001),
+            },
+            WireMessage::Probe {
+                reply_to: Addr::new(NodeId::from_index(2), 47_000),
+            },
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(m.encode_framed());
+        }
+        // Feed one byte at a time.
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in stream {
+            dec.push(&[b]);
+            while let Some(m) = dec.next().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn connect_control_round_trip() {
+        use crate::shape::PortKind;
+        let q = Query::has_port(
+            Direction::Input,
+            PortKind::Digital("image/*".parse().unwrap()),
+        )
+        .and(Query::Platform("upnp".to_owned()).not());
+        for msg in [
+            WireMessage::ConnectRequest {
+                token: 99,
+                reply_to: Addr::new(NodeId::from_index(4), 47_000),
+                src: PortRef::new(TranslatorId::new(RuntimeId(1), 2), "image-out"),
+                target: WireTarget::Query(q),
+                qos: QosPolicy::bounded_drop_oldest(4096).with_rate(1000, 2000),
+            },
+            WireMessage::ConnectRequest {
+                token: 100,
+                reply_to: Addr::new(NodeId::from_index(4), 47_000),
+                src: PortRef::new(TranslatorId::new(RuntimeId(1), 2), "image-out"),
+                target: WireTarget::Port(PortRef::new(
+                    TranslatorId::new(RuntimeId(0), 7),
+                    "media-in",
+                )),
+                qos: QosPolicy::unbounded(),
+            },
+            WireMessage::ConnectReply {
+                token: 99,
+                result: Ok(ConnectionId::new(RuntimeId(1), 3)),
+            },
+            WireMessage::ConnectReply {
+                token: 100,
+                result: Err("incompatible ports".to_owned()),
+            },
+            WireMessage::DisconnectRequest {
+                connection: ConnectionId::new(RuntimeId(1), 3),
+            },
+        ] {
+            assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn deep_query_rejected() {
+        let mut q = Query::All;
+        for _ in 0..64 {
+            q = q.not();
+        }
+        let msg = WireMessage::ConnectRequest {
+            token: 0,
+            reply_to: Addr::new(NodeId::from_index(0), 1),
+            src: PortRef::new(TranslatorId::new(RuntimeId(0), 0), "p"),
+            target: WireTarget::Query(q),
+            qos: QosPolicy::unbounded(),
+        };
+        assert!(WireMessage::decode(&msg.encode()).is_err());
+    }
+
+    proptest! {
+        /// Random bytes never panic the decoder.
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = WireMessage::decode(&bytes);
+        }
+
+        /// UMessage round trip with arbitrary body and metadata.
+        #[test]
+        fn path_round_trip(
+            body in proptest::collection::vec(any::<u8>(), 0..512),
+            metas in proptest::collection::btree_map("[a-z]{1,8}", "[a-z0-9]{0,16}", 0..4),
+            local in any::<u32>(),
+        ) {
+            let mut m = UMessage::new("application/octet-stream".parse().unwrap(), body);
+            for (k, v) in metas {
+                m = m.with_meta(k, v);
+            }
+            let msg = WireMessage::PathMessage {
+                connection: ConnectionId::new(RuntimeId(1), local),
+                dst: PortRef::new(TranslatorId::new(RuntimeId(0), 0), "p"),
+                msg: m,
+            };
+            prop_assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Bundled USDL documents for every device type the reproduction ships.
+//!
+//! These mirror the device corpus of the paper's evaluation: the UPnP
+//! clock (fourteen ports — the paper calls out its mapping cost), light
+//! and air conditioner from the CyberLink samples, the UPnP MediaRenderer
+//! TV, the Bluetooth BIP camera/printer and HIDP mouse, a Java RMI echo
+//! service, MediaBroker sources/sinks, a Berkeley sensor mote and a web
+//! service logger.
+
+/// UPnP binary light (the paper's §3.4 SetPower example: `1` switches the
+/// light on, `0` off).
+pub const UPNP_LIGHT: &str = r#"
+<usdl device="urn:umiddle:device:BinaryLight:1" platform="upnp" name="UPnP Light">
+  <translator generic="upnp"/>
+  <attr key="category" value="lighting"/>
+  <port name="switch-on" kind="digital" direction="input" mime="text/plain">
+    <bind service="SwitchPower" action="SetPower" argument="Power" value="1"/>
+  </port>
+  <port name="switch-off" kind="digital" direction="input" mime="text/plain">
+    <bind service="SwitchPower" action="SetPower" argument="Power" value="0"/>
+  </port>
+  <port name="power-state" kind="digital" direction="output" mime="text/plain">
+    <bind service="SwitchPower" statevar="Power"/>
+  </port>
+  <port name="light" kind="physical" direction="output" perception="visible" media="air"/>
+</usdl>"#;
+
+/// UPnP clock. Fourteen ports, matching the paper's description of the
+/// most expensive translator to instantiate in Figure 10.
+pub const UPNP_CLOCK: &str = r#"
+<usdl device="urn:umiddle:device:Clock:1" platform="upnp" name="UPnP Clock">
+  <translator generic="upnp"/>
+  <attr key="category" value="time"/>
+  <port name="set-time" kind="digital" direction="input" mime="text/plain">
+    <bind service="TimeKeeping" action="SetTime" argument="NewTime"/>
+  </port>
+  <port name="time" kind="digital" direction="output" mime="text/plain">
+    <bind service="TimeKeeping" statevar="Time"/>
+  </port>
+  <port name="set-date" kind="digital" direction="input" mime="text/plain">
+    <bind service="TimeKeeping" action="SetDate" argument="NewDate"/>
+  </port>
+  <port name="date" kind="digital" direction="output" mime="text/plain">
+    <bind service="TimeKeeping" statevar="Date"/>
+  </port>
+  <port name="set-timezone" kind="digital" direction="input" mime="text/plain">
+    <bind service="TimeKeeping" action="SetTimeZone" argument="NewTimeZone"/>
+  </port>
+  <port name="timezone" kind="digital" direction="output" mime="text/plain">
+    <bind service="TimeKeeping" statevar="TimeZone"/>
+  </port>
+  <port name="set-alarm" kind="digital" direction="input" mime="text/plain">
+    <bind service="Alarm" action="SetAlarm" argument="AlarmTime"/>
+  </port>
+  <port name="alarm" kind="digital" direction="output" mime="text/plain">
+    <bind service="Alarm" statevar="AlarmTime"/>
+  </port>
+  <port name="alarm-enable" kind="digital" direction="input" mime="text/plain">
+    <bind service="Alarm" action="SetAlarmEnabled" argument="Enabled"/>
+  </port>
+  <port name="set-format" kind="digital" direction="input" mime="text/plain">
+    <bind service="TimeKeeping" action="SetFormat" argument="Format"/>
+  </port>
+  <port name="format" kind="digital" direction="output" mime="text/plain">
+    <bind service="TimeKeeping" statevar="Format"/>
+  </port>
+  <port name="tick" kind="digital" direction="output" mime="text/plain">
+    <bind service="TimeKeeping" statevar="Tick"/>
+  </port>
+  <port name="display" kind="physical" direction="output" perception="visible" media="screen"/>
+  <port name="alarm-ring" kind="physical" direction="output" perception="audible" media="air"/>
+</usdl>"#;
+
+/// UPnP air conditioner (one of the CyberLink sample devices used in
+/// Figure 10).
+pub const UPNP_AIRCON: &str = r#"
+<usdl device="urn:umiddle:device:AirConditioner:1" platform="upnp" name="UPnP Air Conditioner">
+  <translator generic="upnp"/>
+  <attr key="category" value="hvac"/>
+  <port name="set-mode" kind="digital" direction="input" mime="text/plain">
+    <bind service="Hvac" action="SetMode" argument="Mode"/>
+  </port>
+  <port name="set-temperature" kind="digital" direction="input" mime="text/plain">
+    <bind service="Hvac" action="SetTarget" argument="Target"/>
+  </port>
+  <port name="temperature" kind="digital" direction="output" mime="text/plain">
+    <bind service="Hvac" statevar="Temperature"/>
+  </port>
+  <port name="mode" kind="digital" direction="output" mime="text/plain">
+    <bind service="Hvac" statevar="Mode"/>
+  </port>
+  <port name="airflow" kind="physical" direction="output" perception="tangible" media="air"/>
+</usdl>"#;
+
+/// UPnP MediaRenderer — the TV in the paper's flagship camera-to-TV
+/// scenario.
+pub const UPNP_MEDIA_RENDERER: &str = r#"
+<usdl device="urn:umiddle:device:MediaRenderer:1" platform="upnp" name="UPnP MediaRenderer TV">
+  <translator generic="upnp"/>
+  <attr key="category" value="av"/>
+  <port name="media-in" kind="digital" direction="input" mime="image/*">
+    <bind service="AVTransport" action="RenderMedia" argument="Media"/>
+  </port>
+  <port name="play-control" kind="digital" direction="input" mime="text/plain">
+    <bind service="AVTransport" action="SetTransportState" argument="State"/>
+  </port>
+  <port name="transport-state" kind="digital" direction="output" mime="text/plain">
+    <bind service="AVTransport" statevar="TransportState"/>
+  </port>
+  <port name="screen" kind="physical" direction="output" perception="visible" media="screen"/>
+  <port name="speaker" kind="physical" direction="output" perception="audible" media="air"/>
+</usdl>"#;
+
+/// Bluetooth Basic Imaging Profile camera (the paper's running example).
+pub const BT_BIP_CAMERA: &str = r#"
+<usdl device="bip-camera" platform="bluetooth" name="BIP Camera">
+  <translator generic="bluetooth-bip"/>
+  <attr key="category" value="imaging"/>
+  <port name="image-out" kind="digital" direction="output" mime="image/jpeg">
+    <bind obex="get" operation="ImagePull"/>
+  </port>
+  <port name="capture" kind="digital" direction="input" mime="text/plain">
+    <bind obex="put" operation="RemoteShutter"/>
+  </port>
+  <port name="viewfinder" kind="physical" direction="output" perception="visible" media="screen"/>
+</usdl>"#;
+
+/// Bluetooth BIP printer: same profile as the camera, different role —
+/// the paper's point that BIP roles are determined at runtime by
+/// different USDL documents over one generic translator.
+pub const BT_BIP_PRINTER: &str = r#"
+<usdl device="bip-printer" platform="bluetooth" name="BIP Photo Printer">
+  <translator generic="bluetooth-bip"/>
+  <attr key="category" value="imaging"/>
+  <port name="image-in" kind="digital" direction="input" mime="image/jpeg">
+    <bind obex="put" operation="ImagePush"/>
+  </port>
+  <port name="print" kind="physical" direction="output" perception="visible" media="paper"/>
+</usdl>"#;
+
+/// Bluetooth HIDP mouse (benchmarked in Figure 10 and §5.2; signals are
+/// translated to small vector-markup documents per the paper).
+pub const BT_HIDP_MOUSE: &str = r#"
+<usdl device="hidp-mouse" platform="bluetooth" name="HIDP Mouse">
+  <translator generic="bluetooth-hidp"/>
+  <attr key="category" value="input"/>
+  <port name="pointer" kind="digital" direction="output" mime="application/vml">
+    <bind report="motion"/>
+  </port>
+  <port name="clicks" kind="digital" direction="output" mime="text/plain">
+    <bind report="button"/>
+  </port>
+  <port name="grip" kind="physical" direction="input" perception="tangible" media="hand"/>
+</usdl>"#;
+
+/// Java RMI echo service (the §5.3 transport benchmark endpoint).
+pub const RMI_ECHO: &str = r#"
+<usdl device="EchoService" platform="rmi" name="RMI Echo Service">
+  <translator generic="rmi"/>
+  <port name="request" kind="digital" direction="input" mime="application/octet-stream">
+    <bind method="echo"/>
+  </port>
+  <port name="response" kind="digital" direction="output" mime="application/octet-stream">
+    <bind method="echo" result="true"/>
+  </port>
+</usdl>"#;
+
+/// MediaBroker producer endpoint (§5.3).
+pub const MB_SOURCE: &str = r#"
+<usdl device="mb-source" platform="mediabroker" name="MediaBroker Source">
+  <translator generic="mediabroker"/>
+  <port name="media-out" kind="digital" direction="output" mime="application/octet-stream">
+    <bind channel="produce"/>
+  </port>
+</usdl>"#;
+
+/// MediaBroker consumer endpoint (§5.3).
+pub const MB_SINK: &str = r#"
+<usdl device="mb-sink" platform="mediabroker" name="MediaBroker Sink">
+  <translator generic="mediabroker"/>
+  <port name="media-in" kind="digital" direction="input" mime="application/octet-stream">
+    <bind channel="consume"/>
+  </port>
+</usdl>"#;
+
+/// Berkeley sensor mote (temperature + light sensing).
+pub const MOTE_SENSOR: &str = r#"
+<usdl device="sensor-mote" platform="motes" name="Sensor Mote">
+  <translator generic="motes"/>
+  <attr key="category" value="sensing"/>
+  <port name="temperature" kind="digital" direction="output" mime="text/plain">
+    <bind am-type="10" field="temperature"/>
+  </port>
+  <port name="light-level" kind="digital" direction="output" mime="text/plain">
+    <bind am-type="10" field="light"/>
+  </port>
+  <port name="sampling" kind="digital" direction="input" mime="text/plain">
+    <bind am-type="11" field="interval"/>
+  </port>
+</usdl>"#;
+
+/// A web-service event logger.
+pub const WS_LOGGER: &str = r#"
+<usdl device="logger" platform="webservices" name="Event Log Service">
+  <translator generic="webservices"/>
+  <port name="log-in" kind="digital" direction="input" mime="text/plain">
+    <bind operation="append"/>
+  </port>
+  <port name="entries" kind="digital" direction="output" mime="text/plain">
+    <bind operation="tail"/>
+  </port>
+</usdl>"#;
+
+/// A web-service weather feed.
+pub const WS_WEATHER: &str = r#"
+<usdl device="weather" platform="webservices" name="Weather Service">
+  <translator generic="webservices"/>
+  <port name="conditions" kind="digital" direction="output" mime="text/plain">
+    <bind operation="current"/>
+  </port>
+  <port name="set-location" kind="digital" direction="input" mime="text/plain">
+    <bind operation="locate"/>
+  </port>
+</usdl>"#;
+
+/// Every bundled document, in registration order.
+pub const BUNDLED_DOCUMENTS: &[&str] = &[
+    UPNP_LIGHT,
+    UPNP_CLOCK,
+    UPNP_AIRCON,
+    UPNP_MEDIA_RENDERER,
+    BT_BIP_CAMERA,
+    BT_BIP_PRINTER,
+    BT_HIDP_MOUSE,
+    RMI_ECHO,
+    MB_SOURCE,
+    MB_SINK,
+    MOTE_SENSOR,
+    WS_LOGGER,
+    WS_WEATHER,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::UsdlDocument;
+
+    #[test]
+    fn every_bundled_document_parses_and_round_trips() {
+        for xml in BUNDLED_DOCUMENTS {
+            let doc = UsdlDocument::parse(xml).unwrap_or_else(|e| panic!("{e}: {xml}"));
+            let back = UsdlDocument::parse(&doc.to_xml()).unwrap();
+            assert_eq!(doc, back);
+            assert!(!doc.ports().is_empty() || doc.device_type() == "unused");
+        }
+    }
+
+    #[test]
+    fn camera_and_tv_are_connectable() {
+        let cam = UsdlDocument::parse(BT_BIP_CAMERA).unwrap();
+        let tv = UsdlDocument::parse(UPNP_MEDIA_RENDERER).unwrap();
+        let (cam_shape, tv_shape) = (cam.shape(), tv.shape());
+        let pairs = cam_shape.connectable_to(&tv_shape);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0.name, "image-out");
+        assert_eq!(pairs[0].1.name, "media-in");
+    }
+
+    #[test]
+    fn camera_and_printer_are_connectable_too() {
+        // Fine-grained polymorphism: the same camera feeds the printer.
+        let cam = UsdlDocument::parse(BT_BIP_CAMERA).unwrap();
+        let printer = UsdlDocument::parse(BT_BIP_PRINTER).unwrap();
+        let (cam_shape, printer_shape) = (cam.shape(), printer.shape());
+        assert_eq!(cam_shape.connectable_to(&printer_shape).len(), 1);
+    }
+
+    #[test]
+    fn bip_camera_and_printer_share_generic_translator() {
+        let cam = UsdlDocument::parse(BT_BIP_CAMERA).unwrap();
+        let printer = UsdlDocument::parse(BT_BIP_PRINTER).unwrap();
+        assert_eq!(cam.generic(), printer.generic());
+        assert_ne!(cam.device_type(), printer.device_type());
+    }
+}

@@ -1,0 +1,147 @@
+//! A registry of USDL documents keyed by `(platform, device type)`.
+//!
+//! Mappers consult the library when a native device is discovered: the
+//! document tells them how to parameterize their generic translator for
+//! that device type. New device types are supported by adding documents —
+//! no code changes, which is the paper's first extensibility dimension.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use umiddle_core::{CoreError, CoreResult};
+
+use crate::schema::UsdlDocument;
+
+/// The USDL document registry.
+#[derive(Debug, Clone, Default)]
+pub struct UsdlLibrary {
+    docs: BTreeMap<(String, String), UsdlDocument>,
+}
+
+impl UsdlLibrary {
+    /// Creates an empty library.
+    pub fn new() -> UsdlLibrary {
+        UsdlLibrary::default()
+    }
+
+    /// A library pre-loaded with every bundled device description.
+    pub fn bundled() -> UsdlLibrary {
+        let mut lib = UsdlLibrary::new();
+        for xml in crate::builtin::BUNDLED_DOCUMENTS {
+            lib.register_xml(xml)
+                .expect("bundled USDL documents are valid");
+        }
+        lib
+    }
+
+    /// Registers a parsed document, replacing any previous document for
+    /// the same `(platform, device type)`.
+    pub fn register(&mut self, doc: UsdlDocument) {
+        self.docs.insert(
+            (doc.platform().to_owned(), doc.device_type().to_owned()),
+            doc,
+        );
+    }
+
+    /// Parses and registers a document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] if the document fails validation.
+    pub fn register_xml(&mut self, xml: &str) -> CoreResult<()> {
+        let doc = UsdlDocument::parse(xml)?;
+        self.register(doc);
+        Ok(())
+    }
+
+    /// Looks up the document for a device type on a platform.
+    pub fn get(&self, platform: &str, device_type: &str) -> Option<&UsdlDocument> {
+        self.docs
+            .get(&(platform.to_owned(), device_type.to_owned()))
+    }
+
+    /// Like [`UsdlLibrary::get`], but returns a descriptive error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] naming the missing document.
+    pub fn require(&self, platform: &str, device_type: &str) -> CoreResult<&UsdlDocument> {
+        self.get(platform, device_type).ok_or_else(|| {
+            CoreError::Invalid(format!(
+                "no USDL document for device type {device_type:?} on platform {platform:?}"
+            ))
+        })
+    }
+
+    /// All documents for one platform.
+    pub fn for_platform<'a>(&'a self, platform: &'a str) -> impl Iterator<Item = &'a UsdlDocument> {
+        self.docs
+            .iter()
+            .filter(move |((p, _), _)| p == platform)
+            .map(|(_, d)| d)
+    }
+
+    /// Every document, ordered by platform then device type.
+    pub fn iter(&self) -> impl Iterator<Item = &UsdlDocument> {
+        self.docs.values()
+    }
+
+    /// Number of registered documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Returns `true` if the library has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+impl fmt::Display for UsdlLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "usdl library ({} documents)", self.docs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_library_loads_and_indexes() {
+        let lib = UsdlLibrary::bundled();
+        assert!(lib.len() >= 10, "bundled count: {}", lib.len());
+        // Every platform the paper bridges is represented.
+        for platform in ["upnp", "bluetooth", "rmi", "mediabroker", "motes", "webservices"] {
+            assert!(
+                lib.for_platform(platform).count() > 0,
+                "missing platform {platform}"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_has_fourteen_ports_like_the_paper() {
+        let lib = UsdlLibrary::bundled();
+        let clock = lib.require("upnp", "urn:umiddle:device:Clock:1").unwrap();
+        assert_eq!(clock.ports().len(), 14, "paper: clock translator has 14 ports");
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let lib = UsdlLibrary::new();
+        let err = lib.require("upnp", "nope").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut lib = UsdlLibrary::new();
+        lib.register_xml(r#"<usdl device="d" platform="p" name="First"/>"#)
+            .unwrap();
+        lib.register_xml(r#"<usdl device="d" platform="p" name="Second"/>"#)
+            .unwrap();
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.get("p", "d").unwrap().name(), "Second");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests: arbitrary USDL documents survive the
+//! XML round trip, and shapes derived from them behave consistently.
+
+use proptest::prelude::*;
+use umiddle_core::{Direction, PortKind};
+use umiddle_usdl::{Element, UsdlDocument};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,12}"
+}
+
+fn arb_mime() -> impl Strategy<Value = String> {
+    ("[a-z]{2,8}", "[a-z0-9.+-]{1,10}").prop_map(|(a, b)| format!("{a}/{b}"))
+}
+
+#[derive(Debug, Clone)]
+struct PortGen {
+    name: String,
+    direction: &'static str,
+    digital_mime: Option<String>,
+    perception: &'static str,
+    media: String,
+    bindings: Vec<Vec<(String, String)>>,
+}
+
+fn arb_port(idx: usize) -> impl Strategy<Value = PortGen> {
+    (
+        arb_name(),
+        prop_oneof![Just("input"), Just("output")],
+        proptest::option::of(arb_mime()),
+        prop_oneof![Just("visible"), Just("audible"), Just("tangible")],
+        "[a-z]{1,8}",
+        proptest::collection::vec(
+            proptest::collection::vec(("[a-z]{1,6}", "[a-zA-Z0-9 ]{0,12}"), 1..3),
+            0..3,
+        ),
+    )
+        .prop_map(move |(name, direction, digital_mime, perception, media, bindings)| PortGen {
+            // Guarantee unique port names by suffixing the index.
+            name: format!("{name}-{idx}"),
+            direction,
+            digital_mime,
+            perception,
+            media,
+            bindings,
+        })
+}
+
+fn build_xml(device: &str, platform: &str, name: &str, ports: &[PortGen]) -> String {
+    let mut root = Element::new("usdl")
+        .with_attr("device", device)
+        .with_attr("platform", platform)
+        .with_attr("name", name);
+    for p in ports {
+        let mut e = Element::new("port")
+            .with_attr("name", &p.name)
+            .with_attr("direction", p.direction);
+        match &p.digital_mime {
+            Some(m) => {
+                e = e.with_attr("kind", "digital").with_attr("mime", m);
+            }
+            None => {
+                e = e
+                    .with_attr("kind", "physical")
+                    .with_attr("perception", p.perception)
+                    .with_attr("media", &p.media);
+            }
+        }
+        for b in &p.bindings {
+            let mut be = Element::new("bind");
+            // Deduplicate binding keys (attribute keys must be unique).
+            let mut seen = std::collections::BTreeSet::new();
+            for (k, v) in b {
+                if seen.insert(k.clone()) {
+                    be = be.with_attr(k, v);
+                }
+            }
+            e = e.with_child(be);
+        }
+        root = root.with_child(e);
+    }
+    root.to_document()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parse → serialize → parse is the identity on USDL documents.
+    #[test]
+    fn usdl_round_trip(
+        device in "[a-z:.-]{1,24}",
+        platform in "[a-z]{2,12}",
+        name in "[a-zA-Z0-9 ]{1,24}",
+        ports in proptest::collection::vec(any::<u8>(), 0..6)
+            .prop_flat_map(|v| {
+                let strategies: Vec<_> = (0..v.len()).map(arb_port).collect();
+                strategies
+            }),
+    ) {
+        let xml = build_xml(&device, &platform, &name, &ports);
+        let doc = UsdlDocument::parse(&xml).unwrap();
+        prop_assert_eq!(doc.device_type(), device.as_str());
+        prop_assert_eq!(doc.platform(), platform.as_str());
+        prop_assert_eq!(doc.ports().len(), ports.len());
+        let again = UsdlDocument::parse(&doc.to_xml()).unwrap();
+        prop_assert_eq!(&doc, &again);
+
+        // The derived shape matches the declarations.
+        let shape = doc.shape();
+        for p in &ports {
+            let spec = shape.port(&p.name).expect("port present");
+            prop_assert_eq!(
+                spec.direction,
+                if p.direction == "input" { Direction::Input } else { Direction::Output }
+            );
+            match (&p.digital_mime, &spec.kind) {
+                (Some(m), PortKind::Digital(mime)) => {
+                    prop_assert_eq!(&mime.to_string(), m);
+                }
+                (None, PortKind::Physical { media, .. }) => {
+                    prop_assert_eq!(media, &p.media);
+                }
+                other => prop_assert!(false, "kind mismatch: {:?}", other),
+            }
+        }
+
+        // Profiles built from the document carry the shape and identity.
+        let profile = doc.profile(None);
+        prop_assert_eq!(profile.name(), doc.name());
+        prop_assert_eq!(profile.shape(), &shape);
+        prop_assert_eq!(profile.attr("device-type"), Some(device.as_str()));
+    }
+
+    /// The XML parser and USDL validator never panic on arbitrary text.
+    #[test]
+    fn usdl_parse_never_panics(s in "\\PC{0,300}") {
+        let _ = UsdlDocument::parse(&s);
+        let _ = Element::parse(&s);
+    }
+}

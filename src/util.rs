@@ -1,0 +1,139 @@
+//! Small helpers shared by the examples and integration tests.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::{Ctx, LocalMessage, ProcId, Process};
+use umiddle_core::{
+    DirectoryEvent, PortRef, QosPolicy, Query, RuntimeClient, RuntimeEvent,
+};
+
+/// A declarative wiring rule: connect `src` to `dst` (matched by
+/// translator-name substring and port name) as soon as both appear in
+/// the directory.
+#[derive(Debug, Clone)]
+pub struct WireRule {
+    /// Source translator name substring.
+    pub src_name: String,
+    /// Source port.
+    pub src_port: String,
+    /// Destination translator name substring.
+    pub dst_name: String,
+    /// Destination port.
+    pub dst_port: String,
+    /// QoS policy for the path.
+    pub qos: QosPolicy,
+}
+
+impl WireRule {
+    /// Creates a rule with unbounded QoS.
+    pub fn new(src_name: &str, src_port: &str, dst_name: &str, dst_port: &str) -> WireRule {
+        WireRule {
+            src_name: src_name.to_owned(),
+            src_port: src_port.to_owned(),
+            dst_name: dst_name.to_owned(),
+            dst_port: dst_port.to_owned(),
+            qos: QosPolicy::unbounded(),
+        }
+    }
+
+    /// Overrides the QoS policy (builder style).
+    pub fn with_qos(mut self, qos: QosPolicy) -> WireRule {
+        self.qos = qos;
+        self
+    }
+}
+
+/// An application process that watches the directory and wires
+/// translators together according to [`WireRule`]s — the programmatic
+/// equivalent of drawing lines in uMiddle Pads.
+pub struct Wirer {
+    runtime: ProcId,
+    client: Option<RuntimeClient>,
+    rules: Vec<WireRule>,
+    srcs: Vec<Option<PortRef>>,
+    dsts: Vec<Option<PortRef>>,
+    wired: Vec<bool>,
+    /// Number of connections successfully established (shared).
+    pub connected: Rc<RefCell<u32>>,
+    /// Failures observed as `(reason)` strings (shared).
+    pub failures: Rc<RefCell<Vec<String>>>,
+}
+
+impl std::fmt::Debug for Wirer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wirer")
+            .field("rules", &self.rules.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Wirer {
+    /// Creates a wirer for the given rules.
+    pub fn new(runtime: ProcId, rules: Vec<WireRule>) -> Wirer {
+        let n = rules.len();
+        Wirer {
+            runtime,
+            client: None,
+            rules,
+            srcs: vec![None; n],
+            dsts: vec![None; n],
+            wired: vec![false; n],
+            connected: Rc::new(RefCell::new(0)),
+            failures: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    fn try_wire(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.rules.len() {
+            if self.wired[i] {
+                continue;
+            }
+            if let (Some(src), Some(dst)) = (self.srcs[i].clone(), self.dsts[i].clone()) {
+                self.wired[i] = true;
+                self.client.as_mut().expect("client set").connect_ports(
+                    ctx,
+                    src,
+                    dst,
+                    self.rules[i].qos.clone(),
+                );
+            }
+        }
+    }
+}
+
+impl Process for Wirer {
+    fn name(&self) -> &str {
+        "wirer"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let client = RuntimeClient::new(self.runtime);
+        client.add_listener(ctx, Query::All);
+        self.client = Some(client);
+    }
+
+    fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+        match *event {
+            RuntimeEvent::Directory(DirectoryEvent::Appeared(profile)) => {
+                for (i, rule) in self.rules.iter().enumerate() {
+                    if profile.name().contains(&rule.src_name) {
+                        self.srcs[i] = Some(PortRef::new(profile.id(), rule.src_port.clone()));
+                    }
+                    if profile.name().contains(&rule.dst_name) {
+                        self.dsts[i] = Some(PortRef::new(profile.id(), rule.dst_port.clone()));
+                    }
+                }
+                self.try_wire(ctx);
+            }
+            RuntimeEvent::Connected { .. } => {
+                *self.connected.borrow_mut() += 1;
+            }
+            RuntimeEvent::ConnectFailed { reason, .. } => {
+                self.failures.borrow_mut().push(reason);
+            }
+            _ => {}
+        }
+    }
+}
