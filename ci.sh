@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: `./ci.sh`.
+#
+# Every cargo invocation is --offline: the build is hermetic by policy
+# (no registry access; see README.md "Offline, hermetic builds"). If a
+# step fails here, it fails in CI, and vice versa.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+run cargo build --offline --release
+run cargo test --offline -q
+
+echo
+echo "ci.sh: all green"

@@ -14,4 +14,5 @@ fn main() {
     println!("{}", render_e5(&e5_ablation_qos()));
     println!("{}", render_e6(&e6_directory_scale(&[2, 4, 8, 12], 4)));
     println!("{}", render_e7(&e7_ablation_scatter()));
+    println!("{}", render_e8(&e8_observability()));
 }

@@ -1,50 +1,58 @@
-//! Criterion micro-benchmarks for the CPU-bound codecs and matchers the
-//! system is built from (real wall-clock time, not simulated time).
+//! Micro-benchmarks for the CPU-bound codecs and matchers the system is
+//! built from (real wall-clock time, not simulated time), on the
+//! in-tree `bench::timing` harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::timing::bench_function;
 use platform_bluetooth::{ObexPacket, SdpPdu, ServiceRecord};
 use platform_rmi::JavaValue;
-use platform_upnp::{DeviceDesc, LightLogic, DeviceLogic, SoapCall};
+use platform_upnp::{DeviceDesc, DeviceLogic, LightLogic, SoapCall};
 use umiddle_core::{
-    Direction, PerceptionType, PortKind, Query, RuntimeId, Shape, TranslatorId,
-    TranslatorProfile, UMessage, WireMessage,
+    Direction, PerceptionType, PortKind, Query, RuntimeId, Shape, TranslatorId, TranslatorProfile,
+    UMessage, WireMessage,
 };
 use umiddle_usdl::{Element, UsdlDocument, UsdlLibrary};
 
-fn bench_usdl(c: &mut Criterion) {
+fn bench_usdl() {
     let clock_xml = umiddle_usdl::builtin::UPNP_CLOCK;
-    c.bench_function("usdl_parse_clock", |b| {
-        b.iter(|| UsdlDocument::parse(black_box(clock_xml)).unwrap())
+    bench_function("usdl_parse_clock", || {
+        UsdlDocument::parse(black_box(clock_xml)).unwrap()
     });
     let doc = UsdlDocument::parse(clock_xml).unwrap();
-    c.bench_function("usdl_profile_build", |b| {
-        b.iter(|| doc.profile(Some(black_box("Kitchen Clock"))))
+    bench_function("usdl_profile_build", || {
+        doc.profile(Some(black_box("Kitchen Clock")))
     });
-    c.bench_function("usdl_library_bundled", |b| b.iter(UsdlLibrary::bundled));
+    bench_function("usdl_library_bundled", UsdlLibrary::bundled);
 }
 
-fn bench_xml(c: &mut Criterion) {
+fn bench_xml() {
     let desc = LightLogic::new("Bench Light", "uuid:b").description();
     let xml = desc.to_xml();
-    c.bench_function("upnp_description_parse", |b| {
-        b.iter(|| DeviceDesc::parse(black_box(&xml)).unwrap())
+    bench_function("upnp_description_parse", || {
+        DeviceDesc::parse(black_box(&xml)).unwrap()
     });
-    c.bench_function("upnp_description_serialize", |b| b.iter(|| desc.to_xml()));
+    bench_function("upnp_description_serialize", || desc.to_xml());
     let soap = SoapCall::new("SwitchPower", "SetPower").with_arg("Power", "1");
     let soap_xml = soap.to_xml();
-    c.bench_function("soap_round_trip", |b| {
-        b.iter(|| SoapCall::parse(black_box(&soap_xml)).unwrap())
+    bench_function("soap_round_trip", || {
+        SoapCall::parse(black_box(&soap_xml)).unwrap()
     });
-    c.bench_function("xml_parse_generic", |b| {
-        b.iter(|| Element::parse(black_box(&xml)).unwrap())
+    bench_function("xml_parse_generic", || {
+        Element::parse(black_box(&xml)).unwrap()
     });
 }
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_wire() {
     let profile = {
         let shape = Shape::builder()
             .digital("in", Direction::Input, "image/jpeg".parse().unwrap())
-            .physical("screen", Direction::Output, PerceptionType::Visible, "screen")
+            .physical(
+                "screen",
+                Direction::Output,
+                PerceptionType::Visible,
+                "screen",
+            )
             .build()
             .unwrap();
         TranslatorProfile::builder(TranslatorId::new(RuntimeId(1), 7), "TV")
@@ -58,9 +66,9 @@ fn bench_wire(c: &mut Criterion) {
         home: simnet::Addr::new(simnet::NodeId::from_index(1), 47_001),
     };
     let bytes = adv.encode();
-    c.bench_function("wire_advertise_encode", |b| b.iter(|| adv.encode()));
-    c.bench_function("wire_advertise_decode", |b| {
-        b.iter(|| WireMessage::decode(black_box(&bytes)).unwrap())
+    bench_function("wire_advertise_encode", || adv.encode());
+    bench_function("wire_advertise_decode", || {
+        WireMessage::decode(black_box(&bytes)).unwrap()
     });
     let path = WireMessage::PathMessage {
         connection: umiddle_core::ConnectionId::new(RuntimeId(0), 1),
@@ -68,28 +76,31 @@ fn bench_wire(c: &mut Criterion) {
         msg: UMessage::new("image/jpeg".parse().unwrap(), vec![0xAB; 1400]),
     };
     let path_bytes = path.encode();
-    c.bench_function("wire_path_1400B_round_trip", |b| {
-        b.iter(|| WireMessage::decode(black_box(&path_bytes)).unwrap())
+    bench_function("wire_path_1400B_round_trip", || {
+        WireMessage::decode(black_box(&path_bytes)).unwrap()
     });
 }
 
-fn bench_matching(c: &mut Criterion) {
+fn bench_matching() {
     let profiles: Vec<TranslatorProfile> = (0..100)
         .map(|i| {
             let shape = Shape::builder()
                 .digital(
                     "out",
                     Direction::Output,
-                    if i % 2 == 0 { "image/jpeg" } else { "text/plain" }.parse().unwrap(),
+                    if i % 2 == 0 {
+                        "image/jpeg"
+                    } else {
+                        "text/plain"
+                    }
+                    .parse()
+                    .unwrap(),
                 )
                 .build()
                 .unwrap();
-            TranslatorProfile::builder(
-                TranslatorId::new(RuntimeId(0), i),
-                format!("device-{i}"),
-            )
-            .shape(shape)
-            .build()
+            TranslatorProfile::builder(TranslatorId::new(RuntimeId(0), i), format!("device-{i}"))
+                .shape(shape)
+                .build()
         })
         .collect();
     let query = Query::has_port(
@@ -97,54 +108,51 @@ fn bench_matching(c: &mut Criterion) {
         PortKind::Digital("image/*".parse().unwrap()),
     )
     .and(Query::NameContains("device".to_owned()));
-    c.bench_function("query_eval_100_profiles", |b| {
-        b.iter(|| {
-            profiles
-                .iter()
-                .filter(|p| query.matches(black_box(p)))
-                .count()
-        })
+    bench_function("query_eval_100_profiles", || {
+        profiles
+            .iter()
+            .filter(|p| query.matches(black_box(p)))
+            .count()
     });
     let mime_a: umiddle_core::MimeType = "image/jpeg".parse().unwrap();
     let mime_b: umiddle_core::MimeType = "image/*".parse().unwrap();
-    c.bench_function("mime_match", |b| {
-        b.iter(|| black_box(&mime_a).matches(black_box(&mime_b)))
+    bench_function("mime_match", || {
+        black_box(&mime_a).matches(black_box(&mime_b))
     });
 }
 
-fn bench_binary_codecs(c: &mut Criterion) {
+fn bench_binary_codecs() {
     let pdu = SdpPdu::SearchResponse {
         transaction: 1,
         records: vec![
-            ServiceRecord::new(0x10000, "bip-camera", "Camera", 9).with_attribute(1, "imaging"),
+            ServiceRecord::new(0x10000, "bip-camera", "Camera", 9).with_attribute(1, "imaging")
         ],
     };
     let pdu_bytes = pdu.encode();
-    c.bench_function("sdp_round_trip", |b| {
-        b.iter(|| SdpPdu::decode(black_box(&pdu_bytes)).unwrap())
+    bench_function("sdp_round_trip", || {
+        SdpPdu::decode(black_box(&pdu_bytes)).unwrap()
     });
     let packets = platform_bluetooth::put_packets("x.jpg", "image/jpeg", &vec![7u8; 4096], 512);
     let first = packets[0].encode();
-    c.bench_function("obex_decode", |b| {
-        b.iter(|| ObexPacket::decode(black_box(&first)).unwrap())
+    bench_function("obex_decode", || {
+        ObexPacket::decode(black_box(&first)).unwrap()
     });
     let value = JavaValue::Object {
         class: "edu.gatech.Echo".to_owned(),
         fields: vec![("payload".to_owned(), JavaValue::Bytes(vec![1; 1400]))],
     };
     let marshaled = value.marshal();
-    c.bench_function("rmi_marshal_1400B", |b| b.iter(|| value.marshal()));
-    c.bench_function("rmi_unmarshal_1400B", |b| {
-        b.iter(|| JavaValue::unmarshal(black_box(&marshaled)).unwrap())
+    bench_function("rmi_marshal_1400B", || value.marshal());
+    bench_function("rmi_unmarshal_1400B", || {
+        JavaValue::unmarshal(black_box(&marshaled)).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_usdl,
-    bench_xml,
-    bench_wire,
-    bench_matching,
-    bench_binary_codecs
-);
-criterion_main!(benches);
+fn main() {
+    println!("uMiddle micro-benchmarks (wall clock, in-tree harness)");
+    bench_usdl();
+    bench_xml();
+    bench_wire();
+    bench_matching();
+    bench_binary_codecs();
+}

@@ -1,13 +1,26 @@
 //! CLI harness: runs every experiment and prints the paper-vs-measured
-//! tables. Pass experiment ids (`e1 e3 ...`) to run a subset.
+//! tables. Pass experiment ids (`e1 e3 ...`) to run a subset, and
+//! `--json FILE` to also dump the E8 metrics snapshot as JSON.
 
 use bench::experiments::*;
 use bench::report::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty();
-    let want = |id: &str| all || args.iter().any(|a| a == id);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_out = None;
+    let mut ids = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == "--json" {
+            json_out = raw.get(i + 1).cloned();
+            i += 2;
+        } else {
+            ids.push(raw[i].clone());
+            i += 1;
+        }
+    }
+    let all = ids.is_empty();
+    let want = |id: &str| all || ids.iter().any(|a| a == id);
 
     println!("uMiddle evaluation harness (simulated testbed)");
     if want("e1") {
@@ -30,5 +43,13 @@ fn main() {
     }
     if want("e7") {
         println!("{}", render_e7(&e7_ablation_scatter()));
+    }
+    if want("e8") {
+        let r = e8_observability();
+        println!("{}", render_e8(&r));
+        if let Some(path) = &json_out {
+            std::fs::write(path, r.snapshot.to_json()).expect("write metrics snapshot");
+            println!("wrote metrics snapshot to {path}");
+        }
     }
 }

@@ -12,9 +12,7 @@ use umiddle_bridges::{
 use umiddle_core::{Direction, QosPolicy, Shape, UMessage};
 use umiddle_usdl::UsdlLibrary;
 
-use crate::fixtures::{
-    hub_world, runtime_node, ByteMeter, MbSaturatingProducer, WireRule, Wirer,
-};
+use crate::fixtures::{hub_world, runtime_node, ByteMeter, MbSaturatingProducer, WireRule, Wirer};
 
 fn mean(durations: &[SimDuration]) -> SimDuration {
     if durations.is_empty() {
@@ -106,16 +104,12 @@ pub fn e1_service_level(repetitions: usize) -> Vec<MappingRow> {
         (
             "UPnP clock (14 ports, 2 services)",
             0.7,
-            Box::new(|seed| {
-                upnp_once(seed, Box::new(ClockLogic::new("Clock", "uuid:clock")))
-            }),
+            Box::new(|seed| upnp_once(seed, Box::new(ClockLogic::new("Clock", "uuid:clock")))),
         ),
         (
             "UPnP air conditioner",
             3.5,
-            Box::new(|seed| {
-                upnp_once(seed, Box::new(AirconLogic::new("Aircon", "uuid:ac")))
-            }),
+            Box::new(|seed| upnp_once(seed, Box::new(AirconLogic::new("Aircon", "uuid:ac")))),
         ),
         (
             "UPnP light",
@@ -130,7 +124,11 @@ pub fn e1_service_level(repetitions: usize) -> Vec<MappingRow> {
         rows.push(MappingRow {
             device: device.to_owned(),
             mean_time: m,
-            rate_per_sec: if m.is_zero() { 0.0 } else { 1.0 / m.as_secs_f64() },
+            rate_per_sec: if m.is_zero() {
+                0.0
+            } else {
+                1.0 / m.as_secs_f64()
+            },
             paper_rate,
             samples: samples.len(),
         });
@@ -198,7 +196,12 @@ pub fn e2_device_level() -> DeviceLevelResults {
     );
     let wirer = Wirer::new(
         rt,
-        vec![WireRule::new("Bench Switch", "toggle", "Bench Light", "switch-on")],
+        vec![WireRule::new(
+            "Bench Switch",
+            "toggle",
+            "Bench Light",
+            "switch-on",
+        )],
     );
     world.add_process(h1, Box::new(wirer));
     world.run_until(SimTime::from_secs(120));
@@ -372,11 +375,19 @@ pub fn e3_transport_level(measure_secs: u64) -> Vec<ThroughputRow> {
         world.attach(n1, hub).unwrap();
         world.add_process(n1, Box::new(platform_mediabroker::MediaBroker::new()));
         let broker = Addr::new(n1, platform_mediabroker::BROKER_PORT);
-        world.add_process(n1, Box::new(MbSaturatingProducer::new(broker, "bench", 1400)));
+        world.add_process(
+            n1,
+            Box::new(MbSaturatingProducer::new(broker, "bench", 1400)),
+        );
         let (h2, rt) = runtime_node(&mut world, "n2", 0, &[hub]);
         world.add_process(
             h2,
-            Box::new(MediaBrokerMapper::new(rt, UsdlLibrary::bundled(), broker, vec![])),
+            Box::new(MediaBrokerMapper::new(
+                rt,
+                UsdlLibrary::bundled(),
+                broker,
+                vec![],
+            )),
         );
         let meter = ByteMeter::new();
         let samples = Rc::clone(&meter.samples);
@@ -400,7 +411,12 @@ pub fn e3_transport_level(measure_secs: u64) -> Vec<ThroughputRow> {
             h2,
             Box::new(Wirer::new(
                 rt,
-                vec![WireRule::new("MB channel bench", "media-out", "MB Meter", "in")],
+                vec![WireRule::new(
+                    "MB channel bench",
+                    "media-out",
+                    "MB Meter",
+                    "in",
+                )],
             )),
         );
         world.run_until(SimTime::from_secs(end));
@@ -422,7 +438,10 @@ pub fn e3_transport_level(measure_secs: u64) -> Vec<ThroughputRow> {
         world.attach(n3, hub).unwrap();
         world.add_process(n3, Box::new(platform_rmi::RmiRegistry::new()));
         let registry = Addr::new(n3, platform_rmi::REGISTRY_PORT);
-        world.add_process(n3, Box::new(platform_rmi::RmiObjectServer::echo(2099, registry)));
+        world.add_process(
+            n3,
+            Box::new(platform_rmi::RmiObjectServer::echo(2099, registry)),
+        );
         world.add_process(
             h2,
             Box::new(RmiMapper::new(
@@ -531,7 +550,12 @@ pub fn e3_transport_level(measure_secs: u64) -> Vec<ThroughputRow> {
         );
         world.add_process(
             h2,
-            Box::new(MediaBrokerMapper::new(rt, UsdlLibrary::bundled(), broker, vec![])),
+            Box::new(MediaBrokerMapper::new(
+                rt,
+                UsdlLibrary::bundled(),
+                broker,
+                vec![],
+            )),
         );
         world.add_process(
             h2,
@@ -737,7 +761,10 @@ pub struct QosRow {
 /// different translation-buffer policies.
 pub fn e5_ablation_qos() -> Vec<QosRow> {
     let policies: Vec<(String, QosPolicy)> = vec![
-        ("unbounded (paper's original)".to_owned(), QosPolicy::unbounded()),
+        (
+            "unbounded (paper's original)".to_owned(),
+            QosPolicy::unbounded(),
+        ),
         (
             "bounded 16 KiB, drop-oldest".to_owned(),
             QosPolicy::bounded_drop_oldest(16 * 1024),
@@ -776,8 +803,10 @@ pub fn e5_ablation_qos() -> Vec<QosRow> {
                     "out",
                     SimDuration::from_millis(5),
                     2000,
-                    |i| UMessage::new("text/plain".parse().unwrap(), vec![b'x'; 1000])
-                        .with_meta("seq", i.to_string()),
+                    |i| {
+                        UMessage::new("text/plain".parse().unwrap(), vec![b'x'; 1000])
+                            .with_meta("seq", i.to_string())
+                    },
                 )),
             )),
         );
@@ -786,7 +815,11 @@ pub fn e5_ablation_qos() -> Vec<QosRow> {
         let count = Rc::clone(&consumer.count);
         let sink_shape = Shape::builder()
             .digital("in", Direction::Input, "text/plain".parse().unwrap())
-            .digital("unused-out", Direction::Output, "text/plain".parse().unwrap())
+            .digital(
+                "unused-out",
+                Direction::Output,
+                "text/plain".parse().unwrap(),
+            )
             .build()
             .unwrap();
         world.add_process(
@@ -802,8 +835,7 @@ pub fn e5_ablation_qos() -> Vec<QosRow> {
             node,
             Box::new(Wirer::new(
                 rt,
-                vec![WireRule::new("Fast Producer", "out", "Slow Consumer", "in")
-                    .with_qos(qos)],
+                vec![WireRule::new("Fast Producer", "out", "Slow Consumer", "in").with_qos(qos)],
             )),
         );
         world.run_until(SimTime::from_secs(60));
@@ -857,7 +889,9 @@ pub fn e6_directory_scale(sizes: &[usize], per_runtime: usize) -> Vec<DirectoryS
             _from: simnet::ProcId,
             msg: simnet::LocalMessage,
         ) {
-            let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+            let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+                return;
+            };
             if let RuntimeEvent::Directory(DirectoryEvent::Appeared(_)) = *event {
                 let mut seen = self.seen.borrow_mut();
                 *seen += 1;
@@ -1004,8 +1038,7 @@ pub fn e7_ablation_scatter() -> ScatterResults {
             fn fire(&mut self, ctx: &mut Ctx<'_>) {
                 if let (Some(location), None) = (self.target, self.pending_start) {
                     self.pending_start = Some(ctx.now());
-                    let call =
-                        SoapCall::new("Exported", "SetCapture").with_arg("Value", "snap");
+                    let call = SoapCall::new("Exported", "SetCapture").with_arg("Value", "snap");
                     self.cp.invoke(ctx, location, &call, u64::from(self.shots));
                 }
             }
@@ -1022,18 +1055,16 @@ pub fn e7_ablation_scatter() -> ScatterResults {
             }
             fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
                 match token {
-                    1
-                        if self.target.is_none() => {
-                            self.cp.search(ctx, "urn:umiddle:device:Exported:1", 7000);
-                            ctx.set_timer(SimDuration::from_secs(5), 1);
-                        }
+                    1 if self.target.is_none() => {
+                        self.cp.search(ctx, "urn:umiddle:device:Exported:1", 7000);
+                        ctx.set_timer(SimDuration::from_secs(5), 1);
+                    }
                     2 => self.fire(ctx),
                     _ => {}
                 }
             }
             fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: simnet::Datagram) {
-                if let Some(CpEvent::DeviceSeen { location, .. }) = self.cp.handle_ssdp(ctx, &d)
-                {
+                if let Some(CpEvent::DeviceSeen { location, .. }) = self.cp.handle_ssdp(ctx, &d) {
                     if self.target.is_none() {
                         self.target = Some(location);
                         ctx.set_timer(SimDuration::from_secs(5), 2);
@@ -1112,4 +1143,128 @@ fn mean_of(durations: &[SimDuration]) -> SimDuration {
     }
     let total: u64 = durations.iter().map(|d| d.as_nanos()).sum();
     SimDuration::from_nanos(total / durations.len() as u64)
+}
+
+// =====================================================================
+// E8 — observability: metrics registry + path spans
+// =====================================================================
+
+/// Results of the observability run: the federation-wide metrics
+/// snapshot plus one reconstructed cross-platform path.
+#[derive(Debug, Clone)]
+pub struct ObservabilityResults {
+    /// Every counter, gauge and latency histogram the run produced.
+    pub snapshot: simnet::MetricsSnapshot,
+    /// Total spans recorded across all paths.
+    pub span_count: usize,
+    /// Spans lost to the bounded span log (should be 0).
+    pub spans_dropped: u64,
+    /// One Bluetooth→uMiddle→UPnP path, reconstructed from its spans.
+    pub sample_path: Vec<String>,
+}
+
+/// Runs the observability experiment: a two-runtime federation bridging
+/// a Bluetooth mouse (h1) to a UPnP light (h2), instrumented end to end.
+///
+/// The snapshot contains the paper-figure-aligned histograms —
+/// `umiddle.discovery_latency` (§3.6 advertisement propagation),
+/// `umiddle.translation_latency` / `bridge.*.translation` (§5.2 per-hop
+/// overhead) and `umiddle.path_latency` (end-to-end §5.2) — and is
+/// byte-for-byte deterministic for a fixed seed.
+pub fn e8_observability() -> ObservabilityResults {
+    use platform_bluetooth::{HidpMouse, MouseConfig};
+    use platform_upnp::{LightLogic, UpnpDevice};
+
+    let mut world = World::new(42);
+    world.trace_mut().set_log_enabled(false);
+    let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+    let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+
+    // h1 (rt0): the Bluetooth half of the federation.
+    let (h1, rt1) = runtime_node(&mut world, "h1", 0, &[hub, pico]);
+    let mouse_node = world.add_node("mouse");
+    world.attach(mouse_node, pico).unwrap();
+    world.add_process(
+        mouse_node,
+        Box::new(HidpMouse::new(MouseConfig {
+            name: "Obs Mouse".to_owned(),
+            click_interval: Some(SimDuration::from_millis(400)),
+            motion_interval: None,
+            click_limit: 50, // 50 press + 50 release = 100 signals
+        })),
+    );
+    world.add_process(
+        h1,
+        Box::new(BluetoothMapper::with_defaults(rt1, UsdlLibrary::bundled())),
+    );
+
+    // h2 (rt1): the UPnP half.
+    let (h2, rt2) = runtime_node(&mut world, "h2", 1, &[hub]);
+    let light_node = world.add_node("light");
+    world.attach(light_node, hub).unwrap();
+    world.add_process(
+        light_node,
+        Box::new(UpnpDevice::new(
+            Box::new(LightLogic::new("Obs Light", "uuid:obs-l")),
+            5000,
+        )),
+    );
+    world.add_process(
+        h2,
+        Box::new(UpnpMapper::with_defaults(rt2, UsdlLibrary::bundled())),
+    );
+
+    // Wire mouse clicks to the light across the federation: every click
+    // makes the two-hop bridge path Bluetooth → rt0 → rt1 → UPnP.
+    world.add_process(
+        h1,
+        Box::new(Wirer::new(
+            rt1,
+            vec![WireRule::new(
+                "Obs Mouse",
+                "clicks",
+                "Obs Light",
+                "switch-on",
+            )],
+        )),
+    );
+
+    world.run_until(SimTime::from_secs(60));
+
+    let trace = world.trace();
+    let corr = trace
+        .spans()
+        .iter()
+        .find(|s| s.stage == "bridge.upnp.input")
+        .map(|s| s.corr);
+    let sample_path = corr
+        .map(|c| {
+            // The first click's complete journey: everything up to and
+            // including the first UPnP bridge hop.
+            let spans: Vec<_> = trace.spans_for(c).collect();
+            let end = spans
+                .iter()
+                .position(|s| s.stage == "bridge.upnp.input")
+                .map_or(spans.len(), |i| i + 1);
+            spans[..end]
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{:>14}  {:<18} {:<20} {}",
+                        s.time.to_string(),
+                        s.source,
+                        s.stage,
+                        s.detail
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    ObservabilityResults {
+        snapshot: trace.metrics().snapshot(),
+        span_count: trace.spans().len(),
+        spans_dropped: trace.spans_dropped(),
+        sample_path,
+    }
 }

@@ -120,7 +120,9 @@ impl Process for Wirer {
         self.client = Some(client);
     }
     fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
-        let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+            return;
+        };
         match *event {
             RuntimeEvent::Directory(DirectoryEvent::Appeared(profile)) => {
                 for (i, rule) in self.rules.iter().enumerate() {
@@ -258,10 +260,9 @@ impl Process for MbSaturatingProducer {
                     }
                 }
             }
-            StreamEvent::Writable
-                if self.pace.is_none() => {
-                    self.pump(ctx);
-                }
+            StreamEvent::Writable if self.pace.is_none() => {
+                self.pump(ctx);
+            }
             _ => {}
         }
     }

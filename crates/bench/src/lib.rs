@@ -15,6 +15,8 @@
 //!   work).
 //! * [`experiments::e6_directory_scale`] — directory federation
 //!   scalability (§3.6).
+//! * [`experiments::e8_observability`] — metrics registry + path spans
+//!   (JSON snapshot via `--json`).
 //!
 //! Run everything with `cargo bench -p bench` (the `figures` bench
 //! target) or `cargo run -p bench --bin experiments --release`.
@@ -25,3 +27,4 @@
 pub mod experiments;
 pub mod fixtures;
 pub mod report;
+pub mod timing;

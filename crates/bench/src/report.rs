@@ -140,3 +140,39 @@ pub fn render_e7(r: &ScatterResults) -> String {
     );
     out
 }
+
+/// Renders the E8 observability summary.
+pub fn render_e8(r: &ObservabilityResults) -> String {
+    let mut out = hr("E8 — observability (metrics registry + path spans)");
+    out.push_str(&format!(
+        "{:42} {:>7} {:>12} {:>12} {:>12}\n",
+        "histogram", "count", "mean", "min", "max"
+    ));
+    for (name, h) in &r.snapshot.histograms {
+        out.push_str(&format!(
+            "{:42} {:>7} {:>12} {:>12} {:>12}\n",
+            name,
+            h.count(),
+            h.mean().to_string(),
+            h.min().to_string(),
+            h.max().to_string()
+        ));
+    }
+    out.push_str("\ncounters:\n");
+    for (name, v) in &r.snapshot.counters {
+        out.push_str(&format!("  {name:44} {v:>8}\n"));
+    }
+    out.push_str("\ngauges:\n");
+    for (name, v) in &r.snapshot.gauges {
+        out.push_str(&format!("  {name:44} {v:>8}\n"));
+    }
+    out.push_str(&format!(
+        "\nspans recorded: {} (dropped: {})\n",
+        r.span_count, r.spans_dropped
+    ));
+    out.push_str("one click, Bluetooth \u{2192} uMiddle \u{2192} UPnP, by correlation id:\n");
+    for line in &r.sample_path {
+        out.push_str(&format!("  {line}\n"));
+    }
+    out
+}

@@ -1,0 +1,99 @@
+//! Minimal wall-clock micro-benchmark harness (criterion replacement,
+//! dependency-free).
+//!
+//! Each benchmark is warmed up, then run in adaptively sized batches
+//! until a fixed measurement budget elapses; the report prints the
+//! best, median, and mean batch cost per iteration. Wall-clock numbers
+//! are inherently noisy — the point is order-of-magnitude tracking of
+//! the CPU-bound codecs, not statistical rigor.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches read like the criterion originals.
+pub use std::hint::black_box as bb;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const BUDGET: Duration = Duration::from_millis(250);
+
+/// One measured sample: a batch of iterations and its total duration.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Sample {
+    fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+/// Times `f` and prints a one-line report: `name  best/median/mean ns`.
+pub fn bench_function<R, F: FnMut() -> R>(name: &str, mut f: F) {
+    // Warm-up: run until the warm-up budget elapses, sizing the batch.
+    let mut batch: u64 = 1;
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < WARMUP {
+        for _ in 0..batch {
+            black_box(f());
+        }
+        batch = (batch * 2).min(1 << 20);
+    }
+
+    // Pick a batch size that takes roughly 5 ms so timer overhead is
+    // amortized but we still collect tens of samples.
+    let probe_start = Instant::now();
+    for _ in 0..batch {
+        black_box(f());
+    }
+    let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+    let target = Duration::from_millis(5);
+    let scale = target.as_nanos() as f64 / probe.as_nanos() as f64;
+    let batch = ((batch as f64 * scale).max(1.0) as u64).min(1 << 24);
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let run_start = Instant::now();
+    while run_start.elapsed() < BUDGET {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(Sample {
+            iters: batch,
+            elapsed: t.elapsed(),
+        });
+    }
+
+    let mut per_iter: Vec<f64> = samples.iter().map(Sample::ns_per_iter).collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let best = per_iter.first().copied().unwrap_or(f64::NAN);
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{name:<32} best {:>12}  median {:>12}  mean {:>12}  ({} samples x {batch} iters)",
+        fmt_ns(best),
+        fmt_ns(median),
+        fmt_ns(mean),
+        samples.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_function_runs() {
+        // Smoke: the harness terminates and doesn't panic on a fast fn.
+        super::bench_function("noop_add", || 1u64.wrapping_add(2));
+    }
+}

@@ -60,11 +60,9 @@ impl BipCamera {
     /// Creates a camera preloaded with `image_count` synthetic images of
     /// `image_size` bytes each.
     pub fn new(name: &str, image_count: usize, image_size: usize) -> BipCamera {
-        let records = vec![
-            ServiceRecord::new(0x10002, "bip-camera", name, PSM_OBEX)
-                .with_attribute(0x0100, "imaging")
-                .with_attribute(0x0200, "image/jpeg"),
-        ];
+        let records = vec![ServiceRecord::new(0x10002, "bip-camera", name, PSM_OBEX)
+            .with_attribute(0x0100, "imaging")
+            .with_attribute(0x0200, "image/jpeg")];
         let images = (0..image_count)
             .map(|i| StoredImage {
                 name: format!("img{i:04}.jpg"),
@@ -197,7 +195,11 @@ impl Process for BipCamera {
                 };
                 acc.push(&data);
                 loop {
-                    match self.sessions.get_mut(&stream).and_then(|a| a.next().transpose()) {
+                    match self
+                        .sessions
+                        .get_mut(&stream)
+                        .and_then(|a| a.next().transpose())
+                    {
                         Some(Ok(pkt)) => self.handle_packet(ctx, stream, pkt),
                         Some(Err(_)) => {
                             ctx.bump("bt.obex_errors", 1);
@@ -227,10 +229,8 @@ pub struct BipPrinter {
 impl BipPrinter {
     /// Creates a printer.
     pub fn new(name: &str) -> BipPrinter {
-        let records = vec![
-            ServiceRecord::new(0x10003, "bip-printer", name, PSM_OBEX)
-                .with_attribute(0x0100, "imaging"),
-        ];
+        let records = vec![ServiceRecord::new(0x10003, "bip-printer", name, PSM_OBEX)
+            .with_attribute(0x0100, "imaging")];
         BipPrinter {
             core: BtDeviceCore::new(name, COD_IMAGING, records, TIMER_INQUIRY_BASE),
             sessions: HashMap::new(),
@@ -268,7 +268,8 @@ impl Process for BipPrinter {
         }
         match event {
             StreamEvent::Accepted { local_port, .. } if local_port == PSM_OBEX => {
-                self.sessions.insert(stream, (ObexAccumulator::new(), Vec::new()));
+                self.sessions
+                    .insert(stream, (ObexAccumulator::new(), Vec::new()));
             }
             StreamEvent::Data(data) => {
                 let Some((acc, _)) = self.sessions.get_mut(&stream) else {
@@ -291,15 +292,15 @@ impl Process for BipPrinter {
                     ctx.busy(calib::OBEX_PACKET_PROCESS);
                     match pkt.opcode {
                         Opcode::Connect => {
-                            let _ = ctx
-                                .stream_send(stream, ObexPacket::new(Opcode::Success).encode());
+                            let _ =
+                                ctx.stream_send(stream, ObexPacket::new(Opcode::Success).encode());
                         }
                         Opcode::Put => {
                             if let Some((_, body)) = self.sessions.get_mut(&stream) {
                                 body.extend(pkt.body());
                             }
-                            let _ = ctx
-                                .stream_send(stream, ObexPacket::new(Opcode::Continue).encode());
+                            let _ =
+                                ctx.stream_send(stream, ObexPacket::new(Opcode::Continue).encode());
                         }
                         Opcode::PutFinal => {
                             let total = if let Some((_, body)) = self.sessions.get_mut(&stream) {
@@ -313,8 +314,8 @@ impl Process for BipPrinter {
                             self.printed += 1;
                             ctx.bump("bt.bip_printed", 1);
                             ctx.bump("bt.bip_printed_bytes", total as u64);
-                            let _ = ctx
-                                .stream_send(stream, ObexPacket::new(Opcode::Success).encode());
+                            let _ =
+                                ctx.stream_send(stream, ObexPacket::new(Opcode::Success).encode());
                         }
                         _ => {
                             let _ = ctx

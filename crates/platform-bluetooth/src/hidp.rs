@@ -6,7 +6,6 @@
 //! reports. §5.2 benchmarks the uMiddle translator receiving "mouse click
 //! signals a hundred times from the mouse".
 
-use rand::Rng;
 use simnet::{Ctx, Datagram, Process, SimDuration, StreamEvent, StreamId};
 
 use crate::calib;
@@ -139,8 +138,10 @@ pub struct HidpMouse {
 impl HidpMouse {
     /// Creates a mouse.
     pub fn new(config: MouseConfig) -> HidpMouse {
-        let records = vec![ServiceRecord::new(0x10001, "hidp-mouse", &config.name, PSM_HID)
-            .with_attribute(0x0100, "hid")];
+        let records = vec![
+            ServiceRecord::new(0x10001, "hidp-mouse", &config.name, PSM_HID)
+                .with_attribute(0x0100, "hid"),
+        ];
         HidpMouse {
             core: BtDeviceCore::new(&config.name, COD_MOUSE, records, TIMER_INQUIRY_BASE),
             config,
@@ -232,10 +233,9 @@ impl Process for HidpMouse {
                     ctx.set_timer(interval, TIMER_MOTION);
                 }
             }
-            StreamEvent::Closed | StreamEvent::ConnectFailed
-                if self.host == Some(stream) => {
-                    self.host = None;
-                }
+            StreamEvent::Closed | StreamEvent::ConnectFailed if self.host == Some(stream) => {
+                self.host = None;
+            }
             _ => {}
         }
     }
@@ -244,7 +244,6 @@ impl Process for HidpMouse {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn reports_round_trip() {
@@ -274,18 +273,23 @@ mod tests {
         assert_eq!(acc.next(), Some(HidReport::Motion { dx: 1, dy: -1 }));
     }
 
-    proptest! {
-        #[test]
-        fn stream_of_reports_reassembles(
-            reports in proptest::collection::vec(
-                prop_oneof![
-                    any::<u8>().prop_map(HidReport::Buttons),
-                    (any::<i8>(), any::<i8>()).prop_map(|(dx, dy)| HidReport::Motion { dx, dy }),
-                ],
-                0..32,
-            ),
-            chunk in 1usize..9,
-        ) {
+    #[test]
+    fn stream_of_reports_reassembles() {
+        simnet::check_cases("hidp_stream_of_reports_reassembles", 256, |_, rng| {
+            let n = rng.gen_range(0usize..32);
+            let reports: Vec<HidReport> = (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        HidReport::Buttons(rng.gen_range(0u8..=u8::MAX))
+                    } else {
+                        HidReport::Motion {
+                            dx: rng.gen_range(i8::MIN..=i8::MAX),
+                            dy: rng.gen_range(i8::MIN..=i8::MAX),
+                        }
+                    }
+                })
+                .collect();
+            let chunk = rng.gen_range(1usize..9);
             let mut wire = Vec::new();
             for r in &reports {
                 wire.extend(r.encode());
@@ -298,7 +302,7 @@ mod tests {
                     got.push(r);
                 }
             }
-            prop_assert_eq!(got, reports);
-        }
+            assert_eq!(got, reports);
+        });
     }
 }

@@ -19,8 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod calib;
 mod bip;
+pub mod calib;
 mod device;
 mod hidp;
 mod obex;

@@ -130,7 +130,9 @@ impl ObexPacket {
 
     /// Returns `true` if the packet carries an `EndOfBody` header.
     pub fn is_final_body(&self) -> bool {
-        self.headers.iter().any(|h| matches!(h, Header::EndOfBody(_)))
+        self.headers
+            .iter()
+            .any(|h| matches!(h, Header::EndOfBody(_)))
     }
 
     /// Encodes the packet: `opcode (1) | length (2, BE) | headers`.
@@ -302,7 +304,6 @@ pub fn put_packets(name: &str, mime: &str, data: &[u8], chunk: usize) -> Vec<Obe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn packet_round_trip() {
@@ -361,24 +362,28 @@ mod tests {
         assert!(ObexPacket::decode(&[0x80, 0x00, 0x04, 0x77]).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+    #[test]
+    fn decode_never_panics() {
+        simnet::check_cases("obex_decode_never_panics", 256, |_, rng| {
+            let len = rng.gen_range(0usize..128);
+            let bytes = rng.gen_bytes(len);
             let _ = ObexPacket::decode(&bytes);
-        }
+        });
+    }
 
-        #[test]
-        fn chunking_preserves_data(
-            data in proptest::collection::vec(any::<u8>(), 0..4096),
-            chunk in 1usize..1024,
-        ) {
+    #[test]
+    fn chunking_preserves_data() {
+        simnet::check_cases("obex_chunking_preserves_data", 256, |_, rng| {
+            let len = rng.gen_range(0usize..4096);
+            let data = rng.gen_bytes(len);
+            let chunk = rng.gen_range(1usize..1024);
             let packets = put_packets("n", "t/t", &data, chunk);
             let mut got = Vec::new();
             for p in &packets {
                 got.extend(p.body());
             }
-            prop_assert_eq!(got, data);
-            prop_assert!(packets.last().unwrap().is_final_body());
-        }
+            assert_eq!(got, data);
+            assert!(packets.last().unwrap().is_final_body());
+        });
     }
 }

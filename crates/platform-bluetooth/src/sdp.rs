@@ -49,7 +49,11 @@ impl ServiceRecord {
 
 impl fmt::Display for ServiceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "sdp#{} {} ({}) psm {}", self.handle, self.profile, self.name, self.psm)
+        write!(
+            f,
+            "sdp#{} {} ({}) psm {}",
+            self.handle, self.profile, self.name, self.psm
+        )
     }
 }
 
@@ -223,7 +227,6 @@ impl SdpPdu {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample_record() -> ServiceRecord {
         ServiceRecord::new(0x10000, "bip-camera", "Pocket Camera", 9)
@@ -288,24 +291,30 @@ mod tests {
         assert!(!SdpPdu::pattern_matches("hidp", &r));
     }
 
-    proptest! {
-        #[test]
-        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+    #[test]
+    fn decode_never_panics() {
+        simnet::check_cases("sdp_decode_never_panics", 256, |_, rng| {
+            let len = rng.gen_range(0usize..128);
+            let bytes = rng.gen_bytes(len);
             let _ = SdpPdu::decode(&bytes);
-        }
+        });
+    }
 
-        #[test]
-        fn record_round_trip(
-            handle in any::<u32>(),
-            profile in "[a-z-]{1,16}",
-            name in "[ -~]{0,24}",
-            psm in any::<u16>(),
-        ) {
+    #[test]
+    fn record_round_trip() {
+        simnet::check_cases("sdp_record_round_trip", 256, |_, rng| {
+            let handle = rng.gen_range(0u32..=u32::MAX);
+            let plen = rng.gen_range(1usize..=16);
+            let profile = rng.gen_string("abcdefghijklmnopqrstuvwxyz-", plen);
+            let nlen = rng.gen_range(0usize..=24);
+            let printable: String = (b' '..=b'~').map(char::from).collect();
+            let name = rng.gen_string(&printable, nlen);
+            let psm = rng.gen_range(0u16..=u16::MAX);
             let pdu = SdpPdu::SearchResponse {
                 transaction: 1,
                 records: vec![ServiceRecord::new(handle, &profile, &name, psm)],
             };
-            prop_assert_eq!(SdpPdu::decode(&pdu.encode()), Some(pdu));
-        }
+            assert_eq!(SdpPdu::decode(&pdu.encode()), Some(pdu));
+        });
     }
 }

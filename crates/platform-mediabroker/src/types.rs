@@ -28,11 +28,31 @@ impl TypeLattice {
     /// The default lattice used by the bundled broker.
     pub fn standard() -> TypeLattice {
         let mut l = TypeLattice::new();
-        l.add_edge("video/raw", "video/jpeg-frames", SimDuration::from_micros(900));
-        l.add_edge("video/jpeg-frames", "image/jpeg", SimDuration::from_micros(150));
-        l.add_edge("image/jpeg", "image/thumbnail", SimDuration::from_micros(400));
-        l.add_edge("audio/pcm", "audio/compressed", SimDuration::from_micros(600));
-        l.add_edge("application/octet-stream", "application/octet-stream", SimDuration::ZERO);
+        l.add_edge(
+            "video/raw",
+            "video/jpeg-frames",
+            SimDuration::from_micros(900),
+        );
+        l.add_edge(
+            "video/jpeg-frames",
+            "image/jpeg",
+            SimDuration::from_micros(150),
+        );
+        l.add_edge(
+            "image/jpeg",
+            "image/thumbnail",
+            SimDuration::from_micros(400),
+        );
+        l.add_edge(
+            "audio/pcm",
+            "audio/compressed",
+            SimDuration::from_micros(600),
+        );
+        l.add_edge(
+            "application/octet-stream",
+            "application/octet-stream",
+            SimDuration::ZERO,
+        );
         l
     }
 
@@ -84,7 +104,10 @@ mod tests {
     #[test]
     fn identity_is_free() {
         let l = TypeLattice::standard();
-        assert_eq!(l.conversion_cost("video/raw", "video/raw"), Some(SimDuration::ZERO));
+        assert_eq!(
+            l.conversion_cost("video/raw", "video/raw"),
+            Some(SimDuration::ZERO)
+        );
     }
 
     #[test]

@@ -10,7 +10,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::Rng;
 use simnet::{Ctx, Datagram, LocalMessage, ProcId, Process, SimDuration};
 
 /// The radio broadcast group all motes share.
@@ -147,7 +146,9 @@ impl Process for Mote {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
         // Random-walk the sensors.
         self.temperature += ctx.rng().gen_range(-3i16..=3);
-        self.light = self.light.saturating_add_signed(ctx.rng().gen_range(-20i16..=20));
+        self.light = self
+            .light
+            .saturating_add_signed(ctx.rng().gen_range(-20i16..=20));
         self.seq = self.seq.wrapping_add(1);
         let reading = Reading {
             seq: self.seq,
@@ -161,7 +162,9 @@ impl Process for Mote {
     }
 
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
-        let Some(am) = ActiveMessage::decode(&dgram.data) else { return };
+        let Some(am) = ActiveMessage::decode(&dgram.data) else {
+            return;
+        };
         if am.am_type == AM_CONFIG && am.payload.len() == 2 {
             let ms = u16::from_le_bytes([am.payload[0], am.payload[1]]);
             self.interval = SimDuration::from_millis(u64::from(ms.max(50)));
@@ -227,11 +230,15 @@ impl Process for BaseStation {
     }
 
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
-        let Some(am) = ActiveMessage::decode(&dgram.data) else { return };
+        let Some(am) = ActiveMessage::decode(&dgram.data) else {
+            return;
+        };
         if am.am_type != AM_READING {
             return;
         }
-        let Some(reading) = Reading::decode(&am.payload) else { return };
+        let Some(reading) = Reading::decode(&am.payload) else {
+            return;
+        };
         // Drop radio duplicates.
         if self.last_seq.get(&am.src) == Some(&reading.seq) {
             return;
@@ -250,7 +257,9 @@ impl Process for BaseStation {
     }
 
     fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
-        let Ok(cmd) = msg.downcast::<BaseStationCommand>() else { return };
+        let Ok(cmd) = msg.downcast::<BaseStationCommand>() else {
+            return;
+        };
         match *cmd {
             BaseStationCommand::SetSamplingInterval { millis } => {
                 let am = ActiveMessage::new(AM_CONFIG, 0, millis.to_le_bytes().to_vec());
@@ -315,7 +324,12 @@ mod tests {
         let bs_node = world.add_node("base");
         world.attach(bs_node, radio).unwrap();
         let got = Rc::new(RefCell::new(Vec::new()));
-        let sink = world.add_process(bs_node, Box::new(Sink { got: Rc::clone(&got) }));
+        let sink = world.add_process(
+            bs_node,
+            Box::new(Sink {
+                got: Rc::clone(&got),
+            }),
+        );
         world.add_process(bs_node, Box::new(BaseStation::new(Some(sink))));
         for i in 0..3 {
             let m_node = world.add_node(format!("mote{i}"));
@@ -345,7 +359,12 @@ mod tests {
         world.attach(bs_node, radio).unwrap();
         world.attach(m_node, radio).unwrap();
         let got = Rc::new(RefCell::new(Vec::new()));
-        let sink = world.add_process(bs_node, Box::new(Sink { got: Rc::clone(&got) }));
+        let sink = world.add_process(
+            bs_node,
+            Box::new(Sink {
+                got: Rc::clone(&got),
+            }),
+        );
         let bs = world.add_process(bs_node, Box::new(BaseStation::new(Some(sink))));
         world.add_process(m_node, Box::new(Mote::new(1, SimDuration::from_secs(5))));
 
@@ -358,7 +377,10 @@ mod tests {
                 ctx.set_timer(SimDuration::from_secs(10), 0);
             }
             fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
-                ctx.send_local(self.bs, BaseStationCommand::SetSamplingInterval { millis: 500 });
+                ctx.send_local(
+                    self.bs,
+                    BaseStationCommand::SetSamplingInterval { millis: 500 },
+                );
             }
         }
         world.add_process(bs_node, Box::new(Driver { bs }));

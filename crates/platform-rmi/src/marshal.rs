@@ -225,7 +225,6 @@ impl<'a> Cursor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample() -> JavaValue {
         JavaValue::Object {
@@ -268,32 +267,60 @@ mod tests {
         }
     }
 
-    fn arb_value() -> impl Strategy<Value = JavaValue> {
-        let leaf = prop_oneof![
-            Just(JavaValue::Null),
-            any::<i32>().prop_map(JavaValue::Int),
-            any::<i64>().prop_map(JavaValue::Long),
-            "[a-zA-Z0-9 ]{0,32}".prop_map(JavaValue::Str),
-            proptest::collection::vec(any::<u8>(), 0..64).prop_map(JavaValue::Bytes),
-        ];
-        leaf.prop_recursive(3, 32, 4, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 0..4).prop_map(JavaValue::List),
-                ("[a-zA-Z.$]{1,24}", proptest::collection::vec(("[a-z]{1,8}", inner), 0..4))
-                    .prop_map(|(class, fields)| JavaValue::Object { class, fields }),
-            ]
-        })
+    fn arb_value(rng: &mut simnet::SimRng, depth: u32) -> JavaValue {
+        let leaf = depth == 0 || rng.gen_bool(0.5);
+        if leaf {
+            match rng.gen_range(0u8..5) {
+                0 => JavaValue::Null,
+                1 => JavaValue::Int(rng.gen_range(i32::MIN..=i32::MAX)),
+                2 => JavaValue::Long(rng.gen_range(i64::MIN..=i64::MAX)),
+                3 => {
+                    let len = rng.gen_range(0usize..=32);
+                    JavaValue::Str(rng.gen_string(
+                        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ",
+                        len,
+                    ))
+                }
+                _ => {
+                    let len = rng.gen_range(0usize..64);
+                    JavaValue::Bytes(rng.gen_bytes(len))
+                }
+            }
+        } else if rng.gen_bool(0.5) {
+            let n = rng.gen_range(0usize..4);
+            JavaValue::List((0..n).map(|_| arb_value(rng, depth - 1)).collect())
+        } else {
+            let clen = rng.gen_range(1usize..=24);
+            let class = rng.gen_string(
+                "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ.$",
+                clen,
+            );
+            let n = rng.gen_range(0usize..4);
+            let fields = (0..n)
+                .map(|_| {
+                    let flen = rng.gen_range(1usize..=8);
+                    let name = rng.gen_string("abcdefghijklmnopqrstuvwxyz", flen);
+                    (name, arb_value(rng, depth - 1))
+                })
+                .collect();
+            JavaValue::Object { class, fields }
+        }
     }
 
-    proptest! {
-        #[test]
-        fn arbitrary_values_round_trip(v in arb_value()) {
-            prop_assert_eq!(JavaValue::unmarshal(&v.marshal()), Some(v));
-        }
+    #[test]
+    fn arbitrary_values_round_trip() {
+        simnet::check_cases("rmi_arbitrary_values_round_trip", 256, |_, rng| {
+            let v = arb_value(rng, 3);
+            assert_eq!(JavaValue::unmarshal(&v.marshal()), Some(v));
+        });
+    }
 
-        #[test]
-        fn unmarshal_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    #[test]
+    fn unmarshal_never_panics() {
+        simnet::check_cases("rmi_unmarshal_never_panics", 256, |_, rng| {
+            let len = rng.gen_range(0usize..256);
+            let bytes = rng.gen_bytes(len);
             let _ = JavaValue::unmarshal(&bytes);
-        }
+        });
     }
 }

@@ -51,7 +51,9 @@ impl Process for RmiRegistry {
                 self.conns.insert(stream, FrameAccumulator::new());
             }
             StreamEvent::Data(data) => {
-                let Some(acc) = self.conns.get_mut(&stream) else { return };
+                let Some(acc) = self.conns.get_mut(&stream) else {
+                    return;
+                };
                 acc.push(&data);
                 loop {
                     let frame = match self.conns.get_mut(&stream).map(|a| a.next()) {
@@ -206,7 +208,9 @@ impl Process for RmiObjectServer {
                 self.conns.insert(stream, FrameAccumulator::new());
             }
             StreamEvent::Data(data) => {
-                let Some(acc) = self.conns.get_mut(&stream) else { return };
+                let Some(acc) = self.conns.get_mut(&stream) else {
+                    return;
+                };
                 acc.push(&data);
                 loop {
                     let frame = match self.conns.get_mut(&stream).map(|a| a.next()) {
@@ -228,15 +232,12 @@ impl Process for RmiObjectServer {
                             args,
                         } => {
                             // Unmarshal cost: proportional to argument size.
-                            let arg_bytes: usize =
-                                args.iter().map(JavaValue::marshaled_len).sum();
+                            let arg_bytes: usize = args.iter().map(JavaValue::marshaled_len).sum();
                             ctx.busy(calib::marshal_cost(arg_bytes));
                             let reply = if object != self.object_name {
                                 RmiFrame::Exception {
                                     call_id,
-                                    message: format!(
-                                        "java.rmi.NoSuchObjectException: {object}"
-                                    ),
+                                    message: format!("java.rmi.NoSuchObjectException: {object}"),
                                 }
                             } else {
                                 match (self.handler)(&method, &args) {

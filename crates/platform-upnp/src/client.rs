@@ -279,8 +279,7 @@ impl ControlPoint {
                                     ctx.busy(calib::xml_codec_cost(req.body.len()));
                                     out.push(CpEvent::Event(n));
                                 }
-                                let _ =
-                                    ctx.stream_send(stream, HttpResponse::new(200).to_bytes());
+                                let _ = ctx.stream_send(stream, HttpResponse::new(200).to_bytes());
                             }
                         }
                     }

@@ -96,9 +96,8 @@ impl ServiceDesc {
         let mut service = Element::new("service").with_attr("serviceType", &self.service_type);
         let mut actions = Element::new("actionList");
         for a in &self.actions {
-            let mut action = Element::new("action").with_child(
-                Element::new("name").with_text(&a.name),
-            );
+            let mut action =
+                Element::new("action").with_child(Element::new("name").with_text(&a.name));
             let mut args = Element::new("argumentList");
             for arg in &a.args {
                 args = args.with_child(
@@ -109,8 +108,7 @@ impl ServiceDesc {
                             ArgDirection::Out => "out",
                         }))
                         .with_child(
-                            Element::new("relatedStateVariable")
-                                .with_text(&arg.related_statevar),
+                            Element::new("relatedStateVariable").with_text(&arg.related_statevar),
                         ),
                 );
             }
@@ -158,7 +156,10 @@ impl ServiceDesc {
                 desc.state_vars.push(StateVarDesc {
                     name: v.child("name")?.text(),
                     send_events: v.attr("sendEvents") == Some("yes"),
-                    initial: v.child("defaultValue").map(Element::text).unwrap_or_default(),
+                    initial: v
+                        .child("defaultValue")
+                        .map(Element::text)
+                        .unwrap_or_default(),
                 });
             }
         }
@@ -203,14 +204,15 @@ impl DeviceDesc {
 
     /// Finds a service by type segment.
     pub fn service(&self, service_type: &str) -> Option<&ServiceDesc> {
-        self.services.iter().find(|s| s.service_type == service_type)
+        self.services
+            .iter()
+            .find(|s| s.service_type == service_type)
     }
 
     /// Serializes the full description document (device + inline SCPDs,
     /// like the single-fetch layout CyberLink's samples use).
     pub fn to_xml(&self) -> String {
-        let mut root = Element::new("root")
-            .with_attr("xmlns", "urn:schemas-upnp-org:device-1-0");
+        let mut root = Element::new("root").with_attr("xmlns", "urn:schemas-upnp-org:device-1-0");
         let mut device = Element::new("device")
             .with_child(Element::new("deviceType").with_text(&self.device_type))
             .with_child(Element::new("friendlyName").with_text(&self.friendly_name))
@@ -247,19 +249,18 @@ mod tests {
     use super::*;
 
     fn sample() -> DeviceDesc {
-        DeviceDesc::new("urn:umiddle:device:BinaryLight:1", "Hall Light", "uuid:42")
-            .with_service(
-                ServiceDesc::new("SwitchPower")
-                    .with_action(ActionDesc {
-                        name: "SetPower".to_owned(),
-                        args: vec![ActionArg {
-                            name: "Power".to_owned(),
-                            direction: ArgDirection::In,
-                            related_statevar: "Power".to_owned(),
-                        }],
-                    })
-                    .with_statevar("Power", true, "0"),
-            )
+        DeviceDesc::new("urn:umiddle:device:BinaryLight:1", "Hall Light", "uuid:42").with_service(
+            ServiceDesc::new("SwitchPower")
+                .with_action(ActionDesc {
+                    name: "SetPower".to_owned(),
+                    args: vec![ActionArg {
+                        name: "Power".to_owned(),
+                        direction: ArgDirection::In,
+                        related_statevar: "Power".to_owned(),
+                    }],
+                })
+                .with_statevar("Power", true, "0"),
+        )
     }
 
     #[test]

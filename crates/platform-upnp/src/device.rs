@@ -231,7 +231,9 @@ impl UpnpDevice {
                     .iter()
                     .filter(|v| v.send_events)
                     .filter_map(|v| {
-                        self.state.get(&v.name).map(|val| (v.name.clone(), val.to_owned()))
+                        self.state
+                            .get(&v.name)
+                            .map(|val| (v.name.clone(), val.to_owned()))
                     })
                     .collect()
             })
@@ -270,7 +272,11 @@ impl UpnpDevice {
                 .filter(|(name, _)| {
                     self.desc
                         .service(&service)
-                        .map(|svc| svc.state_vars.iter().any(|v| v.name == *name && v.send_events))
+                        .map(|svc| {
+                            svc.state_vars
+                                .iter()
+                                .any(|v| v.name == *name && v.send_events)
+                        })
                         .unwrap_or(false)
                 })
                 .cloned()
@@ -443,7 +449,10 @@ mod tests {
         assert_eq!(st.get("A"), Some("2"));
         assert_eq!(
             st.take_changes(),
-            vec![("A".to_owned(), "1".to_owned()), ("A".to_owned(), "2".to_owned())]
+            vec![
+                ("A".to_owned(), "1".to_owned()),
+                ("A".to_owned(), "2".to_owned())
+            ]
         );
         assert!(st.take_changes().is_empty());
     }

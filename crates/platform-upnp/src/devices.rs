@@ -121,7 +121,10 @@ impl DeviceLogic for ClockLogic {
                     .with_action(action("GetTime", vec![out_arg("CurrentTime", "Time")]))
                     .with_action(action("SetDate", vec![in_arg("NewDate", "Date")]))
                     .with_action(action("GetDate", vec![out_arg("CurrentDate", "Date")]))
-                    .with_action(action("SetTimeZone", vec![in_arg("NewTimeZone", "TimeZone")]))
+                    .with_action(action(
+                        "SetTimeZone",
+                        vec![in_arg("NewTimeZone", "TimeZone")],
+                    ))
                     .with_action(action("SetFormat", vec![in_arg("Format", "Format")]))
                     .with_statevar("Time", true, "00:00:00")
                     .with_statevar("Date", true, "2006-01-01")
@@ -272,7 +275,8 @@ impl DeviceLogic for AirconLogic {
                     .find(|(k, _)| k == "Target")
                     .map(|(_, v)| v.clone())
                     .ok_or((402, "missing Target".to_owned()))?;
-                t.parse::<i32>().map_err(|_| (600, "Target must be an integer".to_owned()))?;
+                t.parse::<i32>()
+                    .map_err(|_| (600, "Target must be an integer".to_owned()))?;
                 state.set("Target", t);
                 Ok(vec![])
             }
@@ -360,11 +364,19 @@ mod tests {
         let mut light = LightLogic::new("L", "uuid:l");
         let mut state = StateTable::default();
         assert!(light
-            .invoke("SetPower", &[("Power".to_owned(), "1".to_owned())], &mut state)
+            .invoke(
+                "SetPower",
+                &[("Power".to_owned(), "1".to_owned())],
+                &mut state
+            )
             .is_ok());
         assert_eq!(state.get("Power"), Some("1"));
         assert!(light
-            .invoke("SetPower", &[("Power".to_owned(), "7".to_owned())], &mut state)
+            .invoke(
+                "SetPower",
+                &[("Power".to_owned(), "7".to_owned())],
+                &mut state
+            )
             .is_err());
         assert!(light.invoke("Explode", &[], &mut state).is_err());
         let out = light.invoke("GetPower", &[], &mut state).unwrap();
@@ -375,7 +387,11 @@ mod tests {
     fn clock_description_is_the_papers_big_one() {
         let clock = ClockLogic::new("C", "uuid:c");
         let desc = clock.description();
-        assert_eq!(desc.services.len(), 2, "two services: the paper's extra entities");
+        assert_eq!(
+            desc.services.len(),
+            2,
+            "two services: the paper's extra entities"
+        );
         let actions: usize = desc.services.iter().map(|s| s.actions.len()).sum();
         assert!(actions >= 8, "clock is action-rich: {actions}");
         // Its description XML is markedly larger than the light's.
@@ -398,13 +414,25 @@ mod tests {
         let mut ac = AirconLogic::new("A", "uuid:a");
         let mut state = StateTable::default();
         assert!(ac
-            .invoke("SetMode", &[("Mode".to_owned(), "cool".to_owned())], &mut state)
+            .invoke(
+                "SetMode",
+                &[("Mode".to_owned(), "cool".to_owned())],
+                &mut state
+            )
             .is_ok());
         assert!(ac
-            .invoke("SetMode", &[("Mode".to_owned(), "toast".to_owned())], &mut state)
+            .invoke(
+                "SetMode",
+                &[("Mode".to_owned(), "toast".to_owned())],
+                &mut state
+            )
             .is_err());
         assert!(ac
-            .invoke("SetTarget", &[("Target".to_owned(), "cold".to_owned())], &mut state)
+            .invoke(
+                "SetTarget",
+                &[("Target".to_owned(), "cold".to_owned())],
+                &mut state
+            )
             .is_err());
     }
 
@@ -413,8 +441,12 @@ mod tests {
         let mut tv = MediaRendererLogic::new("TV", "uuid:tv");
         let mut state = StateTable::default();
         for _ in 0..3 {
-            tv.invoke("RenderMedia", &[("Media".to_owned(), "...".to_owned())], &mut state)
-                .unwrap();
+            tv.invoke(
+                "RenderMedia",
+                &[("Media".to_owned(), "...".to_owned())],
+                &mut state,
+            )
+            .unwrap();
         }
         assert_eq!(state.get("FramesShown"), Some("3"));
         assert_eq!(state.get("TransportState"), Some("PLAYING"));

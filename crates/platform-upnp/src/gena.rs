@@ -35,10 +35,7 @@ impl Subscribe {
         let (node, port) = cb.split_once('/')?;
         Some(Subscribe {
             service,
-            callback: Addr::new(
-                NodeId::from_index(node.parse().ok()?),
-                port.parse().ok()?,
-            ),
+            callback: Addr::new(NodeId::from_index(node.parse().ok()?), port.parse().ok()?),
         })
     }
 
@@ -64,12 +61,11 @@ pub struct Notify {
 impl Notify {
     /// Builds the HTTP NOTIFY request with a property-set body.
     pub fn to_request(&self) -> HttpRequest {
-        let mut propset = Element::new("e:propertyset")
-            .with_attr("xmlns:e", "urn:schemas-upnp-org:event-1-0");
+        let mut propset =
+            Element::new("e:propertyset").with_attr("xmlns:e", "urn:schemas-upnp-org:event-1-0");
         for (k, v) in &self.changes {
             propset = propset.with_child(
-                Element::new("e:property")
-                    .with_child(Element::new(k.clone()).with_text(v.clone())),
+                Element::new("e:property").with_child(Element::new(k.clone()).with_text(v.clone())),
             );
         }
         HttpRequest::new("NOTIFY", &format!("/notify/{}", self.service))

@@ -233,7 +233,6 @@ fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn request_round_trip() {
@@ -309,25 +308,31 @@ mod tests {
         assert!(acc.take_message().unwrap().is_err());
     }
 
-    proptest! {
-        /// Any request with arbitrary body round-trips.
-        #[test]
-        fn request_body_round_trip(body in proptest::collection::vec(any::<u8>(), 0..512)) {
+    /// Any request with arbitrary body round-trips.
+    #[test]
+    fn request_body_round_trip() {
+        simnet::check_cases("http_request_body_round_trip", 256, |_, rng| {
+            let len = rng.gen_range(0usize..512);
+            let body = rng.gen_bytes(len);
             let req = HttpRequest::new("POST", "/p").with_body(body.clone());
             let mut acc = HttpAccumulator::new();
             acc.push(&req.to_bytes());
             match acc.take_message().unwrap().unwrap() {
-                HttpMessage::Request(r) => prop_assert_eq!(r.body, body),
-                other => prop_assert!(false, "{:?}", other),
+                HttpMessage::Request(r) => assert_eq!(r.body, body),
+                other => panic!("{other:?}"),
             }
-        }
+        });
+    }
 
-        /// Random bytes never panic the accumulator.
-        #[test]
-        fn accumulator_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    /// Random bytes never panic the accumulator.
+    #[test]
+    fn accumulator_never_panics() {
+        simnet::check_cases("http_accumulator_never_panics", 256, |_, rng| {
+            let len = rng.gen_range(0usize..256);
+            let bytes = rng.gen_bytes(len);
             let mut acc = HttpAccumulator::new();
             acc.push(&bytes);
             let _ = acc.take_message();
-        }
+        });
     }
 }

@@ -88,12 +88,11 @@ impl MethodResponse {
     /// Serializes to XML.
     pub fn to_xml(&self) -> String {
         let root = match self {
-            MethodResponse::Value(v) => Element::new("methodResponse").with_child(
-                Element::new("params").with_child(
-                    Element::new("param")
-                        .with_child(Element::new("value").with_text(v.clone())),
-                ),
-            ),
+            MethodResponse::Value(v) => {
+                Element::new("methodResponse").with_child(Element::new("params").with_child(
+                    Element::new("param").with_child(Element::new("value").with_text(v.clone())),
+                ))
+            }
             MethodResponse::Fault { code, message } => Element::new("methodResponse").with_child(
                 Element::new("fault")
                     .with_child(Element::new("faultCode").with_text(code.to_string()))
@@ -242,9 +241,7 @@ impl WsServer {
         WsServer::new(name, "weather", port)
             .with_operation(
                 "current",
-                Box::new(move |_| {
-                    Ok(format!("sunny in {} at 24C", location.borrow()))
-                }),
+                Box::new(move |_| Ok(format!("sunny in {} at 24C", location.borrow()))),
             )
             .with_operation(
                 "locate",
@@ -275,7 +272,9 @@ impl Process for WsServer {
                 self.conns.insert(stream, HttpAccumulator::new());
             }
             StreamEvent::Data(data) => {
-                let Some(acc) = self.conns.get_mut(&stream) else { return };
+                let Some(acc) = self.conns.get_mut(&stream) else {
+                    return;
+                };
                 acc.push(&data);
                 let Some(Ok(HttpMessage::Request(req))) = acc.take_message() else {
                     return;
@@ -348,8 +347,16 @@ pub enum WsEvent {
 
 #[derive(Debug)]
 enum WsPending {
-    Describe { location: Addr, acc: HttpAccumulator, request: Vec<u8> },
-    Call { call_id: u64, acc: HttpAccumulator, request: Vec<u8> },
+    Describe {
+        location: Addr,
+        acc: HttpAccumulator,
+        request: Vec<u8>,
+    },
+    Call {
+        call_id: u64,
+        acc: HttpAccumulator,
+        request: Vec<u8>,
+    },
 }
 
 /// The client engine for host processes (the uMiddle mapper, tests).
@@ -417,7 +424,9 @@ impl WsClient {
                 }
             }
             StreamEvent::Data(data) => {
-                let Some(p) = self.pending.get_mut(&stream) else { return out };
+                let Some(p) = self.pending.get_mut(&stream) else {
+                    return out;
+                };
                 let acc = match p {
                     WsPending::Describe { acc, .. } | WsPending::Call { acc, .. } => acc,
                 };
@@ -447,9 +456,7 @@ impl WsClient {
                                 None => out.push(WsEvent::Failed { call_id }),
                             }
                         }
-                        (WsPending::Describe { .. }, _) => {
-                            out.push(WsEvent::Failed { call_id: 0 })
-                        }
+                        (WsPending::Describe { .. }, _) => out.push(WsEvent::Failed { call_id: 0 }),
                         (WsPending::Call { call_id, .. }, _) => {
                             out.push(WsEvent::Failed { call_id })
                         }
@@ -553,7 +560,9 @@ mod tests {
         );
         world.run_until(SimTime::from_secs(5));
         let results = results.borrow();
-        assert!(matches!(results.first(), Some(WsEvent::Description { desc, .. }) if desc.kind == "logger"));
+        assert!(
+            matches!(results.first(), Some(WsEvent::Description { desc, .. }) if desc.kind == "logger")
+        );
         assert!(matches!(
             results.get(1),
             Some(WsEvent::CallResult {

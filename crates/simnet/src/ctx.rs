@@ -2,8 +2,6 @@
 
 use std::any::Any;
 
-use rand::rngs::StdRng;
-
 use crate::error::SimResult;
 use crate::process::{Addr, LocalMessage, NodeId, ProcId, Process, StreamId};
 use crate::time::{SimDuration, SimTime};
@@ -25,7 +23,9 @@ pub struct Ctx<'w> {
 
 impl std::fmt::Debug for Ctx<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ctx").field("me", &self.me).finish_non_exhaustive()
+        f.debug_struct("Ctx")
+            .field("me", &self.me)
+            .finish_non_exhaustive()
     }
 }
 
@@ -50,7 +50,7 @@ impl<'w> Ctx<'w> {
     }
 
     /// Seeded random number generator shared by the whole world.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut crate::rng::SimRng {
         &mut self.world.rng
     }
 
@@ -64,6 +64,37 @@ impl<'w> Ctx<'w> {
     /// Adds `n` to a named world counter.
     pub fn bump(&mut self, counter: &str, n: u64) {
         self.world.trace.bump(counter, n);
+    }
+
+    /// Sets a named gauge to an absolute value.
+    pub fn gauge_set(&mut self, gauge: &str, v: i64) {
+        self.world.trace.metrics_mut().gauge_set(gauge, v);
+    }
+
+    /// Adds a (possibly negative) delta to a named gauge.
+    pub fn gauge_add(&mut self, gauge: &str, delta: i64) {
+        self.world.trace.metrics_mut().gauge_add(gauge, delta);
+    }
+
+    /// Records a virtual-time duration into the named latency histogram.
+    pub fn observe(&mut self, histogram: &str, d: SimDuration) {
+        self.world.trace.metrics_mut().observe(histogram, d);
+    }
+
+    /// Read access to the world's metrics registry (counters, gauges,
+    /// histograms). Useful for answering metric queries from inside a
+    /// process handler.
+    pub fn metrics(&self) -> &crate::trace::Metrics {
+        self.world.trace.metrics()
+    }
+
+    /// Records a span event on a correlated path, attributed to this
+    /// process at the current virtual time. `corr` is the correlation id
+    /// minted when the connection was established.
+    pub fn span(&mut self, corr: u64, stage: impl Into<String>, detail: impl Into<String>) {
+        let name = self.world.procs[self.me.index()].name.clone();
+        let now = self.world.now();
+        self.world.trace.span(corr, now, name, stage, detail);
     }
 
     /// Models CPU work: subsequent event deliveries to this process are
@@ -232,7 +263,12 @@ mod tests {
         let n = w.add_node("n");
         w.attach(n, seg).unwrap();
         let ports = Rc::new(RefCell::new(Vec::new()));
-        w.add_process(n, Box::new(EphemeralProbe { ports: Rc::clone(&ports) }));
+        w.add_process(
+            n,
+            Box::new(EphemeralProbe {
+                ports: Rc::clone(&ports),
+            }),
+        );
         w.run_until_idle();
         let ports = ports.borrow();
         assert_eq!(ports.len(), 2);
@@ -264,7 +300,12 @@ mod tests {
         let mut w = World::new(0);
         let n = w.add_node("n");
         let got = Rc::new(RefCell::new(None));
-        let rx = w.add_process(n, Box::new(LocalReceiver { got: Rc::clone(&got) }));
+        let rx = w.add_process(
+            n,
+            Box::new(LocalReceiver {
+                got: Rc::clone(&got),
+            }),
+        );
         w.add_process(n, Box::new(LocalSender { to: Some(rx) }));
         w.run_until_idle();
         assert_eq!(*got.borrow(), Some(41));

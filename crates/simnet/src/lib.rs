@@ -68,6 +68,7 @@ mod ctx;
 mod error;
 mod medium;
 mod process;
+pub mod rng;
 mod stream;
 mod time;
 mod trace;
@@ -79,6 +80,7 @@ pub use medium::{schedule_tx, SegmentConfig, TxTiming};
 pub use process::{
     Addr, Datagram, LocalMessage, NodeId, ProcId, Process, SegmentId, StreamEvent, StreamId,
 };
+pub use rng::{check_cases, SimRng};
 pub use time::{SimDuration, SimTime};
-pub use trace::{SegmentStats, Trace, TraceEvent};
+pub use trace::{Histogram, Metrics, MetricsSnapshot, SegmentStats, SpanEvent, Trace, TraceEvent};
 pub use world::World;

@@ -211,7 +211,13 @@ mod tests {
     #[test]
     fn idle_medium_starts_immediately() {
         let cfg = SegmentConfig::ethernet_10mbps_hub();
-        let t = schedule_tx(&cfg, SimTime::from_millis(5), SimTime::ZERO, SimDuration::ZERO, 100);
+        let t = schedule_tx(
+            &cfg,
+            SimTime::from_millis(5),
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            100,
+        );
         assert_eq!(t.start, SimTime::from_millis(5));
         assert!(t.end > t.start);
         assert_eq!(t.arrival, t.end + cfg.latency);

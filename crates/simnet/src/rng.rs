@@ -1,0 +1,284 @@
+//! A small deterministic PRNG so the workspace builds with zero
+//! external dependencies.
+//!
+//! [`SimRng`] is a SplitMix64 generator: 64 bits of state, full period,
+//! passes BigCrush for the bit-mixing quality simulation needs, and —
+//! crucially — identical output on every platform and toolchain, which
+//! keeps seeded worlds reproducible byte for byte.
+//!
+//! The module also hosts [`check_cases`], a miniature property-test
+//! harness: it runs a closure over a sequence of independently seeded
+//! generators and reports the failing case index so a failure can be
+//! replayed in isolation.
+
+/// Deterministic SplitMix64 pseudo-random number generator.
+///
+/// The API intentionally mirrors the subset of `rand::Rng` the
+/// workspace uses (`gen_range`, `gen_bool`), so call sites read the
+/// same as they would with the external crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> SimRng {
+        SimRng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next raw 32-bit output (upper half of a 64-bit step).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in the given range (`a..b` or `a..=b`).
+    ///
+    /// Panics if the range is empty, matching `rand::Rng::gen_range`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A vector of `len` random bytes.
+    pub fn gen_bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let chunk = self.next_u64().to_le_bytes();
+            let take = (len - out.len()).min(8);
+            out.extend_from_slice(&chunk[..take]);
+        }
+        out
+    }
+
+    /// A random ASCII string drawn from `alphabet`, `len` chars long.
+    ///
+    /// Panics if `alphabet` is empty.
+    pub fn gen_string(&mut self, alphabet: &str, len: usize) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        assert!(!chars.is_empty(), "empty alphabet");
+        (0..len)
+            .map(|_| chars[self.gen_range(0..chars.len())])
+            .collect()
+    }
+
+    /// Splits off an independent generator (for derived random streams).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Bounded uniform sampling over integer ranges; the trait bound behind
+/// [`SimRng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+/// Integer types [`SimRng::gen_range`] can sample. Maps values onto an
+/// unsigned 64-bit lattice so one widening implementation covers every
+/// width and signedness.
+pub trait UniformInt: Copy {
+    /// Offset from the type's minimum, widened to `u64`.
+    fn to_lattice(self) -> u64;
+    /// Inverse of [`UniformInt::to_lattice`].
+    fn from_lattice(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl UniformInt for $t {
+            fn to_lattice(self) -> u64 {
+                // Wrapping-cast to the unsigned twin flips the sign bit
+                // ordering; XOR with MIN's image restores total order.
+                ((self as $u) ^ (<$t>::MIN as $u)) as u64
+            }
+            fn from_lattice(v: u64) -> Self {
+                ((v as $u) ^ (<$t>::MIN as $u)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+fn sample_lattice(rng: &mut SimRng, lo: u64, hi_inclusive: u64) -> u64 {
+    let span = hi_inclusive.wrapping_sub(lo);
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    // Multiply-shift bounded sampling (deterministic, bias < 2^-64
+    // per draw — irrelevant at simulation scales).
+    let v = ((u128::from(rng.next_u64()) * u128::from(span + 1)) >> 64) as u64;
+    lo.wrapping_add(v)
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, rng: &mut SimRng) -> T {
+        let lo = self.start.to_lattice();
+        let hi = self.end.to_lattice();
+        assert!(lo < hi, "gen_range called with an empty range");
+        T::from_lattice(sample_lattice(rng, lo, hi - 1))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut SimRng) -> T {
+        let lo = self.start().to_lattice();
+        let hi = self.end().to_lattice();
+        assert!(lo <= hi, "gen_range called with an empty range");
+        T::from_lattice(sample_lattice(rng, lo, hi))
+    }
+}
+
+/// Runs `body` over `cases` independently seeded generators — a
+/// miniature deterministic property-test harness.
+///
+/// Case `i` receives `SimRng::seed_from_u64(base_seed + i)` where
+/// `base_seed` derives from `name`, so every property gets its own
+/// stream and failures name the case that can be replayed alone.
+pub fn check_cases<F>(name: &str, cases: u64, body: F)
+where
+    F: Fn(u64, &mut SimRng) + std::panic::RefUnwindSafe,
+{
+    // FNV-1a over the property name: stable, dependency-free.
+    let mut base: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        base ^= u64::from(b);
+        base = base.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case in 0..cases {
+        let seed = base.wrapping_add(case);
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            body(case, &mut rng);
+        });
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property {name:?} failed at case {case} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the SplitMix64
+        // reference implementation (Steele et al.).
+        let mut rng = SimRng::seed_from_u64(1234567);
+        let got: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(0..200);
+            assert!(v < 200);
+            let w: i16 = rng.gen_range(-3i16..=3);
+            assert!((-3..=3).contains(&w));
+            let x: i8 = rng.gen_range(-5i8..=5);
+            assert!((-5..=5).contains(&x));
+            let y: u64 = rng.gen_range(10..=10);
+            assert_eq!(y, 10);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_extremes() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1_000 {
+            seen.insert(rng.gen_range(0u8..=3));
+        }
+        assert_eq!(seen.len(), 4, "all four values drawn: {seen:?}");
+        // Full-width range does not overflow the span arithmetic.
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let _: i8 = rng.gen_range(i8::MIN..=i8::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let _: u8 = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bytes_exact_len() {
+        let mut rng = SimRng::seed_from_u64(5);
+        for len in [0usize, 1, 7, 8, 9, 255] {
+            assert_eq!(rng.gen_bytes(len).len(), len);
+        }
+    }
+
+    #[test]
+    fn check_cases_reports_failing_case() {
+        let err = std::panic::catch_unwind(|| {
+            check_cases("always-fails", 3, |case, _| {
+                assert!(case < 1, "boom");
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("failed at case 1"), "{msg}");
+    }
+}

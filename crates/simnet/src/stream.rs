@@ -183,12 +183,19 @@ impl World {
     }
 
     fn send_syn(&mut self, id: StreamId, attempt: u32) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         if st.phase != Phase::SynSent {
             return;
         }
-        let (segment, src_node, dst_node, src_port, dst) =
-            (st.segment, st.sides[0].node, st.sides[1].node, st.sides[0].port, st.dst);
+        let (segment, src_node, dst_node, src_port, dst) = (
+            st.segment,
+            st.sides[0].node,
+            st.sides[1].node,
+            st.sides[0].port,
+            st.dst,
+        );
         self.transmit_stream_frame(
             segment,
             src_node,
@@ -204,11 +211,19 @@ impl World {
             0,
         );
         let at = self.now() + SYN_RETRY_AFTER;
-        self.schedule(at, EventKind::SynRetry { stream: id, attempt });
+        self.schedule(
+            at,
+            EventKind::SynRetry {
+                stream: id,
+                attempt,
+            },
+        );
     }
 
     pub(crate) fn syn_retry(&mut self, id: StreamId, attempt: u32) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         if st.phase != Phase::SynSent {
             return;
         }
@@ -263,7 +278,10 @@ impl World {
             return Err(SimError::StreamBufferFull(id));
         }
         if self.emit_time(proc) > self.now() {
-            self.emit_or_defer(proc, crate::world::EmitAction::StreamData { stream: id, data });
+            self.emit_or_defer(
+                proc,
+                crate::world::EmitAction::StreamData { stream: id, data },
+            );
             return Ok(());
         }
         self.stream_send_forced(proc, id, data)
@@ -298,7 +316,9 @@ impl World {
         if st.phase == Phase::Closed {
             return 0;
         }
-        let Some(initiator) = st.side_of(proc) else { return 0 };
+        let Some(initiator) = st.side_of(proc) else {
+            return 0;
+        };
         self.stream_send_capacity
             .saturating_sub(st.side(initiator).send_buf.len())
     }
@@ -315,11 +335,15 @@ impl World {
 
     /// Requests an orderly close of `proc`'s direction.
     pub(crate) fn stream_close(&mut self, proc: ProcId, id: StreamId) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         if st.phase == Phase::Closed {
             return;
         }
-        let Some(initiator) = st.side_of(proc) else { return };
+        let Some(initiator) = st.side_of(proc) else {
+            return;
+        };
         st.side_mut(initiator).fin_queued = true;
         self.pump(id, initiator);
     }
@@ -329,7 +353,9 @@ impl World {
     fn pump(&mut self, id: StreamId, initiator: bool) {
         let window = self.stream_window as u64;
         loop {
-            let Some(st) = self.stream_state(id) else { return };
+            let Some(st) = self.stream_state(id) else {
+                return;
+            };
             if st.phase != Phase::Established {
                 return;
             }
@@ -365,11 +391,14 @@ impl World {
                     );
                     if need_rto {
                         let at = self.now() + rto;
-                        self.schedule(at, EventKind::StreamRto {
-                            stream: id,
-                            from_initiator: initiator,
-                            epoch,
-                        });
+                        self.schedule(
+                            at,
+                            EventKind::StreamRto {
+                                stream: id,
+                                from_initiator: initiator,
+                                epoch,
+                            },
+                        );
                     }
                 }
                 return;
@@ -404,17 +433,22 @@ impl World {
             );
             if need_rto {
                 let at = self.now() + rto;
-                self.schedule(at, EventKind::StreamRto {
-                    stream: id,
-                    from_initiator: initiator,
-                    epoch,
-                });
+                self.schedule(
+                    at,
+                    EventKind::StreamRto {
+                        stream: id,
+                        from_initiator: initiator,
+                        epoch,
+                    },
+                );
             }
         }
     }
 
     pub(crate) fn stream_rto_fired(&mut self, id: StreamId, initiator: bool, epoch: u64) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         if st.phase == Phase::Closed {
             return;
         }
@@ -435,11 +469,14 @@ impl World {
         let (new_epoch, rto) = (side.rto_epoch, side.rto);
         self.trace.bump("stream.rto", 1);
         let at = self.now() + rto;
-        self.schedule(at, EventKind::StreamRto {
-            stream: id,
-            from_initiator: initiator,
-            epoch: new_epoch,
-        });
+        self.schedule(
+            at,
+            EventKind::StreamRto {
+                stream: id,
+                from_initiator: initiator,
+                epoch: new_epoch,
+            },
+        );
         self.pump(id, initiator);
     }
 
@@ -527,7 +564,9 @@ impl World {
                 );
             }
             None => {
-                let Some(st) = self.stream_state(id) else { return };
+                let Some(st) = self.stream_state(id) else {
+                    return;
+                };
                 let (a_node, b_node) = (st.sides[0].node, st.sides[1].node);
                 self.transmit_stream_frame(
                     segment,
@@ -545,7 +584,9 @@ impl World {
     }
 
     fn handle_syn_ack(&mut self, id: StreamId) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         if st.phase != Phase::SynSent {
             return;
         }
@@ -567,7 +608,9 @@ impl World {
     }
 
     fn handle_rst(&mut self, id: StreamId, from_initiator: bool) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         let was = st.phase;
         st.phase = Phase::Closed;
         let victim = st.side(!from_initiator);
@@ -588,7 +631,9 @@ impl World {
     }
 
     fn handle_data(&mut self, id: StreamId, from_initiator: bool, seq: u64, bytes: Vec<u8>) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         if st.phase != Phase::Established {
             return;
         }
@@ -641,7 +686,9 @@ impl World {
     /// stops acknowledging, the sender's window fills, and backpressure
     /// propagates — the moral equivalent of a TCP receive window.
     fn send_ack(&mut self, id: StreamId, rx_initiator: bool) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         let proc = st.side(rx_initiator).proc;
         if let Some(p) = proc {
             if self.emit_time(p) > self.now() {
@@ -661,7 +708,9 @@ impl World {
     /// Sends a cumulative ACK immediately. ACK frames occupy the medium
     /// like any other frame.
     pub(crate) fn send_ack_now(&mut self, id: StreamId, rx_initiator: bool) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         let segment = st.segment;
         let rx = st.side(rx_initiator);
         let mut ack = rx.recv_next;
@@ -686,7 +735,9 @@ impl World {
 
     fn handle_ack(&mut self, id: StreamId, from_initiator: bool, ack: u64) {
         let capacity = self.stream_send_capacity;
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         if st.phase != Phase::Established {
             return;
         }
@@ -714,11 +765,14 @@ impl World {
             tx.rto_armed = true;
             let (epoch, rto) = (tx.rto_epoch, tx.rto);
             let at = self.now() + rto;
-            self.schedule(at, EventKind::StreamRto {
-                stream: id,
-                from_initiator: tx_initiator,
-                epoch,
-            });
+            self.schedule(
+                at,
+                EventKind::StreamRto {
+                    stream: id,
+                    from_initiator: tx_initiator,
+                    epoch,
+                },
+            );
         } else {
             tx.rto_armed = false;
         }
@@ -739,7 +793,9 @@ impl World {
     }
 
     fn handle_fin(&mut self, id: StreamId, from_initiator: bool, seq: u64) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         if st.phase != Phase::Established {
             return;
         }
@@ -752,7 +808,9 @@ impl World {
     /// Delivers `Closed` to the receiving side once all data preceding the
     /// peer's FIN has been delivered.
     fn check_fin_delivery(&mut self, id: StreamId, rx_initiator: bool) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         let rx = st.side_mut(rx_initiator);
         if let Some(fin_seq) = rx.peer_fin_seq {
             if rx.recv_next >= fin_seq && !rx.delivered_closed {
@@ -775,14 +833,14 @@ impl World {
 
     /// Frees the stream slot once both directions have shut down cleanly.
     fn free_if_done(&mut self, id: StreamId) {
-        let Some(st) = self.stream_state(id) else { return };
+        let Some(st) = self.stream_state(id) else {
+            return;
+        };
         let done = match st.phase {
             Phase::Closed => true,
-            Phase::Established => {
-                st.sides.iter().all(|s| {
-                    (s.fin_sent && s.fin_acked && s.all_sent_and_acked()) && s.delivered_closed
-                })
-            }
+            Phase::Established => st.sides.iter().all(|s| {
+                (s.fin_sent && s.fin_acked && s.all_sent_and_acked()) && s.delivered_closed
+            }),
             Phase::SynSent => false,
         };
         if done {
@@ -801,13 +859,14 @@ impl World {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| {
-                s.as_ref().and_then(|st| {
-                    st.side_of(proc).map(|_| StreamId(i as u32))
-                })
+                s.as_ref()
+                    .and_then(|st| st.side_of(proc).map(|_| StreamId(i as u32)))
             })
             .collect();
         for id in ids {
-            let Some(st) = self.stream_state(id) else { continue };
+            let Some(st) = self.stream_state(id) else {
+                continue;
+            };
             let initiator = st.side_of(proc).expect("filtered above");
             let was = st.phase;
             st.phase = Phase::Closed;
@@ -951,10 +1010,13 @@ mod tests {
     #[test]
     fn bulk_transfer_survives_loss() {
         let total = 60_000;
-        let (received, closed, _, w) = bulk_world(0.02, total);
+        let (received, closed, _, w) = bulk_world(0.05, total);
         assert_eq!(received.len(), total);
         assert!(closed);
-        assert!(w.trace().counter("stream.rto") > 0, "loss should trigger RTOs");
+        assert!(
+            w.trace().counter("stream.rto") > 0,
+            "loss should trigger RTOs"
+        );
     }
 
     #[test]
@@ -967,7 +1029,11 @@ mod tests {
         // Find completion time via segment busy stats instead: use now()
         // from a fresh run bounded by the transfer itself.
         let stats = w.segment_stats(SegmentId(0)).unwrap();
-        assert!(stats.frames > 600, "expect hundreds of frames, got {}", stats.frames);
+        assert!(
+            stats.frames > 600,
+            "expect hundreds of frames, got {}",
+            stats.frames
+        );
     }
 
     #[test]

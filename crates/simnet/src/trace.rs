@@ -1,9 +1,15 @@
 //! Tracing and metrics for simulations.
 //!
-//! Every [`World`](crate::World) owns a [`Trace`]: a bounded event log plus
-//! a set of named counters. Protocol code bumps counters and logs events via
-//! [`Ctx`](crate::Ctx); benches and tests read them back to assert on
-//! behaviour (frames on a segment, bytes delivered, retransmissions, …).
+//! Every [`World`](crate::World) owns a [`Trace`]: a bounded event log, a
+//! span log for end-to-end path reconstruction, and a [`Metrics`] registry
+//! of typed counters, gauges, and fixed-bucket latency histograms.
+//! Protocol code records through [`Ctx`](crate::Ctx); benches and tests
+//! read the registry back to assert on behaviour (frames on a segment,
+//! bytes delivered, retransmissions, per-hop translation latency, …).
+//!
+//! Everything here is keyed to **virtual** time, so two runs of the same
+//! seeded world produce byte-identical snapshots
+//! ([`MetricsSnapshot::to_json`]).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -27,25 +33,452 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// Bounded event log plus named counters.
+/// One span event on a correlated path: a hop in a message's
+/// mapper→translator→port journey, stamped with virtual time.
+///
+/// Spans carrying the same correlation id reconstruct one logical
+/// path end to end, across runtimes and platform bridges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Correlation id minted when the connection was established.
+    pub corr: u64,
+    /// Virtual time of the hop.
+    pub time: SimTime,
+    /// Short source tag (usually the process name).
+    pub source: String,
+    /// Stage name, dot-scoped (`connect`, `directory.lookup`,
+    /// `transport.send`, `bridge.upnp.input`, …).
+    pub stage: String,
+    /// Free-form detail (port names, byte counts, retry numbers).
+    pub detail: String,
+}
+
+impl fmt::Display for SpanEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] corr={:#x} {} {}: {}",
+            self.time, self.corr, self.source, self.stage, self.detail
+        )
+    }
+}
+
+/// Upper bounds (inclusive, nanoseconds) of the fixed latency buckets:
+/// a 1–2–5 series from 1 µs to 100 s. Values above the last bound land
+/// in an implicit overflow bucket.
+pub const LATENCY_BUCKET_BOUNDS_NS: [u64; 25] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    20_000_000_000,
+    50_000_000_000,
+    100_000_000_000,
+];
+
+/// A fixed-bucket latency histogram over virtual-time durations.
+///
+/// Buckets are the global [`LATENCY_BUCKET_BOUNDS_NS`] 1–2–5 series plus
+/// an overflow bucket; a recorded value lands in the first bucket whose
+/// bound is ≥ the value (Prometheus `le` semantics). Deterministic: no
+/// floating point is involved in bucketing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; LATENCY_BUCKET_BOUNDS_NS.len() + 1],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: [0; LATENCY_BUCKET_BOUNDS_NS.len() + 1],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let idx = LATENCY_BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_NS.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values, in nanoseconds.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
+    /// Mean of the recorded values, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_ns / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// Smallest recorded value, or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Largest recorded value, or zero if empty.
+    pub fn max(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.max_ns)
+        }
+    }
+
+    /// Per-bucket counts, one per bound plus the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper bound (ns) of the bucket a quantile `q` in `[0, 1]` falls
+    /// into — a conservative quantile estimate. Returns `None` if empty
+    /// or if the quantile lands in the overflow bucket.
+    pub fn quantile_bound_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return LATENCY_BUCKET_BOUNDS_NS.get(i).copied();
+            }
+        }
+        None
+    }
+}
+
+/// Registry of typed counters, gauges, and latency histograms.
+///
+/// Names are flat, dot-scoped strings; per-runtime metrics use an
+/// `rt{N}.` prefix (e.g. `rt0.advertisements_sent`). All maps are
+/// ordered, so iteration and JSON output are deterministic.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Adds `n` to a monotonic counter.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Reads a counter (zero if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn gauge_set(&mut self, name: &str, v: i64) {
+        self.gauges.insert(name.to_owned(), v);
+    }
+
+    /// Adds a (possibly negative) delta to a gauge.
+    pub fn gauge_add(&mut self, name: &str, delta: i64) {
+        *self.gauges.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Reads a gauge (zero if never written).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a duration into the named histogram.
+    pub fn observe(&mut self, name: &str, d: SimDuration) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(d);
+    }
+
+    /// Reads a histogram, if it has ever been observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Counters/gauges/histograms under a dot-scoped prefix, e.g.
+    /// `scoped("rt0")` yields every metric named `rt0.*`.
+    pub fn scoped<'m>(&'m self, prefix: &str) -> ScopedMetrics<'m> {
+        ScopedMetrics {
+            metrics: self,
+            prefix: format!("{prefix}."),
+        }
+    }
+
+    /// An owned, deterministic snapshot for export.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+
+    /// Clears every metric.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+/// A read-only view of the metrics under one scope prefix.
+#[derive(Debug)]
+pub struct ScopedMetrics<'m> {
+    metrics: &'m Metrics,
+    prefix: String,
+}
+
+impl ScopedMetrics<'_> {
+    /// Reads `"{prefix}.{name}"` as a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counter(&format!("{}{name}", self.prefix))
+    }
+
+    /// Reads `"{prefix}.{name}"` as a gauge.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.metrics.gauge(&format!("{}{name}", self.prefix))
+    }
+
+    /// Reads `"{prefix}.{name}"` as a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.metrics.histogram(&format!("{}{name}", self.prefix))
+    }
+
+    /// Every counter in this scope, with the prefix stripped.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.metrics
+            .counters
+            .range(self.prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&self.prefix))
+            .map(|(k, v)| (&k[self.prefix.len()..], *v))
+    }
+
+    /// Every gauge in this scope, with the prefix stripped.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.metrics
+            .gauges
+            .range(self.prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&self.prefix))
+            .map(|(k, v)| (&k[self.prefix.len()..], *v))
+    }
+
+    /// Every histogram in this scope, with the prefix stripped.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.metrics
+            .histograms
+            .range(self.prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&self.prefix))
+            .map(|(k, v)| (&k[self.prefix.len()..], v))
+    }
+
+    /// An owned snapshot of just this scope, prefix stripped.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters().map(|(k, v)| (k.to_owned(), v)).collect(),
+            gauges: self.gauges().map(|(k, v)| (k.to_owned(), v)).collect(),
+            histograms: self
+                .histograms()
+                .map(|(k, v)| (k.to_owned(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Owned, ordered copy of a [`Metrics`] registry; renders to
+/// deterministic JSON for the bench exporter and for golden files.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as pretty-printed JSON with fully
+    /// deterministic key order and integer-only numbers, so two
+    /// identical runs produce byte-identical output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"counters\": {");
+        push_map(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\n  \"gauges\": {");
+        push_map(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\n  \"bucket_bounds_ns\": [");
+        for (i, b) in LATENCY_BUCKET_BOUNDS_NS.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("],\n  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(": {");
+            out.push_str(&format!(
+                "\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"buckets\": [",
+                h.count(),
+                h.sum_ns(),
+                h.min().as_nanos(),
+                h.max().as_nanos(),
+            ));
+            for (i, c) in h.bucket_counts().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("]}");
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        push_json_string(out, k);
+        out.push_str(": ");
+        out.push_str(&v);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Bounded event log, span log, and metrics registry.
 #[derive(Debug)]
 pub struct Trace {
     log_enabled: bool,
     capacity: usize,
     events: Vec<TraceEvent>,
     dropped: u64,
-    counters: BTreeMap<String, u64>,
+    spans: Vec<SpanEvent>,
+    span_capacity: usize,
+    spans_dropped: u64,
+    metrics: Metrics,
 }
 
 impl Trace {
-    /// Creates a trace with logging enabled and the given event capacity.
+    /// Creates a trace with logging enabled and the given event capacity
+    /// (spans get the same capacity).
     pub fn new(capacity: usize) -> Trace {
         Trace {
             log_enabled: true,
             capacity,
             events: Vec::new(),
             dropped: 0,
-            counters: BTreeMap::new(),
+            spans: Vec::new(),
+            span_capacity: capacity,
+            spans_dropped: 0,
+            metrics: Metrics::default(),
         }
     }
 
@@ -70,19 +503,66 @@ impl Trace {
         });
     }
 
+    /// Records a span event on a correlated path.
+    pub fn span(
+        &mut self,
+        corr: u64,
+        time: SimTime,
+        source: impl Into<String>,
+        stage: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        if self.spans.len() >= self.span_capacity {
+            self.spans_dropped += 1;
+            return;
+        }
+        self.spans.push(SpanEvent {
+            corr,
+            time,
+            source: source.into(),
+            stage: stage.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// All recorded spans, in order.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// The spans of one correlated path, in order.
+    pub fn spans_for(&self, corr: u64) -> impl Iterator<Item = &SpanEvent> {
+        self.spans.iter().filter(move |s| s.corr == corr)
+    }
+
+    /// Number of spans discarded because the span log was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The metrics registry, mutably.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
     /// Adds `n` to the named counter.
     pub fn bump(&mut self, counter: &str, n: u64) {
-        *self.counters.entry(counter.to_owned()).or_insert(0) += n;
+        self.metrics.counter_add(counter, n);
     }
 
     /// Returns the value of a counter (zero if never bumped).
     pub fn counter(&self, counter: &str) -> u64 {
-        self.counters.get(counter).copied().unwrap_or(0)
+        self.metrics.counter(counter)
     }
 
     /// All counters, sorted by name.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.metrics.counters()
     }
 
     /// The recorded events, in order.
@@ -95,11 +575,13 @@ impl Trace {
         self.dropped
     }
 
-    /// Clears events and counters.
+    /// Clears events, spans, and metrics.
     pub fn clear(&mut self) {
         self.events.clear();
-        self.counters.clear();
         self.dropped = 0;
+        self.spans.clear();
+        self.spans_dropped = 0;
+        self.metrics.clear();
     }
 }
 
@@ -184,5 +666,93 @@ mod tests {
         let u = stats.utilization(SimDuration::from_secs(1));
         assert!((u - 0.5).abs() < 1e-9);
         assert_eq!(stats.utilization(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::default();
+        // Exactly on a bound → that bucket (le semantics).
+        h.record(SimDuration::from_nanos(1_000));
+        // One over a bound → next bucket.
+        h.record(SimDuration::from_nanos(1_001));
+        // Zero → first bucket.
+        h.record(SimDuration::ZERO);
+        // Far past the last bound → overflow bucket.
+        h.record(SimDuration::from_secs(1_000));
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2, "0 and 1000 ns share the first bucket");
+        assert_eq!(counts[1], 1, "1001 ns lands in the 2 µs bucket");
+        assert_eq!(*counts.last().unwrap(), 1, "overflow bucket");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::from_secs(1_000));
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile_bound_ns(0.5), None);
+        for ms in [1u64, 2, 3, 4] {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.mean(), SimDuration::from_nanos(2_500_000));
+        // p50 falls in the 2 ms bucket, p100 in the 5 ms bucket.
+        assert_eq!(h.quantile_bound_ns(0.5), Some(2_000_000));
+        assert_eq!(h.quantile_bound_ns(1.0), Some(5_000_000));
+    }
+
+    #[test]
+    fn gauges_and_scoping() {
+        let mut m = Metrics::default();
+        m.counter_add("rt0.advertisements_sent", 3);
+        m.counter_add("rt1.advertisements_sent", 7);
+        m.gauge_set("rt0.buffer_depth", 42);
+        m.gauge_add("rt0.buffer_depth", -2);
+        m.observe("rt0.drain_wait", SimDuration::from_millis(1));
+        let rt0 = m.scoped("rt0");
+        assert_eq!(rt0.counter("advertisements_sent"), 3);
+        assert_eq!(rt0.gauge("buffer_depth"), 40);
+        assert_eq!(rt0.histogram("drain_wait").unwrap().count(), 1);
+        let names: Vec<&str> = rt0.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["advertisements_sent"]);
+        let rt1 = m.scoped("rt1");
+        assert_eq!(rt1.counter("advertisements_sent"), 7);
+        assert_eq!(rt1.gauge("buffer_depth"), 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let mut m = Metrics::default();
+        m.counter_add("b", 2);
+        m.counter_add("a", 1);
+        m.gauge_set("g", -5);
+        m.observe("lat", SimDuration::from_micros(3));
+        let j1 = m.snapshot().to_json();
+        let j2 = m.snapshot().to_json();
+        assert_eq!(j1, j2);
+        // Keys appear sorted regardless of insertion order.
+        let a = j1.find("\"a\"").unwrap();
+        let b = j1.find("\"b\"").unwrap();
+        assert!(a < b);
+        assert!(j1.contains("\"g\": -5"));
+        assert!(j1.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn spans_filter_by_correlation_id() {
+        let mut t = Trace::default();
+        t.span(7, SimTime::ZERO, "rt0", "connect", "src=alpha");
+        t.span(9, SimTime::from_millis(1), "rt0", "connect", "src=beta");
+        t.span(
+            7,
+            SimTime::from_millis(2),
+            "upnp-mapper",
+            "bridge.upnp.input",
+            "port=in",
+        );
+        let path: Vec<&str> = t.spans_for(7).map(|s| s.stage.as_str()).collect();
+        assert_eq!(path, vec!["connect", "bridge.upnp.input"]);
+        assert_eq!(t.spans().len(), 3);
     }
 }

@@ -4,9 +4,6 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::ctx::Ctx;
 use crate::error::{SimError, SimResult};
 use crate::medium::{schedule_tx, SegmentConfig};
@@ -79,10 +76,19 @@ pub(crate) enum FramePayload {
 #[derive(Debug)]
 pub(crate) enum Delivery {
     Start,
-    Timer { timer_id: u64, token: u64 },
-    Local { from: ProcId, msg: LocalMessage },
+    Timer {
+        timer_id: u64,
+        token: u64,
+    },
+    Local {
+        from: ProcId,
+        msg: LocalMessage,
+    },
     Datagram(Datagram),
-    Stream { stream: StreamId, event: crate::process::StreamEvent },
+    Stream {
+        stream: StreamId,
+        event: crate::process::StreamEvent,
+    },
 }
 
 impl std::fmt::Debug for ProcSlot {
@@ -97,13 +103,29 @@ impl std::fmt::Debug for ProcSlot {
 }
 
 pub(crate) enum EventKind {
-    Deliver { proc: ProcId, delivery: Delivery },
-    FrameArrival { segment: SegmentId, frame: Frame },
-    StreamRto { stream: StreamId, from_initiator: bool, epoch: u64 },
-    SynRetry { stream: StreamId, attempt: u32 },
+    Deliver {
+        proc: ProcId,
+        delivery: Delivery,
+    },
+    FrameArrival {
+        segment: SegmentId,
+        frame: Frame,
+    },
+    StreamRto {
+        stream: StreamId,
+        from_initiator: bool,
+        epoch: u64,
+    },
+    SynRetry {
+        stream: StreamId,
+        attempt: u32,
+    },
     /// A deferred process output: sent from a handler while the process
     /// had accumulated modeled CPU time, executed once that time elapses.
-    Emit { proc: ProcId, action: EmitAction },
+    Emit {
+        proc: ProcId,
+        action: EmitAction,
+    },
 }
 
 /// Deferred output actions (see [`EventKind::Emit`]).
@@ -188,7 +210,7 @@ pub struct World {
     pub(crate) procs: Vec<ProcSlot>,
     pub(crate) segments: Vec<SegmentState>,
     pub(crate) streams: Vec<Option<StreamState>>,
-    pub(crate) rng: StdRng,
+    pub(crate) rng: crate::rng::SimRng,
     pub(crate) trace: Trace,
     started: bool,
     next_timer_id: u64,
@@ -224,7 +246,7 @@ impl World {
             procs: Vec::new(),
             segments: Vec::new(),
             streams: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: crate::rng::SimRng::seed_from_u64(seed),
             trace: Trace::default(),
             started: false,
             next_timer_id: 0,
@@ -331,10 +353,13 @@ impl World {
             alive: true,
             process: Some(process),
         });
-        self.schedule(self.now, EventKind::Deliver {
-            proc: id,
-            delivery: Delivery::Start,
-        });
+        self.schedule(
+            self.now,
+            EventKind::Deliver {
+                proc: id,
+                delivery: Delivery::Start,
+            },
+        );
         id
     }
 
@@ -707,7 +732,12 @@ impl World {
 
     /// Transmits one frame on a segment, modeling medium occupancy, and
     /// schedules its arrival. Returns the arrival time.
-    pub(crate) fn transmit(&mut self, segment: SegmentId, frame: Frame, payload_bytes: usize) -> SimTime {
+    pub(crate) fn transmit(
+        &mut self,
+        segment: SegmentId,
+        frame: Frame,
+        payload_bytes: usize,
+    ) -> SimTime {
         let backoff_max = self.segments[segment.index()].config.backoff_max.as_nanos();
         let backoff = if backoff_max == 0 {
             SimDuration::ZERO
@@ -715,7 +745,13 @@ impl World {
             SimDuration::from_nanos(self.rng.gen_range(0..=backoff_max))
         };
         let seg = &mut self.segments[segment.index()];
-        let timing = schedule_tx(&seg.config, self.now, seg.busy_until, backoff, payload_bytes);
+        let timing = schedule_tx(
+            &seg.config,
+            self.now,
+            seg.busy_until,
+            backoff,
+            payload_bytes,
+        );
         if seg.config.half_duplex {
             seg.stats.busy += timing.end - timing.start;
             seg.busy_until = timing.end;
@@ -1043,15 +1079,17 @@ mod tests {
     fn timers_fire_in_order_and_cancel() {
         let (mut w, a, _, _) = two_node_world();
         let fired = Rc::new(RefCell::new(Vec::new()));
-        w.add_process(a, Box::new(TimerProc { fired: Rc::clone(&fired) }));
+        w.add_process(
+            a,
+            Box::new(TimerProc {
+                fired: Rc::clone(&fired),
+            }),
+        );
         w.run_until(SimTime::from_secs(1));
         let fired = fired.borrow();
         assert_eq!(
             fired.as_slice(),
-            &[
-                (1, SimTime::from_millis(10)),
-                (3, SimTime::from_millis(30)),
-            ]
+            &[(1, SimTime::from_millis(10)), (3, SimTime::from_millis(30)),]
         );
     }
 
@@ -1075,7 +1113,12 @@ mod tests {
     fn busy_defers_subsequent_deliveries() {
         let (mut w, a, _, _) = two_node_world();
         let handled = Rc::new(RefCell::new(Vec::new()));
-        w.add_process(a, Box::new(BusyProc { handled: Rc::clone(&handled) }));
+        w.add_process(
+            a,
+            Box::new(BusyProc {
+                handled: Rc::clone(&handled),
+            }),
+        );
         w.run_until(SimTime::from_secs(1));
         assert_eq!(
             handled.borrow().as_slice(),
@@ -1114,8 +1157,18 @@ mod tests {
             w.attach(*n, seg).unwrap();
         }
         let got = Rc::new(RefCell::new(0));
-        w.add_process(nodes[0], Box::new(GroupReceiver { got: Rc::clone(&got) }));
-        w.add_process(nodes[1], Box::new(GroupReceiver { got: Rc::clone(&got) }));
+        w.add_process(
+            nodes[0],
+            Box::new(GroupReceiver {
+                got: Rc::clone(&got),
+            }),
+        );
+        w.add_process(
+            nodes[1],
+            Box::new(GroupReceiver {
+                got: Rc::clone(&got),
+            }),
+        );
         w.add_process(nodes[2], Box::new(GroupSender));
         w.run_until(SimTime::from_secs(1));
         assert_eq!(*got.borrow(), 2);

@@ -4,10 +4,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
 use simnet::{
-    Addr, Ctx, Process, SegmentConfig, SimDuration, SimError, SimTime, StreamEvent, StreamId,
-    World,
+    check_cases, Addr, Ctx, Process, SegmentConfig, SimDuration, SimError, SimTime, StreamEvent,
+    StreamId, World,
 };
 
 /// A sink that records received bytes and close events.
@@ -96,42 +95,44 @@ fn transfer(seed: u64, loss: f64, payload: Vec<u8>, chunk: usize) -> (Vec<u8>, b
     (r, c)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Streams deliver every byte, in order, exactly once — under any
-    /// payload, any chunking, and up to 10% frame loss.
-    #[test]
-    fn stream_delivery_is_exact_under_loss(
-        seed in 0u64..1000,
-        loss in 0.0f64..0.10,
-        payload in proptest::collection::vec(any::<u8>(), 1..20_000),
-        chunk in 1usize..4096,
-    ) {
+/// Streams deliver every byte, in order, exactly once — under any
+/// payload, any chunking, and up to 10% frame loss.
+#[test]
+fn stream_delivery_is_exact_under_loss() {
+    check_cases("stream_delivery_is_exact_under_loss", 24, |_, rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let loss = rng.gen_f64() * 0.10;
+        let len = rng.gen_range(1usize..20_000);
+        let payload = rng.gen_bytes(len);
+        let chunk = rng.gen_range(1usize..4096);
         let (received, closed) = transfer(seed, loss, payload.clone(), chunk);
-        prop_assert_eq!(received, payload);
-        prop_assert!(closed, "FIN delivered");
-    }
+        assert_eq!(received, payload);
+        assert!(closed, "FIN delivered");
+    });
+}
 
-    /// The same seed and inputs give byte-identical outcomes (trace
-    /// event times included): the simulator is deterministic.
-    #[test]
-    fn same_seed_same_world(
-        seed in 0u64..1000,
-        payload in proptest::collection::vec(any::<u8>(), 1..5_000),
-    ) {
+/// The same seed and inputs give byte-identical outcomes (trace
+/// event times included): the simulator is deterministic.
+#[test]
+fn same_seed_same_world() {
+    check_cases("same_seed_same_world", 24, |_, rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let len = rng.gen_range(1usize..5_000);
+        let payload = rng.gen_bytes(len);
         let a = transfer(seed, 0.05, payload.clone(), 512);
         let b = transfer(seed, 0.05, payload, 512);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Medium conservation: a segment's busy time never exceeds elapsed
-    /// virtual time (a half-duplex medium cannot be >100% utilized).
-    #[test]
-    fn medium_utilization_bounded(
-        seed in 0u64..1000,
-        payload in proptest::collection::vec(any::<u8>(), 1000..50_000),
-    ) {
+/// Medium conservation: a segment's busy time never exceeds elapsed
+/// virtual time (a half-duplex medium cannot be >100% utilized).
+#[test]
+fn medium_utilization_bounded() {
+    check_cases("medium_utilization_bounded", 24, |_, rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let len = rng.gen_range(1000usize..50_000);
+        let payload = rng.gen_bytes(len);
         let mut world = World::new(seed);
         let seg = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
         let a = world.add_node("a");
@@ -154,9 +155,9 @@ proptest! {
         world.run_until(SimTime::from_secs(120));
         let stats = world.segment_stats(seg).unwrap();
         let elapsed = SimDuration::from_secs(120);
-        prop_assert!(stats.busy <= elapsed, "busy {} > elapsed", stats.busy);
-        prop_assert!(stats.utilization(elapsed) <= 1.0);
-    }
+        assert!(stats.busy <= elapsed, "busy {} > elapsed", stats.busy);
+        assert!(stats.utilization(elapsed) <= 1.0);
+    });
 }
 
 /// Timers fire in order regardless of insertion order.
@@ -179,7 +180,12 @@ fn timer_ordering_is_total() {
     let mut world = World::new(0);
     let n = world.add_node("n");
     let fired = Rc::new(RefCell::new(Vec::new()));
-    world.add_process(n, Box::new(Many { fired: Rc::clone(&fired) }));
+    world.add_process(
+        n,
+        Box::new(Many {
+            fired: Rc::clone(&fired),
+        }),
+    );
     world.run_until_idle();
     assert_eq!(fired.borrow().as_slice(), &[1, 15, 2, 3, 4]);
 }

@@ -15,7 +15,7 @@ use std::rc::Rc;
 
 use simnet::{Ctx, LocalMessage, ProcId, Process};
 use umiddle_core::{
-    ConnectionId, DirectoryEvent, Direction, PerceptionType, PortKind, PortRef, QosPolicy, Query,
+    ConnectionId, Direction, DirectoryEvent, PerceptionType, PortKind, PortRef, QosPolicy, Query,
     RuntimeClient, RuntimeEvent, TranslatorId, TranslatorProfile,
 };
 
@@ -65,7 +65,9 @@ pub fn infer_role(profile: &TranslatorProfile) -> GadgetRole {
             .unwrap_or(false)
     }
     let shape = profile.shape();
-    let content_in = shape.ports_in(Direction::Input).any(|p| is_content(&p.kind));
+    let content_in = shape
+        .ports_in(Direction::Input)
+        .any(|p| is_content(&p.kind));
     let content_out = shape
         .ports_in(Direction::Output)
         .any(|p| is_content(&p.kind));
@@ -205,8 +207,7 @@ impl G2Ui {
 
     /// Recomputes compositions after any placement change.
     fn recompute(&mut self, ctx: &mut Ctx<'_>) {
-        let placements: Vec<(TranslatorProfile, Position)> =
-            self.atlas.borrow().placements.clone();
+        let placements: Vec<(TranslatorProfile, Position)> = self.atlas.borrow().placements.clone();
         // Desired set of compositions.
         let mut desired: Vec<(GeoKind, PortRef, PortRef)> = Vec::new();
         for i in 0..placements.len() {
@@ -236,9 +237,10 @@ impl G2Ui {
                     if let Some(conn) = comp.connection {
                         to_disconnect.push(conn);
                     }
-                    atlas
-                        .log
-                        .push(format!("teardown {:?} {} -> {}", comp.kind, comp.src, comp.dst));
+                    atlas.log.push(format!(
+                        "teardown {:?} {} -> {}",
+                        comp.kind, comp.src, comp.dst
+                    ));
                 }
             }
             atlas.compositions = kept;
@@ -331,7 +333,9 @@ impl Process for G2Ui {
             }
             Err(original) => original,
         };
-        let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+            return;
+        };
         match *event {
             RuntimeEvent::Directory(DirectoryEvent::Appeared(profile)) => {
                 self.known.insert(profile.id(), profile);
@@ -388,7 +392,11 @@ mod tests {
         let camera = profile(
             "cam",
             Shape::builder()
-                .digital("image-out", Direction::Output, "image/jpeg".parse().unwrap())
+                .digital(
+                    "image-out",
+                    Direction::Output,
+                    "image/jpeg".parse().unwrap(),
+                )
                 .build()
                 .unwrap(),
         );
@@ -398,7 +406,12 @@ mod tests {
             "tv",
             Shape::builder()
                 .digital("media-in", Direction::Input, "image/*".parse().unwrap())
-                .physical("screen", Direction::Output, PerceptionType::Visible, "screen")
+                .physical(
+                    "screen",
+                    Direction::Output,
+                    PerceptionType::Visible,
+                    "screen",
+                )
                 .build()
                 .unwrap(),
         );
@@ -422,7 +435,11 @@ mod tests {
         let camera = profile(
             "cam",
             Shape::builder()
-                .digital("image-out", Direction::Output, "image/jpeg".parse().unwrap())
+                .digital(
+                    "image-out",
+                    Direction::Output,
+                    "image/jpeg".parse().unwrap(),
+                )
                 .build()
                 .unwrap(),
         );
@@ -430,7 +447,12 @@ mod tests {
             .shape(
                 Shape::builder()
                     .digital("media-in", Direction::Input, "image/*".parse().unwrap())
-                    .physical("screen", Direction::Output, PerceptionType::Visible, "screen")
+                    .physical(
+                        "screen",
+                        Direction::Output,
+                        PerceptionType::Visible,
+                        "screen",
+                    )
                     .build()
                     .unwrap(),
             )
@@ -449,7 +471,11 @@ mod tests {
         let camera = profile(
             "cam",
             Shape::builder()
-                .digital("image-out", Direction::Output, "image/jpeg".parse().unwrap())
+                .digital(
+                    "image-out",
+                    Direction::Output,
+                    "image/jpeg".parse().unwrap(),
+                )
                 .build()
                 .unwrap(),
         );
@@ -473,7 +499,11 @@ mod tests {
         let camera = profile(
             "cam",
             Shape::builder()
-                .digital("image-out", Direction::Output, "image/jpeg".parse().unwrap())
+                .digital(
+                    "image-out",
+                    Direction::Output,
+                    "image/jpeg".parse().unwrap(),
+                )
                 .build()
                 .unwrap(),
         );

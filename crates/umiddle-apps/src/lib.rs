@@ -17,7 +17,5 @@
 mod g2ui;
 mod pads;
 
-pub use g2ui::{
-    infer_role, Atlas, G2Command, G2Ui, GadgetRole, GeoComposition, GeoKind, Position,
-};
+pub use g2ui::{infer_role, Atlas, G2Command, G2Ui, GadgetRole, GeoComposition, GeoKind, Position};
 pub use pads::{canvas_translators, Canvas, Icon, Pads, PadsCommand, Wire};

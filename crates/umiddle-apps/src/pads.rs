@@ -15,7 +15,7 @@ use std::rc::Rc;
 
 use simnet::{Ctx, LocalMessage, ProcId, Process};
 use umiddle_core::{
-    ConnectionId, DirectoryEvent, Direction, PortRef, QosPolicy, Query, RuntimeClient,
+    ConnectionId, Direction, DirectoryEvent, PortRef, QosPolicy, Query, RuntimeClient,
     RuntimeEvent, TranslatorId, TranslatorProfile,
 };
 
@@ -142,11 +142,11 @@ impl Pads {
 
     fn resolve(&self, name: &str, port: &str) -> Option<(PortRef, TranslatorProfile)> {
         let canvas = self.canvas.borrow();
-        let icon = canvas.icons.iter().find(|i| i.profile.name().contains(name))?;
-        Some((
-            PortRef::new(icon.profile.id(), port),
-            icon.profile.clone(),
-        ))
+        let icon = canvas
+            .icons
+            .iter()
+            .find(|i| i.profile.name().contains(name))?;
+        Some((PortRef::new(icon.profile.id(), port), icon.profile.clone()))
     }
 
     fn try_draw(&mut self, ctx: &mut Ctx<'_>, cmd: &PadsCommand) -> bool {
@@ -252,7 +252,9 @@ impl Process for Pads {
             }
             Err(original) => original,
         };
-        let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+            return;
+        };
         match *event {
             RuntimeEvent::Directory(DirectoryEvent::Appeared(profile)) => {
                 let mut canvas = self.canvas.borrow_mut();
@@ -308,12 +310,10 @@ mod tests {
     #[test]
     fn canvas_rendering_lists_icons_and_wires() {
         let mut canvas = Canvas::default();
-        let profile = TranslatorProfile::builder(
-            TranslatorId::new(umiddle_core::RuntimeId(0), 1),
-            "Camera",
-        )
-        .platform("bluetooth")
-        .build();
+        let profile =
+            TranslatorProfile::builder(TranslatorId::new(umiddle_core::RuntimeId(0), 1), "Camera")
+                .platform("bluetooth")
+                .build();
         canvas.icons.push(Icon {
             profile,
             position: (0, 0),

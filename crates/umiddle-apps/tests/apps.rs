@@ -10,9 +10,7 @@ use platform_upnp::{AirconLogic, ClockLogic, LightLogic, MediaRendererLogic, Upn
 use simnet::{Ctx, ProcId, Process, SegmentConfig, SimDuration, SimTime, World};
 use umiddle_apps::{Atlas, Canvas, G2Command, G2Ui, GeoKind, Pads, PadsCommand, Position};
 use umiddle_bridges::{behaviors, BluetoothMapper, NativeService, UpnpMapper};
-use umiddle_core::{
-    Direction, RuntimeConfig, RuntimeId, Shape, UMessage, UmiddleRuntime,
-};
+use umiddle_core::{Direction, RuntimeConfig, RuntimeId, Shape, UMessage, UmiddleRuntime};
 use umiddle_usdl::UsdlLibrary;
 
 /// A one-shot process that sends a command to another process at a
@@ -66,7 +64,10 @@ fn pads_with_twenty_two_devices() {
     // One Bluetooth device.
     let cam_node = world.add_node("camera");
     world.attach(cam_node, pico).unwrap();
-    world.add_process(cam_node, Box::new(BipCamera::new("Pocket Camera", 1, 8_000)));
+    world.add_process(
+        cam_node,
+        Box::new(BipCamera::new("Pocket Camera", 1, 8_000)),
+    );
     world.add_process(
         h1,
         Box::new(BluetoothMapper::with_defaults(rt, UsdlLibrary::bundled())),
@@ -77,11 +78,17 @@ fn pads_with_twenty_two_devices() {
     world.attach(upnp_node, hub).unwrap();
     world.add_process(
         upnp_node,
-        Box::new(UpnpDevice::new(Box::new(ClockLogic::new("Wall Clock", "uuid:clk")), 5000)),
+        Box::new(UpnpDevice::new(
+            Box::new(ClockLogic::new("Wall Clock", "uuid:clk")),
+            5000,
+        )),
     );
     world.add_process(
         upnp_node,
-        Box::new(UpnpDevice::new(Box::new(LightLogic::new("Desk Light", "uuid:lgt")), 5001)),
+        Box::new(UpnpDevice::new(
+            Box::new(LightLogic::new("Desk Light", "uuid:lgt")),
+            5001,
+        )),
     );
     world.add_process(
         upnp_node,
@@ -224,7 +231,10 @@ fn g2ui_geoplay_and_geostore() {
     // Camera (Bluetooth) and TV (UPnP).
     let cam_node = world.add_node("camera");
     world.attach(cam_node, pico).unwrap();
-    world.add_process(cam_node, Box::new(BipCamera::new("Pocket Camera", 1, 8_000)));
+    world.add_process(
+        cam_node,
+        Box::new(BipCamera::new("Pocket Camera", 1, 8_000)),
+    );
     world.add_process(
         h1,
         Box::new(BluetoothMapper::with_defaults(rt, UsdlLibrary::bundled())),
@@ -411,7 +421,11 @@ fn g2ui_remove_gadget_tears_down() {
     );
     // Native camera (capture role) and album (storage role).
     let cam_shape = Shape::builder()
-        .digital("image-out", Direction::Output, "image/jpeg".parse().unwrap())
+        .digital(
+            "image-out",
+            Direction::Output,
+            "image/jpeg".parse().unwrap(),
+        )
         .build()
         .unwrap();
     world.add_process(
@@ -430,8 +444,13 @@ fn g2ui_remove_gadget_tears_down() {
     world.add_process(
         h1,
         Box::new(
-            NativeService::new("Album", album_shape, rt, Box::new(behaviors::Recorder::new()))
-                .with_attr("category", "storage"),
+            NativeService::new(
+                "Album",
+                album_shape,
+                rt,
+                Box::new(behaviors::Recorder::new()),
+            )
+            .with_attr("category", "storage"),
         ),
     );
     let g2 = G2Ui::new(rt, 5.0);
@@ -452,7 +471,12 @@ fn g2ui_remove_gadget_tears_down() {
                 position: Position::new(1.0, 0.0),
             },
         ),
-        (20, G2Command::Remove { name: "Album".to_owned() }),
+        (
+            20,
+            G2Command::Remove {
+                name: "Album".to_owned(),
+            },
+        ),
     ] {
         world.add_process(
             h1,
@@ -464,7 +488,16 @@ fn g2ui_remove_gadget_tears_down() {
         );
     }
     world.run_until(SimTime::from_secs(15));
-    assert_eq!(atlas.borrow().compositions.len(), 1, "{:?}", atlas.borrow().log);
+    assert_eq!(
+        atlas.borrow().compositions.len(),
+        1,
+        "{:?}",
+        atlas.borrow().log
+    );
     world.run_until(SimTime::from_secs(30));
-    assert!(atlas.borrow().compositions.is_empty(), "{:?}", atlas.borrow().log);
+    assert!(
+        atlas.borrow().compositions.is_empty(),
+        "{:?}",
+        atlas.borrow().log
+    );
 }

@@ -14,12 +14,11 @@ use std::rc::Rc;
 
 use platform_bluetooth::{
     image_pull_request, image_push_packets, HidReport, InquiryMessage, ObexAccumulator,
-    ObexGetClient, ObexPacket, Opcode, ReportAccumulator, SdpPdu, INQUIRY_GROUP, PSM_HID,
-    PSM_SDP,
+    ObexGetClient, ObexPacket, Opcode, ReportAccumulator, SdpPdu, INQUIRY_GROUP, PSM_HID, PSM_SDP,
 };
 use simnet::{
-    Addr, Ctx, Datagram, LocalMessage, NodeId, ProcId, Process, SimDuration, SimTime,
-    StreamEvent, StreamId,
+    Addr, Ctx, Datagram, LocalMessage, NodeId, ProcId, Process, SimDuration, SimTime, StreamEvent,
+    StreamId,
 };
 use umiddle_core::{
     ack_input_done, handle_input_done_echo, ConnectionId, MimeType, RuntimeClient, RuntimeEvent,
@@ -151,7 +150,11 @@ impl BluetoothMapper {
     }
 
     fn send_inquiry(&mut self, ctx: &mut Ctx<'_>) {
-        let _ = ctx.multicast(self.inquiry_port, INQUIRY_GROUP, InquiryMessage::Inquiry.encode());
+        let _ = ctx.multicast(
+            self.inquiry_port,
+            INQUIRY_GROUP,
+            InquiryMessage::Inquiry.encode(),
+        );
     }
 
     fn expire_devices(&mut self, ctx: &mut Ctx<'_>) {
@@ -179,9 +182,13 @@ impl BluetoothMapper {
     }
 
     fn handle_sdp_response(&mut self, ctx: &mut Ctx<'_>, node: NodeId, pdu: SdpPdu) {
-        let SdpPdu::SearchResponse { records, .. } = pdu else { return };
+        let SdpPdu::SearchResponse { records, .. } = pdu else {
+            return;
+        };
         ctx.busy(platform_bluetooth::calib::SDP_CODEC);
-        let Some(dev) = self.devices.get_mut(&node) else { return };
+        let Some(dev) = self.devices.get_mut(&node) else {
+            return;
+        };
         for record in records {
             if dev.services.iter().any(|s| s.profile == record.profile) {
                 continue;
@@ -197,7 +204,8 @@ impl BluetoothMapper {
             let client = self.client.as_mut().expect("client set in on_start");
             let me = ctx.me();
             let token = client.register(ctx, profile, me);
-            self.pending_regs.insert(token, (node, record.profile.clone()));
+            self.pending_regs
+                .insert(token, (node, record.profile.clone()));
             dev.services.push(BtService {
                 profile: record.profile.clone(),
                 psm: record.psm,
@@ -218,6 +226,7 @@ impl BluetoothMapper {
     fn emit_image(&mut self, ctx: &mut Ctx<'_>, translator: TranslatorId, data: Vec<u8>) {
         let mime: MimeType = "image/jpeg".parse().expect("static mime");
         ctx.busy(calib::EVENT_TRANSLATION);
+        crate::obs::record_translation(ctx, "bluetooth", calib::EVENT_TRANSLATION);
         self.stats.borrow_mut().events += 1;
         let client = self.client.as_ref().expect("client set");
         client.output(ctx, translator, "image-out", UMessage::new(mime, data));
@@ -226,17 +235,22 @@ impl BluetoothMapper {
     fn handle_runtime_event(&mut self, ctx: &mut Ctx<'_>, event: RuntimeEvent) {
         match event {
             RuntimeEvent::Registered { token, translator } => {
-                let Some((node, profile)) = self.pending_regs.remove(&token) else { return };
+                let Some((node, profile)) = self.pending_regs.remove(&token) else {
+                    return;
+                };
                 let (seen_at, device_name) = match self.devices.get(&node) {
                     Some(d) => (Some(d.seen_at), d.name.clone()),
                     None => (None, String::new()),
                 };
                 let (device_type, psm) = {
-                    let Some(svc) = self.service_mut(node, &profile) else { return };
+                    let Some(svc) = self.service_mut(node, &profile) else {
+                        return;
+                    };
                     svc.translator = Some(translator);
                     (svc.doc.device_type().to_owned(), svc.psm)
                 };
-                self.by_translator.insert(translator, (node, profile.clone()));
+                self.by_translator
+                    .insert(translator, (node, profile.clone()));
                 if let Some(seen_at) = seen_at {
                     let elapsed = ctx.now().saturating_since(seen_at);
                     self.stats
@@ -284,6 +298,13 @@ impl BluetoothMapper {
                     return;
                 };
                 ctx.busy(calib::CONTROL_TRANSLATION);
+                crate::obs::record_hop(
+                    ctx,
+                    "bluetooth",
+                    connection,
+                    &port,
+                    calib::CONTROL_TRANSLATION,
+                );
                 match (profile.as_str(), port.as_str()) {
                     ("bip-camera", "capture") => {
                         if let Ok(stream) = ctx.connect(Addr::new(node, svc.psm)) {
@@ -300,11 +321,10 @@ impl BluetoothMapper {
                         }
                     }
                     ("bip-printer", "image-in") => {
-                        let packets: Vec<Vec<u8>> =
-                            image_push_packets("photo.jpg", msg.body())
-                                .iter()
-                                .map(ObexPacket::encode)
-                                .collect();
+                        let packets: Vec<Vec<u8>> = image_push_packets("photo.jpg", msg.body())
+                            .iter()
+                            .map(ObexPacket::encode)
+                            .collect();
                         if let Ok(stream) = ctx.connect(Addr::new(node, svc.psm)) {
                             self.obex_ops.insert(
                                 stream,
@@ -327,7 +347,9 @@ impl BluetoothMapper {
     }
 
     fn handle_hid_data(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, data: &[u8]) {
-        let Some((translator, acc)) = self.hid_streams.get_mut(&stream) else { return };
+        let Some((translator, acc)) = self.hid_streams.get_mut(&stream) else {
+            return;
+        };
         let translator = *translator;
         acc.push(data);
         let mut reports = Vec::new();
@@ -339,6 +361,7 @@ impl BluetoothMapper {
             // document costs ~23 ms; the emission is deferred through a
             // self-echo so that time actually elapses first.
             ctx.busy(calib::HID_TRANSLATION);
+            crate::obs::record_translation(ctx, "bluetooth", calib::HID_TRANSLATION);
             let (port, msg) = match report {
                 HidReport::Buttons(mask) => {
                     let state = if mask != 0 { "press" } else { "release" };
@@ -364,7 +387,9 @@ impl BluetoothMapper {
     }
 
     fn handle_obex_data(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, data: &[u8]) {
-        let Some(op) = self.obex_ops.get_mut(&stream) else { return };
+        let Some(op) = self.obex_ops.get_mut(&stream) else {
+            return;
+        };
         match op {
             ObexOp::Shutter {
                 translator,
@@ -558,9 +583,7 @@ impl Process for BluetoothMapper {
         }
         if self.obex_ops.contains_key(&stream) {
             match event {
-                StreamEvent::Connected =>
-
-                {
+                StreamEvent::Connected => {
                     // Kick off the operation.
                     let first = match self.obex_ops.get_mut(&stream) {
                         Some(ObexOp::Shutter { .. }) => {
@@ -570,9 +593,7 @@ impl Process for BluetoothMapper {
                                     .with_header(platform_bluetooth::Header::Name(
                                         "RemoteShutter".to_owned(),
                                     ))
-                                    .with_header(platform_bluetooth::Header::EndOfBody(
-                                        Vec::new(),
-                                    ))
+                                    .with_header(platform_bluetooth::Header::EndOfBody(Vec::new()))
                                     .encode(),
                             )
                         }

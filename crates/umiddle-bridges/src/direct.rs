@@ -14,9 +14,7 @@ use platform_bluetooth::{
     image_pull_request, InquiryMessage, ObexGetClient, SdpPdu, INQUIRY_GROUP, PSM_SDP,
 };
 use platform_upnp::{ControlPoint, CpEvent, SoapCall};
-use simnet::{
-    Addr, Ctx, Datagram, NodeId, Process, SimDuration, StreamEvent, StreamId,
-};
+use simnet::{Addr, Ctx, Datagram, NodeId, Process, SimDuration, StreamEvent, StreamId};
 
 /// Counts translators required under each translation model for `n`
 /// device types (the paper's §2.2.1 argument, as running code for E4).
@@ -98,7 +96,9 @@ impl DirectBipToRendererBridge {
     }
 
     fn render(&mut self, ctx: &mut Ctx<'_>, image: Vec<u8>) {
-        let Some(renderer) = self.renderer else { return };
+        let Some(renderer) = self.renderer else {
+            return;
+        };
         // Direct translation: BIP bytes straight into a SOAP argument.
         let call = SoapCall::new("AVTransport", "RenderMedia")
             .with_arg("Media", format!("[{} bytes]", image.len()));

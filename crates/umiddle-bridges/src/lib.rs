@@ -26,14 +26,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod calib;
 mod bluetooth;
+pub mod calib;
 pub mod direct;
-pub mod scatter;
 mod mediabroker;
 mod motes;
 mod native;
+mod obs;
 mod rmi;
+pub mod scatter;
 mod upnp;
 mod webservices;
 

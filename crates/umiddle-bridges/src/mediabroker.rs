@@ -146,7 +146,9 @@ impl MediaBrokerMapper {
     /// Opens the data stream for a bridged channel once its translator
     /// exists.
     fn open_data_stream(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
-        let Some(b) = self.bridged.get_mut(idx) else { return };
+        let Some(b) = self.bridged.get_mut(idx) else {
+            return;
+        };
         if b.stream.is_some() {
             return;
         }
@@ -180,11 +182,15 @@ impl MediaBrokerMapper {
                 ctx.bump("mapper.mb.attach_failed", 1);
             }
             MbFrame::Data { payload } => {
-                let Some(b) = self.bridged.get(idx) else { return };
+                let Some(b) = self.bridged.get(idx) else {
+                    return;
+                };
                 if b.role != Role::Source {
                     return;
                 }
-                let Some(translator) = b.translator else { return };
+                let Some(translator) = b.translator else {
+                    return;
+                };
                 ctx.busy(calib::MB_FRAME_TRANSLATION);
                 self.stats.borrow_mut().events += 1;
                 let mime: MimeType = "application/octet-stream".parse().expect("static");
@@ -198,9 +204,13 @@ impl MediaBrokerMapper {
     fn handle_runtime_event(&mut self, ctx: &mut Ctx<'_>, event: RuntimeEvent) {
         match event {
             RuntimeEvent::Registered { token, translator } => {
-                let Some(idx) = self.pending_regs.remove(&token) else { return };
+                let Some(idx) = self.pending_regs.remove(&token) else {
+                    return;
+                };
                 let (channel, role, seen_at) = {
-                    let Some(b) = self.bridged.get_mut(idx) else { return };
+                    let Some(b) = self.bridged.get_mut(idx) else {
+                        return;
+                    };
                     b.translator = Some(translator);
                     (b.channel.clone(), b.role, b.seen_at)
                 };
@@ -223,13 +233,24 @@ impl MediaBrokerMapper {
                 msg,
                 connection,
             } => {
-                let Some(&idx) = self.by_translator.get(&translator) else { return };
-                let Some(b) = self.bridged.get(idx) else { return };
+                let Some(&idx) = self.by_translator.get(&translator) else {
+                    return;
+                };
+                let Some(b) = self.bridged.get(idx) else {
+                    return;
+                };
                 if b.role != Role::Sink || port != "media-in" {
                     ack_input_done(ctx, self.runtime, connection, translator);
                     return;
                 }
                 ctx.busy(calib::MB_FRAME_TRANSLATION);
+                crate::obs::record_hop(
+                    ctx,
+                    "mediabroker",
+                    connection,
+                    &port,
+                    calib::MB_FRAME_TRANSLATION,
+                );
                 if let (Some(stream), true) = (b.stream, b.attached) {
                     let frame = MbFrame::Data {
                         payload: msg.into_body(),
@@ -298,11 +319,15 @@ impl Process for MediaBrokerMapper {
             }
             return;
         }
-        let Some(&idx) = self.data_streams.get(&stream) else { return };
+        let Some(&idx) = self.data_streams.get(&stream) else {
+            return;
+        };
         match event {
             StreamEvent::Connected => {
                 // Attach according to the role.
-                let Some(b) = self.bridged.get(idx) else { return };
+                let Some(b) = self.bridged.get(idx) else {
+                    return;
+                };
                 let frame = match b.role {
                     Role::Source => MbFrame::Consume {
                         channel: b.channel.clone(),
@@ -316,7 +341,9 @@ impl Process for MediaBrokerMapper {
                 let _ = ctx.stream_send(stream, frame.encode_framed());
             }
             StreamEvent::Data(data) => {
-                let Some(acc) = self.data_accs.get_mut(&stream) else { return };
+                let Some(acc) = self.data_accs.get_mut(&stream) else {
+                    return;
+                };
                 acc.push(&data);
                 loop {
                     let frame = match self.data_accs.get_mut(&stream).map(|a| a.next()) {

@@ -75,12 +75,7 @@ impl MotesMapper {
         Rc::clone(&self.stats)
     }
 
-    fn handle_reading(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        mote: u16,
-        reading: platform_motes::Reading,
-    ) {
+    fn handle_reading(&mut self, ctx: &mut Ctx<'_>, mote: u16, reading: platform_motes::Reading) {
         let now = ctx.now();
         let known = self.motes.contains_key(&mote);
         let entry = self.motes.entry(mote).or_insert_with(|| MappedMote {
@@ -103,8 +98,11 @@ impl MotesMapper {
             self.pending_regs.insert(token, mote);
             return; // this first reading is consumed by discovery
         }
-        let Some(translator) = entry.translator else { return };
+        let Some(translator) = entry.translator else {
+            return;
+        };
         ctx.busy(calib::EVENT_TRANSLATION);
+        crate::obs::record_translation(ctx, "motes", calib::EVENT_TRANSLATION);
         self.stats.borrow_mut().events += 1;
         let client = self.client.as_ref().expect("client set");
         let temperature = format!("{:.1}", reading.temperature_decicelsius as f64 / 10.0);
@@ -120,8 +118,12 @@ impl MotesMapper {
     fn handle_runtime_event(&mut self, ctx: &mut Ctx<'_>, event: RuntimeEvent) {
         match event {
             RuntimeEvent::Registered { token, translator } => {
-                let Some(mote) = self.pending_regs.remove(&token) else { return };
-                let Some(entry) = self.motes.get_mut(&mote) else { return };
+                let Some(mote) = self.pending_regs.remove(&token) else {
+                    return;
+                };
+                let Some(entry) = self.motes.get_mut(&mote) else {
+                    return;
+                };
                 entry.translator = Some(translator);
                 self.by_translator.insert(translator, mote);
                 let elapsed = ctx.now().saturating_since(entry.seen_at);
@@ -144,6 +146,13 @@ impl MotesMapper {
                         msg.body_text().and_then(|t| t.parse::<u16>().ok()),
                     ) {
                         ctx.busy(calib::CONTROL_TRANSLATION);
+                        crate::obs::record_hop(
+                            ctx,
+                            "motes",
+                            connection,
+                            &port,
+                            calib::CONTROL_TRANSLATION,
+                        );
                         ctx.send_local(bs, BaseStationCommand::SetSamplingInterval { millis });
                         self.stats.borrow_mut().actions += 1;
                     }

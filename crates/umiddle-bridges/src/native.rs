@@ -161,7 +161,9 @@ impl Process for NativeService {
         if handle_input_done_echo(ctx, &msg) {
             return;
         }
-        let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+            return;
+        };
         match *event {
             RuntimeEvent::Registered { translator, .. } => {
                 self.translator = Some(translator);
@@ -179,6 +181,11 @@ impl Process for NativeService {
                 msg,
                 connection,
             } => {
+                ctx.span(
+                    connection.corr(),
+                    "bridge.native.input",
+                    format!("port={port}"),
+                );
                 let client = self.client.as_ref().expect("client set");
                 let mut env = NativeEnv {
                     ctx,

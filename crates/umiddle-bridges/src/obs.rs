@@ -1,0 +1,36 @@
+//! Observability helpers shared by every mapper: bridge-hop spans and
+//! per-hop translation-latency histograms.
+//!
+//! Metric names: every hop records into the federation-wide
+//! `umiddle.translation_latency` histogram and a per-platform
+//! `bridge.{platform}.translation` histogram; inbound hops additionally
+//! emit a `bridge.{platform}.input` span on the path's correlation id
+//! (see [`umiddle_core::ConnectionId::corr`]).
+
+use simnet::{Ctx, SimDuration};
+use umiddle_core::ConnectionId;
+
+/// Records one inbound bridge hop (uMiddle → native platform): a span on
+/// the path's correlation id plus the translation cost histograms. Call
+/// it next to the `ctx.busy(cost)` that models the translation.
+pub(crate) fn record_hop(
+    ctx: &mut Ctx<'_>,
+    platform: &str,
+    connection: ConnectionId,
+    port: &str,
+    cost: SimDuration,
+) {
+    ctx.span(
+        connection.corr(),
+        format!("bridge.{platform}.input"),
+        format!("port={port}"),
+    );
+    record_translation(ctx, platform, cost);
+}
+
+/// Records a translation cost with no path context (native platform →
+/// uMiddle event translation happens before a connection is chosen).
+pub(crate) fn record_translation(ctx: &mut Ctx<'_>, platform: &str, cost: SimDuration) {
+    ctx.observe("umiddle.translation_latency", cost);
+    ctx.observe(&format!("bridge.{platform}.translation"), cost);
+}

@@ -54,7 +54,9 @@ pub struct RmiMapper {
 
 #[derive(Debug)]
 enum RmiCall {
-    Lookup { object_idx: usize },
+    Lookup {
+        object_idx: usize,
+    },
     Invoke {
         translator: TranslatorId,
         connection: ConnectionId,
@@ -104,7 +106,8 @@ impl RmiMapper {
             if obj.addr.is_none() {
                 let call_id = self.next_call;
                 self.next_call += 1;
-                self.calls.insert(call_id, RmiCall::Lookup { object_idx: idx });
+                self.calls
+                    .insert(call_id, RmiCall::Lookup { object_idx: idx });
                 self.rmi.lookup(ctx, self.registry, &obj.name, call_id);
             }
         }
@@ -116,7 +119,9 @@ impl RmiMapper {
                 let Some(RmiCall::Lookup { object_idx }) = self.calls.remove(&call_id) else {
                     return;
                 };
-                let Some(obj) = self.objects.get_mut(object_idx) else { return };
+                let Some(obj) = self.objects.get_mut(object_idx) else {
+                    return;
+                };
                 if obj.addr.is_some() {
                     return;
                 }
@@ -164,30 +169,33 @@ impl RmiMapper {
                     ack_input_done(ctx, self.runtime, connection, translator);
                 }
             }
-            RmiClientEvent::Failed { call_id } => {
-                match self.calls.remove(&call_id) {
-                    Some(RmiCall::Invoke {
-                        translator,
-                        connection,
-                    }) => ack_input_done(ctx, self.runtime, connection, translator),
-                    Some(RmiCall::Lookup { .. }) | None => {}
-                }
-            }
+            RmiClientEvent::Failed { call_id } => match self.calls.remove(&call_id) {
+                Some(RmiCall::Invoke {
+                    translator,
+                    connection,
+                }) => ack_input_done(ctx, self.runtime, connection, translator),
+                Some(RmiCall::Lookup { .. }) | None => {}
+            },
         }
     }
 
     fn handle_runtime_event(&mut self, ctx: &mut Ctx<'_>, event: RuntimeEvent) {
         match event {
             RuntimeEvent::Registered { token, translator } => {
-                let Some(idx) = self.pending_regs.remove(&token) else { return };
-                let Some(obj) = self.objects.get_mut(idx) else { return };
+                let Some(idx) = self.pending_regs.remove(&token) else {
+                    return;
+                };
+                let Some(obj) = self.objects.get_mut(idx) else {
+                    return;
+                };
                 obj.translator = Some(translator);
                 self.by_translator.insert(translator, idx);
                 let elapsed = ctx.now().saturating_since(obj.seen_at);
-                self.stats
-                    .borrow_mut()
-                    .mappings
-                    .push((obj.name.clone(), format!("{} (RMI)", obj.name), elapsed));
+                self.stats.borrow_mut().mappings.push((
+                    obj.name.clone(),
+                    format!("{} (RMI)", obj.name),
+                    elapsed,
+                ));
                 ctx.bump("mapper.rmi.mapped", 1);
             }
             RuntimeEvent::Input {
@@ -200,13 +208,18 @@ impl RmiMapper {
                     ack_input_done(ctx, self.runtime, connection, translator);
                     return;
                 }
-                let Some(&idx) = self.by_translator.get(&translator) else { return };
-                let Some(obj) = self.objects.get(idx) else { return };
+                let Some(&idx) = self.by_translator.get(&translator) else {
+                    return;
+                };
+                let Some(obj) = self.objects.get(idx) else {
+                    return;
+                };
                 let Some(addr) = obj.addr else {
                     ack_input_done(ctx, self.runtime, connection, translator);
                     return;
                 };
                 ctx.busy(calib::STREAM_TRANSLATION);
+                crate::obs::record_hop(ctx, "rmi", connection, &port, calib::STREAM_TRANSLATION);
                 let call_id = self.next_call;
                 self.next_call += 1;
                 self.calls.insert(

@@ -22,7 +22,7 @@ use platform_upnp::{
 };
 use simnet::{Ctx, Datagram, LocalMessage, ProcId, Process, SimDuration, StreamEvent, StreamId};
 use umiddle_core::{
-    DirectoryEvent, Direction, PortRef, QosPolicy, Query, RuntimeClient, RuntimeEvent,
+    Direction, DirectoryEvent, PortRef, QosPolicy, Query, RuntimeClient, RuntimeEvent,
     TranslatorId, TranslatorProfile, UMessage,
 };
 
@@ -111,11 +111,7 @@ impl UpnpExporter {
         if profile.platform() == "upnp" {
             return;
         }
-        if self
-            .exports
-            .iter()
-            .any(|e| e.target.id() == profile.id())
-        {
+        if self.exports.iter().any(|e| e.target.id() == profile.id()) {
             return;
         }
         // Only digital input ports become actions.
@@ -186,7 +182,9 @@ impl UpnpExporter {
     }
 
     fn announce(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
-        let Some(e) = self.exports.get(idx) else { return };
+        let Some(e) = self.exports.get(idx) else {
+            return;
+        };
         let msg = SsdpMessage::Alive {
             usn: e.desc.udn.clone(),
             device_type: e.desc.device_type.clone(),
@@ -197,18 +195,17 @@ impl UpnpExporter {
     }
 
     fn wire_shadow(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
-        let Some(e) = self.exports.get_mut(idx) else { return };
-        let (Some(shadow), false) = (e.shadow, e.wired) else { return };
+        let Some(e) = self.exports.get_mut(idx) else {
+            return;
+        };
+        let (Some(shadow), false) = (e.shadow, e.wired) else {
+            return;
+        };
         e.wired = true;
         let pairs: Vec<(String, PortRef)> = e
             .actions
             .values()
-            .map(|port| {
-                (
-                    port.clone(),
-                    PortRef::new(e.target.id(), port.clone()),
-                )
-            })
+            .map(|port| (port.clone(), PortRef::new(e.target.id(), port.clone())))
             .collect();
         let client = self.client.as_mut().expect("client set");
         for (port, dst) in pairs {
@@ -221,14 +218,22 @@ impl UpnpExporter {
         }
     }
 
-    fn handle_http(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, idx: usize, req: platform_upnp::HttpRequest) {
+    fn handle_http(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        stream: StreamId,
+        idx: usize,
+        req: platform_upnp::HttpRequest,
+    ) {
         let response = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/description.xml") => {
                 let e = &self.exports[idx];
                 HttpResponse::xml(e.desc_xml.clone())
             }
             ("POST", "/control") => {
-                let call = std::str::from_utf8(&req.body).ok().and_then(SoapCall::parse);
+                let call = std::str::from_utf8(&req.body)
+                    .ok()
+                    .and_then(SoapCall::parse);
                 match call {
                     Some(call) => {
                         let port = self.exports[idx].actions.get(&call.action).cloned();
@@ -321,16 +326,14 @@ impl Process for UpnpExporter {
     fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
         match event {
             StreamEvent::Accepted { local_port, .. } => {
-                if let Some(idx) = self
-                    .exports
-                    .iter()
-                    .position(|e| e.http_port == local_port)
-                {
+                if let Some(idx) = self.exports.iter().position(|e| e.http_port == local_port) {
                     self.conns.insert(stream, (idx, HttpAccumulator::new()));
                 }
             }
             StreamEvent::Data(data) => {
-                let Some((idx, acc)) = self.conns.get_mut(&stream) else { return };
+                let Some((idx, acc)) = self.conns.get_mut(&stream) else {
+                    return;
+                };
                 let idx = *idx;
                 acc.push(&data);
                 if let Some(Ok(HttpMessage::Request(req))) = acc.take_message() {
@@ -345,7 +348,9 @@ impl Process for UpnpExporter {
     }
 
     fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
-        let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+            return;
+        };
         match *event {
             RuntimeEvent::Directory(DirectoryEvent::Appeared(profile)) => {
                 // Never export our own shadows.

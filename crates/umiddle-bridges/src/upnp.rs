@@ -14,7 +14,9 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use platform_upnp::{ControlPoint, CpEvent, SoapCall, SoapResult};
-use simnet::{Addr, Ctx, Datagram, LocalMessage, ProcId, Process, SimDuration, SimTime, StreamEvent, StreamId};
+use simnet::{
+    Addr, Ctx, Datagram, LocalMessage, ProcId, Process, SimDuration, SimTime, StreamEvent, StreamId,
+};
 use umiddle_core::{
     ack_input_done, handle_input_done_echo, ConnectionId, RuntimeClient, RuntimeEvent,
     TranslatorId, UMessage,
@@ -150,9 +152,7 @@ impl UpnpMapper {
                     }
                 }
             }
-            CpEvent::Description {
-                location, desc, ..
-            } => {
+            CpEvent::Description { location, desc, .. } => {
                 let Some((usn, doc, ports, entities)) = self
                     .devices
                     .values_mut()
@@ -196,8 +196,7 @@ impl UpnpMapper {
                 }
             }
             CpEvent::ActionResult { call_id, result } => {
-                if let Some((connection, translator, started)) =
-                    self.pending_calls.remove(&call_id)
+                if let Some((connection, translator, started)) = self.pending_calls.remove(&call_id)
                 {
                     if let SoapResult::Fault { code, description } = &result {
                         ctx.trace(format!("SOAP fault {code}: {description}"));
@@ -205,15 +204,21 @@ impl UpnpMapper {
                     }
                     let mut stats = self.stats.borrow_mut();
                     stats.actions += 1;
-                    stats.action_latencies.push(ctx.now().saturating_since(started));
+                    stats
+                        .action_latencies
+                        .push(ctx.now().saturating_since(started));
                     drop(stats);
                     ctx.bump("mapper.upnp.actions_completed", 1);
                     ack_input_done(ctx, self.runtime, connection, translator);
                 }
             }
             CpEvent::Event(notify) => {
-                let Some(dev) = self.devices.get(&notify.device) else { return };
-                let Some(translator) = dev.translator else { return };
+                let Some(dev) = self.devices.get(&notify.device) else {
+                    return;
+                };
+                let Some(translator) = dev.translator else {
+                    return;
+                };
                 let doc = dev.doc.clone();
                 for (var, value) in &notify.changes {
                     // Find the output port bound to this state variable.
@@ -225,6 +230,7 @@ impl UpnpMapper {
                     });
                     if let Some(port) = port {
                         ctx.busy(calib::EVENT_TRANSLATION);
+                        crate::obs::record_translation(ctx, "upnp", calib::EVENT_TRANSLATION);
                         self.stats.borrow_mut().events += 1;
                         let client = self.client.as_ref().expect("client set");
                         client.output(
@@ -247,8 +253,12 @@ impl UpnpMapper {
     fn handle_runtime_event(&mut self, ctx: &mut Ctx<'_>, event: RuntimeEvent) {
         match event {
             RuntimeEvent::Registered { token, translator } => {
-                let Some(usn) = self.pending_regs.remove(&token) else { return };
-                let Some(dev) = self.devices.get_mut(&usn) else { return };
+                let Some(usn) = self.pending_regs.remove(&token) else {
+                    return;
+                };
+                let Some(dev) = self.devices.get_mut(&usn) else {
+                    return;
+                };
                 dev.translator = Some(translator);
                 self.by_translator.insert(translator, usn.clone());
                 let elapsed = ctx.now().saturating_since(dev.seen_at);
@@ -271,9 +281,15 @@ impl UpnpMapper {
                 msg,
                 connection,
             } => {
-                let Some(usn) = self.by_translator.get(&translator) else { return };
-                let Some(dev) = self.devices.get(usn) else { return };
-                let Some(usdl_port) = dev.doc.port(&port) else { return };
+                let Some(usn) = self.by_translator.get(&translator) else {
+                    return;
+                };
+                let Some(dev) = self.devices.get(usn) else {
+                    return;
+                };
+                let Some(usdl_port) = dev.doc.port(&port) else {
+                    return;
+                };
                 let Some(binding) = usdl_port
                     .bindings
                     .iter()
@@ -300,13 +316,21 @@ impl UpnpMapper {
                 // object. The invoke is deferred through a self-echo so
                 // the translation time actually precedes the native call.
                 ctx.busy(calib::CONTROL_TRANSLATION);
+                crate::obs::record_hop(ctx, "upnp", connection, &port, calib::CONTROL_TRANSLATION);
                 let call_id = self.next_call;
                 self.next_call += 1;
                 let location = dev.location;
                 self.pending_calls
                     .insert(call_id, (connection, translator, ctx.now()));
                 let me = ctx.me();
-                ctx.send_local(me, PendingInvoke { location, call, call_id });
+                ctx.send_local(
+                    me,
+                    PendingInvoke {
+                        location,
+                        call,
+                        call_id,
+                    },
+                );
             }
             _ => {}
         }

@@ -160,31 +160,36 @@ impl WsMapper {
                     .expect("found above");
                 self.pending_regs.insert(token, idx);
             }
-            WsEvent::CallResult { call_id, response } => {
-                match self.calls.remove(&call_id) {
-                    Some(WsCall::Input {
-                        translator,
-                        connection,
-                    }) => {
-                        self.stats.borrow_mut().actions += 1;
-                        ack_input_done(ctx, self.runtime, connection, translator);
-                    }
-                    Some(WsCall::Poll { service_idx, port }) => {
-                        let MethodResponse::Value(value) = response else { return };
-                        let Some(svc) = self.services.get_mut(service_idx) else { return };
-                        let Some(translator) = svc.translator else { return };
-                        if svc.last_values.get(&port) == Some(&value) || value.is_empty() {
-                            return;
-                        }
-                        svc.last_values.insert(port.clone(), value.clone());
-                        ctx.busy(calib::EVENT_TRANSLATION);
-                        self.stats.borrow_mut().events += 1;
-                        let client = self.client.as_ref().expect("client set");
-                        client.output(ctx, translator, port, UMessage::text(value));
-                    }
-                    None => {}
+            WsEvent::CallResult { call_id, response } => match self.calls.remove(&call_id) {
+                Some(WsCall::Input {
+                    translator,
+                    connection,
+                }) => {
+                    self.stats.borrow_mut().actions += 1;
+                    ack_input_done(ctx, self.runtime, connection, translator);
                 }
-            }
+                Some(WsCall::Poll { service_idx, port }) => {
+                    let MethodResponse::Value(value) = response else {
+                        return;
+                    };
+                    let Some(svc) = self.services.get_mut(service_idx) else {
+                        return;
+                    };
+                    let Some(translator) = svc.translator else {
+                        return;
+                    };
+                    if svc.last_values.get(&port) == Some(&value) || value.is_empty() {
+                        return;
+                    }
+                    svc.last_values.insert(port.clone(), value.clone());
+                    ctx.busy(calib::EVENT_TRANSLATION);
+                    crate::obs::record_translation(ctx, "webservices", calib::EVENT_TRANSLATION);
+                    self.stats.borrow_mut().events += 1;
+                    let client = self.client.as_ref().expect("client set");
+                    client.output(ctx, translator, port, UMessage::text(value));
+                }
+                None => {}
+            },
             WsEvent::Failed { call_id } => {
                 if let Some(WsCall::Input {
                     translator,
@@ -200,8 +205,12 @@ impl WsMapper {
     fn handle_runtime_event(&mut self, ctx: &mut Ctx<'_>, event: RuntimeEvent) {
         match event {
             RuntimeEvent::Registered { token, translator } => {
-                let Some(idx) = self.pending_regs.remove(&token) else { return };
-                let Some(svc) = self.services.get_mut(idx) else { return };
+                let Some(idx) = self.pending_regs.remove(&token) else {
+                    return;
+                };
+                let Some(svc) = self.services.get_mut(idx) else {
+                    return;
+                };
                 svc.translator = Some(translator);
                 self.by_translator.insert(translator, idx);
                 let elapsed = ctx.now().saturating_since(svc.seen_at);
@@ -223,8 +232,12 @@ impl WsMapper {
                 msg,
                 connection,
             } => {
-                let Some(&idx) = self.by_translator.get(&translator) else { return };
-                let Some(svc) = self.services.get(idx) else { return };
+                let Some(&idx) = self.by_translator.get(&translator) else {
+                    return;
+                };
+                let Some(svc) = self.services.get(idx) else {
+                    return;
+                };
                 let Some(doc) = svc.doc.as_ref() else { return };
                 let Some(usdl_port) = doc.port(&port) else {
                     ack_input_done(ctx, self.runtime, connection, translator);
@@ -240,6 +253,13 @@ impl WsMapper {
                     return;
                 };
                 ctx.busy(calib::CONTROL_TRANSLATION);
+                crate::obs::record_hop(
+                    ctx,
+                    "webservices",
+                    connection,
+                    &port,
+                    calib::CONTROL_TRANSLATION,
+                );
                 let call_id = self.next_call;
                 self.next_call += 1;
                 self.calls.insert(

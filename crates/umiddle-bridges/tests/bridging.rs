@@ -18,7 +18,7 @@ use umiddle_bridges::{
     UpnpMapper, WsMapper,
 };
 use umiddle_core::{
-    DirectoryEvent, Direction, PortRef, QosPolicy, Query, RuntimeClient, RuntimeConfig,
+    Direction, DirectoryEvent, PortRef, QosPolicy, Query, RuntimeClient, RuntimeConfig,
     RuntimeEvent, RuntimeId, Shape, UMessage, UmiddleRuntime,
 };
 use umiddle_usdl::UsdlLibrary;
@@ -66,10 +66,12 @@ impl Wirer {
             }
             if let (Some(src), Some(dst)) = (self.srcs[i].clone(), self.dsts[i].clone()) {
                 self.wired[i] = true;
-                self.client
-                    .as_mut()
-                    .expect("client set")
-                    .connect_ports(ctx, src, dst, QosPolicy::unbounded());
+                self.client.as_mut().expect("client set").connect_ports(
+                    ctx,
+                    src,
+                    dst,
+                    QosPolicy::unbounded(),
+                );
             }
         }
     }
@@ -85,17 +87,17 @@ impl Process for Wirer {
         self.client = Some(client);
     }
     fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
-        let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+            return;
+        };
         match *event {
             RuntimeEvent::Directory(DirectoryEvent::Appeared(profile)) => {
                 for (i, rule) in self.rules.iter().enumerate() {
                     if profile.name().contains(&rule.src_name) {
-                        self.srcs[i] =
-                            Some(PortRef::new(profile.id(), rule.src_port.clone()));
+                        self.srcs[i] = Some(PortRef::new(profile.id(), rule.src_port.clone()));
                     }
                     if profile.name().contains(&rule.dst_name) {
-                        self.dsts[i] =
-                            Some(PortRef::new(profile.id(), rule.dst_port.clone()));
+                        self.dsts[i] = Some(PortRef::new(profile.id(), rule.dst_port.clone()));
                     }
                 }
                 self.try_wire(ctx);
@@ -147,7 +149,10 @@ fn camera_to_tv_across_platforms() {
     // Native devices.
     let cam_node = world.add_node("camera");
     world.attach(cam_node, pico).unwrap();
-    world.add_process(cam_node, Box::new(BipCamera::new("Pocket Camera", 2, 20_000)));
+    world.add_process(
+        cam_node,
+        Box::new(BipCamera::new("Pocket Camera", 2, 20_000)),
+    );
 
     let tv_node = world.add_node("tv");
     world.attach(tv_node, hub).unwrap();
@@ -280,8 +285,8 @@ fn mouse_clicks_reach_a_native_recorder() {
                 src_port: "clicks".to_owned(),
                 dst_name: "Click Recorder".to_owned(),
                 dst_port: "in".to_owned(),
-            }]),
-        ),
+            }],
+        )),
     );
 
     world.run_until(SimTime::from_secs(60));
@@ -439,16 +444,12 @@ fn mote_readings_bridged() {
                 src_port: "temperature".to_owned(),
                 dst_name: "Temp Recorder".to_owned(),
                 dst_port: "in".to_owned(),
-            }]),
-        ),
+            }],
+        )),
     );
 
     world.run_until(SimTime::from_secs(60));
-    assert_eq!(
-        mapper_stats.borrow().mappings.len(),
-        2,
-        "both motes mapped"
-    );
+    assert_eq!(mapper_stats.borrow().mappings.len(), 2, "both motes mapped");
     let received = received.borrow();
     assert!(
         received.len() >= 5,
@@ -499,7 +500,12 @@ fn mediabroker_and_webservice_mapped() {
         }
     }
     let broker_addr = Addr::new(mb_node, platform_mediabroker::BROKER_PORT);
-    world.add_process(mb_node, Box::new(RawProducer { broker: broker_addr }));
+    world.add_process(
+        mb_node,
+        Box::new(RawProducer {
+            broker: broker_addr,
+        }),
+    );
 
     let mb_mapper = MediaBrokerMapper::new(rt, UsdlLibrary::bundled(), broker_addr, vec![]);
     let mb_stats = mb_mapper.stats_handle();
@@ -637,7 +643,10 @@ fn scattered_visibility_exports_camera_to_native_upnp() {
     );
     let cam_node = world.add_node("camera");
     world.attach(cam_node, pico).unwrap();
-    world.add_process(cam_node, Box::new(BipCamera::new("Pocket Camera", 1, 8_000)));
+    world.add_process(
+        cam_node,
+        Box::new(BipCamera::new("Pocket Camera", 1, 8_000)),
+    );
 
     // The exporter projects Bluetooth translators back out as UPnP.
     world.add_process(

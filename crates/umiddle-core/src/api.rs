@@ -107,6 +107,12 @@ pub enum RuntimeRequest {
         /// the path when a query connection fans out to several locals).
         translator: TranslatorId,
     },
+    /// Requests a snapshot of this runtime's metric scope (`rt{N}.*`,
+    /// prefix stripped). Replies with [`RuntimeEvent::Metrics`].
+    MetricsSnapshot {
+        /// Correlation token echoed in the reply.
+        token: u64,
+    },
 }
 
 /// Directory change notifications (the paper's `DirectoryListener`).
@@ -178,6 +184,14 @@ pub enum RuntimeEvent {
         connection: ConnectionId,
         /// The departed destination.
         dst: PortRef,
+    },
+    /// A snapshot of the runtime's metric scope, in reply to
+    /// [`RuntimeRequest::MetricsSnapshot`].
+    Metrics {
+        /// Token from the request.
+        token: u64,
+        /// The runtime's `rt{N}.*` metrics, prefix stripped.
+        snapshot: simnet::MetricsSnapshot,
     },
 }
 
@@ -381,6 +395,14 @@ impl RuntimeClient {
     /// Tears down a connection.
     pub fn disconnect(&self, ctx: &mut Ctx<'_>, connection: ConnectionId) {
         ctx.send_local(self.runtime, RuntimeRequest::Disconnect { connection });
+    }
+
+    /// Requests the runtime's metric scope; returns the correlation
+    /// token echoed in [`RuntimeEvent::Metrics`].
+    pub fn metrics_snapshot(&mut self, ctx: &mut Ctx<'_>) -> u64 {
+        let token = self.token();
+        ctx.send_local(self.runtime, RuntimeRequest::MetricsSnapshot { token });
+        token
     }
 
     /// Emits a message on a translator's output port.

@@ -94,28 +94,22 @@ impl DesignPoint {
                 // translation; hence they cannot coexist with the direct
                 // translation".
                 if self.distribution == SemanticDistribution::Aggregated {
-                    return Err(
-                        "aggregated visibility (2-b) is incompatible with direct \
+                    return Err("aggregated visibility (2-b) is incompatible with direct \
                          translation (1-a): aggregation needs an intermediary space"
-                            .to_owned(),
-                    );
+                        .to_owned());
                 }
                 if self.granularity.is_some() {
-                    return Err(
-                        "intermediary granularity (3-a/3-b) is meaningless under \
+                    return Err("intermediary granularity (3-a/3-b) is meaningless under \
                          direct translation (1-a): there is no intermediary \
                          representation to have a granularity"
-                            .to_owned(),
-                    );
+                        .to_owned());
                 }
             }
             TranslationModel::Mediated => {
                 if self.granularity.is_none() {
-                    return Err(
-                        "mediated translation (1-b) requires choosing an \
+                    return Err("mediated translation (1-b) requires choosing an \
                          intermediary granularity (3-a or 3-b)"
-                            .to_owned(),
-                    );
+                        .to_owned());
                 }
             }
         }
@@ -250,10 +244,8 @@ mod tests {
         assert_eq!(valid.len(), 2);
         assert!(valid
             .iter()
-            .all(|p| p.distribution == SemanticDistribution::Scattered
-                && p.granularity.is_none()));
-        let locations: std::collections::HashSet<_> =
-            valid.iter().map(|p| p.location).collect();
+            .all(|p| p.distribution == SemanticDistribution::Scattered && p.granularity.is_none()));
+        let locations: std::collections::HashSet<_> = valid.iter().map(|p| p.location).collect();
         assert_eq!(locations.len(), 2);
     }
 

@@ -101,6 +101,13 @@ impl ConnectionId {
     pub const fn new(runtime: RuntimeId, local: u32) -> ConnectionId {
         ConnectionId { runtime, local }
     }
+
+    /// The correlation id used for span tracing: connection ids are
+    /// federation-unique, so `(runtime << 32) | local` correlates every
+    /// hop of a path across runtimes and platform bridges.
+    pub const fn corr(self) -> u64 {
+        ((self.runtime.0 as u64) << 32) | self.local as u64
+    }
 }
 
 impl fmt::Display for ConnectionId {

@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn non_utf8_body_text_is_none() {
-        let m = UMessage::new("application/octet-stream".parse().unwrap(), vec![0xff, 0xfe]);
+        let m = UMessage::new(
+            "application/octet-stream".parse().unwrap(),
+            vec![0xff, 0xfe],
+        );
         assert_eq!(m.body_text(), None);
         assert_eq!(m.into_body(), vec![0xff, 0xfe]);
     }

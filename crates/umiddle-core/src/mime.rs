@@ -44,9 +44,7 @@ impl MimeType {
     /// contains whitespace or `/`.
     pub fn new(ty: &str, subtype: &str) -> Result<MimeType, CoreError> {
         fn ok(part: &str) -> bool {
-            !part.is_empty()
-                && !part.contains('/')
-                && !part.chars().any(|c| c.is_whitespace())
+            !part.is_empty() && !part.contains('/') && !part.chars().any(|c| c.is_whitespace())
         }
         if !ok(ty) || !ok(subtype) {
             return Err(CoreError::InvalidMime(format!("{ty}/{subtype}")));
@@ -119,7 +117,6 @@ impl FromStr for MimeType {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn parse_and_display_round_trip() {
@@ -160,50 +157,37 @@ mod tests {
         assert!(jpeg.refines(&jpeg));
     }
 
-    fn arb_part() -> impl Strategy<Value = String> {
-        prop_oneof![
-            3 => "[a-z][a-z0-9-]{0,8}",
-            1 => Just("*".to_owned()),
-        ]
+    fn arb_part(rng: &mut simnet::SimRng) -> String {
+        if rng.gen_bool(0.25) {
+            "*".to_owned()
+        } else {
+            let head = rng.gen_string("abcdefghijklmnopqrstuvwxyz", 1);
+            let len = rng.gen_range(0usize..=8);
+            head + &rng.gen_string("abcdefghijklmnopqrstuvwxyz0123456789-", len)
+        }
     }
 
-    fn arb_mime() -> impl Strategy<Value = MimeType> {
-        (arb_part(), arb_part())
-            .prop_map(|(t, s)| MimeType::new(&t, &s).expect("generated parts are valid"))
+    fn arb_mime(rng: &mut simnet::SimRng) -> MimeType {
+        let t = arb_part(rng);
+        let s = arb_part(rng);
+        MimeType::new(&t, &s).expect("generated parts are valid")
     }
 
-    proptest! {
-        /// `matches` is symmetric.
-        #[test]
-        fn matches_symmetric(a in arb_mime(), b in arb_mime()) {
-            prop_assert_eq!(a.matches(&b), b.matches(&a));
-        }
-
-        /// `matches` is reflexive.
-        #[test]
-        fn matches_reflexive(a in arb_mime()) {
-            prop_assert!(a.matches(&a));
-        }
-
-        /// Refinement implies matching.
-        #[test]
-        fn refines_implies_matches(a in arb_mime(), b in arb_mime()) {
+    /// `matches` is symmetric and reflexive; refinement implies matching;
+    /// `*/*` matches everything; parse/display round-trips.
+    #[test]
+    fn matching_algebra() {
+        simnet::check_cases("mime_matching_algebra", 256, |_, rng| {
+            let a = arb_mime(rng);
+            let b = arb_mime(rng);
+            assert_eq!(a.matches(&b), b.matches(&a), "symmetric: {a} vs {b}");
+            assert!(a.matches(&a), "reflexive: {a}");
             if a.refines(&b) {
-                prop_assert!(a.matches(&b));
+                assert!(a.matches(&b), "refines implies matches: {a} vs {b}");
             }
-        }
-
-        /// `*/*` matches everything.
-        #[test]
-        fn any_matches_all(a in arb_mime()) {
-            prop_assert!(MimeType::any().matches(&a));
-        }
-
-        /// Parse/display round trip.
-        #[test]
-        fn parse_display_round_trip(a in arb_mime()) {
+            assert!(MimeType::any().matches(&a), "*/* matches {a}");
             let back: MimeType = a.to_string().parse().unwrap();
-            prop_assert_eq!(a, back);
-        }
+            assert_eq!(a, back, "parse/display round trip");
+        });
     }
 }

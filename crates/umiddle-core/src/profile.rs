@@ -93,6 +93,16 @@ impl TranslatorProfile {
         self.id = id;
         self
     }
+
+    /// Adds or replaces an attribute (builder style on a built profile).
+    pub fn with_attr(
+        mut self,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> TranslatorProfile {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
 }
 
 impl fmt::Display for TranslatorProfile {

@@ -213,9 +213,8 @@ impl TranslationBuffer {
     fn refill(&mut self, now: SimTime) {
         if let Some(rate) = self.policy.rate {
             let elapsed = now.saturating_since(self.last_refill);
-            self.tokens = (self.tokens
-                + rate.bytes_per_second as f64 * elapsed.as_secs_f64())
-            .min(rate.burst_bytes as f64);
+            self.tokens = (self.tokens + rate.bytes_per_second as f64 * elapsed.as_secs_f64())
+                .min(rate.burst_bytes as f64);
         }
         self.last_refill = now;
     }
@@ -247,13 +246,9 @@ impl TranslationBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn msg(n: usize) -> UMessage {
-        UMessage::new(
-            "application/octet-stream".parse().unwrap(),
-            vec![0u8; n],
-        )
+        UMessage::new("application/octet-stream".parse().unwrap(), vec![0u8; n])
     }
 
     #[test]
@@ -299,8 +294,7 @@ mod tests {
     #[test]
     fn token_bucket_paces_drain() {
         // 1000 B/s, burst 1000 B; three 1000 B messages take ~2 s to drain.
-        let mut b =
-            TranslationBuffer::new(QosPolicy::unbounded().with_rate(1000, 1000));
+        let mut b = TranslationBuffer::new(QosPolicy::unbounded().with_rate(1000, 1000));
         for _ in 0..3 {
             assert!(b.offer(msg(1000)));
         }
@@ -316,14 +310,17 @@ mod tests {
         assert!(b.poll(t2).unwrap().is_none());
     }
 
-    proptest! {
-        /// Conservation: enqueued = dequeued + dropped + still queued,
-        /// under any interleaving of offers and polls.
-        #[test]
-        fn conservation(
-            ops in proptest::collection::vec((any::<bool>(), 1usize..2000), 1..200),
-            cap in proptest::option::of(100usize..5000),
-        ) {
+    /// Conservation: enqueued = dequeued + dropped + still queued,
+    /// under any interleaving of offers and polls.
+    #[test]
+    fn conservation() {
+        simnet::check_cases("qos_conservation", 256, |_, rng| {
+            let n_ops = rng.gen_range(1usize..200);
+            let cap = if rng.gen_bool(0.5) {
+                Some(rng.gen_range(100usize..5000))
+            } else {
+                None
+            };
             let policy = QosPolicy {
                 capacity_bytes: cap,
                 overflow: OverflowPolicy::DropOldest,
@@ -331,8 +328,9 @@ mod tests {
             };
             let mut b = TranslationBuffer::new(policy);
             let mut t = SimTime::ZERO;
-            for (is_offer, size) in ops {
-                if is_offer {
+            for _ in 0..n_ops {
+                if rng.gen_bool(0.5) {
+                    let size = rng.gen_range(1usize..2000);
                     b.offer(msg(size));
                 } else {
                     t += SimDuration::from_millis(1);
@@ -342,20 +340,24 @@ mod tests {
             let s = b.stats();
             // Conservation: everything accepted is either delivered,
             // evicted, or still queued.
-            prop_assert_eq!(s.enqueued, s.dequeued + s.evicted + b.len() as u64);
+            assert_eq!(s.enqueued, s.dequeued + s.evicted + b.len() as u64);
             if let Some(cap) = cap {
-                prop_assert!(b.occupancy_bytes() <= cap || b.len() == 1);
+                assert!(b.occupancy_bytes() <= cap || b.len() == 1);
             }
-        }
+        });
+    }
 
-        /// Occupancy never exceeds the high-water mark.
-        #[test]
-        fn high_water_mark(ops in proptest::collection::vec(1usize..500, 1..50)) {
+    /// Occupancy never exceeds the high-water mark.
+    #[test]
+    fn high_water_mark() {
+        simnet::check_cases("qos_high_water_mark", 256, |_, rng| {
+            let n_ops = rng.gen_range(1usize..50);
             let mut b = TranslationBuffer::new(QosPolicy::unbounded());
-            for size in ops {
+            for _ in 0..n_ops {
+                let size = rng.gen_range(1usize..500);
                 b.offer(msg(size));
-                prop_assert!(b.occupancy_bytes() <= b.stats().max_occupancy_bytes);
+                assert!(b.occupancy_bytes() <= b.stats().max_occupancy_bytes);
             }
-        }
+        });
     }
 }

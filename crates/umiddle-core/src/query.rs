@@ -158,7 +158,6 @@ mod tests {
     use crate::mime::MimeType;
     use crate::profile::TranslatorProfile;
     use crate::shape::{PerceptionType, Shape};
-    use proptest::prelude::*;
 
     fn mime(s: &str) -> MimeType {
         s.parse().unwrap()
@@ -167,7 +166,12 @@ mod tests {
     fn tv_profile() -> TranslatorProfile {
         let shape = Shape::builder()
             .digital("media-in", Direction::Input, mime("image/*"))
-            .physical("display", Direction::Output, PerceptionType::Visible, "screen")
+            .physical(
+                "display",
+                Direction::Output,
+                PerceptionType::Visible,
+                "screen",
+            )
             .build()
             .unwrap();
         TranslatorProfile::builder(TranslatorId::new(RuntimeId(0), 1), "Living Room TV")
@@ -243,62 +247,61 @@ mod tests {
         assert_eq!(names, vec!["Living Room TV"]);
     }
 
-    fn arb_query() -> impl Strategy<Value = Query> {
-        let leaf = prop_oneof![
-            Just(Query::All),
-            Just(Query::None),
-            "[a-z]{1,6}".prop_map(Query::NameContains),
-            "[a-z]{1,6}".prop_map(Query::Platform),
-            ("[a-z]{1,4}", "[a-z]{1,4}").prop_map(|(k, v)| Query::attr(k, v)),
-        ];
-        leaf.prop_recursive(3, 24, 2, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| a.and(b)),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| a.or(b)),
-                inner.prop_map(Query::not),
-            ]
-        })
+    fn arb_query(rng: &mut simnet::SimRng, depth: u32) -> Query {
+        let leaf = depth == 0 || rng.gen_bool(0.4);
+        if leaf {
+            match rng.gen_range(0u8..5) {
+                0 => Query::All,
+                1 => Query::None,
+                2 => {
+                    let len = rng.gen_range(1usize..=6);
+                    Query::NameContains(rng.gen_string("abcdefghijklmnopqrstuvwxyz", len))
+                }
+                3 => {
+                    let len = rng.gen_range(1usize..=6);
+                    Query::Platform(rng.gen_string("abcdefghijklmnopqrstuvwxyz", len))
+                }
+                _ => {
+                    let klen = rng.gen_range(1usize..=4);
+                    let vlen = rng.gen_range(1usize..=4);
+                    Query::attr(
+                        rng.gen_string("abcdefghijklmnopqrstuvwxyz", klen),
+                        rng.gen_string("abcdefghijklmnopqrstuvwxyz", vlen),
+                    )
+                }
+            }
+        } else {
+            match rng.gen_range(0u8..3) {
+                0 => arb_query(rng, depth - 1).and(arb_query(rng, depth - 1)),
+                1 => arb_query(rng, depth - 1).or(arb_query(rng, depth - 1)),
+                _ => arb_query(rng, depth - 1).not(),
+            }
+        }
     }
 
-    proptest! {
-        /// Double negation is the identity on evaluation.
-        #[test]
-        fn double_negation(q in arb_query()) {
+    /// Boolean algebra of query evaluation: double negation, De Morgan,
+    /// `All`/`None` identities, commutativity of `and`/`or`.
+    #[test]
+    fn query_algebra() {
+        simnet::check_cases("query_algebra", 256, |_, rng| {
             let p = tv_profile();
-            prop_assert_eq!(q.matches(&p), q.clone().not().not().matches(&p));
-        }
-
-        /// De Morgan: !(a & b) == !a | !b on evaluation.
-        #[test]
-        fn de_morgan(a in arb_query(), b in arb_query()) {
-            let p = tv_profile();
+            let a = arb_query(rng, 3);
+            let b = arb_query(rng, 3);
+            // Double negation is the identity on evaluation.
+            assert_eq!(a.matches(&p), a.clone().not().not().matches(&p));
+            // De Morgan: !(a & b) == !a | !b on evaluation.
             let lhs = a.clone().and(b.clone()).not();
-            let rhs = a.not().or(b.not());
-            prop_assert_eq!(lhs.matches(&p), rhs.matches(&p));
-        }
-
-        /// `All` is the identity of `and`; `None` the identity of `or`.
-        #[test]
-        fn identities(q in arb_query()) {
-            let p = tv_profile();
-            prop_assert_eq!(q.matches(&p), q.clone().and(Query::All).matches(&p));
-            prop_assert_eq!(q.matches(&p), q.clone().or(Query::None).matches(&p));
-        }
-
-        /// `and`/`or` evaluate commutatively.
-        #[test]
-        fn commutativity(a in arb_query(), b in arb_query()) {
-            let p = tv_profile();
-            prop_assert_eq!(
+            let rhs = a.clone().not().or(b.clone().not());
+            assert_eq!(lhs.matches(&p), rhs.matches(&p));
+            // `All` is the identity of `and`; `None` the identity of `or`.
+            assert_eq!(a.matches(&p), a.clone().and(Query::All).matches(&p));
+            assert_eq!(a.matches(&p), a.clone().or(Query::None).matches(&p));
+            // `and`/`or` evaluate commutatively.
+            assert_eq!(
                 a.clone().and(b.clone()).matches(&p),
                 b.clone().and(a.clone()).matches(&p)
             );
-            prop_assert_eq!(
-                a.clone().or(b.clone()).matches(&p),
-                b.or(a).matches(&p)
-            );
-        }
+            assert_eq!(a.clone().or(b.clone()).matches(&p), b.or(a).matches(&p));
+        });
     }
 }

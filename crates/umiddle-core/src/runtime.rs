@@ -32,6 +32,13 @@ const TIMER_TICK: u64 = 0;
 /// minus the base is the path uid.
 const TIMER_DRAIN_BASE: u64 = 1;
 
+/// Profile attribute carrying the registration time (virtual ns), used
+/// by remote runtimes to compute `umiddle.discovery_latency`.
+const REGISTERED_AT_ATTR: &str = "umiddle.registered-ns";
+/// Message metadata carrying the emission time (virtual ns), used by the
+/// delivering runtime to compute `umiddle.path_latency`.
+const SENT_AT_META: &str = "umiddle.sent-ns";
+
 /// Configuration of a uMiddle runtime.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
@@ -175,11 +182,14 @@ pub struct UmiddleRuntime {
     /// Decoders for accepted (incoming) streams.
     incoming: HashMap<StreamId, FrameDecoder>,
     stats: Rc<RefCell<RuntimeStats>>,
+    /// Metric scope prefix, `rt{N}` (see [`simnet::Metrics::scoped`]).
+    scope: String,
 }
 
 impl UmiddleRuntime {
     /// Creates a runtime with the given configuration.
     pub fn new(cfg: RuntimeConfig) -> UmiddleRuntime {
+        let scope = format!("rt{}", cfg.id.0);
         UmiddleRuntime {
             cfg,
             directory: DirectoryTable::new(),
@@ -195,7 +205,17 @@ impl UmiddleRuntime {
             peer_by_stream: HashMap::new(),
             incoming: HashMap::new(),
             stats: Rc::new(RefCell::new(RuntimeStats::default())),
+            scope,
         }
+    }
+
+    /// The `rt{N}` metric scope this runtime records under.
+    pub fn metric_scope(&self) -> &str {
+        &self.scope
+    }
+
+    fn metric(&self, name: &str) -> String {
+        format!("{}.{name}", self.scope)
     }
 
     /// This runtime's id.
@@ -228,7 +248,11 @@ impl UmiddleRuntime {
     // ------------------------------------------------------------------
 
     fn multicast_wire(&mut self, ctx: &mut Ctx<'_>, msg: &WireMessage) {
-        let _ = ctx.multicast(self.cfg.directory_port, self.cfg.multicast_group, msg.encode());
+        let _ = ctx.multicast(
+            self.cfg.directory_port,
+            self.cfg.multicast_group,
+            msg.encode(),
+        );
     }
 
     fn unicast_wire(&mut self, ctx: &mut Ctx<'_>, to: Addr, msg: &WireMessage) {
@@ -237,6 +261,7 @@ impl UmiddleRuntime {
 
     fn advertise(&mut self, ctx: &mut Ctx<'_>, profile: TranslatorProfile) {
         let home = self.transport_addr(ctx);
+        ctx.bump(&self.metric("advertisements_sent"), 1);
         self.multicast_wire(ctx, &WireMessage::Advertise { profile, home });
     }
 
@@ -310,6 +335,14 @@ impl UmiddleRuntime {
                 let effect = self.directory.upsert(profile.clone(), home, expires, false);
                 if effect == UpsertEffect::Appeared {
                     ctx.bump("umiddle.directory_appearances", 1);
+                    // Discovery latency: registration stamp to first sight.
+                    if let Some(reg_ns) = profile
+                        .attr(REGISTERED_AT_ATTR)
+                        .and_then(|v| v.parse().ok())
+                    {
+                        let d = ctx.now() - simnet::SimTime::from_nanos(reg_ns);
+                        ctx.observe("umiddle.discovery_latency", d);
+                    }
                     self.handle_appearance(ctx, &profile);
                 }
             }
@@ -376,7 +409,11 @@ impl UmiddleRuntime {
     ) {
         let id = TranslatorId::new(self.cfg.id, self.next_translator);
         self.next_translator += 1;
-        let profile = profile.with_id(id);
+        // Stamp the registration time so remote runtimes can measure
+        // discovery latency when the profile first reaches them.
+        let profile = profile
+            .with_id(id)
+            .with_attr(REGISTERED_AT_ATTR, ctx.now().as_nanos().to_string());
         let home = self.transport_addr(ctx);
         self.directory
             .upsert(profile.clone(), home, simnet::SimTime::MAX, true);
@@ -387,8 +424,15 @@ impl UmiddleRuntime {
                 delegate,
             },
         );
-        ctx.send_local(from, RuntimeEvent::Registered { token, translator: id });
+        ctx.send_local(
+            from,
+            RuntimeEvent::Registered {
+                token,
+                translator: id,
+            },
+        );
         ctx.bump("umiddle.registrations", 1);
+        ctx.bump(&self.metric("registrations"), 1);
         self.advertise(ctx, profile.clone());
         self.handle_appearance(ctx, &profile);
     }
@@ -480,6 +524,8 @@ impl UmiddleRuntime {
     ) -> CoreResult<ConnectionId> {
         let src_kind = self.validate_src(&src)?;
         let id = ConnectionId::new(self.cfg.id, self.next_connection);
+        let corr = id.corr();
+        ctx.span(corr, "connect", format!("src={src}"));
         let mut paths = Vec::new();
         match &target {
             ConnectTarget::Port(dst) => {
@@ -488,6 +534,11 @@ impl UmiddleRuntime {
             }
             ConnectTarget::Query(query) => {
                 let matches = self.query_bindings(query, &src, &src_kind);
+                ctx.span(
+                    corr,
+                    "directory.lookup",
+                    format!("query={query} matches={}", matches.len()),
+                );
                 for (dst, home) in matches {
                     paths.push(self.new_path(dst, home, &qos));
                 }
@@ -508,9 +559,19 @@ impl UmiddleRuntime {
             },
         );
         ctx.bump("umiddle.connections", 1);
+        ctx.bump(&self.metric("connections_opened"), 1);
+        for dst in &bound {
+            ctx.span(corr, "path.bound", format!("dst={dst}"));
+        }
         if let Requester::Local(proc) = requester {
             for dst in bound {
-                ctx.send_local(proc, RuntimeEvent::PathBound { connection: id, dst });
+                ctx.send_local(
+                    proc,
+                    RuntimeEvent::PathBound {
+                        connection: id,
+                        dst,
+                    },
+                );
             }
         }
         Ok(id)
@@ -531,9 +592,10 @@ impl UmiddleRuntime {
             if profile.id() == src.translator || !query.matches(profile) {
                 continue;
             }
-            let port = profile.shape().ports_in(Direction::Input).find(|p| {
-                p.kind.is_digital() && p.kind.matches(src_kind)
-            });
+            let port = profile
+                .shape()
+                .ports_in(Direction::Input)
+                .find(|p| p.kind.is_digital() && p.kind.matches(src_kind));
             if let Some(port) = port {
                 out.push((
                     PortRef::new(profile.id(), port.name.clone()),
@@ -546,13 +608,10 @@ impl UmiddleRuntime {
 
     /// Adds paths to query connections when a new profile appears.
     fn bind_query_connections(&mut self, ctx: &mut Ctx<'_>, profile: &TranslatorProfile) {
-        let entry_home = self.directory.get(profile.id()).map(|e| {
-            if e.local {
-                None
-            } else {
-                Some(e.home)
-            }
-        });
+        let entry_home =
+            self.directory
+                .get(profile.id())
+                .map(|e| if e.local { None } else { Some(e.home) });
         let Some(home) = entry_home else { return };
         let candidates: Vec<ConnectionId> = self
             .connections
@@ -561,8 +620,12 @@ impl UmiddleRuntime {
             .map(|c| c.id)
             .collect();
         for cid in candidates {
-            let Some(conn) = self.connections.get(&cid) else { continue };
-            let ConnectTarget::Query(query) = &conn.target else { continue };
+            let Some(conn) = self.connections.get(&cid) else {
+                continue;
+            };
+            let ConnectTarget::Query(query) = &conn.target else {
+                continue;
+            };
             if profile.id() == conn.src.translator
                 || !query.matches(profile)
                 || conn.paths.iter().any(|p| p.dst.translator == profile.id())
@@ -576,6 +639,7 @@ impl UmiddleRuntime {
                 .map(|p| p.name.clone());
             let Some(port) = port else { continue };
             let dst = PortRef::new(profile.id(), port);
+            ctx.span(cid.corr(), "path.bound", format!("dst={dst} (late)"));
             let qos = conn.qos.clone();
             let requester = conn.requester;
             let path = self.new_path(dst.clone(), home, &qos);
@@ -605,8 +669,7 @@ impl UmiddleRuntime {
     ) {
         // Source hosted here: create the connection directly.
         if src.translator.runtime == self.cfg.id {
-            let result =
-                self.connect_local_src(ctx, src, target, qos, Requester::Local(from));
+            let result = self.connect_local_src(ctx, src, target, qos, Requester::Local(from));
             let event = match result {
                 Ok(connection) => RuntimeEvent::Connected { token, connection },
                 Err(e) => RuntimeEvent::ConnectFailed {
@@ -701,7 +764,11 @@ impl UmiddleRuntime {
                     .wrapping_sub(self.cfg.transport_port)
                     .wrapping_add(self.cfg.directory_port),
             );
-            self.unicast_wire(ctx, peer_directory, &WireMessage::DisconnectRequest { connection });
+            self.unicast_wire(
+                ctx,
+                peer_directory,
+                &WireMessage::DisconnectRequest { connection },
+            );
         }
     }
 
@@ -725,6 +792,10 @@ impl UmiddleRuntime {
             ctx.bump("umiddle.output_wrong_delegate", 1);
             return;
         }
+        // Stamp the emission time so the delivering runtime can measure
+        // end-to-end path latency (virtual time is federation-global).
+        let msg = msg.with_meta(SENT_AT_META, ctx.now().as_nanos().to_string());
+        ctx.bump(&self.metric("outputs"), 1);
         let targets: Vec<ConnectionId> = self
             .connections
             .values()
@@ -732,6 +803,7 @@ impl UmiddleRuntime {
             .map(|c| c.id)
             .collect();
         for cid in targets {
+            ctx.span(cid.corr(), "output.enqueue", format!("port={port} {msg}"));
             if let Some(conn) = self.connections.get_mut(&cid) {
                 let mut dropped = 0;
                 for p in &mut conn.paths {
@@ -741,20 +813,22 @@ impl UmiddleRuntime {
                 }
                 if dropped > 0 {
                     ctx.bump("umiddle.qos_dropped", dropped);
+                    ctx.bump(&self.metric("qos_dropped"), dropped);
                 }
             }
             self.drain_connection(ctx, cid);
         }
-        self.update_buffer_watermark();
+        self.update_buffer_watermark(ctx);
     }
 
-    fn update_buffer_watermark(&mut self) {
+    fn update_buffer_watermark(&mut self, ctx: &mut Ctx<'_>) {
         let mut total = 0usize;
         let mut dropped = 0u64;
         for p in self.connections.values().flat_map(|c| c.paths.iter()) {
             total += p.buffer.occupancy_bytes();
             dropped += p.buffer.stats().dropped();
         }
+        ctx.gauge_set(&self.metric("buffer_depth_bytes"), total as i64);
         let mut stats = self.stats.borrow_mut();
         stats.buffered_bytes = total;
         stats.qos_dropped = dropped;
@@ -771,7 +845,9 @@ impl UmiddleRuntime {
     }
 
     fn drain_connection(&mut self, ctx: &mut Ctx<'_>, cid: ConnectionId) {
-        let Some(conn) = self.connections.get(&cid) else { return };
+        let Some(conn) = self.connections.get(&cid) else {
+            return;
+        };
         let n_paths = conn.paths.len();
         for idx in 0..n_paths {
             self.drain_path(ctx, cid, idx);
@@ -785,8 +861,12 @@ impl UmiddleRuntime {
         loop {
             let now = ctx.now();
             // Inspect state immutably first.
-            let Some(conn) = self.connections.get(&cid) else { return };
-            let Some(path) = conn.paths.get(idx) else { return };
+            let Some(conn) = self.connections.get(&cid) else {
+                return;
+            };
+            let Some(path) = conn.paths.get(idx) else {
+                return;
+            };
             if path.buffer.is_empty() {
                 return;
             }
@@ -823,6 +903,7 @@ impl UmiddleRuntime {
                             Err(wait) => {
                                 if !path.timer_pending {
                                     path.timer_pending = true;
+                                    ctx.span(cid.corr(), "qos.drain-wait", format!("{wait}"));
                                     ctx.set_timer(wait, TIMER_DRAIN_BASE + uid);
                                 }
                                 return;
@@ -830,6 +911,7 @@ impl UmiddleRuntime {
                         }
                     };
                     self.stats.borrow_mut().local_deliveries += 1;
+                    self.observe_delivery(ctx, cid, &dst, &msg);
                     ctx.send_local(
                         delegate,
                         RuntimeEvent::Input {
@@ -849,7 +931,9 @@ impl UmiddleRuntime {
                         Some(link) if link.up => link.stream,
                         Some(_) => return, // connecting; flushed on Connected
                         None => {
-                            let Ok(stream) = ctx.connect(home) else { return };
+                            let Ok(stream) = ctx.connect(home) else {
+                                return;
+                            };
                             self.peers.insert(home, PeerLink { stream, up: false });
                             self.peer_by_stream.insert(stream, home);
                             return;
@@ -868,6 +952,7 @@ impl UmiddleRuntime {
                             Err(wait) => {
                                 if !path.timer_pending {
                                     path.timer_pending = true;
+                                    ctx.span(cid.corr(), "qos.drain-wait", format!("{wait}"));
                                     ctx.set_timer(wait, TIMER_DRAIN_BASE + uid);
                                 }
                                 return;
@@ -876,11 +961,16 @@ impl UmiddleRuntime {
                     };
                     let wire = WireMessage::PathMessage {
                         connection: cid,
-                        dst,
+                        dst: dst.clone(),
                         msg,
                     }
                     .encode_framed();
                     self.stats.borrow_mut().remote_sends += 1;
+                    ctx.span(
+                        cid.corr(),
+                        "transport.send",
+                        format!("dst={} {}B", dst, wire.len()),
+                    );
                     if ctx.stream_send(stream, wire).is_err() {
                         // Stream filled up or died between checks; the
                         // message is lost (counted, not silently).
@@ -898,7 +988,9 @@ impl UmiddleRuntime {
         connection: ConnectionId,
         translator: TranslatorId,
     ) {
-        let Some(conn) = self.connections.get_mut(&connection) else { return };
+        let Some(conn) = self.connections.get_mut(&connection) else {
+            return;
+        };
         let Some(idx) = conn
             .paths
             .iter()
@@ -908,7 +1000,7 @@ impl UmiddleRuntime {
         };
         conn.paths[idx].inflight -= 1;
         self.drain_path(ctx, connection, idx);
-        self.update_buffer_watermark();
+        self.update_buffer_watermark(ctx);
     }
 
     fn handle_drain_timer(&mut self, ctx: &mut Ctx<'_>, uid: u64) {
@@ -924,6 +1016,8 @@ impl UmiddleRuntime {
                     path.timer_pending = false;
                 }
             }
+            ctx.bump(&self.metric("drain_retries"), 1);
+            ctx.span(cid.corr(), "qos.drain-retry", format!("path={idx}"));
             self.drain_path(ctx, cid, idx);
         }
     }
@@ -936,6 +1030,7 @@ impl UmiddleRuntime {
         msg: UMessage,
     ) {
         self.stats.borrow_mut().remote_receives += 1;
+        ctx.span(connection.corr(), "transport.receive", format!("dst={dst}"));
         let Some(local) = self.local_translators.get(&dst.translator) else {
             ctx.bump("umiddle.path_unknown_dst", 1);
             return;
@@ -944,6 +1039,7 @@ impl UmiddleRuntime {
             ctx.bump("umiddle.path_unknown_port", 1);
             return;
         }
+        self.observe_delivery(ctx, connection, &dst, &msg);
         ctx.send_local(
             local.delegate,
             RuntimeEvent::Input {
@@ -955,29 +1051,54 @@ impl UmiddleRuntime {
         );
     }
 
+    /// Records the delivery span and the end-to-end path latency (from
+    /// the emission stamp added by the source runtime).
+    fn observe_delivery(
+        &self,
+        ctx: &mut Ctx<'_>,
+        cid: ConnectionId,
+        dst: &PortRef,
+        msg: &UMessage,
+    ) {
+        ctx.span(cid.corr(), "deliver.local", format!("dst={dst}"));
+        if let Some(sent_ns) = msg.meta(SENT_AT_META).and_then(|v| v.parse().ok()) {
+            let d = ctx.now() - simnet::SimTime::from_nanos(sent_ns);
+            ctx.observe("umiddle.path_latency", d);
+        }
+    }
+
     fn on_stream_wire(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, data: Vec<u8>) {
-        let Some(decoder) = self.incoming.get_mut(&stream) else { return };
+        let Some(decoder) = self.incoming.get_mut(&stream) else {
+            return;
+        };
         decoder.push(&data);
         loop {
-            match self.incoming.get_mut(&stream).and_then(|d| d.next().transpose()) {
-                Some(Ok(msg)) => match msg {
-                    WireMessage::PathMessage {
-                        connection,
-                        dst,
-                        msg,
-                    } => self.handle_path_message(ctx, connection, dst, msg),
-                    WireMessage::ConnectRequest {
-                        token,
-                        reply_to,
-                        src,
-                        target,
-                        qos,
-                    } => self.handle_connect_request(ctx, token, reply_to, src, target, qos),
-                    WireMessage::DisconnectRequest { connection } => {
-                        self.remove_connection(ctx, connection)
+            match self
+                .incoming
+                .get_mut(&stream)
+                .and_then(|d| d.next().transpose())
+            {
+                Some(Ok(msg)) => {
+                    ctx.bump(&self.metric("frames_decoded"), 1);
+                    match msg {
+                        WireMessage::PathMessage {
+                            connection,
+                            dst,
+                            msg,
+                        } => self.handle_path_message(ctx, connection, dst, msg),
+                        WireMessage::ConnectRequest {
+                            token,
+                            reply_to,
+                            src,
+                            target,
+                            qos,
+                        } => self.handle_connect_request(ctx, token, reply_to, src, target, qos),
+                        WireMessage::DisconnectRequest { connection } => {
+                            self.remove_connection(ctx, connection)
+                        }
+                        _ => ctx.bump("umiddle.unexpected_stream_msg", 1),
                     }
-                    _ => ctx.bump("umiddle.unexpected_stream_msg", 1),
-                },
+                }
                 Some(Err(e)) => {
                     ctx.bump("umiddle.wire_decode_errors", 1);
                     ctx.trace(format!("bad stream frame: {e}"));
@@ -1017,6 +1138,7 @@ impl UmiddleRuntime {
         // Expire stale remote entries.
         for id in self.directory.expire(ctx.now()) {
             ctx.bump("umiddle.directory_expiries", 1);
+            ctx.bump(&self.metric("advertisements_expired"), 1);
             self.handle_disappearance(ctx, id);
         }
         let interval = self.cfg.advertise_interval;
@@ -1134,6 +1256,10 @@ impl Process for UmiddleRuntime {
                 connection,
                 translator,
             } => self.handle_input_done(ctx, connection, translator),
+            RuntimeRequest::MetricsSnapshot { token } => {
+                let snapshot = ctx.metrics().scoped(&self.scope).snapshot();
+                ctx.send_local(from, RuntimeEvent::Metrics { token, snapshot });
+            }
         }
     }
 

@@ -438,7 +438,12 @@ mod tests {
             .unwrap();
         let tv = Shape::builder()
             .digital("media-in", Direction::Input, mime("image/*"))
-            .physical("display", Direction::Output, PerceptionType::Visible, "screen")
+            .physical(
+                "display",
+                Direction::Output,
+                PerceptionType::Visible,
+                "screen",
+            )
             .build()
             .unwrap();
         let pairs = camera.connectable_to(&tv);
@@ -457,7 +462,10 @@ mod tests {
             .digital("c", Direction::Input, mime("x/z"))
             .build()
             .unwrap();
-        let inputs: Vec<&str> = s.ports_in(Direction::Input).map(|p| p.name.as_str()).collect();
+        let inputs: Vec<&str> = s
+            .ports_in(Direction::Input)
+            .map(|p| p.name.as_str())
+            .collect();
         assert_eq!(inputs, vec!["a", "c"]);
     }
 

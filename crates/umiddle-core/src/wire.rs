@@ -221,9 +221,7 @@ impl WireMessage {
                         WireTarget::Port(PortRef::new(t, port))
                     }
                     1 => WireTarget::Query(decode_query(&mut r, 0)?),
-                    other => {
-                        return Err(CoreError::Decode(format!("unknown target tag {other}")))
-                    }
+                    other => return Err(CoreError::Decode(format!("unknown target tag {other}"))),
                 },
                 qos: decode_qos(&mut r)?,
             },
@@ -232,9 +230,7 @@ impl WireMessage {
                 result: match r.u8()? {
                     0 => Ok(ConnectionId::new(RuntimeId(r.u32()?), r.u32()?)),
                     1 => Err(r.str()?),
-                    other => {
-                        return Err(CoreError::Decode(format!("unknown result tag {other}")))
-                    }
+                    other => return Err(CoreError::Decode(format!("unknown result tag {other}"))),
                 },
             },
             TAG_DISCONNECT => WireMessage::DisconnectRequest {
@@ -321,7 +317,8 @@ impl Writer {
     fn str(&mut self, s: &str) {
         let bytes = s.as_bytes();
         self.u16(bytes.len().min(u16::MAX as usize) as u16);
-        self.out.extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
+        self.out
+            .extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
     }
     fn bytes(&mut self, b: &[u8]) {
         self.u32(b.len() as u32);
@@ -669,7 +666,6 @@ fn decode_umessage(r: &mut Reader<'_>) -> CoreResult<UMessage> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample_profile() -> TranslatorProfile {
         let shape = Shape::builder()
@@ -718,8 +714,7 @@ mod tests {
         let msg = WireMessage::PathMessage {
             connection: ConnectionId::new(RuntimeId(2), 5),
             dst: PortRef::new(TranslatorId::new(RuntimeId(0), 7), "media-in"),
-            msg: UMessage::new("image/jpeg".parse().unwrap(), vec![1, 2, 3])
-                .with_meta("seq", "42"),
+            msg: UMessage::new("image/jpeg".parse().unwrap(), vec![1, 2, 3]).with_meta("seq", "42"),
         };
         assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
     }
@@ -833,30 +828,38 @@ mod tests {
         assert!(WireMessage::decode(&msg.encode()).is_err());
     }
 
-    proptest! {
-        /// Random bytes never panic the decoder.
-        #[test]
-        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    /// Random bytes never panic the decoder.
+    #[test]
+    fn decode_never_panics() {
+        simnet::check_cases("wire_decode_never_panics", 256, |_, rng| {
+            let len = rng.gen_range(0usize..256);
+            let bytes = rng.gen_bytes(len);
             let _ = WireMessage::decode(&bytes);
-        }
+        });
+    }
 
-        /// UMessage round trip with arbitrary body and metadata.
-        #[test]
-        fn path_round_trip(
-            body in proptest::collection::vec(any::<u8>(), 0..512),
-            metas in proptest::collection::btree_map("[a-z]{1,8}", "[a-z0-9]{0,16}", 0..4),
-            local in any::<u32>(),
-        ) {
+    /// UMessage round trip with arbitrary body and metadata.
+    #[test]
+    fn path_round_trip() {
+        simnet::check_cases("wire_path_round_trip", 256, |_, rng| {
+            let len = rng.gen_range(0usize..512);
+            let body = rng.gen_bytes(len);
             let mut m = UMessage::new("application/octet-stream".parse().unwrap(), body);
-            for (k, v) in metas {
+            let n_meta = rng.gen_range(0usize..4);
+            for _ in 0..n_meta {
+                let klen = rng.gen_range(1usize..=8);
+                let k = rng.gen_string("abcdefghijklmnopqrstuvwxyz", klen);
+                let vlen = rng.gen_range(0usize..=16);
+                let v = rng.gen_string("abcdefghijklmnopqrstuvwxyz0123456789", vlen);
                 m = m.with_meta(k, v);
             }
+            let local = rng.gen_range(0u32..=u32::MAX);
             let msg = WireMessage::PathMessage {
                 connection: ConnectionId::new(RuntimeId(1), local),
                 dst: PortRef::new(TranslatorId::new(RuntimeId(0), 0), "p"),
                 msg: m,
             };
-            prop_assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
-        }
+            assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        });
     }
 }

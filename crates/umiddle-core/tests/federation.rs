@@ -9,7 +9,7 @@ use simnet::{
     Ctx, LocalMessage, NodeId, ProcId, Process, SegmentConfig, SimDuration, SimTime, World,
 };
 use umiddle_core::{
-    ack_input_done, handle_input_done_echo, DirectoryEvent, Direction, PortKind, PortRef,
+    ack_input_done, handle_input_done_echo, Direction, DirectoryEvent, PortKind, PortRef,
     QosPolicy, Query, RuntimeClient, RuntimeConfig, RuntimeEvent, RuntimeId, Shape, TranslatorId,
     TranslatorProfile, UMessage, UmiddleRuntime,
 };
@@ -134,12 +134,7 @@ enum ConnectorTarget {
 }
 
 impl Connector {
-    fn new(
-        runtime: ProcId,
-        src_name: &str,
-        src_port: &str,
-        target: ConnectorTarget,
-    ) -> Connector {
+    fn new(runtime: ProcId, src_name: &str, src_port: &str, target: ConnectorTarget) -> Connector {
         Connector {
             runtime,
             client: None,
@@ -251,7 +246,11 @@ fn jpeg(bytes: usize) -> UMessage {
 
 fn jpeg_source_shape() -> Shape {
     Shape::builder()
-        .digital("image-out", Direction::Output, "image/jpeg".parse().unwrap())
+        .digital(
+            "image-out",
+            Direction::Output,
+            "image/jpeg".parse().unwrap(),
+        )
         .build()
         .unwrap()
 }
@@ -293,7 +292,9 @@ fn cross_runtime_static_path_delivers_messages() {
     assert_eq!(*outcome.borrow(), Some(Ok(())));
     let got = tv_received.borrow();
     assert_eq!(got.len(), 3, "TV received all frames: {}", got.len());
-    assert!(got.iter().all(|(port, m)| port == "media-in" && m.body().len() == 2048));
+    assert!(got
+        .iter()
+        .all(|(port, m)| port == "media-in" && m.body().len() == 2048));
 }
 
 #[test]
@@ -303,7 +304,11 @@ fn dynamic_binding_adapts_to_late_arrivals() {
     let mut tb = testbed(2);
     let mut camera = TestService::new("camera", jpeg_source_shape(), tb.runtimes[0]);
     // One frame before the TV exists (dropped: no path yet), several after.
-    camera.emit_at.push((SimDuration::from_secs(2), "image-out".to_owned(), jpeg(1024)));
+    camera.emit_at.push((
+        SimDuration::from_secs(2),
+        "image-out".to_owned(),
+        jpeg(1024),
+    ));
     for i in 0..3u64 {
         camera.emit_at.push((
             SimDuration::from_secs(10) + SimDuration::from_millis(50 * i),
@@ -346,7 +351,9 @@ fn dynamic_binding_adapts_to_late_arrivals() {
 fn query_connection_fans_out_to_multiple_sinks() {
     let mut tb = testbed(3);
     let mut camera = TestService::new("camera", jpeg_source_shape(), tb.runtimes[0]);
-    camera.emit_at.push((SimDuration::from_secs(4), "image-out".to_owned(), jpeg(512)));
+    camera
+        .emit_at
+        .push((SimDuration::from_secs(4), "image-out".to_owned(), jpeg(512)));
     tb.world.add_process(tb.nodes[0], Box::new(camera));
 
     let tv1 = TestService::new("tv1", jpeg_sink_shape(), tb.runtimes[1]);
@@ -392,7 +399,11 @@ fn chained_paths_button_camera_tv() {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             let shape = Shape::builder()
                 .digital("shutter", Direction::Input, "text/plain".parse().unwrap())
-                .digital("image-out", Direction::Output, "image/jpeg".parse().unwrap())
+                .digital(
+                    "image-out",
+                    Direction::Output,
+                    "image/jpeg".parse().unwrap(),
+                )
                 .build()
                 .unwrap();
             let mut client = RuntimeClient::new(self.runtime);
@@ -408,7 +419,9 @@ fn chained_paths_button_camera_tv() {
             if handle_input_done_echo(ctx, &msg) {
                 return;
             }
-            let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+            let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+                return;
+            };
             match *event {
                 RuntimeEvent::Registered { translator, .. } => self.id = Some(translator),
                 RuntimeEvent::Input {
@@ -418,10 +431,12 @@ fn chained_paths_button_camera_tv() {
                     ..
                 } => {
                     if port == "shutter" {
-                        self.client
-                            .as_ref()
-                            .expect("set")
-                            .output(ctx, translator, "image-out", jpeg(4096));
+                        self.client.as_ref().expect("set").output(
+                            ctx,
+                            translator,
+                            "image-out",
+                            jpeg(4096),
+                        );
                     }
                     ack_input_done(ctx, self.runtime, connection, translator);
                 }
@@ -446,9 +461,11 @@ fn chained_paths_button_camera_tv() {
             .unwrap(),
         tb.runtimes[0],
     );
-    button
-        .emit_at
-        .push((SimDuration::from_secs(4), "press".to_owned(), UMessage::text("click")));
+    button.emit_at.push((
+        SimDuration::from_secs(4),
+        "press".to_owned(),
+        UMessage::text("click"),
+    ));
     tb.world.add_process(tb.nodes[0], Box::new(button));
     let tv = TestService::new("tv", jpeg_sink_shape(), tb.runtimes[1]);
     let tv_received = Rc::clone(&tv.received);
@@ -485,7 +502,11 @@ fn remote_requester_connect_is_forwarded() {
     // runtime 0 — the connect request must be forwarded and still work.
     let mut tb = testbed(2);
     let mut camera = TestService::new("camera", jpeg_source_shape(), tb.runtimes[0]);
-    camera.emit_at.push((SimDuration::from_secs(4), "image-out".to_owned(), jpeg(1000)));
+    camera.emit_at.push((
+        SimDuration::from_secs(4),
+        "image-out".to_owned(),
+        jpeg(1000),
+    ));
     tb.world.add_process(tb.nodes[0], Box::new(camera));
     let tv = TestService::new("tv", jpeg_sink_shape(), tb.runtimes[1]);
     let tv_received = Rc::clone(&tv.received);
@@ -580,19 +601,22 @@ fn unregister_sends_bye_promptly() {
         }
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             let mut client = RuntimeClient::new(self.runtime);
-            let profile = TranslatorProfile::builder(
-                TranslatorId::new(RuntimeId(u32::MAX), 0),
-                "transient",
-            )
-            .build();
+            let profile =
+                TranslatorProfile::builder(TranslatorId::new(RuntimeId(u32::MAX), 0), "transient")
+                    .build();
             let me = ctx.me();
             client.register(ctx, profile, me);
             self.client = Some(client);
         }
         fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
-            let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+            let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+                return;
+            };
             if let RuntimeEvent::Registered { translator, .. } = *event {
-                self.client.as_ref().expect("set").unregister(ctx, translator);
+                self.client
+                    .as_ref()
+                    .expect("set")
+                    .unregister(ctx, translator);
             }
         }
     }
@@ -610,7 +634,8 @@ fn unregister_sends_bye_promptly() {
     tb.world.run_until(SimTime::from_secs(3));
     let evs = events.borrow();
     assert!(
-        evs.iter().any(|e| matches!(e, DirectoryEvent::Disappeared(_))),
+        evs.iter()
+            .any(|e| matches!(e, DirectoryEvent::Disappeared(_))),
         "{evs:?}"
     );
 }
@@ -772,7 +797,9 @@ fn disconnect_stops_message_flow() {
             }
         }
         fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
-            let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+            let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+                return;
+            };
             match *event {
                 RuntimeEvent::Directory(DirectoryEvent::Appeared(p)) => {
                     if p.name() == "source" {
@@ -815,7 +842,10 @@ fn disconnect_stops_message_flow() {
     let n = received.borrow().len();
     // Emissions at t=2..7 arrive (6 messages); the disconnect at t=8
     // stops the rest, with a little slack for in-flight delivery.
-    assert!((5..=8).contains(&n), "deliveries stopped at disconnect: {n}");
+    assert!(
+        (5..=8).contains(&n),
+        "deliveries stopped at disconnect: {n}"
+    );
 }
 
 #[test]

@@ -112,7 +112,14 @@ mod tests {
         let lib = UsdlLibrary::bundled();
         assert!(lib.len() >= 10, "bundled count: {}", lib.len());
         // Every platform the paper bridges is represented.
-        for platform in ["upnp", "bluetooth", "rmi", "mediabroker", "motes", "webservices"] {
+        for platform in [
+            "upnp",
+            "bluetooth",
+            "rmi",
+            "mediabroker",
+            "motes",
+            "webservices",
+        ] {
             assert!(
                 lib.for_platform(platform).count() > 0,
                 "missing platform {platform}"
@@ -124,7 +131,11 @@ mod tests {
     fn clock_has_fourteen_ports_like_the_paper() {
         let lib = UsdlLibrary::bundled();
         let clock = lib.require("upnp", "urn:umiddle:device:Clock:1").unwrap();
-        assert_eq!(clock.ports().len(), 14, "paper: clock translator has 14 ports");
+        assert_eq!(
+            clock.ports().len(),
+            14,
+            "paper: clock translator has 14 ports"
+        );
     }
 
     #[test]

@@ -227,7 +227,9 @@ impl UsdlDocument {
         root = root.with_child(Element::new("translator").with_attr("generic", &self.generic));
         for (k, v) in &self.attrs {
             root = root.with_child(
-                Element::new("attr").with_attr("key", k).with_attr("value", v),
+                Element::new("attr")
+                    .with_attr("key", k)
+                    .with_attr("value", v),
             );
         }
         for p in &self.ports {
@@ -242,7 +244,9 @@ impl UsdlDocument {
                 );
             match &p.spec.kind {
                 PortKind::Digital(m) => {
-                    e = e.with_attr("kind", "digital").with_attr("mime", m.to_string());
+                    e = e
+                        .with_attr("kind", "digital")
+                        .with_attr("mime", m.to_string());
                 }
                 PortKind::Physical { perception, media } => {
                     e = e
@@ -422,10 +426,8 @@ mod tests {
 
     #[test]
     fn generic_defaults_to_platform() {
-        let doc = UsdlDocument::parse(
-            r#"<usdl device="d" platform="motes" name="Mote"/>"#,
-        )
-        .unwrap();
+        let doc =
+            UsdlDocument::parse(r#"<usdl device="d" platform="motes" name="Mote"/>"#).unwrap();
         assert_eq!(doc.generic(), "motes");
     }
 }

@@ -21,9 +21,7 @@ use umiddle::platform_bluetooth::BipCamera;
 use umiddle::platform_upnp::{MediaRendererLogic, UpnpDevice};
 use umiddle::simnet::{SegmentConfig, SimDuration, SimTime, World};
 use umiddle::umiddle_bridges::{behaviors, BluetoothMapper, NativeService, UpnpMapper};
-use umiddle::umiddle_core::{
-    Direction, RuntimeConfig, RuntimeId, Shape, UMessage, UmiddleRuntime,
-};
+use umiddle::umiddle_core::{Direction, RuntimeConfig, RuntimeId, Shape, UMessage, UmiddleRuntime};
 use umiddle::umiddle_usdl::UsdlLibrary;
 use umiddle::util::{WireRule, Wirer};
 
@@ -58,7 +56,10 @@ fn main() {
     // The native devices on their own platforms.
     let cam_node = world.add_node("camera");
     world.attach(cam_node, pico).unwrap();
-    world.add_process(cam_node, Box::new(BipCamera::new("Pocket Camera", 3, 24_000)));
+    world.add_process(
+        cam_node,
+        Box::new(BipCamera::new("Pocket Camera", 3, 24_000)),
+    );
 
     let tv_node = world.add_node("tv");
     world.attach(tv_node, hub).unwrap();

@@ -56,7 +56,10 @@ fn main() {
     // Gadgets: camera (Bluetooth), TV (UPnP), album (native storage).
     let cam_node = world.add_node("camera");
     world.attach(cam_node, pico).unwrap();
-    world.add_process(cam_node, Box::new(BipCamera::new("Pocket Camera", 2, 12_000)));
+    world.add_process(
+        cam_node,
+        Box::new(BipCamera::new("Pocket Camera", 2, 12_000)),
+    );
     let tv_node = world.add_node("tv");
     world.attach(tv_node, hub).unwrap();
     world.add_process(
@@ -88,9 +91,9 @@ fn main() {
     // Scripted movements.
     let script = [
         (20, "Living Room TV", 0.0, 0.0),
-        (25, "Pocket Camera", 2.0, 1.0), // next to the TV: geoplay
+        (25, "Pocket Camera", 2.0, 1.0),   // next to the TV: geoplay
         (55, "Pocket Camera", 80.0, 40.0), // carried away: teardown
-        (60, "Photo Album", 81.0, 40.0), // next to the camera: geostore
+        (60, "Photo Album", 81.0, 40.0),   // next to the camera: geostore
     ];
     for (when, name, x, y) in script {
         world.add_process(

@@ -16,9 +16,7 @@ use umiddle::platform_upnp::{AirconLogic, ClockLogic, LightLogic, UpnpDevice};
 use umiddle::simnet::{Ctx, ProcId, Process, SegmentConfig, SimDuration, SimTime, World};
 use umiddle::umiddle_apps::{Canvas, Pads, PadsCommand};
 use umiddle::umiddle_bridges::{behaviors, BluetoothMapper, NativeService, UpnpMapper};
-use umiddle::umiddle_core::{
-    Direction, RuntimeConfig, RuntimeId, Shape, UMessage, UmiddleRuntime,
-};
+use umiddle::umiddle_core::{Direction, RuntimeConfig, RuntimeId, Shape, UMessage, UmiddleRuntime};
 use umiddle::umiddle_usdl::UsdlLibrary;
 
 /// Sends a command to a process at a fixed virtual time.
@@ -67,7 +65,10 @@ fn main() {
     // One Bluetooth device.
     let cam_node = world.add_node("camera");
     world.attach(cam_node, pico).unwrap();
-    world.add_process(cam_node, Box::new(BipCamera::new("Pocket Camera", 1, 8_000)));
+    world.add_process(
+        cam_node,
+        Box::new(BipCamera::new("Pocket Camera", 1, 8_000)),
+    );
     world.add_process(
         h1,
         Box::new(BluetoothMapper::with_defaults(rt, UsdlLibrary::bundled())),
@@ -78,15 +79,24 @@ fn main() {
     world.attach(upnp_node, hub).unwrap();
     world.add_process(
         upnp_node,
-        Box::new(UpnpDevice::new(Box::new(ClockLogic::new("Wall Clock", "uuid:c")), 5000)),
+        Box::new(UpnpDevice::new(
+            Box::new(ClockLogic::new("Wall Clock", "uuid:c")),
+            5000,
+        )),
     );
     world.add_process(
         upnp_node,
-        Box::new(UpnpDevice::new(Box::new(LightLogic::new("Desk Light", "uuid:l")), 5001)),
+        Box::new(UpnpDevice::new(
+            Box::new(LightLogic::new("Desk Light", "uuid:l")),
+            5001,
+        )),
     );
     world.add_process(
         upnp_node,
-        Box::new(UpnpDevice::new(Box::new(AirconLogic::new("Window AC", "uuid:a")), 5002)),
+        Box::new(UpnpDevice::new(
+            Box::new(AirconLogic::new("Window AC", "uuid:a")),
+            5002,
+        )),
     );
     world.add_process(
         h1,
@@ -189,5 +199,8 @@ fn main() {
     );
     assert_eq!(canvas.icons.len(), 22, "the paper's twenty-two devices");
     assert!(!received.borrow().is_empty());
-    println!("ok: cross-platform virtual cabling with {} icons", canvas.icons.len());
+    println!(
+        "ok: cross-platform virtual cabling with {} icons",
+        canvas.icons.len()
+    );
 }

@@ -118,8 +118,30 @@ fn main() {
     for (port, msg) in received.borrow().iter() {
         println!("recorder <- {port}: {:?}", msg.body_text().unwrap_or("?"));
     }
+
+    // The observability layer watched the whole run: the runtime's own
+    // metric scope, and a span trail for every message path.
+    println!();
+    println!("runtime rt0 metrics:");
+    for (name, v) in world.trace().metrics().scoped("rt0").counters() {
+        println!("  {name:22} {v}");
+    }
+    if let Some(corr) = world.trace().spans().iter().map(|s| s.corr).next() {
+        println!("one path, reconstructed by correlation id {corr:#x}:");
+        for span in world.trace().spans_for(corr).take(6) {
+            println!(
+                "  {:>12}  {:<16} {}",
+                span.time.to_string(),
+                span.stage,
+                span.detail
+            );
+        }
+    }
     assert!(
-        received.borrow().iter().any(|(_, m)| m.body_text() == Some("1")),
+        received
+            .borrow()
+            .iter()
+            .any(|(_, m)| m.body_text() == Some("1")),
         "the light reported power-state=1"
     );
     println!("ok: the switch controls the light across the UPnP bridge");

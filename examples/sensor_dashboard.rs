@@ -12,10 +12,8 @@
 use umiddle::platform_motes::{BaseStation, Mote};
 use umiddle::platform_webservices::WsServer;
 use umiddle::simnet::{Addr, Ctx, ProcId, Process, SegmentConfig, SimDuration, SimTime, World};
-use umiddle::umiddle_bridges::{MotesMapper, NativeService, WsMapper, behaviors};
-use umiddle::umiddle_core::{
-    Direction, RuntimeConfig, RuntimeId, Shape, UmiddleRuntime,
-};
+use umiddle::umiddle_bridges::{behaviors, MotesMapper, NativeService, WsMapper};
+use umiddle::umiddle_core::{Direction, RuntimeConfig, RuntimeId, Shape, UmiddleRuntime};
 use umiddle::umiddle_usdl::UsdlLibrary;
 use umiddle::util::{WireRule, Wirer};
 
@@ -37,7 +35,10 @@ fn main() {
     for i in 0..3u16 {
         let m_node = world.add_node(format!("mote{i}"));
         world.attach(m_node, radio).unwrap();
-        world.add_process(m_node, Box::new(Mote::new(i + 1, SimDuration::from_secs(4))));
+        world.add_process(
+            m_node,
+            Box::new(Mote::new(i + 1, SimDuration::from_secs(4))),
+        );
     }
     // Base station + motes mapper.
     let mapper = MotesMapper::new(rt, UsdlLibrary::bundled(), None);
@@ -83,7 +84,12 @@ fn main() {
             "Field Log",
             "log-in",
         ));
-        rules.push(WireRule::new(&format!("Mote {i}"), "temperature", "Dashboard", "in"));
+        rules.push(WireRule::new(
+            &format!("Mote {i}"),
+            "temperature",
+            "Dashboard",
+            "in",
+        ));
     }
     world.add_process(h1, Box::new(Wirer::new(rt, rules)));
 
@@ -113,7 +119,10 @@ fn main() {
             .build();
             let me = ctx.me();
             client.register(ctx, profile, me);
-            client.add_listener(ctx, umiddle::umiddle_core::Query::NameContains("Mote".into()));
+            client.add_listener(
+                ctx,
+                umiddle::umiddle_core::Query::NameContains("Mote".into()),
+            );
             self.client = Some(client);
             ctx.set_timer(SimDuration::from_secs(45), 1);
         }
@@ -162,13 +171,12 @@ fn main() {
                 }
                 umiddle::umiddle_core::RuntimeEvent::Directory(
                     umiddle::umiddle_core::DirectoryEvent::Appeared(profile),
-                )
-                    if self.mote_port.is_none() && profile.name().contains("Mote") => {
-                        self.mote_port = Some(umiddle::umiddle_core::PortRef::new(
-                            profile.id(),
-                            "sampling",
-                        ));
-                    }
+                ) if self.mote_port.is_none() && profile.name().contains("Mote") => {
+                    self.mote_port = Some(umiddle::umiddle_core::PortRef::new(
+                        profile.id(),
+                        "sampling",
+                    ));
+                }
                 umiddle::umiddle_core::RuntimeEvent::Connected { .. } => {}
                 _ => {}
             }
@@ -186,7 +194,10 @@ fn main() {
 
     println!("sensor dashboard: motes -> uMiddle -> web-service log");
     println!("-------------------------------------------------------");
-    println!("motes mapped            : {}", motes_stats.borrow().mappings.len());
+    println!(
+        "motes mapped            : {}",
+        motes_stats.borrow().mappings.len()
+    );
     println!(
         "readings heard by base  : {}",
         world.trace().counter("motes.readings_received")

@@ -4,9 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use simnet::{Ctx, LocalMessage, ProcId, Process};
-use umiddle_core::{
-    DirectoryEvent, PortRef, QosPolicy, Query, RuntimeClient, RuntimeEvent,
-};
+use umiddle_core::{DirectoryEvent, PortRef, QosPolicy, Query, RuntimeClient, RuntimeEvent};
 
 /// A declarative wiring rule: connect `src` to `dst` (matched by
 /// translator-name substring and port name) as soon as both appear in
@@ -114,7 +112,9 @@ impl Process for Wirer {
     }
 
     fn on_local(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
-        let Ok(event) = msg.downcast::<RuntimeEvent>() else { return };
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+            return;
+        };
         match *event {
             RuntimeEvent::Directory(DirectoryEvent::Appeared(profile)) => {
                 for (i, rule) in self.rules.iter().enumerate() {

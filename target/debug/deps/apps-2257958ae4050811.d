@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps-2257958ae4050811.d: crates/umiddle-apps/tests/apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps-2257958ae4050811.rmeta: crates/umiddle-apps/tests/apps.rs Cargo.toml
+
+crates/umiddle-apps/tests/apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

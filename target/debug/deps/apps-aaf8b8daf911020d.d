@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps-aaf8b8daf911020d.d: crates/umiddle-apps/tests/apps.rs
+
+/root/repo/target/debug/deps/apps-aaf8b8daf911020d: crates/umiddle-apps/tests/apps.rs
+
+crates/umiddle-apps/tests/apps.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bench-0c12da9d34b3580d.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-0c12da9d34b3580d.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fixtures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-b8b2986ba80ed546.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-b8b2986ba80ed546.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-b8b2986ba80ed546.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fixtures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/timing.rs:

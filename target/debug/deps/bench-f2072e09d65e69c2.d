@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-f2072e09d65e69c2.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/bench-f2072e09d65e69c2: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fixtures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/timing.rs:

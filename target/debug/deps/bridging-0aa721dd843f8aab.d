@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bridging-0aa721dd843f8aab.d: crates/umiddle-bridges/tests/bridging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbridging-0aa721dd843f8aab.rmeta: crates/umiddle-bridges/tests/bridging.rs Cargo.toml
+
+crates/umiddle-bridges/tests/bridging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bridging-0b87d0c8ecda8b7d.d: crates/umiddle-bridges/tests/bridging.rs
+
+/root/repo/target/debug/deps/bridging-0b87d0c8ecda8b7d: crates/umiddle-bridges/tests/bridging.rs
+
+crates/umiddle-bridges/tests/bridging.rs:

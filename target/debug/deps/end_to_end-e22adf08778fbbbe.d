@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e22adf08778fbbbe.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e22adf08778fbbbe: tests/end_to_end.rs
+
+tests/end_to_end.rs:

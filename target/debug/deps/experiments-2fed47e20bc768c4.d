@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-2fed47e20bc768c4.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-2fed47e20bc768c4: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

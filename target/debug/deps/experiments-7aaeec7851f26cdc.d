@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7aaeec7851f26cdc.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-7aaeec7851f26cdc: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

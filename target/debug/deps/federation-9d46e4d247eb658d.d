@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/federation-9d46e4d247eb658d.d: crates/umiddle-core/tests/federation.rs
+
+/root/repo/target/debug/deps/federation-9d46e4d247eb658d: crates/umiddle-core/tests/federation.rs
+
+crates/umiddle-core/tests/federation.rs:

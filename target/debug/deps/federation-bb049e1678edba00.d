@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/federation-bb049e1678edba00.d: crates/umiddle-core/tests/federation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfederation-bb049e1678edba00.rmeta: crates/umiddle-core/tests/federation.rs Cargo.toml
+
+crates/umiddle-core/tests/federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

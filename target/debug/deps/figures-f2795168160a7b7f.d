@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-f2795168160a7b7f.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-f2795168160a7b7f: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

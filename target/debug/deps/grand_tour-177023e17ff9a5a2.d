@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grand_tour-177023e17ff9a5a2.d: tests/grand_tour.rs
+
+/root/repo/target/debug/deps/grand_tour-177023e17ff9a5a2: tests/grand_tour.rs
+
+tests/grand_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grand_tour-6d1c8c21e5b53856.d: tests/grand_tour.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrand_tour-6d1c8c21e5b53856.rmeta: tests/grand_tour.rs Cargo.toml
+
+tests/grand_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-255991301aa17fb9.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-255991301aa17fb9: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

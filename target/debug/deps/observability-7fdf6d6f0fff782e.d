@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-7fdf6d6f0fff782e.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-7fdf6d6f0fff782e: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/platform_bluetooth-caa9cb0b197105b3.d: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_bluetooth-caa9cb0b197105b3.rmeta: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs Cargo.toml
+
+crates/platform-bluetooth/src/lib.rs:
+crates/platform-bluetooth/src/bip.rs:
+crates/platform-bluetooth/src/calib.rs:
+crates/platform-bluetooth/src/device.rs:
+crates/platform-bluetooth/src/hidp.rs:
+crates/platform-bluetooth/src/obex.rs:
+crates/platform-bluetooth/src/sdp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/platform_bluetooth-e3beeb13d3a30440.d: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs
+
+/root/repo/target/debug/deps/libplatform_bluetooth-e3beeb13d3a30440.rlib: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs
+
+/root/repo/target/debug/deps/libplatform_bluetooth-e3beeb13d3a30440.rmeta: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs
+
+crates/platform-bluetooth/src/lib.rs:
+crates/platform-bluetooth/src/bip.rs:
+crates/platform-bluetooth/src/calib.rs:
+crates/platform-bluetooth/src/device.rs:
+crates/platform-bluetooth/src/hidp.rs:
+crates/platform-bluetooth/src/obex.rs:
+crates/platform-bluetooth/src/sdp.rs:

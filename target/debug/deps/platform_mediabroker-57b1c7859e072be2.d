@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/platform_mediabroker-57b1c7859e072be2.d: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_mediabroker-57b1c7859e072be2.rmeta: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs Cargo.toml
+
+crates/platform-mediabroker/src/lib.rs:
+crates/platform-mediabroker/src/broker.rs:
+crates/platform-mediabroker/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

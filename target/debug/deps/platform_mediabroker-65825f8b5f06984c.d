@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/platform_mediabroker-65825f8b5f06984c.d: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_mediabroker-65825f8b5f06984c.rmeta: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs Cargo.toml
+
+crates/platform-mediabroker/src/lib.rs:
+crates/platform-mediabroker/src/broker.rs:
+crates/platform-mediabroker/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/platform_mediabroker-680e23de0b0b3f79.d: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs
+
+/root/repo/target/debug/deps/platform_mediabroker-680e23de0b0b3f79: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs
+
+crates/platform-mediabroker/src/lib.rs:
+crates/platform-mediabroker/src/broker.rs:
+crates/platform-mediabroker/src/types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platform_mediabroker-9138d1b56c291f71.d: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs
+
+/root/repo/target/debug/deps/libplatform_mediabroker-9138d1b56c291f71.rlib: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs
+
+/root/repo/target/debug/deps/libplatform_mediabroker-9138d1b56c291f71.rmeta: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs
+
+crates/platform-mediabroker/src/lib.rs:
+crates/platform-mediabroker/src/broker.rs:
+crates/platform-mediabroker/src/types.rs:

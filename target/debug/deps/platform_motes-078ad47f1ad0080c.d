@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platform_motes-078ad47f1ad0080c.d: crates/platform-motes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_motes-078ad47f1ad0080c.rmeta: crates/platform-motes/src/lib.rs Cargo.toml
+
+crates/platform-motes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/platform_motes-a08e6211578da18d.d: crates/platform-motes/src/lib.rs
+
+/root/repo/target/debug/deps/libplatform_motes-a08e6211578da18d.rlib: crates/platform-motes/src/lib.rs
+
+/root/repo/target/debug/deps/libplatform_motes-a08e6211578da18d.rmeta: crates/platform-motes/src/lib.rs
+
+crates/platform-motes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/platform_motes-dcdfcac1999796c6.d: crates/platform-motes/src/lib.rs
+
+/root/repo/target/debug/deps/platform_motes-dcdfcac1999796c6: crates/platform-motes/src/lib.rs
+
+crates/platform-motes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platform_motes-f77f69a9a3cdc4c4.d: crates/platform-motes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_motes-f77f69a9a3cdc4c4.rmeta: crates/platform-motes/src/lib.rs Cargo.toml
+
+crates/platform-motes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/platform_rmi-00ac33647c87764f.d: crates/platform-rmi/src/lib.rs crates/platform-rmi/src/calib.rs crates/platform-rmi/src/marshal.rs crates/platform-rmi/src/protocol.rs crates/platform-rmi/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_rmi-00ac33647c87764f.rmeta: crates/platform-rmi/src/lib.rs crates/platform-rmi/src/calib.rs crates/platform-rmi/src/marshal.rs crates/platform-rmi/src/protocol.rs crates/platform-rmi/src/service.rs Cargo.toml
+
+crates/platform-rmi/src/lib.rs:
+crates/platform-rmi/src/calib.rs:
+crates/platform-rmi/src/marshal.rs:
+crates/platform-rmi/src/protocol.rs:
+crates/platform-rmi/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

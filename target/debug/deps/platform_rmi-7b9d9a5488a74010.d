@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/platform_rmi-7b9d9a5488a74010.d: crates/platform-rmi/src/lib.rs crates/platform-rmi/src/calib.rs crates/platform-rmi/src/marshal.rs crates/platform-rmi/src/protocol.rs crates/platform-rmi/src/service.rs
+
+/root/repo/target/debug/deps/libplatform_rmi-7b9d9a5488a74010.rlib: crates/platform-rmi/src/lib.rs crates/platform-rmi/src/calib.rs crates/platform-rmi/src/marshal.rs crates/platform-rmi/src/protocol.rs crates/platform-rmi/src/service.rs
+
+/root/repo/target/debug/deps/libplatform_rmi-7b9d9a5488a74010.rmeta: crates/platform-rmi/src/lib.rs crates/platform-rmi/src/calib.rs crates/platform-rmi/src/marshal.rs crates/platform-rmi/src/protocol.rs crates/platform-rmi/src/service.rs
+
+crates/platform-rmi/src/lib.rs:
+crates/platform-rmi/src/calib.rs:
+crates/platform-rmi/src/marshal.rs:
+crates/platform-rmi/src/protocol.rs:
+crates/platform-rmi/src/service.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platform_rmi-c81b217084f5fc41.d: crates/platform-rmi/src/lib.rs crates/platform-rmi/src/calib.rs crates/platform-rmi/src/marshal.rs crates/platform-rmi/src/protocol.rs crates/platform-rmi/src/service.rs
+
+/root/repo/target/debug/deps/platform_rmi-c81b217084f5fc41: crates/platform-rmi/src/lib.rs crates/platform-rmi/src/calib.rs crates/platform-rmi/src/marshal.rs crates/platform-rmi/src/protocol.rs crates/platform-rmi/src/service.rs
+
+crates/platform-rmi/src/lib.rs:
+crates/platform-rmi/src/calib.rs:
+crates/platform-rmi/src/marshal.rs:
+crates/platform-rmi/src/protocol.rs:
+crates/platform-rmi/src/service.rs:

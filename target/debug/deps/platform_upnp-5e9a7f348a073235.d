@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/platform_upnp-5e9a7f348a073235.d: crates/platform-upnp/src/lib.rs crates/platform-upnp/src/calib.rs crates/platform-upnp/src/client.rs crates/platform-upnp/src/description.rs crates/platform-upnp/src/device.rs crates/platform-upnp/src/devices.rs crates/platform-upnp/src/gena.rs crates/platform-upnp/src/http.rs crates/platform-upnp/src/soap.rs crates/platform-upnp/src/ssdp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_upnp-5e9a7f348a073235.rmeta: crates/platform-upnp/src/lib.rs crates/platform-upnp/src/calib.rs crates/platform-upnp/src/client.rs crates/platform-upnp/src/description.rs crates/platform-upnp/src/device.rs crates/platform-upnp/src/devices.rs crates/platform-upnp/src/gena.rs crates/platform-upnp/src/http.rs crates/platform-upnp/src/soap.rs crates/platform-upnp/src/ssdp.rs Cargo.toml
+
+crates/platform-upnp/src/lib.rs:
+crates/platform-upnp/src/calib.rs:
+crates/platform-upnp/src/client.rs:
+crates/platform-upnp/src/description.rs:
+crates/platform-upnp/src/device.rs:
+crates/platform-upnp/src/devices.rs:
+crates/platform-upnp/src/gena.rs:
+crates/platform-upnp/src/http.rs:
+crates/platform-upnp/src/soap.rs:
+crates/platform-upnp/src/ssdp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

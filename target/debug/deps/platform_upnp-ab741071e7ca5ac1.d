@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/platform_upnp-ab741071e7ca5ac1.d: crates/platform-upnp/src/lib.rs crates/platform-upnp/src/calib.rs crates/platform-upnp/src/client.rs crates/platform-upnp/src/description.rs crates/platform-upnp/src/device.rs crates/platform-upnp/src/devices.rs crates/platform-upnp/src/gena.rs crates/platform-upnp/src/http.rs crates/platform-upnp/src/soap.rs crates/platform-upnp/src/ssdp.rs
+
+/root/repo/target/debug/deps/platform_upnp-ab741071e7ca5ac1: crates/platform-upnp/src/lib.rs crates/platform-upnp/src/calib.rs crates/platform-upnp/src/client.rs crates/platform-upnp/src/description.rs crates/platform-upnp/src/device.rs crates/platform-upnp/src/devices.rs crates/platform-upnp/src/gena.rs crates/platform-upnp/src/http.rs crates/platform-upnp/src/soap.rs crates/platform-upnp/src/ssdp.rs
+
+crates/platform-upnp/src/lib.rs:
+crates/platform-upnp/src/calib.rs:
+crates/platform-upnp/src/client.rs:
+crates/platform-upnp/src/description.rs:
+crates/platform-upnp/src/device.rs:
+crates/platform-upnp/src/devices.rs:
+crates/platform-upnp/src/gena.rs:
+crates/platform-upnp/src/http.rs:
+crates/platform-upnp/src/soap.rs:
+crates/platform-upnp/src/ssdp.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/platform_upnp-cd636d6335eba2d9.d: crates/platform-upnp/src/lib.rs crates/platform-upnp/src/calib.rs crates/platform-upnp/src/client.rs crates/platform-upnp/src/description.rs crates/platform-upnp/src/device.rs crates/platform-upnp/src/devices.rs crates/platform-upnp/src/gena.rs crates/platform-upnp/src/http.rs crates/platform-upnp/src/soap.rs crates/platform-upnp/src/ssdp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_upnp-cd636d6335eba2d9.rmeta: crates/platform-upnp/src/lib.rs crates/platform-upnp/src/calib.rs crates/platform-upnp/src/client.rs crates/platform-upnp/src/description.rs crates/platform-upnp/src/device.rs crates/platform-upnp/src/devices.rs crates/platform-upnp/src/gena.rs crates/platform-upnp/src/http.rs crates/platform-upnp/src/soap.rs crates/platform-upnp/src/ssdp.rs Cargo.toml
+
+crates/platform-upnp/src/lib.rs:
+crates/platform-upnp/src/calib.rs:
+crates/platform-upnp/src/client.rs:
+crates/platform-upnp/src/description.rs:
+crates/platform-upnp/src/device.rs:
+crates/platform-upnp/src/devices.rs:
+crates/platform-upnp/src/gena.rs:
+crates/platform-upnp/src/http.rs:
+crates/platform-upnp/src/soap.rs:
+crates/platform-upnp/src/ssdp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/platform_webservices-1541229249ade415.d: crates/platform-webservices/src/lib.rs
+
+/root/repo/target/debug/deps/libplatform_webservices-1541229249ade415.rlib: crates/platform-webservices/src/lib.rs
+
+/root/repo/target/debug/deps/libplatform_webservices-1541229249ade415.rmeta: crates/platform-webservices/src/lib.rs
+
+crates/platform-webservices/src/lib.rs:

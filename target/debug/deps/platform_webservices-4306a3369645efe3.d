@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platform_webservices-4306a3369645efe3.d: crates/platform-webservices/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_webservices-4306a3369645efe3.rmeta: crates/platform-webservices/src/lib.rs Cargo.toml
+
+crates/platform-webservices/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

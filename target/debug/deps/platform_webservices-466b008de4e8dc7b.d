@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/platform_webservices-466b008de4e8dc7b.d: crates/platform-webservices/src/lib.rs
+
+/root/repo/target/debug/deps/platform_webservices-466b008de4e8dc7b: crates/platform-webservices/src/lib.rs
+
+crates/platform-webservices/src/lib.rs:

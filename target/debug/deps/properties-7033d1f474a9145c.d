@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7033d1f474a9145c.d: crates/simnet/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7033d1f474a9145c.rmeta: crates/simnet/tests/properties.rs Cargo.toml
+
+crates/simnet/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8899601dd9005016.d: crates/umiddle-usdl/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8899601dd9005016: crates/umiddle-usdl/tests/properties.rs
+
+crates/umiddle-usdl/tests/properties.rs:

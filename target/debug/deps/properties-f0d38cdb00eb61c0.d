@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f0d38cdb00eb61c0.d: crates/simnet/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f0d38cdb00eb61c0: crates/simnet/tests/properties.rs
+
+crates/simnet/tests/properties.rs:

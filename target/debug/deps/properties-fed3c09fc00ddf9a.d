@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-fed3c09fc00ddf9a.d: crates/umiddle-usdl/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-fed3c09fc00ddf9a.rmeta: crates/umiddle-usdl/tests/properties.rs Cargo.toml
+
+crates/umiddle-usdl/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/umiddle-7db622b279bd980b.d: src/lib.rs src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libumiddle-7db622b279bd980b.rmeta: src/lib.rs src/util.rs Cargo.toml
+
+src/lib.rs:
+src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

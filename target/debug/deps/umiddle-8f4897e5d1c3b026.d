@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/umiddle-8f4897e5d1c3b026.d: src/lib.rs src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libumiddle-8f4897e5d1c3b026.rmeta: src/lib.rs src/util.rs Cargo.toml
+
+src/lib.rs:
+src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

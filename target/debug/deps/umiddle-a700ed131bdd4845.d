@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/umiddle-a700ed131bdd4845.d: src/lib.rs src/util.rs
+
+/root/repo/target/debug/deps/umiddle-a700ed131bdd4845: src/lib.rs src/util.rs
+
+src/lib.rs:
+src/util.rs:

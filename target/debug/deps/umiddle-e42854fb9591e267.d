@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/umiddle-e42854fb9591e267.d: src/lib.rs src/util.rs
+
+/root/repo/target/debug/deps/libumiddle-e42854fb9591e267.rlib: src/lib.rs src/util.rs
+
+/root/repo/target/debug/deps/libumiddle-e42854fb9591e267.rmeta: src/lib.rs src/util.rs
+
+src/lib.rs:
+src/util.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/umiddle_apps-5118f7b66e0a0c6b.d: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs
+
+/root/repo/target/debug/deps/libumiddle_apps-5118f7b66e0a0c6b.rlib: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs
+
+/root/repo/target/debug/deps/libumiddle_apps-5118f7b66e0a0c6b.rmeta: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs
+
+crates/umiddle-apps/src/lib.rs:
+crates/umiddle-apps/src/g2ui.rs:
+crates/umiddle-apps/src/pads.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/umiddle_apps-5f7bb56add5877d1.d: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libumiddle_apps-5f7bb56add5877d1.rmeta: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs Cargo.toml
+
+crates/umiddle-apps/src/lib.rs:
+crates/umiddle-apps/src/g2ui.rs:
+crates/umiddle-apps/src/pads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/umiddle_apps-6bb0ea938e799fc1.d: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs
+
+/root/repo/target/debug/deps/umiddle_apps-6bb0ea938e799fc1: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs
+
+crates/umiddle-apps/src/lib.rs:
+crates/umiddle-apps/src/g2ui.rs:
+crates/umiddle-apps/src/pads.rs:

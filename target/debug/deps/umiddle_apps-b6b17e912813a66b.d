@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/umiddle_apps-b6b17e912813a66b.d: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libumiddle_apps-b6b17e912813a66b.rmeta: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs Cargo.toml
+
+crates/umiddle-apps/src/lib.rs:
+crates/umiddle-apps/src/g2ui.rs:
+crates/umiddle-apps/src/pads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

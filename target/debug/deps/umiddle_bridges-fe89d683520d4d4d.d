@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/umiddle_bridges-fe89d683520d4d4d.d: crates/umiddle-bridges/src/lib.rs crates/umiddle-bridges/src/bluetooth.rs crates/umiddle-bridges/src/calib.rs crates/umiddle-bridges/src/direct.rs crates/umiddle-bridges/src/mediabroker.rs crates/umiddle-bridges/src/motes.rs crates/umiddle-bridges/src/native.rs crates/umiddle-bridges/src/obs.rs crates/umiddle-bridges/src/rmi.rs crates/umiddle-bridges/src/scatter.rs crates/umiddle-bridges/src/upnp.rs crates/umiddle-bridges/src/webservices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libumiddle_bridges-fe89d683520d4d4d.rmeta: crates/umiddle-bridges/src/lib.rs crates/umiddle-bridges/src/bluetooth.rs crates/umiddle-bridges/src/calib.rs crates/umiddle-bridges/src/direct.rs crates/umiddle-bridges/src/mediabroker.rs crates/umiddle-bridges/src/motes.rs crates/umiddle-bridges/src/native.rs crates/umiddle-bridges/src/obs.rs crates/umiddle-bridges/src/rmi.rs crates/umiddle-bridges/src/scatter.rs crates/umiddle-bridges/src/upnp.rs crates/umiddle-bridges/src/webservices.rs Cargo.toml
+
+crates/umiddle-bridges/src/lib.rs:
+crates/umiddle-bridges/src/bluetooth.rs:
+crates/umiddle-bridges/src/calib.rs:
+crates/umiddle-bridges/src/direct.rs:
+crates/umiddle-bridges/src/mediabroker.rs:
+crates/umiddle-bridges/src/motes.rs:
+crates/umiddle-bridges/src/native.rs:
+crates/umiddle-bridges/src/obs.rs:
+crates/umiddle-bridges/src/rmi.rs:
+crates/umiddle-bridges/src/scatter.rs:
+crates/umiddle-bridges/src/upnp.rs:
+crates/umiddle-bridges/src/webservices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/umiddle_core-4104cad82fcce1bb.d: crates/umiddle-core/src/lib.rs crates/umiddle-core/src/api.rs crates/umiddle-core/src/design_space.rs crates/umiddle-core/src/directory.rs crates/umiddle-core/src/error.rs crates/umiddle-core/src/id.rs crates/umiddle-core/src/message.rs crates/umiddle-core/src/mime.rs crates/umiddle-core/src/profile.rs crates/umiddle-core/src/qos.rs crates/umiddle-core/src/query.rs crates/umiddle-core/src/runtime.rs crates/umiddle-core/src/shape.rs crates/umiddle-core/src/wire.rs
+
+/root/repo/target/debug/deps/umiddle_core-4104cad82fcce1bb: crates/umiddle-core/src/lib.rs crates/umiddle-core/src/api.rs crates/umiddle-core/src/design_space.rs crates/umiddle-core/src/directory.rs crates/umiddle-core/src/error.rs crates/umiddle-core/src/id.rs crates/umiddle-core/src/message.rs crates/umiddle-core/src/mime.rs crates/umiddle-core/src/profile.rs crates/umiddle-core/src/qos.rs crates/umiddle-core/src/query.rs crates/umiddle-core/src/runtime.rs crates/umiddle-core/src/shape.rs crates/umiddle-core/src/wire.rs
+
+crates/umiddle-core/src/lib.rs:
+crates/umiddle-core/src/api.rs:
+crates/umiddle-core/src/design_space.rs:
+crates/umiddle-core/src/directory.rs:
+crates/umiddle-core/src/error.rs:
+crates/umiddle-core/src/id.rs:
+crates/umiddle-core/src/message.rs:
+crates/umiddle-core/src/mime.rs:
+crates/umiddle-core/src/profile.rs:
+crates/umiddle-core/src/qos.rs:
+crates/umiddle-core/src/query.rs:
+crates/umiddle-core/src/runtime.rs:
+crates/umiddle-core/src/shape.rs:
+crates/umiddle-core/src/wire.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/umiddle_core-94d56369a5a1c42f.d: crates/umiddle-core/src/lib.rs crates/umiddle-core/src/api.rs crates/umiddle-core/src/design_space.rs crates/umiddle-core/src/directory.rs crates/umiddle-core/src/error.rs crates/umiddle-core/src/id.rs crates/umiddle-core/src/message.rs crates/umiddle-core/src/mime.rs crates/umiddle-core/src/profile.rs crates/umiddle-core/src/qos.rs crates/umiddle-core/src/query.rs crates/umiddle-core/src/runtime.rs crates/umiddle-core/src/shape.rs crates/umiddle-core/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libumiddle_core-94d56369a5a1c42f.rmeta: crates/umiddle-core/src/lib.rs crates/umiddle-core/src/api.rs crates/umiddle-core/src/design_space.rs crates/umiddle-core/src/directory.rs crates/umiddle-core/src/error.rs crates/umiddle-core/src/id.rs crates/umiddle-core/src/message.rs crates/umiddle-core/src/mime.rs crates/umiddle-core/src/profile.rs crates/umiddle-core/src/qos.rs crates/umiddle-core/src/query.rs crates/umiddle-core/src/runtime.rs crates/umiddle-core/src/shape.rs crates/umiddle-core/src/wire.rs Cargo.toml
+
+crates/umiddle-core/src/lib.rs:
+crates/umiddle-core/src/api.rs:
+crates/umiddle-core/src/design_space.rs:
+crates/umiddle-core/src/directory.rs:
+crates/umiddle-core/src/error.rs:
+crates/umiddle-core/src/id.rs:
+crates/umiddle-core/src/message.rs:
+crates/umiddle-core/src/mime.rs:
+crates/umiddle-core/src/profile.rs:
+crates/umiddle-core/src/qos.rs:
+crates/umiddle-core/src/query.rs:
+crates/umiddle-core/src/runtime.rs:
+crates/umiddle-core/src/shape.rs:
+crates/umiddle-core/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/umiddle_usdl-4f7a0a86522e5687.d: crates/umiddle-usdl/src/lib.rs crates/umiddle-usdl/src/builtin.rs crates/umiddle-usdl/src/library.rs crates/umiddle-usdl/src/schema.rs crates/umiddle-usdl/src/xml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libumiddle_usdl-4f7a0a86522e5687.rmeta: crates/umiddle-usdl/src/lib.rs crates/umiddle-usdl/src/builtin.rs crates/umiddle-usdl/src/library.rs crates/umiddle-usdl/src/schema.rs crates/umiddle-usdl/src/xml.rs Cargo.toml
+
+crates/umiddle-usdl/src/lib.rs:
+crates/umiddle-usdl/src/builtin.rs:
+crates/umiddle-usdl/src/library.rs:
+crates/umiddle-usdl/src/schema.rs:
+crates/umiddle-usdl/src/xml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

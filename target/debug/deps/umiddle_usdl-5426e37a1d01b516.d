@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/umiddle_usdl-5426e37a1d01b516.d: crates/umiddle-usdl/src/lib.rs crates/umiddle-usdl/src/builtin.rs crates/umiddle-usdl/src/library.rs crates/umiddle-usdl/src/schema.rs crates/umiddle-usdl/src/xml.rs
+
+/root/repo/target/debug/deps/libumiddle_usdl-5426e37a1d01b516.rlib: crates/umiddle-usdl/src/lib.rs crates/umiddle-usdl/src/builtin.rs crates/umiddle-usdl/src/library.rs crates/umiddle-usdl/src/schema.rs crates/umiddle-usdl/src/xml.rs
+
+/root/repo/target/debug/deps/libumiddle_usdl-5426e37a1d01b516.rmeta: crates/umiddle-usdl/src/lib.rs crates/umiddle-usdl/src/builtin.rs crates/umiddle-usdl/src/library.rs crates/umiddle-usdl/src/schema.rs crates/umiddle-usdl/src/xml.rs
+
+crates/umiddle-usdl/src/lib.rs:
+crates/umiddle-usdl/src/builtin.rs:
+crates/umiddle-usdl/src/library.rs:
+crates/umiddle-usdl/src/schema.rs:
+crates/umiddle-usdl/src/xml.rs:

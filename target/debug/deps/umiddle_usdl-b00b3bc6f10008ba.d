@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/umiddle_usdl-b00b3bc6f10008ba.d: crates/umiddle-usdl/src/lib.rs crates/umiddle-usdl/src/builtin.rs crates/umiddle-usdl/src/library.rs crates/umiddle-usdl/src/schema.rs crates/umiddle-usdl/src/xml.rs
+
+/root/repo/target/debug/deps/umiddle_usdl-b00b3bc6f10008ba: crates/umiddle-usdl/src/lib.rs crates/umiddle-usdl/src/builtin.rs crates/umiddle-usdl/src/library.rs crates/umiddle-usdl/src/schema.rs crates/umiddle-usdl/src/xml.rs
+
+crates/umiddle-usdl/src/lib.rs:
+crates/umiddle-usdl/src/builtin.rs:
+crates/umiddle-usdl/src/library.rs:
+crates/umiddle-usdl/src/schema.rs:
+crates/umiddle-usdl/src/xml.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/camera_to_tv-e64468158f1bbe5c.d: examples/camera_to_tv.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcamera_to_tv-e64468158f1bbe5c.rmeta: examples/camera_to_tv.rs Cargo.toml
+
+examples/camera_to_tv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/camera_to_tv-f96b1c0c7416cdee.d: examples/camera_to_tv.rs
+
+/root/repo/target/debug/examples/camera_to_tv-f96b1c0c7416cdee: examples/camera_to_tv.rs
+
+examples/camera_to_tv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/g2ui_atlas-02da5ac801b98d5d.d: examples/g2ui_atlas.rs
+
+/root/repo/target/debug/examples/g2ui_atlas-02da5ac801b98d5d: examples/g2ui_atlas.rs
+
+examples/g2ui_atlas.rs:

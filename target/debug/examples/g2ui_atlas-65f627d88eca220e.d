@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/g2ui_atlas-65f627d88eca220e.d: examples/g2ui_atlas.rs Cargo.toml
+
+/root/repo/target/debug/examples/libg2ui_atlas-65f627d88eca220e.rmeta: examples/g2ui_atlas.rs Cargo.toml
+
+examples/g2ui_atlas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pads_demo-5960e2607beaa8af.d: examples/pads_demo.rs
+
+/root/repo/target/debug/examples/pads_demo-5960e2607beaa8af: examples/pads_demo.rs
+
+examples/pads_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pads_demo-cfd496dd742ad6ed.d: examples/pads_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpads_demo-cfd496dd742ad6ed.rmeta: examples/pads_demo.rs Cargo.toml
+
+examples/pads_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-83daaa1e43a5da68.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-83daaa1e43a5da68: examples/quickstart.rs
+
+examples/quickstart.rs:

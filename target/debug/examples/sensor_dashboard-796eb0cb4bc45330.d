@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_dashboard-796eb0cb4bc45330.d: examples/sensor_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_dashboard-796eb0cb4bc45330.rmeta: examples/sensor_dashboard.rs Cargo.toml
+
+examples/sensor_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_dashboard-fd009fa2ebfc3d7e.d: examples/sensor_dashboard.rs
+
+/root/repo/target/debug/examples/sensor_dashboard-fd009fa2ebfc3d7e: examples/sensor_dashboard.rs
+
+examples/sensor_dashboard.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bench-81d0c43fd7f40a1d.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench-81d0c43fd7f40a1d.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench-81d0c43fd7f40a1d.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fixtures.rs crates/bench/src/report.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fixtures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/timing.rs:

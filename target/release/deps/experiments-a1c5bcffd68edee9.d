@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-a1c5bcffd68edee9.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-a1c5bcffd68edee9: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/platform_bluetooth-6c7c3cdf9c49aaee.d: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs
+
+/root/repo/target/release/deps/libplatform_bluetooth-6c7c3cdf9c49aaee.rlib: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs
+
+/root/repo/target/release/deps/libplatform_bluetooth-6c7c3cdf9c49aaee.rmeta: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs
+
+crates/platform-bluetooth/src/lib.rs:
+crates/platform-bluetooth/src/bip.rs:
+crates/platform-bluetooth/src/calib.rs:
+crates/platform-bluetooth/src/device.rs:
+crates/platform-bluetooth/src/hidp.rs:
+crates/platform-bluetooth/src/obex.rs:
+crates/platform-bluetooth/src/sdp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/platform_mediabroker-534307e29a1157f3.d: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs
+
+/root/repo/target/release/deps/libplatform_mediabroker-534307e29a1157f3.rlib: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs
+
+/root/repo/target/release/deps/libplatform_mediabroker-534307e29a1157f3.rmeta: crates/platform-mediabroker/src/lib.rs crates/platform-mediabroker/src/broker.rs crates/platform-mediabroker/src/types.rs
+
+crates/platform-mediabroker/src/lib.rs:
+crates/platform-mediabroker/src/broker.rs:
+crates/platform-mediabroker/src/types.rs:

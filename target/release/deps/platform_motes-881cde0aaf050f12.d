@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/platform_motes-881cde0aaf050f12.d: crates/platform-motes/src/lib.rs
+
+/root/repo/target/release/deps/libplatform_motes-881cde0aaf050f12.rlib: crates/platform-motes/src/lib.rs
+
+/root/repo/target/release/deps/libplatform_motes-881cde0aaf050f12.rmeta: crates/platform-motes/src/lib.rs
+
+crates/platform-motes/src/lib.rs:

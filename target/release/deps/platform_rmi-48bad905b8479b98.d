@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/platform_rmi-48bad905b8479b98.d: crates/platform-rmi/src/lib.rs crates/platform-rmi/src/calib.rs crates/platform-rmi/src/marshal.rs crates/platform-rmi/src/protocol.rs crates/platform-rmi/src/service.rs
+
+/root/repo/target/release/deps/libplatform_rmi-48bad905b8479b98.rlib: crates/platform-rmi/src/lib.rs crates/platform-rmi/src/calib.rs crates/platform-rmi/src/marshal.rs crates/platform-rmi/src/protocol.rs crates/platform-rmi/src/service.rs
+
+/root/repo/target/release/deps/libplatform_rmi-48bad905b8479b98.rmeta: crates/platform-rmi/src/lib.rs crates/platform-rmi/src/calib.rs crates/platform-rmi/src/marshal.rs crates/platform-rmi/src/protocol.rs crates/platform-rmi/src/service.rs
+
+crates/platform-rmi/src/lib.rs:
+crates/platform-rmi/src/calib.rs:
+crates/platform-rmi/src/marshal.rs:
+crates/platform-rmi/src/protocol.rs:
+crates/platform-rmi/src/service.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/platform_upnp-3015d5f7d581eb9a.d: crates/platform-upnp/src/lib.rs crates/platform-upnp/src/calib.rs crates/platform-upnp/src/client.rs crates/platform-upnp/src/description.rs crates/platform-upnp/src/device.rs crates/platform-upnp/src/devices.rs crates/platform-upnp/src/gena.rs crates/platform-upnp/src/http.rs crates/platform-upnp/src/soap.rs crates/platform-upnp/src/ssdp.rs
+
+/root/repo/target/release/deps/libplatform_upnp-3015d5f7d581eb9a.rlib: crates/platform-upnp/src/lib.rs crates/platform-upnp/src/calib.rs crates/platform-upnp/src/client.rs crates/platform-upnp/src/description.rs crates/platform-upnp/src/device.rs crates/platform-upnp/src/devices.rs crates/platform-upnp/src/gena.rs crates/platform-upnp/src/http.rs crates/platform-upnp/src/soap.rs crates/platform-upnp/src/ssdp.rs
+
+/root/repo/target/release/deps/libplatform_upnp-3015d5f7d581eb9a.rmeta: crates/platform-upnp/src/lib.rs crates/platform-upnp/src/calib.rs crates/platform-upnp/src/client.rs crates/platform-upnp/src/description.rs crates/platform-upnp/src/device.rs crates/platform-upnp/src/devices.rs crates/platform-upnp/src/gena.rs crates/platform-upnp/src/http.rs crates/platform-upnp/src/soap.rs crates/platform-upnp/src/ssdp.rs
+
+crates/platform-upnp/src/lib.rs:
+crates/platform-upnp/src/calib.rs:
+crates/platform-upnp/src/client.rs:
+crates/platform-upnp/src/description.rs:
+crates/platform-upnp/src/device.rs:
+crates/platform-upnp/src/devices.rs:
+crates/platform-upnp/src/gena.rs:
+crates/platform-upnp/src/http.rs:
+crates/platform-upnp/src/soap.rs:
+crates/platform-upnp/src/ssdp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/platform_webservices-078b545ecea111bb.d: crates/platform-webservices/src/lib.rs
+
+/root/repo/target/release/deps/libplatform_webservices-078b545ecea111bb.rlib: crates/platform-webservices/src/lib.rs
+
+/root/repo/target/release/deps/libplatform_webservices-078b545ecea111bb.rmeta: crates/platform-webservices/src/lib.rs
+
+crates/platform-webservices/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/umiddle-93b68ee55a184ee1.d: src/lib.rs src/util.rs
+
+/root/repo/target/release/deps/libumiddle-93b68ee55a184ee1.rlib: src/lib.rs src/util.rs
+
+/root/repo/target/release/deps/libumiddle-93b68ee55a184ee1.rmeta: src/lib.rs src/util.rs
+
+src/lib.rs:
+src/util.rs:

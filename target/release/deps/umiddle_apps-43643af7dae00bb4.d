@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/umiddle_apps-43643af7dae00bb4.d: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs
+
+/root/repo/target/release/deps/libumiddle_apps-43643af7dae00bb4.rlib: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs
+
+/root/repo/target/release/deps/libumiddle_apps-43643af7dae00bb4.rmeta: crates/umiddle-apps/src/lib.rs crates/umiddle-apps/src/g2ui.rs crates/umiddle-apps/src/pads.rs
+
+crates/umiddle-apps/src/lib.rs:
+crates/umiddle-apps/src/g2ui.rs:
+crates/umiddle-apps/src/pads.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/umiddle_bridges-938c910bc88464f3.d: crates/umiddle-bridges/src/lib.rs crates/umiddle-bridges/src/bluetooth.rs crates/umiddle-bridges/src/calib.rs crates/umiddle-bridges/src/direct.rs crates/umiddle-bridges/src/mediabroker.rs crates/umiddle-bridges/src/motes.rs crates/umiddle-bridges/src/native.rs crates/umiddle-bridges/src/obs.rs crates/umiddle-bridges/src/rmi.rs crates/umiddle-bridges/src/scatter.rs crates/umiddle-bridges/src/upnp.rs crates/umiddle-bridges/src/webservices.rs
+
+/root/repo/target/release/deps/libumiddle_bridges-938c910bc88464f3.rlib: crates/umiddle-bridges/src/lib.rs crates/umiddle-bridges/src/bluetooth.rs crates/umiddle-bridges/src/calib.rs crates/umiddle-bridges/src/direct.rs crates/umiddle-bridges/src/mediabroker.rs crates/umiddle-bridges/src/motes.rs crates/umiddle-bridges/src/native.rs crates/umiddle-bridges/src/obs.rs crates/umiddle-bridges/src/rmi.rs crates/umiddle-bridges/src/scatter.rs crates/umiddle-bridges/src/upnp.rs crates/umiddle-bridges/src/webservices.rs
+
+/root/repo/target/release/deps/libumiddle_bridges-938c910bc88464f3.rmeta: crates/umiddle-bridges/src/lib.rs crates/umiddle-bridges/src/bluetooth.rs crates/umiddle-bridges/src/calib.rs crates/umiddle-bridges/src/direct.rs crates/umiddle-bridges/src/mediabroker.rs crates/umiddle-bridges/src/motes.rs crates/umiddle-bridges/src/native.rs crates/umiddle-bridges/src/obs.rs crates/umiddle-bridges/src/rmi.rs crates/umiddle-bridges/src/scatter.rs crates/umiddle-bridges/src/upnp.rs crates/umiddle-bridges/src/webservices.rs
+
+crates/umiddle-bridges/src/lib.rs:
+crates/umiddle-bridges/src/bluetooth.rs:
+crates/umiddle-bridges/src/calib.rs:
+crates/umiddle-bridges/src/direct.rs:
+crates/umiddle-bridges/src/mediabroker.rs:
+crates/umiddle-bridges/src/motes.rs:
+crates/umiddle-bridges/src/native.rs:
+crates/umiddle-bridges/src/obs.rs:
+crates/umiddle-bridges/src/rmi.rs:
+crates/umiddle-bridges/src/scatter.rs:
+crates/umiddle-bridges/src/upnp.rs:
+crates/umiddle-bridges/src/webservices.rs:

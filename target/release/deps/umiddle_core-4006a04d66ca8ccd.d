@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/umiddle_core-4006a04d66ca8ccd.d: crates/umiddle-core/src/lib.rs crates/umiddle-core/src/api.rs crates/umiddle-core/src/design_space.rs crates/umiddle-core/src/directory.rs crates/umiddle-core/src/error.rs crates/umiddle-core/src/id.rs crates/umiddle-core/src/message.rs crates/umiddle-core/src/mime.rs crates/umiddle-core/src/profile.rs crates/umiddle-core/src/qos.rs crates/umiddle-core/src/query.rs crates/umiddle-core/src/runtime.rs crates/umiddle-core/src/shape.rs crates/umiddle-core/src/wire.rs
+
+/root/repo/target/release/deps/libumiddle_core-4006a04d66ca8ccd.rlib: crates/umiddle-core/src/lib.rs crates/umiddle-core/src/api.rs crates/umiddle-core/src/design_space.rs crates/umiddle-core/src/directory.rs crates/umiddle-core/src/error.rs crates/umiddle-core/src/id.rs crates/umiddle-core/src/message.rs crates/umiddle-core/src/mime.rs crates/umiddle-core/src/profile.rs crates/umiddle-core/src/qos.rs crates/umiddle-core/src/query.rs crates/umiddle-core/src/runtime.rs crates/umiddle-core/src/shape.rs crates/umiddle-core/src/wire.rs
+
+/root/repo/target/release/deps/libumiddle_core-4006a04d66ca8ccd.rmeta: crates/umiddle-core/src/lib.rs crates/umiddle-core/src/api.rs crates/umiddle-core/src/design_space.rs crates/umiddle-core/src/directory.rs crates/umiddle-core/src/error.rs crates/umiddle-core/src/id.rs crates/umiddle-core/src/message.rs crates/umiddle-core/src/mime.rs crates/umiddle-core/src/profile.rs crates/umiddle-core/src/qos.rs crates/umiddle-core/src/query.rs crates/umiddle-core/src/runtime.rs crates/umiddle-core/src/shape.rs crates/umiddle-core/src/wire.rs
+
+crates/umiddle-core/src/lib.rs:
+crates/umiddle-core/src/api.rs:
+crates/umiddle-core/src/design_space.rs:
+crates/umiddle-core/src/directory.rs:
+crates/umiddle-core/src/error.rs:
+crates/umiddle-core/src/id.rs:
+crates/umiddle-core/src/message.rs:
+crates/umiddle-core/src/mime.rs:
+crates/umiddle-core/src/profile.rs:
+crates/umiddle-core/src/qos.rs:
+crates/umiddle-core/src/query.rs:
+crates/umiddle-core/src/runtime.rs:
+crates/umiddle-core/src/shape.rs:
+crates/umiddle-core/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/umiddle_usdl-e1dd9580163a59d6.d: crates/umiddle-usdl/src/lib.rs crates/umiddle-usdl/src/builtin.rs crates/umiddle-usdl/src/library.rs crates/umiddle-usdl/src/schema.rs crates/umiddle-usdl/src/xml.rs
+
+/root/repo/target/release/deps/libumiddle_usdl-e1dd9580163a59d6.rlib: crates/umiddle-usdl/src/lib.rs crates/umiddle-usdl/src/builtin.rs crates/umiddle-usdl/src/library.rs crates/umiddle-usdl/src/schema.rs crates/umiddle-usdl/src/xml.rs
+
+/root/repo/target/release/deps/libumiddle_usdl-e1dd9580163a59d6.rmeta: crates/umiddle-usdl/src/lib.rs crates/umiddle-usdl/src/builtin.rs crates/umiddle-usdl/src/library.rs crates/umiddle-usdl/src/schema.rs crates/umiddle-usdl/src/xml.rs
+
+crates/umiddle-usdl/src/lib.rs:
+crates/umiddle-usdl/src/builtin.rs:
+crates/umiddle-usdl/src/library.rs:
+crates/umiddle-usdl/src/schema.rs:
+crates/umiddle-usdl/src/xml.rs:

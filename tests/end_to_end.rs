@@ -48,7 +48,10 @@ fn one_camera_many_sinks_polymorphism() {
 
     let cam_node = world.add_node("camera");
     world.attach(cam_node, pico).unwrap();
-    world.add_process(cam_node, Box::new(BipCamera::new("Pocket Camera", 1, 10_000)));
+    world.add_process(
+        cam_node,
+        Box::new(BipCamera::new("Pocket Camera", 1, 10_000)),
+    );
     let printer_node = world.add_node("printer");
     world.attach(printer_node, pico).unwrap();
     world.add_process(printer_node, Box::new(BipPrinter::new("Photo Printer")));
@@ -183,10 +186,7 @@ fn device_churn_rebinds_query_connections() {
             ) = *event
             {
                 if profile.name() == "Switch" {
-                    self.src = Some(umiddle::umiddle_core::PortRef::new(
-                        profile.id(),
-                        "toggle",
-                    ));
+                    self.src = Some(umiddle::umiddle_core::PortRef::new(profile.id(), "toggle"));
                 }
                 if let (Some(src), false) = (self.src.clone(), self.wired) {
                     self.wired = true;
@@ -257,7 +257,10 @@ fn lossy_piconet_still_delivers() {
     );
     let cam_node = world.add_node("camera");
     world.attach(cam_node, pico).unwrap();
-    world.add_process(cam_node, Box::new(BipCamera::new("Pocket Camera", 1, 30_000)));
+    world.add_process(
+        cam_node,
+        Box::new(BipCamera::new("Pocket Camera", 1, 30_000)),
+    );
 
     let recorder = behaviors::Recorder::new();
     let received = Rc::clone(&recorder.received);
@@ -303,9 +306,18 @@ fn lossy_piconet_still_delivers() {
     let received = received.borrow();
     assert!(!received.is_empty(), "image survived 5% frame loss");
     // The 30 kB image arrived intact (stream layer reassembled it).
-    assert!(received.iter().any(|(_, m)| m.body().len() == 30_000),
-        "sizes: {:?}", received.iter().map(|(_, m)| m.body().len()).collect::<Vec<_>>());
-    assert!(world.trace().counter("stream.rto") > 0, "retransmissions happened");
+    assert!(
+        received.iter().any(|(_, m)| m.body().len() == 30_000),
+        "sizes: {:?}",
+        received
+            .iter()
+            .map(|(_, m)| m.body().len())
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        world.trace().counter("stream.rto") > 0,
+        "retransmissions happened"
+    );
 }
 
 /// Two federated runtimes: killing the remote one expires its

@@ -15,9 +15,7 @@ use umiddle::umiddle_bridges::{
     behaviors, BluetoothMapper, MediaBrokerMapper, MotesMapper, NativeService, RmiMapper,
     UpnpMapper, WsMapper,
 };
-use umiddle::umiddle_core::{
-    Direction, RuntimeConfig, RuntimeId, Shape, UmiddleRuntime,
-};
+use umiddle::umiddle_core::{Direction, RuntimeConfig, RuntimeId, Shape, UmiddleRuntime};
 use umiddle::umiddle_usdl::UsdlLibrary;
 use umiddle::util::{WireRule, Wirer};
 
@@ -51,11 +49,17 @@ fn all_six_platforms_one_directory() {
     world.attach(upnp_node, hub).unwrap();
     world.add_process(
         upnp_node,
-        Box::new(UpnpDevice::new(Box::new(ClockLogic::new("Clock", "uuid:c")), 5000)),
+        Box::new(UpnpDevice::new(
+            Box::new(ClockLogic::new("Clock", "uuid:c")),
+            5000,
+        )),
     );
     world.add_process(
         upnp_node,
-        Box::new(UpnpDevice::new(Box::new(LightLogic::new("Light", "uuid:l")), 5001)),
+        Box::new(UpnpDevice::new(
+            Box::new(LightLogic::new("Light", "uuid:l")),
+            5001,
+        )),
     );
     world.add_process(
         upnp_node,
@@ -138,14 +142,22 @@ fn all_six_platforms_one_directory() {
     world.add_process(mb_node, Box::new(RawProducer { broker }));
     world.add_process(
         h2,
-        Box::new(MediaBrokerMapper::new(rt2, UsdlLibrary::bundled(), broker, vec![])),
+        Box::new(MediaBrokerMapper::new(
+            rt2,
+            UsdlLibrary::bundled(),
+            broker,
+            vec![],
+        )),
     );
 
     // --- Motes: two sensors + base station, mapped on h1 ---
     for i in 0..2u16 {
         let m_node = world.add_node(format!("mote{i}"));
         world.attach(m_node, radio).unwrap();
-        world.add_process(m_node, Box::new(Mote::new(i + 1, SimDuration::from_secs(3))));
+        world.add_process(
+            m_node,
+            Box::new(Mote::new(i + 1, SimDuration::from_secs(3))),
+        );
     }
     let motes_mapper = MotesMapper::new(rt1, UsdlLibrary::bundled(), None);
     let motes_proc = world.add_process(h1, Box::new(motes_mapper));
@@ -206,9 +218,17 @@ fn all_six_platforms_one_directory() {
         .map(|i| i.profile.platform().to_owned())
         .collect();
     assert!(
-        ["bluetooth", "mediabroker", "motes", "rmi", "upnp", "umiddle", "webservices"]
-            .iter()
-            .all(|p| platforms.contains(*p)),
+        [
+            "bluetooth",
+            "mediabroker",
+            "motes",
+            "rmi",
+            "upnp",
+            "umiddle",
+            "webservices"
+        ]
+        .iter()
+        .all(|p| platforms.contains(*p)),
         "platforms in the directory: {platforms:?}\n{}",
         canvas.render_ascii()
     );
@@ -220,7 +240,10 @@ fn all_six_platforms_one_directory() {
         canvas.render_ascii()
     );
     // Cross-platform flows ran.
-    assert!(!clicks.borrow().is_empty(), "mouse clicks crossed the bridge");
+    assert!(
+        !clicks.borrow().is_empty(),
+        "mouse clicks crossed the bridge"
+    );
     assert!(
         world.trace().counter("ws.calls") >= 1,
         "mote readings reached the web service"
