@@ -18,6 +18,9 @@ run cargo fmt --all --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --offline --release
 run cargo test --offline -q
+# Data-path micro-bench smoke: exercises the bench kernels once and the
+# deterministic decode-linearity regression, without timing anything.
+run cargo run --offline --release -p bench --bin perf_payload -- --check
 
 echo
 echo "ci.sh: all green"

@@ -132,14 +132,14 @@ fn bench_binary_codecs() {
     bench_function("sdp_round_trip", || {
         SdpPdu::decode(black_box(&pdu_bytes)).unwrap()
     });
-    let packets = platform_bluetooth::put_packets("x.jpg", "image/jpeg", &vec![7u8; 4096], 512);
+    let packets = platform_bluetooth::put_packets("x.jpg", "image/jpeg", vec![7u8; 4096], 512);
     let first = packets[0].encode();
     bench_function("obex_decode", || {
         ObexPacket::decode(black_box(&first)).unwrap()
     });
     let value = JavaValue::Object {
         class: "edu.gatech.Echo".to_owned(),
-        fields: vec![("payload".to_owned(), JavaValue::Bytes(vec![1; 1400]))],
+        fields: vec![("payload".to_owned(), JavaValue::Bytes(vec![1; 1400].into()))],
     };
     let marshaled = value.marshal();
     bench_function("rmi_marshal_1400B", || value.marshal());

@@ -52,4 +52,21 @@ fn main() {
             println!("wrote metrics snapshot to {path}");
         }
     }
+    // Data-path micro-benches (opt-in: `cargo run -p bench -- perf`) —
+    // the same kernels the `perf_payload` binary measures.
+    if !all && ids.iter().any(|a| a == "perf") {
+        println!("data-path micro-benches (wall clock; see also `perf_payload --json`)");
+        let run = bench::timing::wire_decode_bulk(1_000);
+        println!(
+            "wire_decode_bulk 1k: {:.1} ns/frame, {} B copied",
+            run.ns_per_frame, run.payload.bytes_copied
+        );
+        let fanout = bench::timing::multicast_fanout(32, 50);
+        println!(
+            "multicast_fanout 32rx: {:.0} ns/send, {} B shared",
+            fanout.ns_per_send, fanout.shared_bytes
+        );
+        let per_kib = bench::timing::stream_bulk_transfer(1_000_000, 0.0);
+        println!("stream_bulk 1MB: {per_kib:.0} ns/KiB");
+    }
 }

@@ -1,0 +1,159 @@
+//! Data-path micro-benchmarks for the zero-copy payload work: bulk wire
+//! frame decoding, multicast fan-out, and stream bulk transfer (see
+//! [`bench::timing`] for the measured kernels).
+//!
+//! Run with `--check` for a fast smoke pass plus the deterministic
+//! decode-linearity regression (CI), or with `--json FILE` to write the
+//! measured numbers as deterministic-schema JSON (time values are
+//! wall-clock and thus machine-dependent; the schema and the payload
+//! copy counters are what golden files assert on). The full run also
+//! replays the E8 observability federation and reports its end-to-end
+//! path-latency histogram next to the payload copy counters.
+
+use bench::experiments::e8_observability;
+use bench::timing::{
+    assert_decode_copies_linear, multicast_fanout, stream_bulk_transfer, wire_decode_bulk,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let json_out = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    if check {
+        // CI smoke: one small iteration of each case so the bench code
+        // cannot rot, plus the deterministic linearity regression.
+        let run = wire_decode_bulk(16);
+        assert!(run.ns_per_frame > 0.0);
+        let (small, large) = assert_decode_copies_linear(64);
+        let fanout = multicast_fanout(4, 4);
+        assert!(fanout.ns_per_send > 0.0);
+        assert!(fanout.shared_bytes > 0, "fan-out must share buffers");
+        let per_kib = stream_bulk_transfer(64 * 1024, 0.0);
+        assert!(per_kib > 0.0);
+        println!("perf_payload --check: ok (decode copies {small} -> {large} B, linear)");
+        return;
+    }
+
+    println!("zero-copy payload path benches (wall clock)");
+    let run_1k = wire_decode_bulk(1_000);
+    let run_2k = wire_decode_bulk(2_000);
+    println!(
+        "wire_decode_bulk   1k frames: {:>10} ns total, {:>9.1} ns/frame, {} B copied",
+        run_1k.ns_total, run_1k.ns_per_frame, run_1k.payload.bytes_copied
+    );
+    println!(
+        "wire_decode_bulk   2k frames: {:>10} ns total, {:>9.1} ns/frame, {} B copied",
+        run_2k.ns_total, run_2k.ns_per_frame, run_2k.payload.bytes_copied
+    );
+    println!(
+        "wire_decode_bulk   per-frame ratio 2k/1k: {:.2} wall, {:.2} copied (linear ≈ 1.0)",
+        run_2k.ns_per_frame / run_1k.ns_per_frame,
+        run_2k.payload.bytes_copied as f64 / (2 * run_1k.payload.bytes_copied.max(1)) as f64
+    );
+
+    let mut fanout_lines = Vec::new();
+    for receivers in [8usize, 32, 128] {
+        let run = multicast_fanout(receivers, 50);
+        println!(
+            "multicast_fanout   {receivers:>3} receivers: {:>10.0} ns/send, {} B delivered, {} B shared, {} B copied",
+            run.ns_per_send, run.delivered_bytes, run.shared_bytes, run.payload.bytes_copied
+        );
+        fanout_lines.push((receivers, run));
+    }
+
+    let mut stream_lines = Vec::new();
+    for (total, loss) in [(1_000_000usize, 0.0), (500_000, 0.02)] {
+        let per_kib = stream_bulk_transfer(total, loss);
+        println!("stream_bulk        {total:>7} B loss {loss:>4}: {per_kib:>8.0} ns/KiB");
+        stream_lines.push((total, loss, per_kib));
+    }
+
+    // E8: the two-runtime federation, with the payload copy counters now
+    // part of its metrics snapshot.
+    let e8 = e8_observability();
+    let path = e8.snapshot.histograms.get("umiddle.path_latency");
+    if let Some(h) = path {
+        println!(
+            "e8 path_latency    count {} mean {} min {} max {}",
+            h.count(),
+            h.mean(),
+            h.min(),
+            h.max()
+        );
+    }
+    for name in [
+        "payload.allocs",
+        "payload.bytes_copied",
+        "payload.shared_clones",
+    ] {
+        println!(
+            "e8 {name:<24} {}",
+            e8.snapshot.counters.get(name).copied().unwrap_or(0)
+        );
+    }
+
+    if let Some(file) = json_out {
+        let mut out = String::from("{\n");
+        out.push_str("  \"wire_decode_bulk\": [\n");
+        for (i, (frames, run)) in [(1_000usize, &run_1k), (2_000, &run_2k)].iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"frames\": {frames}, \"ns_total\": {}, \"ns_per_frame\": {:.1}, \"bytes_copied\": {}, \"allocs\": {}}}{}\n",
+                run.ns_total,
+                run.ns_per_frame,
+                run.payload.bytes_copied,
+                run.payload.allocs,
+                if i == 0 { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"multicast_fanout\": [\n");
+        let n = fanout_lines.len();
+        for (i, (receivers, run)) in fanout_lines.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"receivers\": {receivers}, \"sends\": 50, \"ns_per_send\": {:.0}, \"delivered_bytes\": {}, \"shared_bytes\": {}, \"bytes_copied\": {}}}{}\n",
+                run.ns_per_send,
+                run.delivered_bytes,
+                run.shared_bytes,
+                run.payload.bytes_copied,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"stream_bulk_transfer\": [\n");
+        let n = stream_lines.len();
+        for (i, (total, loss, per_kib)) in stream_lines.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"total_bytes\": {total}, \"loss\": {loss}, \"ns_per_kib\": {per_kib:.0}}}{}\n",
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"e8_two_runtime_path\": {\n");
+        if let Some(h) = path {
+            out.push_str(&format!(
+                "    \"path_latency\": {{\"count\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}},\n",
+                h.count(),
+                h.mean().as_nanos(),
+                h.min().as_nanos(),
+                h.max().as_nanos()
+            ));
+        }
+        out.push_str("    \"payload_counters\": {");
+        let names = [
+            "payload.allocs",
+            "payload.bytes_copied",
+            "payload.shared_clones",
+        ];
+        for (i, name) in names.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\"{name}\": {}",
+                if i == 0 { "" } else { ", " },
+                e8.snapshot.counters.get(*name).copied().unwrap_or(0)
+            ));
+        }
+        out.push_str("}\n  }\n}\n");
+        std::fs::write(&file, out).expect("write json");
+        println!("wrote {file}");
+    }
+}

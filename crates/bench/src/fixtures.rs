@@ -194,9 +194,9 @@ impl MbSaturatingProducer {
         p
     }
 
-    fn frame(&self) -> Vec<u8> {
+    fn frame(&self) -> simnet::Payload {
         platform_mediabroker::MbFrame::Data {
-            payload: vec![0xAB; self.frame_size],
+            payload: vec![0xAB; self.frame_size].into(),
         }
         .encode_framed()
     }

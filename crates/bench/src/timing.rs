@@ -7,8 +7,16 @@
 //! are inherently noisy — the point is order-of-magnitude tracking of
 //! the CPU-bound codecs, not statistical rigor.
 
+use std::cell::RefCell;
 use std::hint::black_box;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
+
+use simnet::{
+    Addr, Ctx, PayloadStats, Process, SegmentConfig, SimDuration, SimTime, StreamEvent, StreamId,
+    World,
+};
+use umiddle_core::{ConnectionId, PortRef, RuntimeId, TranslatorId, UMessage, WireMessage};
 
 /// Re-export so benches read like the criterion originals.
 pub use std::hint::black_box as bb;
@@ -89,11 +97,292 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+// =====================================================================
+// Data-path micro-benches (the zero-copy payload work)
+// =====================================================================
+
+/// Payload size used by the data-path benches (a JPEG-ish frame).
+pub const PAYLOAD_BODY: usize = 1400;
+
+fn path_message(body: usize) -> WireMessage {
+    WireMessage::PathMessage {
+        connection: ConnectionId::new(RuntimeId(0), 1),
+        dst: PortRef::new(TranslatorId::new(RuntimeId(1), 7), "in"),
+        msg: UMessage::new("image/jpeg".parse().expect("static mime"), vec![0xAB; body]),
+    }
+}
+
+/// Result of one [`wire_decode_bulk`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct WireDecodeRun {
+    /// Wall-clock nanoseconds for the whole drain.
+    pub ns_total: u128,
+    /// Wall-clock nanoseconds per decoded frame.
+    pub ns_per_frame: f64,
+    /// Payload copy accounting for the run (deterministic).
+    pub payload: PayloadStats,
+}
+
+/// Buffers `frames` length-prefixed messages into the decoder (in 4 KiB
+/// chunks, as a stream would deliver them), then drains them all — the
+/// worst case for a decoder that shifts its buffer per extracted frame.
+pub fn wire_decode_bulk(frames: usize) -> WireDecodeRun {
+    let msg = path_message(PAYLOAD_BODY);
+    let one = msg.encode_framed();
+    let mut stream = Vec::with_capacity(one.len() * frames);
+    for _ in 0..frames {
+        stream.extend_from_slice(&one);
+    }
+    simnet::payload::take_stats();
+    let start = Instant::now();
+    let mut dec = umiddle_core::FrameDecoder::new();
+    for chunk in stream.chunks(4096) {
+        dec.push(chunk);
+    }
+    let mut decoded = 0usize;
+    while let Some(m) = dec.next().expect("well-formed frames") {
+        black_box(&m);
+        decoded += 1;
+    }
+    let ns = start.elapsed().as_nanos();
+    assert_eq!(decoded, frames);
+    WireDecodeRun {
+        ns_total: ns,
+        ns_per_frame: ns as f64 / frames as f64,
+        payload: simnet::payload::take_stats(),
+    }
+}
+
+/// Deterministic linearity regression: decoding `2 * frames` buffered
+/// frames must copy at most ~2x the bytes of decoding `frames` — a
+/// decoder that concatenates or shifts its buffer per frame copies
+/// quadratically and trips this. Returns the two byte counts.
+///
+/// # Panics
+///
+/// Panics if the large run copies more than 2.5x the small run.
+pub fn assert_decode_copies_linear(frames: usize) -> (u64, u64) {
+    let small = wire_decode_bulk(frames).payload.bytes_copied;
+    let large = wire_decode_bulk(frames * 2).payload.bytes_copied;
+    assert!(
+        (large as f64) <= (small as f64) * 2.5,
+        "frame decode copies are superlinear: {frames} frames copy {small} B, \
+         {} frames copy {large} B",
+        frames * 2
+    );
+    (small, large)
+}
+
+struct FanoutReceiver {
+    group: u16,
+    bytes: Rc<RefCell<u64>>,
+}
+impl Process for FanoutReceiver {
+    fn name(&self) -> &str {
+        "fanout-rx"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.join_group(self.group).expect("join group");
+    }
+    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, d: simnet::Datagram) {
+        *self.bytes.borrow_mut() += d.data.len() as u64;
+    }
+}
+
+struct FanoutSender {
+    group: u16,
+    sends: usize,
+    body: usize,
+}
+impl Process for FanoutSender {
+    fn name(&self) -> &str {
+        "fanout-tx"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(5000).expect("bind");
+        ctx.set_timer(SimDuration::from_millis(1), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.sends == 0 {
+            return;
+        }
+        self.sends -= 1;
+        ctx.multicast(5000, self.group, vec![0x5A; self.body])
+            .expect("multicast");
+        ctx.set_timer(SimDuration::from_millis(5), 0);
+    }
+}
+
+/// Result of one [`multicast_fanout`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct FanoutRun {
+    /// Wall-clock nanoseconds per multicast send.
+    pub ns_per_send: f64,
+    /// Application bytes delivered across all receivers.
+    pub delivered_bytes: u64,
+    /// Bytes delivered by sharing the sender's buffer instead of
+    /// copying (the `payload.fanout_bytes_shared` counter).
+    pub shared_bytes: u64,
+    /// Payload copy accounting for the run (deterministic).
+    pub payload: PayloadStats,
+}
+
+/// One sender multicasting `sends` datagrams of [`PAYLOAD_BODY`] bytes
+/// to `receivers` group members.
+pub fn multicast_fanout(receivers: usize, sends: usize) -> FanoutRun {
+    let mut w = World::new(7);
+    w.trace_mut().set_log_enabled(false);
+    let seg = w.add_segment(SegmentConfig::ethernet_10mbps_hub());
+    let bytes = Rc::new(RefCell::new(0u64));
+    for i in 0..receivers {
+        let n = w.add_node(format!("rx{i}"));
+        w.attach(n, seg).expect("attach");
+        w.add_process(
+            n,
+            Box::new(FanoutReceiver {
+                group: 1900,
+                bytes: Rc::clone(&bytes),
+            }),
+        );
+    }
+    let tx = w.add_node("tx");
+    w.attach(tx, seg).expect("attach");
+    w.add_process(
+        tx,
+        Box::new(FanoutSender {
+            group: 1900,
+            sends,
+            body: PAYLOAD_BODY,
+        }),
+    );
+    simnet::payload::take_stats();
+    let start = Instant::now();
+    w.run_until_idle();
+    let ns = start.elapsed().as_nanos();
+    let delivered = *bytes.borrow();
+    assert_eq!(delivered, (PAYLOAD_BODY * receivers * sends) as u64);
+    FanoutRun {
+        ns_per_send: ns as f64 / sends as f64,
+        delivered_bytes: delivered,
+        shared_bytes: w.trace().counter("payload.fanout_bytes_shared"),
+        payload: PayloadStats {
+            allocs: w.trace().counter("payload.allocs"),
+            bytes_copied: w.trace().counter("payload.bytes_copied"),
+            shared_clones: w.trace().counter("payload.shared_clones"),
+        },
+    }
+}
+
+struct BulkSink {
+    received: Rc<RefCell<usize>>,
+}
+impl Process for BulkSink {
+    fn name(&self) -> &str {
+        "bulk-sink"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.listen(80).expect("listen");
+    }
+    fn on_stream(&mut self, _ctx: &mut Ctx<'_>, _s: StreamId, ev: StreamEvent) {
+        if let StreamEvent::Data(d) = ev {
+            *self.received.borrow_mut() += d.len();
+        }
+    }
+}
+
+struct BulkTx {
+    target: Addr,
+    total: usize,
+    sent: usize,
+    stream: Option<StreamId>,
+}
+impl BulkTx {
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let stream = self.stream.expect("connected");
+        while self.sent < self.total {
+            let n = (self.total - self.sent).min(8192);
+            match ctx.stream_send(stream, vec![0xC3; n]) {
+                Ok(()) => self.sent += n,
+                Err(_) => break,
+            }
+        }
+        if self.sent >= self.total {
+            ctx.stream_close(stream);
+        }
+    }
+}
+impl Process for BulkTx {
+    fn name(&self) -> &str {
+        "bulk-tx"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.stream = Some(ctx.connect(self.target).expect("connect"));
+    }
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, _s: StreamId, ev: StreamEvent) {
+        match ev {
+            StreamEvent::Connected | StreamEvent::Writable => self.pump(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// One-way bulk transfer of `total` bytes over the 10 Mbps hub with
+/// `loss` frame loss (exercising retransmission buffers). Returns wall
+/// nanoseconds per transferred KiB.
+pub fn stream_bulk_transfer(total: usize, loss: f64) -> f64 {
+    let mut w = World::new(99);
+    w.trace_mut().set_log_enabled(false);
+    let seg = w.add_segment(SegmentConfig::ethernet_10mbps_hub().with_loss(loss));
+    let a = w.add_node("a");
+    let b = w.add_node("b");
+    w.attach(a, seg).expect("attach");
+    w.attach(b, seg).expect("attach");
+    let received = Rc::new(RefCell::new(0usize));
+    w.add_process(
+        b,
+        Box::new(BulkSink {
+            received: Rc::clone(&received),
+        }),
+    );
+    w.add_process(
+        a,
+        Box::new(BulkTx {
+            target: Addr::new(b, 80),
+            total,
+            sent: 0,
+            stream: None,
+        }),
+    );
+    let start = Instant::now();
+    w.run_until(SimTime::from_secs(600));
+    let ns = start.elapsed().as_nanos();
+    assert_eq!(*received.borrow(), total);
+    ns as f64 / (total as f64 / 1024.0)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn bench_function_runs() {
         // Smoke: the harness terminates and doesn't panic on a fast fn.
         super::bench_function("noop_add", || 1u64.wrapping_add(2));
+    }
+
+    #[test]
+    fn decode_copies_stay_linear() {
+        let (small, large) = super::assert_decode_copies_linear(64);
+        assert!(small > 0, "instrumentation must observe the decode");
+        assert!(large > small);
+    }
+
+    #[test]
+    fn fanout_shares_the_sent_buffer() {
+        let run = super::multicast_fanout(8, 4);
+        // 7 of 8 deliveries per send reuse the sender's buffer.
+        assert_eq!(
+            run.shared_bytes,
+            (super::PAYLOAD_BODY * 7 * 4) as u64,
+            "fan-out must share, not copy, the multicast buffer"
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! requests; a PUT named `RemoteShutter` triggers a capture. The printer
 //! accepts OBEX PUT `ImagePush` transfers and "prints" them (a counter).
 
-use simnet::{Ctx, Datagram, Process, StreamEvent, StreamId};
+use simnet::{Ctx, Datagram, Payload, Process, StreamEvent, StreamId};
 use std::collections::HashMap;
 
 use crate::calib;
@@ -29,8 +29,8 @@ const TIMER_INQUIRY_BASE: u64 = 1000;
 pub struct StoredImage {
     /// Image name (`img0001.jpg`).
     pub name: String,
-    /// JPEG bytes (synthetic).
-    pub data: Vec<u8>,
+    /// JPEG bytes (synthetic), shared so GET chunking never copies.
+    pub data: Payload,
 }
 
 /// Generates a deterministic synthetic JPEG-ish payload of `size` bytes.
@@ -66,7 +66,7 @@ impl BipCamera {
         let images = (0..image_count)
             .map(|i| StoredImage {
                 name: format!("img{i:04}.jpg"),
-                data: synthetic_jpeg(i as u8, image_size),
+                data: synthetic_jpeg(i as u8, image_size).into(),
             })
             .collect();
         BipCamera {
@@ -99,14 +99,14 @@ impl BipCamera {
                     Some(img) => {
                         ctx.bump("bt.bip_pulls", 1);
                         let total = img.data.len();
-                        let chunks: Vec<Vec<u8>> = img
-                            .data
-                            .chunks(OBEX_CHUNK)
-                            .map(|c| c.to_vec())
-                            .collect();
-                        let n = chunks.len().max(1);
-                        for (i, chunk) in chunks.into_iter().enumerate() {
+                        // O(1) shared clone; every chunk below is a
+                        // zero-copy slice of the stored image.
+                        let data = img.data.clone();
+                        let n = total.div_ceil(OBEX_CHUNK).max(1);
+                        for i in 0..n {
                             let last = i + 1 == n;
+                            let chunk =
+                                data.slice(i * OBEX_CHUNK..((i + 1) * OBEX_CHUNK).min(total));
                             let mut resp = ObexPacket::new(if last {
                                 Opcode::Success
                             } else {
@@ -126,11 +126,6 @@ impl BipCamera {
                             ctx.busy(calib::OBEX_PACKET_PROCESS);
                             let _ = ctx.stream_send(stream, resp.encode());
                         }
-                        if total == 0 {
-                            let resp = ObexPacket::new(Opcode::Success)
-                                .with_header(Header::EndOfBody(Vec::new()));
-                            let _ = ctx.stream_send(stream, resp.encode());
-                        }
                     }
                     None => {
                         let _ =
@@ -146,7 +141,7 @@ impl BipCamera {
                         let idx = self.images.len();
                         self.images.push(StoredImage {
                             name: format!("img{idx:04}.jpg"),
-                            data: synthetic_jpeg(idx as u8, 16 * 1024),
+                            data: synthetic_jpeg(idx as u8, 16 * 1024).into(),
                         });
                         ctx.bump("bt.bip_captures", 1);
                         let _ =
@@ -193,7 +188,7 @@ impl Process for BipCamera {
                 let Some(acc) = self.sessions.get_mut(&stream) else {
                     return;
                 };
-                acc.push(&data);
+                acc.push_payload(data);
                 loop {
                     match self
                         .sessions
@@ -275,7 +270,7 @@ impl Process for BipPrinter {
                 let Some((acc, _)) = self.sessions.get_mut(&stream) else {
                     return;
                 };
-                acc.push(&data);
+                acc.push_payload(data);
                 loop {
                     let pkt = match self
                         .sessions
@@ -297,14 +292,14 @@ impl Process for BipPrinter {
                         }
                         Opcode::Put => {
                             if let Some((_, body)) = self.sessions.get_mut(&stream) {
-                                body.extend(pkt.body());
+                                body.extend_from_slice(&pkt.body());
                             }
                             let _ =
                                 ctx.stream_send(stream, ObexPacket::new(Opcode::Continue).encode());
                         }
                         Opcode::PutFinal => {
                             let total = if let Some((_, body)) = self.sessions.get_mut(&stream) {
-                                body.extend(pkt.body());
+                                body.extend_from_slice(&pkt.body());
                                 let n = body.len();
                                 body.clear();
                                 n
@@ -356,14 +351,33 @@ impl ObexGetClient {
     #[allow(clippy::type_complexity)]
     pub fn push(&mut self, bytes: &[u8]) -> Result<Option<(Option<String>, Vec<u8>)>, String> {
         self.acc.push(bytes);
+        self.drain()
+    }
+
+    /// Feeds a shared response chunk without copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error description on protocol violations.
+    #[allow(clippy::type_complexity)]
+    pub fn push_payload(
+        &mut self,
+        chunk: Payload,
+    ) -> Result<Option<(Option<String>, Vec<u8>)>, String> {
+        self.acc.push_payload(chunk);
+        self.drain()
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn drain(&mut self) -> Result<Option<(Option<String>, Vec<u8>)>, String> {
         while let Some(pkt) = self.acc.next()? {
             if self.name.is_none() {
                 self.name = pkt.name().map(str::to_owned);
             }
             match pkt.opcode {
-                Opcode::Continue => self.body.extend(pkt.body()),
+                Opcode::Continue => self.body.extend_from_slice(&pkt.body()),
                 Opcode::Success => {
-                    self.body.extend(pkt.body());
+                    self.body.extend_from_slice(&pkt.body());
                     let data = std::mem::take(&mut self.body);
                     return Ok(Some((self.name.take(), data)));
                 }
@@ -376,7 +390,7 @@ impl ObexGetClient {
 }
 
 /// Builds the OBEX request bytes for an ImagePull GET.
-pub fn image_pull_request(name: Option<&str>) -> Vec<u8> {
+pub fn image_pull_request(name: Option<&str>) -> Payload {
     let mut pkt = ObexPacket::new(Opcode::Get).with_header(Header::Type("x-bt/img-img".to_owned()));
     if let Some(n) = name {
         pkt = pkt.with_header(Header::Name(n.to_owned()));
@@ -384,8 +398,9 @@ pub fn image_pull_request(name: Option<&str>) -> Vec<u8> {
     pkt.encode()
 }
 
-/// Builds the OBEX request packets for an ImagePush PUT.
-pub fn image_push_packets(name: &str, data: &[u8]) -> Vec<ObexPacket> {
+/// Builds the OBEX request packets for an ImagePush PUT. A [`Payload`]
+/// argument shares the image buffer across every packet.
+pub fn image_push_packets(name: &str, data: impl Into<Payload>) -> Vec<ObexPacket> {
     put_packets(name, "image/jpeg", data, OBEX_CHUNK)
 }
 
@@ -472,7 +487,7 @@ mod tests {
         fn on_stream(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, event: StreamEvent) {
             match event {
                 StreamEvent::Connected => {
-                    for pkt in image_push_packets("photo.jpg", &synthetic_jpeg(9, 5000)) {
+                    for pkt in image_push_packets("photo.jpg", synthetic_jpeg(9, 5000)) {
                         let _ = ctx.stream_send(stream, pkt.encode());
                     }
                 }

@@ -6,6 +6,8 @@
 //! packet layer (connect / put / get with headers, chunked bodies,
 //! continue responses) as a binary codec plus accumulation over streams.
 
+use simnet::{ChunkQueue, Payload, PayloadBuilder};
+
 /// OBEX opcodes (final-bit variants included where used).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Opcode {
@@ -61,12 +63,13 @@ pub enum Header {
     Type(String),
     /// Total length of the object being transferred.
     Length(u32),
-    /// A body chunk (more follow).
-    Body(Vec<u8>),
+    /// A body chunk (more follow). Shared [`Payload`]: chunking an
+    /// object into PUT packets slices one buffer instead of copying.
+    Body(Payload),
     /// The final body chunk.
-    EndOfBody(Vec<u8>),
+    EndOfBody(Payload),
     /// Application-specific parameters.
-    AppParams(Vec<u8>),
+    AppParams(Payload),
 }
 
 const HI_NAME: u8 = 0x01;
@@ -116,16 +119,27 @@ impl ObexPacket {
         })
     }
 
-    /// Concatenated body bytes (Body + EndOfBody headers).
-    pub fn body(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        for h in &self.headers {
-            match h {
-                Header::Body(b) | Header::EndOfBody(b) => out.extend_from_slice(b),
-                _ => {}
-            }
+    /// Concatenated body bytes (Body + EndOfBody headers). When the
+    /// packet carries a single body header — the common case — this is
+    /// an O(1) clone of its shared buffer.
+    pub fn body(&self) -> Payload {
+        let mut chunks = self.headers.iter().filter_map(|h| match h {
+            Header::Body(b) | Header::EndOfBody(b) => Some(b),
+            _ => None,
+        });
+        let Some(first) = chunks.next() else {
+            return Payload::new();
+        };
+        let Some(second) = chunks.next() else {
+            return first.clone();
+        };
+        let mut out = Vec::with_capacity(first.len() + second.len());
+        out.extend_from_slice(first);
+        out.extend_from_slice(second);
+        for b in chunks {
+            out.extend_from_slice(b);
         }
-        out
+        Payload::from_vec(out)
     }
 
     /// Returns `true` if the packet carries an `EndOfBody` header.
@@ -136,33 +150,54 @@ impl ObexPacket {
     }
 
     /// Encodes the packet: `opcode (1) | length (2, BE) | headers`.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::new();
+    /// Everything goes into one buffer: the length field is written as a
+    /// placeholder and patched once the headers are in, so there is no
+    /// second assemble-then-copy pass.
+    pub fn encode(&self) -> Payload {
+        let mut out = PayloadBuilder::new();
+        out.push(self.opcode.to_byte());
+        out.extend_from_slice(&[0, 0]); // length placeholder, patched below
         for h in &self.headers {
             match h {
-                Header::Name(s) => put_bytes(&mut payload, HI_NAME, s.as_bytes()),
-                Header::Type(s) => put_bytes(&mut payload, HI_TYPE, s.as_bytes()),
+                Header::Name(s) => put_bytes(&mut out, HI_NAME, s.as_bytes()),
+                Header::Type(s) => put_bytes(&mut out, HI_TYPE, s.as_bytes()),
                 Header::Length(n) => {
-                    payload.push(HI_LENGTH);
-                    payload.extend_from_slice(&n.to_be_bytes());
+                    out.push(HI_LENGTH);
+                    out.extend_from_slice(&n.to_be_bytes());
                 }
-                Header::Body(b) => put_bytes(&mut payload, HI_BODY, b),
-                Header::EndOfBody(b) => put_bytes(&mut payload, HI_END_OF_BODY, b),
-                Header::AppParams(b) => put_bytes(&mut payload, HI_APP_PARAMS, b),
+                Header::Body(b) => put_bytes(&mut out, HI_BODY, b),
+                Header::EndOfBody(b) => put_bytes(&mut out, HI_END_OF_BODY, b),
+                Header::AppParams(b) => put_bytes(&mut out, HI_APP_PARAMS, b),
             }
         }
-        let total = 3 + payload.len();
-        let mut out = Vec::with_capacity(total);
-        out.push(self.opcode.to_byte());
-        out.extend_from_slice(&(total as u16).to_be_bytes());
-        out.extend_from_slice(&payload);
-        out
+        let total = out.len() as u16;
+        let be = total.to_be_bytes();
+        out.patch_u8(1, be[0]);
+        out.patch_u8(2, be[1]);
+        out.freeze()
+    }
+
+    /// Decodes one packet from the front of a shared buffer; body
+    /// headers come back as zero-copy sub-slices of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation on bad packets.
+    pub fn decode_payload(buf: &Payload) -> Result<Option<(ObexPacket, usize)>, String> {
+        Self::decode_inner(buf, Some(buf))
     }
 
     /// Decodes one packet from the front of `buf`. Returns the packet and
     /// bytes consumed, `Ok(None)` if more bytes are needed, or `Err` on a
     /// malformed packet.
     pub fn decode(buf: &[u8]) -> Result<Option<(ObexPacket, usize)>, String> {
+        Self::decode_inner(buf, None)
+    }
+
+    fn decode_inner(
+        buf: &[u8],
+        backing: Option<&Payload>,
+    ) -> Result<Option<(ObexPacket, usize)>, String> {
         if buf.len() < 3 {
             return Ok(None);
         }
@@ -202,18 +237,25 @@ impl ObexPacket {
                     if hlen < 3 || pos + hlen - 3 > total {
                         return Err("bad header length".to_owned());
                     }
-                    let data = buf[pos..pos + hlen - 3].to_vec();
-                    pos += hlen - 3;
+                    let start = pos;
+                    let end = pos + hlen - 3;
+                    pos = end;
+                    let bytes_of = |range: &[u8]| match backing {
+                        Some(p) => p.slice(start..end),
+                        None => Payload::copy_from_slice(range),
+                    };
                     headers.push(match hi {
                         HI_NAME => Header::Name(
-                            String::from_utf8(data).map_err(|_| "bad utf-8 name".to_owned())?,
+                            String::from_utf8(buf[start..end].to_vec())
+                                .map_err(|_| "bad utf-8 name".to_owned())?,
                         ),
                         HI_TYPE => Header::Type(
-                            String::from_utf8(data).map_err(|_| "bad utf-8 type".to_owned())?,
+                            String::from_utf8(buf[start..end].to_vec())
+                                .map_err(|_| "bad utf-8 type".to_owned())?,
                         ),
-                        HI_BODY => Header::Body(data),
-                        HI_END_OF_BODY => Header::EndOfBody(data),
-                        _ => Header::AppParams(data),
+                        HI_BODY => Header::Body(bytes_of(&buf[start..end])),
+                        HI_END_OF_BODY => Header::EndOfBody(bytes_of(&buf[start..end])),
+                        _ => Header::AppParams(bytes_of(&buf[start..end])),
                     });
                 }
                 other => return Err(format!("unknown header id {other:#x}")),
@@ -223,16 +265,19 @@ impl ObexPacket {
     }
 }
 
-fn put_bytes(out: &mut Vec<u8>, hi: u8, data: &[u8]) {
+fn put_bytes(out: &mut PayloadBuilder, hi: u8, data: &[u8]) {
     out.push(hi);
     out.extend_from_slice(&((data.len() + 3) as u16).to_be_bytes());
     out.extend_from_slice(data);
 }
 
 /// Accumulates stream bytes and yields complete OBEX packets.
+///
+/// Built on [`ChunkQueue`]: arriving stream chunks queue without
+/// concatenation and each packet is extracted in O(packet) time.
 #[derive(Debug, Default)]
 pub struct ObexAccumulator {
-    buf: Vec<u8>,
+    buf: ChunkQueue,
 }
 
 impl ObexAccumulator {
@@ -241,9 +286,15 @@ impl ObexAccumulator {
         ObexAccumulator::default()
     }
 
-    /// Feeds received bytes.
+    /// Feeds received bytes (one copy into a fresh chunk).
     pub fn push(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+        self.buf.push_slice(bytes);
+    }
+
+    /// Feeds a shared chunk without copying — the path stream handlers
+    /// use with `StreamEvent::Data` payloads.
+    pub fn push_payload(&mut self, chunk: Payload) {
+        self.buf.push(chunk);
     }
 
     /// Pops the next complete packet, if any.
@@ -254,11 +305,26 @@ impl ObexAccumulator {
     /// discarded so the session can be aborted cleanly.
     #[allow(clippy::should_implement_trait)] // framer convention, not an Iterator
     pub fn next(&mut self) -> Result<Option<ObexPacket>, String> {
-        match ObexPacket::decode(&self.buf) {
-            Ok(Some((pkt, used))) => {
-                self.buf.drain(..used);
-                Ok(Some(pkt))
-            }
+        if self.buf.len() < 3 {
+            return Ok(None);
+        }
+        let mut hdr = [0u8; 3];
+        self.buf.peek_into(&mut hdr);
+        if Opcode::from_byte(hdr[0]).is_none() {
+            self.buf.clear();
+            return Err(format!("unknown opcode {:#x}", hdr[0]));
+        }
+        let total = u16::from_be_bytes([hdr[1], hdr[2]]) as usize;
+        if total < 3 {
+            self.buf.clear();
+            return Err("packet length too small".to_owned());
+        }
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let packet = self.buf.take(total);
+        match ObexPacket::decode_payload(&packet) {
+            Ok(Some((pkt, _used))) => Ok(Some(pkt)),
             Ok(None) => Ok(None),
             Err(e) => {
                 self.buf.clear();
@@ -269,7 +335,15 @@ impl ObexAccumulator {
 }
 
 /// Splits an object into OBEX PUT packets of at most `chunk` body bytes.
-pub fn put_packets(name: &str, mime: &str, data: &[u8], chunk: usize) -> Vec<ObexPacket> {
+/// Passing a [`Payload`] shares the object buffer: every packet's body is
+/// a zero-copy slice of it.
+pub fn put_packets(
+    name: &str,
+    mime: &str,
+    data: impl Into<Payload>,
+    chunk: usize,
+) -> Vec<ObexPacket> {
+    let data = data.into();
     let chunk = chunk.max(1);
     let mut packets = Vec::new();
     let n = data.len();
@@ -286,7 +360,7 @@ pub fn put_packets(name: &str, mime: &str, data: &[u8], chunk: usize) -> Vec<Obe
                 .with_header(Header::Length(n as u32));
             first = false;
         }
-        let body = data[offset..end].to_vec();
+        let body = data.slice(offset..end);
         pkt = pkt.with_header(if last {
             Header::EndOfBody(body)
         } else {
@@ -311,7 +385,7 @@ mod tests {
             .with_header(Header::Name("img01.jpg".to_owned()))
             .with_header(Header::Type("image/jpeg".to_owned()))
             .with_header(Header::Length(5))
-            .with_header(Header::EndOfBody(vec![1, 2, 3, 4, 5]));
+            .with_header(Header::EndOfBody(vec![1, 2, 3, 4, 5].into()));
         let bytes = pkt.encode();
         let (back, used) = ObexPacket::decode(&bytes).unwrap().unwrap();
         assert_eq!(used, bytes.len());
@@ -335,7 +409,7 @@ mod tests {
     #[test]
     fn put_packets_reassemble() {
         let data: Vec<u8> = (0..=255).cycle().take(2000).map(|b: u16| b as u8).collect();
-        let packets = put_packets("x.bin", "application/octet-stream", &data, 512);
+        let packets = put_packets("x.bin", "application/octet-stream", &data[..], 512);
         assert_eq!(packets.len(), 4);
         assert_eq!(packets[0].name(), Some("x.bin"));
         assert!(packets.last().unwrap().is_final_body());
@@ -377,7 +451,7 @@ mod tests {
             let len = rng.gen_range(0usize..4096);
             let data = rng.gen_bytes(len);
             let chunk = rng.gen_range(1usize..1024);
-            let packets = put_packets("n", "t/t", &data, chunk);
+            let packets = put_packets("n", "t/t", &data[..], chunk);
             let mut got = Vec::new();
             for p in &packets {
                 got.extend(p.body());

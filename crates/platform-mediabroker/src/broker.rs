@@ -8,7 +8,9 @@
 
 use std::collections::HashMap;
 
-use simnet::{Addr, Ctx, Process, SimDuration, StreamEvent, StreamId};
+use simnet::{
+    Addr, ChunkQueue, Ctx, Payload, PayloadBuilder, Process, SimDuration, StreamEvent, StreamId,
+};
 
 use crate::types::TypeLattice;
 
@@ -42,10 +44,12 @@ pub enum MbFrame {
         /// Why.
         reason: String,
     },
-    /// Media data on the sender's channel.
+    /// Media data on the sender's channel. The payload is a shared
+    /// [`Payload`] so the broker can fan one buffer out to N consumers
+    /// without copying.
     Data {
         /// Payload bytes.
-        payload: Vec<u8>,
+        payload: Payload,
     },
     /// Broker asks for the channel roster (monitoring).
     ListChannels,
@@ -61,68 +65,85 @@ const TAG_DATA: u8 = 5;
 const TAG_LIST: u8 = 6;
 const TAG_CHANNELS: u8 = 7;
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+fn put_str(out: &mut PayloadBuilder, s: &str) {
     let b = s.as_bytes();
-    out.extend_from_slice(&(b.len().min(u16::MAX as usize) as u16).to_le_bytes());
+    out.u16_le(b.len().min(u16::MAX as usize) as u16);
     out.extend_from_slice(&b[..b.len().min(u16::MAX as usize)]);
 }
 
 impl MbFrame {
-    /// Encodes the frame body.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+    fn encode_into(&self, out: &mut PayloadBuilder) {
         match self {
             MbFrame::Produce {
                 channel,
                 media_type,
             } => {
                 out.push(TAG_PRODUCE);
-                put_str(&mut out, channel);
-                put_str(&mut out, media_type);
+                put_str(out, channel);
+                put_str(out, media_type);
             }
             MbFrame::Consume {
                 channel,
                 media_type,
             } => {
                 out.push(TAG_CONSUME);
-                put_str(&mut out, channel);
-                put_str(&mut out, media_type);
+                put_str(out, channel);
+                put_str(out, media_type);
             }
             MbFrame::Ack => out.push(TAG_ACK),
             MbFrame::Nack { reason } => {
                 out.push(TAG_NACK);
-                put_str(&mut out, reason);
+                put_str(out, reason);
             }
             MbFrame::Data { payload } => {
                 out.push(TAG_DATA);
-                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.u32_le(payload.len() as u32);
                 out.extend_from_slice(payload);
             }
             MbFrame::ListChannels => out.push(TAG_LIST),
             MbFrame::Channels(entries) => {
                 out.push(TAG_CHANNELS);
-                out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                out.u16_le(entries.len() as u16);
                 for (name, ty, consumers) in entries {
-                    put_str(&mut out, name);
-                    put_str(&mut out, ty);
-                    out.extend_from_slice(&consumers.to_le_bytes());
+                    put_str(out, name);
+                    put_str(out, ty);
+                    out.u32_le(*consumers);
                 }
             }
         }
-        out
     }
 
-    /// Encodes with a `u32` length prefix.
-    pub fn encode_framed(&self) -> Vec<u8> {
-        let body = self.encode();
-        let mut out = Vec::with_capacity(body.len() + 4);
-        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        out.extend_from_slice(&body);
-        out
+    /// Encodes the frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = PayloadBuilder::new();
+        self.encode_into(&mut out);
+        out.into_vec()
+    }
+
+    /// Encodes with a `u32` length prefix. Prefix and body go into one
+    /// buffer (the prefix slot is reserved up front and patched), so
+    /// framing costs no second allocation or copy.
+    pub fn encode_framed(&self) -> Payload {
+        let mut out = PayloadBuilder::new();
+        let slot = out.reserve_u32_le();
+        self.encode_into(&mut out);
+        let body_len = (out.len() - 4) as u32;
+        out.patch_u32_le(slot, body_len);
+        out.freeze()
+    }
+
+    /// Decodes a frame body from a shared buffer. A `Data` frame's
+    /// payload is returned as a zero-copy sub-slice of `frame`.
+    pub fn decode_payload(frame: &Payload) -> Option<MbFrame> {
+        Self::decode_inner(frame, Some(frame))
     }
 
     /// Decodes a frame body.
     pub fn decode(bytes: &[u8]) -> Option<MbFrame> {
+        Self::decode_inner(bytes, None)
+    }
+
+    fn decode_inner(bytes: &[u8], backing: Option<&Payload>) -> Option<MbFrame> {
         struct C<'a> {
             b: &'a [u8],
             p: usize,
@@ -163,9 +184,13 @@ impl MbFrame {
             TAG_NACK => MbFrame::Nack { reason: c.str()? },
             TAG_DATA => {
                 let n = c.u32()? as usize;
-                MbFrame::Data {
-                    payload: c.take(n)?.to_vec(),
-                }
+                let start = c.p;
+                let s = c.take(n)?;
+                let payload = match backing {
+                    Some(p) => p.slice(start..start + n),
+                    None => Payload::copy_from_slice(s),
+                };
+                MbFrame::Data { payload }
             }
             TAG_LIST => MbFrame::ListChannels,
             TAG_CHANNELS => {
@@ -190,9 +215,14 @@ impl MbFrame {
 }
 
 /// Accumulates length-prefixed MB frames from a stream.
+///
+/// Built on [`ChunkQueue`]: arriving stream chunks are queued without
+/// concatenation, extraction is O(frame) rather than O(buffered), and a
+/// `Data` frame contained in one chunk is decoded as a zero-copy slice
+/// of that chunk.
 #[derive(Debug, Default)]
 pub struct MbAccumulator {
-    buf: Vec<u8>,
+    buf: ChunkQueue,
 }
 
 impl MbAccumulator {
@@ -201,9 +231,15 @@ impl MbAccumulator {
         MbAccumulator::default()
     }
 
-    /// Feeds bytes.
+    /// Feeds borrowed bytes (one copy into a fresh chunk).
     pub fn push(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+        self.buf.push_slice(bytes);
+    }
+
+    /// Feeds a shared chunk without copying — the path stream handlers
+    /// use with [`StreamEvent::Data`] payloads.
+    pub fn push_payload(&mut self, chunk: Payload) {
+        self.buf.push(chunk);
     }
 
     /// Pops the next complete frame.
@@ -216,12 +252,15 @@ impl MbAccumulator {
         if self.buf.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        let mut hdr = [0u8; 4];
+        self.buf.peek_into(&mut hdr);
+        let len = u32::from_le_bytes(hdr) as usize;
         if self.buf.len() < 4 + len {
             return Ok(None);
         }
-        let body: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
-        match MbFrame::decode(&body) {
+        let _prefix = self.buf.take(4);
+        let body = self.buf.take(len);
+        match MbFrame::decode_payload(&body) {
             Some(f) => Ok(Some(f)),
             None => {
                 self.buf.clear();
@@ -389,7 +428,7 @@ impl Process for MediaBroker {
                 let Some(acc) = self.conns.get_mut(&stream) else {
                     return;
                 };
-                acc.push(&data);
+                acc.push_payload(data);
                 loop {
                     let frame = match self.conns.get_mut(&stream).map(|a| a.next()) {
                         Some(Ok(Some(f))) => f,
@@ -439,7 +478,7 @@ mod tests {
                 reason: "nope".to_owned(),
             },
             MbFrame::Data {
-                payload: vec![1; 1400],
+                payload: vec![1; 1400].into(),
             },
             MbFrame::ListChannels,
             MbFrame::Channels(vec![("a".to_owned(), "t".to_owned(), 2)]),
@@ -453,7 +492,7 @@ mod tests {
         // A 1400-byte payload adds only 9 bytes of framing — contrast with
         // RMI's marshaling overhead.
         let f = MbFrame::Data {
-            payload: vec![0; 1400],
+            payload: vec![0; 1400].into(),
         };
         assert_eq!(f.encode_framed().len(), 1400 + 9);
     }
@@ -492,7 +531,7 @@ mod tests {
                     );
                 }
                 StreamEvent::Data(data) => {
-                    self.acc.push(&data);
+                    self.acc.push_payload(data);
                     while let Ok(Some(f)) = self.acc.next() {
                         if f == MbFrame::Ack && !self.acked {
                             self.acked = true;
@@ -510,7 +549,7 @@ mod tests {
                 let _ = ctx.stream_send(
                     stream,
                     MbFrame::Data {
-                        payload: vec![7; 1000],
+                        payload: vec![7; 1000].into(),
                     }
                     .encode_framed(),
                 );
@@ -556,7 +595,7 @@ mod tests {
                     self.attach(ctx);
                 }
                 StreamEvent::Data(data) => {
-                    self.acc.push(&data);
+                    self.acc.push_payload(data);
                     while let Ok(Some(f)) = self.acc.next() {
                         match f {
                             MbFrame::Data { payload } => self.got.borrow_mut().push(payload.len()),

@@ -10,7 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use simnet::{Ctx, Datagram, LocalMessage, ProcId, Process, SimDuration};
+use simnet::{Ctx, Datagram, LocalMessage, Payload, PayloadBuilder, ProcId, Process, SimDuration};
 
 /// The radio broadcast group all motes share.
 pub const RADIO_GROUP: u16 = 100;
@@ -27,8 +27,10 @@ pub struct ActiveMessage {
     pub am_type: u8,
     /// Source mote id.
     pub src: u16,
-    /// Payload (at most 29 bytes, like the classic TOSMsg).
-    pub payload: Vec<u8>,
+    /// Payload (at most 29 bytes, like the classic TOSMsg). Shared
+    /// [`Payload`] so a received radio frame's bytes are not re-copied
+    /// per hop.
+    pub payload: Payload,
 }
 
 /// Maximum AM payload.
@@ -36,8 +38,11 @@ pub const AM_MAX_PAYLOAD: usize = 29;
 
 impl ActiveMessage {
     /// Creates a message, truncating the payload to [`AM_MAX_PAYLOAD`].
-    pub fn new(am_type: u8, src: u16, mut payload: Vec<u8>) -> ActiveMessage {
-        payload.truncate(AM_MAX_PAYLOAD);
+    pub fn new(am_type: u8, src: u16, payload: impl Into<Payload>) -> ActiveMessage {
+        let mut payload = payload.into();
+        if payload.len() > AM_MAX_PAYLOAD {
+            payload = payload.slice(0..AM_MAX_PAYLOAD);
+        }
         ActiveMessage {
             am_type,
             src,
@@ -46,17 +51,27 @@ impl ActiveMessage {
     }
 
     /// Encodes: `type (1) | src (2 LE) | len (1) | payload`.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + self.payload.len());
+    pub fn encode(&self) -> Payload {
+        let mut out = PayloadBuilder::with_capacity(4 + self.payload.len());
         out.push(self.am_type);
-        out.extend_from_slice(&self.src.to_le_bytes());
+        out.u16_le(self.src);
         out.push(self.payload.len() as u8);
         out.extend_from_slice(&self.payload);
-        out
+        out.freeze()
+    }
+
+    /// Decodes a message from a shared radio frame; the payload is a
+    /// zero-copy sub-slice of `frame`.
+    pub fn decode_payload(frame: &Payload) -> Option<ActiveMessage> {
+        Self::decode_inner(frame, Some(frame))
     }
 
     /// Decodes a message; `None` on garbage.
     pub fn decode(bytes: &[u8]) -> Option<ActiveMessage> {
+        Self::decode_inner(bytes, None)
+    }
+
+    fn decode_inner(bytes: &[u8], backing: Option<&Payload>) -> Option<ActiveMessage> {
         if bytes.len() < 4 {
             return None;
         }
@@ -67,7 +82,10 @@ impl ActiveMessage {
         Some(ActiveMessage {
             am_type: bytes[0],
             src: u16::from_le_bytes([bytes[1], bytes[2]]),
-            payload: bytes[4..].to_vec(),
+            payload: match backing {
+                Some(p) => p.slice(4..4 + len),
+                None => Payload::copy_from_slice(&bytes[4..]),
+            },
         })
     }
 }
@@ -162,7 +180,7 @@ impl Process for Mote {
     }
 
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
-        let Some(am) = ActiveMessage::decode(&dgram.data) else {
+        let Some(am) = ActiveMessage::decode_payload(&dgram.data) else {
             return;
         };
         if am.am_type == AM_CONFIG && am.payload.len() == 2 {
@@ -230,7 +248,7 @@ impl Process for BaseStation {
     }
 
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
-        let Some(am) = ActiveMessage::decode(&dgram.data) else {
+        let Some(am) = ActiveMessage::decode_payload(&dgram.data) else {
             return;
         };
         if am.am_type != AM_READING {

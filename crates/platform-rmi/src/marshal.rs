@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use simnet::Payload;
+
 /// A marshaled Java-ish value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JavaValue {
@@ -20,8 +22,11 @@ pub enum JavaValue {
     Long(i64),
     /// `java.lang.String`.
     Str(String),
-    /// `byte[]`.
-    Bytes(Vec<u8>),
+    /// `byte[]` as a shared [`Payload`]: a `UMessage` body crosses the
+    /// bridge into an RMI call argument without copying, and
+    /// [`JavaValue::unmarshal_payload`] returns it as a zero-copy slice
+    /// of the received frame.
+    Bytes(Payload),
     /// An object: class name plus named fields.
     Object {
         /// Fully qualified class name.
@@ -123,7 +128,21 @@ impl JavaValue {
 
     /// Unmarshals a value.
     pub fn unmarshal(bytes: &[u8]) -> Option<JavaValue> {
-        let mut c = Cursor { buf: bytes, pos: 0 };
+        Self::unmarshal_inner(bytes, None)
+    }
+
+    /// Unmarshals from a shared buffer; `byte[]` values come back as
+    /// zero-copy sub-slices of `payload`.
+    pub fn unmarshal_payload(payload: &Payload) -> Option<JavaValue> {
+        Self::unmarshal_inner(payload, Some(payload))
+    }
+
+    fn unmarshal_inner(bytes: &[u8], backing: Option<&Payload>) -> Option<JavaValue> {
+        let mut c = Cursor {
+            buf: bytes,
+            pos: 0,
+            backing,
+        };
         if c.u16()? != MAGIC {
             return None;
         }
@@ -144,6 +163,7 @@ impl JavaValue {
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
+    backing: Option<&'a Payload>,
 }
 
 impl<'a> Cursor<'a> {
@@ -195,7 +215,12 @@ impl<'a> Cursor<'a> {
             TAG_BYTES => {
                 let _ty = self.str()?;
                 let n = self.u32()? as usize;
-                JavaValue::Bytes(self.take(n)?.to_vec())
+                let start = self.pos;
+                let s = self.take(n)?;
+                JavaValue::Bytes(match self.backing {
+                    Some(p) => p.slice(start..start + n),
+                    None => Payload::copy_from_slice(s),
+                })
             }
             TAG_OBJECT => {
                 let class = self.str()?;
@@ -231,7 +256,7 @@ mod tests {
             class: "edu.gatech.Echo$Message".to_owned(),
             fields: vec![
                 ("seq".to_owned(), JavaValue::Long(42)),
-                ("payload".to_owned(), JavaValue::Bytes(vec![7; 1400])),
+                ("payload".to_owned(), JavaValue::Bytes(vec![7; 1400].into())),
                 ("note".to_owned(), JavaValue::Str("hello".to_owned())),
                 ("next".to_owned(), JavaValue::Null),
             ],
@@ -283,7 +308,7 @@ mod tests {
                 }
                 _ => {
                     let len = rng.gen_range(0usize..64);
-                    JavaValue::Bytes(rng.gen_bytes(len))
+                    JavaValue::Bytes(rng.gen_bytes(len).into())
                 }
             }
         } else if rng.gen_bool(0.5) {

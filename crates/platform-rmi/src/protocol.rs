@@ -5,6 +5,8 @@
 //! together with marshaling verbosity, keeps RMI throughput low in the
 //! paper's Figure 11).
 
+use simnet::{ChunkQueue, Payload};
+
 use crate::marshal::JavaValue;
 
 /// Frames exchanged with RMI endpoints (object servers and the registry).
@@ -90,6 +92,7 @@ fn put_value(out: &mut Vec<u8>, v: &JavaValue) {
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
+    backing: Option<&'a Payload>,
 }
 
 impl<'a> Cursor<'a> {
@@ -124,7 +127,12 @@ impl<'a> Cursor<'a> {
     }
     fn value(&mut self) -> Option<JavaValue> {
         let n = self.u32()? as usize;
-        JavaValue::unmarshal(self.take(n)?)
+        let start = self.pos;
+        let s = self.take(n)?;
+        match self.backing {
+            Some(p) => JavaValue::unmarshal_payload(&p.slice(start..start + n)),
+            None => JavaValue::unmarshal(s),
+        }
     }
 }
 
@@ -132,6 +140,11 @@ impl RmiFrame {
     /// Encodes the frame body (no length prefix).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             RmiFrame::Ping => out.push(TAG_PING),
             RmiFrame::PingAck => out.push(TAG_PING_ACK),
@@ -143,33 +156,33 @@ impl RmiFrame {
             } => {
                 out.push(TAG_CALL);
                 out.extend_from_slice(&call_id.to_be_bytes());
-                put_str(&mut out, object);
-                put_str(&mut out, method);
+                put_str(out, object);
+                put_str(out, method);
                 out.extend_from_slice(&(args.len() as u16).to_be_bytes());
                 for a in args {
-                    put_value(&mut out, a);
+                    put_value(out, a);
                 }
             }
             RmiFrame::Return { call_id, result } => {
                 out.push(TAG_RETURN);
                 out.extend_from_slice(&call_id.to_be_bytes());
-                put_value(&mut out, result);
+                put_value(out, result);
             }
             RmiFrame::Exception { call_id, message } => {
                 out.push(TAG_EXCEPTION);
                 out.extend_from_slice(&call_id.to_be_bytes());
-                put_str(&mut out, message);
+                put_str(out, message);
             }
             RmiFrame::Bind { name, node, port } => {
                 out.push(TAG_BIND);
-                put_str(&mut out, name);
+                put_str(out, name);
                 out.extend_from_slice(&node.to_be_bytes());
                 out.extend_from_slice(&port.to_be_bytes());
             }
             RmiFrame::Lookup { call_id, name } => {
                 out.push(TAG_LOOKUP);
                 out.extend_from_slice(&call_id.to_be_bytes());
-                put_str(&mut out, name);
+                put_str(out, name);
             }
             RmiFrame::LookupResult {
                 call_id,
@@ -182,21 +195,36 @@ impl RmiFrame {
                 out.extend_from_slice(&port.to_be_bytes());
             }
         }
-        out
     }
 
-    /// Encodes with a `u32` length prefix for stream framing.
-    pub fn encode_framed(&self) -> Vec<u8> {
-        let body = self.encode();
-        let mut out = Vec::with_capacity(body.len() + 4);
-        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        out.extend_from_slice(&body);
-        out
+    /// Encodes with a `u32` length prefix for stream framing. Prefix and
+    /// body share one buffer: the prefix is reserved up front and patched
+    /// once the body length is known, so framing costs no extra copy.
+    pub fn encode_framed(&self) -> Payload {
+        let mut out = vec![0u8; 4];
+        self.encode_into(&mut out);
+        let body_len = (out.len() - 4) as u32;
+        out[..4].copy_from_slice(&body_len.to_be_bytes());
+        Payload::from_vec(out)
+    }
+
+    /// Decodes a frame body from a shared buffer; marshaled `byte[]`
+    /// arguments come back as zero-copy sub-slices of `frame`.
+    pub fn decode_payload(frame: &Payload) -> Option<RmiFrame> {
+        Self::decode_inner(frame, Some(frame))
     }
 
     /// Decodes a frame body.
     pub fn decode(bytes: &[u8]) -> Option<RmiFrame> {
-        let mut c = Cursor { buf: bytes, pos: 0 };
+        Self::decode_inner(bytes, None)
+    }
+
+    fn decode_inner(bytes: &[u8], backing: Option<&Payload>) -> Option<RmiFrame> {
+        let mut c = Cursor {
+            buf: bytes,
+            pos: 0,
+            backing,
+        };
         let frame = match c.u8()? {
             TAG_PING => RmiFrame::Ping,
             TAG_PING_ACK => RmiFrame::PingAck,
@@ -249,9 +277,13 @@ impl RmiFrame {
 }
 
 /// Accumulates stream bytes into frames.
+///
+/// Built on [`ChunkQueue`]: stream chunks are queued without
+/// concatenation and each frame is extracted in O(frame) time, so a
+/// burst of buffered calls decodes linearly instead of quadratically.
 #[derive(Debug, Default)]
 pub struct FrameAccumulator {
-    buf: Vec<u8>,
+    buf: ChunkQueue,
 }
 
 impl FrameAccumulator {
@@ -260,9 +292,15 @@ impl FrameAccumulator {
         FrameAccumulator::default()
     }
 
-    /// Feeds bytes.
+    /// Feeds borrowed bytes (one copy into a fresh chunk).
     pub fn push(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+        self.buf.push_slice(bytes);
+    }
+
+    /// Feeds a shared chunk without copying — the path stream handlers
+    /// use with `StreamEvent::Data` payloads.
+    pub fn push_payload(&mut self, chunk: Payload) {
+        self.buf.push(chunk);
     }
 
     /// Pops the next complete frame.
@@ -275,12 +313,15 @@ impl FrameAccumulator {
         if self.buf.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        let mut hdr = [0u8; 4];
+        self.buf.peek_into(&mut hdr);
+        let len = u32::from_be_bytes(hdr) as usize;
         if self.buf.len() < 4 + len {
             return Ok(None);
         }
-        let body: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
-        match RmiFrame::decode(&body) {
+        let _prefix = self.buf.take(4);
+        let body = self.buf.take(len);
+        match RmiFrame::decode_payload(&body) {
             Some(f) => Ok(Some(f)),
             None => {
                 self.buf.clear();
@@ -302,7 +343,7 @@ mod tests {
                 call_id: 9,
                 object: "EchoService".to_owned(),
                 method: "echo".to_owned(),
-                args: vec![JavaValue::Bytes(vec![1; 64]), JavaValue::Int(5)],
+                args: vec![JavaValue::Bytes(vec![1; 64].into()), JavaValue::Int(5)],
             },
             RmiFrame::Return {
                 call_id: 9,

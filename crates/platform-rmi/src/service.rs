@@ -54,7 +54,7 @@ impl Process for RmiRegistry {
                 let Some(acc) = self.conns.get_mut(&stream) else {
                     return;
                 };
-                acc.push(&data);
+                acc.push_payload(data);
                 loop {
                     let frame = match self.conns.get_mut(&stream).map(|a| a.next()) {
                         Some(Ok(Some(f))) => f,
@@ -211,7 +211,7 @@ impl Process for RmiObjectServer {
                 let Some(acc) = self.conns.get_mut(&stream) else {
                     return;
                 };
-                acc.push(&data);
+                acc.push_payload(data);
                 loop {
                     let frame = match self.conns.get_mut(&stream).map(|a| a.next()) {
                         Some(Ok(Some(f))) => f,
@@ -437,7 +437,7 @@ impl RmiClient {
                 let Some(conn) = self.conns.get_mut(&addr) else {
                     return out;
                 };
-                conn.acc.push(&data);
+                conn.acc.push_payload(data);
                 loop {
                     let frame = match self.conns.get_mut(&addr).map(|c| c.acc.next()) {
                         Some(Ok(Some(f))) => f,
@@ -536,7 +536,7 @@ mod tests {
                         *addr,
                         "EchoService",
                         "echo",
-                        vec![JavaValue::Bytes(vec![9; 1400])],
+                        vec![JavaValue::Bytes(vec![9; 1400].into())],
                         2,
                     );
                 }
@@ -575,7 +575,7 @@ mod tests {
         ));
         match results.get(1) {
             Some(RmiClientEvent::Returned { call_id: 2, result }) => {
-                assert_eq!(*result, JavaValue::Bytes(vec![9; 1400]));
+                assert_eq!(*result, JavaValue::Bytes(vec![9; 1400].into()));
             }
             other => panic!("expected echo return, got {other:?}"),
         }

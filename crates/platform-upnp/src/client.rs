@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use simnet::{Addr, Ctx, Datagram, StreamEvent, StreamId};
+use simnet::{Addr, Ctx, Datagram, Payload, StreamEvent, StreamId};
 
 use crate::calib;
 use crate::description::DeviceDesc;
@@ -72,20 +72,20 @@ enum Pending {
         location: Addr,
         acc: HttpAccumulator,
         sent: bool,
-        request: Vec<u8>,
+        request: Payload,
     },
     Action {
         call_id: u64,
         acc: HttpAccumulator,
         sent: bool,
-        request: Vec<u8>,
+        request: Payload,
     },
     Subscribe {
         service: String,
         location: Addr,
         acc: HttpAccumulator,
         sent: bool,
-        request: Vec<u8>,
+        request: Payload,
     },
     /// An inbound connection on the GENA callback listener.
     Inbound { acc: HttpAccumulator },
@@ -272,7 +272,7 @@ impl ControlPoint {
                 };
                 match p {
                     Pending::Inbound { acc } => {
-                        acc.push(&data);
+                        acc.push_payload(data);
                         while let Some(msg) = acc.take_message() {
                             if let Ok(HttpMessage::Request(req)) = msg {
                                 if let Some(n) = Notify::from_request(&req) {
@@ -290,7 +290,7 @@ impl ControlPoint {
                             | Pending::Subscribe { acc, .. } => acc,
                             Pending::Inbound { .. } => unreachable!("handled above"),
                         };
-                        acc.push(&data);
+                        acc.push_payload(data);
                         if let Some(msg) = acc.take_message() {
                             let done = self.pending.remove(&stream).expect("present");
                             ctx.stream_close(stream);

@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use simnet::{Addr, Ctx, Datagram, Process, SimDuration, StreamEvent, StreamId};
+use simnet::{Addr, Ctx, Datagram, Payload, Process, SimDuration, StreamEvent, StreamId};
 
 use crate::calib;
 use crate::description::DeviceDesc;
@@ -98,7 +98,7 @@ pub struct UpnpDevice {
     /// Accumulators for inbound HTTP connections.
     server_conns: HashMap<StreamId, HttpAccumulator>,
     /// Outbound NOTIFY connections awaiting `Connected`.
-    notify_out: HashMap<StreamId, Vec<u8>>,
+    notify_out: HashMap<StreamId, Payload>,
 }
 
 #[derive(Debug)]
@@ -380,7 +380,7 @@ impl Process for UpnpDevice {
                 let Some(acc) = self.server_conns.get_mut(&stream) else {
                     return;
                 };
-                acc.push(&data);
+                acc.push_payload(data);
                 if let Some(Ok(HttpMessage::Request(req))) = acc.take_message() {
                     self.handle_request(ctx, stream, req);
                 }

@@ -10,6 +10,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use simnet::Payload;
+
 /// An HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpRequest {
@@ -19,8 +21,10 @@ pub struct HttpRequest {
     pub path: String,
     /// Headers with case-insensitive keys (stored lowercase).
     pub headers: BTreeMap<String, String>,
-    /// Body bytes (`Content-Length` is derived automatically).
-    pub body: Vec<u8>,
+    /// Body bytes (`Content-Length` is derived automatically). A shared
+    /// [`Payload`], so a SOAP/GENA body can carry a `UMessage` payload
+    /// without copying.
+    pub body: Payload,
 }
 
 impl HttpRequest {
@@ -30,7 +34,7 @@ impl HttpRequest {
             method: method.to_owned(),
             path: path.to_owned(),
             headers: BTreeMap::new(),
-            body: Vec::new(),
+            body: Payload::new(),
         }
     }
 
@@ -40,9 +44,10 @@ impl HttpRequest {
         self
     }
 
-    /// Sets the body (builder style).
-    pub fn with_body(mut self, body: Vec<u8>) -> HttpRequest {
-        self.body = body;
+    /// Sets the body (builder style). Passing a `Payload` shares the
+    /// buffer without copying.
+    pub fn with_body(mut self, body: impl Into<Payload>) -> HttpRequest {
+        self.body = body.into();
         self
     }
 
@@ -53,15 +58,16 @@ impl HttpRequest {
             .map(String::as_str)
     }
 
-    /// Serializes to wire bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Serializes to wire bytes as a shared [`Payload`] (freeze, not a
+    /// copy), so a queued or retried request clones in O(1).
+    pub fn to_bytes(&self) -> Payload {
         let mut out = format!("{} {} HTTP/1.0\r\n", self.method, self.path).into_bytes();
         for (k, v) in &self.headers {
             out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
         }
         out.extend_from_slice(format!("content-length: {}\r\n\r\n", self.body.len()).as_bytes());
         out.extend_from_slice(&self.body);
-        out
+        Payload::from_vec(out)
     }
 }
 
@@ -80,8 +86,8 @@ pub struct HttpResponse {
     pub reason: String,
     /// Headers with lowercase keys.
     pub headers: BTreeMap<String, String>,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Body bytes, as a shared [`Payload`].
+    pub body: Payload,
 }
 
 impl HttpResponse {
@@ -99,7 +105,7 @@ impl HttpResponse {
             status,
             reason: reason.to_owned(),
             headers: BTreeMap::new(),
-            body: Vec::new(),
+            body: Payload::new(),
         }
     }
 
@@ -116,9 +122,10 @@ impl HttpResponse {
         self
     }
 
-    /// Sets the body (builder style).
-    pub fn with_body(mut self, body: Vec<u8>) -> HttpResponse {
-        self.body = body;
+    /// Sets the body (builder style). Passing a `Payload` shares the
+    /// buffer without copying.
+    pub fn with_body(mut self, body: impl Into<Payload>) -> HttpResponse {
+        self.body = body.into();
         self
     }
 
@@ -129,15 +136,15 @@ impl HttpResponse {
             .map(String::as_str)
     }
 
-    /// Serializes to wire bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Serializes to wire bytes as a shared [`Payload`].
+    pub fn to_bytes(&self) -> Payload {
         let mut out = format!("HTTP/1.0 {} {}\r\n", self.status, self.reason).into_bytes();
         for (k, v) in &self.headers {
             out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
         }
         out.extend_from_slice(format!("content-length: {}\r\n\r\n", self.body.len()).as_bytes());
         out.extend_from_slice(&self.body);
-        out
+        Payload::from_vec(out)
     }
 }
 
@@ -167,6 +174,14 @@ impl HttpAccumulator {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Feeds a received stream chunk. Header parsing needs contiguous
+    /// text, so the chunk is appended to the line buffer; the *body* is
+    /// still handed out as a zero-copy slice by
+    /// [`take_message`](Self::take_message).
+    pub fn push_payload(&mut self, chunk: Payload) {
+        self.buf.extend_from_slice(&chunk);
+    }
+
     /// Attempts to extract one complete message. Returns `None` until the
     /// headers and full body (per `Content-Length`) have arrived. Messages
     /// that fail to parse return `Some(Err(reason))` and consume the
@@ -174,8 +189,7 @@ impl HttpAccumulator {
     #[allow(clippy::type_complexity)]
     pub fn take_message(&mut self) -> Option<Result<HttpMessage, String>> {
         let header_end = find_subsequence(&self.buf, b"\r\n\r\n")?;
-        let header_bytes = self.buf[..header_end].to_vec();
-        let header_text = String::from_utf8_lossy(&header_bytes).into_owned();
+        let header_text = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
         let mut lines = header_text.split("\r\n");
         let first = lines.next().unwrap_or_default().to_owned();
         let mut headers = BTreeMap::new();
@@ -189,11 +203,16 @@ impl HttpAccumulator {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
         let body_start = header_end + 4;
-        if self.buf.len() < body_start + content_length {
+        let total = body_start + content_length;
+        if self.buf.len() < total {
             return None;
         }
-        let body = self.buf[body_start..body_start + content_length].to_vec();
-        self.buf.drain(..body_start + content_length);
+        // Move the consumed message behind an Arc and slice the body out
+        // of it — no per-body copy, and any following pipelined message
+        // stays in `buf`.
+        let rest = self.buf.split_off(total);
+        let message = Payload::from_vec(std::mem::replace(&mut self.buf, rest));
+        let body = message.slice(body_start..total);
 
         let parts: Vec<&str> = first.splitn(3, ' ').collect();
         if first.starts_with("HTTP/") {

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use platform_upnp::{HttpAccumulator, HttpMessage, HttpRequest, HttpResponse};
-use simnet::{Addr, Ctx, Process, SimDuration, StreamEvent, StreamId};
+use simnet::{Addr, Ctx, Payload, Process, SimDuration, StreamEvent, StreamId};
 use umiddle_usdl::Element;
 
 /// Host-side XML processing cost per call or response.
@@ -275,7 +275,7 @@ impl Process for WsServer {
                 let Some(acc) = self.conns.get_mut(&stream) else {
                     return;
                 };
-                acc.push(&data);
+                acc.push_payload(data);
                 let Some(Ok(HttpMessage::Request(req))) = acc.take_message() else {
                     return;
                 };
@@ -350,12 +350,12 @@ enum WsPending {
     Describe {
         location: Addr,
         acc: HttpAccumulator,
-        request: Vec<u8>,
+        request: Payload,
     },
     Call {
         call_id: u64,
         acc: HttpAccumulator,
-        request: Vec<u8>,
+        request: Payload,
     },
 }
 
@@ -430,7 +430,7 @@ impl WsClient {
                 let acc = match p {
                     WsPending::Describe { acc, .. } | WsPending::Call { acc, .. } => acc,
                 };
-                acc.push(&data);
+                acc.push_payload(data);
                 if let Some(msg) = acc.take_message() {
                     let p = self.pending.remove(&stream).expect("present");
                     ctx.stream_close(stream);

@@ -135,12 +135,22 @@ impl<'w> Ctx<'w> {
 
     /// Sends a datagram from `src_port` on this node.
     ///
+    /// Accepts anything convertible to a [`Payload`](crate::Payload)
+    /// (`Vec<u8>`, `&[u8]`, an existing `Payload`, …); passing a `Payload`
+    /// forwards it without copying.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::NoRoute`](crate::SimError::NoRoute) if this node
     /// shares no segment with the destination.
-    pub fn send_to(&mut self, src_port: u16, dst: Addr, data: Vec<u8>) -> SimResult<()> {
-        self.world.send_datagram(self.me, src_port, dst, data)
+    pub fn send_to(
+        &mut self,
+        src_port: u16,
+        dst: Addr,
+        data: impl Into<crate::Payload>,
+    ) -> SimResult<()> {
+        self.world
+            .send_datagram(self.me, src_port, dst, data.into())
     }
 
     /// Joins multicast group `group` on every segment this node is
@@ -155,9 +165,16 @@ impl<'w> Ctx<'w> {
     }
 
     /// Multicasts `data` to group members on all attached segments. The
-    /// sending node does not receive its own multicast.
-    pub fn multicast(&mut self, src_port: u16, group: u16, data: Vec<u8>) -> SimResult<()> {
-        self.world.send_multicast(self.me, src_port, group, data)
+    /// sending node does not receive its own multicast. All recipients
+    /// share one backing buffer: fan-out to N members copies no bytes.
+    pub fn multicast(
+        &mut self,
+        src_port: u16,
+        group: u16,
+        data: impl Into<crate::Payload>,
+    ) -> SimResult<()> {
+        self.world
+            .send_multicast(self.me, src_port, group, data.into())
     }
 
     /// Starts accepting stream connections on `port`.
@@ -191,8 +208,12 @@ impl<'w> Ctx<'w> {
     /// [`StreamEvent::Writable`](crate::StreamEvent::Writable) — and
     /// [`SimError::StreamClosed`](crate::SimError::StreamClosed) on a
     /// closed stream.
-    pub fn stream_send(&mut self, stream: StreamId, data: Vec<u8>) -> SimResult<()> {
-        self.world.stream_send(self.me, stream, data)
+    pub fn stream_send(
+        &mut self,
+        stream: StreamId,
+        data: impl Into<crate::Payload>,
+    ) -> SimResult<()> {
+        self.world.stream_send(self.me, stream, data.into())
     }
 
     /// Bytes that can currently be queued on the stream without hitting

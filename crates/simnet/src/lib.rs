@@ -67,6 +67,7 @@
 mod ctx;
 mod error;
 mod medium;
+pub mod payload;
 mod process;
 pub mod rng;
 mod stream;
@@ -77,6 +78,7 @@ mod world;
 pub use ctx::{Ctx, TimerHandle};
 pub use error::{SimError, SimResult};
 pub use medium::{schedule_tx, SegmentConfig, TxTiming};
+pub use payload::{ChunkQueue, Payload, PayloadBuilder, PayloadStats};
 pub use process::{
     Addr, Datagram, LocalMessage, NodeId, ProcId, Process, SegmentId, StreamEvent, StreamId,
 };

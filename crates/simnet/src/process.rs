@@ -88,6 +88,10 @@ impl fmt::Display for Addr {
 }
 
 /// An unreliable datagram delivered to a process.
+///
+/// `data` is a shared [`Payload`](crate::Payload) view: a multicast
+/// delivered to N group members hands every member the same backing
+/// allocation, so fan-out costs O(1) per recipient in bytes copied.
 #[derive(Debug, Clone)]
 pub struct Datagram {
     /// Address the datagram was sent from.
@@ -95,8 +99,8 @@ pub struct Datagram {
     /// Address the datagram was sent to. For multicast deliveries this is
     /// the group address (the receiving node's own id is not substituted).
     pub dst: Addr,
-    /// Payload bytes.
-    pub data: Vec<u8>,
+    /// Payload bytes (shared, immutable).
+    pub data: crate::Payload,
     /// `true` if the datagram was delivered via a multicast group.
     pub multicast: bool,
 }
@@ -114,8 +118,10 @@ pub enum StreamEvent {
         /// Local port the connection arrived on.
         local_port: u16,
     },
-    /// In-order payload bytes arrived.
-    Data(Vec<u8>),
+    /// In-order payload bytes arrived. The view shares the receive-path
+    /// buffer; reassembly of contiguous out-of-order segments may deliver
+    /// several `Data` events back to back rather than copy into one.
+    Data(crate::Payload),
     /// The send buffer drained below its high-water mark after a
     /// [`SimError::StreamBufferFull`](crate::SimError::StreamBufferFull)
     /// rejection.

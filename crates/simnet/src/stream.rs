@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use crate::error::{SimError, SimResult};
+use crate::payload::Payload;
 use crate::process::{Addr, NodeId, ProcId, SegmentId, StreamEvent, StreamId};
 use crate::time::SimDuration;
 use crate::world::{Delivery, EventKind, Frame, FrameDst, FramePayload, World};
@@ -35,13 +36,72 @@ pub(crate) enum Phase {
     Closed,
 }
 
+/// The sender-side byte queue, kept as the original [`Payload`] chunks so
+/// that segmentation, retransmission (go-back-N rewind) and ACK trimming
+/// are all O(1) views into the application's buffers instead of copies.
+#[derive(Debug, Default)]
+pub(crate) struct SendQueue {
+    chunks: VecDeque<Payload>,
+    len: usize,
+}
+
+impl SendQueue {
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub(crate) fn push(&mut self, p: Payload) {
+        if p.is_empty() {
+            return;
+        }
+        self.len += p.len();
+        self.chunks.push_back(p);
+    }
+
+    /// Zero-copy view of up to `max` bytes starting `offset` bytes into the
+    /// queue. Bounded by the chunk containing `offset`: a segment never
+    /// straddles two application writes, which keeps every wire frame a
+    /// pure sub-slice of one backing allocation.
+    pub(crate) fn peek_at(&self, offset: usize, max: usize) -> Payload {
+        debug_assert!(offset < self.len, "peek_at past end of queue");
+        let mut skip = offset;
+        for c in &self.chunks {
+            if skip < c.len() {
+                let end = (skip + max).min(c.len());
+                return c.slice(skip..end);
+            }
+            skip -= c.len();
+        }
+        Payload::new()
+    }
+
+    /// Drops `n` acknowledged bytes from the front without copying.
+    pub(crate) fn advance(&mut self, mut n: usize) {
+        debug_assert!(n <= self.len, "advance past end of queue");
+        self.len -= n;
+        while n > 0 {
+            let front = self.chunks.front_mut().expect("advance within len");
+            if n < front.len() {
+                front.advance(n);
+                break;
+            }
+            n -= front.len();
+            self.chunks.pop_front();
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct Side {
     pub(crate) proc: Option<ProcId>,
     pub(crate) node: NodeId,
     pub(crate) port: u16,
     // --- sender state ---
-    send_buf: VecDeque<u8>,
+    send_buf: SendQueue,
     base_seq: u64,
     next_seq: u64,
     rto: SimDuration,
@@ -53,7 +113,7 @@ pub(crate) struct Side {
     was_full: bool,
     // --- receiver state ---
     recv_next: u64,
-    ooo: BTreeMap<u64, Vec<u8>>,
+    ooo: BTreeMap<u64, Payload>,
     peer_fin_seq: Option<u64>,
     delivered_closed: bool,
 }
@@ -64,7 +124,7 @@ impl Side {
             proc,
             node,
             port,
-            send_buf: VecDeque::new(),
+            send_buf: SendQueue::default(),
             base_seq: 0,
             next_seq: 0,
             rto: RTO_INITIAL,
@@ -135,7 +195,7 @@ pub(crate) enum StreamFrameKind {
     Syn { src: Addr, dst: Addr },
     SynAck,
     Rst,
-    Data { seq: u64, bytes: Vec<u8> },
+    Data { seq: u64, bytes: Payload },
     Ack { ack: u64 },
     Fin { seq: u64 },
 }
@@ -257,7 +317,7 @@ impl World {
         &mut self,
         proc: ProcId,
         id: StreamId,
-        data: Vec<u8>,
+        data: Payload,
     ) -> SimResult<()> {
         let capacity = self.stream_send_capacity;
         let Some(st) = self.stream_state(id) else {
@@ -293,7 +353,7 @@ impl World {
         &mut self,
         proc: ProcId,
         id: StreamId,
-        data: Vec<u8>,
+        data: Payload,
     ) -> SimResult<()> {
         let Some(st) = self.stream_state(id) else {
             return Err(SimError::UnknownStream(id));
@@ -304,7 +364,7 @@ impl World {
         let Some(initiator) = st.side_of(proc) else {
             return Err(SimError::UnknownStream(id));
         };
-        st.side_mut(initiator).send_buf.extend(data);
+        st.side_mut(initiator).send_buf.push(data);
         self.pump(id, initiator);
         Ok(())
     }
@@ -403,15 +463,12 @@ impl World {
                 }
                 return;
             }
-            let chunk_len = can_send.min(mss) as usize;
             let offset = side.in_flight() as usize;
-            let bytes: Vec<u8> = side
-                .send_buf
-                .iter()
-                .skip(offset)
-                .take(chunk_len)
-                .copied()
-                .collect();
+            // Zero-copy view into the send queue; may be shorter than the
+            // window allows when it hits an application-write boundary.
+            let bytes = side.send_buf.peek_at(offset, can_send.min(mss) as usize);
+            let chunk_len = bytes.len();
+            debug_assert!(chunk_len > 0, "pump with unsent bytes yields a chunk");
             let seq = side.next_seq;
             side.next_seq += chunk_len as u64;
             let need_rto = !side.rto_armed;
@@ -630,7 +687,7 @@ impl World {
         }
     }
 
-    fn handle_data(&mut self, id: StreamId, from_initiator: bool, seq: u64, bytes: Vec<u8>) {
+    fn handle_data(&mut self, id: StreamId, from_initiator: bool, seq: u64, bytes: Payload) {
         let Some(st) = self.stream_state(id) else {
             return;
         };
@@ -639,13 +696,18 @@ impl World {
         }
         let rx_initiator = !from_initiator;
         let end = seq + bytes.len() as u64;
+        let mut deliveries: Vec<Payload> = Vec::new();
+        let mut rx_proc = None;
         {
             let rx = st.side_mut(rx_initiator);
             if end > rx.recv_next {
                 if seq <= rx.recv_next {
                     // In-order (possibly with an already-received prefix).
+                    // Each contiguous piece stays a view of its wire frame;
+                    // reassembly emits several Data events instead of one
+                    // concatenated copy.
                     let skip = (rx.recv_next - seq) as usize;
-                    let mut deliver = bytes[skip..].to_vec();
+                    deliveries.push(bytes.slice(skip..bytes.len()));
                     rx.recv_next = end;
                     // Drain contiguous out-of-order segments.
                     while let Some((&s, _)) = rx.ooo.iter().next() {
@@ -656,25 +718,27 @@ impl World {
                         let chunk_end = s + chunk.len() as u64;
                         if chunk_end > rx.recv_next {
                             let skip = (rx.recv_next - s) as usize;
-                            deliver.extend_from_slice(&chunk[skip..]);
+                            deliveries.push(chunk.slice(skip..chunk.len()));
                             rx.recv_next = chunk_end;
                         }
                     }
-                    let proc = rx.proc;
-                    if let Some(p) = proc {
-                        self.schedule_delivery(
-                            self.now(),
-                            p,
-                            Delivery::Stream {
-                                stream: id,
-                                event: StreamEvent::Data(deliver),
-                            },
-                        );
-                    }
+                    rx_proc = rx.proc;
                 } else {
                     rx.ooo.insert(seq, bytes);
                     self.trace.bump("stream.out_of_order", 1);
                 }
+            }
+        }
+        if let Some(p) = rx_proc {
+            for deliver in deliveries {
+                self.schedule_delivery(
+                    self.now(),
+                    p,
+                    Delivery::Stream {
+                        stream: id,
+                        event: StreamEvent::Data(deliver),
+                    },
+                );
             }
         }
         self.send_ack(id, rx_initiator);
@@ -746,7 +810,7 @@ impl World {
         let data_ack = ack.min(tx.next_seq);
         if data_ack > tx.base_seq {
             let n = (data_ack - tx.base_seq) as usize;
-            tx.send_buf.drain(..n);
+            tx.send_buf.advance(n);
             tx.base_seq = data_ack;
             tx.rto = RTO_INITIAL;
         }

@@ -550,6 +550,28 @@ impl Trace {
         &mut self.metrics
     }
 
+    /// Folds the thread-local payload copy accounting into the metrics
+    /// registry — counters `payload.allocs`, `payload.bytes_copied` and
+    /// `payload.shared_clones` — draining it. The world calls this at
+    /// the end of every run, so metrics snapshots carry the data-path
+    /// copy cost alongside the domain counters. With several worlds on
+    /// one thread, the accounting lands in whichever world runs next
+    /// (the counters are process-wide, not per-world).
+    pub fn sync_payload_stats(&mut self) {
+        let s = crate::payload::take_stats();
+        if s.allocs > 0 {
+            self.metrics.counter_add("payload.allocs", s.allocs);
+        }
+        if s.bytes_copied > 0 {
+            self.metrics
+                .counter_add("payload.bytes_copied", s.bytes_copied);
+        }
+        if s.shared_clones > 0 {
+            self.metrics
+                .counter_add("payload.shared_clones", s.shared_clones);
+        }
+    }
+
     /// Adds `n` to the named counter.
     pub fn bump(&mut self, counter: &str, n: u64) {
         self.metrics.counter_add(counter, n);

@@ -7,6 +7,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use crate::ctx::Ctx;
 use crate::error::{SimError, SimResult};
 use crate::medium::{schedule_tx, SegmentConfig};
+use crate::payload::Payload;
 use crate::process::{Addr, Datagram, LocalMessage, NodeId, ProcId, Process, SegmentId, StreamId};
 use crate::stream::{StreamFrame, StreamState};
 use crate::time::{SimDuration, SimTime};
@@ -66,7 +67,7 @@ pub(crate) enum FramePayload {
     Datagram {
         src: Addr,
         dst: Addr,
-        data: Vec<u8>,
+        data: Payload,
         multicast: bool,
     },
     Stream(StreamFrame),
@@ -133,16 +134,16 @@ pub(crate) enum EmitAction {
     Datagram {
         src_port: u16,
         dst: Addr,
-        data: Vec<u8>,
+        data: Payload,
     },
     Multicast {
         src_port: u16,
         group: u16,
-        data: Vec<u8>,
+        data: Payload,
     },
     StreamData {
         stream: StreamId,
-        data: Vec<u8>,
+        data: Payload,
     },
     StreamClose {
         stream: StreamId,
@@ -451,8 +452,10 @@ impl World {
     /// node is attached to at this moment.
     pub fn join_group(&mut self, proc: ProcId, group: u16) -> SimResult<()> {
         let node = self.node_of(proc)?;
-        let segs = self.nodes[node.index()].segments.clone();
-        for seg in segs {
+        // Index-based walk: the membership update borrows `self.segments`
+        // mutably, so we avoid cloning the node's segment list.
+        for i in 0..self.nodes[node.index()].segments.len() {
+            let seg = self.nodes[node.index()].segments[i];
             let members = self.segments[seg.index()].groups.entry(group).or_default();
             if !members.contains(&proc) {
                 members.push(proc);
@@ -527,6 +530,7 @@ impl World {
     /// Runs until the event queue drains.
     pub fn run_until_idle(&mut self) {
         while self.step() {}
+        self.trace.sync_payload_stats();
     }
 
     /// Runs until virtual time reaches `deadline` (events at exactly the
@@ -543,6 +547,7 @@ impl World {
             }
         }
         self.now = self.now.max(deadline);
+        self.trace.sync_payload_stats();
     }
 
     /// Runs for `duration` of virtual time from now.
@@ -780,7 +785,7 @@ impl World {
         from: ProcId,
         src_port: u16,
         dst: Addr,
-        data: Vec<u8>,
+        data: Payload,
     ) -> SimResult<()> {
         // Validate early so callers get errors synchronously, then defer
         // past the sender's modeled CPU time.
@@ -805,7 +810,7 @@ impl World {
         from: ProcId,
         src_port: u16,
         dst: Addr,
-        data: Vec<u8>,
+        data: Payload,
     ) -> SimResult<()> {
         let src_node = self.node_of(from)?;
         let segment = self.route(src_node, dst.node)?;
@@ -837,7 +842,7 @@ impl World {
         from: ProcId,
         src_port: u16,
         group: u16,
-        data: Vec<u8>,
+        data: Payload,
     ) -> SimResult<()> {
         self.node_of(from)?;
         if self.emit_time(from) > self.now {
@@ -859,12 +864,14 @@ impl World {
         from: ProcId,
         src_port: u16,
         group: u16,
-        data: Vec<u8>,
+        data: Payload,
     ) -> SimResult<()> {
         let src_node = self.node_of(from)?;
-        let segments = self.nodes[src_node.index()].segments.clone();
         let wire = data.len() + Self::DGRAM_HEADER;
-        for segment in segments {
+        // Index-based walk (transmit needs `&mut self`), and `data.clone()`
+        // is an O(1) refcount bump: one backing buffer serves every segment.
+        for i in 0..self.nodes[src_node.index()].segments.len() {
+            let segment = self.nodes[src_node.index()].segments[i];
             let frame = Frame {
                 src_node,
                 dst: FrameDst::Group(group),
@@ -916,6 +923,14 @@ impl World {
                                 .collect()
                         })
                         .unwrap_or_default();
+                    // Fan-out: every member gets a view of the same backing
+                    // buffer; `clone()` bumps a refcount, no bytes move.
+                    if members.len() > 1 {
+                        self.trace.bump(
+                            "payload.fanout_bytes_shared",
+                            (data.len() * (members.len() - 1)) as u64,
+                        );
+                    }
                     for member in members {
                         let d = Datagram {
                             src,
@@ -999,7 +1014,7 @@ mod tests {
             ctx.send_to(7, self.target, b"hello".to_vec()).unwrap();
         }
         fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, d: Datagram) {
-            self.got.borrow_mut().push(d.data);
+            self.got.borrow_mut().push(d.data.to_vec());
         }
     }
 

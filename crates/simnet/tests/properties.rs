@@ -189,3 +189,176 @@ fn timer_ordering_is_total() {
     world.run_until_idle();
     assert_eq!(fired.borrow().as_slice(), &[1, 15, 2, 3, 4]);
 }
+
+/// A sender that streams zero-copy slices of one shared [`Payload`].
+struct PayloadSender {
+    target: Addr,
+    payload: simnet::Payload,
+    chunk: usize,
+    sent: usize,
+    stream: Option<StreamId>,
+}
+
+impl PayloadSender {
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let stream = self.stream.expect("connected");
+        while self.sent < self.payload.len() {
+            let end = (self.sent + self.chunk).min(self.payload.len());
+            match ctx.stream_send(stream, self.payload.slice(self.sent..end)) {
+                Ok(()) => self.sent = end,
+                Err(SimError::StreamBufferFull(_)) => return,
+                Err(e) => panic!("send failed: {e}"),
+            }
+        }
+        ctx.stream_close(stream);
+    }
+}
+
+impl Process for PayloadSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.stream = Some(ctx.connect(self.target).unwrap());
+    }
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, _s: StreamId, ev: StreamEvent) {
+        if matches!(ev, StreamEvent::Connected | StreamEvent::Writable) {
+            self.pump(ctx);
+        }
+    }
+}
+
+/// Random slice/split/extend pipelines over a [`Payload`] agree with the
+/// same operations on an eagerly-copied `Vec<u8>` model.
+#[test]
+fn payload_views_match_vec_model() {
+    check_cases("payload_views_match_vec_model", 48, |_, rng| {
+        let len = rng.gen_range(0usize..4096);
+        let bytes = rng.gen_bytes(len);
+        let mut p = simnet::Payload::from_vec(bytes.clone());
+        let mut model = bytes;
+        for _ in 0..8 {
+            match rng.gen_range(0u32..3) {
+                0 => {
+                    let a = rng.gen_range(0usize..=model.len());
+                    let b = rng.gen_range(a..=model.len());
+                    p = p.slice(a..b);
+                    model = model[a..b].to_vec();
+                }
+                1 => {
+                    let n = rng.gen_range(0usize..=model.len());
+                    let head = p.split_to(n);
+                    let model_head: Vec<u8> = model.drain(..n).collect();
+                    assert_eq!(head, model_head[..], "split_to head");
+                }
+                _ => {
+                    let extra_len = rng.gen_range(0usize..64);
+                    let extra = rng.gen_bytes(extra_len);
+                    let mut b = simnet::PayloadBuilder::new();
+                    b.extend_from_slice(&p);
+                    b.extend_from_slice(&extra);
+                    p = b.freeze();
+                    model.extend_from_slice(&extra);
+                }
+            }
+            assert_eq!(p, model[..], "payload diverged from model");
+        }
+    });
+}
+
+/// Cloning and slicing a [`Payload`] share the backing buffer (no bytes
+/// move), and iteration equals slice access.
+#[test]
+fn payload_clones_are_cheap_and_identical() {
+    check_cases("payload_clones_are_cheap_and_identical", 24, |_, rng| {
+        let len = rng.gen_range(1usize..4096);
+        let bytes = rng.gen_bytes(len);
+        let p = simnet::Payload::from_vec(bytes);
+        simnet::payload::take_stats();
+        let c = p.clone();
+        let a = rng.gen_range(0usize..len);
+        let b = rng.gen_range(a..=len);
+        let s = p.slice(a..b);
+        let moved = simnet::payload::take_stats().bytes_copied;
+        assert_eq!(moved, 0, "clone/slice must not copy bytes");
+        assert!(c.shares_buffer(&p), "clone shares the buffer");
+        assert!(b == a || s.shares_buffer(&p), "slice shares the buffer");
+        assert_eq!(c, p);
+        assert_eq!(s, p[a..b]);
+        let collected: Vec<u8> = s.clone().into_iter().collect();
+        assert_eq!(collected, &p[a..b]);
+    });
+}
+
+/// [`ChunkQueue`] take/peek over arbitrary chunkings agree with a flat
+/// byte model.
+#[test]
+fn chunk_queue_matches_flat_model() {
+    check_cases("chunk_queue_matches_flat_model", 32, |_, rng| {
+        let len = rng.gen_range(0usize..8192);
+        let bytes = rng.gen_bytes(len);
+        let mut q = simnet::ChunkQueue::new();
+        let mut fed = 0;
+        while fed < len {
+            let n = rng.gen_range(1usize..=(len - fed).min(512));
+            q.push(simnet::Payload::copy_from_slice(&bytes[fed..fed + n]));
+            fed += n;
+        }
+        let mut off = 0;
+        while off < len {
+            let want = rng.gen_range(1usize..=(len - off).min(777));
+            let mut peeked = vec![0u8; want];
+            let got = q.peek_into(&mut peeked);
+            assert_eq!(got, want.min(q.len()));
+            assert_eq!(&peeked[..got], &bytes[off..off + got], "peek_into");
+            let taken = q.take(want);
+            assert_eq!(taken, bytes[off..off + want], "take");
+            off += want;
+        }
+        assert!(q.is_empty());
+    });
+}
+
+/// Streams fed zero-copy [`Payload`] slices of one shared buffer still
+/// deliver every byte exactly once under loss — retransmissions must not
+/// depend on the sender's buffer being private.
+#[test]
+fn shared_payload_stream_reassembles_under_loss() {
+    check_cases(
+        "shared_payload_stream_reassembles_under_loss",
+        16,
+        |_, rng| {
+            let seed = rng.gen_range(0u64..1000);
+            let loss = rng.gen_f64() * 0.10;
+            let len = rng.gen_range(1usize..20_000);
+            let payload = rng.gen_bytes(len);
+            let chunk = rng.gen_range(1usize..4096);
+
+            let mut world = World::new(seed);
+            let seg = world.add_segment(SegmentConfig::ethernet_10mbps_hub().with_loss(loss));
+            let a = world.add_node("a");
+            let b = world.add_node("b");
+            world.attach(a, seg).unwrap();
+            world.attach(b, seg).unwrap();
+            let received = Rc::new(RefCell::new(Vec::new()));
+            let closed = Rc::new(RefCell::new(false));
+            world.add_process(
+                b,
+                Box::new(Sink {
+                    received: Rc::clone(&received),
+                    closed: Rc::clone(&closed),
+                }),
+            );
+            world.add_process(
+                a,
+                Box::new(PayloadSender {
+                    target: Addr::new(b, 80),
+                    payload: simnet::Payload::from_vec(payload.clone()),
+                    chunk: chunk.max(1),
+                    sent: 0,
+                    stream: None,
+                }),
+            );
+            world.run_until(SimTime::from_secs(300));
+            assert_eq!(*received.borrow(), payload);
+            assert!(*closed.borrow(), "FIN delivered");
+        },
+    );
+}

@@ -17,8 +17,8 @@ use platform_bluetooth::{
     ObexGetClient, ObexPacket, Opcode, ReportAccumulator, SdpPdu, INQUIRY_GROUP, PSM_HID, PSM_SDP,
 };
 use simnet::{
-    Addr, Ctx, Datagram, LocalMessage, NodeId, ProcId, Process, SimDuration, SimTime, StreamEvent,
-    StreamId,
+    Addr, Ctx, Datagram, LocalMessage, NodeId, Payload, ProcId, Process, SimDuration, SimTime,
+    StreamEvent, StreamId,
 };
 use umiddle_core::{
     ack_input_done, handle_input_done_echo, ConnectionId, MimeType, RuntimeClient, RuntimeEvent,
@@ -78,7 +78,7 @@ enum ObexOp {
     Push {
         translator: TranslatorId,
         connection: ConnectionId,
-        packets: Vec<Vec<u8>>,
+        packets: Vec<Payload>,
         acc: ObexAccumulator,
     },
 }
@@ -321,10 +321,11 @@ impl BluetoothMapper {
                         }
                     }
                     ("bip-printer", "image-in") => {
-                        let packets: Vec<Vec<u8>> = image_push_packets("photo.jpg", msg.body())
-                            .iter()
-                            .map(ObexPacket::encode)
-                            .collect();
+                        let packets: Vec<Payload> =
+                            image_push_packets("photo.jpg", msg.body_payload())
+                                .iter()
+                                .map(ObexPacket::encode)
+                                .collect();
                         if let Ok(stream) = ctx.connect(Addr::new(node, svc.psm)) {
                             self.obex_ops.insert(
                                 stream,
@@ -584,31 +585,23 @@ impl Process for BluetoothMapper {
         if self.obex_ops.contains_key(&stream) {
             match event {
                 StreamEvent::Connected => {
-                    // Kick off the operation.
-                    let first = match self.obex_ops.get_mut(&stream) {
+                    // Kick off the operation. Each packet goes out as its
+                    // own shared buffer — no concatenation copy.
+                    let to_send: Vec<Payload> = match self.obex_ops.get_mut(&stream) {
                         Some(ObexOp::Shutter { .. }) => {
                             // PUT RemoteShutter (final, no body).
-                            Some(
-                                ObexPacket::new(Opcode::PutFinal)
-                                    .with_header(platform_bluetooth::Header::Name(
-                                        "RemoteShutter".to_owned(),
-                                    ))
-                                    .with_header(platform_bluetooth::Header::EndOfBody(Vec::new()))
-                                    .encode(),
-                            )
+                            vec![ObexPacket::new(Opcode::PutFinal)
+                                .with_header(platform_bluetooth::Header::Name(
+                                    "RemoteShutter".to_owned(),
+                                ))
+                                .with_header(platform_bluetooth::Header::EndOfBody(Payload::new()))
+                                .encode()]
                         }
-                        Some(ObexOp::Pull { .. }) => Some(image_pull_request(None)),
-                        Some(ObexOp::Push { packets, .. }) => {
-                            // Send all PUT packets back to back.
-                            let mut all = Vec::new();
-                            for p in packets.drain(..) {
-                                all.extend(p);
-                            }
-                            Some(all)
-                        }
-                        None => None,
+                        Some(ObexOp::Pull { .. }) => vec![image_pull_request(None)],
+                        Some(ObexOp::Push { packets, .. }) => std::mem::take(packets),
+                        None => Vec::new(),
                     };
-                    if let Some(bytes) = first {
+                    for bytes in to_send {
                         let _ = ctx.stream_send(stream, bytes);
                     }
                 }

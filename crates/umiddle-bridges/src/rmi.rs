@@ -148,9 +148,9 @@ impl RmiMapper {
                     return;
                 };
                 // Emit the echoed value on the response port.
-                let body = match result {
+                let body: simnet::Payload = match result {
                     JavaValue::Bytes(b) => b,
-                    other => other.to_string().into_bytes(),
+                    other => other.to_string().into_bytes().into(),
                 };
                 let mime: MimeType = "application/octet-stream".parse().expect("static");
                 ctx.busy(calib::STREAM_TRANSLATION);

@@ -6,13 +6,15 @@
 //! advertisements with a TTL and pruned on expiry or explicit byes. The
 //! replica serves `lookup(Query)` locally and feeds directory listeners.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use simnet::{Addr, SimTime};
 
 use crate::id::TranslatorId;
+use crate::mime::MimeType;
 use crate::profile::TranslatorProfile;
 use crate::query::Query;
+use crate::shape::{Direction, PortKind};
 
 /// One replica entry: a profile plus liveness bookkeeping.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,9 +40,23 @@ pub enum UpsertEffect {
 }
 
 /// The in-memory directory replica.
+///
+/// Besides the id-ordered entry map, the table keeps a secondary index
+/// from `(direction, concrete port MIME type)` to translator ids, so the
+/// hot `lookup` shape — a [`Query::HasPort`] on a concrete digital type,
+/// issued on every dynamic binding attempt — touches only candidate
+/// entries instead of scanning the whole federation. Profiles whose
+/// ports carry wildcard types land in a per-direction side set (they can
+/// match any concrete query type). Queries the index cannot serve fall
+/// back to the full scan, and indexed candidates are still re-checked
+/// with [`Query::matches`], so both paths always agree.
 #[derive(Debug, Default)]
 pub struct DirectoryTable {
     entries: BTreeMap<TranslatorId, DirectoryEntry>,
+    /// `(direction, concrete mime)` → ids of profiles with such a port.
+    mime_index: HashMap<(Direction, MimeType), BTreeSet<TranslatorId>>,
+    /// Ids of profiles with a wildcard-typed digital port, per direction.
+    pattern_ports: HashMap<Direction, BTreeSet<TranslatorId>>,
 }
 
 impl DirectoryTable {
@@ -58,11 +74,16 @@ impl DirectoryTable {
         local: bool,
     ) -> UpsertEffect {
         let id = profile.id();
-        let effect = if self.entries.contains_key(&id) {
+        let effect = if let Some(old) = self.entries.get(&id) {
+            // A refresh may carry a changed shape; drop the stale index
+            // entries before re-indexing.
+            let old_profile = old.profile.clone();
+            self.deindex(id, &old_profile);
             UpsertEffect::Refreshed
         } else {
             UpsertEffect::Appeared
         };
+        self.index(id, &profile);
         self.entries.insert(
             id,
             DirectoryEntry {
@@ -77,7 +98,52 @@ impl DirectoryTable {
 
     /// Removes an entry (explicit bye). Returns it if present.
     pub fn remove(&mut self, id: TranslatorId) -> Option<DirectoryEntry> {
-        self.entries.remove(&id)
+        let entry = self.entries.remove(&id);
+        if let Some(e) = &entry {
+            self.deindex(id, &e.profile);
+        }
+        entry
+    }
+
+    fn index(&mut self, id: TranslatorId, profile: &TranslatorProfile) {
+        for port in profile.shape().ports() {
+            if let PortKind::Digital(mime) = &port.kind {
+                if mime.is_pattern() {
+                    self.pattern_ports
+                        .entry(port.direction)
+                        .or_default()
+                        .insert(id);
+                } else {
+                    self.mime_index
+                        .entry((port.direction, mime.clone()))
+                        .or_default()
+                        .insert(id);
+                }
+            }
+        }
+    }
+
+    fn deindex(&mut self, id: TranslatorId, profile: &TranslatorProfile) {
+        for port in profile.shape().ports() {
+            if let PortKind::Digital(mime) = &port.kind {
+                if mime.is_pattern() {
+                    if let Some(ids) = self.pattern_ports.get_mut(&port.direction) {
+                        ids.remove(&id);
+                        if ids.is_empty() {
+                            self.pattern_ports.remove(&port.direction);
+                        }
+                    }
+                } else {
+                    let key = (port.direction, mime.clone());
+                    if let Some(ids) = self.mime_index.get_mut(&key) {
+                        ids.remove(&id);
+                        if ids.is_empty() {
+                            self.mime_index.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Drops remote entries whose TTL lapsed; returns the expired ids.
@@ -89,7 +155,7 @@ impl DirectoryTable {
             .map(|(id, _)| *id)
             .collect();
         for id in &dead {
-            self.entries.remove(id);
+            self.remove(*id);
         }
         dead
     }
@@ -100,12 +166,49 @@ impl DirectoryTable {
     }
 
     /// Serves the paper's `lookup(Query)`: profiles matching the query.
+    ///
+    /// When the query (or one conjunct of an `And` chain) demands a port
+    /// with a concrete digital type, only entries the MIME index nominates
+    /// are visited; every candidate is still checked against the full
+    /// query, so the result is identical to a table scan.
     pub fn lookup(&self, query: &Query) -> Vec<&TranslatorProfile> {
+        if let Some((direction, mime)) = Self::indexable_port(query) {
+            let mut ids: BTreeSet<TranslatorId> = BTreeSet::new();
+            if let Some(exact) = self.mime_index.get(&(direction, mime.clone())) {
+                ids.extend(exact.iter().copied());
+            }
+            // Wildcard-typed ports match any concrete query type.
+            if let Some(patterns) = self.pattern_ports.get(&direction) {
+                ids.extend(patterns.iter().copied());
+            }
+            return ids
+                .iter()
+                .filter_map(|id| self.entries.get(id))
+                .map(|e| &e.profile)
+                .filter(|p| query.matches(p))
+                .collect();
+        }
         self.entries
             .values()
             .map(|e| &e.profile)
             .filter(|p| query.matches(p))
             .collect()
+    }
+
+    /// Finds a concrete digital-port demand the index can serve: the
+    /// query itself, or any conjunct of a top-level `And` chain (every
+    /// match of the conjunction also matches the conjunct, so its
+    /// candidate set is a safe superset). `Or`/`Not` roots cannot narrow
+    /// the scan and fall through to `None`.
+    fn indexable_port(query: &Query) -> Option<(Direction, &MimeType)> {
+        match query {
+            Query::HasPort {
+                direction,
+                kind: PortKind::Digital(mime),
+            } if !mime.is_pattern() => Some((*direction, mime)),
+            Query::And(a, b) => Self::indexable_port(a).or_else(|| Self::indexable_port(b)),
+            _ => None,
+        }
     }
 
     /// All entries, ordered by translator id.
@@ -189,6 +292,159 @@ mod tests {
         assert_eq!(hits[0].name(), "Camera");
         assert_eq!(t.lookup(&Query::All).len(), 2);
         assert!(t.lookup(&Query::None).is_empty());
+    }
+
+    fn shaped_profile(
+        local: u32,
+        name: &str,
+        ports: &[(&str, Direction, &str)],
+    ) -> TranslatorProfile {
+        let mut b = crate::shape::Shape::builder();
+        for (pname, dir, mime) in ports {
+            b = b.digital(pname, *dir, mime.parse().expect("test mime"));
+        }
+        TranslatorProfile::builder(TranslatorId::new(RuntimeId(0), local), name)
+            .shape(b.build().expect("test shape"))
+            .build()
+    }
+
+    /// A table mixing concrete, wildcard, and port-less profiles, for the
+    /// index/scan agreement battery.
+    fn mixed_table() -> DirectoryTable {
+        let mut t = DirectoryTable::new();
+        t.upsert(
+            shaped_profile(
+                1,
+                "Camera",
+                &[("image-out", Direction::Output, "image/jpeg")],
+            ),
+            addr(),
+            SimTime::MAX,
+            true,
+        );
+        t.upsert(
+            shaped_profile(
+                2,
+                "Printer",
+                &[("image-in", Direction::Input, "image/jpeg")],
+            ),
+            addr(),
+            SimTime::MAX,
+            true,
+        );
+        t.upsert(
+            shaped_profile(3, "Display", &[("media-in", Direction::Input, "image/*")]),
+            addr(),
+            SimTime::MAX,
+            false,
+        );
+        t.upsert(
+            shaped_profile(
+                4,
+                "Recorder",
+                &[
+                    ("audio-in", Direction::Input, "audio/pcm"),
+                    ("audio-out", Direction::Output, "audio/pcm"),
+                ],
+            ),
+            addr(),
+            SimTime::MAX,
+            false,
+        );
+        t.upsert(profile(5, "Plain"), addr(), SimTime::MAX, false);
+        t
+    }
+
+    /// Reference implementation: the pre-index full scan.
+    fn scan<'a>(t: &'a DirectoryTable, q: &Query) -> Vec<&'a TranslatorProfile> {
+        t.iter()
+            .map(|e| &e.profile)
+            .filter(|p| q.matches(p))
+            .collect()
+    }
+
+    #[test]
+    fn indexed_lookup_agrees_with_scan() {
+        let t = mixed_table();
+        let jpeg_in = Query::has_port(
+            Direction::Input,
+            PortKind::Digital("image/jpeg".parse().expect("mime")),
+        );
+        let queries = vec![
+            Query::All,
+            Query::None,
+            jpeg_in.clone(),
+            Query::has_port(
+                Direction::Output,
+                PortKind::Digital("image/jpeg".parse().expect("mime")),
+            ),
+            Query::has_port(
+                Direction::Input,
+                PortKind::Digital("audio/pcm".parse().expect("mime")),
+            ),
+            // Pattern query: not indexable, must fall back to the scan.
+            Query::has_port(
+                Direction::Input,
+                PortKind::Digital("image/*".parse().expect("mime")),
+            ),
+            // Unknown type: indexed path returns only wildcard candidates.
+            Query::has_port(
+                Direction::Input,
+                PortKind::Digital("image/png".parse().expect("mime")),
+            ),
+            // Conjunctions pick the indexable conjunct from either side.
+            jpeg_in.clone().and(Query::NameContains("print".to_owned())),
+            Query::NameContains("disp".to_owned()).and(jpeg_in.clone()),
+            // Disjunction and negation stay on the scan path.
+            jpeg_in.clone().or(Query::NameIs("Plain".to_owned())),
+            jpeg_in.clone().not(),
+        ];
+        for q in &queries {
+            assert_eq!(t.lookup(q), scan(&t, q), "index/scan disagree on {q:?}");
+        }
+    }
+
+    #[test]
+    fn index_follows_refresh_remove_and_expiry() {
+        let mut t = mixed_table();
+        let jpeg_in = Query::has_port(
+            Direction::Input,
+            PortKind::Digital("image/jpeg".parse().expect("mime")),
+        );
+        // Printer (concrete) + Display (wildcard) match.
+        assert_eq!(t.lookup(&jpeg_in).len(), 2);
+
+        // A refresh that changes the shape must re-index: the printer now
+        // only takes PostScript.
+        t.upsert(
+            shaped_profile(
+                2,
+                "Printer",
+                &[("ps-in", Direction::Input, "application/postscript")],
+            ),
+            addr(),
+            SimTime::MAX,
+            true,
+        );
+        assert_eq!(t.lookup(&jpeg_in), scan(&t, &jpeg_in));
+        assert_eq!(t.lookup(&jpeg_in).len(), 1);
+
+        // Explicit bye for the wildcard display.
+        t.remove(TranslatorId::new(RuntimeId(0), 3));
+        assert!(t.lookup(&jpeg_in).is_empty());
+        assert_eq!(t.lookup(&jpeg_in), scan(&t, &jpeg_in));
+
+        // Expiry deindexes too: re-add the display with a short TTL.
+        t.upsert(
+            shaped_profile(3, "Display", &[("media-in", Direction::Input, "image/*")]),
+            addr(),
+            SimTime::from_secs(5),
+            false,
+        );
+        assert_eq!(t.lookup(&jpeg_in).len(), 1);
+        t.expire(SimTime::from_secs(10));
+        assert!(t.lookup(&jpeg_in).is_empty());
+        assert_eq!(t.lookup(&jpeg_in), scan(&t, &jpeg_in));
     }
 
     #[test]

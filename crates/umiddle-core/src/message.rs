@@ -3,6 +3,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use simnet::Payload;
+
 use crate::mime::MimeType;
 
 /// A typed message traveling through the intermediary semantic space.
@@ -25,16 +27,19 @@ use crate::mime::MimeType;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UMessage {
     mime: MimeType,
-    body: Vec<u8>,
+    body: Payload,
     meta: BTreeMap<String, String>,
 }
 
 impl UMessage {
-    /// Creates a message.
-    pub fn new(mime: MimeType, body: Vec<u8>) -> UMessage {
+    /// Creates a message. `body` accepts anything convertible to a
+    /// [`Payload`] (`Vec<u8>`, `&[u8]`, an existing `Payload`, …); passing
+    /// a `Payload` shares the buffer without copying, so a message can
+    /// travel native → common → native referencing one allocation.
+    pub fn new(mime: MimeType, body: impl Into<Payload>) -> UMessage {
         UMessage {
             mime,
-            body,
+            body: body.into(),
             meta: BTreeMap::new(),
         }
     }
@@ -44,7 +49,7 @@ impl UMessage {
     pub fn text(body: impl Into<String>) -> UMessage {
         UMessage {
             mime: MimeType::new("text", "plain").expect("static mime is valid"),
-            body: body.into().into_bytes(),
+            body: Payload::from(body.into()),
             meta: BTreeMap::new(),
         }
     }
@@ -57,6 +62,11 @@ impl UMessage {
     /// The payload bytes.
     pub fn body(&self) -> &[u8] {
         &self.body
+    }
+
+    /// The payload as a shared [`Payload`] view (O(1), no copy).
+    pub fn body_payload(&self) -> Payload {
+        self.body.clone()
     }
 
     /// The payload as UTF-8 text, if valid.
@@ -91,8 +101,8 @@ impl UMessage {
         self.meta.iter().map(|(k, v)| (k.as_str(), v.as_str()))
     }
 
-    /// Consumes the message and returns its payload.
-    pub fn into_body(self) -> Vec<u8> {
+    /// Consumes the message and returns its payload (no copy).
+    pub fn into_body(self) -> Payload {
         self.body
     }
 }

@@ -1067,11 +1067,11 @@ impl UmiddleRuntime {
         }
     }
 
-    fn on_stream_wire(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, data: Vec<u8>) {
+    fn on_stream_wire(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, data: simnet::Payload) {
         let Some(decoder) = self.incoming.get_mut(&stream) else {
             return;
         };
-        decoder.push(&data);
+        decoder.push_payload(data);
         loop {
             match self
                 .incoming

@@ -7,7 +7,9 @@
 //! sequence either decodes to a message or yields a
 //! [`CoreError::Decode`](crate::CoreError::Decode); it never panics.
 
-use simnet::{Addr, NodeId};
+use std::collections::VecDeque;
+
+use simnet::{Addr, NodeId, Payload, PayloadBuilder};
 
 use crate::error::{CoreError, CoreResult};
 use crate::id::{ConnectionId, PortRef, RuntimeId, TranslatorId};
@@ -103,19 +105,32 @@ impl WireMessage {
     /// Encodes the message to bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.out.into_vec()
+    }
+
+    /// Encodes the message into a shared [`Payload`] (one allocation, no
+    /// trailing copy).
+    pub fn encode_payload(&self) -> Payload {
+        let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.out.freeze()
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
         match self {
             WireMessage::Advertise { profile, home } => {
                 w.u8(TAG_ADVERTISE);
-                encode_profile(&mut w, profile);
-                encode_addr(&mut w, *home);
+                encode_profile(w, profile);
+                encode_addr(w, *home);
             }
             WireMessage::Bye { translator } => {
                 w.u8(TAG_BYE);
-                encode_translator_id(&mut w, *translator);
+                encode_translator_id(w, *translator);
             }
             WireMessage::Probe { reply_to } => {
                 w.u8(TAG_PROBE);
-                encode_addr(&mut w, *reply_to);
+                encode_addr(w, *reply_to);
             }
             WireMessage::PathMessage {
                 connection,
@@ -125,9 +140,9 @@ impl WireMessage {
                 w.u8(TAG_PATH);
                 w.u32(connection.runtime.0);
                 w.u32(connection.local);
-                encode_translator_id(&mut w, dst.translator);
+                encode_translator_id(w, dst.translator);
                 w.str(&dst.port);
-                encode_umessage(&mut w, msg);
+                encode_umessage(w, msg);
             }
             WireMessage::ConnectRequest {
                 token,
@@ -138,21 +153,21 @@ impl WireMessage {
             } => {
                 w.u8(TAG_CONNECT_REQ);
                 w.u64(*token);
-                encode_addr(&mut w, *reply_to);
-                encode_translator_id(&mut w, src.translator);
+                encode_addr(w, *reply_to);
+                encode_translator_id(w, src.translator);
                 w.str(&src.port);
                 match target {
                     WireTarget::Port(p) => {
                         w.u8(0);
-                        encode_translator_id(&mut w, p.translator);
+                        encode_translator_id(w, p.translator);
                         w.str(&p.port);
                     }
                     WireTarget::Query(q) => {
                         w.u8(1);
-                        encode_query(&mut w, q);
+                        encode_query(w, q);
                     }
                 }
-                encode_qos(&mut w, qos);
+                encode_qos(w, qos);
             }
             WireMessage::ConnectReply { token, result } => {
                 w.u8(TAG_CONNECT_REPLY);
@@ -175,16 +190,30 @@ impl WireMessage {
                 w.u32(connection.local);
             }
         }
-        w.into_bytes()
     }
 
-    /// Decodes a message from bytes.
+    /// Decodes a message from bytes. Byte-slice bodies are copied into
+    /// fresh payloads; use [`WireMessage::decode_payload`] when the input
+    /// is already a [`Payload`] to keep message bodies zero-copy.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Decode`] on truncated or malformed input.
     pub fn decode(bytes: &[u8]) -> CoreResult<WireMessage> {
-        let mut r = Reader::new(bytes);
+        Self::decode_reader(Reader::new(bytes))
+    }
+
+    /// Decodes a message from a shared [`Payload`]; any embedded
+    /// [`UMessage`] body becomes a zero-copy sub-slice of `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Decode`] on truncated or malformed input.
+    pub fn decode_payload(payload: &Payload) -> CoreResult<WireMessage> {
+        Self::decode_reader(Reader::with_backing(payload))
+    }
+
+    fn decode_reader(mut r: Reader<'_>) -> CoreResult<WireMessage> {
         let tag = r.u8()?;
         let msg = match tag {
             TAG_ADVERTISE => WireMessage::Advertise {
@@ -243,20 +272,31 @@ impl WireMessage {
     }
 
     /// Encodes with a `u32` length prefix, for framing on a byte stream.
-    pub fn encode_framed(&self) -> Vec<u8> {
-        let body = self.encode();
-        let mut out = Vec::with_capacity(body.len() + 4);
-        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        out.extend_from_slice(&body);
-        out
+    /// The prefix slot is reserved up front and patched afterwards, so the
+    /// whole frame is one allocation with no body copy.
+    pub fn encode_framed(&self) -> Payload {
+        let mut w = Writer::new();
+        let slot = w.out.reserve_u32_le();
+        self.encode_into(&mut w);
+        let body_len = (w.out.len() - 4) as u32;
+        w.out.patch_u32_le(slot, body_len);
+        w.out.freeze()
     }
 }
 
 /// Incremental decoder of length-prefixed [`WireMessage`]s from a byte
 /// stream, tolerant of arbitrary chunking.
+///
+/// Internally a cursor over a queue of shared [`Payload`] chunks: popping
+/// a frame consumes O(frame) work regardless of how many frames are still
+/// buffered (the old implementation shifted the whole buffer per frame,
+/// making bulk decode O(n²)). A frame contained in a single chunk is
+/// extracted as a zero-copy sub-slice; frames spanning chunk boundaries
+/// are assembled with one copy.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
+    chunks: VecDeque<Payload>,
+    total: usize,
 }
 
 impl FrameDecoder {
@@ -265,9 +305,73 @@ impl FrameDecoder {
         FrameDecoder::default()
     }
 
-    /// Feeds received bytes.
+    /// Feeds received bytes (copied into a fresh chunk; prefer
+    /// [`FrameDecoder::push_payload`] for data already in a `Payload`).
     pub fn push(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+        self.push_payload(Payload::copy_from_slice(bytes));
+    }
+
+    /// Feeds a received [`Payload`] chunk without copying.
+    pub fn push_payload(&mut self, chunk: Payload) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.total += chunk.len();
+        self.chunks.push_back(chunk);
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.total
+    }
+
+    /// Reads the 4-byte length prefix across chunk boundaries.
+    fn peek_len(&self) -> usize {
+        let mut hdr = [0u8; 4];
+        let mut filled = 0;
+        for c in &self.chunks {
+            let take = (4 - filled).min(c.len());
+            hdr[filled..filled + take].copy_from_slice(&c[..take]);
+            filled += take;
+            if filled == 4 {
+                break;
+            }
+        }
+        debug_assert_eq!(filled, 4, "peek_len needs 4 buffered bytes");
+        u32::from_le_bytes(hdr) as usize
+    }
+
+    /// Removes the next `n` bytes and returns them as one `Payload` —
+    /// zero-copy when they sit in a single chunk.
+    fn take(&mut self, n: usize) -> Payload {
+        debug_assert!(n <= self.total, "take within buffered bytes");
+        self.total -= n;
+        if n == 0 {
+            return Payload::new();
+        }
+        let front = self.chunks.front_mut().expect("buffered bytes exist");
+        if front.len() > n {
+            return front.split_to(n);
+        }
+        if front.len() == n {
+            return self.chunks.pop_front().expect("checked non-empty");
+        }
+        // Frame spans chunks: assemble once, O(frame).
+        let mut out = Vec::with_capacity(n);
+        let mut remaining = n;
+        while remaining > 0 {
+            let front = self.chunks.front_mut().expect("take within total");
+            if front.len() <= remaining {
+                remaining -= front.len();
+                out.extend_from_slice(front);
+                self.chunks.pop_front();
+            } else {
+                out.extend_from_slice(&front[..remaining]);
+                front.advance(remaining);
+                remaining = 0;
+            }
+        }
+        Payload::from_vec(out)
     }
 
     /// Pops the next complete message, if any.
@@ -278,15 +382,16 @@ impl FrameDecoder {
     /// (the frame is consumed, so decoding can continue).
     #[allow(clippy::should_implement_trait)] // framer convention, not an Iterator
     pub fn next(&mut self) -> CoreResult<Option<WireMessage>> {
-        if self.buf.len() < 4 {
+        if self.total < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        if self.buf.len() < 4 + len {
+        let len = self.peek_len();
+        if self.total < 4 + len {
             return Ok(None);
         }
-        let frame: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
-        WireMessage::decode(&frame).map(Some)
+        let _prefix = self.take(4);
+        let frame = self.take(len);
+        WireMessage::decode_payload(&frame).map(Some)
     }
 }
 
@@ -295,48 +400,61 @@ impl FrameDecoder {
 // ---------------------------------------------------------------------
 
 struct Writer {
-    out: Vec<u8>,
+    out: PayloadBuilder,
 }
 
 impl Writer {
     fn new() -> Writer {
-        Writer { out: Vec::new() }
+        Writer {
+            out: PayloadBuilder::new(),
+        }
     }
     fn u8(&mut self, v: u8) {
         self.out.push(v);
     }
     fn u16(&mut self, v: u16) {
-        self.out.extend_from_slice(&v.to_le_bytes());
+        self.out.u16_le(v);
     }
     fn u32(&mut self, v: u32) {
-        self.out.extend_from_slice(&v.to_le_bytes());
+        self.out.u32_le(v);
     }
     fn u64(&mut self, v: u64) {
-        self.out.extend_from_slice(&v.to_le_bytes());
+        self.out.u64_le(v);
     }
     fn str(&mut self, s: &str) {
         let bytes = s.as_bytes();
-        self.u16(bytes.len().min(u16::MAX as usize) as u16);
-        self.out
-            .extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
+        let n = bytes.len().min(u16::MAX as usize);
+        self.u16(n as u16);
+        self.out.extend_from_slice(&bytes[..n]);
     }
     fn bytes(&mut self, b: &[u8]) {
         self.u32(b.len() as u32);
         self.out.extend_from_slice(b);
-    }
-    fn into_bytes(self) -> Vec<u8> {
-        self.out
     }
 }
 
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When decoding from a shared buffer, byte-array fields are returned
+    /// as zero-copy sub-slices of this payload instead of fresh copies.
+    backing: Option<&'a Payload>,
 }
 
 impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Reader<'a> {
-        Reader { buf, pos: 0 }
+        Reader {
+            buf,
+            pos: 0,
+            backing: None,
+        }
+    }
+    fn with_backing(payload: &'a Payload) -> Reader<'a> {
+        Reader {
+            buf: payload.as_slice(),
+            pos: 0,
+            backing: Some(payload),
+        }
     }
     fn take(&mut self, n: usize) -> CoreResult<&'a [u8]> {
         if self.pos + n > self.buf.len() {
@@ -368,9 +486,14 @@ impl<'a> Reader<'a> {
         let b = self.take(len)?;
         String::from_utf8(b.to_vec()).map_err(|_| CoreError::Decode("invalid utf-8".to_owned()))
     }
-    fn bytes(&mut self) -> CoreResult<Vec<u8>> {
+    fn bytes(&mut self) -> CoreResult<Payload> {
         let len = self.u32()? as usize;
-        Ok(self.take(len)?.to_vec())
+        let start = self.pos;
+        let s = self.take(len)?;
+        Ok(match self.backing {
+            Some(p) => p.slice(start..start + len),
+            None => Payload::copy_from_slice(s),
+        })
     }
     fn finish(&self) -> CoreResult<()> {
         if self.pos == self.buf.len() {
@@ -768,6 +891,26 @@ mod tests {
             }
         }
         assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn framed_decode_is_zero_copy_within_a_chunk() {
+        let msg = WireMessage::PathMessage {
+            connection: ConnectionId::new(RuntimeId(2), 5),
+            dst: PortRef::new(TranslatorId::new(RuntimeId(0), 7), "media-in"),
+            msg: UMessage::new("image/jpeg".parse().unwrap(), vec![9u8; 4096]),
+        };
+        let framed = msg.encode_framed();
+        let mut dec = FrameDecoder::new();
+        dec.push_payload(framed.clone());
+        let Some(WireMessage::PathMessage { msg: decoded, .. }) = dec.next().unwrap() else {
+            panic!("expected path message");
+        };
+        assert!(
+            decoded.body_payload().shares_buffer(&framed),
+            "body must be a view of the framed buffer, not a copy"
+        );
+        assert_eq!(dec.buffered(), 0);
     }
 
     #[test]

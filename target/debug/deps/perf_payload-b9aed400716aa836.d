@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_payload-b9aed400716aa836.d: crates/bench/src/bin/perf_payload.rs
+
+/root/repo/target/debug/deps/perf_payload-b9aed400716aa836: crates/bench/src/bin/perf_payload.rs
+
+crates/bench/src/bin/perf_payload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_payload-d2a3de9e8ff711cc.d: crates/bench/src/bin/perf_payload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_payload-d2a3de9e8ff711cc.rmeta: crates/bench/src/bin/perf_payload.rs Cargo.toml
+
+crates/bench/src/bin/perf_payload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_payload-e581c44d1c48c3bd.d: crates/bench/src/bin/perf_payload.rs
+
+/root/repo/target/debug/deps/perf_payload-e581c44d1c48c3bd: crates/bench/src/bin/perf_payload.rs
+
+crates/bench/src/bin/perf_payload.rs:

@@ -1,10 +1,10 @@
-/root/repo/target/debug/deps/platform_bluetooth-ed5025ac57ca73f1.d: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs
+/root/repo/target/debug/deps/platform_bluetooth-ed5025ac57ca73f1.d: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs
 
-/root/repo/target/debug/deps/platform_bluetooth-ed5025ac57ca73f1: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs
+/root/repo/target/debug/deps/platform_bluetooth-ed5025ac57ca73f1: crates/platform-bluetooth/src/lib.rs crates/platform-bluetooth/src/bip.rs crates/platform-bluetooth/src/calib.rs crates/platform-bluetooth/src/device.rs crates/platform-bluetooth/src/hidp.rs crates/platform-bluetooth/src/obex.rs crates/platform-bluetooth/src/sdp.rs
 
 crates/platform-bluetooth/src/lib.rs:
-crates/platform-bluetooth/src/calib.rs:
 crates/platform-bluetooth/src/bip.rs:
+crates/platform-bluetooth/src/calib.rs:
 crates/platform-bluetooth/src/device.rs:
 crates/platform-bluetooth/src/hidp.rs:
 crates/platform-bluetooth/src/obex.rs:

@@ -1,16 +1,16 @@
-/root/repo/target/debug/deps/umiddle_bridges-7f0fdaa87d7f522e.d: crates/umiddle-bridges/src/lib.rs crates/umiddle-bridges/src/calib.rs crates/umiddle-bridges/src/obs.rs crates/umiddle-bridges/src/bluetooth.rs crates/umiddle-bridges/src/direct.rs crates/umiddle-bridges/src/scatter.rs crates/umiddle-bridges/src/mediabroker.rs crates/umiddle-bridges/src/motes.rs crates/umiddle-bridges/src/native.rs crates/umiddle-bridges/src/rmi.rs crates/umiddle-bridges/src/upnp.rs crates/umiddle-bridges/src/webservices.rs
+/root/repo/target/debug/deps/umiddle_bridges-7f0fdaa87d7f522e.d: crates/umiddle-bridges/src/lib.rs crates/umiddle-bridges/src/bluetooth.rs crates/umiddle-bridges/src/calib.rs crates/umiddle-bridges/src/direct.rs crates/umiddle-bridges/src/mediabroker.rs crates/umiddle-bridges/src/motes.rs crates/umiddle-bridges/src/native.rs crates/umiddle-bridges/src/obs.rs crates/umiddle-bridges/src/rmi.rs crates/umiddle-bridges/src/scatter.rs crates/umiddle-bridges/src/upnp.rs crates/umiddle-bridges/src/webservices.rs
 
-/root/repo/target/debug/deps/umiddle_bridges-7f0fdaa87d7f522e: crates/umiddle-bridges/src/lib.rs crates/umiddle-bridges/src/calib.rs crates/umiddle-bridges/src/obs.rs crates/umiddle-bridges/src/bluetooth.rs crates/umiddle-bridges/src/direct.rs crates/umiddle-bridges/src/scatter.rs crates/umiddle-bridges/src/mediabroker.rs crates/umiddle-bridges/src/motes.rs crates/umiddle-bridges/src/native.rs crates/umiddle-bridges/src/rmi.rs crates/umiddle-bridges/src/upnp.rs crates/umiddle-bridges/src/webservices.rs
+/root/repo/target/debug/deps/umiddle_bridges-7f0fdaa87d7f522e: crates/umiddle-bridges/src/lib.rs crates/umiddle-bridges/src/bluetooth.rs crates/umiddle-bridges/src/calib.rs crates/umiddle-bridges/src/direct.rs crates/umiddle-bridges/src/mediabroker.rs crates/umiddle-bridges/src/motes.rs crates/umiddle-bridges/src/native.rs crates/umiddle-bridges/src/obs.rs crates/umiddle-bridges/src/rmi.rs crates/umiddle-bridges/src/scatter.rs crates/umiddle-bridges/src/upnp.rs crates/umiddle-bridges/src/webservices.rs
 
 crates/umiddle-bridges/src/lib.rs:
-crates/umiddle-bridges/src/calib.rs:
-crates/umiddle-bridges/src/obs.rs:
 crates/umiddle-bridges/src/bluetooth.rs:
+crates/umiddle-bridges/src/calib.rs:
 crates/umiddle-bridges/src/direct.rs:
-crates/umiddle-bridges/src/scatter.rs:
 crates/umiddle-bridges/src/mediabroker.rs:
 crates/umiddle-bridges/src/motes.rs:
 crates/umiddle-bridges/src/native.rs:
+crates/umiddle-bridges/src/obs.rs:
 crates/umiddle-bridges/src/rmi.rs:
+crates/umiddle-bridges/src/scatter.rs:
 crates/umiddle-bridges/src/upnp.rs:
 crates/umiddle-bridges/src/webservices.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_payload-109730851f0a6284.d: crates/bench/src/bin/perf_payload.rs
+
+/root/repo/target/release/deps/perf_payload-109730851f0a6284: crates/bench/src/bin/perf_payload.rs
+
+crates/bench/src/bin/perf_payload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/camera_to_tv-437f75a95cfe844c.d: examples/camera_to_tv.rs
+
+/root/repo/target/release/examples/camera_to_tv-437f75a95cfe844c: examples/camera_to_tv.rs
+
+examples/camera_to_tv.rs:

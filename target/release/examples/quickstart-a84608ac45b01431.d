@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a84608ac45b01431.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a84608ac45b01431: examples/quickstart.rs
+
+examples/quickstart.rs:
