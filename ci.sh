@@ -22,5 +22,21 @@ run cargo test --offline -q
 # deterministic decode-linearity regression, without timing anything.
 run cargo run --offline --release -p bench --bin perf_payload -- --check
 
+# Trace determinism gate: the E8 observability run must export
+# byte-identical artifacts — metrics snapshot, Perfetto trace, folded
+# flamegraph stacks — across two fresh runs of the same seed.
+mkdir -p target/trace-gate
+run cargo run --offline --release -p bench --bin trace_export -- \
+    --json target/trace-gate/a.metrics.json \
+    --perfetto target/trace-gate/a.perfetto.json \
+    --folded target/trace-gate/a.folded
+run cargo run --offline --release -p bench --bin trace_export -- \
+    --json target/trace-gate/b.metrics.json \
+    --perfetto target/trace-gate/b.perfetto.json \
+    --folded target/trace-gate/b.folded
+run diff target/trace-gate/a.metrics.json target/trace-gate/b.metrics.json
+run diff target/trace-gate/a.perfetto.json target/trace-gate/b.perfetto.json
+run diff target/trace-gate/a.folded target/trace-gate/b.folded
+
 echo
 echo "ci.sh: all green"

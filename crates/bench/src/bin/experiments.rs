@@ -1,6 +1,8 @@
 //! CLI harness: runs every experiment and prints the paper-vs-measured
-//! tables. Pass experiment ids (`e1 e3 ...`) to run a subset, and
-//! `--json FILE` to also dump the E8 metrics snapshot as JSON.
+//! tables. Pass experiment ids (`e1 e3 ...`) to run a subset,
+//! `--json FILE` to also dump the E8 metrics snapshot as JSON, and
+//! `--perfetto FILE` / `--folded FILE` to write the E8 trace exports
+//! (see also the dedicated `trace_export` bin).
 
 use bench::experiments::*;
 use bench::report::*;
@@ -8,11 +10,19 @@ use bench::report::*;
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut json_out = None;
+    let mut perfetto_out = None;
+    let mut folded_out = None;
     let mut ids = Vec::new();
     let mut i = 0;
     while i < raw.len() {
         if raw[i] == "--json" {
             json_out = raw.get(i + 1).cloned();
+            i += 2;
+        } else if raw[i] == "--perfetto" {
+            perfetto_out = raw.get(i + 1).cloned();
+            i += 2;
+        } else if raw[i] == "--folded" {
+            folded_out = raw.get(i + 1).cloned();
             i += 2;
         } else {
             ids.push(raw[i].clone());
@@ -50,6 +60,14 @@ fn main() {
         if let Some(path) = &json_out {
             std::fs::write(path, r.snapshot.to_json()).expect("write metrics snapshot");
             println!("wrote metrics snapshot to {path}");
+        }
+        if let Some(path) = &perfetto_out {
+            std::fs::write(path, &r.perfetto).expect("write perfetto trace");
+            println!("wrote perfetto trace to {path}");
+        }
+        if let Some(path) = &folded_out {
+            std::fs::write(path, &r.folded).expect("write folded stacks");
+            println!("wrote folded stacks to {path}");
         }
     }
     // Data-path micro-benches (opt-in: `cargo run -p bench -- perf`) —

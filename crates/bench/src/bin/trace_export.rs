@@ -1,0 +1,78 @@
+//! Exports the E8 observability run as deterministic trace artifacts:
+//! a Chrome/Perfetto `trace_event` JSON (open in `ui.perfetto.dev`), a
+//! folded-stack flamegraph file, and the metrics snapshot JSON.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_export [--perfetto FILE] [--folded FILE] [--json FILE]
+//! ```
+//!
+//! With no flags, writes `E8_trace.perfetto.json` and `E8_trace.folded`
+//! in the current directory. All outputs are byte-identical across runs
+//! (the `ci.sh` determinism gate diffs two of them), and the
+//! critical-path breakdown of the bridged Bluetooth→UPnP path is always
+//! printed to stdout.
+
+use bench::experiments::e8_observability;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut perfetto_out = None;
+    let mut folded_out = None;
+    let mut json_out = None;
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--perfetto" => {
+                perfetto_out = raw.get(i + 1).cloned();
+                i += 2;
+            }
+            "--folded" => {
+                folded_out = raw.get(i + 1).cloned();
+                i += 2;
+            }
+            "--json" => {
+                json_out = raw.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: trace_export [--perfetto FILE] [--folded FILE] [--json FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if perfetto_out.is_none() && folded_out.is_none() && json_out.is_none() {
+        perfetto_out = Some("E8_trace.perfetto.json".to_owned());
+        folded_out = Some("E8_trace.folded".to_owned());
+    }
+
+    let r = e8_observability();
+    println!(
+        "E8 trace: {} spans recorded ({} dropped)",
+        r.span_count, r.spans_dropped
+    );
+    match &r.critical_path {
+        Some(cp) => print!("{}", cp.render()),
+        None => println!("no bridged path found"),
+    }
+    if let Some(path) = &perfetto_out {
+        std::fs::write(path, &r.perfetto).expect("write perfetto trace");
+        println!(
+            "wrote {path} ({} B) — open in ui.perfetto.dev",
+            r.perfetto.len()
+        );
+    }
+    if let Some(path) = &folded_out {
+        std::fs::write(path, &r.folded).expect("write folded stacks");
+        println!(
+            "wrote {path} ({} B) — feed to a flamegraph renderer",
+            r.folded.len()
+        );
+    }
+    if let Some(path) = &json_out {
+        std::fs::write(path, r.snapshot.to_json()).expect("write metrics snapshot");
+        println!("wrote {path}");
+    }
+}

@@ -1150,7 +1150,8 @@ fn mean_of(durations: &[SimDuration]) -> SimDuration {
 // =====================================================================
 
 /// Results of the observability run: the federation-wide metrics
-/// snapshot plus one reconstructed cross-platform path.
+/// snapshot, one reconstructed cross-platform path, its critical-path
+/// breakdown, and the deterministic trace exports.
 #[derive(Debug, Clone)]
 pub struct ObservabilityResults {
     /// Every counter, gauge and latency histogram the run produced.
@@ -1159,8 +1160,19 @@ pub struct ObservabilityResults {
     pub span_count: usize,
     /// Spans lost to the bounded span log (should be 0).
     pub spans_dropped: u64,
+    /// Correlation id of the bridged Bluetooth→UPnP path.
+    pub bridged_corr: Option<u64>,
     /// One Bluetooth→uMiddle→UPnP path, reconstructed from its spans.
     pub sample_path: Vec<String>,
+    /// Per-stage latency attribution for the bridged path, aggregated
+    /// over all 100 mouse signals.
+    pub critical_path: Option<simnet::CriticalPath>,
+    /// Chrome/Perfetto `trace_event` JSON of every span (load in
+    /// `ui.perfetto.dev`). Byte-identical across seeded runs.
+    pub perfetto: String,
+    /// Folded-stack flamegraph lines, weighted by span self time (ns).
+    /// Byte-identical across seeded runs.
+    pub folded: String,
 }
 
 /// Runs the observability experiment: a two-runtime federation bridging
@@ -1249,9 +1261,15 @@ pub fn e8_observability() -> ObservabilityResults {
             spans[..end]
                 .iter()
                 .map(|s| {
+                    let dur = match s.duration() {
+                        Some(d) if !d.is_zero() => d.to_string(),
+                        Some(_) => "·".to_owned(),
+                        None => "open".to_owned(),
+                    };
                     format!(
-                        "{:>14}  {:<18} {:<20} {}",
-                        s.time.to_string(),
+                        "{:>14} {:>12}  {:<18} {:<22} {}",
+                        s.start.to_string(),
+                        dur,
                         s.source,
                         s.stage,
                         s.detail
@@ -1260,11 +1278,16 @@ pub fn e8_observability() -> ObservabilityResults {
                 .collect()
         })
         .unwrap_or_default();
+    let critical_path = corr.and_then(|c| simnet::CriticalPath::analyze(trace.spans(), c));
 
     ObservabilityResults {
         snapshot: trace.metrics().snapshot(),
         span_count: trace.spans().len(),
         spans_dropped: trace.spans_dropped(),
+        bridged_corr: corr,
         sample_path,
+        critical_path,
+        perfetto: simnet::perfetto_trace_json(trace.spans()),
+        folded: simnet::folded_stacks(trace.spans()),
     }
 }

@@ -174,5 +174,15 @@ pub fn render_e8(r: &ObservabilityResults) -> String {
     for line in &r.sample_path {
         out.push_str(&format!("  {line}\n"));
     }
+    if let Some(cp) = &r.critical_path {
+        out.push('\n');
+        out.push_str(&cp.render());
+    }
+    out.push_str(&format!(
+        "\ntrace exports: perfetto {} B, folded stacks {} B \
+         (write them with the trace_export bin)\n",
+        r.perfetto.len(),
+        r.folded.len()
+    ));
     out
 }

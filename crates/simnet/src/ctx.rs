@@ -88,13 +88,43 @@ impl<'w> Ctx<'w> {
         self.world.trace.metrics()
     }
 
-    /// Records a span event on a correlated path, attributed to this
-    /// process at the current virtual time. `corr` is the correlation id
-    /// minted when the connection was established.
-    pub fn span(&mut self, corr: u64, stage: impl Into<String>, detail: impl Into<String>) {
+    /// Records an instant (zero-duration) span on a correlated path,
+    /// attributed to this process at the current virtual time. `corr` is
+    /// the correlation id minted when the connection was established.
+    pub fn span(
+        &mut self,
+        corr: u64,
+        stage: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> crate::SpanId {
         let name = self.world.procs[self.me.index()].name.clone();
         let now = self.world.now();
-        self.world.trace.span(corr, now, name, stage, detail);
+        self.world.trace.span(corr, now, name, stage, detail)
+    }
+
+    /// Opens a structured span on a correlated path, attributed to this
+    /// process at the current virtual time. Close it with
+    /// [`span_end`](Ctx::span_end) — possibly from a different process
+    /// (the id can travel with the message it measures).
+    pub fn span_begin(
+        &mut self,
+        corr: u64,
+        stage: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> crate::SpanId {
+        let name = self.world.procs[self.me.index()].name.clone();
+        let now = self.world.now();
+        self.world.trace.span_begin(corr, now, name, stage, detail)
+    }
+
+    /// Closes a span at this process's *emit time* — the current virtual
+    /// time plus any CPU work accumulated via [`busy`](Ctx::busy) in
+    /// this handler — so modeled compute is inside the span, matching
+    /// when the process's outputs actually leave it. Returns the span's
+    /// duration (`None` for an unknown, already-closed, or sentinel id).
+    pub fn span_end(&mut self, id: crate::SpanId) -> Option<crate::SimDuration> {
+        let t = self.world.emit_time(self.me);
+        self.world.trace.span_end(id, t)
     }
 
     /// Models CPU work: subsequent event deliveries to this process are

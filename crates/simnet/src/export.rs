@@ -1,0 +1,213 @@
+//! Deterministic trace exporters.
+//!
+//! Two formats, both pure functions of the recorded span slice — so two
+//! seeded runs of the same world export byte-identical artifacts (the
+//! determinism gate in `ci.sh` diffs them):
+//!
+//! - [`perfetto_trace_json`]: Chrome `trace_event` JSON, loadable in
+//!   `ui.perfetto.dev` or `chrome://tracing`. One virtual *thread per
+//!   process* (mapper, runtime, device, …), timestamps in virtual-time
+//!   microseconds, span metadata (correlation id, parent, detail) in
+//!   `args`.
+//! - [`folded_stacks`]: folded-stack flamegraph lines
+//!   (`frame;frame;frame value`), one stack per span-tree path rooted at
+//!   its correlation id, weighted by self time in nanoseconds. Feed to
+//!   any `flamegraph.pl`-compatible renderer.
+//!
+//! No floating point is involved: microsecond timestamps are rendered as
+//! integer-division quotient plus a three-digit nanosecond remainder.
+
+use std::collections::BTreeMap;
+
+use crate::span::{SpanNode, SpanTree};
+use crate::trace::{push_json_string, SpanRecord};
+
+/// Renders nanoseconds as decimal microseconds (`123.456`) without
+/// going through floating point.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Exports spans as Chrome/Perfetto `trace_event` JSON.
+///
+/// Every distinct span source (process name) becomes its own thread of
+/// pid 1, tid assigned in sorted-name order; each span becomes a
+/// complete (`"ph": "X"`) event at its virtual start time. Spans that
+/// never closed are exported zero-length with `"unclosed": true` in
+/// `args`, so they remain visible rather than stretching to infinity.
+pub fn perfetto_trace_json(spans: &[SpanRecord]) -> String {
+    let mut sources: Vec<&str> = spans.iter().map(|s| s.source.as_str()).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    let tids: BTreeMap<&str, usize> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i + 1))
+        .collect();
+
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let mut first = true;
+    let mut push_event = |out: &mut String, body: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  ");
+        out.push_str(&body);
+    };
+
+    push_event(
+        &mut out,
+        "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \"tid\": 0, \
+         \"args\": {\"name\": \"simnet federation\"}}"
+            .to_owned(),
+    );
+    for (&source, &tid) in &tids {
+        let mut ev = format!(
+            "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {tid}, \
+             \"args\": {{\"name\": "
+        );
+        push_json_string(&mut ev, source);
+        ev.push_str("}}");
+        push_event(&mut out, ev);
+    }
+
+    for span in spans {
+        let tid = tids[span.source.as_str()];
+        let start_ns = span.start.as_nanos();
+        let dur_ns = span.duration().map(|d| d.as_nanos()).unwrap_or(0);
+        let mut ev = String::from("{\"ph\": \"X\", \"name\": ");
+        push_json_string(&mut ev, &span.stage);
+        ev.push_str(", \"cat\": ");
+        let cat = span.stage.split('.').next().unwrap_or("span");
+        push_json_string(&mut ev, cat);
+        ev.push_str(&format!(
+            ", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {tid}, \"args\": {{\"corr\": ",
+            micros(start_ns),
+            micros(dur_ns),
+        ));
+        push_json_string(&mut ev, &format!("{:#x}", span.corr));
+        ev.push_str(&format!(", \"span\": {}", span.id.0));
+        if let Some(parent) = span.parent {
+            ev.push_str(&format!(", \"parent\": {}", parent.0));
+        }
+        if !span.detail.is_empty() {
+            ev.push_str(", \"detail\": ");
+            push_json_string(&mut ev, &span.detail);
+        }
+        if span.end.is_none() {
+            ev.push_str(", \"unclosed\": true");
+        }
+        ev.push_str("}}");
+        push_event(&mut out, ev);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Exports spans as folded-stack flamegraph lines, weighted by span
+/// self time in nanoseconds.
+///
+/// Each line is `corr:{id};stage;stage… {self_time_ns}`; stacks follow
+/// the reconstructed [`SpanTree`] parent links, identical stacks are
+/// merged (weights summed), zero-weight stacks (instant spans, unclosed
+/// spans) are omitted, and lines are sorted — so output is byte-stable
+/// across runs.
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    for tree in SpanTree::build_all(spans) {
+        let root_frame = if tree.corr == 0 {
+            "corr:none".to_owned()
+        } else {
+            format!("corr:{:#x}", tree.corr)
+        };
+        for root in &tree.roots {
+            fold_node(root, &root_frame, &mut weights);
+        }
+    }
+    let mut out = String::new();
+    for (stack, ns) in weights {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn fold_node(node: &SpanNode, prefix: &str, weights: &mut BTreeMap<String, u64>) {
+    // Semicolons separate frames in the folded format, so they cannot
+    // appear inside one.
+    let frame = node.span.stage.replace(';', ",");
+    let stack = format!("{prefix};{frame}");
+    let self_ns = node.self_time().as_nanos();
+    if self_ns > 0 {
+        *weights.entry(stack.clone()).or_insert(0) += self_ns;
+    }
+    for child in &node.children {
+        fold_node(child, &stack, weights);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use crate::trace::Trace;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn demo_trace() -> Trace {
+        let mut t = Trace::default();
+        let q = t.span_begin(7, ms(1), "rt0", "queue.wait", "path=video");
+        t.span_end(q, ms(3));
+        let b = t.span_begin(7, ms(3), "upnp-mapper", "bridge.upnp.input", "");
+        t.span(7, ms(4), "upnp-mapper", "bridge.upnp.soap", "");
+        t.span_end(b, ms(6));
+        t.span_begin(7, ms(6), "rt1", "never.closed", "");
+        t
+    }
+
+    #[test]
+    fn perfetto_export_is_wellformed_and_deterministic() {
+        let t = demo_trace();
+        let a = perfetto_trace_json(t.spans());
+        let b = perfetto_trace_json(t.spans());
+        assert_eq!(a, b);
+        assert!(a.contains("\"traceEvents\""));
+        assert!(a.contains("\"thread_name\""));
+        assert!(a.contains("\"name\": \"queue.wait\""));
+        // 1 ms start renders as integer-math microseconds.
+        assert!(a.contains("\"ts\": 1000.000"));
+        assert!(a.contains("\"dur\": 2000.000"));
+        assert!(a.contains("\"unclosed\": true"));
+        // Three sources → tids 1..=3 in sorted order.
+        assert!(a.contains("\"tid\": 3"));
+    }
+
+    #[test]
+    fn folded_stacks_follow_tree_paths() {
+        let t = demo_trace();
+        let folded = folded_stacks(t.spans());
+        let lines: Vec<&str> = folded.lines().collect();
+        // queue.wait: 2 ms self. bridge.upnp.input: 3 ms minus the
+        // zero-length child = 3 ms self. Instant + unclosed spans have
+        // no weight and are omitted.
+        assert_eq!(
+            lines,
+            vec![
+                "corr:0x7;bridge.upnp.input 3000000",
+                "corr:0x7;queue.wait 2000000",
+            ]
+        );
+    }
+
+    #[test]
+    fn micros_renders_without_float() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_500_250), "1500.250");
+    }
+}

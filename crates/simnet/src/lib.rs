@@ -66,10 +66,12 @@
 
 mod ctx;
 mod error;
+pub mod export;
 mod medium;
 pub mod payload;
 mod process;
 pub mod rng;
+pub mod span;
 mod stream;
 mod time;
 mod trace;
@@ -77,12 +79,16 @@ mod world;
 
 pub use ctx::{Ctx, TimerHandle};
 pub use error::{SimError, SimResult};
+pub use export::{folded_stacks, perfetto_trace_json};
 pub use medium::{schedule_tx, SegmentConfig, TxTiming};
 pub use payload::{ChunkQueue, Payload, PayloadBuilder, PayloadStats};
 pub use process::{
     Addr, Datagram, LocalMessage, NodeId, ProcId, Process, SegmentId, StreamEvent, StreamId,
 };
 pub use rng::{check_cases, SimRng};
+pub use span::{CriticalPath, PathExpectation, SpanNode, SpanTree, StageCost, TraceAssert};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Histogram, Metrics, MetricsSnapshot, SegmentStats, SpanEvent, Trace, TraceEvent};
+pub use trace::{
+    Histogram, Metrics, MetricsSnapshot, SegmentStats, SpanId, SpanRecord, Trace, TraceEvent,
+};
 pub use world::World;

@@ -1,15 +1,22 @@
 //! Tracing and metrics for simulations.
 //!
 //! Every [`World`](crate::World) owns a [`Trace`]: a bounded event log, a
-//! span log for end-to-end path reconstruction, and a [`Metrics`] registry
-//! of typed counters, gauges, and fixed-bucket latency histograms.
-//! Protocol code records through [`Ctx`](crate::Ctx); benches and tests
-//! read the registry back to assert on behaviour (frames on a segment,
-//! bytes delivered, retransmissions, per-hop translation latency, …).
+//! structured span log for causal path reconstruction, and a [`Metrics`]
+//! registry of typed counters, gauges, and fixed-bucket latency
+//! histograms. Protocol code records through [`Ctx`](crate::Ctx); benches
+//! and tests read the registry back to assert on behaviour (frames on a
+//! segment, bytes delivered, retransmissions, per-hop translation
+//! latency, …).
+//!
+//! Spans are *structured*: each has a [`SpanId`], an optional parent, and
+//! an explicit begin and end, so every hop of a mediated path has a
+//! duration. The [`span`](crate::span) module rebuilds the per-path trees
+//! and computes critical-path breakdowns; the [`export`](crate::export)
+//! module renders Perfetto and flamegraph artifacts.
 //!
 //! Everything here is keyed to **virtual** time, so two runs of the same
 //! seeded world produce byte-identical snapshots
-//! ([`MetricsSnapshot::to_json`]).
+//! ([`MetricsSnapshot::to_json`]) and byte-identical trace exports.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -33,33 +40,87 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// One span event on a correlated path: a hop in a message's
-/// mapper→translator→port journey, stamped with virtual time.
+/// Identifier of a structured span, unique within one [`Trace`].
 ///
-/// Spans carrying the same correlation id reconstruct one logical
-/// path end to end, across runtimes and platform bridges.
+/// Ids are minted by [`Trace::span_begin`] in allocation order starting
+/// at 1. The zero id is a sentinel returned when the span log is full;
+/// ending it is a no-op, so callers never need to branch on overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The sentinel id returned when a span could not be recorded.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this id refers to a recorded span.
+    pub fn is_recorded(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One structured span on a correlated path: a stage of a message's
+/// mapper→translator→port journey with an explicit begin and end, so
+/// every hop has a duration, not just a timestamp.
+///
+/// Spans carrying the same correlation id reconstruct one logical path
+/// end to end, across runtimes and platform bridges; parent links give
+/// the nesting within one path (see [`SpanTree`](crate::span::SpanTree)).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SpanEvent {
-    /// Correlation id minted when the connection was established.
+pub struct SpanRecord {
+    /// Unique id within the trace, in allocation order.
+    pub id: SpanId,
+    /// The span open on the same correlation id when this one began.
+    pub parent: Option<SpanId>,
+    /// Correlation id minted when the connection was established
+    /// (zero for uncorrelated platform-side work).
     pub corr: u64,
-    /// Virtual time of the hop.
-    pub time: SimTime,
     /// Short source tag (usually the process name).
     pub source: String,
-    /// Stage name, dot-scoped (`connect`, `directory.lookup`,
+    /// Stage name, dot-scoped (`connect`, `queue.wait`,
     /// `transport.send`, `bridge.upnp.input`, …).
     pub stage: String,
     /// Free-form detail (port names, byte counts, retry numbers).
     pub detail: String,
+    /// Virtual time the stage began.
+    pub start: SimTime,
+    /// Virtual time the stage ended, or `None` if it never closed (a
+    /// dropped message, a crashed runtime, a run that ended mid-flight).
+    pub end: Option<SimTime>,
 }
 
-impl fmt::Display for SpanEvent {
+impl SpanRecord {
+    /// Duration of a closed span; `None` while open.
+    pub fn duration(&self) -> Option<SimDuration> {
+        self.end.map(|e| e - self.start)
+    }
+
+    /// End time for analysis: a span that never closed is treated as
+    /// zero-length rather than infinitely long.
+    pub fn effective_end(&self) -> SimTime {
+        self.end.unwrap_or(self.start)
+    }
+}
+
+impl fmt::Display for SpanRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}] corr={:#x} {} {}: {}",
-            self.time, self.corr, self.source, self.stage, self.detail
-        )
+        match self.end {
+            Some(end) => write!(
+                f,
+                "[{}..{}] corr={:#x} {} {}: {}",
+                self.start, end, self.corr, self.source, self.stage, self.detail
+            ),
+            None => write!(
+                f,
+                "[{}..open] corr={:#x} {} {}: {}",
+                self.start, self.corr, self.source, self.stage, self.detail
+            ),
+        }
     }
 }
 
@@ -178,22 +239,37 @@ impl Histogram {
         &self.counts
     }
 
-    /// Upper bound (ns) of the bucket a quantile `q` in `[0, 1]` falls
-    /// into — a conservative quantile estimate. Returns `None` if empty
-    /// or if the quantile lands in the overflow bucket.
+    /// Conservative quantile estimate over the recorded values, in
+    /// nanoseconds.
+    ///
+    /// Contract: the returned bound is always ≥ the true quantile and
+    /// never exceeds the recorded maximum. For `q = 1.0` it is the
+    /// *exact* recorded maximum. For interior quantiles it is the upper
+    /// bound of the 1–2–5 bucket the rank falls into (an over-estimate
+    /// by at most one bucket width), clamped to the recorded maximum —
+    /// so a quantile landing in the unbounded overflow bucket reports
+    /// the maximum, the tightest bound available. Returns `None` only
+    /// for an empty histogram.
     pub fn quantile_bound_ns(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return Some(self.max_ns);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return LATENCY_BUCKET_BOUNDS_NS.get(i).copied();
+                return Some(match LATENCY_BUCKET_BOUNDS_NS.get(i) {
+                    Some(&bound) => bound.min(self.max_ns),
+                    None => self.max_ns,
+                });
             }
         }
-        None
+        Some(self.max_ns)
     }
 }
 
@@ -437,7 +513,7 @@ fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, Str
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -453,16 +529,24 @@ fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Bounded event log, span log, and metrics registry.
+/// Bounded event log, structured span log, and metrics registry.
 #[derive(Debug)]
 pub struct Trace {
     log_enabled: bool,
     capacity: usize,
     events: Vec<TraceEvent>,
     dropped: u64,
-    spans: Vec<SpanEvent>,
+    dropped_folded: u64,
+    spans: Vec<SpanRecord>,
     span_capacity: usize,
     spans_dropped: u64,
+    spans_dropped_folded: u64,
+    next_span: u64,
+    /// Per-correlation-id stack of open spans (for parent links).
+    open: BTreeMap<u64, Vec<SpanId>>,
+    /// Open span id → index into `spans`; removed when the span ends,
+    /// which makes ending a span twice a no-op.
+    open_index: BTreeMap<u64, usize>,
     metrics: Metrics,
 }
 
@@ -475,9 +559,14 @@ impl Trace {
             capacity,
             events: Vec::new(),
             dropped: 0,
+            dropped_folded: 0,
             spans: Vec::new(),
             span_capacity: capacity,
             spans_dropped: 0,
+            spans_dropped_folded: 0,
+            next_span: 1,
+            open: BTreeMap::new(),
+            open_index: BTreeMap::new(),
             metrics: Metrics::default(),
         }
     }
@@ -503,7 +592,61 @@ impl Trace {
         });
     }
 
-    /// Records a span event on a correlated path.
+    /// Opens a structured span on a correlated path. The span's parent
+    /// is the innermost span still open on the same correlation id.
+    /// Returns [`SpanId::NONE`] (a no-op to end) when the log is full.
+    pub fn span_begin(
+        &mut self,
+        corr: u64,
+        time: SimTime,
+        source: impl Into<String>,
+        stage: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> SpanId {
+        if self.spans.len() >= self.span_capacity {
+            self.spans_dropped += 1;
+            return SpanId::NONE;
+        }
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        let parent = self.open.get(&corr).and_then(|stack| stack.last().copied());
+        self.open_index.insert(id.0, self.spans.len());
+        self.open.entry(corr).or_default().push(id);
+        self.spans.push(SpanRecord {
+            id,
+            parent,
+            corr,
+            source: source.into(),
+            stage: stage.into(),
+            detail: detail.into(),
+            start: time,
+            end: None,
+        });
+        id
+    }
+
+    /// Closes a span, clamping the end to be no earlier than its start.
+    /// Returns the span's duration, or `None` if the id is unknown,
+    /// already closed, or the [`SpanId::NONE`] sentinel.
+    pub fn span_end(&mut self, id: SpanId, time: SimTime) -> Option<SimDuration> {
+        let idx = self.open_index.remove(&id.0)?;
+        let record = &mut self.spans[idx];
+        let end = time.max(record.start);
+        record.end = Some(end);
+        let (corr, start) = (record.corr, record.start);
+        if let Some(stack) = self.open.get_mut(&corr) {
+            if let Some(pos) = stack.iter().rposition(|&open| open == id) {
+                stack.remove(pos);
+            }
+            if stack.is_empty() {
+                self.open.remove(&corr);
+            }
+        }
+        Some(end - start)
+    }
+
+    /// Records an instant (zero-duration) span on a correlated path —
+    /// a point event like `connect` or `deliver.local`.
     pub fn span(
         &mut self,
         corr: u64,
@@ -511,28 +654,25 @@ impl Trace {
         source: impl Into<String>,
         stage: impl Into<String>,
         detail: impl Into<String>,
-    ) {
-        if self.spans.len() >= self.span_capacity {
-            self.spans_dropped += 1;
-            return;
-        }
-        self.spans.push(SpanEvent {
-            corr,
-            time,
-            source: source.into(),
-            stage: stage.into(),
-            detail: detail.into(),
-        });
+    ) -> SpanId {
+        let id = self.span_begin(corr, time, source, stage, detail);
+        self.span_end(id, time);
+        id
     }
 
-    /// All recorded spans, in order.
-    pub fn spans(&self) -> &[SpanEvent] {
+    /// All recorded spans, in begin order.
+    pub fn spans(&self) -> &[SpanRecord] {
         &self.spans
     }
 
-    /// The spans of one correlated path, in order.
-    pub fn spans_for(&self, corr: u64) -> impl Iterator<Item = &SpanEvent> {
+    /// The spans of one correlated path, in begin order.
+    pub fn spans_for(&self, corr: u64) -> impl Iterator<Item = &SpanRecord> {
         self.spans.iter().filter(move |s| s.corr == corr)
+    }
+
+    /// Number of spans still open (begun, never ended).
+    pub fn open_spans(&self) -> usize {
+        self.open_index.len()
     }
 
     /// Number of spans discarded because the span log was full.
@@ -550,13 +690,26 @@ impl Trace {
         &mut self.metrics
     }
 
+    /// Folds the event/span drop counts into the metrics registry as
+    /// `trace.events_dropped` and `trace.spans_dropped` counters (the
+    /// delta since the last fold, so repeated runs never double-count).
+    /// The keys are always written — every exported snapshot records
+    /// whether its trace was lossy, even when the answer is zero.
+    pub fn sync_drop_stats(&mut self) {
+        let events = self.dropped - self.dropped_folded;
+        self.metrics.counter_add("trace.events_dropped", events);
+        self.dropped_folded = self.dropped;
+        let spans = self.spans_dropped - self.spans_dropped_folded;
+        self.metrics.counter_add("trace.spans_dropped", spans);
+        self.spans_dropped_folded = self.spans_dropped;
+    }
+
     /// Folds the thread-local payload copy accounting into the metrics
     /// registry — counters `payload.allocs`, `payload.bytes_copied` and
     /// `payload.shared_clones` — draining it. The world calls this at
-    /// the end of every run, so metrics snapshots carry the data-path
-    /// copy cost alongside the domain counters. With several worlds on
-    /// one thread, the accounting lands in whichever world runs next
-    /// (the counters are process-wide, not per-world).
+    /// the end of every run and drains the accounting again when a run
+    /// *starts*, so with several worlds on one thread the counters can
+    /// no longer leak from one world's snapshot into the next.
     pub fn sync_payload_stats(&mut self) {
         let s = crate::payload::take_stats();
         if s.allocs > 0 {
@@ -601,8 +754,13 @@ impl Trace {
     pub fn clear(&mut self) {
         self.events.clear();
         self.dropped = 0;
+        self.dropped_folded = 0;
         self.spans.clear();
         self.spans_dropped = 0;
+        self.spans_dropped_folded = 0;
+        self.next_span = 1;
+        self.open.clear();
+        self.open_index.clear();
         self.metrics.clear();
     }
 }
@@ -719,9 +877,40 @@ mod tests {
             h.record(SimDuration::from_millis(ms));
         }
         assert_eq!(h.mean(), SimDuration::from_nanos(2_500_000));
-        // p50 falls in the 2 ms bucket, p100 in the 5 ms bucket.
+        // p50 falls in the 2 ms bucket; p100 is the exact recorded max.
         assert_eq!(h.quantile_bound_ns(0.5), Some(2_000_000));
-        assert_eq!(h.quantile_bound_ns(1.0), Some(5_000_000));
+        assert_eq!(h.quantile_bound_ns(1.0), Some(4_000_000));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_bound_ns(q), None);
+        }
+    }
+
+    #[test]
+    fn quantile_of_single_value_is_exact() {
+        let mut h = Histogram::default();
+        h.record(SimDuration::from_millis(3));
+        // The 3 ms value lands in the 5 ms bucket, but the bound is
+        // clamped to the recorded max, so every quantile is exact here.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_bound_ns(q), Some(3_000_000));
+        }
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_reports_recorded_max() {
+        let mut h = Histogram::default();
+        h.record(SimDuration::from_micros(10));
+        h.record(SimDuration::from_secs(200)); // beyond the last bound
+        assert_eq!(h.quantile_bound_ns(0.5), Some(10_000));
+        // p99 ranks into the overflow bucket: the exact max is the
+        // tightest bound available.
+        assert_eq!(h.quantile_bound_ns(0.99), Some(200_000_000_000));
+        assert_eq!(h.quantile_bound_ns(1.0), Some(200_000_000_000));
     }
 
     #[test]
@@ -776,5 +965,76 @@ mod tests {
         let path: Vec<&str> = t.spans_for(7).map(|s| s.stage.as_str()).collect();
         assert_eq!(path, vec!["connect", "bridge.upnp.input"]);
         assert_eq!(t.spans().len(), 3);
+    }
+
+    #[test]
+    fn structured_spans_nest_and_measure() {
+        let mut t = Trace::default();
+        let outer = t.span_begin(7, SimTime::ZERO, "rt0", "queue.wait", "");
+        let inner = t.span_begin(7, SimTime::from_millis(1), "rt0", "transport.send", "");
+        // The instant span nests under the innermost open span.
+        let instant = t.span(7, SimTime::from_millis(2), "rt1", "deliver.local", "");
+        assert_eq!(
+            t.span_end(inner, SimTime::from_millis(3)),
+            Some(SimDuration::from_millis(2))
+        );
+        assert_eq!(
+            t.span_end(outer, SimTime::from_millis(4)),
+            Some(SimDuration::from_millis(4))
+        );
+        let spans = t.spans();
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(outer));
+        assert_eq!(spans[2].parent, Some(inner));
+        assert_eq!(spans[2].id, instant);
+        assert_eq!(spans[2].duration(), Some(SimDuration::ZERO));
+        assert_eq!(t.open_spans(), 0);
+    }
+
+    #[test]
+    fn span_end_is_idempotent_and_clamped() {
+        let mut t = Trace::default();
+        let id = t.span_begin(1, SimTime::from_millis(5), "rt0", "x", "");
+        // End before start clamps to zero duration.
+        assert_eq!(t.span_end(id, SimTime::ZERO), Some(SimDuration::ZERO));
+        assert_eq!(t.span_end(id, SimTime::from_secs(1)), None, "double end");
+        assert_eq!(t.span_end(SpanId::NONE, SimTime::ZERO), None);
+        assert_eq!(t.spans()[0].end, Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn full_span_log_drops_and_sentinel_end_is_noop() {
+        let mut t = Trace::new(1);
+        let a = t.span_begin(1, SimTime::ZERO, "rt0", "kept", "");
+        let b = t.span_begin(1, SimTime::ZERO, "rt0", "lost", "");
+        assert!(a.is_recorded());
+        assert!(!b.is_recorded());
+        assert_eq!(t.span_end(b, SimTime::from_millis(1)), None);
+        assert_eq!(t.spans_dropped(), 1);
+        assert_eq!(t.spans().len(), 1);
+    }
+
+    #[test]
+    fn drop_stats_fold_as_deltas_and_always_export() {
+        let mut t = Trace::new(1);
+        t.sync_drop_stats();
+        // Lossless traces still export the keys, at zero.
+        assert_eq!(t.counter("trace.events_dropped"), 0);
+        assert_eq!(t.counter("trace.spans_dropped"), 0);
+        assert!(t
+            .metrics()
+            .snapshot()
+            .counters
+            .contains_key("trace.spans_dropped"));
+        for i in 0..3 {
+            t.log(SimTime::ZERO, "src", format!("event {i}"));
+            t.span(1, SimTime::ZERO, "src", "stage", "");
+        }
+        t.sync_drop_stats();
+        assert_eq!(t.counter("trace.events_dropped"), 2);
+        assert_eq!(t.counter("trace.spans_dropped"), 2);
+        // A second fold with no new drops adds nothing.
+        t.sync_drop_stats();
+        assert_eq!(t.counter("trace.spans_dropped"), 2);
     }
 }

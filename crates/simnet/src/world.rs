@@ -515,9 +515,20 @@ impl World {
         self.schedule(time, EventKind::Deliver { proc, delivery });
     }
 
+    /// Marks the world as running. The first time, it also drains the
+    /// thread-local payload accounting, so copy counters left behind by
+    /// a previous world on the same thread cannot leak into this
+    /// world's metrics snapshot.
+    fn begin_run(&mut self) {
+        if !self.started {
+            self.started = true;
+            crate::payload::take_stats();
+        }
+    }
+
     /// Runs a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        self.started = true;
+        self.begin_run();
         let Some(Reverse(ev)) = self.queue.pop() else {
             return false;
         };
@@ -529,15 +540,17 @@ impl World {
 
     /// Runs until the event queue drains.
     pub fn run_until_idle(&mut self) {
+        self.begin_run();
         while self.step() {}
         self.trace.sync_payload_stats();
+        self.trace.sync_drop_stats();
     }
 
     /// Runs until virtual time reaches `deadline` (events at exactly the
     /// deadline are processed). Time is advanced to the deadline even if
     /// the queue drains earlier.
     pub fn run_until(&mut self, deadline: SimTime) {
-        self.started = true;
+        self.begin_run();
         loop {
             match self.queue.peek() {
                 Some(Reverse(ev)) if ev.time <= deadline => {
@@ -548,6 +561,7 @@ impl World {
         }
         self.now = self.now.max(deadline);
         self.trace.sync_payload_stats();
+        self.trace.sync_drop_stats();
     }
 
     /// Runs for `duration` of virtual time from now.

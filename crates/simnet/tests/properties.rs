@@ -316,6 +316,143 @@ fn chunk_queue_matches_flat_model() {
     });
 }
 
+/// Span trees reconstructed from arbitrary begin/end interleavings are
+/// always well-formed: every recorded span lands in exactly one tree,
+/// unclosed spans are reported, double-ends are no-ops, and
+/// reconstruction never panics.
+#[test]
+fn span_trees_are_well_formed_under_any_interleaving() {
+    check_cases(
+        "span_trees_are_well_formed_under_any_interleaving",
+        48,
+        |_, rng| {
+            let mut trace = simnet::Trace::new(4096);
+            let corrs = [0u64, 7, 7 << 32, 0xbeef];
+            let mut open: Vec<simnet::SpanId> = Vec::new();
+            let mut now = 0u64;
+            let ops = rng.gen_range(1usize..200);
+            for i in 0..ops {
+                now += rng.gen_range(0u64..1_000_000);
+                let t = SimTime::from_nanos(now);
+                let roll = rng.gen_range(0u32..10);
+                if roll < 6 || open.is_empty() {
+                    let corr = corrs[rng.gen_range(0usize..corrs.len())];
+                    let id = trace.span_begin(corr, t, "prop", format!("stage{}", i % 7), "");
+                    open.push(id);
+                } else {
+                    // End a random open span — not necessarily the
+                    // innermost — and sometimes end it again.
+                    let idx = rng.gen_range(0usize..open.len());
+                    let id = if roll == 9 {
+                        open[idx]
+                    } else {
+                        open.remove(idx)
+                    };
+                    trace.span_end(id, t);
+                    trace.span_end(id, t);
+                }
+            }
+
+            let spans = trace.spans();
+            let trees = simnet::SpanTree::build_all(spans);
+            let total: usize = trees.iter().map(simnet::SpanTree::span_count).sum();
+            assert_eq!(total, spans.len(), "every span lands in exactly one tree");
+            let unclosed: u64 = trees.iter().map(|t| t.unclosed).sum();
+            assert_eq!(unclosed as usize, trace.open_spans(), "unclosed reported");
+            for tree in &trees {
+                assert!(spans.iter().any(|s| s.corr == tree.corr));
+            }
+        },
+    );
+}
+
+/// The Perfetto and folded-stack exporters are pure functions of the
+/// span log: replaying the same randomly generated begin/end schedule
+/// into a fresh trace exports byte-identical artifacts.
+#[test]
+fn trace_exports_are_deterministic() {
+    check_cases("trace_exports_are_deterministic", 24, |_, rng| {
+        let ops: Vec<(u64, u64, u32)> = (0..rng.gen_range(1usize..120))
+            .map(|_| {
+                (
+                    rng.gen_range(0u64..4),
+                    rng.gen_range(0u64..1_000_000),
+                    rng.gen_range(0u32..10),
+                )
+            })
+            .collect();
+        let build = |ops: &[(u64, u64, u32)]| {
+            let mut trace = simnet::Trace::new(1024);
+            let mut open: Vec<simnet::SpanId> = Vec::new();
+            let mut now = 0u64;
+            for (i, (corr, dt, roll)) in ops.iter().enumerate() {
+                now += dt;
+                let t = SimTime::from_nanos(now);
+                if *roll < 6 || open.is_empty() {
+                    open.push(trace.span_begin(
+                        *corr,
+                        t,
+                        format!("src{corr}"),
+                        format!("stage{}", i % 5),
+                        "d",
+                    ));
+                } else {
+                    let id = open.remove(*roll as usize % open.len());
+                    trace.span_end(id, t);
+                }
+            }
+            (
+                simnet::perfetto_trace_json(trace.spans()),
+                simnet::folded_stacks(trace.spans()),
+            )
+        };
+        let (p1, f1) = build(&ops);
+        let (p2, f2) = build(&ops);
+        assert_eq!(p1, p2, "perfetto export must be byte-identical");
+        assert_eq!(f1, f2, "folded export must be byte-identical");
+        assert!(p1.contains("\"traceEvents\""));
+    });
+}
+
+/// Payload accounting is per-run: bytes moved by one world — or by stray
+/// work between runs — never leak into another world's snapshot when
+/// both share a thread.
+#[test]
+fn payload_stats_do_not_leak_across_worlds() {
+    // World A moves real bytes; its run folds the thread-local
+    // accounting into its own metrics.
+    let (received, _) = transfer(1, 0.0, vec![7u8; 10_000], 512);
+    assert_eq!(received.len(), 10_000);
+
+    // Stray payload work with no world running.
+    drop(simnet::Payload::copy_from_slice(&[0u8; 4096]));
+
+    // World B never touches payloads: its snapshot must show none.
+    struct Idle;
+    impl Process for Idle {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+    }
+    let mut world = World::new(2);
+    let n = world.add_node("n");
+    world.add_process(n, Box::new(Idle));
+    world.run_until(SimTime::from_secs(5));
+    let snap = world.trace().metrics().snapshot();
+    for key in [
+        "payload.bytes_copied",
+        "payload.allocs",
+        "payload.shared_clones",
+    ] {
+        assert_eq!(
+            snap.counters.get(key),
+            None,
+            "world B inherited another world's {key}: {:?}",
+            snap.counters
+        );
+    }
+}
+
 /// Streams fed zero-copy [`Payload`] slices of one shared buffer still
 /// deliver every byte exactly once under loss — retransmissions must not
 /// depend on the sender's buffer being private.

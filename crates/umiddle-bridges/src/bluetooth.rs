@@ -226,7 +226,7 @@ impl BluetoothMapper {
     fn emit_image(&mut self, ctx: &mut Ctx<'_>, translator: TranslatorId, data: Vec<u8>) {
         let mime: MimeType = "image/jpeg".parse().expect("static mime");
         ctx.busy(calib::EVENT_TRANSLATION);
-        crate::obs::record_translation(ctx, "bluetooth", calib::EVENT_TRANSLATION);
+        crate::obs::record_egress(ctx, "bluetooth", calib::EVENT_TRANSLATION);
         self.stats.borrow_mut().events += 1;
         let client = self.client.as_ref().expect("client set");
         client.output(ctx, translator, "image-out", UMessage::new(mime, data));
@@ -362,7 +362,7 @@ impl BluetoothMapper {
             // document costs ~23 ms; the emission is deferred through a
             // self-echo so that time actually elapses first.
             ctx.busy(calib::HID_TRANSLATION);
-            crate::obs::record_translation(ctx, "bluetooth", calib::HID_TRANSLATION);
+            crate::obs::record_egress(ctx, "bluetooth", calib::HID_TRANSLATION);
             let (port, msg) = match report {
                 HidReport::Buttons(mask) => {
                     let state = if mask != 0 { "press" } else { "release" };

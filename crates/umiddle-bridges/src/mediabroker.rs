@@ -192,6 +192,7 @@ impl MediaBrokerMapper {
                     return;
                 };
                 ctx.busy(calib::MB_FRAME_TRANSLATION);
+                crate::obs::record_egress(ctx, "mediabroker", calib::MB_FRAME_TRANSLATION);
                 self.stats.borrow_mut().events += 1;
                 let mime: MimeType = "application/octet-stream".parse().expect("static");
                 let client = self.client.as_ref().expect("client set");

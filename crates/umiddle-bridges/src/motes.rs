@@ -102,7 +102,7 @@ impl MotesMapper {
             return;
         };
         ctx.busy(calib::EVENT_TRANSLATION);
-        crate::obs::record_translation(ctx, "motes", calib::EVENT_TRANSLATION);
+        crate::obs::record_egress(ctx, "motes", calib::EVENT_TRANSLATION);
         self.stats.borrow_mut().events += 1;
         let client = self.client.as_ref().expect("client set");
         let temperature = format!("{:.1}", reading.temperature_decicelsius as f64 / 10.0);

@@ -181,7 +181,10 @@ impl Process for NativeService {
                 msg,
                 connection,
             } => {
-                ctx.span(
+                // Structured span around the behaviour callback: ends
+                // at the service's emit time, so CPU the behaviour
+                // models with busy() lands inside the span.
+                let span = ctx.span_begin(
                     connection.corr(),
                     "bridge.native.input",
                     format!("port={port}"),
@@ -193,6 +196,7 @@ impl Process for NativeService {
                     translator: self.translator,
                 };
                 self.behavior.on_input(&mut env, &port, msg);
+                ctx.span_end(span);
                 ack_input_done(ctx, self.runtime, connection, translator);
             }
             _ => {}

@@ -1,35 +1,54 @@
-//! Observability helpers shared by every mapper: bridge-hop spans and
-//! per-hop translation-latency histograms.
+//! Observability helpers shared by every mapper: structured bridge
+//! ingress/egress spans and per-hop translation-latency histograms.
 //!
 //! Metric names: every hop records into the federation-wide
 //! `umiddle.translation_latency` histogram and a per-platform
-//! `bridge.{platform}.translation` histogram; inbound hops additionally
-//! emit a `bridge.{platform}.input` span on the path's correlation id
-//! (see [`umiddle_core::ConnectionId::corr`]).
+//! `bridge.{platform}.translation` histogram. Inbound hops emit a
+//! `bridge.{platform}.input` span on the path's correlation id (see
+//! [`umiddle_core::ConnectionId::corr`]); outbound hops emit an
+//! uncorrelated `bridge.{platform}.output` span. Both are structured
+//! spans: begun when the triggering event arrived and ended at the
+//! mapper's *emit time*, so translation cost modeled with
+//! `ctx.busy(cost)` before the call is inside the span's duration.
 
-use simnet::{Ctx, SimDuration};
+use simnet::{Ctx, SimDuration, SpanId};
 use umiddle_core::ConnectionId;
 
-/// Records one inbound bridge hop (uMiddle → native platform): a span on
-/// the path's correlation id plus the translation cost histograms. Call
-/// it next to the `ctx.busy(cost)` that models the translation.
+/// Records one inbound bridge hop (uMiddle → native platform): a
+/// structured span on the path's correlation id plus the translation
+/// cost histograms. Call it after the `ctx.busy(cost)` that models the
+/// translation, so the span's end covers the modeled CPU work.
 pub(crate) fn record_hop(
     ctx: &mut Ctx<'_>,
     platform: &str,
     connection: ConnectionId,
     port: &str,
     cost: SimDuration,
-) {
-    ctx.span(
+) -> SpanId {
+    let span = ctx.span_begin(
         connection.corr(),
         format!("bridge.{platform}.input"),
         format!("port={port}"),
     );
+    ctx.span_end(span);
     record_translation(ctx, platform, cost);
+    span
 }
 
-/// Records a translation cost with no path context (native platform →
-/// uMiddle event translation happens before a connection is chosen).
+/// Records one outbound bridge hop (native platform → uMiddle): a
+/// structured span plus the translation cost histograms. Egress
+/// translation happens before any connection is chosen, so the span is
+/// uncorrelated (corr 0); it still appears on the mapper's exporter
+/// thread with its full duration.
+pub(crate) fn record_egress(ctx: &mut Ctx<'_>, platform: &str, cost: SimDuration) -> SpanId {
+    let span = ctx.span_begin(0, format!("bridge.{platform}.output"), String::new());
+    ctx.span_end(span);
+    record_translation(ctx, platform, cost);
+    span
+}
+
+/// Records a translation cost into the federation-wide and per-platform
+/// histograms, with no span context.
 pub(crate) fn record_translation(ctx: &mut Ctx<'_>, platform: &str, cost: SimDuration) {
     ctx.observe("umiddle.translation_latency", cost);
     ctx.observe(&format!("bridge.{platform}.translation"), cost);

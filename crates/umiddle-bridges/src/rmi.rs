@@ -154,6 +154,7 @@ impl RmiMapper {
                 };
                 let mime: MimeType = "application/octet-stream".parse().expect("static");
                 ctx.busy(calib::STREAM_TRANSLATION);
+                crate::obs::record_egress(ctx, "rmi", calib::STREAM_TRANSLATION);
                 self.stats.borrow_mut().actions += 1;
                 let client = self.client.as_ref().expect("client set");
                 client.output(ctx, translator, "response", UMessage::new(mime, body));

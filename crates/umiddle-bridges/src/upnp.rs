@@ -72,7 +72,7 @@ pub struct UpnpMapper {
     /// translator → usn.
     by_translator: HashMap<TranslatorId, String>,
     /// SOAP call id → (connection, translator, input arrival time).
-    pending_calls: HashMap<u64, (ConnectionId, TranslatorId, SimTime)>,
+    pending_calls: HashMap<u64, (ConnectionId, TranslatorId, SimTime, simnet::SpanId)>,
     next_call: u64,
     stats: Rc<RefCell<MapperStats>>,
 }
@@ -196,8 +196,10 @@ impl UpnpMapper {
                 }
             }
             CpEvent::ActionResult { call_id, result } => {
-                if let Some((connection, translator, started)) = self.pending_calls.remove(&call_id)
+                if let Some((connection, translator, started, native_span)) =
+                    self.pending_calls.remove(&call_id)
                 {
+                    ctx.span_end(native_span);
                     if let SoapResult::Fault { code, description } = &result {
                         ctx.trace(format!("SOAP fault {code}: {description}"));
                         ctx.bump("mapper.upnp.soap_faults", 1);
@@ -230,7 +232,7 @@ impl UpnpMapper {
                     });
                     if let Some(port) = port {
                         ctx.busy(calib::EVENT_TRANSLATION);
-                        crate::obs::record_translation(ctx, "upnp", calib::EVENT_TRANSLATION);
+                        crate::obs::record_egress(ctx, "upnp", calib::EVENT_TRANSLATION);
                         self.stats.borrow_mut().events += 1;
                         let client = self.client.as_ref().expect("client set");
                         client.output(
@@ -320,8 +322,16 @@ impl UpnpMapper {
                 let call_id = self.next_call;
                 self.next_call += 1;
                 let location = dev.location;
+                // Native-side span: open until the SOAP ActionResult
+                // comes back, so the critical path separates uMiddle
+                // translation from time spent inside the UPnP device.
+                let native_span = ctx.span_begin(
+                    connection.corr(),
+                    "bridge.upnp.native",
+                    format!("action={action}"),
+                );
                 self.pending_calls
-                    .insert(call_id, (connection, translator, ctx.now()));
+                    .insert(call_id, (connection, translator, ctx.now(), native_span));
                 let me = ctx.me();
                 ctx.send_local(
                     me,

@@ -183,7 +183,7 @@ impl WsMapper {
                     }
                     svc.last_values.insert(port.clone(), value.clone());
                     ctx.busy(calib::EVENT_TRANSLATION);
-                    crate::obs::record_translation(ctx, "webservices", calib::EVENT_TRANSLATION);
+                    crate::obs::record_egress(ctx, "webservices", calib::EVENT_TRANSLATION);
                     self.stats.borrow_mut().events += 1;
                     let client = self.client.as_ref().expect("client set");
                     client.output(ctx, translator, port, UMessage::text(value));

@@ -96,6 +96,13 @@ impl UMessage {
         self.meta.get(key).map(String::as_str)
     }
 
+    /// Removes and returns a metadata entry. Used by the runtime to
+    /// strip transport-internal keys (queue/transport span ids) before
+    /// a message reaches application code.
+    pub fn take_meta(&mut self, key: &str) -> Option<String> {
+        self.meta.remove(key)
+    }
+
     /// All metadata entries, sorted by key.
     pub fn metas(&self) -> impl Iterator<Item = (&str, &str)> {
         self.meta.iter().map(|(k, v)| (k.as_str(), v.as_str()))

@@ -38,6 +38,14 @@ const REGISTERED_AT_ATTR: &str = "umiddle.registered-ns";
 /// Message metadata carrying the emission time (virtual ns), used by the
 /// delivering runtime to compute `umiddle.path_latency`.
 const SENT_AT_META: &str = "umiddle.sent-ns";
+/// Metadata key carrying the id of the open `queue.wait` span while a
+/// message sits in a path buffer; stripped when the message is polled.
+const QUEUE_SPAN_META: &str = "umiddle.queue-span";
+/// Metadata key carrying the id of the open `transport.send` span across
+/// the wire; the receiving runtime closes the span (virtual time is
+/// federation-global, and both runtimes record into the same world
+/// trace), so the span covers serialization, transmission and decode.
+const TRANSPORT_SPAN_META: &str = "umiddle.transport-span";
 
 /// Configuration of a uMiddle runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -807,7 +815,19 @@ impl UmiddleRuntime {
             if let Some(conn) = self.connections.get_mut(&cid) {
                 let mut dropped = 0;
                 for p in &mut conn.paths {
-                    if !p.buffer.offer(msg.clone()) {
+                    // Each path copy carries its own queue.wait span,
+                    // closed when the copy is polled out of the buffer.
+                    // A copy the QoS policy evicts leaves its span
+                    // unclosed — visible in the span tree as a message
+                    // that entered a buffer and never left.
+                    let q = ctx.span_begin(
+                        cid.corr(),
+                        "queue.wait",
+                        format!("port={port} path={}", p.uid),
+                    );
+                    let copy = msg.clone().with_meta(QUEUE_SPAN_META, q.0.to_string());
+                    if !p.buffer.offer(copy) {
+                        ctx.span_end(q);
                         dropped += 1;
                     }
                 }
@@ -891,7 +911,7 @@ impl UmiddleRuntime {
                         return;
                     };
                     let uid = path.uid;
-                    let msg = {
+                    let mut msg = {
                         let conn = self.connections.get_mut(&cid).expect("checked");
                         let path = conn.paths.get_mut(idx).expect("checked");
                         match path.buffer.poll(now) {
@@ -910,6 +930,7 @@ impl UmiddleRuntime {
                             }
                         }
                     };
+                    self.finish_queue_span(ctx, &mut msg);
                     self.stats.borrow_mut().local_deliveries += 1;
                     self.observe_delivery(ctx, cid, &dst, &msg);
                     ctx.send_local(
@@ -943,7 +964,7 @@ impl UmiddleRuntime {
                     if ctx.stream_sendable(stream) < front + 512 {
                         return; // resumed by Writable
                     }
-                    let msg = {
+                    let mut msg = {
                         let conn = self.connections.get_mut(&cid).expect("checked");
                         let path = conn.paths.get_mut(idx).expect("checked");
                         match path.buffer.poll(now) {
@@ -959,6 +980,13 @@ impl UmiddleRuntime {
                             }
                         }
                     };
+                    self.finish_queue_span(ctx, &mut msg);
+                    // The transport.send span stays open across the
+                    // wire; the receiving runtime closes it, so its
+                    // duration is the full serialize→transmit→decode
+                    // leg of the hop.
+                    let sent = ctx.span_begin(cid.corr(), "transport.send", format!("dst={dst}"));
+                    let msg = msg.with_meta(TRANSPORT_SPAN_META, sent.0.to_string());
                     let wire = WireMessage::PathMessage {
                         connection: cid,
                         dst: dst.clone(),
@@ -966,14 +994,11 @@ impl UmiddleRuntime {
                     }
                     .encode_framed();
                     self.stats.borrow_mut().remote_sends += 1;
-                    ctx.span(
-                        cid.corr(),
-                        "transport.send",
-                        format!("dst={} {}B", dst, wire.len()),
-                    );
                     if ctx.stream_send(stream, wire).is_err() {
                         // Stream filled up or died between checks; the
-                        // message is lost (counted, not silently).
+                        // message is lost (counted, not silently) and
+                        // its transport span closes at the failure.
+                        ctx.span_end(sent);
                         ctx.bump("umiddle.remote_send_failed", 1);
                         return;
                     }
@@ -1027,9 +1052,17 @@ impl UmiddleRuntime {
         ctx: &mut Ctx<'_>,
         connection: ConnectionId,
         dst: PortRef,
-        msg: UMessage,
+        mut msg: UMessage,
     ) {
         self.stats.borrow_mut().remote_receives += 1;
+        if let Some(id) = msg
+            .take_meta(TRANSPORT_SPAN_META)
+            .and_then(|v| v.parse().ok())
+        {
+            if let Some(d) = ctx.span_end(simnet::SpanId(id)) {
+                ctx.observe(&self.metric("transport_latency"), d);
+            }
+        }
         ctx.span(connection.corr(), "transport.receive", format!("dst={dst}"));
         let Some(local) = self.local_translators.get(&dst.translator) else {
             ctx.bump("umiddle.path_unknown_dst", 1);
@@ -1049,6 +1082,17 @@ impl UmiddleRuntime {
                 connection,
             },
         );
+    }
+
+    /// Closes the `queue.wait` span begun when this message copy entered
+    /// its path buffer, stripping the id from the metadata, and records
+    /// the wait in the runtime's `queue_wait` histogram.
+    fn finish_queue_span(&self, ctx: &mut Ctx<'_>, msg: &mut UMessage) {
+        if let Some(id) = msg.take_meta(QUEUE_SPAN_META).and_then(|v| v.parse().ok()) {
+            if let Some(d) = ctx.span_end(simnet::SpanId(id)) {
+                ctx.observe(&self.metric("queue_wait"), d);
+            }
+        }
     }
 
     /// Records the delivery span and the end-to-end path latency (from

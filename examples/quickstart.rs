@@ -131,7 +131,7 @@ fn main() {
         for span in world.trace().spans_for(corr).take(6) {
             println!(
                 "  {:>12}  {:<16} {}",
-                span.time.to_string(),
+                span.start.to_string(),
                 span.stage,
                 span.detail
             );

@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/simnet-406e8df52bc3466b.d: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs Cargo.toml
+/root/repo/target/debug/deps/simnet-406e8df52bc3466b.d: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsimnet-406e8df52bc3466b.rmeta: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs Cargo.toml
+/root/repo/target/debug/deps/libsimnet-406e8df52bc3466b.rmeta: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs Cargo.toml
 
 crates/simnet/src/lib.rs:
 crates/simnet/src/ctx.rs:
 crates/simnet/src/error.rs:
+crates/simnet/src/export.rs:
 crates/simnet/src/medium.rs:
 crates/simnet/src/payload.rs:
 crates/simnet/src/process.rs:
 crates/simnet/src/rng.rs:
+crates/simnet/src/span.rs:
 crates/simnet/src/stream.rs:
 crates/simnet/src/time.rs:
 crates/simnet/src/trace.rs:

@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/simnet-cde98ede9fdd4eae.d: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs Cargo.toml
+/root/repo/target/debug/deps/simnet-cde98ede9fdd4eae.d: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsimnet-cde98ede9fdd4eae.rmeta: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs Cargo.toml
+/root/repo/target/debug/deps/libsimnet-cde98ede9fdd4eae.rmeta: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs Cargo.toml
 
 crates/simnet/src/lib.rs:
 crates/simnet/src/ctx.rs:
 crates/simnet/src/error.rs:
+crates/simnet/src/export.rs:
 crates/simnet/src/medium.rs:
 crates/simnet/src/payload.rs:
 crates/simnet/src/process.rs:
 crates/simnet/src/rng.rs:
+crates/simnet/src/span.rs:
 crates/simnet/src/stream.rs:
 crates/simnet/src/time.rs:
 crates/simnet/src/trace.rs:

@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/simnet-cfeb88198f3ae46c.d: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
+/root/repo/target/debug/deps/simnet-cfeb88198f3ae46c.d: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
 
-/root/repo/target/debug/deps/simnet-cfeb88198f3ae46c: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
+/root/repo/target/debug/deps/simnet-cfeb88198f3ae46c: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
 
 crates/simnet/src/lib.rs:
 crates/simnet/src/ctx.rs:
 crates/simnet/src/error.rs:
+crates/simnet/src/export.rs:
 crates/simnet/src/medium.rs:
 crates/simnet/src/payload.rs:
 crates/simnet/src/process.rs:
 crates/simnet/src/rng.rs:
+crates/simnet/src/span.rs:
 crates/simnet/src/stream.rs:
 crates/simnet/src/time.rs:
 crates/simnet/src/trace.rs:

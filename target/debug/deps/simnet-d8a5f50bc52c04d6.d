@@ -1,16 +1,18 @@
-/root/repo/target/debug/deps/simnet-d8a5f50bc52c04d6.d: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
+/root/repo/target/debug/deps/simnet-d8a5f50bc52c04d6.d: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
 
-/root/repo/target/debug/deps/libsimnet-d8a5f50bc52c04d6.rlib: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
+/root/repo/target/debug/deps/libsimnet-d8a5f50bc52c04d6.rlib: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
 
-/root/repo/target/debug/deps/libsimnet-d8a5f50bc52c04d6.rmeta: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
+/root/repo/target/debug/deps/libsimnet-d8a5f50bc52c04d6.rmeta: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
 
 crates/simnet/src/lib.rs:
 crates/simnet/src/ctx.rs:
 crates/simnet/src/error.rs:
+crates/simnet/src/export.rs:
 crates/simnet/src/medium.rs:
 crates/simnet/src/payload.rs:
 crates/simnet/src/process.rs:
 crates/simnet/src/rng.rs:
+crates/simnet/src/span.rs:
 crates/simnet/src/stream.rs:
 crates/simnet/src/time.rs:
 crates/simnet/src/trace.rs:

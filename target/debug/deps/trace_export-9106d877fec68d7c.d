@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_export-9106d877fec68d7c.d: crates/bench/src/bin/trace_export.rs
+
+/root/repo/target/debug/deps/trace_export-9106d877fec68d7c: crates/bench/src/bin/trace_export.rs
+
+crates/bench/src/bin/trace_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_export-d9dfa5a3c66c7666.d: crates/bench/src/bin/trace_export.rs
+
+/root/repo/target/debug/deps/trace_export-d9dfa5a3c66c7666: crates/bench/src/bin/trace_export.rs
+
+crates/bench/src/bin/trace_export.rs:

@@ -1,16 +1,18 @@
-/root/repo/target/release/deps/simnet-4c80f833bac1b722.d: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
+/root/repo/target/release/deps/simnet-4c80f833bac1b722.d: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
 
-/root/repo/target/release/deps/libsimnet-4c80f833bac1b722.rlib: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
+/root/repo/target/release/deps/libsimnet-4c80f833bac1b722.rlib: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
 
-/root/repo/target/release/deps/libsimnet-4c80f833bac1b722.rmeta: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
+/root/repo/target/release/deps/libsimnet-4c80f833bac1b722.rmeta: crates/simnet/src/lib.rs crates/simnet/src/ctx.rs crates/simnet/src/error.rs crates/simnet/src/export.rs crates/simnet/src/medium.rs crates/simnet/src/payload.rs crates/simnet/src/process.rs crates/simnet/src/rng.rs crates/simnet/src/span.rs crates/simnet/src/stream.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
 
 crates/simnet/src/lib.rs:
 crates/simnet/src/ctx.rs:
 crates/simnet/src/error.rs:
+crates/simnet/src/export.rs:
 crates/simnet/src/medium.rs:
 crates/simnet/src/payload.rs:
 crates/simnet/src/process.rs:
 crates/simnet/src/rng.rs:
+crates/simnet/src/span.rs:
 crates/simnet/src/stream.rs:
 crates/simnet/src/time.rs:
 crates/simnet/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_export-4c01a1f3c822db89.d: crates/bench/src/bin/trace_export.rs
+
+/root/repo/target/release/deps/trace_export-4c01a1f3c822db89: crates/bench/src/bin/trace_export.rs
+
+crates/bench/src/bin/trace_export.rs:

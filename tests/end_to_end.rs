@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use umiddle::platform_bluetooth::{BipCamera, BipPrinter};
 use umiddle::platform_upnp::{LightLogic, MediaRendererLogic, UpnpDevice};
-use umiddle::simnet::{SegmentConfig, SimDuration, SimTime, World};
+use umiddle::simnet::{SegmentConfig, SimDuration, SimTime, TraceAssert, World};
 use umiddle::umiddle_bridges::{behaviors, BluetoothMapper, NativeService, UpnpMapper};
 use umiddle::umiddle_core::{
     Direction, QosPolicy, RuntimeConfig, RuntimeId, Shape, UMessage, UmiddleRuntime,
@@ -106,6 +106,26 @@ fn one_camera_many_sinks_polymorphism() {
         world.trace().counter("bt.bip_printed") >= 1,
         "printer printed at least one frame"
     );
+
+    // The TV-bound frame's journey is causally complete: queued, locally
+    // delivered (single runtime, no wire hop) and handed to the UPnP
+    // bridge, all within the virtual minute after the trigger fires.
+    let trace = world.trace();
+    let corr = trace
+        .spans()
+        .iter()
+        .find(|s| s.stage == "bridge.upnp.input")
+        .expect("a frame reached the UPnP bridge")
+        .corr;
+    TraceAssert::new(trace)
+        .expect_path(corr)
+        .through(&[
+            "output.enqueue",
+            "queue.wait",
+            "deliver.local",
+            "bridge.upnp.input",
+        ])
+        .within(SimDuration::from_secs(60));
 }
 
 /// Device churn: a light that disappears and returns is re-mapped, and a
