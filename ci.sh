@@ -38,5 +38,12 @@ run diff target/trace-gate/a.metrics.json target/trace-gate/b.metrics.json
 run diff target/trace-gate/a.perfetto.json target/trace-gate/b.perfetto.json
 run diff target/trace-gate/a.folded target/trace-gate/b.folded
 
+# Scheduler scaling gate: the timer-wheel kernel must stay competitive
+# with the reference heap, the E9 federation must clear an events/sec
+# floor at N=1000, and per-event cost must stay near-linear from 100 to
+# 1000 devices. Catches scheduler and dispatch-path regressions that
+# unit tests cannot see.
+run cargo run --offline --release -p bench --bin perf_sched -- --check
+
 echo
 echo "ci.sh: all green"

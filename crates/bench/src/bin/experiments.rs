@@ -70,6 +70,18 @@ fn main() {
             println!("wrote folded stacks to {path}");
         }
     }
+    // Scheduler scaling sweep (opt-in: `cargo run -p bench -- e9`) —
+    // a reduced version of the full `perf_sched --json` sweep, which
+    // also covers N = 500 and N = 1000.
+    if !all && ids.iter().any(|a| a == "e9") {
+        println!(
+            "{}",
+            render_e9(&e9_sched_scale(
+                &[100, 250],
+                simnet::SimDuration::from_secs(10)
+            ))
+        );
+    }
     // Data-path micro-benches (opt-in: `cargo run -p bench -- perf`) —
     // the same kernels the `perf_payload` binary measures.
     if !all && ids.iter().any(|a| a == "perf") {

@@ -1,0 +1,122 @@
+//! Scheduler benchmarks: the timer-wheel kernel A/B against the
+//! reference min-heap, plus the E9 six-bridge federation scaling sweep
+//! (events/sec, p99 dispatch latency, allocations/event).
+//!
+//! Run with `--check` for the CI scaling-regression gate — an
+//! events/sec floor at N = 1000 plus a near-linearity bound on the
+//! per-event wall cost from N = 100 to N = 1000 — or with
+//! `--json FILE` to write the sweep as deterministic-schema JSON
+//! (values are wall-clock and machine-dependent; the schema is what
+//! golden files assert on). The committed `BENCH_perf_sched.json`
+//! pairs one such run with the pre-timer-wheel baseline numbers.
+
+use bench::experiments::e9_sched_scale;
+use bench::report::render_e9;
+use bench::timing::sched_kernel;
+use simnet::SimDuration;
+
+/// `--check` events/sec floor at N = 1000. The refactored engine
+/// measures well above 10x this on a developer laptop and ~5x in CI
+/// containers; the old linear-scan dispatch path sat below it.
+const CHECK_FLOOR_EVENTS_PER_SEC: f64 = 50_000.0;
+
+/// `--check` bound on per-event wall-cost growth across a 10x device
+/// increase. Per-event cost is flat for an O(1) dispatch path and grew
+/// ~linearly (>5x) for the old full-scan path; 3x allows for cache
+/// effects and noise without letting a linear term back in.
+const CHECK_LINEARITY: f64 = 3.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let json_out = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    if check {
+        // Kernel smoke: both structures must run; the wheel must not be
+        // grossly slower than the heap it replaced on a mixed schedule.
+        let k = sched_kernel(10_000, 100_000);
+        assert!(k.wheel_ns_per_op > 0.0 && k.heap_ns_per_op > 0.0);
+        assert!(
+            k.wheel_ns_per_op <= k.heap_ns_per_op * 3.0,
+            "timer wheel regressed vs reference heap: {:.0} ns vs {:.0} ns",
+            k.wheel_ns_per_op,
+            k.heap_ns_per_op
+        );
+
+        // E9 endpoints: floor at N = 1000, near-linearity 100 -> 1000.
+        let rows = e9_sched_scale(&[100, 1000], SimDuration::from_secs(5));
+        let (small, large) = (&rows[0], &rows[1]);
+        assert!(
+            large.events_per_sec >= CHECK_FLOOR_EVENTS_PER_SEC,
+            "events/sec at N=1000 below floor: {:.0} < {:.0}",
+            large.events_per_sec,
+            CHECK_FLOOR_EVENTS_PER_SEC
+        );
+        let cost_small = small.wall_secs / small.events.max(1) as f64;
+        let cost_large = large.wall_secs / large.events.max(1) as f64;
+        assert!(
+            cost_large <= cost_small * CHECK_LINEARITY,
+            "per-event cost grew {:.2}x from N=100 to N=1000 (bound {CHECK_LINEARITY}x)",
+            cost_large / cost_small
+        );
+        println!(
+            "perf_sched --check: ok (N=1000 {:.0} events/s, per-event cost x{:.2} over 10x devices, wheel {:.0} ns/op vs heap {:.0} ns/op)",
+            large.events_per_sec,
+            cost_large / cost_small,
+            k.wheel_ns_per_op,
+            k.heap_ns_per_op
+        );
+        return;
+    }
+
+    println!("scheduler kernel A/B (wall clock, pop+push cycles on a mixed schedule)");
+    let mut kernel_lines = Vec::new();
+    for pending in [1_000usize, 10_000, 100_000] {
+        let k = sched_kernel(pending, 200_000);
+        println!(
+            "sched_kernel {pending:>7} pending: wheel {:>7.1} ns/op, heap {:>7.1} ns/op ({:.2}x)",
+            k.wheel_ns_per_op,
+            k.heap_ns_per_op,
+            k.heap_ns_per_op / k.wheel_ns_per_op
+        );
+        kernel_lines.push(k);
+    }
+
+    let rows = e9_sched_scale(&[100, 250, 500, 1000], SimDuration::from_secs(15));
+    println!("{}", render_e9(&rows));
+
+    if let Some(file) = json_out {
+        let mut out = String::from("{\n  \"sched_kernel\": [\n");
+        let n = kernel_lines.len();
+        for (i, k) in kernel_lines.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"pending\": {}, \"ops\": {}, \"wheel_ns_per_op\": {:.1}, \"heap_ns_per_op\": {:.1}}}{}\n",
+                k.pending,
+                k.ops,
+                k.wheel_ns_per_op,
+                k.heap_ns_per_op,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"e9_sched_scale\": [\n");
+        let n = rows.len();
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"devices\": {}, \"events\": {}, \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}, \"p99_dispatch_ns\": {}, \"allocs_per_event\": {:.4}}}{}\n",
+                r.devices,
+                r.events,
+                r.wall_secs,
+                r.events_per_sec,
+                r.p99_dispatch_ns,
+                r.allocs_per_event,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&file, out).expect("write perf_sched json");
+        println!("wrote {file}");
+    }
+}

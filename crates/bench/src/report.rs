@@ -186,3 +186,24 @@ pub fn render_e8(r: &ObservabilityResults) -> String {
     ));
     out
 }
+
+/// Renders the E9 scheduler-scaling sweep.
+pub fn render_e9(rows: &[SchedScaleRow]) -> String {
+    let mut out = hr("E9 — scheduler scaling: six-bridge federation sweep");
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>10} {:>14} {:>14} {:>12}\n",
+        "devices", "events", "wall s", "events/s", "p99 disp ns", "allocs/ev"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>12} {:>10.2} {:>14.0} {:>14} {:>12.3}\n",
+            r.devices,
+            r.events,
+            r.wall_secs,
+            r.events_per_sec,
+            r.p99_dispatch_ns,
+            r.allocs_per_event
+        ));
+    }
+    out
+}

@@ -360,6 +360,95 @@ pub fn stream_bulk_transfer(total: usize, loss: f64) -> f64 {
     ns as f64 / (total as f64 / 1024.0)
 }
 
+// =====================================================================
+// Scheduler micro-benches (timer wheel vs reference heap)
+// =====================================================================
+
+/// Result of one [`sched_kernel`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedKernelRun {
+    /// Mean nanoseconds per pop+push cycle on the timer wheel.
+    pub wheel_ns_per_op: f64,
+    /// Mean nanoseconds per pop+push cycle on the reference min-heap.
+    pub heap_ns_per_op: f64,
+    /// Steady-state pending entries during the run.
+    pub pending: usize,
+    /// Pop+push cycles measured per structure.
+    pub ops: usize,
+}
+
+/// Replays an identical synthetic simulator schedule through the
+/// [`simnet::TimerWheel`] and the [`simnet::ReferenceHeap`] it
+/// replaced, and reports the mean cost of one pop+push cycle.
+///
+/// The schedule mimics a busy federation: mostly near-future events
+/// (frame arrivals, drain timers within ~65 µs), a slice of mid-range
+/// timers, a tail of 30-second directory TTL re-announcements, and
+/// same-tick bursts. Offsets are drawn once from a seeded RNG so both
+/// structures see byte-identical input.
+pub fn sched_kernel(pending: usize, ops: usize) -> SchedKernelRun {
+    use simnet::{ReferenceHeap, SimRng, TimerWheel};
+
+    let offsets: Vec<u64> = {
+        let mut rng = SimRng::seed_from_u64(0x5eed_5c4e_d01e);
+        (0..pending + ops)
+            .map(|_| match rng.gen_range(0..10u32) {
+                0 => 0,                                // same-tick burst
+                1..=6 => rng.gen_range(1..1u64 << 16), // near window
+                7 | 8 => rng.gen_range(1..1u64 << 24), // mid-range timer
+                _ => 30_000_000_000,                   // directory TTL
+            })
+            .collect()
+    };
+
+    fn run<Q>(
+        offsets: &[u64],
+        pending: usize,
+        ops: usize,
+        mut push: impl FnMut(&mut Q, SimTime, u32),
+        mut pop: impl FnMut(&mut Q) -> Option<(SimTime, u32)>,
+        q: &mut Q,
+    ) -> f64 {
+        let mut now = 0u64;
+        for (i, off) in offsets.iter().take(pending).enumerate() {
+            push(q, SimTime::from_nanos(now + off), i as u32);
+        }
+        let start = Instant::now();
+        for (i, off) in offsets.iter().skip(pending).enumerate() {
+            let (t, id) = pop(q).expect("queue stays non-empty");
+            black_box(id);
+            now = t.as_nanos();
+            push(q, SimTime::from_nanos(now + off), i as u32);
+        }
+        start.elapsed().as_nanos() as f64 / ops as f64
+    }
+
+    let mut wheel: TimerWheel<u32> = TimerWheel::new();
+    let wheel_ns = run(
+        &offsets,
+        pending,
+        ops,
+        |q, t, id| q.push(t, id),
+        |q| q.pop(),
+        &mut wheel,
+    );
+    let mut heap: ReferenceHeap<u32> = ReferenceHeap::new();
+    let heap_ns = run(
+        &offsets,
+        pending,
+        ops,
+        |q, t, id| q.push(t, id),
+        |q| q.pop(),
+        &mut heap,
+    );
+    SchedKernelRun {
+        wheel_ns_per_op: wheel_ns,
+        heap_ns_per_op: heap_ns,
+        pending,
+        ops,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

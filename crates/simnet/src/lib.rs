@@ -75,6 +75,7 @@ pub mod span;
 mod stream;
 mod time;
 mod trace;
+pub mod wheel;
 mod world;
 
 pub use ctx::{Ctx, TimerHandle};
@@ -91,4 +92,5 @@ pub use time::{SimDuration, SimTime};
 pub use trace::{
     Histogram, Metrics, MetricsSnapshot, SegmentStats, SpanId, SpanRecord, Trace, TraceEvent,
 };
+pub use wheel::{ReferenceHeap, TimerWheel};
 pub use world::World;

@@ -1,0 +1,579 @@
+//! Hierarchical timer wheel: the event queue behind [`crate::World`].
+//!
+//! A discrete-event simulator spends most of its time inserting and
+//! popping scheduled events. A single binary heap makes every operation
+//! `O(log n)` in the *total* number of pending events — directory
+//! re-announcements scheduled 30 virtual seconds out compete with
+//! frame arrivals scheduled 40 µs out. The timer wheel splits the
+//! timeline so the hot path only ever touches events that are about to
+//! fire:
+//!
+//! * a **near heap** holds events within the current 2^16 ns (~65 µs)
+//!   window, ordered by `(time, seq)`;
+//! * six **wheel levels** of 64 slots each cover bits `[16, 52)` of the
+//!   event time; an event is filed at the level of the highest bit in
+//!   which it differs from the wheel horizon, so each level spans 64×
+//!   the range of the one below;
+//! * an **overflow heap** catches events more than 2^52 ns (~52 days)
+//!   ahead.
+//!
+//! Far events cost `O(1)` to insert and at most [`LEVELS`] cascade hops
+//! over their whole lifetime; the near heap stays small, so popping is
+//! `O(log near)` rather than `O(log total)`.
+//!
+//! # Determinism
+//!
+//! Pop order is **exactly** ascending `(time, seq)` — byte-identical to
+//! the `BinaryHeap<Reverse<(time, seq)>>` it replaces (the
+//! `wheel_matches_reference_heap` property test enforces this). The
+//! argument:
+//!
+//! 1. Entries at level `l` share all bits above `base(l) + 6` with the
+//!    horizon, so their slot index is strictly ahead of the horizon's
+//!    cursor at that level; slots never wrap within an epoch.
+//! 2. Every entry at level `l` is earlier than every entry at any
+//!    higher level (it matches the horizon in the higher level's bit
+//!    range, where the higher entry exceeds it), and later than
+//!    everything in the near heap; overflow entries are later still.
+//! 3. Therefore the global minimum is always in the near heap once
+//!    [`TimerWheel::pop`] has cascaded (lowest level, lowest slot
+//!    first), and ties on `time` are all in the near heap together,
+//!    where the heap order on `(time, seq)` resolves them FIFO.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Bits of event time covered by the near heap (2^16 ns ≈ 65 µs).
+const NEAR_BITS: u32 = 16;
+/// Bits per wheel level (64 slots).
+const LEVEL_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of coarse levels above the near window.
+const LEVELS: usize = 6;
+/// First bit beyond the top level; times differing here go to overflow.
+const TOP_BITS: u32 = NEAR_BITS + LEVELS as u32 * LEVEL_BITS;
+
+/// A scheduled entry's ordering key plus its slab slot. Heap sifts and
+/// cascade hops move these 24-byte keys, never the payload — event
+/// payloads are ~80 bytes in the simulator, and copying them through
+/// every `O(log n)` sift dominated the scheduler's profile.
+#[derive(Clone, Copy)]
+struct Key {
+    time: u64,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Key) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Key) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Key) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// One scheduled entry. Ordering ignores the payload: `(time, seq)`
+/// only, which is the simulator's total event order.
+struct Entry<T> {
+    time: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Entry<T>) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Entry<T>) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Entry<T>) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic hierarchical timer wheel.
+///
+/// Entries are tagged with a monotonically increasing sequence number at
+/// insertion; [`TimerWheel::pop`] yields entries in ascending
+/// `(time, seq)` order, i.e. earliest first with FIFO tie-breaking —
+/// the same contract as a min-heap on `(time, seq)`.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::wheel::TimerWheel;
+/// use simnet::SimTime;
+///
+/// let mut wheel = TimerWheel::new();
+/// wheel.push(SimTime::from_secs(30), "directory re-announce");
+/// wheel.push(SimTime::from_micros(40), "frame arrival");
+/// assert_eq!(wheel.pop(), Some((SimTime::from_micros(40), "frame arrival")));
+/// assert_eq!(wheel.pop(), Some((SimTime::from_secs(30), "directory re-announce")));
+/// assert_eq!(wheel.pop(), None);
+/// ```
+pub struct TimerWheel<T> {
+    /// Lower bound on every stored entry's time; advances on pop.
+    horizon: u64,
+    /// Next insertion sequence number.
+    seq: u64,
+    /// Payload storage; heaps and wheel slots hold [`Key`]s into it.
+    /// Grows to the peak pending count and is then recycled via `free`.
+    slab: Vec<Option<T>>,
+    /// Vacated slab slots awaiting reuse.
+    free: Vec<u32>,
+    near: BinaryHeap<Reverse<Key>>,
+    /// `LEVELS × SLOTS` buckets, flattened; capacity is retained across
+    /// cascades so steady-state operation does not allocate.
+    levels: Vec<Vec<Key>>,
+    /// Per-level bitmask of occupied slots (bit `s` = slot `s`).
+    occupied: [u64; LEVELS],
+    overflow: BinaryHeap<Reverse<Key>>,
+    len: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> TimerWheel<T> {
+        TimerWheel::new()
+    }
+}
+
+impl<T> std::fmt::Debug for TimerWheel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("horizon", &self.horizon)
+            .field("len", &self.len)
+            .field("near", &self.near.len())
+            .field("overflow", &self.overflow.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates an empty wheel with the horizon at time zero.
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel {
+            horizon: 0,
+            seq: 0,
+            slab: Vec::new(),
+            free: Vec::new(),
+            near: BinaryHeap::new(),
+            levels: std::iter::repeat_with(Vec::new)
+                .take(LEVELS * SLOTS)
+                .collect(),
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `item` at `time`, assigning the next sequence number.
+    ///
+    /// Times earlier than the wheel horizon (already-popped virtual
+    /// time) are filed into the near heap, which yields them on the next
+    /// pop — the same behavior a plain min-heap would exhibit.
+    pub fn push(&mut self, time: SimTime, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(item);
+                s
+            }
+            None => {
+                self.slab.push(Some(item));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.file(Key {
+            time: time.as_nanos(),
+            seq,
+            slot,
+        });
+    }
+
+    /// Reclaims a key's payload from the slab, recycling its slot.
+    fn take(&mut self, key: Key) -> T {
+        let item = self.slab[key.slot as usize]
+            .take()
+            .expect("key references a live slab slot");
+        self.free.push(key.slot);
+        item
+    }
+
+    /// Removes and returns the earliest entry (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        if !self.ensure_near() {
+            return None;
+        }
+        let Reverse(k) = self.near.pop().expect("ensure_near filled the heap");
+        self.len -= 1;
+        self.horizon = self.horizon.max(k.time);
+        Some((SimTime::from_nanos(k.time), self.take(k)))
+    }
+
+    /// Drains the entire run of entries sharing the earliest pending
+    /// time into `out` (in sequence order) and returns that time.
+    ///
+    /// One cascade serves the whole run: same-time entries are always
+    /// co-resident in the near heap (they share every bit, so they file
+    /// identically), so no wheel level is touched between pops.
+    pub fn pop_run(&mut self, out: &mut Vec<T>) -> Option<SimTime> {
+        let (time, item) = self.pop()?;
+        out.push(item);
+        while let Some(Reverse(k)) = self.near.peek() {
+            if k.time != time.as_nanos() {
+                break;
+            }
+            let Reverse(k) = self.near.pop().expect("peeked entry exists");
+            self.len -= 1;
+            let item = self.take(k);
+            out.push(item);
+        }
+        Some(time)
+    }
+
+    /// Time of the earliest pending entry, cascading lazily if needed.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if !self.ensure_near() {
+            return None;
+        }
+        self.near
+            .peek()
+            .map(|Reverse(k)| SimTime::from_nanos(k.time))
+    }
+
+    /// Files a key relative to the current horizon: near heap, a wheel
+    /// slot at the level of the highest differing bit, or overflow.
+    fn file(&mut self, k: Key) {
+        // A time at (or before) the horizon belongs in the near window.
+        let t = k.time.max(self.horizon);
+        let diff = t ^ self.horizon;
+        if diff >> NEAR_BITS == 0 {
+            self.near.push(Reverse(k));
+            return;
+        }
+        let top_bit = 63 - diff.leading_zeros();
+        let level = ((top_bit - NEAR_BITS) / LEVEL_BITS) as usize;
+        if level >= LEVELS {
+            self.overflow.push(Reverse(k));
+            return;
+        }
+        let base = NEAR_BITS + LEVEL_BITS * level as u32;
+        let slot = ((t >> base) & (SLOTS as u64 - 1)) as usize;
+        self.occupied[level] |= 1 << slot;
+        self.levels[level * SLOTS + slot].push(k);
+    }
+
+    /// Refills the near heap from the wheel, advancing the horizon to
+    /// the next occupied bucket. Returns `false` when the wheel is
+    /// completely empty.
+    fn ensure_near(&mut self) -> bool {
+        while self.near.is_empty() {
+            if let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) {
+                // Lowest occupied slot of the lowest occupied level is
+                // the earliest bucket (slots never wrap within an
+                // epoch; see module docs).
+                let slot = self.occupied[level].trailing_zeros() as usize;
+                let base = NEAR_BITS + LEVEL_BITS * level as u32;
+                let above = base + LEVEL_BITS;
+                let bucket = ((self.horizon >> above) << above) | ((slot as u64) << base);
+                debug_assert!(bucket >= self.horizon, "cascade moved horizon backwards");
+                self.horizon = bucket;
+                self.occupied[level] &= !(1u64 << slot);
+                let idx = level * SLOTS + slot;
+                let mut keys = std::mem::take(&mut self.levels[idx]);
+                // Against the advanced horizon every entry differs only
+                // below `base`, so it re-files strictly lower — at most
+                // LEVELS hops per entry over its lifetime.
+                for k in keys.drain(..) {
+                    self.file(k);
+                }
+                // Hand the (empty) buffer back so its capacity is
+                // reused by later epochs.
+                self.levels[idx] = keys;
+            } else if let Some(Reverse(first)) = self.overflow.pop() {
+                debug_assert!(first.time >= self.horizon);
+                self.horizon = first.time;
+                self.file(first);
+                // Pull every overflow entry that now shares the top
+                // bits with the horizon into the wheel, so later pushes
+                // can never slip ahead of them via the levels.
+                while let Some(Reverse(k)) = self.overflow.peek() {
+                    if (k.time ^ self.horizon) >> TOP_BITS != 0 {
+                        break;
+                    }
+                    let Reverse(k) = self.overflow.pop().expect("peeked entry exists");
+                    self.file(k);
+                }
+            } else {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The plain `(time, seq)` min-heap scheduler the wheel replaced.
+///
+/// Kept as a public type for two consumers: the wheel's property tests
+/// (pop order must match this structure exactly) and the scheduler
+/// micro-benchmarks, which A/B the wheel against it on identical
+/// schedules. It intentionally mirrors [`TimerWheel`]'s API.
+#[derive(Default)]
+pub struct ReferenceHeap<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+impl<T> ReferenceHeap<T> {
+    /// Creates an empty heap.
+    pub fn new() -> ReferenceHeap<T> {
+        ReferenceHeap {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `item` at `time`, assigning the next sequence number.
+    pub fn push(&mut self, time: SimTime, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: time.as_nanos(),
+            seq,
+            item,
+        }));
+    }
+
+    /// Removes and returns the earliest entry (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap
+            .pop()
+            .map(|Reverse(e)| (SimTime::from_nanos(e.time), e.item))
+    }
+
+    /// Drains the run of entries sharing the earliest pending time into
+    /// `out` (in sequence order) and returns that time.
+    pub fn pop_run(&mut self, out: &mut Vec<T>) -> Option<SimTime> {
+        let (time, item) = self.pop()?;
+        out.push(item);
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if e.time != time.as_nanos() {
+                break;
+            }
+            let Reverse(e) = self.heap.pop().expect("peeked entry exists");
+            out.push(e.item);
+        }
+        Some(time)
+    }
+
+    /// Time of the earliest pending entry.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap
+            .peek()
+            .map(|Reverse(e)| SimTime::from_nanos(e.time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{check_cases, SimRng};
+
+    #[test]
+    fn pops_in_time_then_seq_order_across_levels() {
+        let mut wheel = TimerWheel::new();
+        // One entry per storage tier: near, each level, overflow.
+        let times: Vec<u64> = vec![
+            3,                   // near
+            1 << 17,             // level 0
+            1 << 23,             // level 1
+            1 << 29,             // level 2
+            1 << 35,             // level 3
+            1 << 41,             // level 4
+            1 << 47,             // level 5
+            1 << 60,             // overflow
+            (1 << 60) + 500_000, // overflow, same epoch
+        ];
+        for (i, t) in times.iter().enumerate().rev() {
+            wheel.push(SimTime::from_nanos(*t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = wheel.pop() {
+            popped.push((t.as_nanos(), i));
+        }
+        let expected: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        assert_eq!(popped, expected);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn same_tick_entries_drain_as_one_run() {
+        let mut wheel = TimerWheel::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..4 {
+            wheel.push(t, i);
+        }
+        wheel.push(SimTime::from_millis(6), 99);
+        let mut run = Vec::new();
+        assert_eq!(wheel.pop_run(&mut run), Some(t));
+        assert_eq!(run, vec![0, 1, 2, 3]);
+        run.clear();
+        assert_eq!(wheel.pop_run(&mut run), Some(SimTime::from_millis(6)));
+        assert_eq!(run, vec![99]);
+        assert_eq!(wheel.pop_run(&mut run), None);
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut wheel = TimerWheel::new();
+        wheel.push(SimTime::from_secs(1), "far");
+        wheel.push(SimTime::from_nanos(10), "soon");
+        assert_eq!(wheel.peek_time(), Some(SimTime::from_nanos(10)));
+        assert_eq!(wheel.pop(), Some((SimTime::from_nanos(10), "soon")));
+        assert_eq!(wheel.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(wheel.pop(), Some((SimTime::from_secs(1), "far")));
+        assert_eq!(wheel.peek_time(), None);
+    }
+
+    #[test]
+    fn entries_behind_the_horizon_pop_next() {
+        let mut wheel = TimerWheel::new();
+        wheel.push(SimTime::from_secs(2), "a");
+        assert_eq!(wheel.pop(), Some((SimTime::from_secs(2), "a")));
+        // The horizon is now at 2 s; a stale push must still surface.
+        wheel.push(SimTime::from_secs(1), "late");
+        wheel.push(SimTime::from_secs(3), "b");
+        assert_eq!(wheel.pop(), Some((SimTime::from_secs(1), "late")));
+        assert_eq!(wheel.pop(), Some((SimTime::from_secs(3), "b")));
+    }
+
+    /// Draws a schedule offset exercising every tier: same-tick ties,
+    /// the near window, each wheel level, and the overflow epoch.
+    fn random_offset(rng: &mut SimRng) -> u64 {
+        match rng.gen_range(0..6u32) {
+            0 => 0,                                   // same tick as `now`
+            1 => rng.gen_range(0..1u64 << NEAR_BITS), // near window
+            2 => rng.gen_range(0..1u64 << 30),        // low levels
+            3 => rng.gen_range(0..1u64 << 45),        // high levels
+            4 => rng.gen_range(0..1u64 << 55),        // top level / overflow edge
+            _ => rng.gen_range(0..1u64 << 60),        // deep overflow
+        }
+    }
+
+    #[test]
+    fn wheel_matches_reference_heap() {
+        check_cases("wheel_matches_reference_heap", 64, |_case, rng| {
+            let mut wheel = TimerWheel::new();
+            let mut reference = ReferenceHeap::new();
+            let mut now = 0u64;
+            let mut next_id = 0u32;
+            // Cancellation is modeled the way the World models it: a
+            // set of dead ids filtered at delivery, identically on
+            // both structures.
+            let mut cancelled = std::collections::HashSet::new();
+            let ops = rng.gen_range(50..400usize);
+            for _ in 0..ops {
+                if rng.gen_bool(0.55) || wheel.is_empty() {
+                    // Push a burst (bursts create same-tick ties).
+                    let burst = rng.gen_range(1..4u32);
+                    let t = now + random_offset(rng);
+                    for _ in 0..burst {
+                        let id = next_id;
+                        next_id += 1;
+                        wheel.push(SimTime::from_nanos(t), id);
+                        reference.push(SimTime::from_nanos(t), id);
+                        if rng.gen_bool(0.1) {
+                            cancelled.insert(id);
+                        }
+                    }
+                } else {
+                    let got = wheel.pop().map(|(t, id)| (t.as_nanos(), id));
+                    let want = reference.pop().map(|(t, id)| (t.as_nanos(), id));
+                    assert_eq!(got, want, "pop order diverged");
+                    if let Some((t, id)) = got {
+                        assert!(t >= now, "time went backwards");
+                        now = t;
+                        // Delivery-time cancellation check, as in World.
+                        let _ = cancelled.remove(&id);
+                    }
+                }
+            }
+            // Drain both completely; tails must agree too.
+            loop {
+                let got = wheel.pop().map(|(t, id)| (t.as_nanos(), id));
+                let want = reference.pop().map(|(t, id)| (t.as_nanos(), id));
+                assert_eq!(got, want, "drain order diverged");
+                if got.is_none() {
+                    break;
+                }
+            }
+            assert!(wheel.is_empty());
+        });
+    }
+
+    #[test]
+    fn pop_run_matches_reference_heap_batching() {
+        check_cases("pop_run_matches_reference_heap", 32, |_case, rng| {
+            let mut wheel = TimerWheel::new();
+            let mut reference = ReferenceHeap::new();
+            let mut now = 0u64;
+            for id in 0..200u32 {
+                let t = now.max(rng.gen_range(0..1u64 << 40));
+                // Cluster times so runs form.
+                let t = t & !0xFFF;
+                wheel.push(SimTime::from_nanos(t), id);
+                reference.push(SimTime::from_nanos(t), id);
+                if id % 16 == 0 {
+                    now = t;
+                }
+            }
+            let mut run = Vec::new();
+            while let Some(t) = wheel.pop_run(&mut run) {
+                for id in run.drain(..) {
+                    assert_eq!(reference.pop(), Some((t, id)));
+                }
+            }
+            assert_eq!(reference.pop(), None);
+        });
+    }
+}

@@ -1,8 +1,7 @@
 //! The simulation world: nodes, segments, processes, and the deterministic
 //! event loop.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 use crate::ctx::Ctx;
 use crate::error::{SimError, SimResult};
@@ -12,6 +11,7 @@ use crate::process::{Addr, Datagram, LocalMessage, NodeId, ProcId, Process, Segm
 use crate::stream::{StreamFrame, StreamState};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{SegmentStats, Trace};
+use crate::wheel::TimerWheel;
 
 /// First ephemeral port handed out by [`Ctx::ephemeral_port`].
 const EPHEMERAL_BASE: u16 = 49_152;
@@ -157,29 +157,6 @@ pub(crate) enum EmitAction {
     },
 }
 
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Scheduled) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Scheduled) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Scheduled) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// The deterministic discrete-event simulation world.
 ///
 /// A `World` owns all nodes, network segments, processes and streams, and a
@@ -205,8 +182,16 @@ impl Ord for Scheduled {
 /// ```
 pub struct World {
     now: SimTime,
-    queue: BinaryHeap<Reverse<Scheduled>>,
-    seq: u64,
+    queue: TimerWheel<EventKind>,
+    /// Reusable buffer for same-tick event batches (see `step_batch`).
+    batch: Vec<EventKind>,
+    /// Events scheduled at the current tick while `step_batch` drains
+    /// it; they extend the live batch instead of re-entering the wheel.
+    tick_overflow: Vec<EventKind>,
+    /// `true` while `step_batch` is dispatching a batch.
+    in_tick_drain: bool,
+    /// Total events dispatched since the world was created.
+    events_processed: u64,
     pub(crate) nodes: Vec<NodeState>,
     pub(crate) procs: Vec<ProcSlot>,
     pub(crate) segments: Vec<SegmentState>,
@@ -241,8 +226,11 @@ impl World {
     pub fn new(seed: u64) -> World {
         World {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: TimerWheel::new(),
+            batch: Vec::new(),
+            tick_overflow: Vec::new(),
+            in_tick_drain: false,
+            events_processed: 0,
             nodes: Vec::new(),
             procs: Vec::new(),
             segments: Vec::new(),
@@ -506,9 +494,17 @@ impl World {
     // ------------------------------------------------------------------
 
     pub(crate) fn schedule(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Scheduled { time, seq, kind }));
+        // Same-tick fast path: an event scheduled for the tick currently
+        // being drained (`send_local` cascades, mostly) joins the live
+        // batch directly instead of round-tripping through the scheduler.
+        // Order is preserved — schedule-call order is exactly the FIFO
+        // `seq` order the wheel would have assigned, and every such event
+        // would be popped as the immediately-next run anyway.
+        if self.in_tick_drain && time <= self.now {
+            self.tick_overflow.push(kind);
+            return;
+        }
+        self.queue.push(time, kind);
     }
 
     pub(crate) fn schedule_delivery(&mut self, time: SimTime, proc: ProcId, delivery: Delivery) {
@@ -529,19 +525,61 @@ impl World {
     /// Runs a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.begin_run();
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((time, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = self.now.max(ev.time);
-        self.dispatch(ev.kind);
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = self.now.max(time);
+        self.events_processed += 1;
+        self.dispatch(kind);
+        true
+    }
+
+    /// Total events dispatched so far (every popped scheduler entry:
+    /// deliveries, frame arrivals, timers, stream bookkeeping). Useful
+    /// as the denominator for throughput and allocation-rate metrics.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Runs every event scheduled for the next occupied tick in one
+    /// queue advance. Same-tick events are drained into a reusable
+    /// buffer and dispatched in sequence order; events the handlers
+    /// schedule at the *same* instant carry larger sequence numbers and
+    /// therefore correctly run on the next batch, so this is
+    /// observationally identical to popping one event at a time.
+    fn step_batch(&mut self) -> bool {
+        self.begin_run();
+        let mut batch = std::mem::take(&mut self.batch);
+        let Some(time) = self.queue.pop_run(&mut batch) else {
+            self.batch = batch;
+            return false;
+        };
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = self.now.max(time);
+        self.in_tick_drain = true;
+        loop {
+            self.events_processed += batch.len() as u64;
+            for kind in batch.drain(..) {
+                self.dispatch(kind);
+            }
+            if self.tick_overflow.is_empty() {
+                break;
+            }
+            // Handlers scheduled more work at this same tick; it extends
+            // the live batch in schedule-call order, which is exactly the
+            // FIFO sequence order the wheel would have assigned.
+            std::mem::swap(&mut batch, &mut self.tick_overflow);
+        }
+        self.in_tick_drain = false;
+        self.batch = batch;
         true
     }
 
     /// Runs until the event queue drains.
     pub fn run_until_idle(&mut self) {
         self.begin_run();
-        while self.step() {}
+        while self.step_batch() {}
         self.trace.sync_payload_stats();
         self.trace.sync_drop_stats();
     }
@@ -552,9 +590,9 @@ impl World {
     pub fn run_until(&mut self, deadline: SimTime) {
         self.begin_run();
         loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.time <= deadline => {
-                    self.step();
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step_batch();
                 }
                 _ => break,
             }
@@ -886,6 +924,25 @@ impl World {
         // is an O(1) refcount bump: one backing buffer serves every segment.
         for i in 0..self.nodes[src_node.index()].segments.len() {
             let segment = self.nodes[src_node.index()].segments[i];
+            // IGMP-snooping-style pruning: a frame only occupies a segment
+            // if some other attached node has a live member of the group.
+            // Without this, a multi-homed host floods every low-bandwidth
+            // native segment (mote radio, piconet) with middleware
+            // announcements none of its nodes subscribe to, and an
+            // oversubscribed medium backlogs the scheduler without bound.
+            let seg_state = &self.segments[segment.index()];
+            let has_listener = seg_state.groups.get(&group).is_some_and(|members| {
+                members.iter().any(|p| {
+                    self.procs
+                        .get(p.index())
+                        .map(|s| s.alive && s.node != src_node && seg_state.nodes.contains(&s.node))
+                        .unwrap_or(false)
+                })
+            });
+            if !has_listener {
+                self.trace.bump("multicast.pruned", 1);
+                continue;
+            }
             let frame = Frame {
                 src_node,
                 dst: FrameDst::Group(group),

@@ -261,7 +261,7 @@ impl G2Ui {
                 continue;
             }
             let client = self.client.as_mut().expect("client set");
-            let token = client.connect_ports(ctx, src.clone(), dst.clone(), QosPolicy::unbounded());
+            let token = client.connect_ports(ctx, src, dst, QosPolicy::unbounded());
             let mut atlas = self.atlas.borrow_mut();
             atlas.log.push(format!("{kind:?} {src} -> {dst}"));
             atlas.compositions.push(GeoComposition {

@@ -189,7 +189,7 @@ impl Pads {
             return true; // handled (rejected)
         }
         let client = self.client.as_mut().expect("client set");
-        let token = client.connect_ports(ctx, src.clone(), dst.clone(), QosPolicy::unbounded());
+        let token = client.connect_ports(ctx, src, dst, QosPolicy::unbounded());
         let mut canvas = self.canvas.borrow_mut();
         canvas.wires.push(Wire {
             src,

@@ -64,7 +64,7 @@ impl Wirer {
             if self.wired[i] {
                 continue;
             }
-            if let (Some(src), Some(dst)) = (self.srcs[i].clone(), self.dsts[i].clone()) {
+            if let (Some(src), Some(dst)) = (self.srcs[i], self.dsts[i]) {
                 self.wired[i] = true;
                 self.client.as_mut().expect("client set").connect_ports(
                     ctx,

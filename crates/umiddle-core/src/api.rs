@@ -16,6 +16,7 @@
 use simnet::{Ctx, LocalMessage, ProcId};
 
 use crate::id::{ConnectionId, PortRef, TranslatorId};
+use crate::intern::Symbol;
 use crate::message::UMessage;
 use crate::profile::TranslatorProfile;
 use crate::qos::QosPolicy;
@@ -93,7 +94,7 @@ pub enum RuntimeRequest {
         /// The emitting translator.
         translator: TranslatorId,
         /// The output port name.
-        port: String,
+        port: Symbol,
         /// The message.
         msg: UMessage,
     },
@@ -165,7 +166,7 @@ pub enum RuntimeEvent {
         /// The destination translator.
         translator: TranslatorId,
         /// The input port name.
-        port: String,
+        port: Symbol,
         /// The message.
         msg: UMessage,
         /// The connection it arrived on.
@@ -410,7 +411,7 @@ impl RuntimeClient {
         &self,
         ctx: &mut Ctx<'_>,
         translator: TranslatorId,
-        port: impl Into<String>,
+        port: impl Into<Symbol>,
         msg: UMessage,
     ) {
         ctx.send_local(

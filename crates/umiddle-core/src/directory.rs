@@ -6,7 +6,8 @@
 //! advertisements with a TTL and pruned on expiry or explicit byes. The
 //! replica serves `lookup(Query)` locally and feeds directory listeners.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 
 use simnet::{Addr, SimTime};
 
@@ -57,6 +58,11 @@ pub struct DirectoryTable {
     mime_index: HashMap<(Direction, MimeType), BTreeSet<TranslatorId>>,
     /// Ids of profiles with a wildcard-typed digital port, per direction.
     pattern_ports: HashMap<Direction, BTreeSet<TranslatorId>>,
+    /// Expiry dirty-set: `(expires, id)` min-heap, pushed on every remote
+    /// upsert. Entries are checked lazily against the live table, so a
+    /// refresh simply leaves a stale heap entry behind; [`Self::expire`]
+    /// pops only what is due instead of scanning the whole replica.
+    expiry: BinaryHeap<Reverse<(SimTime, TranslatorId)>>,
 }
 
 impl DirectoryTable {
@@ -84,6 +90,9 @@ impl DirectoryTable {
             UpsertEffect::Appeared
         };
         self.index(id, &profile);
+        if !local {
+            self.expiry.push(Reverse((expires, id)));
+        }
         self.entries.insert(
             id,
             DirectoryEntry {
@@ -146,17 +155,29 @@ impl DirectoryTable {
         }
     }
 
-    /// Drops remote entries whose TTL lapsed; returns the expired ids.
+    /// Drops remote entries whose TTL lapsed; returns the expired ids
+    /// in ascending id order.
+    ///
+    /// Only heap entries that are due are examined — `O(due log n)`
+    /// rather than a full-table scan. A popped entry whose table row was
+    /// refreshed (later `expires`) or removed is simply discarded.
     pub fn expire(&mut self, now: SimTime) -> Vec<TranslatorId> {
-        let dead: Vec<TranslatorId> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| !e.local && e.expires <= now)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in &dead {
-            self.remove(*id);
+        let mut dead = Vec::new();
+        while let Some(Reverse((at, id))) = self.expiry.peek().copied() {
+            if at > now {
+                break;
+            }
+            self.expiry.pop();
+            let due = self
+                .entries
+                .get(&id)
+                .is_some_and(|e| !e.local && e.expires <= now);
+            if due {
+                self.remove(id);
+                dead.push(id);
+            }
         }
+        dead.sort_unstable();
         dead
     }
 

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::intern::Symbol;
+
 /// Identifies a uMiddle runtime instance.
 ///
 /// Runtime ids are assigned by the deployer and must be unique within a
@@ -61,17 +63,17 @@ impl fmt::Display for TranslatorId {
 /// let r = PortRef::new(TranslatorId::new(RuntimeId(0), 1), "image-out");
 /// assert_eq!(r.to_string(), "rt0/t1.image-out");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortRef {
     /// The owning translator.
     pub translator: TranslatorId,
-    /// The port's name, unique within the translator.
-    pub port: String,
+    /// The port's name (interned), unique within the translator.
+    pub port: Symbol,
 }
 
 impl PortRef {
-    /// Creates a port reference.
-    pub fn new(translator: TranslatorId, port: impl Into<String>) -> PortRef {
+    /// Creates a port reference, interning the port name.
+    pub fn new(translator: TranslatorId, port: impl Into<Symbol>) -> PortRef {
         PortRef {
             translator,
             port: port.into(),

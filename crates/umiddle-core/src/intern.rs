@@ -1,0 +1,216 @@
+//! Port-name interning: copyable [`Symbol`]s for the dispatch hot path.
+//!
+//! Every message delivery used to clone the destination port name
+//! (`PortRef.port: String`) at least once — into the runtime request,
+//! into the path message, into the delegate event. Port names are drawn
+//! from a tiny, stable vocabulary (`"in"`, `"image-out"`, …), so the
+//! interner stores each distinct name once and hands out a [`Symbol`]:
+//! a `Copy` reference that compares, orders and hashes by *content*,
+//! making it a drop-in replacement for the `String` it displaced —
+//! including its wire encoding, which is still the UTF-8 bytes
+//! (`Symbol` derefs to `str`).
+//!
+//! The intern table is thread-local (simulations are single-threaded
+//! worlds; distinct test threads get independent tables) and entries
+//! are leaked: the vocabulary is bounded by the set of distinct port
+//! names in the federation, a few dozen short strings.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::ops::Deref;
+
+thread_local! {
+    static INTERNER: RefCell<HashSet<&'static str>> = RefCell::new(HashSet::new());
+}
+
+/// An interned string: a `Copy` handle to a canonical, leaked `&str`.
+///
+/// Equality, ordering and hashing all delegate to the string content,
+/// so two symbols created on different threads (different intern
+/// tables) still compare equal when they spell the same name.
+///
+/// # Examples
+///
+/// ```
+/// use umiddle_core::Symbol;
+///
+/// let a = Symbol::new("image-out");
+/// let b: Symbol = "image-out".into();
+/// assert_eq!(a, b);
+/// assert_eq!(&*a, "image-out");     // derefs to str
+/// assert_eq!(a.to_string(), "image-out");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(&'static str);
+
+impl Symbol {
+    /// Interns `name` (a no-op when it is already in this thread's
+    /// table) and returns its symbol.
+    pub fn new(name: &str) -> Symbol {
+        INTERNER.with(|table| {
+            let mut table = table.borrow_mut();
+            if let Some(&interned) = table.get(name) {
+                return Symbol(interned);
+            }
+            let interned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+            table.insert(interned);
+            Symbol(interned)
+        })
+    }
+
+    /// The interned string slice.
+    pub fn as_str(&self) -> &str {
+        self.0
+    }
+}
+
+impl Deref for Symbol {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.0
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Matches the Debug output of the String this type replaced, so
+        // debug-formatted artifacts are byte-identical.
+        fmt::Debug::fmt(self.0, f)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+impl From<Symbol> for String {
+    fn from(s: Symbol) -> String {
+        s.0.to_owned()
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.0
+    }
+}
+
+impl PartialEq<Symbol> for String {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.as_str() == other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_string() {
+        let s = Symbol::new("media-in");
+        assert_eq!(s.as_str(), "media-in");
+        assert_eq!(String::from(s), "media-in");
+        assert_eq!(Symbol::from(String::from(s)), s);
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_stable() {
+        let a = Symbol::new("in");
+        let b = Symbol::new("in");
+        assert_eq!(a, b);
+        // Same thread → same canonical allocation.
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        let c = Symbol::new("out");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn comparison_is_by_content() {
+        let a = Symbol::new("a");
+        let b = Symbol::new("b");
+        assert!(a < b);
+        assert_eq!(a, "a");
+        assert_eq!(a, "a".to_owned());
+        assert_eq!("a", &*a);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        set.insert(Symbol::new("a"));
+        assert_eq!(set.len(), 1);
+        // Borrow<str> lets Symbol-keyed maps answer &str lookups.
+        assert!(set.contains("a"));
+    }
+
+    #[test]
+    fn symbols_agree_across_thread_local_tables() {
+        // Two runtimes in different worlds/threads intern independently;
+        // symbols must still compare by content, never by table identity.
+        let local = Symbol::new("cross-runtime");
+        let remote = std::thread::spawn(|| Symbol::new("cross-runtime"))
+            .join()
+            .expect("intern thread panicked");
+        assert_eq!(local, remote);
+        assert_eq!(remote.as_str(), "cross-runtime");
+        let other = std::thread::spawn(|| Symbol::new("something-else"))
+            .join()
+            .expect("intern thread panicked");
+        assert_ne!(local, other);
+    }
+
+    #[test]
+    fn debug_matches_string_debug() {
+        let s = Symbol::new("image\"out");
+        assert_eq!(format!("{s:?}"), format!("{:?}", "image\"out"));
+    }
+}

@@ -61,6 +61,7 @@ pub mod design_space;
 mod directory;
 mod error;
 mod id;
+mod intern;
 mod message;
 mod mime;
 mod profile;
@@ -77,6 +78,7 @@ pub use api::{
 pub use directory::{DirectoryEntry, DirectoryTable, UpsertEffect};
 pub use error::{CoreError, CoreResult};
 pub use id::{ConnectionId, PortRef, RuntimeId, TranslatorId};
+pub use intern::Symbol;
 pub use message::UMessage;
 pub use mime::MimeType;
 pub use profile::{TranslatorProfile, TranslatorProfileBuilder};

@@ -19,6 +19,7 @@ use crate::api::{ConnectTarget, DirectoryEvent, RuntimeEvent, RuntimeRequest};
 use crate::directory::{DirectoryTable, UpsertEffect};
 use crate::error::{CoreError, CoreResult};
 use crate::id::{ConnectionId, PortRef, RuntimeId, TranslatorId};
+use crate::intern::Symbol;
 use crate::message::UMessage;
 use crate::profile::TranslatorProfile;
 use crate::qos::{QosPolicy, TranslationBuffer};
@@ -179,6 +180,28 @@ pub struct UmiddleRuntime {
     next_wire_token: u64,
     local_translators: HashMap<TranslatorId, LocalTranslator>,
     connections: HashMap<ConnectionId, Connection>,
+    /// Source translator → source port → connections fanning out from
+    /// that port. The outer level serves disappearance handling; the
+    /// inner level is the per-output dispatch lookup.
+    src_index: HashMap<TranslatorId, HashMap<Symbol, Vec<ConnectionId>>>,
+    /// Connections whose target is a query template (the late-binding
+    /// candidates consulted on every appearance).
+    query_conns: Vec<ConnectionId>,
+    /// Destination translator → connections with a path to it.
+    dst_index: HashMap<TranslatorId, Vec<ConnectionId>>,
+    /// Remote home address → connections with a path via that peer
+    /// (resumed when the peer stream connects or becomes writable).
+    home_index: HashMap<Addr, Vec<ConnectionId>>,
+    /// Path uid → owning connection, for QoS drain-retry timers.
+    path_by_uid: HashMap<u64, ConnectionId>,
+    /// Running sum of `occupancy_bytes` over all live paths, updated by
+    /// delta at every buffer offer/poll so the watermark is O(1).
+    buffered_total: usize,
+    /// Running sum of QoS drops over all live paths (same scheme).
+    dropped_total: u64,
+    /// Reusable fan-out scratch so steady-state dispatch does not
+    /// allocate.
+    scratch: Vec<ConnectionId>,
     listeners: Vec<(ProcId, Query)>,
     /// Forwarded connect requests awaiting a reply: wire token →
     /// (local requester, its token).
@@ -207,6 +230,14 @@ impl UmiddleRuntime {
             next_wire_token: 1,
             local_translators: HashMap::new(),
             connections: HashMap::new(),
+            src_index: HashMap::new(),
+            query_conns: Vec::new(),
+            dst_index: HashMap::new(),
+            home_index: HashMap::new(),
+            path_by_uid: HashMap::new(),
+            buffered_total: 0,
+            dropped_total: 0,
+            scratch: Vec::new(),
             listeners: Vec::new(),
             pending_connects: HashMap::new(),
             peers: HashMap::new(),
@@ -273,8 +304,8 @@ impl UmiddleRuntime {
         self.multicast_wire(ctx, &WireMessage::Advertise { profile, home });
     }
 
-    fn notify_listeners(&mut self, ctx: &mut Ctx<'_>, event: &DirectoryEvent) {
-        for (proc, query) in self.listeners.clone() {
+    fn notify_listeners(&self, ctx: &mut Ctx<'_>, event: &DirectoryEvent) {
+        for (proc, query) in &self.listeners {
             let interested = match event {
                 DirectoryEvent::Appeared(profile) => query.matches(profile),
                 // Disappearance carries no profile; deliver to everyone
@@ -282,7 +313,7 @@ impl UmiddleRuntime {
                 DirectoryEvent::Disappeared(_) => true,
             };
             if interested {
-                ctx.send_local(proc, RuntimeEvent::Directory(event.clone()));
+                ctx.send_local(*proc, RuntimeEvent::Directory(event.clone()));
             }
         }
     }
@@ -294,34 +325,112 @@ impl UmiddleRuntime {
 
     fn handle_disappearance(&mut self, ctx: &mut Ctx<'_>, id: TranslatorId) {
         self.notify_listeners(ctx, &DirectoryEvent::Disappeared(id));
-        // Remove connections whose source vanished.
-        let dead: Vec<ConnectionId> = self
-            .connections
-            .values()
-            .filter(|c| c.src.translator == id)
-            .map(|c| c.id)
-            .collect();
-        for cid in dead {
-            self.connections.remove(&cid);
-        }
-        // Unbind paths targeting the vanished translator.
-        let mut unbound: Vec<(ConnectionId, Requester, PortRef)> = Vec::new();
-        for conn in self.connections.values_mut() {
-            let before = conn.paths.len();
-            conn.paths.retain(|p| {
-                if p.dst.translator == id {
-                    unbound.push((conn.id, conn.requester, p.dst.clone()));
-                    false
-                } else {
-                    true
+        // Remove connections whose source vanished; the source index
+        // names them directly, no sweep over unrelated connections.
+        if let Some(by_port) = self.src_index.remove(&id) {
+            for cid in by_port.into_values().flatten() {
+                if let Some(conn) = self.connections.remove(&cid) {
+                    // Its src_index entry is already gone with `by_port`.
+                    if matches!(conn.target, ConnectTarget::Query(_)) {
+                        self.query_conns.retain(|c| *c != cid);
+                    }
+                    for p in &conn.paths {
+                        self.unindex_path(cid, p, &[]);
+                    }
                 }
-            });
-            let _ = before;
+            }
+        }
+        // Unbind paths targeting the vanished translator; the
+        // destination index names the affected connections.
+        let mut unbound: Vec<(ConnectionId, Requester, PortRef)> = Vec::new();
+        for cid in self.dst_index.remove(&id).unwrap_or_default() {
+            let Some(conn) = self.connections.get_mut(&cid) else {
+                continue;
+            };
+            let requester = conn.requester;
+            let mut removed = Vec::new();
+            let mut i = 0;
+            while i < conn.paths.len() {
+                if conn.paths[i].dst.translator == id {
+                    removed.push(conn.paths.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            // Homes still used by surviving paths must stay indexed.
+            let live_homes: Vec<Addr> = conn.paths.iter().filter_map(|p| p.home).collect();
+            for p in removed {
+                self.unindex_path(cid, &p, &live_homes);
+                unbound.push((cid, requester, p.dst));
+            }
         }
         for (connection, requester, dst) in unbound {
             if let Requester::Local(proc) = requester {
                 ctx.send_local(proc, RuntimeEvent::PathUnbound { connection, dst });
             }
+        }
+    }
+
+    /// Registers a (new, empty-buffer) path in the uid, destination and
+    /// home indexes.
+    fn index_path(&mut self, cid: ConnectionId, uid: u64, dst: TranslatorId, home: Option<Addr>) {
+        self.path_by_uid.insert(uid, cid);
+        let by_dst = self.dst_index.entry(dst).or_default();
+        if !by_dst.contains(&cid) {
+            by_dst.push(cid);
+        }
+        if let Some(home) = home {
+            let by_home = self.home_index.entry(home).or_default();
+            if !by_home.contains(&cid) {
+                by_home.push(cid);
+            }
+        }
+    }
+
+    /// Drops a removed path's index entries and subtracts its buffered
+    /// bytes and drop count from the running totals. `live_homes` lists
+    /// home addresses the connection still reaches through other paths
+    /// (those keep their home-index entry).
+    fn unindex_path(&mut self, cid: ConnectionId, p: &PathState, live_homes: &[Addr]) {
+        self.path_by_uid.remove(&p.uid);
+        if let Some(v) = self.dst_index.get_mut(&p.dst.translator) {
+            v.retain(|c| *c != cid);
+            if v.is_empty() {
+                self.dst_index.remove(&p.dst.translator);
+            }
+        }
+        if let Some(home) = p.home {
+            if !live_homes.contains(&home) {
+                if let Some(v) = self.home_index.get_mut(&home) {
+                    v.retain(|c| *c != cid);
+                    if v.is_empty() {
+                        self.home_index.remove(&home);
+                    }
+                }
+            }
+        }
+        self.buffered_total -= p.buffer.occupancy_bytes();
+        self.dropped_total -= p.buffer.stats().dropped();
+    }
+
+    /// Drops every index entry for a connection removed from the table.
+    fn unindex_connection(&mut self, conn: &Connection) {
+        if let Some(by_port) = self.src_index.get_mut(&conn.src.translator) {
+            if let Some(v) = by_port.get_mut(&conn.src.port) {
+                v.retain(|c| *c != conn.id);
+                if v.is_empty() {
+                    by_port.remove(&conn.src.port);
+                }
+            }
+            if by_port.is_empty() {
+                self.src_index.remove(&conn.src.translator);
+            }
+        }
+        if matches!(conn.target, ConnectTarget::Query(_)) {
+            self.query_conns.retain(|c| *c != conn.id);
+        }
+        for p in &conn.paths {
+            self.unindex_path(conn.id, p, &[]);
         }
     }
 
@@ -468,7 +577,7 @@ impl UmiddleRuntime {
             .profile
             .shape()
             .port(&src.port)
-            .ok_or_else(|| CoreError::UnknownPort(src.clone()))?;
+            .ok_or(CoreError::UnknownPort(*src))?;
         if port.direction != Direction::Output {
             return Err(CoreError::Incompatible(format!(
                 "source port {src} is not an output"
@@ -493,7 +602,7 @@ impl UmiddleRuntime {
             .profile
             .shape()
             .port(&dst.port)
-            .ok_or_else(|| CoreError::UnknownPort(dst.clone()))?;
+            .ok_or(CoreError::UnknownPort(*dst))?;
         if port.direction != Direction::Input {
             return Err(CoreError::Incompatible(format!(
                 "destination port {dst} is not an input"
@@ -538,7 +647,7 @@ impl UmiddleRuntime {
         match &target {
             ConnectTarget::Port(dst) => {
                 let home = self.validate_dst(&src_kind, dst)?;
-                paths.push(self.new_path(dst.clone(), home, &qos));
+                paths.push(self.new_path(*dst, home, &qos));
             }
             ConnectTarget::Query(query) => {
                 let matches = self.query_bindings(query, &src, &src_kind);
@@ -553,7 +662,19 @@ impl UmiddleRuntime {
             }
         }
         self.next_connection += 1;
-        let bound: Vec<PortRef> = paths.iter().map(|p| p.dst.clone()).collect();
+        let bound: Vec<PortRef> = paths.iter().map(|p| p.dst).collect();
+        self.src_index
+            .entry(src.translator)
+            .or_default()
+            .entry(src.port)
+            .or_default()
+            .push(id);
+        if matches!(target, ConnectTarget::Query(_)) {
+            self.query_conns.push(id);
+        }
+        for p in &paths {
+            self.index_path(id, p.uid, p.dst.translator, p.home);
+        }
         self.connections.insert(
             id,
             Connection {
@@ -621,12 +742,9 @@ impl UmiddleRuntime {
                 .get(profile.id())
                 .map(|e| if e.local { None } else { Some(e.home) });
         let Some(home) = entry_home else { return };
-        let candidates: Vec<ConnectionId> = self
-            .connections
-            .values()
-            .filter(|c| matches!(c.target, ConnectTarget::Query(_)))
-            .map(|c| c.id)
-            .collect();
+        // Only query-target connections can bind late; appearance events
+        // are rare, so a clone of the candidate list is fine here.
+        let candidates: Vec<ConnectionId> = self.query_conns.clone();
         for cid in candidates {
             let Some(conn) = self.connections.get(&cid) else {
                 continue;
@@ -650,7 +768,8 @@ impl UmiddleRuntime {
             ctx.span(cid.corr(), "path.bound", format!("dst={dst} (late)"));
             let qos = conn.qos.clone();
             let requester = conn.requester;
-            let path = self.new_path(dst.clone(), home, &qos);
+            let path = self.new_path(dst, home, &qos);
+            self.index_path(cid, path.uid, path.dst.translator, path.home);
             if let Some(conn) = self.connections.get_mut(&cid) {
                 conn.paths.push(path);
             }
@@ -755,7 +874,9 @@ impl UmiddleRuntime {
 
     fn remove_connection(&mut self, ctx: &mut Ctx<'_>, connection: ConnectionId) {
         if connection.runtime == self.cfg.id {
-            self.connections.remove(&connection);
+            if let Some(conn) = self.connections.remove(&connection) {
+                self.unindex_connection(&conn);
+            }
             return;
         }
         // Owned by a remote runtime: forward the disconnect there (any
@@ -789,7 +910,7 @@ impl UmiddleRuntime {
         ctx: &mut Ctx<'_>,
         from: ProcId,
         translator: TranslatorId,
-        port: String,
+        port: Symbol,
         msg: UMessage,
     ) {
         let Some(local) = self.local_translators.get(&translator) else {
@@ -804,17 +925,21 @@ impl UmiddleRuntime {
         // end-to-end path latency (virtual time is federation-global).
         let msg = msg.with_meta(SENT_AT_META, ctx.now().as_nanos().to_string());
         ctx.bump(&self.metric("outputs"), 1);
-        let targets: Vec<ConnectionId> = self
-            .connections
-            .values()
-            .filter(|c| c.src.translator == translator && c.src.port == port)
-            .map(|c| c.id)
-            .collect();
-        for cid in targets {
+        // Fan-out targets come straight from the per-port index; the
+        // scratch buffer is reused so steady-state dispatch does not
+        // allocate for the target list.
+        let mut targets = std::mem::take(&mut self.scratch);
+        targets.clear();
+        if let Some(conns) = self.src_index.get(&translator).and_then(|m| m.get(&port)) {
+            targets.extend_from_slice(conns);
+        }
+        for &cid in &targets {
             ctx.span(cid.corr(), "output.enqueue", format!("port={port} {msg}"));
             if let Some(conn) = self.connections.get_mut(&cid) {
                 let mut dropped = 0;
                 for p in &mut conn.paths {
+                    let occ_before = p.buffer.occupancy_bytes();
+                    let drop_before = p.buffer.stats().dropped();
                     // Each path copy carries its own queue.wait span,
                     // closed when the copy is polled out of the buffer.
                     // A copy the QoS policy evicts leaves its span
@@ -830,6 +955,10 @@ impl UmiddleRuntime {
                         ctx.span_end(q);
                         dropped += 1;
                     }
+                    self.buffered_total =
+                        self.buffered_total - occ_before + p.buffer.occupancy_bytes();
+                    self.dropped_total =
+                        self.dropped_total - drop_before + p.buffer.stats().dropped();
                 }
                 if dropped > 0 {
                     ctx.bump("umiddle.qos_dropped", dropped);
@@ -838,30 +967,45 @@ impl UmiddleRuntime {
             }
             self.drain_connection(ctx, cid);
         }
+        self.scratch = targets;
         self.update_buffer_watermark(ctx);
     }
 
     fn update_buffer_watermark(&mut self, ctx: &mut Ctx<'_>) {
-        let mut total = 0usize;
-        let mut dropped = 0u64;
-        for p in self.connections.values().flat_map(|c| c.paths.iter()) {
-            total += p.buffer.occupancy_bytes();
-            dropped += p.buffer.stats().dropped();
-        }
-        ctx.gauge_set(&self.metric("buffer_depth_bytes"), total as i64);
+        // The totals are maintained incrementally around every buffer
+        // offer/poll and at path removal; the debug builds cross-check
+        // them against a full scan.
+        debug_assert_eq!(
+            self.buffered_total,
+            self.connections
+                .values()
+                .flat_map(|c| c.paths.iter())
+                .map(|p| p.buffer.occupancy_bytes())
+                .sum::<usize>(),
+            "buffered-bytes accounting drifted"
+        );
+        debug_assert_eq!(
+            self.dropped_total,
+            self.connections
+                .values()
+                .flat_map(|c| c.paths.iter())
+                .map(|p| p.buffer.stats().dropped())
+                .sum::<u64>(),
+            "qos-drop accounting drifted"
+        );
+        ctx.gauge_set(
+            &self.metric("buffer_depth_bytes"),
+            self.buffered_total as i64,
+        );
         let mut stats = self.stats.borrow_mut();
-        stats.buffered_bytes = total;
-        stats.qos_dropped = dropped;
-        stats.max_buffered_bytes = stats.max_buffered_bytes.max(total);
+        stats.buffered_bytes = self.buffered_total;
+        stats.qos_dropped = self.dropped_total;
+        stats.max_buffered_bytes = stats.max_buffered_bytes.max(self.buffered_total);
     }
 
     /// Total bytes currently buffered across all paths (for E5).
     pub fn buffered_bytes(&self) -> usize {
-        self.connections
-            .values()
-            .flat_map(|c| c.paths.iter())
-            .map(|p| p.buffer.occupancy_bytes())
-            .sum()
+        self.buffered_total
     }
 
     fn drain_connection(&mut self, ctx: &mut Ctx<'_>, cid: ConnectionId) {
@@ -896,7 +1040,7 @@ impl UmiddleRuntime {
                     if path.inflight >= credit {
                         return; // wait for InputDone
                     }
-                    let dst = path.dst.clone();
+                    let dst = path.dst;
                     let Some(delegate) = self
                         .local_translators
                         .get(&dst.translator)
@@ -905,7 +1049,13 @@ impl UmiddleRuntime {
                         // Destination vanished; drop the backlog.
                         if let Some(conn) = self.connections.get_mut(&cid) {
                             if let Some(path) = conn.paths.get_mut(idx) {
+                                let occ_before = path.buffer.occupancy_bytes();
+                                let drop_before = path.buffer.stats().dropped();
                                 while path.buffer.poll(now).unwrap_or(None).is_some() {}
+                                self.buffered_total = self.buffered_total - occ_before
+                                    + path.buffer.occupancy_bytes();
+                                self.dropped_total = self.dropped_total - drop_before
+                                    + path.buffer.stats().dropped();
                             }
                         }
                         return;
@@ -914,7 +1064,14 @@ impl UmiddleRuntime {
                     let mut msg = {
                         let conn = self.connections.get_mut(&cid).expect("checked");
                         let path = conn.paths.get_mut(idx).expect("checked");
-                        match path.buffer.poll(now) {
+                        let occ_before = path.buffer.occupancy_bytes();
+                        let drop_before = path.buffer.stats().dropped();
+                        let polled = path.buffer.poll(now);
+                        self.buffered_total =
+                            self.buffered_total - occ_before + path.buffer.occupancy_bytes();
+                        self.dropped_total =
+                            self.dropped_total - drop_before + path.buffer.stats().dropped();
+                        match polled {
                             Ok(Some(m)) => {
                                 path.inflight += 1;
                                 m
@@ -946,7 +1103,7 @@ impl UmiddleRuntime {
                 Some(home) => {
                     let front = path.buffer.front_size().unwrap_or(0);
                     let uid = path.uid;
-                    let dst = path.dst.clone();
+                    let dst = path.dst;
                     // Ensure a link exists.
                     let stream = match self.peers.get(&home) {
                         Some(link) if link.up => link.stream,
@@ -967,7 +1124,14 @@ impl UmiddleRuntime {
                     let mut msg = {
                         let conn = self.connections.get_mut(&cid).expect("checked");
                         let path = conn.paths.get_mut(idx).expect("checked");
-                        match path.buffer.poll(now) {
+                        let occ_before = path.buffer.occupancy_bytes();
+                        let drop_before = path.buffer.stats().dropped();
+                        let polled = path.buffer.poll(now);
+                        self.buffered_total =
+                            self.buffered_total - occ_before + path.buffer.occupancy_bytes();
+                        self.dropped_total =
+                            self.dropped_total - drop_before + path.buffer.stats().dropped();
+                        match polled {
                             Ok(Some(m)) => m,
                             Ok(None) => return,
                             Err(wait) => {
@@ -989,7 +1153,7 @@ impl UmiddleRuntime {
                     let msg = msg.with_meta(TRANSPORT_SPAN_META, sent.0.to_string());
                     let wire = WireMessage::PathMessage {
                         connection: cid,
-                        dst: dst.clone(),
+                        dst,
                         msg,
                     }
                     .encode_framed();
@@ -1029,22 +1193,19 @@ impl UmiddleRuntime {
     }
 
     fn handle_drain_timer(&mut self, ctx: &mut Ctx<'_>, uid: u64) {
-        let found = self.connections.iter().find_map(|(cid, c)| {
-            c.paths
-                .iter()
-                .position(|p| p.uid == uid)
-                .map(|idx| (*cid, idx))
-        });
-        if let Some((cid, idx)) = found {
-            if let Some(conn) = self.connections.get_mut(&cid) {
-                if let Some(path) = conn.paths.get_mut(idx) {
-                    path.timer_pending = false;
-                }
-            }
-            ctx.bump(&self.metric("drain_retries"), 1);
-            ctx.span(cid.corr(), "qos.drain-retry", format!("path={idx}"));
-            self.drain_path(ctx, cid, idx);
-        }
+        let Some(&cid) = self.path_by_uid.get(&uid) else {
+            return; // path or connection gone before the retry fired
+        };
+        let Some(conn) = self.connections.get_mut(&cid) else {
+            return;
+        };
+        let Some(idx) = conn.paths.iter().position(|p| p.uid == uid) else {
+            return;
+        };
+        conn.paths[idx].timer_pending = false;
+        ctx.bump(&self.metric("drain_retries"), 1);
+        ctx.span(cid.corr(), "qos.drain-retry", format!("path={idx}"));
+        self.drain_path(ctx, cid, idx);
     }
 
     fn handle_path_message(
@@ -1153,20 +1314,28 @@ impl UmiddleRuntime {
     }
 
     fn drain_paths_via(&mut self, ctx: &mut Ctx<'_>, home: Addr) {
-        let work: Vec<(ConnectionId, usize)> = self
-            .connections
-            .iter()
-            .flat_map(|(cid, c)| {
-                c.paths
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| p.home == Some(home))
-                    .map(move |(idx, _)| (*cid, idx))
-            })
-            .collect();
-        for (cid, idx) in work {
-            self.drain_path(ctx, cid, idx);
+        let mut conns = std::mem::take(&mut self.scratch);
+        conns.clear();
+        if let Some(v) = self.home_index.get(&home) {
+            conns.extend_from_slice(v);
         }
+        for &cid in &conns {
+            let n_paths = match self.connections.get(&cid) {
+                Some(conn) => conn.paths.len(),
+                None => continue,
+            };
+            for idx in 0..n_paths {
+                let via = self
+                    .connections
+                    .get(&cid)
+                    .and_then(|c| c.paths.get(idx))
+                    .is_some_and(|p| p.home == Some(home));
+                if via {
+                    self.drain_path(ctx, cid, idx);
+                }
+            }
+        }
+        self.scratch = conns;
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_>) {

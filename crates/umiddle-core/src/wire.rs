@@ -843,6 +843,32 @@ mod tests {
     }
 
     #[test]
+    fn path_message_wire_bytes_are_stable() {
+        // Golden bytes: interning the port name (PortRef.port: String →
+        // Symbol) must not change the wire encoding. This is the exact
+        // byte sequence the String-based codec produced.
+        let msg = WireMessage::PathMessage {
+            connection: ConnectionId::new(RuntimeId(2), 5),
+            dst: PortRef::new(TranslatorId::new(RuntimeId(0), 7), "in"),
+            msg: UMessage::new("text/plain".parse().unwrap(), vec![0xAB, 0xCD]),
+        };
+        #[rustfmt::skip]
+        let expected: Vec<u8> = vec![
+            4,                      // TAG_PATH
+            2, 0, 0, 0,             // connection.runtime (u32 LE)
+            5, 0, 0, 0,             // connection.local
+            0, 0, 0, 0,             // dst.translator.runtime
+            7, 0, 0, 0,             // dst.translator.local
+            2, 0, b'i', b'n',       // dst.port: u16 LE length + UTF-8
+            10, 0,                  // mime length
+            b't', b'e', b'x', b't', b'/', b'p', b'l', b'a', b'i', b'n',
+            2, 0, 0, 0, 0xAB, 0xCD, // body: u32 LE length + bytes
+            0, 0,                   // metadata count
+        ];
+        assert_eq!(msg.encode(), expected);
+    }
+
+    #[test]
     fn truncated_input_errors() {
         let bytes = WireMessage::Bye {
             translator: TranslatorId::new(RuntimeId(1), 1),

@@ -98,7 +98,7 @@ impl Process for TestService {
                 msg,
                 connection,
             } => {
-                self.received.borrow_mut().push((port, msg));
+                self.received.borrow_mut().push((port.to_string(), msg));
                 if !self.input_cost.is_zero() {
                     ctx.busy(self.input_cost);
                 }
@@ -154,11 +154,11 @@ impl Connector {
         if self.connected_once {
             return;
         }
-        let Some(src) = self.src.clone() else { return };
+        let Some(src) = self.src else { return };
         let client = self.client.as_mut().expect("client set");
         match &self.target {
             ConnectorTarget::Named(_, _) => {
-                let Some(dst) = self.dst.clone() else { return };
+                let Some(dst) = self.dst else { return };
                 self.connected_once = true;
                 client.connect_ports(ctx, src, dst, self.qos.clone());
             }
@@ -808,9 +808,7 @@ fn disconnect_stops_message_flow() {
                     if p.name() == "sink" {
                         self.dst = Some(PortRef::new(p.id(), "in"));
                     }
-                    if let (Some(s), Some(d), false) =
-                        (self.src.clone(), self.dst.clone(), self.wired)
-                    {
+                    if let (Some(s), Some(d), false) = (self.src, self.dst, self.wired) {
                         self.wired = true;
                         self.client.as_mut().expect("set").connect_ports(
                             ctx,

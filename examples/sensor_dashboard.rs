@@ -130,7 +130,7 @@ fn main() {
             match token {
                 1 => {
                     // Wire knob -> mote sampling, then emit the new rate.
-                    if let (Some(own), Some(port)) = (self.own, self.mote_port.clone()) {
+                    if let (Some(own), Some(port)) = (self.own, self.mote_port) {
                         let client = self.client.as_mut().expect("set");
                         client.connect_ports(
                             ctx,

@@ -208,7 +208,7 @@ fn device_churn_rebinds_query_connections() {
                 if profile.name() == "Switch" {
                     self.src = Some(umiddle::umiddle_core::PortRef::new(profile.id(), "toggle"));
                 }
-                if let (Some(src), false) = (self.src.clone(), self.wired) {
+                if let (Some(src), false) = (self.src, self.wired) {
                     self.wired = true;
                     self.client.as_mut().expect("set").connect_query(
                         ctx,
