@@ -38,11 +38,26 @@ run diff target/trace-gate/a.metrics.json target/trace-gate/b.metrics.json
 run diff target/trace-gate/a.perfetto.json target/trace-gate/b.perfetto.json
 run diff target/trace-gate/a.folded target/trace-gate/b.folded
 
+# Telemetry determinism gate: the E10 fault-injection run must export a
+# byte-identical doctor health report (JSON) and OpenMetrics exposition
+# across two fresh runs of the same seed — the windowed sampler, the SLO
+# burn-rate engine and the doctor are all on the deterministic path.
+mkdir -p target/doctor-gate
+run cargo run --offline --release -p bench --bin doctor_export -- \
+    --doctor target/doctor-gate/a.doctor.json \
+    --openmetrics target/doctor-gate/a.metrics.om
+run cargo run --offline --release -p bench --bin doctor_export -- \
+    --doctor target/doctor-gate/b.doctor.json \
+    --openmetrics target/doctor-gate/b.metrics.om
+run diff target/doctor-gate/a.doctor.json target/doctor-gate/b.doctor.json
+run diff target/doctor-gate/a.metrics.om target/doctor-gate/b.metrics.om
+
 # Scheduler scaling gate: the timer-wheel kernel must stay competitive
 # with the reference heap, the E9 federation must clear an events/sec
-# floor at N=1000, and per-event cost must stay near-linear from 100 to
-# 1000 devices. Catches scheduler and dispatch-path regressions that
-# unit tests cannot see.
+# floor at N=1000, per-event cost must stay near-linear from 100 to
+# 1000 devices, and the telemetry sampler must stay under its overhead
+# budget. Catches scheduler and dispatch-path regressions that unit
+# tests cannot see.
 run cargo run --offline --release -p bench --bin perf_sched -- --check
 
 echo

@@ -1,0 +1,71 @@
+//! Exports the E10 telemetry fault-injection run as deterministic
+//! artifacts: the federation doctor's health report JSON and the final
+//! metrics snapshot in OpenMetrics exposition format.
+//!
+//! Usage:
+//!
+//! ```text
+//! doctor_export [--doctor FILE] [--openmetrics FILE]
+//! ```
+//!
+//! With no flags, writes `E10_doctor.json` and `E10_metrics.om` in the
+//! current directory. Both outputs are byte-identical across runs (the
+//! `ci.sh` determinism gate diffs two of them), and the doctor's alert
+//! and offender summary is always printed to stdout.
+
+use bench::experiments::e10_telemetry_faults;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut doctor_out = None;
+    let mut om_out = None;
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--doctor" => {
+                doctor_out = raw.get(i + 1).cloned();
+                i += 2;
+            }
+            "--openmetrics" => {
+                om_out = raw.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: doctor_export [--doctor FILE] [--openmetrics FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if doctor_out.is_none() && om_out.is_none() {
+        doctor_out = Some("E10_doctor.json".to_owned());
+        om_out = Some("E10_metrics.om".to_owned());
+    }
+
+    let r = e10_telemetry_faults();
+    println!(
+        "E10 doctor: {} samples, {} alert transitions",
+        r.samples,
+        r.transitions.len()
+    );
+    for a in &r.report.alerts {
+        println!("  {:20} {:28} {}", a.name, a.subject, a.state.as_str());
+    }
+    for o in &r.report.top_offenders {
+        println!(
+            "  offender: {:>6} milli  {:14} {}",
+            o.severity_milli, o.kind, o.subject
+        );
+    }
+    if let Some(path) = &doctor_out {
+        std::fs::write(path, &r.doctor_json).expect("write doctor report");
+        println!("wrote {path} ({} B)", r.doctor_json.len());
+    }
+    if let Some(path) = &om_out {
+        std::fs::write(path, &r.open_metrics).expect("write OpenMetrics exposition");
+        println!(
+            "wrote {path} ({} B) — OpenMetrics text format",
+            r.open_metrics.len()
+        );
+    }
+}

@@ -70,6 +70,9 @@ fn main() {
             println!("wrote folded stacks to {path}");
         }
     }
+    if want("e10") {
+        println!("{}", render_e10(&e10_telemetry_faults()));
+    }
     // Scheduler scaling sweep (opt-in: `cargo run -p bench -- e9`) —
     // a reduced version of the full `perf_sched --json` sweep, which
     // also covers N = 500 and N = 1000.

@@ -4,7 +4,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use simnet::{
-    Addr, Ctx, Process, SegmentConfig, SimDuration, SimTime, StreamEvent, StreamId, World,
+    Addr, AlertState, AlertTransition, BurnRateRule, Ctx, HealthReport, Objective, Process,
+    SamplerConfig, SegmentConfig, SimDuration, SimTime, SloKind, StreamEvent, StreamId,
+    TelemetryConfig, World,
 };
 use umiddle_bridges::{
     behaviors, direct, BluetoothMapper, MediaBrokerMapper, NativeService, RmiMapper, UpnpMapper,
@@ -1786,6 +1788,290 @@ pub fn e9_sched_scale(sizes: &[usize], measure: SimDuration) -> Vec<SchedScaleRo
     sizes.iter().map(|&n| e9_one(n, measure)).collect()
 }
 
+// =====================================================================
+// E10 — telemetry plane: SLO burn-rate alerts + federation doctor
+// =====================================================================
+
+/// Port the fault-injection flood runs on.
+const FLOOD_PORT: u16 = 47_000;
+
+/// Timer-driven datagram source that holds a shared segment past
+/// saturation. The first timer fires after `start_after` (the fault
+/// instant); from then on one `size`-byte datagram goes out every
+/// `period`, which is chosen below the frame's wire time so the
+/// segment's busy horizon runs ahead of real time and queueing delay
+/// grows for everyone sharing the medium.
+struct Flooder {
+    target: Addr,
+    start_after: SimDuration,
+    period: SimDuration,
+    size: usize,
+}
+
+impl Process for Flooder {
+    fn name(&self) -> &str {
+        "e10-flooder"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(FLOOD_PORT).expect("flood port free");
+        let after = self.start_after;
+        ctx.set_timer(after, 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let _ = ctx.send_to(FLOOD_PORT, self.target, vec![0u8; self.size]);
+        let period = self.period;
+        ctx.set_timer(period, 0);
+    }
+}
+
+/// Absorbs the flood datagrams at the far end of the segment.
+struct FloodSink;
+
+impl Process for FloodSink {
+    fn name(&self) -> &str {
+        "e10-flood-sink"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(FLOOD_PORT).expect("flood sink port free");
+    }
+}
+
+/// Results of the telemetry fault-injection run.
+#[derive(Debug, Clone)]
+pub struct TelemetryFaultResults {
+    /// The doctor's final health report.
+    pub report: HealthReport,
+    /// Deterministic JSON encoding of the report (the CI byte-diff
+    /// artifact).
+    pub doctor_json: String,
+    /// OpenMetrics exposition of the final metrics snapshot.
+    pub open_metrics: String,
+    /// Every alert state transition the SLO engine recorded.
+    pub transitions: Vec<AlertTransition>,
+    /// Virtual time both faults were injected.
+    pub fault_at: SimTime,
+    /// When the UPnP availability SLO first reached `firing`.
+    pub liveness_firing_at: Option<SimTime>,
+    /// When the hub latency SLO first reached `firing`.
+    pub latency_firing_at: Option<SimTime>,
+    /// Telemetry samples taken over the run.
+    pub samples: u64,
+}
+
+/// Runs the telemetry-plane experiment: the E8 federation (Bluetooth
+/// mouse on h1 bridged to a UPnP light on h2 over the 10 Mbps hub)
+/// instrumented with a 500 ms sampler and two burn-rate SLOs, then hit
+/// with two concurrent faults at t = 30 s:
+///
+/// - the UPnP mapper is removed (the bridge goes silent mid-run), and
+/// - a flooder saturates the shared Ethernet hub, pushing every
+///   bridged click past the latency SLO's 20 ms threshold.
+///
+/// The run proves the alerts fire in the configured burn-rate windows
+/// and the doctor localizes both faults: the silenced bridge shows up
+/// as `silent` with a firing availability SLO, and the saturated
+/// segment is the top offender by burn rate.
+pub fn e10_telemetry_faults() -> TelemetryFaultResults {
+    use platform_bluetooth::{HidpMouse, MouseConfig};
+    use platform_upnp::{LightLogic, UpnpDevice};
+
+    let mut world = World::new(0xE10);
+    world.trace_mut().set_log_enabled(false);
+    let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub()); // seg0
+    let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+
+    // h1 (rt0): the Bluetooth half. Unlimited clicks every 400 ms, so
+    // every 500 ms sampler interval sees bridged traffic while the
+    // federation is healthy.
+    let (h1, rt1) = runtime_node(&mut world, "h1", 0, &[hub, pico]);
+    let mouse_node = world.add_node("mouse");
+    world.attach(mouse_node, pico).unwrap();
+    world.add_process(
+        mouse_node,
+        Box::new(HidpMouse::new(MouseConfig {
+            name: "E10 Mouse".to_owned(),
+            click_interval: Some(SimDuration::from_millis(400)),
+            motion_interval: None,
+            click_limit: 0,
+        })),
+    );
+    world.add_process(
+        h1,
+        Box::new(BluetoothMapper::with_defaults(rt1, UsdlLibrary::bundled())),
+    );
+
+    // h2 (rt1): the UPnP half. The mapper's ProcId is kept so the
+    // silence fault can remove it mid-run.
+    let (h2, rt2) = runtime_node(&mut world, "h2", 1, &[hub]);
+    let light_node = world.add_node("light");
+    world.attach(light_node, hub).unwrap();
+    world.add_process(
+        light_node,
+        Box::new(UpnpDevice::new(
+            Box::new(LightLogic::new("E10 Light", "uuid:e10-l")),
+            5000,
+        )),
+    );
+    let upnp_mapper = world.add_process(
+        h2,
+        Box::new(UpnpMapper::with_defaults(rt2, UsdlLibrary::bundled())),
+    );
+
+    world.add_process(
+        h1,
+        Box::new(Wirer::new(
+            rt1,
+            vec![WireRule::new(
+                "E10 Mouse",
+                "clicks",
+                "E10 Light",
+                "switch-on",
+            )],
+        )),
+    );
+
+    // The saturation fault: a flood pair on the hub, armed at build
+    // time but firing its first datagram at the fault instant. A
+    // 1000-byte datagram occupies the 10 Mbps half-duplex medium for
+    // ~830 µs plus backoff; an 800 µs period keeps offered load just
+    // past line rate, so the backlog (and with it every bridged
+    // click's queueing delay) grows for the rest of the run.
+    let fault_at = SimTime::from_secs(30);
+    let flood_dst = world.add_node("flood-dst");
+    world.attach(flood_dst, hub).unwrap();
+    world.add_process(flood_dst, Box::new(FloodSink));
+    let flood_src = world.add_node("flood-src");
+    world.attach(flood_src, hub).unwrap();
+    world.add_process(
+        flood_src,
+        Box::new(Flooder {
+            target: Addr::new(flood_dst, FLOOD_PORT),
+            start_after: SimDuration::from_secs(30),
+            period: SimDuration::from_micros(800),
+            size: 1000,
+        }),
+    );
+
+    world.enable_telemetry(TelemetryConfig {
+        sampler: SamplerConfig {
+            interval: SimDuration::from_millis(500),
+            window: 64,
+        },
+        objectives: vec![
+            // Availability: the UPnP bridge must translate traffic in
+            // (almost) every interval. Budget 10% silent intervals;
+            // firing at 5x burn over (3 s long, 1 s short) windows.
+            Objective {
+                name: "upnp-availability".to_owned(),
+                subject: "bridge:upnp".to_owned(),
+                kind: SloKind::Liveness {
+                    counter: "bridge.upnp.traffic".to_owned(),
+                    budget_ppm: 100_000,
+                },
+                warning: BurnRateRule {
+                    long_intervals: 6,
+                    short_intervals: 2,
+                    factor_milli: 2_500,
+                },
+                firing: BurnRateRule {
+                    long_intervals: 6,
+                    short_intervals: 2,
+                    factor_milli: 5_000,
+                },
+            },
+            // Latency: at most 1% of bridged deliveries may take more
+            // than 20 ms end to end. On the saturated hub every
+            // delivery violates, so the burn rate pins at 100x budget.
+            Objective {
+                name: "hub-latency".to_owned(),
+                subject: "seg0:ethernet-10mbps-hub".to_owned(),
+                kind: SloKind::LatencyAbove {
+                    histogram: "umiddle.path_latency".to_owned(),
+                    threshold_ns: 20_000_000,
+                    budget_ppm: 10_000,
+                },
+                warning: BurnRateRule {
+                    long_intervals: 8,
+                    short_intervals: 2,
+                    factor_milli: 1_000,
+                },
+                firing: BurnRateRule {
+                    long_intervals: 8,
+                    short_intervals: 2,
+                    factor_milli: 5_000,
+                },
+            },
+        ],
+        liveness_timeout: SimDuration::from_secs(5),
+    });
+
+    // Healthy half, fault injection, degraded half.
+    world.run_until(fault_at);
+    world
+        .remove_process(upnp_mapper)
+        .expect("upnp mapper alive at fault time");
+    world.run_until(SimTime::from_secs(60));
+
+    let report = world.doctor().expect("telemetry enabled");
+    let doctor_json = report.to_json();
+    let open_metrics = simnet::open_metrics(&world.trace().metrics().snapshot());
+    let engine = world.slo_engine().expect("telemetry enabled");
+    let transitions = engine.transitions().to_vec();
+    let first_firing = |name: &str| {
+        transitions
+            .iter()
+            .find(|t| t.objective == name && t.to == AlertState::Firing)
+            .map(|t| t.at)
+    };
+
+    TelemetryFaultResults {
+        liveness_firing_at: first_firing("upnp-availability"),
+        latency_firing_at: first_firing("hub-latency"),
+        samples: world.telemetry().expect("telemetry enabled").samples(),
+        report,
+        doctor_json,
+        open_metrics,
+        transitions,
+        fault_at,
+    }
+}
+
+/// Measures the sampler's overhead on the E9 federation: the same
+/// seeded world is run over the same virtual window with telemetry off
+/// and on (250 ms sampler, no objectives), `passes` times each, and the
+/// ratio of the best wall-clock times is returned. Used by
+/// `perf_sched --check` to hold the telemetry plane under its 2%
+/// overhead budget at n = 1000.
+pub fn e10_sampler_overhead(n: usize, measure: SimDuration, passes: usize) -> f64 {
+    let setup = SimTime::from_secs(E9_SETUP);
+    let run = |telemetry: bool| {
+        let mut world = e9_world(n);
+        if telemetry {
+            world.enable_telemetry(TelemetryConfig {
+                sampler: SamplerConfig {
+                    interval: SimDuration::from_millis(250),
+                    window: 64,
+                },
+                objectives: vec![],
+                liveness_timeout: SimDuration::from_secs(5),
+            });
+        }
+        world.run_until(setup);
+        let t0 = std::time::Instant::now();
+        world.run_until(setup + measure);
+        t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    // Alternate the passes so machine-load drift hits both variants
+    // evenly; compare best-of to reject scheduling noise.
+    let mut plain = f64::INFINITY;
+    let mut sampled = f64::INFINITY;
+    for _ in 0..passes.max(2) {
+        plain = plain.min(run(false));
+        sampled = sampled.min(run(true));
+    }
+    sampled / plain
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1813,5 +2099,72 @@ mod tests {
             assert!(count > 0, "no translated traffic on {platform}");
         }
         assert!(world.events_processed() > 0);
+    }
+
+    /// The telemetry fault-injection run must detect and localize both
+    /// injected faults: the silenced UPnP bridge fires its availability
+    /// SLO within the burn-rate window and shows up silent in the
+    /// doctor, and the saturated hub is the doctor's top offender.
+    #[test]
+    fn e10_alerts_fire_and_doctor_localizes_faults() {
+        let r = e10_telemetry_faults();
+
+        // Both SLOs fire, and only after the fault instant. The
+        // availability SLO needs 3 silent 500 ms intervals in its
+        // short+long windows, so it must fire within ~4 s of the
+        // mapper's removal; the latency SLO needs the backlog to grow
+        // past 20 ms, then 2 violating intervals.
+        let fired = r.liveness_firing_at.expect("availability SLO fired");
+        assert!(fired > r.fault_at, "fired before the fault: {fired}");
+        assert!(
+            fired <= SimTime::from_nanos(r.fault_at.as_nanos() + 4_000_000_000),
+            "availability SLO too slow: fault at {}, fired at {fired}",
+            r.fault_at
+        );
+        let lat_fired = r.latency_firing_at.expect("latency SLO fired");
+        assert!(lat_fired > r.fault_at, "latency fired early: {lat_fired}");
+
+        // No transition may predate the fault: the healthy half of the
+        // run must be alert-free (no startup flapping).
+        assert!(
+            r.transitions.iter().all(|t| t.at > r.fault_at),
+            "spurious pre-fault transition: {:?}",
+            r.transitions.first()
+        );
+
+        // The doctor localizes the silence: the UPnP bridge is marked
+        // silent while the Bluetooth bridge (still translating mouse
+        // clicks into rt0) stays live.
+        let bridge = |p: &str| {
+            r.report
+                .bridges
+                .iter()
+                .find(|b| b.platform == p)
+                .unwrap_or_else(|| panic!("{p} bridge in report"))
+        };
+        assert!(bridge("upnp").silent, "upnp not flagged silent");
+        assert!(!bridge("bluetooth").silent, "bluetooth wrongly silent");
+
+        // ... and the saturation: the hub is the top offender (its
+        // SLO burns at 100x budget, above the availability SLO's 10x),
+        // and its utilization trend is pinned near 1000 milli.
+        let top = r.report.top_offenders.first().expect("offenders listed");
+        assert_eq!(top.subject, "seg0:ethernet-10mbps-hub");
+        let seg = r
+            .report
+            .segments
+            .iter()
+            .find(|s| s.label == "seg0:ethernet-10mbps-hub")
+            .expect("hub segment in report");
+        assert!(
+            seg.utilization_milli >= 900,
+            "hub not saturated: {} milli",
+            seg.utilization_milli
+        );
+
+        // The exports are non-trivial and mention both faults.
+        assert!(r.doctor_json.contains("\"firing\""));
+        assert!(r.open_metrics.ends_with("# EOF\n"));
+        assert!(r.samples >= 110, "sampler starved: {} samples", r.samples);
     }
 }

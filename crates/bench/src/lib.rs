@@ -17,6 +17,11 @@
 //!   scalability (§3.6).
 //! * [`experiments::e8_observability`] — metrics registry + path spans
 //!   (JSON snapshot via `--json`).
+//! * [`experiments::e9_sched_scale`] — scheduler scaling, 100 → 1000
+//!   devices across all six bridges (`perf_sched`).
+//! * [`experiments::e10_telemetry_faults`] — telemetry plane: SLO
+//!   burn-rate alerts + the federation health doctor under fault
+//!   injection (exports via `doctor_export`).
 //!
 //! Run everything with `cargo bench -p bench` (the `figures` bench
 //! target) or `cargo run -p bench --bin experiments --release`.

@@ -187,6 +187,86 @@ pub fn render_e8(r: &ObservabilityResults) -> String {
     out
 }
 
+/// Renders the E10 telemetry-plane fault-injection summary.
+pub fn render_e10(r: &TelemetryFaultResults) -> String {
+    use simnet::{SimDuration, SimTime};
+
+    let t = |ns: u64| SimTime::from_nanos(ns).to_string();
+    let d = |ns: u64| SimDuration::from_nanos(ns).to_string();
+    let mut out = hr("E10 — telemetry plane: SLO burn-rate alerts + federation doctor");
+    out.push_str(&format!(
+        "faults injected at {} (upnp mapper removed, hub flooded)\n",
+        r.fault_at
+    ));
+    out.push_str(&format!(
+        "sampler: {} interval, {} samples\n\n",
+        d(r.report.interval_ns),
+        r.samples
+    ));
+
+    out.push_str("alerts:\n");
+    for a in &r.report.alerts {
+        out.push_str(&format!(
+            "  {:20} {:28} {:>8}  since {:>10}  burn {:>6}/{:<6} milli\n",
+            a.name,
+            a.subject,
+            a.state.as_str(),
+            t(a.since_ns),
+            a.burn_long_milli,
+            a.burn_short_milli
+        ));
+    }
+    out.push_str("transitions:\n");
+    for tr in &r.transitions {
+        out.push_str(&format!(
+            "  {:>12}  {:20} {} -> {}\n",
+            tr.at.to_string(),
+            tr.objective,
+            tr.from.as_str(),
+            tr.to.as_str()
+        ));
+    }
+
+    out.push_str("\nbridges:\n");
+    for b in &r.report.bridges {
+        out.push_str(&format!(
+            "  {:14} last traffic {:>10}  idle {:>10}  {}\n",
+            b.platform,
+            t(b.last_traffic_ns),
+            d(b.idle_ns),
+            if b.silent { "SILENT" } else { "live" }
+        ));
+    }
+    out.push_str("segments:\n");
+    for s in &r.report.segments {
+        out.push_str(&format!(
+            "  {:28} util {:>4} milli  {:>8} frames  {:>4} dropped\n",
+            s.label, s.utilization_milli, s.frames, s.dropped
+        ));
+    }
+    out.push_str(&format!(
+        "scheduler: {} events pending, lag p99 {}, max {}\n",
+        r.report.events_pending,
+        d(r.report.sched_lag_p99_ns),
+        d(r.report.sched_lag_max_ns)
+    ));
+
+    out.push_str("\ntop offenders (doctor's ranking):\n");
+    for o in &r.report.top_offenders {
+        out.push_str(&format!(
+            "  {:>6} milli  {:14} {:20} {}\n",
+            o.severity_milli, o.kind, o.name, o.subject
+        ));
+    }
+    out.push_str(&format!(
+        "\nexports: doctor JSON {} B, OpenMetrics {} B \
+         (write them with the doctor_export bin)\n",
+        r.doctor_json.len(),
+        r.open_metrics.len()
+    ));
+    out
+}
+
 /// Renders the E9 scheduler-scaling sweep.
 pub fn render_e9(rows: &[SchedScaleRow]) -> String {
     let mut out = hr("E9 — scheduler scaling: six-bridge federation sweep");

@@ -88,6 +88,15 @@ impl<'w> Ctx<'w> {
         self.world.trace.metrics()
     }
 
+    /// An owned window over the live telemetry series, optionally scoped
+    /// to one metric prefix (e.g. `rt0`). `None` until the world enables
+    /// telemetry ([`crate::World::enable_telemetry`]). This is how a
+    /// runtime answers live `TelemetryWindow` pulls from inside a
+    /// handler.
+    pub fn telemetry_window(&self, scope: Option<&str>) -> Option<crate::TelemetryWindow> {
+        self.world.telemetry_window(scope)
+    }
+
     /// Records an instant (zero-duration) span on a correlated path,
     /// attributed to this process at the current virtual time. `corr` is
     /// the correlation id minted when the connection was established.

@@ -1,8 +1,9 @@
 //! Deterministic trace exporters.
 //!
-//! Two formats, both pure functions of the recorded span slice — so two
+//! Span exporters are pure functions of the recorded span slice, and
+//! [`open_metrics`] is a pure function of a metrics snapshot — so two
 //! seeded runs of the same world export byte-identical artifacts (the
-//! determinism gate in `ci.sh` diffs them):
+//! determinism gates in `ci.sh` diff them):
 //!
 //! - [`perfetto_trace_json`]: Chrome `trace_event` JSON, loadable in
 //!   `ui.perfetto.dev` or `chrome://tracing`. One virtual *thread per
@@ -20,7 +21,7 @@
 use std::collections::BTreeMap;
 
 use crate::span::{SpanNode, SpanTree};
-use crate::trace::{push_json_string, SpanRecord};
+use crate::trace::{push_json_string, MetricsSnapshot, SpanRecord, LATENCY_BUCKET_BOUNDS_NS};
 
 /// Renders nanoseconds as decimal microseconds (`123.456`) without
 /// going through floating point.
@@ -135,6 +136,56 @@ pub fn folded_stacks(spans: &[SpanRecord]) -> String {
     out
 }
 
+/// Exports a metrics snapshot as OpenMetrics text exposition
+/// (Prometheus text format): counters as `name_total`, gauges plain,
+/// histograms with cumulative `le` buckets plus `_count` and `_sum`,
+/// terminated by `# EOF`. Metric names are sanitized to
+/// `[a-zA-Z0-9_:]` (every other byte becomes `_`), values are integers,
+/// and map order is the registry's sorted order — so output is
+/// byte-identical across identical runs.
+pub fn open_metrics(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        let n = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n}_total {v}\n"));
+    }
+    for (name, v) in &snapshot.gauges {
+        let n = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snapshot.histograms {
+        let n = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BUCKET_BOUNDS_NS.iter().enumerate() {
+            cumulative = cumulative.saturating_add(h.bucket_counts()[i]);
+            out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{n}_bucket{{le=\"+Inf\"}} {}\n{n}_count {}\n{n}_sum {}\n",
+            h.count(),
+            h.count(),
+            h.sum_ns()
+        ));
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Maps a dot-scoped registry name onto the OpenMetrics charset: every
+/// byte outside `[a-zA-Z0-9_:]` becomes `_`.
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 fn fold_node(node: &SpanNode, prefix: &str, weights: &mut BTreeMap<String, u64>) {
     // Semicolons separate frames in the folded format, so they cannot
     // appear inside one.
@@ -209,5 +260,38 @@ mod tests {
         assert_eq!(micros(0), "0.000");
         assert_eq!(micros(999), "0.999");
         assert_eq!(micros(1_500_250), "1500.250");
+    }
+
+    #[test]
+    fn open_metrics_exposition_is_wellformed_and_deterministic() {
+        use crate::time::SimDuration;
+        use crate::trace::Metrics;
+        let mut m = Metrics::default();
+        m.counter_add("umiddle.connections", 3);
+        m.gauge_set("sched.events_pending", 12);
+        m.observe("rt0.transport_latency", SimDuration::from_micros(500));
+        m.observe("rt0.transport_latency", SimDuration::from_millis(2));
+        let a = open_metrics(&m.snapshot());
+        let b = open_metrics(&m.snapshot());
+        assert_eq!(a, b);
+        assert!(a.contains("# TYPE umiddle_connections counter\n"));
+        assert!(a.contains("umiddle_connections_total 3\n"));
+        assert!(a.contains("sched_events_pending 12\n"));
+        // 500 µs lands in the le=500000 bucket; both fit under 2 ms.
+        assert!(a.contains("rt0_transport_latency_bucket{le=\"500000\"} 1\n"));
+        assert!(a.contains("rt0_transport_latency_bucket{le=\"2000000\"} 2\n"));
+        assert!(a.contains("rt0_transport_latency_bucket{le=\"+Inf\"} 2\n"));
+        assert!(a.contains("rt0_transport_latency_count 2\n"));
+        assert!(a.contains("rt0_transport_latency_sum 2500000\n"));
+        assert!(a.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(
+            sanitize_metric_name("bridge.upnp.last-traffic ns"),
+            "bridge_upnp_last_traffic_ns"
+        );
+        assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
     }
 }

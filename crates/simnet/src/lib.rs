@@ -67,6 +67,7 @@
 mod ctx;
 mod error;
 pub mod export;
+pub mod health;
 mod medium;
 pub mod payload;
 mod process;
@@ -74,13 +75,18 @@ pub mod rng;
 pub mod span;
 mod stream;
 mod time;
+pub mod timeseries;
 mod trace;
 pub mod wheel;
 mod world;
 
 pub use ctx::{Ctx, TimerHandle};
 pub use error::{SimError, SimResult};
-pub use export::{folded_stacks, perfetto_trace_json};
+pub use export::{folded_stacks, open_metrics, perfetto_trace_json};
+pub use health::{
+    AlertState, AlertStatus, AlertTransition, BurnRateRule, HealthReport, Objective, SloEngine,
+    SloKind, TelemetryConfig,
+};
 pub use medium::{schedule_tx, SegmentConfig, TxTiming};
 pub use payload::{ChunkQueue, Payload, PayloadBuilder, PayloadStats};
 pub use process::{
@@ -89,6 +95,7 @@ pub use process::{
 pub use rng::{check_cases, SimRng};
 pub use span::{CriticalPath, PathExpectation, SpanNode, SpanTree, StageCost, TraceAssert};
 pub use time::{SimDuration, SimTime};
+pub use timeseries::{SamplerConfig, Telemetry, TelemetryWindow};
 pub use trace::{
     Histogram, Metrics, MetricsSnapshot, SegmentStats, SpanId, SpanRecord, Trace, TraceEvent,
 };

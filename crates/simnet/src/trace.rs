@@ -183,16 +183,17 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Records one duration.
+    /// Records one duration. All count/sum arithmetic saturates, so a
+    /// pathological run degrades to clamped totals instead of wrapping.
     pub fn record(&mut self, d: SimDuration) {
         let ns = d.as_nanos();
         let idx = LATENCY_BUCKET_BOUNDS_NS
             .iter()
             .position(|&bound| ns <= bound)
             .unwrap_or(LATENCY_BUCKET_BOUNDS_NS.len());
-        self.counts[idx] += 1;
-        self.count += 1;
-        self.sum_ns += u128::from(ns);
+        self.counts[idx] = self.counts[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum_ns = self.sum_ns.saturating_add(u128::from(ns));
         self.min_ns = self.min_ns.min(ns);
         self.max_ns = self.max_ns.max(ns);
     }
@@ -285,10 +286,34 @@ pub struct Metrics {
     histograms: BTreeMap<String, Histogram>,
 }
 
+/// Counter bumped whenever counter/gauge arithmetic clamps at the
+/// integer range instead of wrapping, so lossy math is visible in every
+/// export rather than silently corrupting totals.
+const SATURATION_MARKER: &str = "trace.counter_saturated";
+
 impl Metrics {
-    /// Adds `n` to a monotonic counter.
+    /// Adds `n` to a monotonic counter. The addition saturates at
+    /// `u64::MAX`; a clamped update also bumps the
+    /// `trace.counter_saturated` marker counter.
     pub fn counter_add(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+        let slot = self.counters.entry(name.to_owned()).or_insert(0);
+        if let Some(v) = slot.checked_add(n) {
+            *slot = v;
+        } else {
+            *slot = u64::MAX;
+            self.note_saturation();
+        }
+    }
+
+    /// Records one clamped counter/gauge update. Direct map access: the
+    /// marker itself must not recurse through [`Metrics::counter_add`],
+    /// and it too saturates rather than wrapping.
+    fn note_saturation(&mut self) {
+        let marker = self
+            .counters
+            .entry(SATURATION_MARKER.to_owned())
+            .or_insert(0);
+        *marker = marker.saturating_add(1);
     }
 
     /// Reads a counter (zero if never written).
@@ -301,9 +326,17 @@ impl Metrics {
         self.gauges.insert(name.to_owned(), v);
     }
 
-    /// Adds a (possibly negative) delta to a gauge.
+    /// Adds a (possibly negative) delta to a gauge. The addition
+    /// saturates at the `i64` range; a clamped update also bumps the
+    /// `trace.counter_saturated` marker counter.
     pub fn gauge_add(&mut self, name: &str, delta: i64) {
-        *self.gauges.entry(name.to_owned()).or_insert(0) += delta;
+        let slot = self.gauges.entry(name.to_owned()).or_insert(0);
+        if let Some(v) = slot.checked_add(delta) {
+            *slot = v;
+        } else {
+            *slot = if delta > 0 { i64::MAX } else { i64::MIN };
+            self.note_saturation();
+        }
     }
 
     /// Reads a gauge (zero if never written).
@@ -322,6 +355,14 @@ impl Metrics {
     /// Reads a histogram, if it has ever been observed.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Replaces the named histogram wholesale. Used by the world to fold
+    /// its allocation-free scheduler-lag histogram into the registry at
+    /// sample and sync points; the replacement is cumulative, so the
+    /// registry keeps Prometheus semantics.
+    pub(crate) fn histogram_set(&mut self, name: &str, h: Histogram) {
+        self.histograms.insert(name.to_owned(), h);
     }
 
     /// All counters, sorted by name.
@@ -930,6 +971,48 @@ mod tests {
         let rt1 = m.scoped("rt1");
         assert_eq!(rt1.counter("advertisements_sent"), 7);
         assert_eq!(rt1.gauge("buffer_depth"), 0);
+    }
+
+    #[test]
+    fn counter_add_saturates_and_marks() {
+        let mut m = Metrics::default();
+        m.counter_add("c", u64::MAX - 1);
+        m.counter_add("c", 5);
+        assert_eq!(m.counter("c"), u64::MAX);
+        assert_eq!(m.counter("trace.counter_saturated"), 1);
+        // Already clamped: stays clamped, marker keeps counting.
+        m.counter_add("c", 1);
+        assert_eq!(m.counter("c"), u64::MAX);
+        assert_eq!(m.counter("trace.counter_saturated"), 2);
+        // Non-overflowing adds never touch the marker.
+        m.counter_add("d", 7);
+        assert_eq!(m.counter("trace.counter_saturated"), 2);
+    }
+
+    #[test]
+    fn gauge_add_saturates_both_directions() {
+        let mut m = Metrics::default();
+        m.gauge_set("up", i64::MAX - 1);
+        m.gauge_add("up", 10);
+        assert_eq!(m.gauge("up"), i64::MAX);
+        m.gauge_set("down", i64::MIN + 1);
+        m.gauge_add("down", -10);
+        assert_eq!(m.gauge("down"), i64::MIN);
+        assert_eq!(m.counter("trace.counter_saturated"), 2);
+    }
+
+    #[test]
+    fn histogram_record_saturates_counts() {
+        let mut h = Histogram {
+            counts: [u64::MAX; LATENCY_BUCKET_BOUNDS_NS.len() + 1],
+            count: u64::MAX,
+            sum_ns: u128::MAX,
+            min_ns: 0,
+            max_ns: 0,
+        };
+        h.record(SimDuration::from_micros(1));
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.sum_ns(), u128::MAX);
     }
 
     #[test]

@@ -5,12 +5,14 @@ use std::collections::{HashMap, HashSet};
 
 use crate::ctx::Ctx;
 use crate::error::{SimError, SimResult};
+use crate::health::{HealthReport, SegmentSample, SloEngine, TelemetryConfig};
 use crate::medium::{schedule_tx, SegmentConfig};
 use crate::payload::Payload;
 use crate::process::{Addr, Datagram, LocalMessage, NodeId, ProcId, Process, SegmentId, StreamId};
 use crate::stream::{StreamFrame, StreamState};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{SegmentStats, Trace};
+use crate::timeseries::{Telemetry, TelemetryWindow};
+use crate::trace::{Histogram, SegmentStats, Trace};
 use crate::wheel::TimerWheel;
 
 /// First ephemeral port handed out by [`Ctx::ephemeral_port`].
@@ -127,6 +129,11 @@ pub(crate) enum EventKind {
         proc: ProcId,
         action: EmitAction,
     },
+    /// Periodic telemetry sample (see [`World::enable_telemetry`]); the
+    /// sampler re-arms itself on a fixed virtual-time grid while other
+    /// work remains, and goes dormant when the queue drains so it never
+    /// keeps [`World::run_until_idle`] alive on its own.
+    TelemetrySample,
 }
 
 /// Deferred output actions (see [`EventKind::Emit`]).
@@ -207,6 +214,21 @@ pub struct World {
     pub(crate) stream_send_capacity: usize,
     /// Sender window: maximum unacknowledged bytes in flight.
     pub(crate) stream_window: usize,
+    /// Live telemetry plane, when enabled: windowed series + SLO engine.
+    telemetry: Option<Box<TelemetryPlane>>,
+    /// `true` while a `TelemetrySample` event is in the queue.
+    sampler_armed: bool,
+    /// Scheduler lag (pop time minus due time), recorded allocation-free
+    /// per queue advance and folded into the registry as `sched.lag_ns`.
+    sched_lag: Histogram,
+}
+
+/// The world's in-run telemetry state (boxed to keep `World` small for
+/// the common telemetry-off case).
+struct TelemetryPlane {
+    store: Telemetry,
+    engine: SloEngine,
+    liveness_timeout: SimDuration,
 }
 
 impl std::fmt::Debug for World {
@@ -243,6 +265,9 @@ impl World {
             loopback: None,
             stream_send_capacity: 256 * 1024,
             stream_window: 64 * 1024,
+            telemetry: None,
+            sampler_armed: false,
+            sched_lag: Histogram::default(),
         }
     }
 
@@ -490,10 +515,132 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // Telemetry plane
+    // ------------------------------------------------------------------
+
+    /// Turns on the in-run telemetry plane: a timer-wheel-driven sampler
+    /// that folds per-interval deltas of every metric into bounded ring
+    /// windows ([`crate::timeseries`]) and re-evaluates the configured
+    /// SLOs after every sample ([`crate::health`]). The enable pass
+    /// takes a baseline sample (no deltas), so counters accumulated
+    /// before this call never show up as one giant first interval.
+    ///
+    /// Calling it again replaces the plane (new config, empty windows).
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        let mut store = Telemetry::new(config.sampler);
+        self.fold_sched_metrics();
+        store.sample(self.now, self.trace.metrics());
+        self.telemetry = Some(Box::new(TelemetryPlane {
+            store,
+            engine: SloEngine::new(config.objectives),
+            liveness_timeout: config.liveness_timeout,
+        }));
+        self.sampler_armed = false;
+        self.arm_sampler();
+    }
+
+    /// The live telemetry store, when [`World::enable_telemetry`] is on.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref().map(|p| &p.store)
+    }
+
+    /// An owned window over the live series, optionally scoped to one
+    /// prefix (e.g. `rt0`). `None` when telemetry is off.
+    pub fn telemetry_window(&self, scope: Option<&str>) -> Option<TelemetryWindow> {
+        self.telemetry.as_ref().map(|p| p.store.window(scope))
+    }
+
+    /// The live SLO engine, when telemetry is on.
+    pub fn slo_engine(&self) -> Option<&SloEngine> {
+        self.telemetry.as_ref().map(|p| &p.engine)
+    }
+
+    /// Runs the federation doctor: aggregates bridge liveness, segment
+    /// utilization trends, scheduler health and SLO burn into one
+    /// deterministic [`HealthReport`]. `None` when telemetry is off.
+    pub fn doctor(&self) -> Option<HealthReport> {
+        let plane = self.telemetry.as_ref()?;
+        let segments: Vec<SegmentSample> = self
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SegmentSample {
+                key: format!("seg{i}"),
+                label: format!("seg{i}:{}", s.config.name),
+                stats: s.stats,
+            })
+            .collect();
+        Some(HealthReport::build(
+            self.now,
+            &plane.store,
+            &plane.engine,
+            self.trace.metrics(),
+            &segments,
+            self.queue.len() as u64,
+            plane.liveness_timeout,
+        ))
+    }
+
+    /// Folds scheduler and segment state into the metrics registry:
+    /// `sched.events_pending`, the cumulative `sched.lag_ns` histogram,
+    /// and per-segment `segment.segN.busy_ns` gauges the doctor trends.
+    /// Called at every sample and at run-loop sync points.
+    fn fold_sched_metrics(&mut self) {
+        let metrics = self.trace.metrics_mut();
+        metrics.gauge_set("sched.events_pending", self.queue.len() as i64);
+        metrics.histogram_set("sched.lag_ns", self.sched_lag.clone());
+        for (i, seg) in self.segments.iter().enumerate() {
+            self.trace.metrics_mut().gauge_set(
+                &format!("segment.seg{i}.busy_ns"),
+                seg.stats.busy.as_nanos() as i64,
+            );
+        }
+    }
+
+    /// Pushes the next grid-aligned `TelemetrySample` event. Direct
+    /// queue push: `schedule` would recurse through its own re-arm
+    /// check, and a sample time is always strictly in the future.
+    fn arm_sampler(&mut self) {
+        let Some(plane) = self.telemetry.as_ref() else {
+            return;
+        };
+        let interval = plane.store.interval().as_nanos();
+        let next = SimTime::from_nanos((self.now.as_nanos() / interval + 1) * interval);
+        self.sampler_armed = true;
+        self.queue.push(next, EventKind::TelemetrySample);
+    }
+
+    /// Handles a `TelemetrySample` event: folds scheduler metrics, takes
+    /// the sample, re-evaluates the SLOs, and re-arms only while other
+    /// events remain (a drained queue parks the sampler; `schedule`
+    /// wakes it again).
+    fn telemetry_sample(&mut self) {
+        self.sampler_armed = false;
+        if self.telemetry.is_none() {
+            return;
+        }
+        self.fold_sched_metrics();
+        let plane = self.telemetry.as_mut().expect("checked above");
+        plane.store.sample(self.now, self.trace.metrics());
+        plane
+            .engine
+            .evaluate(self.now, &plane.store, &mut self.trace);
+        if !self.queue.is_empty() {
+            self.arm_sampler();
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Event loop
     // ------------------------------------------------------------------
 
     pub(crate) fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        // A dormant sampler (it skips re-arming when the queue drains,
+        // so it cannot keep `run_until_idle` alive) wakes up as soon as
+        // any real work is scheduled.
+        if !self.sampler_armed && self.telemetry.is_some() {
+            self.arm_sampler();
+        }
         // Same-tick fast path: an event scheduled for the tick currently
         // being drained (`send_local` cascades, mostly) joins the live
         // batch directly instead of round-tripping through the scheduler.
@@ -529,6 +676,7 @@ impl World {
             return false;
         };
         debug_assert!(time >= self.now, "time went backwards");
+        self.sched_lag.record(self.now.saturating_since(time));
         self.now = self.now.max(time);
         self.events_processed += 1;
         self.dispatch(kind);
@@ -556,6 +704,7 @@ impl World {
             return false;
         };
         debug_assert!(time >= self.now, "time went backwards");
+        self.sched_lag.record(self.now.saturating_since(time));
         self.now = self.now.max(time);
         self.in_tick_drain = true;
         loop {
@@ -580,6 +729,7 @@ impl World {
     pub fn run_until_idle(&mut self) {
         self.begin_run();
         while self.step_batch() {}
+        self.fold_sched_metrics();
         self.trace.sync_payload_stats();
         self.trace.sync_drop_stats();
     }
@@ -598,6 +748,7 @@ impl World {
             }
         }
         self.now = self.now.max(deadline);
+        self.fold_sched_metrics();
         self.trace.sync_payload_stats();
         self.trace.sync_drop_stats();
     }
@@ -619,6 +770,7 @@ impl World {
             } => self.stream_rto_fired(stream, from_initiator, epoch),
             EventKind::SynRetry { stream, attempt } => self.syn_retry(stream, attempt),
             EventKind::Emit { proc, action } => self.run_emit(proc, action),
+            EventKind::TelemetrySample => self.telemetry_sample(),
         }
     }
 

@@ -505,6 +505,7 @@ impl Process for BluetoothMapper {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        crate::obs::announce(ctx, "bluetooth");
         ctx.bind(self.inquiry_port).expect("inquiry port free");
         let _ = ctx.join_group(INQUIRY_GROUP);
         self.client = Some(RuntimeClient::new(self.runtime));

@@ -272,6 +272,7 @@ impl Process for MediaBrokerMapper {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        crate::obs::announce(ctx, "mediabroker");
         self.client = Some(RuntimeClient::new(self.runtime));
         if let Ok(stream) = ctx.connect(self.broker) {
             self.control = Some(stream);

@@ -170,6 +170,7 @@ impl Process for MotesMapper {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        crate::obs::announce(ctx, "motes");
         self.client = Some(RuntimeClient::new(self.runtime));
         let expiry = self.expiry;
         ctx.set_timer(expiry, TIMER_EXPIRE);

@@ -10,6 +10,13 @@
 //! spans: begun when the triggering event arrived and ended at the
 //! mapper's *emit time*, so translation cost modeled with
 //! `ctx.busy(cost)` before the call is inside the span's duration.
+//!
+//! Liveness: every translated hop also bumps a per-platform
+//! `bridge.{platform}.traffic` counter and refreshes the
+//! `bridge.{platform}.last_traffic_ns` watermark gauge. The federation
+//! doctor reads the watermark to flag silent bridges, and the traffic
+//! counter feeds liveness SLOs; [`announce`] plants both at mapper
+//! start so a bridge that never translates anything is still visible.
 
 use simnet::{Ctx, SimDuration, SpanId};
 use umiddle_core::ConnectionId;
@@ -48,8 +55,25 @@ pub(crate) fn record_egress(ctx: &mut Ctx<'_>, platform: &str, cost: SimDuration
 }
 
 /// Records a translation cost into the federation-wide and per-platform
-/// histograms, with no span context.
+/// histograms, with no span context, and refreshes the platform's
+/// liveness traffic counter and last-traffic watermark.
 pub(crate) fn record_translation(ctx: &mut Ctx<'_>, platform: &str, cost: SimDuration) {
     ctx.observe("umiddle.translation_latency", cost);
     ctx.observe(&format!("bridge.{platform}.translation"), cost);
+    ctx.bump(&format!("bridge.{platform}.traffic"), 1);
+    touch(ctx, platform);
+}
+
+/// Registers a platform bridge with the doctor at mapper start: plants
+/// its `bridge.{platform}.last_traffic_ns` watermark at the current
+/// time, so liveness is measured from bring-up rather than from an
+/// absent gauge.
+pub(crate) fn announce(ctx: &mut Ctx<'_>, platform: &str) {
+    touch(ctx, platform);
+}
+
+/// Refreshes the platform's last-traffic watermark to now.
+fn touch(ctx: &mut Ctx<'_>, platform: &str) {
+    let now = ctx.now().as_nanos() as i64;
+    ctx.gauge_set(&format!("bridge.{platform}.last_traffic_ns"), now);
 }

@@ -251,6 +251,7 @@ impl Process for RmiMapper {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        crate::obs::announce(ctx, "rmi");
         self.client = Some(RuntimeClient::new(self.runtime));
         self.objects = self
             .object_names

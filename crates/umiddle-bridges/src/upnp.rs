@@ -362,6 +362,7 @@ impl Process for UpnpMapper {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        crate::obs::announce(ctx, "upnp");
         ctx.bind(self.reply_port).expect("mapper reply port free");
         let _ = ctx.join_group(platform_upnp::SSDP_GROUP);
         self.cp.listen_events(ctx, self.gena_port);

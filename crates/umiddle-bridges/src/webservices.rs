@@ -289,6 +289,7 @@ impl Process for WsMapper {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        crate::obs::announce(ctx, "webservices");
         self.client = Some(RuntimeClient::new(self.runtime));
         self.services = self
             .endpoints

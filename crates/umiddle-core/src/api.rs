@@ -114,6 +114,15 @@ pub enum RuntimeRequest {
         /// Correlation token echoed in the reply.
         token: u64,
     },
+    /// Requests a live windowed-telemetry pull of this runtime's metric
+    /// scope (`rt{N}.*`, prefix stripped): per-interval deltas, rates
+    /// and watermarks from the world's sampler. Replies with
+    /// [`RuntimeEvent::Telemetry`]; the window is `None` when the world
+    /// has not enabled telemetry.
+    TelemetryWindow {
+        /// Correlation token echoed in the reply.
+        token: u64,
+    },
 }
 
 /// Directory change notifications (the paper's `DirectoryListener`).
@@ -193,6 +202,15 @@ pub enum RuntimeEvent {
         token: u64,
         /// The runtime's `rt{N}.*` metrics, prefix stripped.
         snapshot: simnet::MetricsSnapshot,
+    },
+    /// A live windowed-telemetry pull, in reply to
+    /// [`RuntimeRequest::TelemetryWindow`].
+    Telemetry {
+        /// Token from the request.
+        token: u64,
+        /// The runtime's scoped window, or `None` when the world has
+        /// not enabled telemetry.
+        window: Option<simnet::TelemetryWindow>,
     },
 }
 
@@ -403,6 +421,15 @@ impl RuntimeClient {
     pub fn metrics_snapshot(&mut self, ctx: &mut Ctx<'_>) -> u64 {
         let token = self.token();
         ctx.send_local(self.runtime, RuntimeRequest::MetricsSnapshot { token });
+        token
+    }
+
+    /// Requests a live windowed-telemetry pull of the runtime's metric
+    /// scope; returns the correlation token echoed in
+    /// [`RuntimeEvent::Telemetry`].
+    pub fn telemetry_window(&mut self, ctx: &mut Ctx<'_>) -> u64 {
+        let token = self.token();
+        ctx.send_local(self.runtime, RuntimeRequest::TelemetryWindow { token });
         token
     }
 

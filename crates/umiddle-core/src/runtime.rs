@@ -1473,6 +1473,10 @@ impl Process for UmiddleRuntime {
                 let snapshot = ctx.metrics().scoped(&self.scope).snapshot();
                 ctx.send_local(from, RuntimeEvent::Metrics { token, snapshot });
             }
+            RuntimeRequest::TelemetryWindow { token } => {
+                let window = ctx.telemetry_window(Some(&self.scope));
+                ctx.send_local(from, RuntimeEvent::Telemetry { token, window });
+            }
         }
     }
 

@@ -293,3 +293,188 @@ fn runtime_serves_scoped_snapshot_over_local_api() {
     );
     assert!(snapshot.counters.keys().all(|k| !k.starts_with("rt3.")));
 }
+
+/// Pulls the runtime's live telemetry window at fixed virtual times and
+/// records every reply, keyed by request token.
+struct WindowProber {
+    runtime: ProcId,
+    client: Option<RuntimeClient>,
+    pulls: Vec<SimDuration>,
+    pending: Rc<RefCell<Vec<u64>>>,
+    got: Rc<RefCell<Vec<(u64, umiddle::simnet::TelemetryWindow)>>>,
+}
+
+impl Process for WindowProber {
+    fn name(&self) -> &str {
+        "window-prober"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.client = Some(RuntimeClient::new(self.runtime));
+        for (i, &at) in self.pulls.iter().enumerate() {
+            ctx.set_timer(at, i as u64);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let token = self.client.as_mut().expect("client").telemetry_window(ctx);
+        self.pending.borrow_mut().push(token);
+    }
+    fn on_local(&mut self, _ctx: &mut Ctx<'_>, _from: ProcId, msg: LocalMessage) {
+        let Ok(event) = msg.downcast::<RuntimeEvent>() else {
+            return;
+        };
+        if let RuntimeEvent::Telemetry { token, window } = *event {
+            assert!(
+                self.pending.borrow().contains(&token),
+                "reply for a token never requested"
+            );
+            let window = window.expect("telemetry plane enabled");
+            self.got.borrow_mut().push((token, window));
+        }
+    }
+}
+
+type PulledWindows = Rc<RefCell<Vec<(u64, umiddle::simnet::TelemetryWindow)>>>;
+
+/// Two concurrent runtimes each serve their own scoped, live telemetry
+/// windows over the local API (`RuntimeRequest::TelemetryWindow` →
+/// `RuntimeEvent::Telemetry`), with interleaved pulls: windows stay
+/// scoped to the owning runtime, advance monotonically between pulls,
+/// and the whole interleaving is byte-deterministic across runs.
+#[test]
+fn runtimes_serve_interleaved_live_telemetry_windows() {
+    fn run(seed: u64) -> (PulledWindows, PulledWindows) {
+        let mut world = World::new(seed);
+        world.trace_mut().set_log_enabled(false);
+        let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+        let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+
+        let h1 = world.add_node("h1");
+        world.attach(h1, hub).unwrap();
+        world.attach(h1, pico).unwrap();
+        let rt1 = world.add_process(
+            h1,
+            Box::new(UmiddleRuntime::new(RuntimeConfig::new(RuntimeId(0)))),
+        );
+        let mouse_node = world.add_node("mouse");
+        world.attach(mouse_node, pico).unwrap();
+        world.add_process(
+            mouse_node,
+            Box::new(HidpMouse::new(MouseConfig {
+                name: "Obs Mouse".to_owned(),
+                click_interval: Some(SimDuration::from_millis(500)),
+                motion_interval: None,
+                click_limit: 0, // keep clicking so every window sees traffic
+            })),
+        );
+        world.add_process(
+            h1,
+            Box::new(BluetoothMapper::with_defaults(rt1, UsdlLibrary::bundled())),
+        );
+
+        let h2 = world.add_node("h2");
+        world.attach(h2, hub).unwrap();
+        let rt2 = world.add_process(
+            h2,
+            Box::new(UmiddleRuntime::new(RuntimeConfig::new(RuntimeId(1)))),
+        );
+        let light_node = world.add_node("light");
+        world.attach(light_node, hub).unwrap();
+        world.add_process(
+            light_node,
+            Box::new(UpnpDevice::new(
+                Box::new(LightLogic::new("Obs Light", "uuid:obs-l")),
+                5000,
+            )),
+        );
+        world.add_process(
+            h2,
+            Box::new(UpnpMapper::with_defaults(rt2, UsdlLibrary::bundled())),
+        );
+        world.add_process(
+            h1,
+            Box::new(Wirer::new(
+                rt1,
+                vec![WireRule::new(
+                    "Obs Mouse",
+                    "clicks",
+                    "Obs Light",
+                    "switch-on",
+                )],
+            )),
+        );
+
+        world.enable_telemetry(umiddle::simnet::TelemetryConfig {
+            sampler: umiddle::simnet::SamplerConfig {
+                interval: SimDuration::from_millis(500),
+                window: 64,
+            },
+            objectives: vec![],
+            liveness_timeout: SimDuration::from_secs(5),
+        });
+
+        // Interleaved pulls: rt0 at 10 s and 20 s, rt1 at 15 s and 25 s.
+        let make = |runtime, pulls: &[u64]| {
+            let got: PulledWindows = Rc::new(RefCell::new(Vec::new()));
+            let prober = WindowProber {
+                runtime,
+                client: None,
+                pulls: pulls.iter().map(|&s| SimDuration::from_secs(s)).collect(),
+                pending: Rc::new(RefCell::new(Vec::new())),
+                got: Rc::clone(&got),
+            };
+            (prober, got)
+        };
+        let (p0, got0) = make(rt1, &[10, 20]);
+        let (p1, got1) = make(rt2, &[15, 25]);
+        world.add_process(h1, Box::new(p0));
+        world.add_process(h2, Box::new(p1));
+
+        world.run_until(SimTime::from_secs(30));
+        (got0, got1)
+    }
+
+    let (got0, got1) = run(4242);
+    let w0 = got0.borrow();
+    let w1 = got1.borrow();
+    assert_eq!(w0.len(), 2, "rt0 prober missed a pull");
+    assert_eq!(w1.len(), 2, "rt1 prober missed a pull");
+
+    // Scoping: each runtime sees its own bare counters and nothing of
+    // its neighbour (or of the unscoped federation metrics).
+    let (_, rt0_window) = &w0[1];
+    let (_, rt1_window) = &w1[1];
+    assert!(
+        rt0_window.counters.contains_key("outputs"),
+        "rt0 window lacks its own traffic: {:?}",
+        rt0_window.counters.keys().collect::<Vec<_>>()
+    );
+    assert!(rt1_window.counters.contains_key("frames_decoded"));
+    for w in [rt0_window, rt1_window] {
+        assert!(w.counters.keys().all(|k| !k.contains("rt0.")));
+        assert!(w.counters.keys().all(|k| !k.contains("rt1.")));
+        assert!(!w.counters.contains_key("events_processed"));
+    }
+
+    // Liveness: the second pull sees a later sampler position and more
+    // accumulated traffic than the first — the windows are live views,
+    // not one frozen snapshot.
+    assert!(w0[1].1.last_sample_ns > w0[0].1.last_sample_ns);
+    assert!(w0[1].1.samples > w0[0].1.samples);
+    let outputs =
+        |w: &umiddle::simnet::TelemetryWindow| w.counters.get("outputs").map_or(0, |c| c.total);
+    assert!(
+        outputs(&w0[1].1) > outputs(&w0[0].1),
+        "second window saw no new outputs"
+    );
+
+    // Determinism: the full interleaving replays byte-identically.
+    let (again0, again1) = run(4242);
+    let json = |ws: &[(u64, umiddle::simnet::TelemetryWindow)]| {
+        ws.iter()
+            .map(|(t, w)| format!("{t}:{}", w.to_json()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(json(&w0), json(&again0.borrow()));
+    assert_eq!(json(&w1), json(&again1.borrow()));
+}
