@@ -1,64 +1,162 @@
 #!/usr/bin/env bash
-# The full CI gate, runnable locally: `./ci.sh`.
+# The CI gate, runnable locally: `./ci.sh [stage]`.
+#
+# Stages (each is one named job in .github/workflows/ci.yml, so a red
+# X pinpoints the broken gate without re-running the others):
+#
+#   lint          rustfmt, clippy -D warnings, BENCH_*.json record lint
+#   build-test    release build + full workspace test suite
+#   determinism   double-run byte-diff gates (E8 trace, E10 doctor)
+#   perf          perf_payload + perf_sched regression checks
+#   all           every stage in order (the default; what `./ci.sh` runs)
 #
 # Every cargo invocation is --offline: the build is hermetic by policy
 # (no registry access; see README.md "Offline, hermetic builds"). If a
 # step fails here, it fails in CI, and vice versa.
+#
+# Perf-gate knobs, forwarded to `perf_sched --check` (see the flag docs
+# in crates/bench/src/bin/perf_sched.rs):
+#
+#   PERF_FLOOR_EVPS      events/sec floor at N=1000   (default 50000)
+#   PERF_P99_BUDGET_US   p99 dispatch budget in µs    (default 200)
+#
+# e.g. `PERF_P99_BUDGET_US=500 ./ci.sh perf` on a heavily shared box.
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
-run() {
+STAGE="${1:-all}"
+
+: "${PERF_FLOOR_EVPS:=50000}"
+: "${PERF_P99_BUDGET_US:=200}"
+
+# --- gate bookkeeping -------------------------------------------------
+# Every gate records its wall time; the summary table prints on exit,
+# also after a failure, so slow gates are visible either way.
+
+GATE_NAMES=()
+GATE_SECS=()
+
+print_timing_summary() {
+    local n=${#GATE_NAMES[@]}
+    if ((n == 0)); then
+        return
+    fi
     echo
-    echo "==> $*"
+    echo "gate wall-time summary"
+    local i
+    for ((i = 0; i < n; i++)); do
+        printf '  %-28s %4ss\n' "${GATE_NAMES[$i]}" "${GATE_SECS[$i]}"
+    done
+}
+trap print_timing_summary EXIT
+
+# gate <name> <command...> — run one named gate, recording wall time.
+gate() {
+    local name="$1"
+    shift
+    echo
+    echo "==> [$name] $*"
+    local t0=$SECONDS
     "$@"
+    GATE_NAMES+=("$name")
+    GATE_SECS+=($((SECONDS - t0)))
 }
 
-run cargo fmt --all --check
-run cargo clippy --offline --workspace --all-targets -- -D warnings
-run cargo build --offline --release
-run cargo test --offline -q
-# Data-path micro-bench smoke: exercises the bench kernels once and the
-# deterministic decode-linearity regression, without timing anything.
-run cargo run --offline --release -p bench --bin perf_payload -- --check
+# run_determinism_gate <name> <bin> <args...> — run a bench export
+# binary twice with identical arguments and byte-diff every artifact.
+# Occurrences of @OUT in the args are substituted with the per-run
+# output prefix (target/<name>-gate/a, then .../b); each substituted
+# path is an artifact that must come out byte-identical.
+run_determinism_gate() {
+    local name="$1" bin="$2"
+    shift 2
+    local dir="target/${name}-gate"
+    mkdir -p "$dir"
+    local a_args=() b_args=() a_files=() b_files=() arg
+    for arg in "$@"; do
+        if [[ "$arg" == *@OUT* ]]; then
+            a_args+=("${arg//@OUT/$dir/a}")
+            b_args+=("${arg//@OUT/$dir/b}")
+            a_files+=("${arg//@OUT/$dir/a}")
+            b_files+=("${arg//@OUT/$dir/b}")
+        else
+            a_args+=("$arg")
+            b_args+=("$arg")
+        fi
+    done
+    cargo run --offline --release -p bench --bin "$bin" -- "${a_args[@]}"
+    cargo run --offline --release -p bench --bin "$bin" -- "${b_args[@]}"
+    local i
+    for i in "${!a_files[@]}"; do
+        diff "${a_files[$i]}" "${b_files[$i]}"
+        echo "    byte-identical: ${a_files[$i]}"
+    done
+}
 
-# Trace determinism gate: the E8 observability run must export
-# byte-identical artifacts — metrics snapshot, Perfetto trace, folded
-# flamegraph stacks — across two fresh runs of the same seed.
-mkdir -p target/trace-gate
-run cargo run --offline --release -p bench --bin trace_export -- \
-    --json target/trace-gate/a.metrics.json \
-    --perfetto target/trace-gate/a.perfetto.json \
-    --folded target/trace-gate/a.folded
-run cargo run --offline --release -p bench --bin trace_export -- \
-    --json target/trace-gate/b.metrics.json \
-    --perfetto target/trace-gate/b.perfetto.json \
-    --folded target/trace-gate/b.folded
-run diff target/trace-gate/a.metrics.json target/trace-gate/b.metrics.json
-run diff target/trace-gate/a.perfetto.json target/trace-gate/b.perfetto.json
-run diff target/trace-gate/a.folded target/trace-gate/b.folded
+# --- stages -----------------------------------------------------------
 
-# Telemetry determinism gate: the E10 fault-injection run must export a
-# byte-identical doctor health report (JSON) and OpenMetrics exposition
-# across two fresh runs of the same seed — the windowed sampler, the SLO
-# burn-rate engine and the doctor are all on the deterministic path.
-mkdir -p target/doctor-gate
-run cargo run --offline --release -p bench --bin doctor_export -- \
-    --doctor target/doctor-gate/a.doctor.json \
-    --openmetrics target/doctor-gate/a.metrics.om
-run cargo run --offline --release -p bench --bin doctor_export -- \
-    --doctor target/doctor-gate/b.doctor.json \
-    --openmetrics target/doctor-gate/b.metrics.om
-run diff target/doctor-gate/a.doctor.json target/doctor-gate/b.doctor.json
-run diff target/doctor-gate/a.metrics.om target/doctor-gate/b.metrics.om
+stage_lint() {
+    gate fmt cargo fmt --all --check
+    gate clippy cargo clippy --offline --workspace --all-targets -- -D warnings
+    # Committed BENCH_*.json records must parse and carry the
+    # name/before/after/units convention.
+    gate bench-lint cargo run --offline --release -p bench --bin bench_lint -- .
+}
 
-# Scheduler scaling gate: the timer-wheel kernel must stay competitive
-# with the reference heap, the E9 federation must clear an events/sec
-# floor at N=1000, per-event cost must stay near-linear from 100 to
-# 1000 devices, and the telemetry sampler must stay under its overhead
-# budget. Catches scheduler and dispatch-path regressions that unit
-# tests cannot see.
-run cargo run --offline --release -p bench --bin perf_sched -- --check
+stage_build_test() {
+    gate build cargo build --offline --release
+    gate test cargo test --offline --workspace -q
+}
+
+stage_determinism() {
+    # E8 trace gate: the observability run must export byte-identical
+    # artifacts — metrics snapshot, Perfetto trace, folded flamegraph
+    # stacks — across two fresh runs of the same seed. With the batch
+    # plane on by default, this doubles as the proof that batched
+    # dispatch changes no observable ordering or timing.
+    gate trace-determinism run_determinism_gate trace trace_export \
+        --json @OUT.metrics.json \
+        --perfetto @OUT.perfetto.json \
+        --folded @OUT.folded
+    # E10 doctor gate: the fault-injection run must export a
+    # byte-identical doctor health report (JSON) and OpenMetrics
+    # exposition — the windowed sampler, the SLO burn-rate engine and
+    # the doctor are all on the deterministic path.
+    gate doctor-determinism run_determinism_gate doctor doctor_export \
+        --doctor @OUT.doctor.json \
+        --openmetrics @OUT.metrics.om
+}
+
+stage_perf() {
+    # Data-path micro-bench smoke: exercises the bench kernels once and
+    # the deterministic decode-linearity regression, without timing
+    # anything.
+    gate perf-payload cargo run --offline --release -p bench --bin perf_payload -- --check
+    # Scheduler gates: timer-wheel kernel vs reference heap, E9
+    # events/sec floor and near-linearity, p99 dispatch budget, E9b
+    # batched-vs-unbatched speedup floor, telemetry sampler overhead
+    # ceiling. Knobs come from PERF_FLOOR_EVPS / PERF_P99_BUDGET_US.
+    gate perf-sched cargo run --offline --release -p bench --bin perf_sched -- \
+        --check --floor-evps "$PERF_FLOOR_EVPS" --p99-budget-us "$PERF_P99_BUDGET_US"
+}
+
+case "$STAGE" in
+lint) stage_lint ;;
+build-test) stage_build_test ;;
+determinism) stage_determinism ;;
+perf) stage_perf ;;
+all)
+    stage_lint
+    stage_build_test
+    stage_determinism
+    stage_perf
+    ;;
+*)
+    echo "usage: ./ci.sh [lint|build-test|determinism|perf|all]" >&2
+    exit 2
+    ;;
+esac
 
 echo
-echo "ci.sh: all green"
+echo "ci.sh: stage '$STAGE' green"

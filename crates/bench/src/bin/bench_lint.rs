@@ -1,0 +1,417 @@
+//! Lints the committed `BENCH_*.json` records at the repository root.
+//!
+//! Every benchmark record must parse as JSON and carry the four keys
+//! the before/after convention requires — `name`, `before`, `after`,
+//! `units` — so a reader (or a future regression gate) can always tell
+//! what was measured, in what unit, and what it is being compared
+//! against. Run by the CI lint stage (`./ci.sh lint`); exits non-zero
+//! listing every malformed record.
+//!
+//! The parser is a minimal recursive-descent JSON reader written here
+//! on purpose: the workspace builds offline with no serde dependency,
+//! and the linter only needs well-formedness plus top-level key
+//! extraction.
+
+use std::fmt;
+
+/// A parsed JSON value; only the shape the linter needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, kept as text (the linter never does arithmetic).
+    Number(String),
+    /// A string literal, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key of an object; `None` for non-objects.
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug)]
+struct ParseError {
+    at: usize,
+    msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.at, self.msg)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {lit}")))
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing content after JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates only appear in pairs; the linter
+                            // doesn't need them, so reject rather than
+                            // mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy the full UTF-8 sequence starting here.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| b & 0b1100_0000 == 0b1000_0000)
+                    {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(self.err("number has no digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(self.err("number has no fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(self.err("number has no exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        Ok(Json::Number(text.to_owned()))
+    }
+}
+
+/// Keys every benchmark record must carry at the top level.
+const REQUIRED_KEYS: [&str; 4] = ["name", "before", "after", "units"];
+
+/// Validates one record's content; returns every problem found.
+fn lint_record(text: &str) -> Vec<String> {
+    let doc = match Parser::new(text).parse_document() {
+        Ok(doc) => doc,
+        Err(e) => return vec![format!("does not parse as JSON ({e})")],
+    };
+    if !matches!(doc, Json::Object(_)) {
+        return vec!["top level is not a JSON object".to_owned()];
+    }
+    let mut problems = Vec::new();
+    for key in REQUIRED_KEYS {
+        match doc.get(key) {
+            None => problems.push(format!("missing required key {key:?}")),
+            Some(Json::Null) => problems.push(format!("required key {key:?} is null")),
+            Some(_) => {}
+        }
+    }
+    if let Some(v) = doc.get("name") {
+        if !matches!(v, Json::String(s) if !s.is_empty()) {
+            problems.push("key \"name\" must be a non-empty string".to_owned());
+        }
+    }
+    problems
+}
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    let mut records: Vec<std::path::PathBuf> = std::fs::read_dir(&root)
+        .unwrap_or_else(|e| panic!("cannot read {root}: {e}"))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    records.sort();
+    if records.is_empty() {
+        eprintln!("bench_lint: no BENCH_*.json records found under {root}");
+        std::process::exit(1);
+    }
+
+    let mut failures = 0usize;
+    for path in &records {
+        let display = path.display();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_lint: {display}: unreadable ({e})");
+                failures += 1;
+                continue;
+            }
+        };
+        let problems = lint_record(&text);
+        if problems.is_empty() {
+            println!("bench_lint: {display}: ok");
+        } else {
+            for p in &problems {
+                eprintln!("bench_lint: {display}: {p}");
+            }
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_lint: {failures} of {} record(s) malformed",
+            records.len()
+        );
+        std::process::exit(1);
+    }
+    println!("bench_lint: {} record(s) ok", records.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = Parser::new(
+            r#"{"name": "x", "units": {"t": "ns"}, "before": [1, 2.5, -3e2], "after": {"a": null, "b": [true, false, "qA\n"]}}"#,
+        )
+        .parse_document()
+        .expect("valid json");
+        assert_eq!(doc.get("name"), Some(&Json::String("x".to_owned())));
+        let Some(Json::Array(before)) = doc.get("before") else {
+            panic!("before is an array");
+        };
+        assert_eq!(before.len(), 3);
+        let after = doc.get("after").expect("after present");
+        assert_eq!(after.get("a"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "{\"a\": 01x}",
+            "\"unterminated",
+            "{\"a\": 1} trailing",
+        ] {
+            assert!(
+                Parser::new(bad).parse_document().is_err(),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lint_requires_all_keys() {
+        let ok = r#"{"name": "n", "units": "ns", "before": 1, "after": 2}"#;
+        assert!(lint_record(ok).is_empty());
+        let missing = r#"{"name": "n", "before": 1, "after": 2}"#;
+        assert_eq!(
+            lint_record(missing),
+            vec!["missing required key \"units\"".to_owned()]
+        );
+        let null_key = r#"{"name": "n", "units": null, "before": 1, "after": 2}"#;
+        assert_eq!(
+            lint_record(null_key),
+            vec!["required key \"units\" is null".to_owned()]
+        );
+        let bad_name = r#"{"name": "", "units": "ns", "before": 1, "after": 2}"#;
+        assert_eq!(
+            lint_record(bad_name),
+            vec!["key \"name\" must be a non-empty string".to_owned()]
+        );
+    }
+}

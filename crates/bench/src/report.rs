@@ -287,3 +287,24 @@ pub fn render_e9(rows: &[SchedScaleRow]) -> String {
     }
     out
 }
+
+/// Renders the E9b batched-vs-unbatched dispatch A/B table.
+pub fn render_e9b(rows: &[BatchAbRow]) -> String {
+    let mut out = hr("E9b — dispatch batch plane A/B: unbatched vs adaptive");
+    out.push_str(&format!(
+        "{:>10} {:>16} {:>16} {:>9} {:>14} {:>14}\n",
+        "devices", "unbatched ev/s", "batched ev/s", "speedup", "un p99 ns", "ba p99 ns"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>16.0} {:>16.0} {:>8.2}x {:>14} {:>14}\n",
+            r.devices,
+            r.unbatched_events_per_sec,
+            r.batched_events_per_sec,
+            r.speedup,
+            r.unbatched_p99_dispatch_ns,
+            r.batched_p99_dispatch_ns
+        ));
+    }
+    out
+}

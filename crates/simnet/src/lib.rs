@@ -100,4 +100,4 @@ pub use trace::{
     Histogram, Metrics, MetricsSnapshot, SegmentStats, SpanId, SpanRecord, Trace, TraceEvent,
 };
 pub use wheel::{ReferenceHeap, TimerWheel};
-pub use world::World;
+pub use world::{BatchPolicy, World};

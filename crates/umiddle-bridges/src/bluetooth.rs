@@ -22,7 +22,7 @@ use simnet::{
 };
 use umiddle_core::{
     ack_input_done, handle_input_done_echo, ConnectionId, MimeType, RuntimeClient, RuntimeEvent,
-    TranslatorId, UMessage,
+    Symbol, TranslatorId, UMessage,
 };
 use umiddle_usdl::{UsdlDocument, UsdlLibrary};
 
@@ -286,64 +286,80 @@ impl BluetoothMapper {
                 port,
                 msg,
                 connection,
-            } => {
-                let Some((node, profile)) = self.by_translator.get(&translator).cloned() else {
-                    return;
-                };
-                let Some(svc) = self
-                    .devices
-                    .get(&node)
-                    .and_then(|d| d.services.iter().find(|s| s.profile == profile))
-                else {
-                    return;
-                };
-                ctx.busy(calib::CONTROL_TRANSLATION);
-                crate::obs::record_hop(
-                    ctx,
-                    "bluetooth",
-                    connection,
-                    &port,
-                    calib::CONTROL_TRANSLATION,
-                );
-                match (profile.as_str(), port.as_str()) {
-                    ("bip-camera", "capture") => {
-                        if let Ok(stream) = ctx.connect(Addr::new(node, svc.psm)) {
-                            self.obex_ops.insert(
-                                stream,
-                                ObexOp::Shutter {
-                                    translator,
-                                    connection,
-                                    acc: ObexAccumulator::new(),
-                                    pulling: None,
-                                    started: ctx.now(),
-                                },
-                            );
-                        }
-                    }
-                    ("bip-printer", "image-in") => {
-                        let packets: Vec<Payload> =
-                            image_push_packets("photo.jpg", msg.body_payload())
-                                .iter()
-                                .map(ObexPacket::encode)
-                                .collect();
-                        if let Ok(stream) = ctx.connect(Addr::new(node, svc.psm)) {
-                            self.obex_ops.insert(
-                                stream,
-                                ObexOp::Push {
-                                    translator,
-                                    connection,
-                                    packets,
-                                    acc: ObexAccumulator::new(),
-                                },
-                            );
-                        }
-                    }
-                    _ => {
-                        ack_input_done(ctx, self.runtime, connection, translator);
-                    }
+            } => self.handle_input(ctx, translator, port, msg, connection),
+            RuntimeEvent::InputBatch { inputs } => {
+                for d in inputs {
+                    self.handle_input(ctx, d.translator, d.port, d.msg, d.connection);
                 }
             }
             _ => {}
+        }
+    }
+
+    /// Translates one delivered input into the matching OBEX operation —
+    /// called once per [`RuntimeEvent::Input`] and once per element of
+    /// an [`RuntimeEvent::InputBatch`].
+    fn handle_input(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        translator: TranslatorId,
+        port: Symbol,
+        msg: UMessage,
+        connection: ConnectionId,
+    ) {
+        let Some((node, profile)) = self.by_translator.get(&translator).cloned() else {
+            return;
+        };
+        let Some(svc) = self
+            .devices
+            .get(&node)
+            .and_then(|d| d.services.iter().find(|s| s.profile == profile))
+        else {
+            return;
+        };
+        ctx.busy(calib::CONTROL_TRANSLATION);
+        crate::obs::record_hop(
+            ctx,
+            "bluetooth",
+            connection,
+            &port,
+            calib::CONTROL_TRANSLATION,
+        );
+        match (profile.as_str(), port.as_str()) {
+            ("bip-camera", "capture") => {
+                if let Ok(stream) = ctx.connect(Addr::new(node, svc.psm)) {
+                    self.obex_ops.insert(
+                        stream,
+                        ObexOp::Shutter {
+                            translator,
+                            connection,
+                            acc: ObexAccumulator::new(),
+                            pulling: None,
+                            started: ctx.now(),
+                        },
+                    );
+                }
+            }
+            ("bip-printer", "image-in") => {
+                let packets: Vec<Payload> = image_push_packets("photo.jpg", msg.body_payload())
+                    .iter()
+                    .map(ObexPacket::encode)
+                    .collect();
+                if let Ok(stream) = ctx.connect(Addr::new(node, svc.psm)) {
+                    self.obex_ops.insert(
+                        stream,
+                        ObexOp::Push {
+                            translator,
+                            connection,
+                            packets,
+                            acc: ObexAccumulator::new(),
+                        },
+                    );
+                }
+            }
+            _ => {
+                ack_input_done(ctx, self.runtime, connection, translator);
+            }
         }
     }
 

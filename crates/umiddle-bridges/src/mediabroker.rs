@@ -17,8 +17,8 @@ use simnet::{
     Addr, Ctx, LocalMessage, ProcId, Process, SimDuration, SimTime, StreamEvent, StreamId,
 };
 use umiddle_core::{
-    ack_input_done, handle_input_done_echo, MimeType, RuntimeClient, RuntimeEvent, TranslatorId,
-    UMessage,
+    ack_input_done, handle_input_done_echo, ConnectionId, MimeType, RuntimeClient, RuntimeEvent,
+    Symbol, TranslatorId, UMessage,
 };
 use umiddle_usdl::UsdlLibrary;
 
@@ -233,36 +233,53 @@ impl MediaBrokerMapper {
                 port,
                 msg,
                 connection,
-            } => {
-                let Some(&idx) = self.by_translator.get(&translator) else {
-                    return;
-                };
-                let Some(b) = self.bridged.get(idx) else {
-                    return;
-                };
-                if b.role != Role::Sink || port != "media-in" {
-                    ack_input_done(ctx, self.runtime, connection, translator);
-                    return;
+            } => self.handle_input(ctx, translator, port, msg, connection),
+            RuntimeEvent::InputBatch { inputs } => {
+                for d in inputs {
+                    self.handle_input(ctx, d.translator, d.port, d.msg, d.connection);
                 }
-                ctx.busy(calib::MB_FRAME_TRANSLATION);
-                crate::obs::record_hop(
-                    ctx,
-                    "mediabroker",
-                    connection,
-                    &port,
-                    calib::MB_FRAME_TRANSLATION,
-                );
-                if let (Some(stream), true) = (b.stream, b.attached) {
-                    let frame = MbFrame::Data {
-                        payload: msg.into_body(),
-                    };
-                    let _ = ctx.stream_send(stream, frame.encode_framed());
-                    self.stats.borrow_mut().actions += 1;
-                }
-                ack_input_done(ctx, self.runtime, connection, translator);
             }
             _ => {}
         }
+    }
+
+    /// Translates one delivered input into a MediaBroker data frame —
+    /// called once per [`RuntimeEvent::Input`] and once per element of
+    /// an [`RuntimeEvent::InputBatch`].
+    fn handle_input(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        translator: TranslatorId,
+        port: Symbol,
+        msg: UMessage,
+        connection: ConnectionId,
+    ) {
+        let Some(&idx) = self.by_translator.get(&translator) else {
+            return;
+        };
+        let Some(b) = self.bridged.get(idx) else {
+            return;
+        };
+        if b.role != Role::Sink || port != "media-in" {
+            ack_input_done(ctx, self.runtime, connection, translator);
+            return;
+        }
+        ctx.busy(calib::MB_FRAME_TRANSLATION);
+        crate::obs::record_hop(
+            ctx,
+            "mediabroker",
+            connection,
+            &port,
+            calib::MB_FRAME_TRANSLATION,
+        );
+        if let (Some(stream), true) = (b.stream, b.attached) {
+            let frame = MbFrame::Data {
+                payload: msg.into_body(),
+            };
+            let _ = ctx.stream_send(stream, frame.encode_framed());
+            self.stats.borrow_mut().actions += 1;
+        }
+        ack_input_done(ctx, self.runtime, connection, translator);
     }
 }
 

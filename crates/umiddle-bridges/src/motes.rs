@@ -14,7 +14,8 @@ use std::rc::Rc;
 use platform_motes::{BaseStationCommand, BaseStationEvent};
 use simnet::{Ctx, LocalMessage, ProcId, Process, SimDuration, SimTime};
 use umiddle_core::{
-    ack_input_done, handle_input_done_echo, RuntimeClient, RuntimeEvent, TranslatorId, UMessage,
+    ack_input_done, handle_input_done_echo, ConnectionId, RuntimeClient, RuntimeEvent, Symbol,
+    TranslatorId, UMessage,
 };
 use umiddle_usdl::UsdlLibrary;
 
@@ -139,28 +140,39 @@ impl MotesMapper {
                 port,
                 msg,
                 connection,
-            } => {
-                if port == "sampling" {
-                    if let (Some(bs), Some(millis)) = (
-                        self.base_station,
-                        msg.body_text().and_then(|t| t.parse::<u16>().ok()),
-                    ) {
-                        ctx.busy(calib::CONTROL_TRANSLATION);
-                        crate::obs::record_hop(
-                            ctx,
-                            "motes",
-                            connection,
-                            &port,
-                            calib::CONTROL_TRANSLATION,
-                        );
-                        ctx.send_local(bs, BaseStationCommand::SetSamplingInterval { millis });
-                        self.stats.borrow_mut().actions += 1;
-                    }
+            } => self.handle_input(ctx, translator, port, msg, connection),
+            RuntimeEvent::InputBatch { inputs } => {
+                for d in inputs {
+                    self.handle_input(ctx, d.translator, d.port, d.msg, d.connection);
                 }
-                ack_input_done(ctx, self.runtime, connection, translator);
             }
             _ => {}
         }
+    }
+
+    /// Translates one delivered input into a base-station command —
+    /// called once per [`RuntimeEvent::Input`] and once per element of
+    /// an [`RuntimeEvent::InputBatch`].
+    fn handle_input(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        translator: TranslatorId,
+        port: Symbol,
+        msg: UMessage,
+        connection: ConnectionId,
+    ) {
+        if port == "sampling" {
+            if let (Some(bs), Some(millis)) = (
+                self.base_station,
+                msg.body_text().and_then(|t| t.parse::<u16>().ok()),
+            ) {
+                ctx.busy(calib::CONTROL_TRANSLATION);
+                crate::obs::record_hop(ctx, "motes", connection, &port, calib::CONTROL_TRANSLATION);
+                ctx.send_local(bs, BaseStationCommand::SetSamplingInterval { millis });
+                self.stats.borrow_mut().actions += 1;
+            }
+        }
+        ack_input_done(ctx, self.runtime, connection, translator);
     }
 }
 

@@ -10,8 +10,8 @@
 
 use simnet::{Ctx, LocalMessage, ProcId, Process, SimDuration};
 use umiddle_core::{
-    ack_input_done, handle_input_done_echo, RuntimeClient, RuntimeEvent, RuntimeId, Shape,
-    TranslatorId, TranslatorProfile, UMessage,
+    ack_input_done, handle_input_done_echo, ConnectionId, RuntimeClient, RuntimeEvent, RuntimeId,
+    Shape, Symbol, TranslatorId, TranslatorProfile, UMessage,
 };
 
 /// The environment a behavior acts through.
@@ -180,27 +180,46 @@ impl Process for NativeService {
                 port,
                 msg,
                 connection,
-            } => {
-                // Structured span around the behaviour callback: ends
-                // at the service's emit time, so CPU the behaviour
-                // models with busy() lands inside the span.
-                let span = ctx.span_begin(
-                    connection.corr(),
-                    "bridge.native.input",
-                    format!("port={port}"),
-                );
-                let client = self.client.as_ref().expect("client set");
-                let mut env = NativeEnv {
-                    ctx,
-                    client,
-                    translator: self.translator,
-                };
-                self.behavior.on_input(&mut env, &port, msg);
-                ctx.span_end(span);
-                ack_input_done(ctx, self.runtime, connection, translator);
+            } => self.handle_input(ctx, translator, port, msg, connection),
+            RuntimeEvent::InputBatch { inputs } => {
+                for d in inputs {
+                    self.handle_input(ctx, d.translator, d.port, d.msg, d.connection);
+                }
             }
             _ => {}
         }
+    }
+}
+
+impl NativeService {
+    /// Runs the behaviour callback for one delivered input — called
+    /// once per [`RuntimeEvent::Input`] and once per element of an
+    /// [`RuntimeEvent::InputBatch`].
+    fn handle_input(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        translator: TranslatorId,
+        port: Symbol,
+        msg: UMessage,
+        connection: ConnectionId,
+    ) {
+        // Structured span around the behaviour callback: ends
+        // at the service's emit time, so CPU the behaviour
+        // models with busy() lands inside the span.
+        let span = ctx.span_begin(
+            connection.corr(),
+            "bridge.native.input",
+            format!("port={port}"),
+        );
+        let client = self.client.as_ref().expect("client set");
+        let mut env = NativeEnv {
+            ctx,
+            client,
+            translator: self.translator,
+        };
+        self.behavior.on_input(&mut env, &port, msg);
+        ctx.span_end(span);
+        ack_input_done(ctx, self.runtime, connection, translator);
     }
 }
 

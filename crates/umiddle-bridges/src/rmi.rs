@@ -17,7 +17,7 @@ use simnet::{
 };
 use umiddle_core::{
     ack_input_done, handle_input_done_echo, ConnectionId, MimeType, RuntimeClient, RuntimeEvent,
-    TranslatorId, UMessage,
+    Symbol, TranslatorId, UMessage,
 };
 use umiddle_usdl::UsdlLibrary;
 
@@ -204,44 +204,61 @@ impl RmiMapper {
                 port,
                 msg,
                 connection,
-            } => {
-                if port != "request" {
-                    ack_input_done(ctx, self.runtime, connection, translator);
-                    return;
+            } => self.handle_input(ctx, translator, port, msg, connection),
+            RuntimeEvent::InputBatch { inputs } => {
+                for d in inputs {
+                    self.handle_input(ctx, d.translator, d.port, d.msg, d.connection);
                 }
-                let Some(&idx) = self.by_translator.get(&translator) else {
-                    return;
-                };
-                let Some(obj) = self.objects.get(idx) else {
-                    return;
-                };
-                let Some(addr) = obj.addr else {
-                    ack_input_done(ctx, self.runtime, connection, translator);
-                    return;
-                };
-                ctx.busy(calib::STREAM_TRANSLATION);
-                crate::obs::record_hop(ctx, "rmi", connection, &port, calib::STREAM_TRANSLATION);
-                let call_id = self.next_call;
-                self.next_call += 1;
-                self.calls.insert(
-                    call_id,
-                    RmiCall::Invoke {
-                        translator,
-                        connection,
-                    },
-                );
-                let name = obj.name.clone();
-                self.rmi.call(
-                    ctx,
-                    addr,
-                    &name,
-                    "echo",
-                    vec![JavaValue::Bytes(msg.into_body())],
-                    call_id,
-                );
             }
             _ => {}
         }
+    }
+
+    /// Translates one delivered input into a remote `echo` invocation —
+    /// called once per [`RuntimeEvent::Input`] and once per element of
+    /// an [`RuntimeEvent::InputBatch`].
+    fn handle_input(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        translator: TranslatorId,
+        port: Symbol,
+        msg: UMessage,
+        connection: ConnectionId,
+    ) {
+        if port != "request" {
+            ack_input_done(ctx, self.runtime, connection, translator);
+            return;
+        }
+        let Some(&idx) = self.by_translator.get(&translator) else {
+            return;
+        };
+        let Some(obj) = self.objects.get(idx) else {
+            return;
+        };
+        let Some(addr) = obj.addr else {
+            ack_input_done(ctx, self.runtime, connection, translator);
+            return;
+        };
+        ctx.busy(calib::STREAM_TRANSLATION);
+        crate::obs::record_hop(ctx, "rmi", connection, &port, calib::STREAM_TRANSLATION);
+        let call_id = self.next_call;
+        self.next_call += 1;
+        self.calls.insert(
+            call_id,
+            RmiCall::Invoke {
+                translator,
+                connection,
+            },
+        );
+        let name = obj.name.clone();
+        self.rmi.call(
+            ctx,
+            addr,
+            &name,
+            "echo",
+            vec![JavaValue::Bytes(msg.into_body())],
+            call_id,
+        );
     }
 }
 

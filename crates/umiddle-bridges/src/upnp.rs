@@ -18,7 +18,7 @@ use simnet::{
     Addr, Ctx, Datagram, LocalMessage, ProcId, Process, SimDuration, SimTime, StreamEvent, StreamId,
 };
 use umiddle_core::{
-    ack_input_done, handle_input_done_echo, ConnectionId, RuntimeClient, RuntimeEvent,
+    ack_input_done, handle_input_done_echo, ConnectionId, RuntimeClient, RuntimeEvent, Symbol,
     TranslatorId, UMessage,
 };
 use umiddle_usdl::{UsdlDocument, UsdlLibrary};
@@ -282,68 +282,85 @@ impl UpnpMapper {
                 port,
                 msg,
                 connection,
-            } => {
-                let Some(usn) = self.by_translator.get(&translator) else {
-                    return;
-                };
-                let Some(dev) = self.devices.get(usn) else {
-                    return;
-                };
-                let Some(usdl_port) = dev.doc.port(&port) else {
-                    return;
-                };
-                let Some(binding) = usdl_port
-                    .bindings
-                    .iter()
-                    .find(|b| b.get("action").is_some())
-                else {
-                    // No action binding: nothing to invoke.
-                    ack_input_done(ctx, self.runtime, connection, translator);
-                    return;
-                };
-                let service = binding.get("service").unwrap_or_default().to_owned();
-                let action = binding.get("action").expect("filtered").to_owned();
-                // Fixed value (e.g. SetPower=1) or the message body.
-                let value = binding
-                    .get("value")
-                    .map(str::to_owned)
-                    .or_else(|| msg.body_text().map(str::to_owned))
-                    .unwrap_or_default();
-                let mut call = SoapCall::new(&service, &action);
-                if let Some(argument) = binding.get("argument") {
-                    call = call.with_arg(argument, value);
+            } => self.handle_input(ctx, translator, port, msg, connection),
+            RuntimeEvent::InputBatch { inputs } => {
+                for d in inputs {
+                    self.handle_input(ctx, d.translator, d.port, d.msg, d.connection);
                 }
-                // The uMiddle share of the paper's 160 ms SetPower round
-                // trip: translating the control request to an action
-                // object. The invoke is deferred through a self-echo so
-                // the translation time actually precedes the native call.
-                ctx.busy(calib::CONTROL_TRANSLATION);
-                crate::obs::record_hop(ctx, "upnp", connection, &port, calib::CONTROL_TRANSLATION);
-                let call_id = self.next_call;
-                self.next_call += 1;
-                let location = dev.location;
-                // Native-side span: open until the SOAP ActionResult
-                // comes back, so the critical path separates uMiddle
-                // translation from time spent inside the UPnP device.
-                let native_span = ctx.span_begin(
-                    connection.corr(),
-                    "bridge.upnp.native",
-                    format!("action={action}"),
-                );
-                self.pending_calls
-                    .insert(call_id, (connection, translator, ctx.now(), native_span));
-                let me = ctx.me();
-                ctx.send_local(
-                    me,
-                    PendingInvoke {
-                        location,
-                        call,
-                        call_id,
-                    },
-                );
             }
             _ => {}
         }
+    }
+
+    /// Translates one delivered input into a SOAP action invoke —
+    /// called once per [`RuntimeEvent::Input`] and once per element of
+    /// an [`RuntimeEvent::InputBatch`].
+    fn handle_input(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        translator: TranslatorId,
+        port: Symbol,
+        msg: UMessage,
+        connection: ConnectionId,
+    ) {
+        let Some(usn) = self.by_translator.get(&translator) else {
+            return;
+        };
+        let Some(dev) = self.devices.get(usn) else {
+            return;
+        };
+        let Some(usdl_port) = dev.doc.port(&port) else {
+            return;
+        };
+        let Some(binding) = usdl_port
+            .bindings
+            .iter()
+            .find(|b| b.get("action").is_some())
+        else {
+            // No action binding: nothing to invoke.
+            ack_input_done(ctx, self.runtime, connection, translator);
+            return;
+        };
+        let service = binding.get("service").unwrap_or_default().to_owned();
+        let action = binding.get("action").expect("filtered").to_owned();
+        // Fixed value (e.g. SetPower=1) or the message body.
+        let value = binding
+            .get("value")
+            .map(str::to_owned)
+            .or_else(|| msg.body_text().map(str::to_owned))
+            .unwrap_or_default();
+        let mut call = SoapCall::new(&service, &action);
+        if let Some(argument) = binding.get("argument") {
+            call = call.with_arg(argument, value);
+        }
+        // The uMiddle share of the paper's 160 ms SetPower round
+        // trip: translating the control request to an action
+        // object. The invoke is deferred through a self-echo so
+        // the translation time actually precedes the native call.
+        ctx.busy(calib::CONTROL_TRANSLATION);
+        crate::obs::record_hop(ctx, "upnp", connection, &port, calib::CONTROL_TRANSLATION);
+        let call_id = self.next_call;
+        self.next_call += 1;
+        let location = dev.location;
+        // Native-side span: open until the SOAP ActionResult
+        // comes back, so the critical path separates uMiddle
+        // translation from time spent inside the UPnP device.
+        let native_span = ctx.span_begin(
+            connection.corr(),
+            "bridge.upnp.native",
+            format!("action={action}"),
+        );
+        self.pending_calls
+            .insert(call_id, (connection, translator, ctx.now(), native_span));
+        let me = ctx.me();
+        ctx.send_local(
+            me,
+            PendingInvoke {
+                location,
+                call,
+                call_id,
+            },
+        );
     }
 }
 

@@ -15,7 +15,7 @@ use simnet::{
     Addr, Ctx, LocalMessage, ProcId, Process, SimDuration, SimTime, StreamEvent, StreamId,
 };
 use umiddle_core::{
-    ack_input_done, handle_input_done_echo, ConnectionId, RuntimeClient, RuntimeEvent,
+    ack_input_done, handle_input_done_echo, ConnectionId, RuntimeClient, RuntimeEvent, Symbol,
     TranslatorId, UMessage,
 };
 use umiddle_usdl::{UsdlDocument, UsdlLibrary};
@@ -231,55 +231,72 @@ impl WsMapper {
                 port,
                 msg,
                 connection,
-            } => {
-                let Some(&idx) = self.by_translator.get(&translator) else {
-                    return;
-                };
-                let Some(svc) = self.services.get(idx) else {
-                    return;
-                };
-                let Some(doc) = svc.doc.as_ref() else { return };
-                let Some(usdl_port) = doc.port(&port) else {
-                    ack_input_done(ctx, self.runtime, connection, translator);
-                    return;
-                };
-                let Some(operation) = usdl_port
-                    .bindings
-                    .iter()
-                    .find_map(|b| b.get("operation"))
-                    .map(str::to_owned)
-                else {
-                    ack_input_done(ctx, self.runtime, connection, translator);
-                    return;
-                };
-                ctx.busy(calib::CONTROL_TRANSLATION);
-                crate::obs::record_hop(
-                    ctx,
-                    "webservices",
-                    connection,
-                    &port,
-                    calib::CONTROL_TRANSLATION,
-                );
-                let call_id = self.next_call;
-                self.next_call += 1;
-                self.calls.insert(
-                    call_id,
-                    WsCall::Input {
-                        translator,
-                        connection,
-                    },
-                );
-                let param = msg.body_text().unwrap_or_default().to_owned();
-                let location = svc.location;
-                self.ws.call(
-                    ctx,
-                    location,
-                    &MethodCall::new(&operation, vec![param]),
-                    call_id,
-                );
+            } => self.handle_input(ctx, translator, port, msg, connection),
+            RuntimeEvent::InputBatch { inputs } => {
+                for d in inputs {
+                    self.handle_input(ctx, d.translator, d.port, d.msg, d.connection);
+                }
             }
             _ => {}
         }
+    }
+
+    /// Translates one delivered input into an XML-RPC method call —
+    /// called once per [`RuntimeEvent::Input`] and once per element of
+    /// an [`RuntimeEvent::InputBatch`].
+    fn handle_input(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        translator: TranslatorId,
+        port: Symbol,
+        msg: UMessage,
+        connection: ConnectionId,
+    ) {
+        let Some(&idx) = self.by_translator.get(&translator) else {
+            return;
+        };
+        let Some(svc) = self.services.get(idx) else {
+            return;
+        };
+        let Some(doc) = svc.doc.as_ref() else { return };
+        let Some(usdl_port) = doc.port(&port) else {
+            ack_input_done(ctx, self.runtime, connection, translator);
+            return;
+        };
+        let Some(operation) = usdl_port
+            .bindings
+            .iter()
+            .find_map(|b| b.get("operation"))
+            .map(str::to_owned)
+        else {
+            ack_input_done(ctx, self.runtime, connection, translator);
+            return;
+        };
+        ctx.busy(calib::CONTROL_TRANSLATION);
+        crate::obs::record_hop(
+            ctx,
+            "webservices",
+            connection,
+            &port,
+            calib::CONTROL_TRANSLATION,
+        );
+        let call_id = self.next_call;
+        self.next_call += 1;
+        self.calls.insert(
+            call_id,
+            WsCall::Input {
+                translator,
+                connection,
+            },
+        );
+        let param = msg.body_text().unwrap_or_default().to_owned();
+        let location = svc.location;
+        self.ws.call(
+            ctx,
+            location,
+            &MethodCall::new(&operation, vec![param]),
+            call_id,
+        );
     }
 }
 

@@ -72,8 +72,8 @@ mod shape;
 mod wire;
 
 pub use api::{
-    ack_input_done, handle_input_done_echo, ConnectTarget, DirectoryEvent, InputDoneEcho,
-    RuntimeClient, RuntimeEvent, RuntimeRequest,
+    ack_input_done, handle_input_done_echo, ConnectTarget, DirectoryEvent, InputDelivery,
+    InputDoneEcho, RuntimeClient, RuntimeEvent, RuntimeRequest,
 };
 pub use directory::{DirectoryEntry, DirectoryTable, UpsertEffect};
 pub use error::{CoreError, CoreResult};
@@ -86,4 +86,4 @@ pub use qos::{BufferStats, OverflowPolicy, QosPolicy, RateLimit, TranslationBuff
 pub use query::Query;
 pub use runtime::{RuntimeConfig, RuntimeStats, UmiddleRuntime};
 pub use shape::{Direction, PerceptionType, PortKind, PortSpec, Shape, ShapeBuilder};
-pub use wire::{FrameDecoder, WireMessage, WireTarget};
+pub use wire::{FrameDecoder, FramedBatch, WireMessage, WireTarget};

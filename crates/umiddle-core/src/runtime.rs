@@ -15,7 +15,7 @@ use simnet::{
     Addr, Ctx, Datagram, LocalMessage, ProcId, Process, SimDuration, StreamEvent, StreamId,
 };
 
-use crate::api::{ConnectTarget, DirectoryEvent, RuntimeEvent, RuntimeRequest};
+use crate::api::{ConnectTarget, DirectoryEvent, InputDelivery, RuntimeEvent, RuntimeRequest};
 use crate::directory::{DirectoryTable, UpsertEffect};
 use crate::error::{CoreError, CoreResult};
 use crate::id::{ConnectionId, PortRef, RuntimeId, TranslatorId};
@@ -25,7 +25,7 @@ use crate::profile::TranslatorProfile;
 use crate::qos::{QosPolicy, TranslationBuffer};
 use crate::query::Query;
 use crate::shape::{Direction, PortKind};
-use crate::wire::{FrameDecoder, WireMessage, WireTarget};
+use crate::wire::{FrameDecoder, FramedBatch, WireMessage, WireTarget};
 
 /// Timer token for the periodic advertise/expire tick.
 const TIMER_TICK: u64 = 0;
@@ -202,6 +202,12 @@ pub struct UmiddleRuntime {
     /// Reusable fan-out scratch so steady-state dispatch does not
     /// allocate.
     scratch: Vec<ConnectionId>,
+    /// Reusable scratch for grouping same-wakeup input deliveries (the
+    /// batch plane); taken and restored around each use so the single-
+    /// message path never allocates.
+    input_scratch: Vec<InputDelivery>,
+    /// Reusable scratch for one-pass wire-frame decoding.
+    decode_scratch: Vec<CoreResult<WireMessage>>,
     listeners: Vec<(ProcId, Query)>,
     /// Forwarded connect requests awaiting a reply: wire token →
     /// (local requester, its token).
@@ -238,6 +244,8 @@ impl UmiddleRuntime {
             buffered_total: 0,
             dropped_total: 0,
             scratch: Vec::new(),
+            input_scratch: Vec::new(),
+            decode_scratch: Vec::new(),
             listeners: Vec::new(),
             pending_connects: HashMap::new(),
             peers: HashMap::new(),
@@ -1021,6 +1029,13 @@ impl UmiddleRuntime {
     /// Pushes buffered messages down one path, respecting delivery credit
     /// (local destinations), stream capacity (remote destinations) and the
     /// QoS rate limiter.
+    ///
+    /// Messages that are deliverable at the same instant group up to the
+    /// world's live [`simnet::BatchPolicy`] bound: a local run becomes one
+    /// [`RuntimeEvent::InputBatch`] wakeup for the mapper, a remote run is
+    /// framed in one vectored [`FramedBatch`] pass and sent as a single
+    /// wire payload. With the bound at 1 (batching off or fully shrunk)
+    /// every step below reduces to the pre-batching per-message path.
     fn drain_path(&mut self, ctx: &mut Ctx<'_>, cid: ConnectionId, idx: usize) {
         loop {
             let now = ctx.now();
@@ -1061,47 +1076,65 @@ impl UmiddleRuntime {
                         return;
                     };
                     let uid = path.uid;
-                    let mut msg = {
-                        let conn = self.connections.get_mut(&cid).expect("checked");
-                        let path = conn.paths.get_mut(idx).expect("checked");
-                        let occ_before = path.buffer.occupancy_bytes();
-                        let drop_before = path.buffer.stats().dropped();
-                        let polled = path.buffer.poll(now);
-                        self.buffered_total =
-                            self.buffered_total - occ_before + path.buffer.occupancy_bytes();
-                        self.dropped_total =
-                            self.dropped_total - drop_before + path.buffer.stats().dropped();
-                        match polled {
-                            Ok(Some(m)) => {
+                    let limit = ctx
+                        .dispatch_batch_limit()
+                        .min((credit - path.inflight) as usize)
+                        .max(1);
+                    let mut batch = std::mem::take(&mut self.input_scratch);
+                    debug_assert!(batch.is_empty());
+                    let mut blocked = false;
+                    while batch.len() < limit {
+                        let polled = {
+                            let conn = self.connections.get_mut(&cid).expect("checked");
+                            let path = conn.paths.get_mut(idx).expect("checked");
+                            let occ_before = path.buffer.occupancy_bytes();
+                            let drop_before = path.buffer.stats().dropped();
+                            let polled = path.buffer.poll(now);
+                            self.buffered_total =
+                                self.buffered_total - occ_before + path.buffer.occupancy_bytes();
+                            self.dropped_total =
+                                self.dropped_total - drop_before + path.buffer.stats().dropped();
+                            if let Ok(Some(_)) = &polled {
                                 path.inflight += 1;
-                                m
                             }
-                            Ok(None) => return,
+                            polled
+                        };
+                        match polled {
+                            Ok(Some(mut msg)) => {
+                                self.finish_queue_span(ctx, &mut msg);
+                                self.stats.borrow_mut().local_deliveries += 1;
+                                self.observe_delivery(ctx, cid, &dst, &msg);
+                                batch.push(InputDelivery {
+                                    translator: dst.translator,
+                                    port: dst.port,
+                                    msg,
+                                    connection: cid,
+                                });
+                            }
+                            Ok(None) => {
+                                blocked = true;
+                                break;
+                            }
                             Err(wait) => {
+                                blocked = true;
+                                let conn = self.connections.get_mut(&cid).expect("checked");
+                                let path = conn.paths.get_mut(idx).expect("checked");
                                 if !path.timer_pending {
                                     path.timer_pending = true;
                                     ctx.span(cid.corr(), "qos.drain-wait", format!("{wait}"));
                                     ctx.set_timer(wait, TIMER_DRAIN_BASE + uid);
                                 }
-                                return;
+                                break;
                             }
                         }
-                    };
-                    self.finish_queue_span(ctx, &mut msg);
-                    self.stats.borrow_mut().local_deliveries += 1;
-                    self.observe_delivery(ctx, cid, &dst, &msg);
-                    ctx.send_local(
-                        delegate,
-                        RuntimeEvent::Input {
-                            translator: dst.translator,
-                            port: dst.port,
-                            msg,
-                            connection: cid,
-                        },
-                    );
+                    }
+                    self.deliver_inputs(ctx, delegate, &mut batch);
+                    self.input_scratch = batch;
+                    if blocked {
+                        return;
+                    }
                 }
                 Some(home) => {
-                    let front = path.buffer.front_size().unwrap_or(0);
                     let uid = path.uid;
                     let dst = path.dst;
                     // Ensure a link exists.
@@ -1117,56 +1150,132 @@ impl UmiddleRuntime {
                             return;
                         }
                     };
-                    // Leave room for framing overhead.
-                    if ctx.stream_sendable(stream) < front + 512 {
-                        return; // resumed by Writable
-                    }
-                    let mut msg = {
-                        let conn = self.connections.get_mut(&cid).expect("checked");
-                        let path = conn.paths.get_mut(idx).expect("checked");
-                        let occ_before = path.buffer.occupancy_bytes();
-                        let drop_before = path.buffer.stats().dropped();
-                        let polled = path.buffer.poll(now);
-                        self.buffered_total =
-                            self.buffered_total - occ_before + path.buffer.occupancy_bytes();
-                        self.dropped_total =
-                            self.dropped_total - drop_before + path.buffer.stats().dropped();
+                    let limit = ctx.dispatch_batch_limit().max(1);
+                    let mut batch = FramedBatch::new();
+                    let mut spans: Vec<simnet::SpanId> = Vec::new();
+                    let mut blocked = false;
+                    while batch.count() < limit {
+                        let front = self
+                            .connections
+                            .get(&cid)
+                            .and_then(|c| c.paths.get(idx))
+                            .and_then(|p| p.buffer.front_size());
+                        let Some(front) = front else {
+                            blocked = true;
+                            break; // buffer drained
+                        };
+                        // Leave room for framing overhead, on top of
+                        // what this flush has already accumulated.
+                        if ctx.stream_sendable(stream) < batch.wire_len() + front + 512 {
+                            blocked = true;
+                            break; // resumed by Writable
+                        }
+                        let polled = {
+                            let conn = self.connections.get_mut(&cid).expect("checked");
+                            let path = conn.paths.get_mut(idx).expect("checked");
+                            let occ_before = path.buffer.occupancy_bytes();
+                            let drop_before = path.buffer.stats().dropped();
+                            let polled = path.buffer.poll(now);
+                            self.buffered_total =
+                                self.buffered_total - occ_before + path.buffer.occupancy_bytes();
+                            self.dropped_total =
+                                self.dropped_total - drop_before + path.buffer.stats().dropped();
+                            polled
+                        };
                         match polled {
-                            Ok(Some(m)) => m,
-                            Ok(None) => return,
+                            Ok(Some(mut msg)) => {
+                                self.finish_queue_span(ctx, &mut msg);
+                                // The transport.send span stays open
+                                // across the wire; the receiving runtime
+                                // closes it, so its duration is the full
+                                // serialize→transmit→decode leg of the
+                                // hop.
+                                let sent = ctx.span_begin(
+                                    cid.corr(),
+                                    "transport.send",
+                                    format!("dst={dst}"),
+                                );
+                                let msg = msg.with_meta(TRANSPORT_SPAN_META, sent.0.to_string());
+                                batch.push(&WireMessage::PathMessage {
+                                    connection: cid,
+                                    dst,
+                                    msg,
+                                });
+                                spans.push(sent);
+                                self.stats.borrow_mut().remote_sends += 1;
+                            }
+                            Ok(None) => {
+                                blocked = true;
+                                break;
+                            }
                             Err(wait) => {
+                                blocked = true;
+                                let conn = self.connections.get_mut(&cid).expect("checked");
+                                let path = conn.paths.get_mut(idx).expect("checked");
                                 if !path.timer_pending {
                                     path.timer_pending = true;
                                     ctx.span(cid.corr(), "qos.drain-wait", format!("{wait}"));
                                     ctx.set_timer(wait, TIMER_DRAIN_BASE + uid);
                                 }
-                                return;
+                                break;
                             }
                         }
-                    };
-                    self.finish_queue_span(ctx, &mut msg);
-                    // The transport.send span stays open across the
-                    // wire; the receiving runtime closes it, so its
-                    // duration is the full serialize→transmit→decode
-                    // leg of the hop.
-                    let sent = ctx.span_begin(cid.corr(), "transport.send", format!("dst={dst}"));
-                    let msg = msg.with_meta(TRANSPORT_SPAN_META, sent.0.to_string());
-                    let wire = WireMessage::PathMessage {
-                        connection: cid,
-                        dst,
-                        msg,
                     }
-                    .encode_framed();
-                    self.stats.borrow_mut().remote_sends += 1;
-                    if ctx.stream_send(stream, wire).is_err() {
-                        // Stream filled up or died between checks; the
-                        // message is lost (counted, not silently) and
-                        // its transport span closes at the failure.
-                        ctx.span_end(sent);
-                        ctx.bump("umiddle.remote_send_failed", 1);
+                    if !batch.is_empty() {
+                        let n = batch.count() as u64;
+                        if n > 1 {
+                            ctx.bump(&self.metric("wire_batches"), 1);
+                            ctx.bump("dispatch.batched_wire_frames", n);
+                        }
+                        let wire = batch.finish();
+                        if ctx.stream_send(stream, wire).is_err() {
+                            // Stream filled up or died between checks;
+                            // the flush is lost (counted, not silently)
+                            // and its transport spans close at the
+                            // failure.
+                            for sent in spans.drain(..) {
+                                ctx.span_end(sent);
+                            }
+                            ctx.bump("umiddle.remote_send_failed", n);
+                            return;
+                        }
+                    }
+                    if blocked {
                         return;
                     }
                 }
+            }
+        }
+    }
+
+    /// Hands a run of polled messages to one delegate: a single message
+    /// as a plain [`RuntimeEvent::Input`] (byte-for-byte the unbatched
+    /// local path), a longer run as one [`RuntimeEvent::InputBatch`]
+    /// wakeup so the mapper translates the whole run per invocation.
+    fn deliver_inputs(&self, ctx: &mut Ctx<'_>, delegate: ProcId, batch: &mut Vec<InputDelivery>) {
+        match batch.len() {
+            0 => {}
+            1 => {
+                let d = batch.pop().expect("checked len");
+                ctx.send_local(
+                    delegate,
+                    RuntimeEvent::Input {
+                        translator: d.translator,
+                        port: d.port,
+                        msg: d.msg,
+                        connection: d.connection,
+                    },
+                );
+            }
+            n => {
+                ctx.bump(&self.metric("input_batches"), 1);
+                ctx.bump("dispatch.batched_inputs", n as u64);
+                ctx.send_local(
+                    delegate,
+                    RuntimeEvent::InputBatch {
+                        inputs: std::mem::take(batch),
+                    },
+                );
             }
         }
     }
@@ -1208,13 +1317,18 @@ impl UmiddleRuntime {
         self.drain_path(ctx, cid, idx);
     }
 
-    fn handle_path_message(
+    /// Runs the receive-side bookkeeping for one path message off the
+    /// wire — closing its `transport.send` span, validating the
+    /// destination, recording the delivery — and returns the delegate
+    /// plus the input ready to hand over, or `None` if the message was
+    /// dropped (unknown destination; counted, not silent).
+    fn admit_path_message(
         &mut self,
         ctx: &mut Ctx<'_>,
         connection: ConnectionId,
         dst: PortRef,
         mut msg: UMessage,
-    ) {
+    ) -> Option<(ProcId, InputDelivery)> {
         self.stats.borrow_mut().remote_receives += 1;
         if let Some(id) = msg
             .take_meta(TRANSPORT_SPAN_META)
@@ -1227,22 +1341,23 @@ impl UmiddleRuntime {
         ctx.span(connection.corr(), "transport.receive", format!("dst={dst}"));
         let Some(local) = self.local_translators.get(&dst.translator) else {
             ctx.bump("umiddle.path_unknown_dst", 1);
-            return;
+            return None;
         };
         if local.profile.shape().port(&dst.port).is_none() {
             ctx.bump("umiddle.path_unknown_port", 1);
-            return;
+            return None;
         }
+        let delegate = local.delegate;
         self.observe_delivery(ctx, connection, &dst, &msg);
-        ctx.send_local(
-            local.delegate,
-            RuntimeEvent::Input {
+        Some((
+            delegate,
+            InputDelivery {
                 translator: dst.translator,
                 port: dst.port,
                 msg,
                 connection,
             },
-        );
+        ))
     }
 
     /// Closes the `queue.wait` span begun when this message copy entered
@@ -1277,20 +1392,46 @@ impl UmiddleRuntime {
             return;
         };
         decoder.push_payload(data);
-        loop {
-            match self
-                .incoming
-                .get_mut(&stream)
-                .and_then(|d| d.next().transpose())
-            {
-                Some(Ok(msg)) => {
-                    ctx.bump(&self.metric("frames_decoded"), 1);
+        // One decoder pass surfaces every frame the payload completed,
+        // so a vectored send on the far side costs one poll here, not
+        // one per frame.
+        let mut frames = std::mem::take(&mut self.decode_scratch);
+        debug_assert!(frames.is_empty());
+        decoder.drain_frames(&mut frames);
+        let decoded = frames.iter().filter(|f| f.is_ok()).count() as u64;
+        if decoded > 0 {
+            ctx.bump(&self.metric("frames_decoded"), decoded);
+        }
+        // Consecutive path messages bound for the same mapper group into
+        // one InputBatch wakeup; control frames and delegate changes
+        // flush the run so arrival order is preserved exactly.
+        let mut run = std::mem::take(&mut self.input_scratch);
+        debug_assert!(run.is_empty());
+        let mut run_delegate: Option<ProcId> = None;
+        for frame in frames.drain(..) {
+            match frame {
+                Ok(WireMessage::PathMessage {
+                    connection,
+                    dst,
+                    msg,
+                }) => {
+                    if let Some((delegate, delivery)) =
+                        self.admit_path_message(ctx, connection, dst, msg)
+                    {
+                        if run_delegate != Some(delegate) {
+                            if let Some(prev) = run_delegate {
+                                self.deliver_inputs(ctx, prev, &mut run);
+                            }
+                            run_delegate = Some(delegate);
+                        }
+                        run.push(delivery);
+                    }
+                }
+                Ok(msg) => {
+                    if let Some(prev) = run_delegate.take() {
+                        self.deliver_inputs(ctx, prev, &mut run);
+                    }
                     match msg {
-                        WireMessage::PathMessage {
-                            connection,
-                            dst,
-                            msg,
-                        } => self.handle_path_message(ctx, connection, dst, msg),
                         WireMessage::ConnectRequest {
                             token,
                             reply_to,
@@ -1304,13 +1445,17 @@ impl UmiddleRuntime {
                         _ => ctx.bump("umiddle.unexpected_stream_msg", 1),
                     }
                 }
-                Some(Err(e)) => {
+                Err(e) => {
                     ctx.bump("umiddle.wire_decode_errors", 1);
                     ctx.trace(format!("bad stream frame: {e}"));
                 }
-                None => break,
             }
         }
+        if let Some(prev) = run_delegate {
+            self.deliver_inputs(ctx, prev, &mut run);
+        }
+        self.input_scratch = run;
+        self.decode_scratch = frames;
     }
 
     fn drain_paths_via(&mut self, ctx: &mut Ctx<'_>, home: Addr) {

@@ -104,6 +104,15 @@ impl Process for TestService {
                 }
                 ack_input_done(ctx, self.runtime, connection, translator);
             }
+            RuntimeEvent::InputBatch { inputs } => {
+                for d in inputs {
+                    self.received.borrow_mut().push((d.port.to_string(), d.msg));
+                    if !self.input_cost.is_zero() {
+                        ctx.busy(self.input_cost);
+                    }
+                    ack_input_done(ctx, self.runtime, d.connection, d.translator);
+                }
+            }
             RuntimeEvent::Directory(ev) => {
                 self.directory_events.borrow_mut().push(ev);
             }
@@ -439,6 +448,19 @@ fn chained_paths_button_camera_tv() {
                         );
                     }
                     ack_input_done(ctx, self.runtime, connection, translator);
+                }
+                RuntimeEvent::InputBatch { inputs } => {
+                    for d in inputs {
+                        if d.port == "shutter" {
+                            self.client.as_ref().expect("set").output(
+                                ctx,
+                                d.translator,
+                                "image-out",
+                                jpeg(4096),
+                            );
+                        }
+                        ack_input_done(ctx, self.runtime, d.connection, d.translator);
+                    }
                 }
                 _ => {}
             }
