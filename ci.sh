@@ -19,6 +19,10 @@
 #
 #   PERF_FLOOR_EVPS      events/sec floor at N=1000   (default 50000)
 #   PERF_P99_BUDGET_US   p99 dispatch budget in µs    (default 200)
+#   PERF_SHARD_SPEEDUP   E9c 4-shard over 1-shard events/sec floor at
+#                        N=10000 (default 1.5; auto-skipped on hosts
+#                        with fewer than 4 cores, where a 4-way shard
+#                        run physically cannot beat single-threaded)
 #
 # e.g. `PERF_P99_BUDGET_US=500 ./ci.sh perf` on a heavily shared box.
 
@@ -29,6 +33,7 @@ STAGE="${1:-all}"
 
 : "${PERF_FLOOR_EVPS:=50000}"
 : "${PERF_P99_BUDGET_US:=200}"
+: "${PERF_SHARD_SPEEDUP:=1.5}"
 
 # --- gate bookkeeping -------------------------------------------------
 # Every gate records its wall time; the summary table prints on exit,
@@ -136,9 +141,12 @@ stage_perf() {
     # Scheduler gates: timer-wheel kernel vs reference heap, E9
     # events/sec floor and near-linearity, p99 dispatch budget, E9b
     # batched-vs-unbatched speedup floor, telemetry sampler overhead
-    # ceiling. Knobs come from PERF_FLOOR_EVPS / PERF_P99_BUDGET_US.
+    # ceiling, E9c shard-scaling floor (enforced only on >=4-core
+    # hosts). Knobs come from PERF_FLOOR_EVPS / PERF_P99_BUDGET_US /
+    # PERF_SHARD_SPEEDUP.
     gate perf-sched cargo run --offline --release -p bench --bin perf_sched -- \
-        --check --floor-evps "$PERF_FLOOR_EVPS" --p99-budget-us "$PERF_P99_BUDGET_US"
+        --check --floor-evps "$PERF_FLOOR_EVPS" --p99-budget-us "$PERF_P99_BUDGET_US" \
+        --shard-speedup "$PERF_SHARD_SPEEDUP"
 }
 
 case "$STAGE" in

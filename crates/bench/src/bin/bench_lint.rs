@@ -282,6 +282,66 @@ impl<'a> Parser<'a> {
 /// Keys every benchmark record must carry at the top level.
 const REQUIRED_KEYS: [&str; 4] = ["name", "before", "after", "units"];
 
+/// Numeric keys every row of a multi-row scaling curve
+/// (`e9c_shard_scale`) must carry.
+const CURVE_ROW_KEYS: [&str; 5] = [
+    "shards",
+    "devices",
+    "events",
+    "events_per_sec",
+    "barrier_stall_ns",
+];
+
+/// Validates one `e9c_shard_scale` scaling-curve value, wherever it
+/// appears in a record: it must be an array of at least two rows (one
+/// point is not a curve), every row an object carrying the numeric
+/// [`CURVE_ROW_KEYS`], with `shards` strictly increasing down the
+/// sweep.
+fn lint_scaling_curve(at: &str, curve: &Json) -> Vec<String> {
+    let Json::Array(rows) = curve else {
+        return vec![format!("{at}: e9c_shard_scale must be an array")];
+    };
+    let mut problems = Vec::new();
+    if rows.len() < 2 {
+        problems.push(format!(
+            "{at}: e9c_shard_scale needs at least 2 rows to be a scaling curve (has {})",
+            rows.len()
+        ));
+    }
+    let mut prev_shards: Option<f64> = None;
+    for (i, row) in rows.iter().enumerate() {
+        if !matches!(row, Json::Object(_)) {
+            problems.push(format!("{at}: e9c_shard_scale[{i}] is not an object"));
+            continue;
+        }
+        for key in CURVE_ROW_KEYS {
+            match row.get(key) {
+                Some(Json::Number(_)) => {}
+                Some(_) => problems.push(format!(
+                    "{at}: e9c_shard_scale[{i}] key {key:?} is not a number"
+                )),
+                None => problems.push(format!(
+                    "{at}: e9c_shard_scale[{i}] missing required key {key:?}"
+                )),
+            }
+        }
+        if let Some(Json::Number(text)) = row.get("shards") {
+            if let Ok(shards) = text.parse::<f64>() {
+                if prev_shards.is_some_and(|prev| shards <= prev) {
+                    problems.push(format!(
+                        "{at}: e9c_shard_scale[{i}] shard counts must be strictly increasing \
+                         ({} after {})",
+                        shards,
+                        prev_shards.expect("checked")
+                    ));
+                }
+                prev_shards = Some(shards);
+            }
+        }
+    }
+    problems
+}
+
 /// Validates one record's content; returns every problem found.
 fn lint_record(text: &str) -> Vec<String> {
     let doc = match Parser::new(text).parse_document() {
@@ -302,6 +362,20 @@ fn lint_record(text: &str) -> Vec<String> {
     if let Some(v) = doc.get("name") {
         if !matches!(v, Json::String(s) if !s.is_empty()) {
             problems.push("key \"name\" must be a non-empty string".to_owned());
+        }
+    }
+    // Scaling-curve convention: wherever a record carries an
+    // `e9c_shard_scale` value (top level or inside the before/after
+    // snapshots), it must be shaped like a multi-row curve.
+    let mut curve_sites = vec![("top level", &doc)];
+    for key in ["before", "after"] {
+        if let Some(v) = doc.get(key) {
+            curve_sites.push((key, v));
+        }
+    }
+    for (at, holder) in curve_sites {
+        if let Some(curve) = holder.get("e9c_shard_scale") {
+            problems.extend(lint_scaling_curve(at, curve));
         }
     }
     problems
@@ -412,6 +486,62 @@ mod tests {
         assert_eq!(
             lint_record(bad_name),
             vec!["key \"name\" must be a non-empty string".to_owned()]
+        );
+    }
+
+    #[test]
+    fn lint_accepts_well_formed_scaling_curve() {
+        let ok = r#"{"name": "n", "units": "ns", "before": 1, "after": {
+            "e9c_shard_scale": [
+                {"shards": 1, "devices": 10000, "wings": 16, "events": 9, "wall_secs": 1.0,
+                 "events_per_sec": 9.0, "p99_dispatch_ns": 5, "barrier_stall_ns": 0, "windows": 3},
+                {"shards": 4, "devices": 10000, "wings": 16, "events": 9, "wall_secs": 0.5,
+                 "events_per_sec": 18.0, "p99_dispatch_ns": 5, "barrier_stall_ns": 7, "windows": 3}
+            ]}}"#;
+        assert_eq!(lint_record(ok), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lint_rejects_malformed_scaling_curves() {
+        let one_row = r#"{"name": "n", "units": "ns", "before": 1, "after": {
+            "e9c_shard_scale": [{"shards": 1, "devices": 2, "events": 3,
+                                 "events_per_sec": 4, "barrier_stall_ns": 5}]}}"#;
+        assert_eq!(
+            lint_record(one_row),
+            vec![
+                "after: e9c_shard_scale needs at least 2 rows to be a scaling curve (has 1)"
+                    .to_owned()
+            ]
+        );
+
+        let missing_key = r#"{"name": "n", "units": "ns", "before": 1, "after": {
+            "e9c_shard_scale": [
+                {"shards": 1, "devices": 2, "events": 3, "events_per_sec": 4, "barrier_stall_ns": 5},
+                {"shards": 4, "devices": 2, "events": 3, "events_per_sec": 4}
+            ]}}"#;
+        assert_eq!(
+            lint_record(missing_key),
+            vec!["after: e9c_shard_scale[1] missing required key \"barrier_stall_ns\"".to_owned()]
+        );
+
+        let not_increasing = r#"{"name": "n", "units": "ns", "before": 1, "after": {
+            "e9c_shard_scale": [
+                {"shards": 4, "devices": 2, "events": 3, "events_per_sec": 4, "barrier_stall_ns": 5},
+                {"shards": 2, "devices": 2, "events": 3, "events_per_sec": 4, "barrier_stall_ns": 5}
+            ]}}"#;
+        assert_eq!(
+            lint_record(not_increasing),
+            vec![
+                "after: e9c_shard_scale[1] shard counts must be strictly increasing (2 after 4)"
+                    .to_owned()
+            ]
+        );
+
+        let not_array =
+            r#"{"name": "n", "units": "ns", "before": {"e9c_shard_scale": 7}, "after": 2}"#;
+        assert_eq!(
+            lint_record(not_array),
+            vec!["before: e9c_shard_scale must be an array".to_owned()]
         );
     }
 }

@@ -1417,31 +1417,62 @@ impl Process for FanWirer {
 /// and undelivered frames accumulate in the scheduler without bound —
 /// which would turn the sweep into a measurement of backlog churn.
 fn e9_world(n: usize) -> World {
+    let mut world = World::new(0xE9 + n as u64);
+    world.trace_mut().set_log_enabled(false);
+    e9_wing(&mut world, 0, 1, n);
+    world
+}
+
+/// Builds one E9 wing into `world`: a self-contained copy of the E9
+/// federation (own backbone segment, own runtime, own mappers and
+/// device populations), named so wing 0 is byte-identical to the
+/// original single-wing fixture. With `wings > 1` on a sharded world
+/// (E9c), each wing also joins the cross-shard temperature ring: its
+/// motes additionally fan into a [`ShardUplink`] whose hand-off frames
+/// arrive at the *next* wing's [`ShardIngress`] (inlet = destination
+/// wing id) and drain into that wing's Temp Sink — so shard boundaries
+/// carry real uMiddle traffic, not just independent per-shard load.
+///
+/// [`ShardUplink`]: umiddle_bridges::ShardUplink
+/// [`ShardIngress`]: umiddle_bridges::ShardIngress
+fn e9_wing(world: &mut World, wing: usize, wings: usize, n: usize) {
     use platform_bluetooth::{HidpMouse, MouseConfig};
     use platform_motes::{BaseStation, Mote};
     use platform_rmi::{JavaValue, RmiObjectServer, RmiRegistry, REGISTRY_PORT};
     use platform_upnp::{LightLogic, UpnpDevice};
     use platform_webservices::WsServer;
-    use umiddle_bridges::{MotesMapper, WsMapper};
+    use umiddle_bridges::{MotesMapper, ShardIngress, ShardUplink, WsMapper};
+
+    // Display and node names get " w{wing}", machine names (uuids,
+    // channel ids) "-w{wing}"; both empty for wing 0 so the single-wing
+    // fixture stays byte-identical to the pre-sharding one.
+    let tag = if wing == 0 {
+        String::new()
+    } else {
+        format!(" w{wing}")
+    };
+    let utag = if wing == 0 {
+        String::new()
+    } else {
+        format!("-w{wing}")
+    };
 
     // Six near-equal groups, one per bridge platform.
     let group = |k: usize| n / 6 + usize::from(k < n % 6);
 
-    let mut world = World::new(0xE9 + n as u64);
-    world.trace_mut().set_log_enabled(false);
     let hub = world.add_segment(SegmentConfig::ethernet_100mbps_switch());
-    let (h1, rt) = runtime_node(&mut world, "h1", 0, &[hub]);
+    let (h1, rt) = runtime_node(world, &format!("h1{tag}"), wing as u32, &[hub]);
 
     // UPnP lights, toggled in fan-out by one native driver.
     for i in 0..group(0) {
-        let node = world.add_node(format!("light{i}"));
+        let node = world.add_node(format!("light{i}{tag}"));
         world.attach(node, hub).expect("attach");
         world.add_process(
             node,
             Box::new(UpnpDevice::new(
                 Box::new(LightLogic::new(
-                    &format!("E9 Light {i:04}"),
-                    &format!("uuid:e9l{i}"),
+                    &format!("E9 Light {i:04}{tag}"),
+                    &format!("uuid:e9l{i}{utag}"),
                 )),
                 5000,
             )),
@@ -1462,14 +1493,14 @@ fn e9_world(n: usize) -> World {
             world.attach(h1, p).expect("attach");
             pico = Some(p);
         }
-        let node = world.add_node(format!("mouse{i}"));
+        let node = world.add_node(format!("mouse{i}{tag}"));
         world
             .attach(node, pico.expect("piconet created"))
             .expect("attach");
         world.add_process(
             node,
             Box::new(HidpMouse::new(MouseConfig {
-                name: format!("HIDP Mouse {i:04}"),
+                name: format!("HIDP Mouse {i:04}{tag}"),
                 click_interval: Some(SimDuration::from_secs(12)),
                 motion_interval: None,
                 click_limit: 0,
@@ -1490,7 +1521,7 @@ fn e9_world(n: usize) -> World {
             world.attach(h1, r).expect("attach");
             radio = Some(r);
         }
-        let node = world.add_node(format!("mote{i}"));
+        let node = world.add_node(format!("mote{i}{tag}"));
         world
             .attach(node, radio.expect("radio created above"))
             .expect("attach");
@@ -1507,16 +1538,16 @@ fn e9_world(n: usize) -> World {
 
     // RMI echo objects behind one registry; each name gets its own
     // templated USDL document (the paper's no-code extensibility path).
-    let reg_node = world.add_node("rmi-registry");
+    let reg_node = world.add_node(format!("rmi-registry{tag}"));
     world.attach(reg_node, hub).expect("attach");
     world.add_process(reg_node, Box::new(RmiRegistry::new()));
     let registry = Addr::new(reg_node, REGISTRY_PORT);
-    let srv_node = world.add_node("rmi-objects");
+    let srv_node = world.add_node(format!("rmi-objects{tag}"));
     world.attach(srv_node, hub).expect("attach");
     let mut rmi_lib = UsdlLibrary::bundled();
     let mut rmi_names = Vec::new();
     for i in 0..group(3) {
-        let name = format!("EchoSvc {i:04}");
+        let name = format!("EchoSvc {i:04}{tag}");
         rmi_lib
             .register_xml(&umiddle_usdl::builtin::RMI_ECHO.replace("EchoService", &name))
             .expect("templated RMI USDL is valid");
@@ -1543,7 +1574,7 @@ fn e9_world(n: usize) -> World {
     );
 
     // MediaBroker channels fed by paced producers.
-    let mb_node = world.add_node("broker");
+    let mb_node = world.add_node(format!("broker{tag}"));
     world.attach(mb_node, hub).expect("attach");
     world.add_process(mb_node, Box::new(platform_mediabroker::MediaBroker::new()));
     let broker_addr = Addr::new(mb_node, platform_mediabroker::BROKER_PORT);
@@ -1552,7 +1583,7 @@ fn e9_world(n: usize) -> World {
             mb_node,
             Box::new(MbSaturatingProducer::paced(
                 broker_addr,
-                &format!("e9chan{i:04}"),
+                &format!("e9chan{i:04}{utag}"),
                 256,
                 SimDuration::from_secs(1),
             )),
@@ -1569,14 +1600,14 @@ fn e9_world(n: usize) -> World {
     );
 
     // Web-service loggers, appended to in fan-out and tailed back out.
-    let ws_node = world.add_node("ws");
+    let ws_node = world.add_node(format!("ws{tag}"));
     world.attach(ws_node, hub).expect("attach");
     let mut endpoints = Vec::new();
     for i in 0..group(5) {
         let port = 8080 + i as u16;
         world.add_process(
             ws_node,
-            Box::new(WsServer::logger(&format!("E9 Log {i:04}"), port)),
+            Box::new(WsServer::logger(&format!("E9 Log {i:04}{tag}"), port)),
         );
         endpoints.push(Addr::new(ws_node, port));
     }
@@ -1601,7 +1632,7 @@ fn e9_world(n: usize) -> World {
     world.add_process(
         h1,
         Box::new(NativeService::new(
-            "Toggle Driver",
+            &format!("Toggle Driver{tag}"),
             out_shape("out", "text/plain"),
             rt,
             Box::new(behaviors::PeriodicSource::new(
@@ -1615,7 +1646,7 @@ fn e9_world(n: usize) -> World {
     world.add_process(
         h1,
         Box::new(NativeService::new(
-            "Call Driver",
+            &format!("Call Driver{tag}"),
             out_shape("out", "application/octet-stream"),
             rt,
             Box::new(behaviors::PeriodicSource::new(
@@ -1634,7 +1665,7 @@ fn e9_world(n: usize) -> World {
     world.add_process(
         h1,
         Box::new(NativeService::new(
-            "Log Driver",
+            &format!("Log Driver{tag}"),
             out_shape("out", "text/plain"),
             rt,
             Box::new(behaviors::PeriodicSource::new(
@@ -1655,7 +1686,7 @@ fn e9_world(n: usize) -> World {
         world.add_process(
             h1,
             Box::new(NativeService::new(
-                name,
+                &format!("{name}{tag}"),
                 in_shape(mime),
                 rt,
                 Box::new(behaviors::Recorder::new()),
@@ -1663,64 +1694,102 @@ fn e9_world(n: usize) -> World {
         );
     }
 
-    world.add_process(
-        h1,
-        Box::new(FanWirer::new(
-            rt,
-            vec![
-                FanRule {
-                    src_tag: "Toggle Driver",
-                    src_port: "out",
-                    dst_tag: "E9 Light",
-                    dst_port: "switch-on",
-                },
-                FanRule {
-                    src_tag: "HIDP Mouse",
-                    src_port: "clicks",
-                    dst_tag: "Click Sink",
-                    dst_port: "in",
-                },
-                FanRule {
-                    src_tag: "Mote ",
-                    src_port: "temperature",
-                    dst_tag: "Temp Sink",
-                    dst_port: "in",
-                },
-                FanRule {
-                    src_tag: "Call Driver",
-                    src_port: "out",
-                    dst_tag: "EchoSvc",
-                    dst_port: "request",
-                },
-                FanRule {
-                    src_tag: "EchoSvc",
-                    src_port: "response",
-                    dst_tag: "Echo Sink",
-                    dst_port: "in",
-                },
-                FanRule {
-                    src_tag: "MB channel e9chan",
-                    src_port: "media-out",
-                    dst_tag: "Media Sink",
-                    dst_port: "in",
-                },
-                FanRule {
-                    src_tag: "Log Driver",
-                    src_port: "out",
-                    dst_tag: "E9 Log",
-                    dst_port: "log-in",
-                },
-                FanRule {
-                    src_tag: "E9 Log",
-                    src_port: "entries",
-                    dst_tag: "Log Sink",
-                    dst_port: "in",
-                },
-            ],
-        )),
-    );
+    let mut rules = vec![
+        FanRule {
+            src_tag: "Toggle Driver",
+            src_port: "out",
+            dst_tag: "E9 Light",
+            dst_port: "switch-on",
+        },
+        FanRule {
+            src_tag: "HIDP Mouse",
+            src_port: "clicks",
+            dst_tag: "Click Sink",
+            dst_port: "in",
+        },
+        FanRule {
+            src_tag: "Mote ",
+            src_port: "temperature",
+            dst_tag: "Temp Sink",
+            dst_port: "in",
+        },
+        FanRule {
+            src_tag: "Call Driver",
+            src_port: "out",
+            dst_tag: "EchoSvc",
+            dst_port: "request",
+        },
+        FanRule {
+            src_tag: "EchoSvc",
+            src_port: "response",
+            dst_tag: "Echo Sink",
+            dst_port: "in",
+        },
+        FanRule {
+            src_tag: "MB channel e9chan",
+            src_port: "media-out",
+            dst_tag: "Media Sink",
+            dst_port: "in",
+        },
+        FanRule {
+            src_tag: "Log Driver",
+            src_port: "out",
+            dst_tag: "E9 Log",
+            dst_port: "log-in",
+        },
+        FanRule {
+            src_tag: "E9 Log",
+            src_port: "entries",
+            dst_tag: "Log Sink",
+            dst_port: "in",
+        },
+    ];
 
-    world
+    // The cross-shard temperature ring. Only built when the world is a
+    // shard and there is more than one wing: this wing's motes also fan
+    // into an uplink whose hand-off frames arrive — one conservative
+    // lookahead later — at the next wing's ingress and drain into *its*
+    // Temp Sink. With one shard the ring still crosses the conductor's
+    // inter-shard plane (self-addressed), so shard counts 1..k run the
+    // same schedule and the sweep compares like with like.
+    if let Some(shard) = world.shard_config().filter(|_| wings > 1) {
+        let dst_wing = (wing + 1) % wings;
+        let dst_shard = (dst_wing % shard.shards as usize) as u16;
+        world.add_process(
+            h1,
+            Box::new(NativeService::new(
+                &format!("Shard Uplink{tag}"),
+                in_shape("text/plain"),
+                rt,
+                Box::new(ShardUplink::new(dst_shard, dst_wing as u16)),
+            )),
+        );
+        world.add_process(
+            h1,
+            Box::new(
+                NativeService::new(
+                    &format!("Shard Ingress{tag}"),
+                    out_shape("out", "text/plain"),
+                    rt,
+                    Box::new(ShardIngress::new("out")),
+                )
+                .with_shard_inlet(wing as u16, E9C_INLET_PORT),
+            ),
+        );
+        rules.push(FanRule {
+            src_tag: "Mote ",
+            src_port: "temperature",
+            dst_tag: "Shard Uplink",
+            dst_port: "in",
+        });
+        rules.push(FanRule {
+            src_tag: "Shard Ingress",
+            src_port: "out",
+            dst_tag: "Temp Sink",
+            dst_port: "in",
+        });
+    }
+    world.add_process(h1, Box::new(FanWirer::new(rt, rules)));
 }
 
 /// Virtual time allowed for discovery, mapping, and wiring before the
@@ -1786,6 +1855,123 @@ fn e9_one(n: usize, measure: SimDuration) -> SchedScaleRow {
 /// `measure`-long virtual window after a fixed warm-up.
 pub fn e9_sched_scale(sizes: &[usize], measure: SimDuration) -> Vec<SchedScaleRow> {
     sizes.iter().map(|&n| e9_one(n, measure)).collect()
+}
+
+// =====================================================================
+// E9c — sharded execution: per-core scaling of the wing federation
+// =====================================================================
+
+/// One row of the E9c shard-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ShardScaleRow {
+    /// Shard (worker thread) count.
+    pub shards: u16,
+    /// Total native devices across all wings.
+    pub devices: usize,
+    /// Wings the federation is partitioned into.
+    pub wings: usize,
+    /// Events dispatched inside the measurement window, all shards.
+    pub events: u64,
+    /// Wall-clock seconds of the measured phase (slowest shard —
+    /// barrier stalls included, this is real elapsed time).
+    pub wall_secs: f64,
+    /// Federation events per wall-clock second.
+    pub events_per_sec: f64,
+    /// p99 of the per-window mean dispatch cost, worst shard, in ns.
+    pub p99_dispatch_ns: u64,
+    /// Wall nanoseconds stalled at window barriers, summed over shards.
+    pub barrier_stall_ns: u64,
+    /// Synchronized windows executed (max over shards).
+    pub windows: u64,
+}
+
+/// Devices per E9c wing. Wings are the unit of shard placement (wing
+/// `w` runs on shard `w % shards`), so at N = 10 000 there are 16
+/// wings — enough to balance any shard count in the sweep.
+const E9C_WING: usize = 625;
+
+/// Virtual warm-up before the E9c measurement window opens. Shorter
+/// than `E9_SETUP` because each wing's UPnP mapper instantiates only
+/// its own ~n/6 lights (the serialized step that sizes the warm-up).
+const E9C_SETUP: u64 = 40;
+
+/// E9c conservative lookahead — and, in the tightest legal coupling,
+/// the modeled cross-shard link latency. 5 ms is far above every
+/// intra-wing latency, so windows stay coarse enough that barrier cost
+/// amortizes over thousands of events.
+const E9C_LOOKAHEAD: SimDuration = SimDuration::from_millis(5);
+
+/// Port each wing's shard-ingress service listens on for hand-off
+/// frames.
+const E9C_INLET_PORT: u16 = 47_500;
+
+/// p99 of a sample set; 0 when empty.
+fn p99_of(samples: &[u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() * 99 / 100).min(sorted.len() - 1)]
+}
+
+/// Runs one E9c point: the `n`-device wing federation under `shards`
+/// worker threads, measuring a `measure`-long virtual window after the
+/// warm-up.
+fn e9c_one(n: usize, shards: u16, measure: SimDuration) -> ShardScaleRow {
+    use simnet::{run_sharded, ShardPlan};
+
+    let wings = (n / E9C_WING).max(1);
+    let base = n / wings;
+    let extra = n % wings;
+    let setup = SimTime::from_secs(E9C_SETUP);
+    let plan = ShardPlan::new(shards, E9C_LOOKAHEAD).with_warmup(setup);
+    let report = run_sharded(
+        &plan,
+        0xE9C + n as u64,
+        setup + measure,
+        |world, info| {
+            world.trace_mut().set_log_enabled(false);
+            for w in (0..wings).filter(|w| w % info.shards as usize == info.shard as usize) {
+                e9_wing(world, w, wings, base + usize::from(w < extra));
+            }
+            Ok(())
+        },
+        |_, _| (),
+    )
+    .expect("E9c plan is valid and wings build cleanly");
+
+    ShardScaleRow {
+        shards,
+        devices: n,
+        wings,
+        events: report.shards.iter().map(|s| s.events_measured).sum(),
+        wall_secs: report
+            .shards
+            .iter()
+            .map(|s| s.measure_wall_ns)
+            .max()
+            .unwrap_or(0) as f64
+            / 1e9,
+        events_per_sec: report.events_per_sec(),
+        p99_dispatch_ns: report
+            .shards
+            .iter()
+            .map(|s| p99_of(&s.dispatch_ns_samples))
+            .max()
+            .unwrap_or(0),
+        barrier_stall_ns: report.barrier_stall_ns(),
+        windows: report.shards.iter().map(|s| s.windows).max().unwrap_or(0),
+    }
+}
+
+/// Runs the E9c sweep: the same `n`-device federation once per shard
+/// count, producing the per-core scaling curve.
+pub fn e9c_shard_scale(n: usize, shard_counts: &[u16], measure: SimDuration) -> Vec<ShardScaleRow> {
+    shard_counts
+        .iter()
+        .map(|&s| e9c_one(n, s, measure))
+        .collect()
 }
 
 // =====================================================================

@@ -288,6 +288,38 @@ pub fn render_e9(rows: &[SchedScaleRow]) -> String {
     out
 }
 
+/// Renders the E9c shard-scaling curve.
+pub fn render_e9c(rows: &[ShardScaleRow]) -> String {
+    let mut out = hr("E9c — sharded execution: per-core scaling of the wing federation");
+    out.push_str(&format!(
+        "{:>7} {:>9} {:>6} {:>12} {:>9} {:>13} {:>13} {:>13} {:>9}\n",
+        "shards",
+        "devices",
+        "wings",
+        "events",
+        "wall s",
+        "events/s",
+        "p99 disp ns",
+        "stall ms",
+        "windows"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>7} {:>9} {:>6} {:>12} {:>9.2} {:>13.0} {:>13} {:>13.1} {:>9}\n",
+            r.shards,
+            r.devices,
+            r.wings,
+            r.events,
+            r.wall_secs,
+            r.events_per_sec,
+            r.p99_dispatch_ns,
+            r.barrier_stall_ns as f64 / 1e6,
+            r.windows
+        ));
+    }
+    out
+}
+
 /// Renders the E9b batched-vs-unbatched dispatch A/B table.
 pub fn render_e9b(rows: &[BatchAbRow]) -> String {
     let mut out = hr("E9b — dispatch batch plane A/B: unbatched vs adaptive");

@@ -384,7 +384,8 @@ pub struct AlertReport {
 /// One ranked problem in the federation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Offender {
-    /// Problem class: `slo`, `bridge-silent` or `segment-hot`.
+    /// Problem class: `slo`, `bridge-silent`, `segment-hot` or
+    /// `shard-straggler`.
     pub kind: String,
     /// Objective name, bridge platform, or segment label.
     pub name: String,
@@ -427,6 +428,9 @@ pub struct HealthReport {
 /// and how hot (in milli) a segment must be to rank as an offender.
 const SEGMENT_TREND_INTERVALS: usize = 8;
 const SEGMENT_HOT_MILLI: u64 = 800;
+/// Exec share (milli, 1000 = balanced) at which a shard ranks as a
+/// `shard-straggler` offender: 1.5x its fair share of execution time.
+const SHARD_STRAGGLER_MILLI: u64 = 1_500;
 
 impl HealthReport {
     /// Builds the report from the live telemetry plane. Pure function
@@ -548,6 +552,27 @@ impl HealthReport {
                     name: s.label.clone(),
                     subject: s.label.clone(),
                     severity_milli: s.utilization_milli,
+                });
+            }
+        }
+        // A straggler shard holds an outsized share of the fleet's
+        // execution time; its siblings' barrier stalls mirror it. The
+        // conductor plants `shard.s{N}.exec_share_milli` gauges (1000 =
+        // a perfectly balanced shard).
+        for (name, v) in metrics.gauges() {
+            let Some(rest) = name.strip_prefix("shard.s") else {
+                continue;
+            };
+            let Some(id) = rest.strip_suffix(".exec_share_milli") else {
+                continue;
+            };
+            let share = v.max(0) as u64;
+            if id.bytes().all(|b| b.is_ascii_digit()) && share >= SHARD_STRAGGLER_MILLI {
+                top_offenders.push(Offender {
+                    kind: "shard-straggler".to_owned(),
+                    name: format!("shard{id}"),
+                    subject: format!("shard:{id}"),
+                    severity_milli: share,
                 });
             }
         }
@@ -870,5 +895,33 @@ mod tests {
         assert_eq!(json, report.to_json());
         assert!(json.contains("\"silent\": true"));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn doctor_ranks_straggler_shard() {
+        let mut metrics = Metrics::default();
+        let t = Telemetry::new(sample_cfg(100));
+        // Shard 2 holds 2.1x its fair share of execution time; its three
+        // siblings idle at barriers. Shard 0 is busy but under the 1.5x
+        // threshold.
+        metrics.gauge_set("shard.s0.exec_share_milli", 1_200);
+        metrics.gauge_set("shard.s1.exec_share_milli", 350);
+        metrics.gauge_set("shard.s2.exec_share_milli", 2_100);
+        metrics.gauge_set("shard.s3.exec_share_milli", 350);
+        let engine = SloEngine::new(Vec::new());
+        let report = HealthReport::build(
+            SimTime::from_secs(1),
+            &t,
+            &engine,
+            &metrics,
+            &[],
+            0,
+            SimDuration::from_secs(5),
+        );
+        assert_eq!(report.top_offenders.len(), 1);
+        assert_eq!(report.top_offenders[0].kind, "shard-straggler");
+        assert_eq!(report.top_offenders[0].name, "shard2");
+        assert_eq!(report.top_offenders[0].subject, "shard:2");
+        assert_eq!(report.top_offenders[0].severity_milli, 2_100);
     }
 }

@@ -72,6 +72,7 @@ mod medium;
 pub mod payload;
 mod process;
 pub mod rng;
+pub mod shard;
 pub mod span;
 mod stream;
 mod time;
@@ -93,6 +94,7 @@ pub use process::{
     Addr, Datagram, LocalMessage, NodeId, ProcId, Process, SegmentId, StreamEvent, StreamId,
 };
 pub use rng::{check_cases, SimRng};
+pub use shard::{run_sharded, ShardInfo, ShardPlan, ShardReport, ShardRun};
 pub use span::{CriticalPath, PathExpectation, SpanNode, SpanTree, StageCost, TraceAssert};
 pub use time::{SimDuration, SimTime};
 pub use timeseries::{SamplerConfig, Telemetry, TelemetryWindow};
@@ -100,4 +102,4 @@ pub use trace::{
     Histogram, Metrics, MetricsSnapshot, SegmentStats, SpanId, SpanRecord, Trace, TraceEvent,
 };
 pub use wheel::{ReferenceHeap, TimerWheel};
-pub use world::{BatchPolicy, World};
+pub use world::{BatchPolicy, CrossMessage, ShardConfig, World};

@@ -35,6 +35,7 @@ mod native;
 mod obs;
 mod rmi;
 pub mod scatter;
+pub mod shard;
 mod upnp;
 mod webservices;
 
@@ -44,5 +45,6 @@ pub use motes::MotesMapper;
 pub use native::{behaviors, NativeBehavior, NativeEnv, NativeService};
 pub use rmi::RmiMapper;
 pub use scatter::UpnpExporter;
+pub use shard::{ShardIngress, ShardUplink};
 pub use upnp::{MapperStats, UpnpMapper};
 pub use webservices::WsMapper;

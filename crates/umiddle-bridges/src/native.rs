@@ -58,6 +58,23 @@ impl NativeEnv<'_, '_> {
     pub fn translator(&self) -> Option<TranslatorId> {
         self.translator
     }
+
+    /// Sends a message to a cross-shard inlet over the inter-shard link
+    /// (see [`simnet::shard`]), encoded with the
+    /// [`umiddle_core::shardlink`] hand-off codec. Returns `false` —
+    /// counting the drop on `shard.uplink_drop` — when the world is not
+    /// sharded or the destination shard does not exist, so a behavior
+    /// wired unconditionally degrades to a no-op on standalone worlds.
+    pub fn send_shard(&mut self, dst_shard: u16, inlet: u16, msg: &UMessage) -> bool {
+        let frame = umiddle_core::shardlink::encode_handoff(msg);
+        match self.ctx.send_shard(dst_shard, inlet, frame) {
+            Ok(()) => true,
+            Err(_) => {
+                self.ctx.bump("shard.uplink_drop", 1);
+                false
+            }
+        }
+    }
 }
 
 /// Behaviour of a native uMiddle service.
@@ -76,6 +93,13 @@ pub trait NativeBehavior {
     fn on_timer(&mut self, env: &mut NativeEnv<'_, '_>, token: u64) {
         let _ = (env, token);
     }
+
+    /// Called for each message arriving on this service's cross-shard
+    /// inlet (see [`NativeService::with_shard_inlet`]), already decoded
+    /// from the hand-off frame.
+    fn on_cross(&mut self, env: &mut NativeEnv<'_, '_>, msg: UMessage) {
+        let _ = (env, msg);
+    }
 }
 
 /// A process hosting one native uMiddle service.
@@ -87,6 +111,8 @@ pub struct NativeService {
     behavior: Box<dyn NativeBehavior>,
     client: Option<RuntimeClient>,
     translator: Option<TranslatorId>,
+    /// `(inlet, local port)` to register for cross-shard ingress.
+    shard_inlet: Option<(u16, u16)>,
 }
 
 impl std::fmt::Debug for NativeService {
@@ -114,12 +140,23 @@ impl NativeService {
             behavior,
             client: None,
             translator: None,
+            shard_inlet: None,
         }
     }
 
     /// Adds a profile attribute (builder style).
     pub fn with_attr(mut self, key: &str, value: &str) -> NativeService {
         self.attrs.push((key.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Registers this service as the receiver for cross-shard inlet
+    /// `inlet`, bound at `port` on its node (builder style). Arriving
+    /// hand-off frames are decoded and delivered to
+    /// [`NativeBehavior::on_cross`]. Registration is skipped silently on
+    /// an unsharded world, so the same fixture code runs standalone.
+    pub fn with_shard_inlet(mut self, inlet: u16, port: u16) -> NativeService {
+        self.shard_inlet = Some((inlet, port));
         self
     }
 }
@@ -142,6 +179,33 @@ impl Process for NativeService {
         let me = ctx.me();
         client.register(ctx, builder.build(), me);
         self.client = Some(client);
+        if let Some((inlet, port)) = self.shard_inlet {
+            if ctx.shard().is_some() {
+                ctx.register_shard_inlet(inlet, port)
+                    .expect("shard inlet registration");
+            }
+        }
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: simnet::Datagram) {
+        // The only datagrams a native service receives are cross-shard
+        // hand-off frames addressed to its registered inlet.
+        if self.shard_inlet.is_none() {
+            return;
+        }
+        match umiddle_core::shardlink::decode_handoff(&d.data) {
+            Ok(msg) => {
+                ctx.bump("shard.handoff_in", 1);
+                let client = self.client.as_ref().expect("client set in on_start");
+                let mut env = NativeEnv {
+                    ctx,
+                    client,
+                    translator: self.translator,
+                };
+                self.behavior.on_cross(&mut env, msg);
+            }
+            Err(_) => ctx.bump("shard.handoff_decode_err", 1),
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {

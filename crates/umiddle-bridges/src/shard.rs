@@ -1,0 +1,78 @@
+//! Cross-shard runtime hand-off behaviors.
+//!
+//! In a sharded simulation each shard is its own `World` with its own
+//! uMiddle runtimes; a message path that crosses a shard boundary is
+//! stitched from two native services:
+//!
+//! * a [`ShardUplink`] on the sending shard — an input-only service
+//!   wired (via the usual port-compatibility machinery) to whatever
+//!   local stream should leave the shard; every input is encoded with
+//!   the [`umiddle_core::shardlink`] hand-off codec and sent over the
+//!   conductor's inter-shard link;
+//! * a [`ShardIngress`] on the receiving shard — an output-only service
+//!   registered as the inlet's receiver
+//!   ([`crate::NativeService::with_shard_inlet`]); every arriving frame is
+//!   decoded back into a [`UMessage`] and re-emitted on a local output
+//!   port, where it joins the receiving shard's semantic space like any
+//!   native emission.
+//!
+//! Both degrade to no-ops on an unsharded world, so fixtures can wire
+//! them unconditionally.
+
+use umiddle_core::UMessage;
+
+use crate::native::{NativeBehavior, NativeEnv};
+
+/// Forwards every input across the inter-shard link.
+#[derive(Debug)]
+pub struct ShardUplink {
+    /// Destination shard.
+    pub dst_shard: u16,
+    /// Destination inlet on that shard.
+    pub inlet: u16,
+    /// Messages forwarded.
+    forwarded: u64,
+}
+
+impl ShardUplink {
+    /// Creates an uplink to `(dst_shard, inlet)`.
+    pub fn new(dst_shard: u16, inlet: u16) -> ShardUplink {
+        ShardUplink {
+            dst_shard,
+            inlet,
+            forwarded: 0,
+        }
+    }
+}
+
+impl NativeBehavior for ShardUplink {
+    fn on_input(&mut self, env: &mut NativeEnv<'_, '_>, _port: &str, msg: UMessage) {
+        if env.send_shard(self.dst_shard, self.inlet, &msg) {
+            self.forwarded += 1;
+        }
+    }
+}
+
+/// Re-emits cross-shard arrivals on a local output port.
+#[derive(Debug)]
+pub struct ShardIngress {
+    /// The output port decoded messages are emitted on.
+    pub out_port: String,
+}
+
+impl ShardIngress {
+    /// Creates an ingress emitting on `out_port`. Pair it with
+    /// [`crate::NativeService::with_shard_inlet`] so frames actually
+    /// arrive.
+    pub fn new(out_port: &str) -> ShardIngress {
+        ShardIngress {
+            out_port: out_port.to_owned(),
+        }
+    }
+}
+
+impl NativeBehavior for ShardIngress {
+    fn on_cross(&mut self, env: &mut NativeEnv<'_, '_>, msg: UMessage) {
+        env.emit(&self.out_port, msg);
+    }
+}

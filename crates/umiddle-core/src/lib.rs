@@ -69,6 +69,7 @@ mod qos;
 mod query;
 mod runtime;
 mod shape;
+pub mod shardlink;
 mod wire;
 
 pub use api::{

@@ -1,0 +1,162 @@
+//! Cross-shard hand-off encoding for [`UMessage`]s.
+//!
+//! In a sharded simulation ([`simnet::shard`]) each shard is a separate
+//! `World`: a message crossing a shard boundary travels as raw bytes
+//! over the conductor's inter-shard link, not as an in-process value.
+//! This module is the hand-off codec — a small self-describing frame
+//! that carries a `UMessage` (MIME type, metadata, body) across the
+//! boundary so the receiving shard's runtime can re-inject it into its
+//! own semantic space.
+//!
+//! The layout is little-endian and length-prefixed throughout:
+//!
+//! ```text
+//! [u8 version=1]
+//! [u16 mime_len][mime bytes]
+//! [u16 meta_count] ([u16 key_len][key][u16 val_len][val])*
+//! [u32 body_len][body bytes]
+//! ```
+//!
+//! Metadata keys are written in sorted order (the `UMessage` map is a
+//! `BTreeMap`), so encoding is deterministic: the same message always
+//! produces the same bytes, which keeps sharded runs byte-diffable.
+
+use simnet::{Payload, PayloadBuilder};
+
+use crate::error::{CoreError, CoreResult};
+use crate::message::UMessage;
+
+/// Current hand-off frame version.
+const VERSION: u8 = 1;
+
+/// Encodes a message into one hand-off frame (single allocation).
+pub fn encode_handoff(msg: &UMessage) -> Payload {
+    let mime = msg.mime().to_string();
+    let mut b = PayloadBuilder::with_capacity(16 + mime.len() + msg.size());
+    b.push(VERSION);
+    b.u16_le(mime.len() as u16);
+    b.extend_from_slice(mime.as_bytes());
+    let metas: Vec<(&str, &str)> = msg.metas().collect();
+    b.u16_le(metas.len() as u16);
+    for (k, v) in metas {
+        b.u16_le(k.len() as u16);
+        b.extend_from_slice(k.as_bytes());
+        b.u16_le(v.len() as u16);
+        b.extend_from_slice(v.as_bytes());
+    }
+    let body = msg.body();
+    b.u32_le(body.len() as u32);
+    b.extend_from_slice(body);
+    b.freeze()
+}
+
+/// Decodes a hand-off frame back into a [`UMessage`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Decode`] for a truncated frame, an unknown
+/// version, a malformed MIME type, or non-UTF-8 metadata.
+pub fn decode_handoff(frame: &Payload) -> CoreResult<UMessage> {
+    let bytes: &[u8] = frame;
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> CoreResult<&[u8]> {
+        let end = at
+            .checked_add(n)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| CoreError::Decode("truncated shard hand-off frame".into()))?;
+        let s = &bytes[*at..end];
+        *at = end;
+        Ok(s)
+    };
+    let version = take(&mut at, 1)?[0];
+    if version != VERSION {
+        return Err(CoreError::Decode(format!(
+            "unknown shard hand-off version {version}"
+        )));
+    }
+    let take_u16 = |at: &mut usize| -> CoreResult<usize> {
+        let s = take(at, 2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]) as usize)
+    };
+    let take_str = |at: &mut usize| -> CoreResult<String> {
+        let n = take_u16(at)?;
+        String::from_utf8(take(at, n)?.to_vec())
+            .map_err(|_| CoreError::Decode("non-UTF-8 string in shard hand-off".into()))
+    };
+
+    let mime = take_str(&mut at)?.parse()?;
+    let meta_count = take_u16(&mut at)?;
+    let mut metas = Vec::with_capacity(meta_count);
+    for _ in 0..meta_count {
+        let k = take_str(&mut at)?;
+        let v = take_str(&mut at)?;
+        metas.push((k, v));
+    }
+    let body_len = {
+        let s = take(&mut at, 4)?;
+        u32::from_le_bytes([s[0], s[1], s[2], s[3]]) as usize
+    };
+    if at + body_len != bytes.len() {
+        return Err(CoreError::Decode(format!(
+            "shard hand-off body length {body_len} does not match frame ({} bytes left)",
+            bytes.len() - at
+        )));
+    }
+    // O(1) slice of the arriving payload: the body crosses the shard
+    // boundary without a copy.
+    let body = frame.slice(at..at + body_len);
+    let mut msg = UMessage::new(mime, body);
+    for (k, v) in metas {
+        msg = msg.with_meta(k, v);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handoff_round_trips_and_is_deterministic() {
+        let msg = UMessage::new(
+            "application/json".parse().unwrap(),
+            br#"{"t":21.5}"#.to_vec(),
+        )
+        .with_meta("src", "mote-7")
+        .with_meta("seq", "42")
+        .with_meta("unit", "celsius");
+        let f1 = encode_handoff(&msg);
+        let f2 = encode_handoff(&msg);
+        assert_eq!(&f1[..], &f2[..], "encoding must be deterministic");
+        let back = decode_handoff(&f1).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn handoff_body_is_zero_copy() {
+        let body = vec![7u8; 4096];
+        let msg = UMessage::new("application/octet-stream".parse().unwrap(), body);
+        let frame = encode_handoff(&msg);
+        let _ = simnet::payload::take_stats();
+        let back = decode_handoff(&frame).unwrap();
+        let during = simnet::payload::take_stats();
+        assert_eq!(back.body().len(), 4096);
+        assert_eq!(during.bytes_copied, 0, "decoding must not copy the body");
+    }
+
+    #[test]
+    fn handoff_rejects_garbage() {
+        assert!(decode_handoff(&Payload::from_vec(vec![])).is_err());
+        assert!(decode_handoff(&Payload::from_vec(vec![9, 0, 0])).is_err());
+        let mut good = encode_handoff(&UMessage::text("hi")).to_vec();
+        good.push(0xFF); // trailing byte: length mismatch
+        assert!(decode_handoff(&Payload::from_vec(good)).is_err());
+    }
+
+    #[test]
+    fn empty_message_round_trips() {
+        let msg = UMessage::text("");
+        let back = decode_handoff(&encode_handoff(&msg)).unwrap();
+        assert_eq!(back, msg);
+    }
+}
