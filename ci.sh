@@ -6,7 +6,8 @@
 #
 #   lint          rustfmt, clippy -D warnings, BENCH_*.json record lint
 #   build-test    release build + full workspace test suite
-#   determinism   double-run byte-diff gates (E8 trace, E10 doctor)
+#   determinism   double-run byte-diff gates (E8 trace, E10 doctor,
+#                 E11 incident bundle)
 #   perf          perf_payload + perf_sched regression checks
 #   all           every stage in order (the default; what `./ci.sh` runs)
 #
@@ -19,6 +20,9 @@
 #
 #   PERF_FLOOR_EVPS      events/sec floor at N=1000   (default 50000)
 #   PERF_P99_BUDGET_US   p99 dispatch budget in µs    (default 200)
+#   PERF_RECORDER_OVERHEAD  ceiling on the always-on flight recorder's
+#                        wall-clock ratio at N=1000 (default 1.03 —
+#                        the <=3% budget for keeping it on everywhere)
 #   PERF_SHARD_SPEEDUP   E9c 4-shard over 1-shard events/sec floor at
 #                        N=10000 (default 1.5; auto-skipped on hosts
 #                        with fewer than 4 cores, where a 4-way shard
@@ -33,6 +37,7 @@ STAGE="${1:-all}"
 
 : "${PERF_FLOOR_EVPS:=50000}"
 : "${PERF_P99_BUDGET_US:=200}"
+: "${PERF_RECORDER_OVERHEAD:=1.03}"
 : "${PERF_SHARD_SPEEDUP:=1.5}"
 
 # --- gate bookkeeping -------------------------------------------------
@@ -131,6 +136,14 @@ stage_determinism() {
     gate doctor-determinism run_determinism_gate doctor doctor_export \
         --doctor @OUT.doctor.json \
         --openmetrics @OUT.metrics.om
+    # E11 incident gate: the sharded fault run must snapshot a
+    # byte-identical incident bundle (and doctor report) across two
+    # runs — the trigger plane, the flight-recorder ring and the
+    # cross-shard trace hand-off all sit on the deterministic path,
+    # even with shards on real threads.
+    gate incident-determinism run_determinism_gate incident incident_export \
+        --bundle @OUT.incident.json \
+        --doctor @OUT.doctor.json
 }
 
 stage_perf() {
@@ -141,11 +154,13 @@ stage_perf() {
     # Scheduler gates: timer-wheel kernel vs reference heap, E9
     # events/sec floor and near-linearity, p99 dispatch budget, E9b
     # batched-vs-unbatched speedup floor, telemetry sampler overhead
-    # ceiling, E9c shard-scaling floor (enforced only on >=4-core
-    # hosts). Knobs come from PERF_FLOOR_EVPS / PERF_P99_BUDGET_US /
+    # ceiling, flight-recorder overhead ceiling, E9c shard-scaling
+    # floor (enforced only on >=4-core hosts). Knobs come from
+    # PERF_FLOOR_EVPS / PERF_P99_BUDGET_US / PERF_RECORDER_OVERHEAD /
     # PERF_SHARD_SPEEDUP.
     gate perf-sched cargo run --offline --release -p bench --bin perf_sched -- \
         --check --floor-evps "$PERF_FLOOR_EVPS" --p99-budget-us "$PERF_P99_BUDGET_US" \
+        --recorder-overhead "$PERF_RECORDER_OVERHEAD" \
         --shard-speedup "$PERF_SHARD_SPEEDUP"
 }
 

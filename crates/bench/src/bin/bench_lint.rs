@@ -342,6 +342,31 @@ fn lint_scaling_curve(at: &str, curve: &Json) -> Vec<String> {
     problems
 }
 
+/// Validates one `trace_loss` value from the observability record: an
+/// object carrying the retention policy name plus the retained/lost
+/// span counts the before/after comparison is about.
+fn lint_trace_loss(at: &str, loss: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    if !matches!(loss, Json::Object(_)) {
+        return vec![format!("{at}: trace_loss must be an object")];
+    }
+    match loss.get("mode") {
+        Some(Json::String(s)) if !s.is_empty() => {}
+        Some(_) => problems.push(format!(
+            "{at}: trace_loss \"mode\" must be a non-empty string"
+        )),
+        None => problems.push(format!("{at}: trace_loss missing required key \"mode\"")),
+    }
+    for key in ["retained", "lost"] {
+        match loss.get(key) {
+            Some(Json::Number(_)) => {}
+            Some(_) => problems.push(format!("{at}: trace_loss key {key:?} is not a number")),
+            None => problems.push(format!("{at}: trace_loss missing required key {key:?}")),
+        }
+    }
+    problems
+}
+
 /// Validates one record's content; returns every problem found.
 fn lint_record(text: &str) -> Vec<String> {
     let doc = match Parser::new(text).parse_document() {
@@ -376,6 +401,19 @@ fn lint_record(text: &str) -> Vec<String> {
     for (at, holder) in curve_sites {
         if let Some(curve) = holder.get("e9c_shard_scale") {
             problems.extend(lint_scaling_curve(at, curve));
+        }
+    }
+    // Observability convention: the record's before/after comparison is
+    // the trace-loss A/B (drop-on-full vs flight recorder), so both
+    // sides must carry a well-formed `trace_loss` object.
+    if matches!(doc.get("name"), Some(Json::String(s)) if s == "observability") {
+        for key in ["before", "after"] {
+            match doc.get(key).and_then(|side| side.get("trace_loss")) {
+                Some(loss) => problems.extend(lint_trace_loss(key, loss)),
+                None => problems.push(format!(
+                    "observability record: {key:?} must carry a \"trace_loss\" object"
+                )),
+            }
         }
     }
     problems
@@ -487,6 +525,38 @@ mod tests {
             lint_record(bad_name),
             vec!["key \"name\" must be a non-empty string".to_owned()]
         );
+    }
+
+    #[test]
+    fn lint_enforces_observability_trace_loss() {
+        let ok = r#"{"name": "observability", "units": "spans",
+            "before": {"trace_loss": {"mode": "drop-on-full", "retained": 256, "lost": 90, "tail_survives": false}},
+            "after": {"trace_loss": {"mode": "flight-recorder", "retained": 256, "lost": 90, "tail_survives": true}}}"#;
+        assert_eq!(lint_record(ok), Vec::<String>::new());
+
+        let missing_side = r#"{"name": "observability", "units": "spans",
+            "before": {"trace_loss": {"mode": "drop-on-full", "retained": 1, "lost": 2}},
+            "after": {"snapshot": {}}}"#;
+        assert_eq!(
+            lint_record(missing_side),
+            vec!["observability record: \"after\" must carry a \"trace_loss\" object".to_owned()]
+        );
+
+        let bad_fields = r#"{"name": "observability", "units": "spans",
+            "before": {"trace_loss": {"mode": "", "retained": 1, "lost": 2}},
+            "after": {"trace_loss": {"mode": "flight-recorder", "retained": "many"}}}"#;
+        assert_eq!(
+            lint_record(bad_fields),
+            vec![
+                "before: trace_loss \"mode\" must be a non-empty string".to_owned(),
+                "after: trace_loss key \"retained\" is not a number".to_owned(),
+                "after: trace_loss missing required key \"lost\"".to_owned(),
+            ]
+        );
+
+        // Non-observability records are exempt from the convention.
+        let other = r#"{"name": "n", "units": "ns", "before": 1, "after": 2}"#;
+        assert!(lint_record(other).is_empty());
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //! doctor_export [--doctor FILE] [--openmetrics FILE]
 //! ```
 //!
-//! With no flags, writes `E10_doctor.json` and `E10_metrics.om` in the
-//! current directory. Both outputs are byte-identical across runs (the
-//! `ci.sh` determinism gate diffs two of them), and the doctor's alert
-//! and offender summary is always printed to stdout.
+//! With no flags, writes `artifacts/E10_doctor.json` and
+//! `artifacts/E10_metrics.om` relative to the current directory. Both
+//! outputs are byte-identical across runs (the `ci.sh` determinism gate
+//! diffs two of them), and the doctor's alert and offender summary is
+//! always printed to stdout.
 
 use bench::experiments::e10_telemetry_faults;
 
@@ -38,8 +39,8 @@ fn main() {
         }
     }
     if doctor_out.is_none() && om_out.is_none() {
-        doctor_out = Some("E10_doctor.json".to_owned());
-        om_out = Some("E10_metrics.om".to_owned());
+        doctor_out = Some("artifacts/E10_doctor.json".to_owned());
+        om_out = Some("artifacts/E10_metrics.om".to_owned());
     }
 
     let r = e10_telemetry_faults();
@@ -57,11 +58,20 @@ fn main() {
             o.severity_milli, o.kind, o.subject
         );
     }
+    let ensure_dir = |path: &str| {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create artifact directory");
+            }
+        }
+    };
     if let Some(path) = &doctor_out {
+        ensure_dir(path);
         std::fs::write(path, &r.doctor_json).expect("write doctor report");
         println!("wrote {path} ({} B)", r.doctor_json.len());
     }
     if let Some(path) = &om_out {
+        ensure_dir(path);
         std::fs::write(path, &r.open_metrics).expect("write OpenMetrics exposition");
         println!(
             "wrote {path} ({} B) — OpenMetrics text format",

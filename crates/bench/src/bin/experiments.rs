@@ -1,8 +1,9 @@
 //! CLI harness: runs every experiment and prints the paper-vs-measured
 //! tables. Pass experiment ids (`e1 e3 ...`) to run a subset,
-//! `--json FILE` to also dump the E8 metrics snapshot as JSON, and
+//! `--json FILE` to also dump the BENCH_observability record (the E11
+//! trace-loss A/B as before/after plus the E8 metrics snapshot), and
 //! `--perfetto FILE` / `--folded FILE` to write the E8 trace exports
-//! (see also the dedicated `trace_export` bin).
+//! (see also the dedicated `trace_export` and `incident_export` bins).
 
 use bench::experiments::*;
 use bench::report::*;
@@ -60,7 +61,19 @@ fn main() {
         if let Some(path) = &json_out {
             // The dump doubles as the repo-recorded BENCH_observability
             // record, so it carries the bench_lint key convention
-            // (name/before/after/units) with the snapshot as "after".
+            // (name/before/after/units). The before/after comparison is
+            // the trace-loss A/B: the drop-on-full policy (before the
+            // flight recorder) loses the incident tail, the ring
+            // journal (after) keeps it; the E8 metrics snapshot rides
+            // along under "snapshot".
+            let (drop_side, ring_side) = e11_trace_loss_ab();
+            let loss = |s: &TraceLossSide| {
+                format!(
+                    "{{\"mode\": \"{}\", \"retained\": {}, \"lost\": {}, \
+                     \"tail_survives\": {}}}",
+                    s.mode, s.retained, s.lost, s.tail_survives
+                )
+            };
             let after = r.snapshot.to_json();
             let record = format!(
                 concat!(
@@ -68,13 +81,15 @@ fn main() {
                     "  \"name\": \"observability\",\n",
                     "  \"units\": \"counters/gauges: dimensionless totals; ",
                     "histograms: event counts per bucket; ",
-                    "bucket_bounds_ns: nanoseconds\",\n",
-                    "  \"before\": \"none: the E8 observability plane introduced ",
-                    "these metrics; no pre-observability snapshot exists\",\n",
-                    "  \"after\": {}\n",
+                    "bucket_bounds_ns: nanoseconds; ",
+                    "trace_loss: span records at equal trace capacity\",\n",
+                    "  \"before\": {{\n    \"trace_loss\": {}\n  }},\n",
+                    "  \"after\": {{\n    \"trace_loss\": {},\n    \"snapshot\": {}\n  }}\n",
                     "}}"
                 ),
-                after.trim_end().replace('\n', "\n  ")
+                loss(&drop_side),
+                loss(&ring_side),
+                after.trim_end().replace('\n', "\n    ")
             );
             std::fs::write(path, record).expect("write metrics snapshot");
             println!("wrote metrics snapshot to {path}");
@@ -90,6 +105,9 @@ fn main() {
     }
     if want("e10") {
         println!("{}", render_e10(&e10_telemetry_faults()));
+    }
+    if want("e11") {
+        println!("{}", render_e11(&e11_sharded_incident()));
     }
     // Scheduler scaling sweep (opt-in: `cargo run -p bench -- e9`) —
     // a reduced version of the full `perf_sched --json` sweep, which

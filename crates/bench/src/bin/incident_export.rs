@@ -1,0 +1,81 @@
+//! Exports the E11 sharded fault-injection run as a deterministic
+//! incident-bundle artifact: the first bundle the light shard's trigger
+//! plane snapshotted, plus the shard's final doctor report.
+//!
+//! Usage:
+//!
+//! ```text
+//! incident_export [--bundle FILE] [--doctor FILE]
+//! ```
+//!
+//! With no flags, writes `artifacts/E11_incident.json` and
+//! `artifacts/E11_doctor.json` relative to the current directory. Both
+//! outputs are byte-identical across runs (the `ci.sh` determinism gate
+//! diffs two of them), and a journey/trigger summary is always printed
+//! to stdout.
+
+use bench::experiments::e11_sharded_incident;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut bundle_out = None;
+    let mut doctor_out = None;
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--bundle" => {
+                bundle_out = raw.get(i + 1).cloned();
+                i += 2;
+            }
+            "--doctor" => {
+                doctor_out = raw.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: incident_export [--bundle FILE] [--doctor FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if bundle_out.is_none() && doctor_out.is_none() {
+        bundle_out = Some("artifacts/E11_incident.json".to_owned());
+        doctor_out = Some("artifacts/E11_doctor.json".to_owned());
+    }
+
+    let r = e11_sharded_incident();
+    println!(
+        "E11 incident: {} xfer egress / {} ingress spans, {} orphans, \
+         journey coverage {:.1}%",
+        r.xfer_egress,
+        r.xfer_ingress,
+        r.orphan_xfer_hops,
+        r.journey_coverage * 100.0
+    );
+    for b in &r.bundles {
+        println!(
+            "  bundle: {:?} on shard {:?} at {} ns",
+            b.kind,
+            b.shard,
+            b.at.as_nanos()
+        );
+    }
+    match &r.top_offender {
+        Some(subject) => println!("  top offender: {subject}"),
+        None => println!("  top offender: (none)"),
+    }
+    for (path, body, what) in [
+        (&bundle_out, &r.bundle_json, "incident bundle"),
+        (&doctor_out, &r.doctor_json, "doctor report"),
+    ] {
+        if let Some(path) = path {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create artifact directory");
+                }
+            }
+            std::fs::write(path, body).expect("write artifact");
+            println!("wrote {path} ({} B) — {what}", body.len());
+        }
+    }
+}

@@ -8,9 +8,9 @@
 //! Run with `--check` for the CI scaling-regression gate — an
 //! events/sec floor at N = 1000, a near-linearity bound on the
 //! per-event wall cost from N = 100 to N = 1000, a p99 dispatch-latency
-//! budget, a batched-dispatch speedup floor, a ceiling on the telemetry
-//! sampler's overhead at N = 1000, and a shard-scaling floor at 4
-//! shards / N = 10 000 — or with `--json FILE` to write the sweep as
+//! budget, a batched-dispatch speedup floor, ceilings on the telemetry
+//! sampler's and the flight recorder's overhead at N = 1000, and a
+//! shard-scaling floor at 4 shards / N = 10 000 — or with `--json FILE` to write the sweep as
 //! deterministic-schema JSON (values are wall-clock and
 //! machine-dependent; the schema is what golden files assert on). The
 //! committed `BENCH_perf_sched.json` pairs one such run with the
@@ -20,6 +20,9 @@
 //!
 //! * `--floor-evps N` — events/sec floor at N = 1000 (default 50000).
 //! * `--p99-budget-us N` — p99 dispatch budget in µs (default 200).
+//! * `--recorder-overhead X` — ceiling on the always-on flight
+//!   recorder's wall-clock ratio at N = 1000 (default 1.03;
+//!   `PERF_RECORDER_OVERHEAD` env).
 //! * `--shard-speedup X` — E9c 4-shard events/sec floor, as a ratio
 //!   over the 1-shard run (default 1.5; `PERF_SHARD_SPEEDUP` env).
 //!   Automatically *not enforced* when the host exposes fewer than 4
@@ -30,7 +33,9 @@
 //!   (default 10000; 100000 reproduces the large point, at ~10x the
 //!   wall time).
 
-use bench::experiments::{e10_sampler_overhead, e9_sched_scale, e9b_batch_ab, e9c_shard_scale};
+use bench::experiments::{
+    e10_sampler_overhead, e11_recorder_overhead, e9_sched_scale, e9b_batch_ab, e9c_shard_scale,
+};
 use bench::report::{render_e9, render_e9b, render_e9c};
 use bench::timing::sched_kernel;
 use simnet::SimDuration;
@@ -68,6 +73,14 @@ const CHECK_BATCH_SPEEDUP: f64 = 1.3;
 /// 0.97–1.03. 5% still fails an order-of-magnitude sampler regression
 /// without flaking on a shared box.
 const CHECK_SAMPLER_OVERHEAD: f64 = 1.05;
+
+/// `--check` ceiling on the always-on flight recorder's wall-clock
+/// overhead at N = 1000 (min paired ratio over alternating passes,
+/// recorder vs plain trace, on the E9b busy-sink fixture). The ring
+/// journal evicts in half-capacity chunks, so the amortized per-span
+/// cost is a few pointer moves; 3% is the issue's budget for keeping
+/// the recorder on in every run.
+const CHECK_RECORDER_OVERHEAD: f64 = 1.03;
 
 /// Default `--shard-speedup`: E9c events/sec at 4 shards must be at
 /// least this multiple of the 1-shard run, at N = 10 000. Linear
@@ -111,6 +124,16 @@ fn main() {
         &args,
         "--shard-speedup",
         env_shard_speedup.unwrap_or(DEFAULT_SHARD_SPEEDUP),
+    );
+    // Ceiling priority: --recorder-overhead flag, then
+    // PERF_RECORDER_OVERHEAD env, then the default.
+    let env_recorder = std::env::var("PERF_RECORDER_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+    let recorder_ceiling: f64 = flag_value(
+        &args,
+        "--recorder-overhead",
+        env_recorder.unwrap_or(CHECK_RECORDER_OVERHEAD),
     );
     let host_cores = std::thread::available_parallelism()
         .map(|c| c.get())
@@ -180,6 +203,18 @@ fn main() {
             "telemetry sampler overhead x{overhead:.3} at N=1000 exceeds x{CHECK_SAMPLER_OVERHEAD}"
         );
 
+        // Flight recorder: always-on ring journaling must stay within
+        // its overhead budget on the busy-sink fixture — the whole
+        // point of the recorder is that nobody turns tracing off for
+        // performance. Min paired ratio over alternating passes, same
+        // rationale as the sampler gate.
+        let recorder = e11_recorder_overhead(1000, SimDuration::from_secs(5), 5);
+        assert!(
+            recorder <= recorder_ceiling,
+            "flight recorder overhead x{recorder:.3} at N=1000 exceeds x{recorder_ceiling} \
+             (override with --recorder-overhead / PERF_RECORDER_OVERHEAD on a noisy host)"
+        );
+
         // E9c: sharded execution must keep paying for itself — the
         // 4-shard run of the N = 10k wing federation must beat the
         // 1-shard run by the configured floor. On a host with fewer
@@ -216,13 +251,14 @@ fn main() {
         }
 
         println!(
-            "perf_sched --check: ok (N=1000 {:.0} events/s, per-event cost x{:.2} over 10x devices, p99 {} ns <= {} ns, batch speedup x{:.2}, sampler overhead x{:.3}, shard speedup x{:.2} at 4 shards on {} core(s), wheel {:.0} ns/op vs heap {:.0} ns/op)",
+            "perf_sched --check: ok (N=1000 {:.0} events/s, per-event cost x{:.2} over 10x devices, p99 {} ns <= {} ns, batch speedup x{:.2}, sampler overhead x{:.3}, recorder overhead x{:.3}, shard speedup x{:.2} at 4 shards on {} core(s), wheel {:.0} ns/op vs heap {:.0} ns/op)",
             large.events_per_sec,
             cost_large / cost_small,
             large.p99_dispatch_ns,
             p99_budget_ns,
             big.speedup,
             overhead,
+            recorder,
             sharded_speedup,
             host_cores,
             k.wheel_ns_per_op,

@@ -4,8 +4,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use simnet::{
-    Addr, AlertState, AlertTransition, BurnRateRule, Ctx, HealthReport, Objective, Process,
-    SamplerConfig, SegmentConfig, SimDuration, SimTime, SloKind, StreamEvent, StreamId,
+    merge_shard_spans, Addr, AlertState, AlertTransition, BurnRateRule, CriticalPath, Ctx,
+    HealthReport, IncidentBundle, IncidentConfig, MetricsSnapshot, Objective, ProcId, Process,
+    SamplerConfig, SegmentConfig, SimDuration, SimTime, SloKind, SpanRecord, StreamEvent, StreamId,
     TelemetryConfig, World,
 };
 use umiddle_bridges::{
@@ -2363,58 +2364,13 @@ pub fn e10_telemetry_faults() -> TelemetryFaultResults {
         }),
     );
 
-    world.enable_telemetry(TelemetryConfig {
-        sampler: SamplerConfig {
-            interval: SimDuration::from_millis(500),
-            window: 64,
-        },
-        objectives: vec![
-            // Availability: the UPnP bridge must translate traffic in
-            // (almost) every interval. Budget 10% silent intervals;
-            // firing at 5x burn over (3 s long, 1 s short) windows.
-            Objective {
-                name: "upnp-availability".to_owned(),
-                subject: "bridge:upnp".to_owned(),
-                kind: SloKind::Liveness {
-                    counter: "bridge.upnp.traffic".to_owned(),
-                    budget_ppm: 100_000,
-                },
-                warning: BurnRateRule {
-                    long_intervals: 6,
-                    short_intervals: 2,
-                    factor_milli: 2_500,
-                },
-                firing: BurnRateRule {
-                    long_intervals: 6,
-                    short_intervals: 2,
-                    factor_milli: 5_000,
-                },
-            },
-            // Latency: at most 1% of bridged deliveries may take more
-            // than 20 ms end to end. On the saturated hub every
-            // delivery violates, so the burn rate pins at 100x budget.
-            Objective {
-                name: "hub-latency".to_owned(),
-                subject: "seg0:ethernet-10mbps-hub".to_owned(),
-                kind: SloKind::LatencyAbove {
-                    histogram: "umiddle.path_latency".to_owned(),
-                    threshold_ns: 20_000_000,
-                    budget_ppm: 10_000,
-                },
-                warning: BurnRateRule {
-                    long_intervals: 8,
-                    short_intervals: 2,
-                    factor_milli: 1_000,
-                },
-                firing: BurnRateRule {
-                    long_intervals: 8,
-                    short_intervals: 2,
-                    factor_milli: 5_000,
-                },
-            },
-        ],
-        liveness_timeout: SimDuration::from_secs(5),
-    });
+    // Availability: the UPnP bridge must translate traffic in (almost)
+    // every interval — budget 10% silent intervals, firing at 5x burn.
+    // Latency: at most 1% of bridged deliveries over 20 ms end to end;
+    // on the saturated hub every delivery violates, pinning the burn
+    // rate at 100x budget. (Shared with E11, which re-runs this fault
+    // pair across a shard boundary.)
+    world.enable_telemetry(e10_objectives());
 
     // Healthy half, fault injection, degraded half.
     world.run_until(fault_at);
@@ -2483,6 +2439,477 @@ pub fn e10_sampler_overhead(n: usize, measure: SimDuration, passes: usize) -> f6
         let plain = run(false);
         let sampled = run(true);
         best = best.min(sampled / plain);
+    }
+    best
+}
+
+// =====================================================================
+// E11 — sharded incident: cross-shard journeys + incident bundles
+// =====================================================================
+
+/// Cross-shard inlet id carrying E11's bridged clicks.
+const E11_INLET: u16 = 0;
+/// Port the E11 ingress service binds for inlet delivery.
+const E11_INLET_PORT: u16 = 46_100;
+
+/// Removes a victim process at a fixed virtual time. In a sharded run
+/// nobody can pause the conductor between windows to edit a world from
+/// outside (the way [`e10_telemetry_faults`] does with
+/// `World::remove_process`), so the silence fault has to live *inside*
+/// the world as an event.
+struct FaultInjector {
+    victim: ProcId,
+    at: SimDuration,
+}
+
+impl Process for FaultInjector {
+    fn name(&self) -> &str {
+        "e11-fault-injector"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let at = self.at;
+        ctx.set_timer(at, 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        ctx.remove_process(self.victim)
+            .expect("victim alive at fault time");
+    }
+}
+
+/// Everything one E11 shard sends home across the thread boundary.
+struct E11ShardObs {
+    shard: u16,
+    spans: Vec<SpanRecord>,
+    snapshot: MetricsSnapshot,
+    incidents: Vec<IncidentBundle>,
+    report: Option<HealthReport>,
+}
+
+/// Results of the sharded incident experiment.
+#[derive(Debug, Clone)]
+pub struct ShardedIncidentResults {
+    /// Per-shard traces merged into one federation-wide span set
+    /// (sources prefixed `s{shard}/`, ingress hops re-parented onto
+    /// their remote egress).
+    pub merged_spans: Vec<SpanRecord>,
+    /// `shard.xfer.egress` spans recorded on the mouse shard.
+    pub xfer_egress: u64,
+    /// `shard.xfer.ingress` spans recorded on the light shard.
+    pub xfer_ingress: u64,
+    /// Ingress hops whose remote parent did not resolve after merging.
+    pub orphan_xfer_hops: u64,
+    /// Critical-path coverage of the merged cross-shard journey.
+    pub journey_coverage: f64,
+    /// Incident bundles the light shard's trigger plane snapshotted.
+    pub bundles: Vec<IncidentBundle>,
+    /// Deterministic JSON of the first bundle (CI's byte-diff artifact).
+    pub bundle_json: String,
+    /// The light shard's final doctor report JSON.
+    pub doctor_json: String,
+    /// Subject of the doctor's top offender.
+    pub top_offender: Option<String>,
+}
+
+/// Builds the Bluetooth half on shard 0: the mouse, its mapper, and an
+/// uplink standing in for the remote light — clicks wired into it leave
+/// the shard as traced hand-off frames.
+fn e11_mouse_shard(world: &mut World) {
+    use platform_bluetooth::{HidpMouse, MouseConfig};
+    use umiddle_bridges::ShardUplink;
+
+    let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+    let (h1, rt) = runtime_node(world, "h1", 0, &[pico]);
+    let mouse_node = world.add_node("mouse");
+    world.attach(mouse_node, pico).unwrap();
+    world.add_process(
+        mouse_node,
+        Box::new(HidpMouse::new(MouseConfig {
+            name: "E11 Mouse".to_owned(),
+            click_interval: Some(SimDuration::from_millis(400)),
+            motion_interval: None,
+            click_limit: 0,
+        })),
+    );
+    world.add_process(
+        h1,
+        Box::new(BluetoothMapper::with_defaults(rt, UsdlLibrary::bundled())),
+    );
+    world.add_process(
+        h1,
+        Box::new(NativeService::new(
+            "E11 Uplink",
+            Shape::builder()
+                .digital("in", Direction::Input, "text/plain".parse().unwrap())
+                .build()
+                .unwrap(),
+            rt,
+            Box::new(ShardUplink::new(1, E11_INLET)),
+        )),
+    );
+    world.add_process(
+        h1,
+        Box::new(Wirer::new(
+            rt,
+            vec![WireRule::new("E11 Mouse", "clicks", "E11 Uplink", "in")],
+        )),
+    );
+}
+
+/// Builds the UPnP half on shard 1: the light, its mapper, the ingress
+/// re-emitting arriving clicks, the E10 fault pair (flood + mapper
+/// silence, both at t = 30 s), and the telemetry plane whose trigger
+/// rules snapshot the incident bundles.
+fn e11_light_shard(world: &mut World, fault_at: SimDuration) {
+    use platform_upnp::{LightLogic, UpnpDevice};
+    use umiddle_bridges::ShardIngress;
+
+    let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub()); // seg0
+    let (h2, rt) = runtime_node(world, "h2", 1, &[hub]);
+    let light_node = world.add_node("light");
+    world.attach(light_node, hub).unwrap();
+    world.add_process(
+        light_node,
+        Box::new(UpnpDevice::new(
+            Box::new(LightLogic::new("E11 Light", "uuid:e11-l")),
+            5000,
+        )),
+    );
+    let upnp_mapper = world.add_process(
+        h2,
+        Box::new(UpnpMapper::with_defaults(rt, UsdlLibrary::bundled())),
+    );
+    // The ingress lives on its own host and runtime so the re-emitted
+    // clicks cross the hub on their way to the light — the same
+    // transport leg the flood saturates (mirrors E10's rt0 → rt1 hop).
+    let (h3, rt3) = runtime_node(world, "h3", 2, &[hub]);
+    world.add_process(
+        h3,
+        Box::new(
+            NativeService::new(
+                "E11 Ingress",
+                Shape::builder()
+                    .digital("out", Direction::Output, "text/plain".parse().unwrap())
+                    .build()
+                    .unwrap(),
+                rt3,
+                Box::new(ShardIngress::new("out")),
+            )
+            .with_shard_inlet(E11_INLET, E11_INLET_PORT),
+        ),
+    );
+    world.add_process(
+        h3,
+        Box::new(Wirer::new(
+            rt3,
+            vec![WireRule::new(
+                "E11 Ingress",
+                "out",
+                "E11 Light",
+                "switch-on",
+            )],
+        )),
+    );
+
+    // The same fault pair as E10: a flood saturating the hub plus the
+    // mapper going silent, both at the fault instant.
+    let flood_dst = world.add_node("flood-dst");
+    world.attach(flood_dst, hub).unwrap();
+    world.add_process(flood_dst, Box::new(FloodSink));
+    let flood_src = world.add_node("flood-src");
+    world.attach(flood_src, hub).unwrap();
+    world.add_process(
+        flood_src,
+        Box::new(Flooder {
+            target: Addr::new(flood_dst, FLOOD_PORT),
+            start_after: fault_at,
+            period: SimDuration::from_micros(800),
+            size: 1000,
+        }),
+    );
+    world.add_process(
+        h2,
+        Box::new(FaultInjector {
+            victim: upnp_mapper,
+            at: fault_at,
+        }),
+    );
+
+    world.enable_telemetry(e10_objectives());
+}
+
+/// The E10/E11 telemetry configuration: 500 ms sampler, availability
+/// SLO on the UPnP bridge, latency SLO on the shared hub.
+fn e10_objectives() -> TelemetryConfig {
+    TelemetryConfig {
+        sampler: SamplerConfig {
+            interval: SimDuration::from_millis(500),
+            window: 64,
+        },
+        objectives: vec![
+            Objective {
+                name: "upnp-availability".to_owned(),
+                subject: "bridge:upnp".to_owned(),
+                kind: SloKind::Liveness {
+                    counter: "bridge.upnp.traffic".to_owned(),
+                    budget_ppm: 100_000,
+                },
+                warning: BurnRateRule {
+                    long_intervals: 6,
+                    short_intervals: 2,
+                    factor_milli: 2_500,
+                },
+                firing: BurnRateRule {
+                    long_intervals: 6,
+                    short_intervals: 2,
+                    factor_milli: 5_000,
+                },
+            },
+            Objective {
+                name: "hub-latency".to_owned(),
+                subject: "seg0:ethernet-10mbps-hub".to_owned(),
+                kind: SloKind::LatencyAbove {
+                    histogram: "umiddle.path_latency".to_owned(),
+                    threshold_ns: 20_000_000,
+                    budget_ppm: 10_000,
+                },
+                warning: BurnRateRule {
+                    long_intervals: 8,
+                    short_intervals: 2,
+                    factor_milli: 1_000,
+                },
+                firing: BurnRateRule {
+                    long_intervals: 8,
+                    short_intervals: 2,
+                    factor_milli: 5_000,
+                },
+            },
+        ],
+        liveness_timeout: SimDuration::from_secs(5),
+    }
+}
+
+/// Runs the sharded incident experiment: the E10 fault pair re-run with
+/// the federation split across a shard boundary — the Bluetooth mouse
+/// on shard 0, the UPnP light (and both faults) on shard 1, clicks
+/// crossing the conductor's inter-shard link as traced hand-off frames.
+/// Both shards run an always-on flight recorder; shard 1's trigger
+/// plane snapshots a deterministic incident bundle when the SLOs fire.
+///
+/// The experiment proves two things the unsharded E10 cannot:
+///
+/// 1. **Journey coverage across the boundary** — after
+///    [`merge_shard_spans`], every `shard.xfer.ingress` hop resolves
+///    its remote `shard.xfer.egress` parent (no orphans), and the
+///    merged critical path attributes the link crossing.
+/// 2. **Incident localization from inside one shard** — the bundle's
+///    doctor report ranks the saturated hub as top offender even
+///    though the traffic *source* (the mouse) lives on another shard.
+pub fn e11_sharded_incident() -> ShardedIncidentResults {
+    use simnet::shard::{run_sharded, ShardPlan};
+
+    let fault_at = SimDuration::from_secs(30);
+    let plan = ShardPlan::new(2, SimDuration::from_millis(5)).without_wall_health();
+    let report = run_sharded(
+        &plan,
+        0xE11,
+        SimTime::from_secs(60),
+        |world, info| {
+            world.trace_mut().set_log_enabled(false);
+            world.enable_flight_recorder(IncidentConfig::default());
+            if info.shard == 0 {
+                e11_mouse_shard(world);
+            } else {
+                e11_light_shard(world, fault_at);
+            }
+            Ok(())
+        },
+        |world, info| E11ShardObs {
+            shard: info.shard,
+            spans: world.trace().spans().to_vec(),
+            snapshot: world.trace().metrics().snapshot(),
+            incidents: world.incidents().to_vec(),
+            report: world.doctor(),
+        },
+    )
+    .expect("sharded incident run");
+
+    let obs: Vec<E11ShardObs> = report.shards.into_iter().map(|s| s.result).collect();
+    let per_shard: Vec<(u16, &[SpanRecord])> =
+        obs.iter().map(|o| (o.shard, o.spans.as_slice())).collect();
+    let merged = merge_shard_spans(&per_shard);
+
+    let egress: Vec<&SpanRecord> = merged
+        .iter()
+        .filter(|s| s.stage == "shard.xfer.egress")
+        .collect();
+    let ingress: Vec<&SpanRecord> = merged
+        .iter()
+        .filter(|s| s.stage == "shard.xfer.ingress")
+        .collect();
+    let orphans = ingress.iter().filter(|s| s.parent.is_none()).count() as u64;
+
+    // Coverage of the cross-shard journey: the corr minted on the mouse
+    // shard reaches from connection setup through the merged link hop.
+    let journey_coverage = ingress
+        .first()
+        .and_then(|s| CriticalPath::analyze(&merged, s.corr))
+        .map_or(0.0, |cp| cp.coverage());
+
+    let light = obs
+        .iter()
+        .find(|o| o.shard == 1)
+        .expect("light shard collected");
+    let doctor = light.report.as_ref().expect("telemetry on light shard");
+    let bundle_json = light
+        .incidents
+        .first()
+        .map(|b| b.to_json())
+        .unwrap_or_default();
+
+    // Cross-check the span census against the bridge counters.
+    let counter = |o: &E11ShardObs, k: &str| o.snapshot.counters.get(k).copied().unwrap_or(0);
+    let mouse = obs
+        .iter()
+        .find(|o| o.shard == 0)
+        .expect("mouse shard collected");
+    assert_eq!(egress.len() as u64, counter(mouse, "shard.xfer_egress"));
+    assert_eq!(ingress.len() as u64, counter(light, "shard.xfer_ingress"));
+
+    ShardedIncidentResults {
+        xfer_egress: egress.len() as u64,
+        xfer_ingress: ingress.len() as u64,
+        orphan_xfer_hops: orphans,
+        journey_coverage,
+        bundle_json,
+        doctor_json: doctor.to_json(),
+        top_offender: doctor.top_offenders.first().map(|o| o.subject.clone()),
+        bundles: light.incidents.clone(),
+        merged_spans: merged,
+    }
+}
+
+// =====================================================================
+// E11b — trace-loss A/B and flight-recorder overhead
+// =====================================================================
+
+/// One side of the trace-loss A/B: what a tight span journal kept and
+/// lost under one overflow policy.
+#[derive(Debug, Clone)]
+pub struct TraceLossSide {
+    /// Overflow policy label.
+    pub mode: &'static str,
+    /// Spans still in the journal at the end of the run.
+    pub retained: u64,
+    /// Spans the journal lost (dropped or overwritten).
+    pub lost: u64,
+    /// Whether the final second of the run is still observable — the
+    /// window an incident trigger would need to snapshot.
+    pub tail_survives: bool,
+}
+
+/// Runs the two-hop mouse→light federation with a deliberately tight
+/// span journal (capacity 256 against ~thousands of spans) under both
+/// overflow policies: legacy drop-on-full keeps the *head* of the run
+/// and goes blind for the rest; the flight recorder keeps the *tail* —
+/// the window that matters when a trigger fires. Returns
+/// `(drop side, recorder side)`.
+pub fn e11_trace_loss_ab() -> (TraceLossSide, TraceLossSide) {
+    use platform_bluetooth::{HidpMouse, MouseConfig};
+    use platform_upnp::{LightLogic, UpnpDevice};
+
+    let horizon = SimTime::from_secs(20);
+    let run = |recorder: bool| {
+        let mut world = World::new(0xE11B);
+        world.trace_mut().set_log_enabled(false);
+        if recorder {
+            world.trace_mut().enable_flight_recorder(256);
+        } else {
+            world.trace_mut().set_capacity(256);
+        }
+        let hub = world.add_segment(SegmentConfig::ethernet_10mbps_hub());
+        let pico = world.add_segment(SegmentConfig::bluetooth_piconet());
+        let (h1, rt1) = runtime_node(&mut world, "h1", 0, &[hub, pico]);
+        let mouse_node = world.add_node("mouse");
+        world.attach(mouse_node, pico).unwrap();
+        world.add_process(
+            mouse_node,
+            Box::new(HidpMouse::new(MouseConfig {
+                name: "AB Mouse".to_owned(),
+                click_interval: Some(SimDuration::from_millis(100)),
+                motion_interval: None,
+                click_limit: 0,
+            })),
+        );
+        world.add_process(
+            h1,
+            Box::new(BluetoothMapper::with_defaults(rt1, UsdlLibrary::bundled())),
+        );
+        let (h2, rt2) = runtime_node(&mut world, "h2", 1, &[hub]);
+        let light_node = world.add_node("light");
+        world.attach(light_node, hub).unwrap();
+        world.add_process(
+            light_node,
+            Box::new(UpnpDevice::new(
+                Box::new(LightLogic::new("AB Light", "uuid:ab-l")),
+                5000,
+            )),
+        );
+        world.add_process(
+            h2,
+            Box::new(UpnpMapper::with_defaults(rt2, UsdlLibrary::bundled())),
+        );
+        world.add_process(
+            h1,
+            Box::new(Wirer::new(
+                rt1,
+                vec![WireRule::new("AB Mouse", "clicks", "AB Light", "switch-on")],
+            )),
+        );
+        world.run_until(horizon);
+
+        let trace = world.trace();
+        let tail_from = SimTime::from_nanos(horizon.as_nanos() - 1_000_000_000);
+        let tail_survives = trace.spans().iter().any(|s| s.start >= tail_from);
+        TraceLossSide {
+            mode: if recorder {
+                "flight-recorder"
+            } else {
+                "drop-on-full"
+            },
+            retained: trace.spans().len() as u64,
+            lost: if recorder {
+                trace.ring_overwrites()
+            } else {
+                trace.spans_dropped()
+            },
+            tail_survives,
+        }
+    };
+    (run(false), run(true))
+}
+
+/// Measures the flight recorder's overhead on the E9b busy-sink A/B:
+/// the same seeded world over the same virtual window with the recorder
+/// off and on, `passes` times, minimum *paired* ratio (same noise
+/// discipline as [`e10_sampler_overhead`]). `perf_sched --check` holds
+/// this under its 3% budget at n = 1000.
+pub fn e11_recorder_overhead(n: usize, measure: SimDuration, passes: usize) -> f64 {
+    let setup = SimTime::from_secs(AB_SETUP);
+    let run = |recorder: bool| {
+        let (mut world, _count) = e9b_world(n, simnet::BatchPolicy::default());
+        if recorder {
+            world.enable_flight_recorder(IncidentConfig::default());
+        }
+        world.run_until(setup);
+        let t0 = std::time::Instant::now();
+        world.run_until(setup + measure);
+        t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..passes.max(2) {
+        let plain = run(false);
+        let recorded = run(true);
+        best = best.min(recorded / plain);
     }
     best
 }
@@ -2581,5 +3008,115 @@ mod tests {
         assert!(r.doctor_json.contains("\"firing\""));
         assert!(r.open_metrics.ends_with("# EOF\n"));
         assert!(r.samples >= 110, "sampler starved: {} samples", r.samples);
+    }
+
+    /// Every bridge must leave a *balanced* span record under batched
+    /// dispatch: one closed hop span per translated message, never one
+    /// span per batch. Since every hop bumps the platform's traffic
+    /// counter exactly once, `ingress + egress == traffic` closes the
+    /// audit — a bridge that batches its outputs but records fewer
+    /// egress spans than messages fails the equality. Platforms the
+    /// fixture drives both ways (fan-in *and* fan-out) must show hops
+    /// in both directions.
+    #[test]
+    fn e9_world_bridge_hops_are_balanced_under_batching() {
+        let mut world = e9_world(12);
+        world.run_until(SimTime::from_secs(120));
+        let snapshot = world.trace().metrics().snapshot();
+        let assert = simnet::TraceAssert::new(world.trace());
+        for (platform, two_way) in [
+            ("bluetooth", false),
+            ("mediabroker", false),
+            ("motes", false),
+            ("rmi", true),
+            ("upnp", false),
+            ("webservices", true),
+        ] {
+            let (ingress, egress) = assert.balanced(platform);
+            let traffic = snapshot
+                .counters
+                .get(&format!("bridge.{platform}.traffic"))
+                .copied()
+                .unwrap_or(0);
+            assert_eq!(
+                ingress + egress,
+                traffic,
+                "{platform}: hop spans do not match translated traffic"
+            );
+            if two_way {
+                assert!(ingress > 0, "no {platform} ingress hop spans");
+                assert!(egress > 0, "no {platform} egress hop spans");
+            }
+        }
+    }
+
+    /// The sharded incident run stitches a complete cross-shard journey
+    /// and localizes the fault from inside one shard: no orphan
+    /// `shard.xfer` hops after merging, the saturated hub as top
+    /// offender, and at least one deterministic incident bundle.
+    #[test]
+    fn e11_cross_shard_journeys_and_incident_bundle() {
+        let r = e11_sharded_incident();
+
+        // The click stream crossed the boundary and every ingress hop
+        // resolved its remote egress parent — 100% journey coverage at
+        // the `shard.xfer` hops.
+        assert!(r.xfer_ingress > 0, "no clicks crossed the shard boundary");
+        assert!(
+            r.xfer_egress >= r.xfer_ingress,
+            "more arrivals than departures: {} egress, {} ingress",
+            r.xfer_egress,
+            r.xfer_ingress
+        );
+        assert_eq!(r.orphan_xfer_hops, 0, "orphan spans at shard.xfer hops");
+        assert!(
+            r.journey_coverage >= 0.95,
+            "merged journey under-attributed: {:.3}",
+            r.journey_coverage
+        );
+
+        // Sources carry their shard prefix after the merge.
+        assert!(r.merged_spans.iter().any(|s| s.source.starts_with("s0/")));
+        assert!(r.merged_spans.iter().any(|s| s.source.starts_with("s1/")));
+
+        // The trigger plane snapshotted the incident, and the bundle
+        // localizes the saturated hub across the shard boundary. (The
+        // first bundle may be the offender-rank change that precedes
+        // the firing transition — both stem from the same fault pair.)
+        let first = r.bundles.first().expect("an incident bundle");
+        assert_eq!(first.shard, Some(1), "bundle names the capturing shard");
+        assert!(
+            r.bundles
+                .iter()
+                .any(|b| b.kind == simnet::TriggerKind::SloFiring),
+            "no slo-firing bundle: {:?}",
+            r.bundles.iter().map(|b| b.kind).collect::<Vec<_>>()
+        );
+        assert!(!r.bundle_json.is_empty());
+        assert!(r.bundle_json.contains("\"trigger\""));
+        assert_eq!(
+            r.top_offender.as_deref(),
+            Some("seg0:ethernet-10mbps-hub"),
+            "doctor did not localize the saturated hub"
+        );
+        assert!(r.doctor_json.contains("\"firing\""));
+    }
+
+    /// The trace-loss A/B behind `BENCH_observability.json`: at equal
+    /// (tight) capacity, drop-on-full loses the tail of the run — the
+    /// window an incident would need — while the flight recorder keeps
+    /// it, at the price of overwriting the head.
+    #[test]
+    fn e11_trace_loss_ab_distinguishes_policies() {
+        let (drop_side, ring_side) = e11_trace_loss_ab();
+        assert_eq!(drop_side.mode, "drop-on-full");
+        assert_eq!(ring_side.mode, "flight-recorder");
+        // Both sides overflowed the tight journal…
+        assert!(drop_side.lost > 0, "fixture too small to overflow");
+        assert!(ring_side.lost > 0, "fixture too small to overflow");
+        // …but only the recorder still holds the end of the run.
+        assert!(!drop_side.tail_survives, "drop mode kept the tail?");
+        assert!(ring_side.tail_survives, "recorder lost the tail");
+        assert!(ring_side.retained > 0);
     }
 }

@@ -267,6 +267,45 @@ pub fn render_e10(r: &TelemetryFaultResults) -> String {
     out
 }
 
+/// Renders the E11 sharded incident run: the E10 fault pair split
+/// across a shard boundary, with the merged journey and the trigger
+/// plane's incident bundles.
+pub fn render_e11(r: &ShardedIncidentResults) -> String {
+    let mut out = hr("E11 — cross-shard tracing: sharded fault pair + incident bundles");
+    out.push_str(&format!(
+        "shard hand-offs: {} egress spans (mouse shard) / {} ingress spans (light shard)\n",
+        r.xfer_egress, r.xfer_ingress
+    ));
+    out.push_str(&format!(
+        "merged journey: {} spans, {} orphan xfer hops, critical-path coverage {:.1}%\n",
+        r.merged_spans.len(),
+        r.orphan_xfer_hops,
+        r.journey_coverage * 100.0
+    ));
+    out.push_str("incident bundles:\n");
+    for b in &r.bundles {
+        out.push_str(&format!(
+            "  #{} {:>12}  shard {:>4}  {:?}: {}\n",
+            b.seq,
+            b.at.to_string(),
+            b.shard.map_or("-".to_owned(), |s| format!("s{s}")),
+            b.kind,
+            b.detail
+        ));
+    }
+    out.push_str(&format!(
+        "doctor's top offender: {}\n",
+        r.top_offender.as_deref().unwrap_or("(none)")
+    ));
+    out.push_str(&format!(
+        "exports: incident bundle JSON {} B, doctor JSON {} B \
+         (write them with the incident_export bin)\n",
+        r.bundle_json.len(),
+        r.doctor_json.len()
+    ));
+    out
+}
+
 /// Renders the E9 scheduler-scaling sweep.
 pub fn render_e9(rows: &[SchedScaleRow]) -> String {
     let mut out = hr("E9 — scheduler scaling: six-bridge federation sweep");

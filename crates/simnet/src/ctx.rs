@@ -44,6 +44,21 @@ impl<'w> Ctx<'w> {
         self.me
     }
 
+    /// Removes a process from the world — in-world failure injection,
+    /// the event-driven twin of [`crate::World::remove_process`]. Lets a
+    /// fault-injector process kill a victim mid-run, which is the only
+    /// way to schedule a failure inside a sharded run (the conductor
+    /// cannot pause sibling shards to edit a world between windows).
+    /// Removing `me` is allowed; the dead slot is not resurrected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProcess`](crate::SimError::UnknownProcess)
+    /// if the process does not exist or was already removed.
+    pub fn remove_process(&mut self, proc: ProcId) -> SimResult<()> {
+        self.world.remove_process(proc)
+    }
+
     /// The node this process runs on.
     pub fn node(&self) -> NodeId {
         self.world.procs[self.me.index()].node

@@ -29,13 +29,35 @@ fn micros(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
+/// Splits a span source into its Perfetto process and thread: a source
+/// prefixed `s{N}/` (as written by
+/// [`crate::span::merge_shard_spans`]) lands on pid `N + 2` — one track
+/// group per shard — under its unprefixed name; everything else stays
+/// on pid 1, the unsharded federation track.
+fn shard_pid(source: &str) -> (u64, &str) {
+    if let Some(rest) = source.strip_prefix('s') {
+        if let Some((num, thread)) = rest.split_once('/') {
+            if !num.is_empty() && num.bytes().all(|b| b.is_ascii_digit()) {
+                if let Ok(n) = num.parse::<u64>() {
+                    return (n + 2, thread);
+                }
+            }
+        }
+    }
+    (1, source)
+}
+
 /// Exports spans as Chrome/Perfetto `trace_event` JSON.
 ///
-/// Every distinct span source (process name) becomes its own thread of
-/// pid 1, tid assigned in sorted-name order; each span becomes a
-/// complete (`"ph": "X"`) event at its virtual start time. Spans that
-/// never closed are exported zero-length with `"unclosed": true` in
-/// `args`, so they remain visible rather than stretching to infinity.
+/// Every distinct span source (process name) becomes its own thread,
+/// tid assigned in sorted-name order; each span becomes a complete
+/// (`"ph": "X"`) event at its virtual start time. Sources carrying an
+/// `s{N}/` shard prefix (a merged sharded trace,
+/// [`crate::span::merge_shard_spans`]) are grouped into one Perfetto
+/// process per shard (`pid N + 2`, named `shard N`); unprefixed sources
+/// share pid 1. Spans that never closed are exported zero-length with
+/// `"unclosed": true` in `args`, so they remain visible rather than
+/// stretching to infinity.
 pub fn perfetto_trace_json(spans: &[SpanRecord]) -> String {
     let mut sources: Vec<&str> = spans.iter().map(|s| s.source.as_str()).collect();
     sources.sort_unstable();
@@ -45,6 +67,13 @@ pub fn perfetto_trace_json(spans: &[SpanRecord]) -> String {
         .enumerate()
         .map(|(i, &s)| (s, i + 1))
         .collect();
+    let mut shard_pids: Vec<u64> = sources
+        .iter()
+        .map(|s| shard_pid(s).0)
+        .filter(|&p| p > 1)
+        .collect();
+    shard_pids.sort_unstable();
+    shard_pids.dedup();
 
     let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
     let mut first = true;
@@ -63,18 +92,30 @@ pub fn perfetto_trace_json(spans: &[SpanRecord]) -> String {
          \"args\": {\"name\": \"simnet federation\"}}"
             .to_owned(),
     );
+    for pid in shard_pids {
+        push_event(
+            &mut out,
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {pid}, \"tid\": 0, \
+                 \"args\": {{\"name\": \"shard {}\"}}}}",
+                pid - 2
+            ),
+        );
+    }
     for (&source, &tid) in &tids {
+        let (pid, thread) = shard_pid(source);
         let mut ev = format!(
-            "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {tid}, \
+            "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {pid}, \"tid\": {tid}, \
              \"args\": {{\"name\": "
         );
-        push_json_string(&mut ev, source);
+        push_json_string(&mut ev, thread);
         ev.push_str("}}");
         push_event(&mut out, ev);
     }
 
     for span in spans {
         let tid = tids[span.source.as_str()];
+        let (pid, _) = shard_pid(&span.source);
         let start_ns = span.start.as_nanos();
         let dur_ns = span.duration().map(|d| d.as_nanos()).unwrap_or(0);
         let mut ev = String::from("{\"ph\": \"X\", \"name\": ");
@@ -83,7 +124,7 @@ pub fn perfetto_trace_json(spans: &[SpanRecord]) -> String {
         let cat = span.stage.split('.').next().unwrap_or("span");
         push_json_string(&mut ev, cat);
         ev.push_str(&format!(
-            ", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {tid}, \"args\": {{\"corr\": ",
+            ", \"ts\": {}, \"dur\": {}, \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"corr\": ",
             micros(start_ns),
             micros(dur_ns),
         ));
@@ -236,6 +277,26 @@ mod tests {
         assert!(a.contains("\"unclosed\": true"));
         // Three sources → tids 1..=3 in sorted order.
         assert!(a.contains("\"tid\": 3"));
+    }
+
+    #[test]
+    fn perfetto_export_groups_merged_shards_into_tracks() {
+        let mut t = Trace::default();
+        t.span(7, ms(0), "uplink", "shard.xfer.egress", "dst=s1 inlet=0");
+        t.span(7, ms(2), "ingress", "shard.xfer.ingress", "src=s0 span=1");
+        let merged = crate::span::merge_shard_spans(&[(0, &t.spans()[..1]), (1, &t.spans()[1..])]);
+        let out = perfetto_trace_json(&merged);
+        // One process per shard, plus the pid-1 federation meta.
+        assert!(out.contains("\"pid\": 2, \"tid\": 0, \"args\": {\"name\": \"shard 0\"}"));
+        assert!(out.contains("\"pid\": 3, \"tid\": 0, \"args\": {\"name\": \"shard 1\"}"));
+        // Thread names are the unprefixed process names.
+        assert!(out.contains("\"args\": {\"name\": \"uplink\"}"));
+        assert!(out.contains("\"args\": {\"name\": \"ingress\"}"));
+        assert!(!out.contains("s0/uplink"), "prefix stripped from threads");
+        // Events land on their shard's pid.
+        assert!(out.contains("\"name\": \"shard.xfer.egress\", \"cat\": \"shard\""));
+        let a = perfetto_trace_json(&merged);
+        assert_eq!(a, out, "deterministic");
     }
 
     #[test]

@@ -924,4 +924,65 @@ mod tests {
         assert_eq!(report.top_offenders[0].subject, "shard:2");
         assert_eq!(report.top_offenders[0].severity_milli, 2_100);
     }
+
+    /// Equal-severity offenders rank on (kind, name), never on map
+    /// iteration or insertion order: the incident trigger plane diffs
+    /// consecutive rank lists, so a severity tie that re-shuffled the
+    /// ranking would snapshot phantom `OffenderRankChange` bundles.
+    #[test]
+    fn doctor_offender_ranking_breaks_ties_deterministically() {
+        let mut metrics = Metrics::default();
+        let mut t = Telemetry::new(sample_cfg(100));
+        // Silent bridge idle 7.5 s of a 5 s timeout: severity 1500.
+        metrics.gauge_set(
+            "bridge.upnp.last_traffic_ns",
+            SimTime::from_millis(2_500).as_nanos() as i64,
+        );
+        // Two straggler shards at exactly the same share: severity 1500.
+        metrics.gauge_set("shard.s3.exec_share_milli", 1_500);
+        metrics.gauge_set("shard.s1.exec_share_milli", 1_500);
+        // Two equally hot segments, busy 90 of every 100 ms: 900 each.
+        for i in 0..=9i64 {
+            metrics.gauge_set("segment.seg0.busy_ns", i * 90_000_000);
+            metrics.gauge_set("segment.seg1.busy_ns", i * 90_000_000);
+            t.sample(SimTime::from_millis(100 * i as u64), &metrics);
+        }
+        let engine = SloEngine::new(Vec::new());
+        let segs = vec![
+            SegmentSample {
+                key: "seg1".to_owned(),
+                label: "seg1:ethernet-100mbps-switch".to_owned(),
+                stats: SegmentStats::default(),
+            },
+            SegmentSample {
+                key: "seg0".to_owned(),
+                label: "seg0:ethernet-100mbps-switch".to_owned(),
+                stats: SegmentStats::default(),
+            },
+        ];
+        let report = HealthReport::build(
+            SimTime::from_secs(10),
+            &t,
+            &engine,
+            &metrics,
+            &segs,
+            0,
+            SimDuration::from_secs(5),
+        );
+        let ranked: Vec<(&str, &str, u64)> = report
+            .top_offenders
+            .iter()
+            .map(|o| (o.kind.as_str(), o.name.as_str(), o.severity_milli))
+            .collect();
+        assert_eq!(
+            ranked,
+            vec![
+                ("bridge-silent", "upnp", 1_500),
+                ("shard-straggler", "shard1", 1_500),
+                ("shard-straggler", "shard3", 1_500),
+                ("segment-hot", "seg0:ethernet-100mbps-switch", 900),
+                ("segment-hot", "seg1:ethernet-100mbps-switch", 900),
+            ]
+        );
+    }
 }

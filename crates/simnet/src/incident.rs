@@ -1,0 +1,326 @@
+//! Incident bundles: deterministic evidence snapshots cut by the
+//! trigger plane.
+//!
+//! The flight recorder ([`Trace::enable_flight_recorder`](crate::Trace))
+//! keeps the most recent trace window at full fidelity; this module is
+//! the *consumer* of that window. When
+//! [`World::enable_flight_recorder`](crate::World) is on, a **trigger
+//! plane** watches every telemetry sample for:
+//!
+//! * a `BurnRateRule` ok→firing transition on any SLO objective,
+//! * a change in the doctor's ranked `top_offenders` list,
+//! * a shard panic (captured by the sharded conductor,
+//!   [`crate::shard::run_sharded`]).
+//!
+//! Each trigger snapshots one [`IncidentBundle`]: the trace window
+//! around the trigger, the live telemetry window, the SLO state-machine
+//! history, the doctor report, and a topology digest — everything an
+//! incident investigation needs, in one artifact. Because every field
+//! derives from virtual time and seeded state, [`IncidentBundle::to_json`]
+//! is byte-deterministic: two runs of the same seeded world produce
+//! byte-identical bundles, which CI enforces with a double-run diff.
+
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{push_json_string, SpanRecord};
+use crate::AlertTransition;
+
+/// What tripped the trigger plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// An SLO objective transitioned ok/warning → firing.
+    SloFiring,
+    /// The doctor's ranked offender list changed.
+    OffenderRankChange,
+    /// A shard thread panicked mid-run.
+    ShardPanic,
+}
+
+impl TriggerKind {
+    /// Stable kebab-case name, used in JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TriggerKind::SloFiring => "slo-firing",
+            TriggerKind::OffenderRankChange => "offender-rank-change",
+            TriggerKind::ShardPanic => "shard-panic",
+        }
+    }
+}
+
+/// Configuration of the per-world incident recorder.
+#[derive(Debug, Clone, Copy)]
+pub struct IncidentConfig {
+    /// Capacity of the flight-recorder ring journals (events and spans).
+    pub ring_capacity: usize,
+    /// How far back from the trigger instant the bundled trace window
+    /// reaches: spans whose effective end is within this window are
+    /// included.
+    pub trace_window: SimDuration,
+    /// Maximum bundles kept per world; later triggers are counted
+    /// (`incident.triggers` keeps growing) but not snapshotted.
+    pub max_bundles: usize,
+}
+
+impl Default for IncidentConfig {
+    fn default() -> IncidentConfig {
+        IncidentConfig {
+            ring_capacity: 50_000,
+            trace_window: SimDuration::from_secs(5),
+            max_bundles: 4,
+        }
+    }
+}
+
+/// A deterministic summary of the world's static structure, so a bundle
+/// records *what* was running, not just what it measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyDigest {
+    /// Number of nodes.
+    pub nodes: u64,
+    /// Number of process slots (including removed ones).
+    pub processes: u64,
+    /// Per-segment labels, `seg{i}:{name}`, in segment order.
+    pub segments: Vec<String>,
+    /// FNV-1a hash over node names, process names, and segment labels —
+    /// a cheap fingerprint that two topologies can be compared by.
+    pub digest: u64,
+}
+
+impl TopologyDigest {
+    /// Builds the digest from name lists (in stable declaration order).
+    pub fn new<'a>(
+        nodes: impl Iterator<Item = &'a str>,
+        processes: impl Iterator<Item = &'a str>,
+        segments: Vec<String>,
+    ) -> TopologyDigest {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut feed = |s: &str| {
+            for b in s.bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        let mut node_count = 0u64;
+        for n in nodes {
+            node_count += 1;
+            feed(n);
+        }
+        let mut proc_count = 0u64;
+        for p in processes {
+            proc_count += 1;
+            feed(p);
+        }
+        for s in &segments {
+            feed(s);
+        }
+        TopologyDigest {
+            nodes: node_count,
+            processes: proc_count,
+            segments,
+            digest: hash,
+        }
+    }
+}
+
+/// One incident's complete evidence snapshot. See the module docs.
+#[derive(Debug, Clone)]
+pub struct IncidentBundle {
+    /// What tripped the trigger plane.
+    pub kind: TriggerKind,
+    /// Human-readable trigger description (objective name, offender
+    /// delta, panic message).
+    pub detail: String,
+    /// Virtual time of the trigger.
+    pub at: SimTime,
+    /// Bundle sequence number within its world, from 0.
+    pub seq: u64,
+    /// The shard that captured the bundle, in a sharded run.
+    pub shard: Option<u16>,
+    /// The trace window around the trigger (spans whose effective end
+    /// falls within [`IncidentConfig::trace_window`] of the trigger).
+    pub spans: Vec<SpanRecord>,
+    /// Cumulative flight-recorder span overwrites at capture time —
+    /// how much history had already been recycled.
+    pub ring_overwrites: u64,
+    /// The live telemetry window, pre-rendered
+    /// ([`crate::TelemetryWindow::to_json`]); `None` if telemetry off.
+    pub telemetry_json: Option<String>,
+    /// Full SLO state-machine history up to the trigger.
+    pub transitions: Vec<AlertTransition>,
+    /// The doctor report at capture time, pre-rendered
+    /// ([`crate::HealthReport::to_json`]); `None` if telemetry off.
+    pub doctor_json: Option<String>,
+    /// What was running.
+    pub topology: TopologyDigest,
+}
+
+impl IncidentBundle {
+    /// Renders the bundle as one deterministic JSON artifact: stable key
+    /// order, integer-only numbers, pre-rendered sub-reports embedded
+    /// verbatim. Two runs of the same seeded world produce
+    /// byte-identical output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"trigger\": {\n");
+        out.push_str(&format!(
+            "    \"kind\": \"{}\",\n    \"detail\": ",
+            self.kind.as_str()
+        ));
+        push_json_string(&mut out, &self.detail);
+        out.push_str(&format!(
+            ",\n    \"at_ns\": {},\n    \"seq\": {},\n    \"shard\": {}\n  }},\n",
+            self.at.as_nanos(),
+            self.seq,
+            match self.shard {
+                Some(s) => s.to_string(),
+                None => "null".to_owned(),
+            }
+        ));
+        out.push_str(&format!(
+            "  \"topology\": {{\n    \"nodes\": {},\n    \"processes\": {},\n    \"segments\": [",
+            self.topology.nodes, self.topology.processes
+        ));
+        for (i, s) in self.topology.segments.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_json_string(&mut out, s);
+        }
+        out.push_str(&format!(
+            "],\n    \"digest\": \"{:#018x}\"\n  }},\n",
+            self.topology.digest
+        ));
+        out.push_str(&format!(
+            "  \"flight_recorder\": {{\"spans\": {}, \"ring_overwrites\": {}}},\n",
+            self.spans.len(),
+            self.ring_overwrites
+        ));
+        out.push_str("  \"trace\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!(
+                "\"id\": {}, \"parent\": {}, \"corr\": \"{:#x}\", \"source\": ",
+                s.id.0,
+                s.parent.map(|p| p.0).unwrap_or(0),
+                s.corr
+            ));
+            push_json_string(&mut out, &s.source);
+            out.push_str(", \"stage\": ");
+            push_json_string(&mut out, &s.stage);
+            out.push_str(", \"detail\": ");
+            push_json_string(&mut out, &s.detail);
+            out.push_str(&format!(
+                ", \"start_ns\": {}, \"end_ns\": {}}}",
+                s.start.as_nanos(),
+                match s.end {
+                    Some(e) => e.as_nanos().to_string(),
+                    None => "null".to_owned(),
+                }
+            ));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"slo_history\": [");
+        for (i, t) in self.transitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"at_ns\": ");
+            out.push_str(&t.at.as_nanos().to_string());
+            out.push_str(", \"objective\": ");
+            push_json_string(&mut out, &t.objective);
+            out.push_str(&format!(
+                ", \"from\": \"{}\", \"to\": \"{}\"}}",
+                t.from.as_str(),
+                t.to.as_str()
+            ));
+        }
+        if !self.transitions.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"telemetry\": ");
+        match &self.telemetry_json {
+            Some(j) => out.push_str(j.trim_end()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n  \"doctor\": ");
+        match &self.doctor_json {
+            Some(j) => out.push_str(j.trim_end()),
+            None => out.push_str("null"),
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanId;
+    use crate::AlertState;
+
+    fn demo_bundle() -> IncidentBundle {
+        IncidentBundle {
+            kind: TriggerKind::SloFiring,
+            detail: "hub-latency: ok -> firing".into(),
+            at: SimTime::from_millis(30_500),
+            seq: 0,
+            shard: Some(1),
+            spans: vec![SpanRecord {
+                id: SpanId(1),
+                parent: None,
+                corr: 0x1_0000_0001,
+                source: "rt0".into(),
+                stage: "queue.wait".into(),
+                detail: "port=\"clicks\"".into(),
+                start: SimTime::from_millis(30_000),
+                end: Some(SimTime::from_millis(30_001)),
+            }],
+            ring_overwrites: 7,
+            telemetry_json: None,
+            transitions: vec![AlertTransition {
+                at: SimTime::from_millis(30_500),
+                objective: "hub-latency".into(),
+                from: AlertState::Ok,
+                to: AlertState::Firing,
+            }],
+            doctor_json: None,
+            topology: TopologyDigest::new(
+                ["h1", "h2"].into_iter(),
+                ["rt0", "mapper"].into_iter(),
+                vec!["seg0:ethernet-10mbps-hub".into()],
+            ),
+        }
+    }
+
+    #[test]
+    fn bundle_json_is_deterministic_and_escaped() {
+        let b = demo_bundle();
+        let j1 = b.to_json();
+        let j2 = b.clone().to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"kind\": \"slo-firing\""));
+        assert!(j1.contains("\"shard\": 1"));
+        assert!(j1.contains("\\\"clicks\\\""), "details are JSON-escaped");
+        assert!(j1.contains("\"from\": \"ok\", \"to\": \"firing\""));
+        assert!(j1.contains("\"ring_overwrites\": 7"));
+        assert!(j1.contains("\"telemetry\": null"));
+    }
+
+    #[test]
+    fn topology_digest_fingerprints_names() {
+        let a = TopologyDigest::new(["h1"].into_iter(), ["p"].into_iter(), vec![]);
+        let b = TopologyDigest::new(["h2"].into_iter(), ["p"].into_iter(), vec![]);
+        assert_ne!(a.digest, b.digest);
+        assert_eq!(a.nodes, 1);
+        assert_eq!(a.processes, 1);
+        // Boundary marker: ["ab"] and ["a","b"] must not collide.
+        let c = TopologyDigest::new(["ab"].into_iter(), [].into_iter(), vec![]);
+        let d = TopologyDigest::new(["a", "b"].into_iter(), [].into_iter(), vec![]);
+        assert_ne!(c.digest, d.digest);
+    }
+}

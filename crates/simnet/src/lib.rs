@@ -68,6 +68,7 @@ mod ctx;
 mod error;
 pub mod export;
 pub mod health;
+pub mod incident;
 mod medium;
 pub mod payload;
 mod process;
@@ -88,14 +89,17 @@ pub use health::{
     AlertState, AlertStatus, AlertTransition, BurnRateRule, HealthReport, Objective, SloEngine,
     SloKind, TelemetryConfig,
 };
+pub use incident::{IncidentBundle, IncidentConfig, TopologyDigest, TriggerKind};
 pub use medium::{schedule_tx, SegmentConfig, TxTiming};
 pub use payload::{ChunkQueue, Payload, PayloadBuilder, PayloadStats};
 pub use process::{
     Addr, Datagram, LocalMessage, NodeId, ProcId, Process, SegmentId, StreamEvent, StreamId,
 };
 pub use rng::{check_cases, SimRng};
-pub use shard::{run_sharded, ShardInfo, ShardPlan, ShardReport, ShardRun};
-pub use span::{CriticalPath, PathExpectation, SpanNode, SpanTree, StageCost, TraceAssert};
+pub use shard::{run_sharded, ShardInfo, ShardPanicIncident, ShardPlan, ShardReport, ShardRun};
+pub use span::{
+    merge_shard_spans, CriticalPath, PathExpectation, SpanNode, SpanTree, StageCost, TraceAssert,
+};
 pub use time::{SimDuration, SimTime};
 pub use timeseries::{SamplerConfig, Telemetry, TelemetryWindow};
 pub use trace::{

@@ -24,12 +24,14 @@
 //! unless [`ShardPlan::fold_wall_health`] asks for them, so byte-diff
 //! gates can compare sharded runs directly.
 
+use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use crate::error::SimResult;
+use crate::incident::{IncidentBundle, TriggerKind};
 use crate::time::{SimDuration, SimTime};
 use crate::world::{CrossMessage, ShardConfig, World};
 
@@ -170,6 +172,60 @@ impl<R> ShardReport<R> {
     /// shards.
     pub fn barrier_stall_ns(&self) -> u64 {
         self.shards.iter().map(|s| s.barrier_stall_ns).sum()
+    }
+}
+
+/// The panic payload that surfaces from [`run_sharded`] when a shard
+/// with an enabled flight recorder
+/// ([`World::enable_flight_recorder`]) panics mid-window: the original
+/// panic message plus the incident bundle the dying shard cut from its
+/// ring journal before unwinding. Callers that `catch_unwind` around
+/// `run_sharded` can downcast the payload to this type and recover the
+/// evidence; without a flight recorder the original payload propagates
+/// untouched.
+#[derive(Debug)]
+pub struct ShardPanicIncident {
+    /// The shard that panicked.
+    pub shard: u16,
+    /// The original panic message.
+    pub message: String,
+    /// The bundle captured at the instant of the panic.
+    pub bundle: IncidentBundle,
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_owned()
+    }
+}
+
+/// Runs one window's events with the flight recorder armed for panics:
+/// a panic inside a process handler cuts a shard-panic incident bundle
+/// from the world's ring journal, then resumes unwinding with a
+/// [`ShardPanicIncident`] payload so the evidence survives the unwind.
+fn run_window_guarded(world: &mut World, shard: u16, window_end: u64) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        world.run_before(SimTime::from_nanos(window_end));
+    }));
+    if let Err(payload) = outcome {
+        let message = panic_message(payload.as_ref());
+        world.capture_incident(
+            TriggerKind::ShardPanic,
+            format!("shard {shard} panicked: {message}"),
+        );
+        match world.incidents().last() {
+            Some(bundle) => resume_unwind(Box::new(ShardPanicIncident {
+                shard,
+                message,
+                bundle: bundle.clone(),
+            })),
+            None => resume_unwind(payload),
+        }
     }
 }
 
@@ -326,7 +382,11 @@ where
             world.note_external_pending(pending.len() as u64);
 
             let t0 = Instant::now();
-            world.run_before(SimTime::from_nanos(window_end));
+            if world.flight_recorder_enabled() {
+                run_window_guarded(&mut world, shard, window_end);
+            } else {
+                world.run_before(SimTime::from_nanos(window_end));
+            }
             let elapsed = t0.elapsed().as_nanos() as u64;
             exec_ns += elapsed;
             let events_now = world.events_processed();

@@ -571,6 +571,19 @@ pub(crate) fn push_json_string(out: &mut String, s: &str) {
 }
 
 /// Bounded event log, structured span log, and metrics registry.
+///
+/// Two retention policies govern what happens when a log fills:
+///
+/// * **Legacy cap (default):** drop-on-full — the *newest* records are
+///   discarded and counted in `trace.events_dropped` /
+///   `trace.spans_dropped`. A long run loses exactly the tail that an
+///   incident investigation needs.
+/// * **Flight recorder** ([`Trace::enable_flight_recorder`]):
+///   overwrite-oldest ring journal — the log always holds the most
+///   recent window at full fidelity, and every evicted record is
+///   counted in the cumulative `trace.ring_overwrites` /
+///   `trace.events_overwritten` counters, so overwrite is always
+///   distinguishable from drop in any snapshot.
 #[derive(Debug)]
 pub struct Trace {
     log_enabled: bool,
@@ -583,6 +596,14 @@ pub struct Trace {
     spans_dropped: u64,
     spans_dropped_folded: u64,
     next_span: u64,
+    /// Flight-recorder mode: overwrite-oldest instead of drop-newest.
+    recorder: bool,
+    /// Cumulative spans evicted by the flight-recorder ring.
+    ring_overwrites: u64,
+    ring_overwrites_folded: u64,
+    /// Cumulative events evicted by the flight-recorder ring.
+    events_overwritten: u64,
+    events_overwritten_folded: u64,
     /// Per-correlation-id stack of open spans (for parent links).
     open: BTreeMap<u64, Vec<SpanId>>,
     /// Open span id → index into `spans`; removed when the span ends,
@@ -606,10 +627,82 @@ impl Trace {
             spans_dropped: 0,
             spans_dropped_folded: 0,
             next_span: 1,
+            recorder: false,
+            ring_overwrites: 0,
+            ring_overwrites_folded: 0,
+            events_overwritten: 0,
+            events_overwritten_folded: 0,
             open: BTreeMap::new(),
             open_index: BTreeMap::new(),
             metrics: Metrics::default(),
         }
+    }
+
+    /// Switches both logs to flight-recorder (overwrite-oldest) mode
+    /// with the given capacity. The journal keeps at least the newest
+    /// `capacity / 2` records and never exceeds `capacity`; eviction
+    /// happens in half-capacity chunks so the amortized cost per record
+    /// stays O(1). Evictions are counted in the cumulative
+    /// [`Trace::ring_overwrites`] / [`Trace::events_overwritten`]
+    /// totals; the drop counters stay at zero in this mode.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        self.recorder = true;
+        self.capacity = capacity.max(2);
+        self.span_capacity = capacity.max(2);
+    }
+
+    /// Resizes the event and span capacities without changing the
+    /// overflow policy (legacy drop-on-full unless
+    /// [`Trace::enable_flight_recorder`] was called). Loss A/Bs use
+    /// this to compare the two policies at an equally tight capacity.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(2);
+        self.span_capacity = capacity.max(2);
+    }
+
+    /// Whether flight-recorder (ring journal) mode is active.
+    pub fn recorder_enabled(&self) -> bool {
+        self.recorder
+    }
+
+    /// Cumulative spans evicted by the flight-recorder ring.
+    pub fn ring_overwrites(&self) -> u64 {
+        self.ring_overwrites
+    }
+
+    /// Cumulative events evicted by the flight-recorder ring.
+    pub fn events_overwritten(&self) -> u64 {
+        self.events_overwritten
+    }
+
+    /// Evicts the oldest half of the span journal. An evicted span that
+    /// is still open can never be closed: its id is removed from the
+    /// open bookkeeping so later spans on the same correlation id do
+    /// not inherit a dead parent and `span_end` becomes a no-op for it.
+    fn evict_oldest_spans(&mut self) {
+        let evict = (self.span_capacity / 2).max(1).min(self.spans.len());
+        let evicted_open: Vec<(u64, SpanId)> = self.spans[..evict]
+            .iter()
+            .filter(|s| s.end.is_none())
+            .map(|s| (s.corr, s.id))
+            .collect();
+        for (corr, id) in evicted_open {
+            self.open_index.remove(&id.0);
+            if let Some(stack) = self.open.get_mut(&corr) {
+                stack.retain(|&open| open != id);
+                if stack.is_empty() {
+                    self.open.remove(&corr);
+                }
+            }
+        }
+        self.spans.drain(..evict);
+        // Every surviving open span sat past the evicted prefix.
+        self.open_index = self
+            .open_index
+            .iter()
+            .map(|(&id, &idx)| (id, idx - evict))
+            .collect();
+        self.ring_overwrites += evict as u64;
     }
 
     /// Enables or disables event logging (counters always work).
@@ -623,8 +716,14 @@ impl Trace {
             return;
         }
         if self.events.len() >= self.capacity {
-            self.dropped += 1;
-            return;
+            if self.recorder {
+                let evict = (self.capacity / 2).max(1).min(self.events.len());
+                self.events.drain(..evict);
+                self.events_overwritten += evict as u64;
+            } else {
+                self.dropped += 1;
+                return;
+            }
         }
         self.events.push(TraceEvent {
             time,
@@ -645,8 +744,12 @@ impl Trace {
         detail: impl Into<String>,
     ) -> SpanId {
         if self.spans.len() >= self.span_capacity {
-            self.spans_dropped += 1;
-            return SpanId::NONE;
+            if self.recorder {
+                self.evict_oldest_spans();
+            } else {
+                self.spans_dropped += 1;
+                return SpanId::NONE;
+            }
         }
         let id = SpanId(self.next_span);
         self.next_span += 1;
@@ -743,6 +846,13 @@ impl Trace {
         let spans = self.spans_dropped - self.spans_dropped_folded;
         self.metrics.counter_add("trace.spans_dropped", spans);
         self.spans_dropped_folded = self.spans_dropped;
+        let ring = self.ring_overwrites - self.ring_overwrites_folded;
+        self.metrics.counter_add("trace.ring_overwrites", ring);
+        self.ring_overwrites_folded = self.ring_overwrites;
+        let ev_ring = self.events_overwritten - self.events_overwritten_folded;
+        self.metrics
+            .counter_add("trace.events_overwritten", ev_ring);
+        self.events_overwritten_folded = self.events_overwritten;
     }
 
     /// Folds the thread-local payload copy accounting into the metrics
@@ -799,6 +909,10 @@ impl Trace {
         self.spans.clear();
         self.spans_dropped = 0;
         self.spans_dropped_folded = 0;
+        self.ring_overwrites = 0;
+        self.ring_overwrites_folded = 0;
+        self.events_overwritten = 0;
+        self.events_overwritten_folded = 0;
         self.next_span = 1;
         self.open.clear();
         self.open_index.clear();
@@ -858,6 +972,82 @@ mod tests {
         }
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn recorder_overwrite_is_distinguishable_from_legacy_drop() {
+        // Legacy cap: the NEWEST spans are lost and counted as drops.
+        let mut legacy = Trace::new(4);
+        for i in 0..10 {
+            legacy.span(0, SimTime::from_nanos(i), "src", "stage", format!("{i}"));
+        }
+        legacy.sync_drop_stats();
+        assert_eq!(legacy.counter("trace.spans_dropped"), 6);
+        assert_eq!(legacy.counter("trace.ring_overwrites"), 0);
+        assert_eq!(legacy.spans().len(), 4);
+        assert!(legacy.spans().iter().any(|s| s.detail == "0"));
+        assert!(legacy.spans().iter().all(|s| s.detail != "9"));
+
+        // Flight recorder: the OLDEST spans are overwritten and counted
+        // as ring overwrites; drops stay at zero and the tail survives.
+        let mut ring = Trace::new(4);
+        ring.enable_flight_recorder(4);
+        for i in 0..10 {
+            ring.span(0, SimTime::from_nanos(i), "src", "stage", format!("{i}"));
+        }
+        ring.sync_drop_stats();
+        assert_eq!(ring.counter("trace.spans_dropped"), 0);
+        assert_eq!(
+            ring.counter("trace.ring_overwrites"),
+            ring.ring_overwrites()
+        );
+        assert!(ring.ring_overwrites() > 0);
+        assert!(ring.spans().iter().any(|s| s.detail == "9"));
+        assert!(ring.spans().iter().all(|s| s.detail != "0"));
+        assert_eq!(
+            ring.ring_overwrites() + ring.spans().len() as u64,
+            10,
+            "every span is either retained or counted as overwritten"
+        );
+        // The folded counter is cumulative, not per-fold delta.
+        ring.sync_drop_stats();
+        assert_eq!(
+            ring.counter("trace.ring_overwrites"),
+            ring.ring_overwrites()
+        );
+    }
+
+    #[test]
+    fn recorder_event_ring_keeps_tail() {
+        let mut t = Trace::new(4);
+        t.enable_flight_recorder(4);
+        for i in 0..10 {
+            t.log(SimTime::from_nanos(i), "src", format!("event {i}"));
+        }
+        assert_eq!(t.dropped(), 0);
+        assert!(t.events_overwritten() > 0);
+        assert!(t.events().iter().any(|e| e.message == "event 9"));
+        assert!(t.events().iter().all(|e| e.message != "event 0"));
+        assert_eq!(t.events_overwritten() + t.events().len() as u64, 10);
+    }
+
+    #[test]
+    fn recorder_evicts_open_spans_cleanly() {
+        let mut t = Trace::new(4);
+        t.enable_flight_recorder(4);
+        // An open span on corr 7, then enough instant spans to evict it.
+        let stale = t.span_begin(7, SimTime::ZERO, "src", "outer", "");
+        for i in 0..8 {
+            t.span(0, SimTime::from_nanos(i), "src", "filler", format!("{i}"));
+        }
+        assert!(t.spans().iter().all(|s| s.stage != "outer"));
+        // Ending the evicted span is a no-op, not a panic or corruption.
+        assert_eq!(t.span_end(stale, SimTime::from_nanos(99)), None);
+        // A new span on the same corr must not inherit the dead parent.
+        let fresh = t.span_begin(7, SimTime::from_nanos(100), "src", "inner", "");
+        let rec = t.spans().iter().find(|s| s.id == fresh).unwrap();
+        assert_eq!(rec.parent, None);
+        assert!(t.span_end(fresh, SimTime::from_nanos(101)).is_some());
     }
 
     #[test]

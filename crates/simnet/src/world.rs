@@ -5,7 +5,8 @@ use std::collections::{HashMap, HashSet};
 
 use crate::ctx::Ctx;
 use crate::error::{SimError, SimResult};
-use crate::health::{HealthReport, SegmentSample, SloEngine, TelemetryConfig};
+use crate::health::{AlertState, HealthReport, SegmentSample, SloEngine, TelemetryConfig};
+use crate::incident::{IncidentBundle, IncidentConfig, TopologyDigest, TriggerKind};
 use crate::medium::{schedule_tx, SegmentConfig};
 use crate::payload::Payload;
 use crate::process::{Addr, Datagram, LocalMessage, NodeId, ProcId, Process, SegmentId, StreamId};
@@ -396,6 +397,8 @@ pub struct World {
     dgram_batch: Vec<Datagram>,
     /// Shard identity when this world is one shard of a sharded run.
     shard: Option<Box<ShardMembership>>,
+    /// The incident trigger plane, when the flight recorder is on.
+    incident: Option<Box<IncidentPlane>>,
 }
 
 /// The world's in-run telemetry state (boxed to keep `World` small for
@@ -404,6 +407,18 @@ struct TelemetryPlane {
     store: Telemetry,
     engine: SloEngine,
     liveness_timeout: SimDuration,
+}
+
+/// Trigger-plane state for the always-on flight recorder (see
+/// [`crate::incident`]): captured bundles plus the watermarks that
+/// detect *new* trigger conditions at each telemetry sample.
+struct IncidentPlane {
+    config: IncidentConfig,
+    bundles: Vec<IncidentBundle>,
+    /// SLO transitions already examined (index into the engine's log).
+    seen_transitions: usize,
+    /// The doctor's last ranked offender list, as `kind:name` keys.
+    last_rank: Vec<String>,
 }
 
 impl std::fmt::Debug for World {
@@ -450,6 +465,7 @@ impl World {
             frame_batch: Vec::new(),
             dgram_batch: Vec::new(),
             shard: None,
+            incident: None,
         }
     }
 
@@ -747,6 +763,161 @@ impl World {
         self.arm_sampler();
     }
 
+    /// Turns on the always-on flight recorder and its trigger plane:
+    /// the trace switches to overwrite-oldest ring journals
+    /// ([`Trace::enable_flight_recorder`]), and every telemetry sample
+    /// checks for incident triggers — a new ok→firing SLO transition or
+    /// a change in the doctor's ranked offender list — snapshotting a
+    /// deterministic [`IncidentBundle`] for each (see
+    /// [`crate::incident`]). Shard panics are captured by the sharded
+    /// conductor through the same plane.
+    ///
+    /// SLO/doctor triggers need [`World::enable_telemetry`] as well;
+    /// without it the recorder still bounds trace loss and captures
+    /// shard-panic bundles, but nothing else trips.
+    pub fn enable_flight_recorder(&mut self, config: IncidentConfig) {
+        self.trace.enable_flight_recorder(config.ring_capacity);
+        self.incident = Some(Box::new(IncidentPlane {
+            config,
+            bundles: Vec::new(),
+            seen_transitions: 0,
+            last_rank: Vec::new(),
+        }));
+    }
+
+    /// Whether [`World::enable_flight_recorder`] is on.
+    pub fn flight_recorder_enabled(&self) -> bool {
+        self.incident.is_some()
+    }
+
+    /// The incident bundles captured so far, in trigger order.
+    pub fn incidents(&self) -> &[IncidentBundle] {
+        self.incident.as_ref().map_or(&[], |p| &p.bundles)
+    }
+
+    /// Snapshots an incident bundle right now: the trace window around
+    /// this instant, the telemetry window, the SLO history, the doctor
+    /// report, and the topology digest. Called by the trigger plane;
+    /// also public so tests and tools can cut a bundle on demand.
+    ///
+    /// Every trigger bumps the `incident.triggers` counter; bundles past
+    /// [`IncidentConfig::max_bundles`] are counted but not stored. A
+    /// no-op when the flight recorder is off.
+    pub fn capture_incident(&mut self, kind: TriggerKind, detail: String) {
+        let Some(plane) = self.incident.as_ref() else {
+            return;
+        };
+        let config = plane.config;
+        self.trace.metrics_mut().counter_add("incident.triggers", 1);
+        if self.incident.as_ref().expect("checked above").bundles.len() >= config.max_bundles {
+            return;
+        }
+        let since = SimTime::from_nanos(
+            self.now
+                .as_nanos()
+                .saturating_sub(config.trace_window.as_nanos()),
+        );
+        let spans: Vec<crate::SpanRecord> = self
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.effective_end() >= since)
+            .cloned()
+            .collect();
+        let telemetry_json = self.telemetry_window(None).map(|w| w.to_json());
+        let doctor_json = self.doctor().map(|r| r.to_json());
+        let transitions = self
+            .slo_engine()
+            .map(|e| e.transitions().to_vec())
+            .unwrap_or_default();
+        let topology = TopologyDigest::new(
+            self.nodes.iter().map(|n| n.name.as_str()),
+            self.procs.iter().map(|p| p.name.as_str()),
+            self.segments
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("seg{i}:{}", s.config.name))
+                .collect(),
+        );
+        let shard = self.shard.as_ref().map(|m| m.config.shard);
+        let ring_overwrites = self.trace.ring_overwrites();
+        let inc = self.incident.as_mut().expect("checked above");
+        inc.bundles.push(IncidentBundle {
+            kind,
+            detail,
+            at: self.now,
+            seq: inc.bundles.len() as u64,
+            shard,
+            spans,
+            ring_overwrites,
+            telemetry_json,
+            transitions,
+            doctor_json,
+            topology,
+        });
+    }
+
+    /// Checks the trigger conditions after a telemetry sample: new
+    /// firing transitions since the last check, and any change in the
+    /// doctor's ranked offender list. A recovery to an *empty* offender
+    /// list updates the watermark silently (so a re-emergence triggers
+    /// again) without cutting a bundle.
+    fn detect_incident_triggers(&mut self) {
+        let (new_seen, slo_triggers) = {
+            let (Some(inc), Some(plane)) = (self.incident.as_ref(), self.telemetry.as_ref()) else {
+                return;
+            };
+            let transitions = plane.engine.transitions();
+            let seen = inc.seen_transitions.min(transitions.len());
+            let trig: Vec<String> = transitions[seen..]
+                .iter()
+                .filter(|t| t.to == AlertState::Firing)
+                .map(|t| {
+                    format!(
+                        "{}: {} -> {} at {}",
+                        t.objective,
+                        t.from.as_str(),
+                        t.to.as_str(),
+                        t.at
+                    )
+                })
+                .collect();
+            (transitions.len(), trig)
+        };
+        let rank: Vec<String> = self
+            .doctor()
+            .map(|r| {
+                r.top_offenders
+                    .iter()
+                    .map(|o| format!("{}:{}", o.kind, o.name))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let rank_change = {
+            let inc = self.incident.as_mut().expect("checked above");
+            inc.seen_transitions = new_seen;
+            if rank != inc.last_rank {
+                let change = (!rank.is_empty()).then(|| {
+                    format!(
+                        "top offenders now [{}] (was [{}])",
+                        rank.join(", "),
+                        inc.last_rank.join(", ")
+                    )
+                });
+                inc.last_rank = rank;
+                change
+            } else {
+                None
+            }
+        };
+        for detail in slo_triggers {
+            self.capture_incident(TriggerKind::SloFiring, detail);
+        }
+        if let Some(detail) = rank_change {
+            self.capture_incident(TriggerKind::OffenderRankChange, detail);
+        }
+    }
+
     /// The live telemetry store, when [`World::enable_telemetry`] is on.
     pub fn telemetry(&self) -> Option<&Telemetry> {
         self.telemetry.as_ref().map(|p| &p.store)
@@ -855,6 +1026,9 @@ impl World {
         plane
             .engine
             .evaluate(self.now, &plane.store, &mut self.trace);
+        if self.incident.is_some() {
+            self.detect_incident_triggers();
+        }
         if !self.queue.is_empty() || self.external_pending() > 0 {
             self.arm_sampler();
         }

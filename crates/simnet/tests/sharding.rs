@@ -4,13 +4,17 @@
 //! random multi-wing topology, running the federation on 1, 2 or 4
 //! shards produces byte-identical per-wing observations — every
 //! delivery (times included), every wing-scoped trace line, every
-//! wing-scoped counter. The partitioning is allowed to change *where*
-//! work runs, never *what* happens or *when*.
+//! wing-scoped span record, every wing-scoped counter. The partitioning
+//! is allowed to change *where* work runs, never *what* happens or
+//! *when*. The incident plane rides the same property: bundles the
+//! trigger plane snapshots must be byte-identical across runs at any
+//! shard count.
 
 use simnet::shard::{run_sharded, ShardPlan};
 use simnet::{
-    check_cases, Addr, Ctx, Datagram, Process, SegmentConfig, ShardConfig, SimDuration, SimError,
-    SimTime, World,
+    check_cases, Addr, BurnRateRule, Ctx, Datagram, IncidentConfig, Objective, Process,
+    SamplerConfig, SegmentConfig, ShardConfig, SimDuration, SimError, SimTime, SloKind,
+    TelemetryConfig, World,
 };
 
 /// Port the local sink listens on inside each wing.
@@ -66,16 +70,28 @@ impl Process for WingSender {
 /// busy-deferral path inside a shard's window.
 struct WingSink {
     wing: usize,
+    name: String,
     cost: SimDuration,
 }
 
 impl Process for WingSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.bind(SINK_PORT).unwrap();
     }
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: Datagram) {
         ctx.bump(&format!("wing{}.local_recv", self.wing), 1);
         ctx.trace(format!("local {} {}", d.data[0], d.data.len()));
+        // Correlate on the payload sequence byte: span records become
+        // part of the per-wing history the battery diffs across shard
+        // counts.
+        ctx.span(
+            1 + u64::from(d.data[0]),
+            "wing.local.recv",
+            format!("bytes={}", d.data.len()),
+        );
         if !self.cost.is_zero() {
             ctx.busy(self.cost);
         }
@@ -88,9 +104,13 @@ impl Process for WingSink {
 /// shard counts.
 struct WingIngress {
     wing: usize,
+    name: String,
 }
 
 impl Process for WingIngress {
+    fn name(&self) -> &str {
+        &self.name
+    }
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.register_shard_inlet(self.wing as u16, INGRESS_PORT)
             .unwrap();
@@ -98,6 +118,11 @@ impl Process for WingIngress {
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: Datagram) {
         ctx.bump(&format!("wing{}.cross_recv", self.wing), 1);
         ctx.trace(format!("cross {} {}", d.data[0], d.data.len()));
+        ctx.span(
+            1 + u64::from(d.data[0]),
+            "wing.cross.recv",
+            format!("bytes={}", d.data.len()),
+        );
     }
 }
 
@@ -115,10 +140,17 @@ fn add_wing(world: &mut World, w: usize, spec: &WingSpec, dst_shard: u16, dst_in
         sink_node,
         Box::new(WingSink {
             wing: w,
+            name: format!("w{w}.sink"),
             cost: spec.sink_cost,
         }),
     );
-    world.add_process(sink_node, Box::new(WingIngress { wing: w }));
+    world.add_process(
+        sink_node,
+        Box::new(WingIngress {
+            wing: w,
+            name: format!("w{w}.ingress"),
+        }),
+    );
     world.add_process(
         send_node,
         Box::new(WingSender {
@@ -132,9 +164,11 @@ fn add_wing(world: &mut World, w: usize, spec: &WingSpec, dst_shard: u16, dst_in
     );
 }
 
-/// Everything one wing observed: trace lines from its processes and its
-/// `wing{w}.*` counters.
-type WingObs = (Vec<String>, Vec<(String, u64)>);
+/// Everything one wing observed: trace lines from its processes, its
+/// span records (times, stages, details, correlation ids — span ids are
+/// excluded, since allocation order across wings sharing a world is not
+/// wing-scoped), and its `wing{w}.*` counters.
+type WingObs = (Vec<String>, Vec<String>, Vec<(String, u64)>);
 
 /// Runs the `specs` federation on `shards` shards and returns per-wing
 /// observations, merged across shard worlds.
@@ -178,6 +212,22 @@ fn run_wings(
                     .filter(|e| e.source.starts_with(&tag))
                     .map(|e| format!("{} {} {}", e.time.as_nanos(), e.source, e.message))
                     .collect();
+                let spans: Vec<String> = world
+                    .trace()
+                    .spans()
+                    .iter()
+                    .filter(|s| s.source.starts_with(&tag))
+                    .map(|s| {
+                        format!(
+                            "{} {} {} {} corr={}",
+                            s.start.as_nanos(),
+                            s.source,
+                            s.stage,
+                            s.detail,
+                            s.corr
+                        )
+                    })
+                    .collect();
                 let prefix = format!("wing{w}.");
                 let counters: Vec<(String, u64)> = world
                     .trace()
@@ -187,7 +237,7 @@ fn run_wings(
                     .into_iter()
                     .filter(|(k, _)| k.starts_with(&prefix))
                     .collect();
-                per_wing.push((w, (lines, counters)));
+                per_wing.push((w, (lines, spans, counters)));
             }
             per_wing
         },
@@ -237,14 +287,17 @@ fn sharded_run_matches_single_threaded() {
                 "per-wing history diverged at {shards} shards ({wings} wings)"
             );
         }
-        // The ring actually exercised the cross-shard path.
+        // The ring actually exercised the cross-shard path, and the
+        // trace diff actually compared span records, not empty lists.
         let cross: u64 = single
             .iter()
-            .flat_map(|(_, counters)| counters.iter())
+            .flat_map(|(_, _, counters)| counters.iter())
             .filter(|(k, _)| k.ends_with(".cross_recv"))
             .map(|(_, v)| *v)
             .sum();
         assert!(cross > 0, "no cross traffic delivered");
+        let spans: usize = single.iter().map(|(_, spans, _)| spans.len()).sum();
+        assert!(spans > 0, "no span records diffed");
     });
 }
 
@@ -304,7 +357,13 @@ fn fixed_shard_count_double_run_is_byte_identical() {
                     .iter()
                     .map(|e| e.to_string())
                     .collect();
-                (events, world.trace().metrics().snapshot().to_json())
+                let spans: Vec<String> = world
+                    .trace()
+                    .spans()
+                    .iter()
+                    .map(|s| format!("{s:?}"))
+                    .collect();
+                (events, spans, world.trace().metrics().snapshot().to_json())
             },
         )
         .expect("sharded run");
@@ -315,6 +374,147 @@ fn fixed_shard_count_double_run_is_byte_identical() {
             .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
+}
+
+/// Telemetry objectives for the incident determinism test: wing 0's
+/// send counter must stay live. Its sender exhausts its bursts early
+/// in the run, so the liveness SLO deterministically burns through its
+/// budget and fires — tripping the trigger plane on whichever shard
+/// hosts the objective's sampler.
+fn wing_telemetry() -> TelemetryConfig {
+    TelemetryConfig {
+        sampler: SamplerConfig {
+            interval: SimDuration::from_millis(100),
+            window: 16,
+        },
+        objectives: vec![Objective {
+            name: "wing0-liveness".to_owned(),
+            subject: "wing:w0".to_owned(),
+            kind: SloKind::Liveness {
+                counter: "wing0.sent".to_owned(),
+                budget_ppm: 100_000,
+            },
+            warning: BurnRateRule {
+                long_intervals: 4,
+                short_intervals: 2,
+                factor_milli: 2_500,
+            },
+            firing: BurnRateRule {
+                long_intervals: 4,
+                short_intervals: 2,
+                factor_milli: 5_000,
+            },
+        }],
+        liveness_timeout: SimDuration::from_millis(300),
+    }
+}
+
+/// Keeps a shard's event queue non-empty until `until`: the sampler
+/// disarms on an idle world, and the wings drain their bursts within
+/// milliseconds — long before the liveness SLO can burn through its
+/// budget.
+struct Heartbeat {
+    until: SimTime,
+}
+
+impl Process for Heartbeat {
+    fn name(&self) -> &str {
+        "heartbeat"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(50), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if ctx.now() < self.until {
+            ctx.set_timer(SimDuration::from_millis(50), 0);
+        }
+    }
+}
+
+/// Incident bundles snapshotted mid-run are byte-identical across two
+/// runs of the same seed, at 2- and 4-shard interleavings: the flight
+/// recorder's ring, the sampler, the SLO engine and the trigger plane
+/// all sit on the deterministic path even with shards on real threads.
+#[test]
+fn sharded_incident_bundles_are_deterministic_across_interleavings() {
+    let specs = [
+        WingSpec {
+            per_burst: 3,
+            bursts: 3,
+            size: 48,
+            interval: SimDuration::from_micros(800),
+            sink_cost: SimDuration::from_micros(40),
+        },
+        WingSpec {
+            per_burst: 2,
+            bursts: 4,
+            size: 120,
+            interval: SimDuration::from_micros(1_300),
+            sink_cost: SimDuration::ZERO,
+        },
+    ];
+    let run = |shards: u16| {
+        let plan = ShardPlan::new(shards, SimDuration::from_millis(1)).without_wall_health();
+        let report = run_sharded(
+            &plan,
+            11,
+            SimTime::from_secs(2),
+            |world, info| {
+                world.enable_flight_recorder(IncidentConfig::default());
+                world.enable_telemetry(wing_telemetry());
+                let beat = world.add_node(format!("s{}.beat-host", info.shard));
+                world.add_process(
+                    beat,
+                    Box::new(Heartbeat {
+                        until: SimTime::from_secs(2),
+                    }),
+                );
+                for (w, spec) in specs.iter().enumerate() {
+                    if w % info.shards as usize != info.shard as usize {
+                        continue;
+                    }
+                    let dst_wing = (w + 1) % specs.len();
+                    add_wing(
+                        world,
+                        w,
+                        spec,
+                        (dst_wing % info.shards as usize) as u16,
+                        dst_wing as u16,
+                    );
+                }
+                Ok(())
+            },
+            |world, info| {
+                let bundles: Vec<String> = world.incidents().iter().map(|b| b.to_json()).collect();
+                (info.shard, bundles)
+            },
+        )
+        .expect("sharded run");
+        report
+            .shards
+            .into_iter()
+            .map(|s| s.result)
+            .collect::<Vec<_>>()
+    };
+    for shards in [2u16, 4] {
+        let first = run(shards);
+        let total: usize = first.iter().map(|(_, bundles)| bundles.len()).sum();
+        assert!(total > 0, "no incident bundles captured at {shards} shards");
+        // Every bundle stamps the shard that captured it.
+        for (shard, bundles) in &first {
+            for json in bundles {
+                assert!(
+                    json.contains(&format!("\"shard\": {shard}")),
+                    "bundle on shard {shard} lacks its shard stamp"
+                );
+            }
+        }
+        assert_eq!(
+            first,
+            run(shards),
+            "incident bundles diverged across runs at {shards} shards"
+        );
+    }
 }
 
 /// A cross-shard link faster than the lookahead would let a message

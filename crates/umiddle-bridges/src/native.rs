@@ -19,6 +19,9 @@ pub struct NativeEnv<'a, 'w> {
     ctx: &'a mut Ctx<'w>,
     client: &'a RuntimeClient,
     translator: Option<TranslatorId>,
+    /// Correlation id of the causal path the current callback is riding
+    /// (0 when the callback has no upstream cause, e.g. a timer).
+    corr: u64,
 }
 
 impl std::fmt::Debug for NativeEnv<'_, '_> {
@@ -65,8 +68,32 @@ impl NativeEnv<'_, '_> {
     /// counting the drop on `shard.uplink_drop` — when the world is not
     /// sharded or the destination shard does not exist, so a behavior
     /// wired unconditionally degrades to a no-op on standalone worlds.
+    ///
+    /// When the callback is riding a correlated path, the hand-off frame
+    /// carries the trace context: a `shard.xfer.egress` span is recorded
+    /// here and its id travels in the frame, so the receiving shard's
+    /// `shard.xfer.ingress` span names its remote parent and
+    /// [`simnet::merge_shard_spans`] can stitch the journey back
+    /// together.
     pub fn send_shard(&mut self, dst_shard: u16, inlet: u16, msg: &UMessage) -> bool {
-        let frame = umiddle_core::shardlink::encode_handoff(msg);
+        let corr = self.corr;
+        let trace = match self.ctx.shard() {
+            Some(cfg) if corr != 0 => {
+                let span = self.ctx.span(
+                    corr,
+                    "shard.xfer.egress",
+                    format!("dst=s{dst_shard} inlet={inlet}"),
+                );
+                self.ctx.bump("shard.xfer_egress", 1);
+                Some(umiddle_core::shardlink::HandoffTrace {
+                    corr,
+                    span,
+                    src_shard: cfg.shard,
+                })
+            }
+            _ => None,
+        };
+        let frame = umiddle_core::shardlink::encode_handoff_traced(msg, trace);
         match self.ctx.send_shard(dst_shard, inlet, frame) {
             Ok(()) => true,
             Err(_) => {
@@ -193,14 +220,30 @@ impl Process for NativeService {
         if self.shard_inlet.is_none() {
             return;
         }
-        match umiddle_core::shardlink::decode_handoff(&d.data) {
-            Ok(msg) => {
+        match umiddle_core::shardlink::decode_handoff_traced(&d.data) {
+            Ok((msg, trace)) => {
                 ctx.bump("shard.handoff_in", 1);
+                let corr = match trace {
+                    Some(t) => {
+                        // Replay the carried context as the ingress half
+                        // of the cross-shard hop; merge_shard_spans
+                        // re-parents this span onto the remote egress.
+                        ctx.span(
+                            t.corr,
+                            "shard.xfer.ingress",
+                            format!("src=s{} span={}", t.src_shard, t.span.0),
+                        );
+                        ctx.bump("shard.xfer_ingress", 1);
+                        t.corr
+                    }
+                    None => 0,
+                };
                 let client = self.client.as_ref().expect("client set in on_start");
                 let mut env = NativeEnv {
                     ctx,
                     client,
                     translator: self.translator,
+                    corr,
                 };
                 self.behavior.on_cross(&mut env, msg);
             }
@@ -217,6 +260,7 @@ impl Process for NativeService {
             ctx,
             client,
             translator: self.translator,
+            corr: 0,
         };
         self.behavior.on_timer(&mut env, token - 1);
     }
@@ -236,6 +280,7 @@ impl Process for NativeService {
                     ctx,
                     client,
                     translator: self.translator,
+                    corr: 0,
                 };
                 self.behavior.on_registered(&mut env);
             }
@@ -280,6 +325,7 @@ impl NativeService {
             ctx,
             client,
             translator: self.translator,
+            corr: connection.corr(),
         };
         self.behavior.on_input(&mut env, &port, msg);
         ctx.span_end(span);

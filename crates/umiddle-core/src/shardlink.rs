@@ -11,7 +11,8 @@
 //! The layout is little-endian and length-prefixed throughout:
 //!
 //! ```text
-//! [u8 version=1]
+//! [u8 version=2]
+//! [u8 trace_flag] (1 → [u64 corr][u64 span][u16 src_shard])
 //! [u16 mime_len][mime bytes]
 //! [u16 meta_count] ([u16 key_len][key][u16 val_len][val])*
 //! [u32 body_len][body bytes]
@@ -20,20 +21,57 @@
 //! Metadata keys are written in sorted order (the `UMessage` map is a
 //! `BTreeMap`), so encoding is deterministic: the same message always
 //! produces the same bytes, which keeps sharded runs byte-diffable.
+//!
+//! Version 2 added the optional **trace context** — the correlation id
+//! of the causal path the message is riding, the id of the
+//! `shard.xfer.egress` span opened on the sending shard, and the
+//! sending shard itself. The receiving shard replays it as a
+//! `shard.xfer.ingress` span, which
+//! [`simnet::merge_shard_spans`] uses to stitch per-shard traces into
+//! one federation-wide journey. The codec is internal to a single
+//! simulation binary, so no cross-version compatibility is kept:
+//! version 1 frames are rejected like any other unknown version.
 
-use simnet::{Payload, PayloadBuilder};
+use simnet::{Payload, PayloadBuilder, SpanId};
 
 use crate::error::{CoreError, CoreResult};
 use crate::message::UMessage;
 
 /// Current hand-off frame version.
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+
+/// The causal trace context a hand-off frame can carry across the
+/// shard boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandoffTrace {
+    /// Correlation id of the path on the sending shard (globally unique
+    /// — corr ids embed the minting runtime's id).
+    pub corr: u64,
+    /// The `shard.xfer.egress` span recorded by the sending shard.
+    pub span: SpanId,
+    /// The sending shard.
+    pub src_shard: u16,
+}
 
 /// Encodes a message into one hand-off frame (single allocation).
 pub fn encode_handoff(msg: &UMessage) -> Payload {
+    encode_handoff_traced(msg, None)
+}
+
+/// Encodes a message plus optional cross-shard trace context.
+pub fn encode_handoff_traced(msg: &UMessage, trace: Option<HandoffTrace>) -> Payload {
     let mime = msg.mime().to_string();
-    let mut b = PayloadBuilder::with_capacity(16 + mime.len() + msg.size());
+    let mut b = PayloadBuilder::with_capacity(34 + mime.len() + msg.size());
     b.push(VERSION);
+    match trace {
+        Some(t) => {
+            b.push(1);
+            b.extend_from_slice(&t.corr.to_le_bytes());
+            b.extend_from_slice(&t.span.0.to_le_bytes());
+            b.u16_le(t.src_shard);
+        }
+        None => b.push(0),
+    }
     b.u16_le(mime.len() as u16);
     b.extend_from_slice(mime.as_bytes());
     let metas: Vec<(&str, &str)> = msg.metas().collect();
@@ -50,13 +88,25 @@ pub fn encode_handoff(msg: &UMessage) -> Payload {
     b.freeze()
 }
 
-/// Decodes a hand-off frame back into a [`UMessage`].
+/// Decodes a hand-off frame back into a [`UMessage`], discarding any
+/// trace context.
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Decode`] for a truncated frame, an unknown
 /// version, a malformed MIME type, or non-UTF-8 metadata.
 pub fn decode_handoff(frame: &Payload) -> CoreResult<UMessage> {
+    decode_handoff_traced(frame).map(|(msg, _)| msg)
+}
+
+/// Decodes a hand-off frame plus the trace context it carries, if any.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Decode`] for a truncated frame, an unknown
+/// version, a malformed trace flag, a malformed MIME type, or
+/// non-UTF-8 metadata.
+pub fn decode_handoff_traced(frame: &Payload) -> CoreResult<(UMessage, Option<HandoffTrace>)> {
     let bytes: &[u8] = frame;
     let mut at = 0usize;
     let take = |at: &mut usize, n: usize| -> CoreResult<&[u8]> {
@@ -74,6 +124,33 @@ pub fn decode_handoff(frame: &Payload) -> CoreResult<UMessage> {
             "unknown shard hand-off version {version}"
         )));
     }
+    let trace = match take(&mut at, 1)?[0] {
+        0 => None,
+        1 => {
+            let corr = {
+                let s = take(&mut at, 8)?;
+                u64::from_le_bytes(s.try_into().expect("8-byte slice"))
+            };
+            let span = {
+                let s = take(&mut at, 8)?;
+                SpanId(u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+            };
+            let src_shard = {
+                let s = take(&mut at, 2)?;
+                u16::from_le_bytes([s[0], s[1]])
+            };
+            Some(HandoffTrace {
+                corr,
+                span,
+                src_shard,
+            })
+        }
+        flag => {
+            return Err(CoreError::Decode(format!(
+                "unknown shard hand-off trace flag {flag}"
+            )))
+        }
+    };
     let take_u16 = |at: &mut usize| -> CoreResult<usize> {
         let s = take(at, 2)?;
         Ok(u16::from_le_bytes([s[0], s[1]]) as usize)
@@ -109,7 +186,7 @@ pub fn decode_handoff(frame: &Payload) -> CoreResult<UMessage> {
     for (k, v) in metas {
         msg = msg.with_meta(k, v);
     }
-    Ok(msg)
+    Ok((msg, trace))
 }
 
 #[cfg(test)]
@@ -148,9 +225,35 @@ mod tests {
     fn handoff_rejects_garbage() {
         assert!(decode_handoff(&Payload::from_vec(vec![])).is_err());
         assert!(decode_handoff(&Payload::from_vec(vec![9, 0, 0])).is_err());
+        // Unknown trace flag.
+        assert!(decode_handoff(&Payload::from_vec(vec![VERSION, 7, 0, 0])).is_err());
+        // Trace flag set but context truncated.
+        assert!(decode_handoff(&Payload::from_vec(vec![VERSION, 1, 0xAA, 0xBB])).is_err());
         let mut good = encode_handoff(&UMessage::text("hi")).to_vec();
         good.push(0xFF); // trailing byte: length mismatch
         assert!(decode_handoff(&Payload::from_vec(good)).is_err());
+    }
+
+    #[test]
+    fn handoff_trace_context_round_trips() {
+        let msg = UMessage::text("click").with_meta("seq", "3");
+        let trace = HandoffTrace {
+            corr: (9u64 << 32) | 17,
+            span: SpanId(42),
+            src_shard: 1,
+        };
+        let frame = encode_handoff_traced(&msg, Some(trace));
+        let (back, got) = decode_handoff_traced(&frame).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(got, Some(trace));
+
+        // Untraced frames decode with no context, and the traced frame
+        // is strictly larger by the 18-byte context.
+        let plain = encode_handoff(&msg);
+        let (back2, none) = decode_handoff_traced(&plain).unwrap();
+        assert_eq!(back2, msg);
+        assert_eq!(none, None);
+        assert_eq!(frame.len(), plain.len() + 18);
     }
 
     #[test]
