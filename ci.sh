@@ -28,6 +28,15 @@
 #                        with fewer than 4 cores, where a 4-way shard
 #                        run physically cannot beat single-threaded)
 #
+# Directory-federation knobs, forwarded to `perf_dir --check` (see the
+# flag docs in crates/bench/src/bin/perf_dir.rs):
+#
+#   PERF_DIR_RATIO       E12 full-refresh/delta steady-state bytes
+#                        ratio floor (default 10; simulator-
+#                        deterministic, so no noise headroom needed)
+#   PERF_DIR_P99_US      federation lookup p99 budget in µs at 100k
+#                        advertised ports (default 200)
+#
 # e.g. `PERF_P99_BUDGET_US=500 ./ci.sh perf` on a heavily shared box.
 
 set -euo pipefail
@@ -39,6 +48,8 @@ STAGE="${1:-all}"
 : "${PERF_P99_BUDGET_US:=200}"
 : "${PERF_RECORDER_OVERHEAD:=1.03}"
 : "${PERF_SHARD_SPEEDUP:=1.5}"
+: "${PERF_DIR_RATIO:=10}"
+: "${PERF_DIR_P99_US:=200}"
 
 # --- gate bookkeeping -------------------------------------------------
 # Every gate records its wall time; the summary table prints on exit,
@@ -162,6 +173,14 @@ stage_perf() {
         --check --floor-evps "$PERF_FLOOR_EVPS" --p99-budget-us "$PERF_P99_BUDGET_US" \
         --recorder-overhead "$PERF_RECORDER_OVERHEAD" \
         --shard-speedup "$PERF_SHARD_SPEEDUP"
+    # Directory-federation gates: the E12 full-refresh vs delta-gossip
+    # A/B must keep its steady-state bytes ratio above the floor with
+    # post-churn convergence inside the anti-entropy bound, and the
+    # indexed federation lookup must hold its p99 budget with zero
+    # full-scan fallbacks at 100k advertised ports. Knobs come from
+    # PERF_DIR_RATIO / PERF_DIR_P99_US.
+    gate perf-dir cargo run --offline --release -p bench --bin perf_dir -- \
+        --check --ratio "$PERF_DIR_RATIO" --p99-budget-us "$PERF_DIR_P99_US"
 }
 
 case "$STAGE" in

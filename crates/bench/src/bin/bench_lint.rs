@@ -367,6 +367,75 @@ fn lint_trace_loss(at: &str, loss: &Json) -> Vec<String> {
     problems
 }
 
+/// Numeric keys both sides of the perf_dir record's `e12_delta_gossip`
+/// A/B row must carry.
+const GOSSIP_ROW_KEYS: [&str; 5] = [
+    "runtimes",
+    "steady_bytes",
+    "join_convergence_ms",
+    "leave_convergence_ms",
+    "final_entries",
+];
+
+/// Validates one side of the perf_dir record: an `e12_delta_gossip`
+/// object with the A/B's numeric keys and a `mode` label; the `after`
+/// side must additionally carry the headline `steady_bytes_ratio` and
+/// the `e12_lookup_scale` object with the gated lookup numbers.
+fn lint_dir_side(at: &str, side: &Json, is_after: bool) -> Vec<String> {
+    let mut problems = Vec::new();
+    match side.get("e12_delta_gossip") {
+        Some(row @ Json::Object(_)) => {
+            if !matches!(row.get("mode"), Some(Json::String(s)) if !s.is_empty()) {
+                problems.push(format!(
+                    "{at}: e12_delta_gossip \"mode\" must be a non-empty string"
+                ));
+            }
+            for key in GOSSIP_ROW_KEYS {
+                match row.get(key) {
+                    Some(Json::Number(_)) => {}
+                    Some(_) => problems.push(format!(
+                        "{at}: e12_delta_gossip key {key:?} is not a number"
+                    )),
+                    None => problems.push(format!(
+                        "{at}: e12_delta_gossip missing required key {key:?}"
+                    )),
+                }
+            }
+        }
+        Some(_) => problems.push(format!("{at}: e12_delta_gossip must be an object")),
+        None => problems.push(format!(
+            "perf_dir record: {at:?} must carry an \"e12_delta_gossip\" object"
+        )),
+    }
+    if is_after {
+        if !matches!(side.get("steady_bytes_ratio"), Some(Json::Number(_))) {
+            problems.push(format!(
+                "{at}: perf_dir record must carry a numeric \"steady_bytes_ratio\""
+            ));
+        }
+        match side.get("e12_lookup_scale") {
+            Some(lk @ Json::Object(_)) => {
+                for key in ["total_ports", "p99_ns", "scan_fallbacks"] {
+                    match lk.get(key) {
+                        Some(Json::Number(_)) => {}
+                        Some(_) => problems.push(format!(
+                            "{at}: e12_lookup_scale key {key:?} is not a number"
+                        )),
+                        None => problems.push(format!(
+                            "{at}: e12_lookup_scale missing required key {key:?}"
+                        )),
+                    }
+                }
+            }
+            Some(_) => problems.push(format!("{at}: e12_lookup_scale must be an object")),
+            None => problems.push(format!(
+                "perf_dir record: {at:?} must carry an \"e12_lookup_scale\" object"
+            )),
+        }
+    }
+    problems
+}
+
 /// Validates one record's content; returns every problem found.
 fn lint_record(text: &str) -> Vec<String> {
     let doc = match Parser::new(text).parse_document() {
@@ -413,6 +482,16 @@ fn lint_record(text: &str) -> Vec<String> {
                 None => problems.push(format!(
                     "observability record: {key:?} must carry a \"trace_loss\" object"
                 )),
+            }
+        }
+    }
+    // Directory-federation convention: the perf_dir record's before/after
+    // comparison is the full-refresh vs delta-gossip A/B, and the gated
+    // lookup numbers ride on the `after` side.
+    if matches!(doc.get("name"), Some(Json::String(s)) if s == "perf_dir") {
+        for key in ["before", "after"] {
+            if let Some(side) = doc.get(key) {
+                problems.extend(lint_dir_side(key, side, key == "after"));
             }
         }
     }
@@ -555,6 +634,38 @@ mod tests {
         );
 
         // Non-observability records are exempt from the convention.
+        let other = r#"{"name": "n", "units": "ns", "before": 1, "after": 2}"#;
+        assert!(lint_record(other).is_empty());
+    }
+
+    #[test]
+    fn lint_enforces_perf_dir_ab_shape() {
+        let ok = r#"{"name": "perf_dir", "units": "bytes",
+            "before": {"e12_delta_gossip": {"mode": "full-refresh", "runtimes": 100, "steady_bytes": 946800,
+                       "join_convergence_ms": 0, "leave_convergence_ms": 192, "final_entries": 1000}},
+            "after": {"e12_delta_gossip": {"mode": "delta", "runtimes": 100, "steady_bytes": 37200,
+                      "join_convergence_ms": 0, "leave_convergence_ms": 15, "final_entries": 1000},
+                      "steady_bytes_ratio": 25.5,
+                      "e12_lookup_scale": {"total_ports": 1000000, "p99_ns": 441199, "scan_fallbacks": 0}}}"#;
+        assert_eq!(lint_record(ok), Vec::<String>::new());
+
+        let broken = r#"{"name": "perf_dir", "units": "bytes",
+            "before": {"e12_delta_gossip": {"mode": "full-refresh", "runtimes": 100, "steady_bytes": 946800,
+                       "join_convergence_ms": 0, "final_entries": 1000}},
+            "after": {"e12_delta_gossip": {"mode": "", "runtimes": 100, "steady_bytes": 37200,
+                      "join_convergence_ms": 0, "leave_convergence_ms": 15, "final_entries": 1000},
+                      "e12_lookup_scale": {"total_ports": 1000000, "p99_ns": 441199}}}"#;
+        assert_eq!(
+            lint_record(broken),
+            vec![
+                "before: e12_delta_gossip missing required key \"leave_convergence_ms\"".to_owned(),
+                "after: e12_delta_gossip \"mode\" must be a non-empty string".to_owned(),
+                "after: perf_dir record must carry a numeric \"steady_bytes_ratio\"".to_owned(),
+                "after: e12_lookup_scale missing required key \"scan_fallbacks\"".to_owned(),
+            ]
+        );
+
+        // Non-perf_dir records are exempt from the convention.
         let other = r#"{"name": "n", "units": "ns", "before": 1, "after": 2}"#;
         assert!(lint_record(other).is_empty());
     }

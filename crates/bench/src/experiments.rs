@@ -2914,6 +2914,317 @@ pub fn e11_recorder_overhead(n: usize, measure: SimDuration, passes: usize) -> f
     best
 }
 
+// =====================================================================
+// E12 — delta-gossip directory federation (bytes, convergence, lookup)
+// =====================================================================
+
+/// One side of the E12 full-refresh vs delta-gossip A/B.
+#[derive(Debug, Clone)]
+pub struct DeltaGossipRow {
+    /// `"full-refresh"` or `"delta"`.
+    pub mode: &'static str,
+    /// Runtimes in the federation.
+    pub runtimes: usize,
+    /// Registered translators per runtime.
+    pub per_runtime: usize,
+    /// Directory-plane bytes during bootstrap (everyone joining at once).
+    pub bootstrap_bytes: u64,
+    /// Directory-plane bytes over the steady-state window — the number
+    /// the ≥10x A/B gate compares.
+    pub steady_bytes: u64,
+    /// Length of the steady-state window in virtual seconds.
+    pub steady_secs: u64,
+    /// Worst-case time (ms) for a churn *join* to reach every runtime.
+    pub join_convergence_ms: u64,
+    /// Worst-case time (ms) for a churn *leave* to reach every runtime.
+    pub leave_convergence_ms: u64,
+    /// Federation-wide `directory.deltas_applied`.
+    pub deltas_applied: u64,
+    /// Federation-wide `directory.antientropy_repairs`.
+    pub antientropy_repairs: u64,
+    /// Directory entries every runtime settled on at the end.
+    pub final_entries: u64,
+}
+
+/// Runs one mode of the E12 federation fixture: `runtimes` runtimes each
+/// registering `per_runtime` services at boot, a 60 s steady-state
+/// window, then one join/leave churn cycle. Directory-plane bytes come
+/// from the `directory.bytes_gossiped` counter; convergence comes from
+/// each runtime's `last_directory_change_ns` stat.
+fn e12_one_mode(full_refresh: bool, runtimes: usize, per_runtime: usize) -> DeltaGossipRow {
+    use umiddle_core::{RuntimeClient, RuntimeConfig, RuntimeEvent, RuntimeId, TranslatorId};
+
+    const BOOT_SECS: u64 = 20;
+    const STEADY_SECS: u64 = 60;
+    const JOIN_AT: u64 = BOOT_SECS + STEADY_SECS + 1; // churn join fires here
+    const LEAVE_AT: u64 = JOIN_AT + 14; // churn leave fires here
+    const END_SECS: u64 = LEAVE_AT + 15;
+
+    /// Registers one extra service mid-run (join churn), then
+    /// unregisters it again (leave churn).
+    struct Churner {
+        runtime: simnet::ProcId,
+        client: Option<RuntimeClient>,
+        registered: Option<TranslatorId>,
+    }
+    impl Process for Churner {
+        fn name(&self) -> &str {
+            "e12-churner"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.client = Some(RuntimeClient::new(self.runtime));
+            // on_start runs at t=0, so relative delays are absolute times.
+            ctx.set_timer(SimDuration::from_secs(JOIN_AT), 0);
+            ctx.set_timer(SimDuration::from_secs(LEAVE_AT), 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            let client = self.client.as_mut().expect("started");
+            if token == 0 {
+                let shape = Shape::builder()
+                    .digital("out", Direction::Output, "app/churn".parse().unwrap())
+                    .build()
+                    .unwrap();
+                let me = ctx.me();
+                let profile = umiddle_core::TranslatorProfile::builder(
+                    TranslatorId::new(RuntimeId(0), 0),
+                    "churn-joiner",
+                )
+                .shape(shape)
+                .build();
+                client.register(ctx, profile, me);
+            } else if let Some(id) = self.registered.take() {
+                client.unregister(ctx, id);
+            }
+        }
+        fn on_local(
+            &mut self,
+            _ctx: &mut Ctx<'_>,
+            _from: simnet::ProcId,
+            msg: simnet::LocalMessage,
+        ) {
+            if let Ok(event) = msg.downcast::<RuntimeEvent>() {
+                if let RuntimeEvent::Registered { translator, .. } = *event {
+                    self.registered = Some(translator);
+                }
+            }
+        }
+    }
+
+    let (mut world, hub) = hub_world(1200 + runtimes as u64 + u64::from(full_refresh));
+    let mut stats = Vec::new();
+    for i in 0..runtimes {
+        let mut cfg = RuntimeConfig::new(RuntimeId(i as u32));
+        cfg.full_refresh = full_refresh;
+        let (node, rt, st) =
+            crate::fixtures::runtime_node_cfg(&mut world, &format!("h{i}"), cfg, &[hub]);
+        stats.push(st);
+        for j in 0..per_runtime {
+            // Spread MIME types so the federation index has real fan-out.
+            let mime = format!("app/t{}", (i * per_runtime + j) % 7);
+            let shape = Shape::builder()
+                .digital("out", Direction::Output, mime.parse().unwrap())
+                .build()
+                .unwrap();
+            world.add_process(
+                node,
+                Box::new(NativeService::new(
+                    &format!("svc-{i}-{j}"),
+                    shape,
+                    rt,
+                    Box::new(behaviors::Recorder::new()),
+                )),
+            );
+        }
+        if i == 0 {
+            world.add_process(
+                node,
+                Box::new(Churner {
+                    runtime: rt,
+                    client: None,
+                    registered: None,
+                }),
+            );
+        }
+    }
+
+    let max_change = |stats: &[Rc<RefCell<umiddle_core::RuntimeStats>>]| -> u64 {
+        stats
+            .iter()
+            .map(|s| s.borrow().last_directory_change_ns)
+            .max()
+            .unwrap_or(0)
+    };
+
+    world.run_until(SimTime::from_secs(BOOT_SECS));
+    let bootstrap_bytes = world.trace().counter("directory.bytes_gossiped");
+    world.run_until(SimTime::from_secs(BOOT_SECS + STEADY_SECS));
+    let steady_bytes = world.trace().counter("directory.bytes_gossiped") - bootstrap_bytes;
+
+    // Read join convergence strictly before the leave timer fires, so
+    // the leave's own directory change cannot pollute the measurement.
+    world.run_until(SimTime::from_secs(LEAVE_AT - 1));
+    let join_convergence_ms =
+        max_change(&stats).saturating_sub(JOIN_AT * 1_000_000_000) / 1_000_000;
+    world.run_until(SimTime::from_secs(END_SECS));
+    let leave_convergence_ms =
+        max_change(&stats).saturating_sub(LEAVE_AT * 1_000_000_000) / 1_000_000;
+
+    let expected = (runtimes * per_runtime) as u64;
+    for (i, st) in stats.iter().enumerate() {
+        let entries = st.borrow().directory_entries;
+        assert_eq!(
+            entries,
+            expected,
+            "E12 ({}) runtime {i} did not converge: {entries} entries, expected {expected}",
+            if full_refresh {
+                "full-refresh"
+            } else {
+                "delta"
+            },
+        );
+    }
+
+    DeltaGossipRow {
+        mode: if full_refresh {
+            "full-refresh"
+        } else {
+            "delta"
+        },
+        runtimes,
+        per_runtime,
+        bootstrap_bytes,
+        steady_bytes,
+        steady_secs: STEADY_SECS,
+        join_convergence_ms,
+        leave_convergence_ms,
+        deltas_applied: world.trace().counter("directory.deltas_applied"),
+        antientropy_repairs: world.trace().counter("directory.antientropy_repairs"),
+        final_entries: expected,
+    }
+}
+
+/// The E12 A/B: the same federation fixture under legacy full-refresh
+/// advertisement and under delta-gossip. Row 0 is full-refresh, row 1 is
+/// delta.
+pub fn e12_delta_gossip(runtimes: usize, per_runtime: usize) -> Vec<DeltaGossipRow> {
+    vec![
+        e12_one_mode(true, runtimes, per_runtime),
+        e12_one_mode(false, runtimes, per_runtime),
+    ]
+}
+
+/// The E12 federation-lookup microbenchmark row.
+#[derive(Debug, Clone)]
+pub struct DirLookupRow {
+    /// Profiles in the table.
+    pub profiles: usize,
+    /// Digital ports per profile.
+    pub ports_per_profile: usize,
+    /// Total advertised ports (`profiles * ports_per_profile`).
+    pub total_ports: usize,
+    /// Distinct MIME types the ports spread over.
+    pub distinct_mimes: usize,
+    /// Wall time to build the table (ms).
+    pub build_ms: f64,
+    /// Lookups measured.
+    pub lookups: usize,
+    /// Mean lookup wall time (ns).
+    pub avg_ns: u64,
+    /// p99 lookup wall time (ns) — the number the CI budget gates.
+    pub p99_ns: u64,
+    /// Full-scan fallbacks the query mix triggered (must be 0: every
+    /// port query answers from the index at any table size).
+    pub scan_fallbacks: u64,
+}
+
+/// Builds a directory table with `profiles * ports_per_profile`
+/// advertised ports (the ~1M-port scale point of ISSUE 9) and measures
+/// indexed `lookup` latency over a concrete port-query mix, plus
+/// wildcard queries to pin the scan-free fallback paths.
+pub fn e12_lookup_scale(profiles: usize, ports_per_profile: usize) -> DirLookupRow {
+    use umiddle_core::{DirectoryTable, MimeType, PortKind, Query, RuntimeId, TranslatorId};
+
+    const DISTINCT_MIMES: usize = 512;
+
+    let build_t0 = std::time::Instant::now();
+    let mut table = DirectoryTable::new();
+    for p in 0..profiles {
+        let mut shape = Shape::builder();
+        for k in 0..ports_per_profile {
+            let mime: MimeType = format!("app/t{}", (p * ports_per_profile + k) % DISTINCT_MIMES)
+                .parse()
+                .unwrap();
+            let dir = if k % 2 == 0 {
+                Direction::Output
+            } else {
+                Direction::Input
+            };
+            shape = shape.digital(&format!("p{k}"), dir, mime);
+        }
+        let profile = umiddle_core::TranslatorProfile::builder(
+            TranslatorId::new(RuntimeId((p / 10_000) as u32), (p % 10_000) as u32),
+            format!("svc-{p}"),
+        )
+        .shape(shape.build().unwrap())
+        .build();
+        let home = Addr::new(simnet::NodeId::from_index(p / 10_000), 47_001);
+        table.upsert(profile, home, SimTime::MAX, false);
+    }
+    let build_ms = build_t0.elapsed().as_secs_f64() * 1e3;
+
+    // The measured mix: concrete (direction, MIME) port queries — the
+    // federation hot path. Wildcards are exercised after, unmeasured,
+    // to pin scan-free behavior without letting their O(results) cost
+    // (they select everything) dominate the p99.
+    let queries: Vec<Query> = (0..DISTINCT_MIMES)
+        .map(|m| {
+            Query::has_port(
+                Direction::Output,
+                PortKind::Digital(format!("app/t{m}").parse().unwrap()),
+            )
+        })
+        .collect();
+    for q in queries.iter().take(32) {
+        std::hint::black_box(table.lookup(q)); // warm-up
+    }
+    let lookups = 2_000usize;
+    let mut samples_ns: Vec<u64> = Vec::with_capacity(lookups);
+    let mut total_hits = 0usize;
+    for i in 0..lookups {
+        let q = &queries[i % queries.len()];
+        let t0 = std::time::Instant::now();
+        let hits = std::hint::black_box(table.lookup(q));
+        samples_ns.push(t0.elapsed().as_nanos() as u64);
+        total_hits += hits.len();
+    }
+    assert!(total_hits > 0, "lookup fixture selected nothing");
+    samples_ns.sort_unstable();
+    let avg_ns = samples_ns.iter().sum::<u64>() / lookups as u64;
+    let p99_ns = samples_ns[(lookups * 99) / 100 - 1];
+
+    // Wildcard paths: pattern MIME and the double wildcard both answer
+    // from indexes (the all-digital side list), never the full scan.
+    let pattern = Query::has_port(
+        Direction::Output,
+        PortKind::Digital("app/*".parse().unwrap()),
+    );
+    let any = Query::has_port(Direction::Output, PortKind::Digital(MimeType::any()));
+    assert!(!table.lookup(&pattern).is_empty());
+    assert!(!table.lookup(&any).is_empty());
+
+    DirLookupRow {
+        profiles,
+        ports_per_profile,
+        total_ports: profiles * ports_per_profile,
+        distinct_mimes: DISTINCT_MIMES,
+        build_ms,
+        lookups,
+        avg_ns,
+        p99_ns,
+        scan_fallbacks: table.scan_fallbacks(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -3118,5 +3429,34 @@ mod tests {
         assert!(!drop_side.tail_survives, "drop mode kept the tail?");
         assert!(ring_side.tail_survives, "recorder lost the tail");
         assert!(ring_side.retained > 0);
+    }
+
+    #[test]
+    fn e12_delta_gossip_beats_full_refresh_and_converges() {
+        // A small federation end to end: both modes converge (the
+        // fixture asserts per-runtime entry counts internally, churn
+        // included) and delta-gossip's steady-state directory plane is
+        // already cheaper at 6 runtimes — digests vs full re-adverts.
+        let rows = e12_delta_gossip(6, 2);
+        assert_eq!(rows[0].mode, "full-refresh");
+        assert_eq!(rows[1].mode, "delta");
+        assert!(rows[0].steady_bytes > 0 && rows[1].steady_bytes > 0);
+        assert!(
+            rows[1].steady_bytes < rows[0].steady_bytes,
+            "delta steady-state bytes {} not below full refresh {}",
+            rows[1].steady_bytes,
+            rows[0].steady_bytes
+        );
+        // Only the delta plane applies deltas; full refresh never does.
+        assert_eq!(rows[0].deltas_applied, 0);
+        assert!(rows[1].deltas_applied > 0);
+    }
+
+    #[test]
+    fn e12_lookup_scale_stays_on_the_index() {
+        let lk = e12_lookup_scale(100, 4);
+        assert_eq!(lk.total_ports, 400);
+        assert_eq!(lk.scan_fallbacks, 0, "a port query fell back to a scan");
+        assert!(lk.p99_ns > 0 && lk.avg_ns <= lk.p99_ns);
     }
 }

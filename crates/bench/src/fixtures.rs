@@ -8,7 +8,7 @@ use simnet::{
 };
 use umiddle_core::{
     DirectoryEvent, PortRef, QosPolicy, Query, RuntimeClient, RuntimeConfig, RuntimeEvent,
-    RuntimeId, UmiddleRuntime,
+    RuntimeId, RuntimeStats, UmiddleRuntime,
 };
 
 /// Adds a node attached to the given segments, with its own runtime.
@@ -18,15 +18,28 @@ pub fn runtime_node(
     id: u32,
     segments: &[simnet::SegmentId],
 ) -> (NodeId, ProcId) {
+    let (node, rt, _stats) =
+        runtime_node_cfg(world, name, RuntimeConfig::new(RuntimeId(id)), segments);
+    (node, rt)
+}
+
+/// Like [`runtime_node`], but with an explicit runtime configuration
+/// (E12 uses this for the full-refresh vs delta-gossip A/B) and the
+/// runtime's stats handle, readable while the world runs.
+pub fn runtime_node_cfg(
+    world: &mut World,
+    name: &str,
+    cfg: RuntimeConfig,
+    segments: &[simnet::SegmentId],
+) -> (NodeId, ProcId, Rc<RefCell<RuntimeStats>>) {
     let node = world.add_node(name);
     for s in segments {
         world.attach(node, *s).expect("attach");
     }
-    let rt = world.add_process(
-        node,
-        Box::new(UmiddleRuntime::new(RuntimeConfig::new(RuntimeId(id)))),
-    );
-    (node, rt)
+    let runtime = UmiddleRuntime::new(cfg);
+    let stats = runtime.stats_handle();
+    let rt = world.add_process(node, Box::new(runtime));
+    (node, rt, stats)
 }
 
 /// A wiring rule: connect `src` to `dst` (by name substring + port) when

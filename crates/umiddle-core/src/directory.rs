@@ -2,16 +2,18 @@
 //!
 //! "The uMiddle directory module handles the exchange of device
 //! advertisements among hosts" (paper §3.2). Each runtime keeps a full
-//! replica of the federation's translator profiles, refreshed by periodic
-//! advertisements with a TTL and pruned on expiry or explicit byes. The
-//! replica serves `lookup(Query)` locally and feeds directory listeners.
+//! replica of the federation's translator profiles, kept in sync by the
+//! delta-gossip plane (see [`crate::replica`]) or, in the legacy
+//! full-refresh mode, by periodic advertisements with a TTL. The replica
+//! serves `lookup(Query)` locally and feeds directory listeners.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 
 use simnet::{Addr, SimTime};
 
-use crate::id::TranslatorId;
+use crate::id::{RuntimeId, TranslatorId};
 use crate::mime::MimeType;
 use crate::profile::TranslatorProfile;
 use crate::query::Query;
@@ -24,7 +26,9 @@ pub struct DirectoryEntry {
     pub profile: TranslatorProfile,
     /// Transport address of the hosting runtime.
     pub home: Addr,
-    /// When the entry expires unless refreshed.
+    /// When the entry expires unless refreshed ([`SimTime::MAX`] for
+    /// entries whose liveness is tracked elsewhere — local entries, and
+    /// remote entries under origin-level delta-gossip liveness).
     pub expires: SimTime,
     /// `true` if the translator is hosted by this runtime (local entries
     /// never expire).
@@ -40,17 +44,34 @@ pub enum UpsertEffect {
     Refreshed,
 }
 
+/// How a lookup can use the secondary indexes.
+enum IndexPlan<'a> {
+    /// The query demands a port with a concrete digital type: candidates
+    /// are the exact `(direction, mime)` posting plus wildcard-typed ports
+    /// in that direction.
+    Concrete(Direction, &'a MimeType),
+    /// The query demands *some* digital port in a direction (its type is
+    /// a wildcard pattern): candidates are every entry with a digital port
+    /// in that direction — the double-wildcard side list.
+    AnyDigital(Direction),
+}
+
 /// The in-memory directory replica.
 ///
-/// Besides the id-ordered entry map, the table keeps a secondary index
-/// from `(direction, concrete port MIME type)` to translator ids, so the
-/// hot `lookup` shape — a [`Query::HasPort`] on a concrete digital type,
-/// issued on every dynamic binding attempt — touches only candidate
-/// entries instead of scanning the whole federation. Profiles whose
-/// ports carry wildcard types land in a per-direction side set (they can
-/// match any concrete query type). Queries the index cannot serve fall
-/// back to the full scan, and indexed candidates are still re-checked
-/// with [`Query::matches`], so both paths always agree.
+/// Besides the id-ordered entry map, the table keeps secondary indexes so
+/// `lookup` never scans the whole federation for port-shaped queries:
+///
+/// * `(direction, concrete port MIME type)` → translator ids, serving the
+///   hot [`Query::HasPort`] shape issued on every dynamic binding attempt;
+/// * a per-direction side set of *all* entries with a digital port, so
+///   even double-wildcard queries (`*/*`, `image/*`) visit only candidate
+///   entries — O(candidates), not O(table).
+///
+/// Queries neither index can serve (name/attribute predicates, `Or`/`Not`
+/// roots) fall back to the full scan and bump [`Self::scan_fallbacks`];
+/// indexed candidates are re-checked with [`Query::matches`] — except
+/// exact postings for a bare concrete-port query, which satisfy it by the
+/// index invariant — so every path agrees with the scan.
 #[derive(Debug, Default)]
 pub struct DirectoryTable {
     entries: BTreeMap<TranslatorId, DirectoryEntry>,
@@ -58,11 +79,19 @@ pub struct DirectoryTable {
     mime_index: HashMap<(Direction, MimeType), BTreeSet<TranslatorId>>,
     /// Ids of profiles with a wildcard-typed digital port, per direction.
     pattern_ports: HashMap<Direction, BTreeSet<TranslatorId>>,
+    /// Ids of profiles with *any* digital port, per direction: the
+    /// candidate list for pattern-typed port queries.
+    digital_by_direction: HashMap<Direction, BTreeSet<TranslatorId>>,
     /// Expiry dirty-set: `(expires, id)` min-heap, pushed on every remote
-    /// upsert. Entries are checked lazily against the live table, so a
-    /// refresh simply leaves a stale heap entry behind; [`Self::expire`]
-    /// pops only what is due instead of scanning the whole replica.
+    /// upsert that carries a finite TTL. Entries are checked lazily
+    /// against the live table, so a refresh simply leaves a stale heap
+    /// entry behind; [`Self::expire_into`] pops only what is due instead
+    /// of scanning the whole replica. Entries with `expires == MAX`
+    /// (delta-gossip liveness) never enter the heap.
     expiry: BinaryHeap<Reverse<(SimTime, TranslatorId)>>,
+    /// How many lookups fell back to the full scan (interior mutability:
+    /// `lookup` takes `&self`). Pinned by the index regression tests.
+    scan_fallbacks: Cell<u64>,
 }
 
 impl DirectoryTable {
@@ -90,7 +119,7 @@ impl DirectoryTable {
             UpsertEffect::Appeared
         };
         self.index(id, &profile);
-        if !local {
+        if !local && expires != SimTime::MAX {
             self.expiry.push(Reverse((expires, id)));
         }
         self.entries.insert(
@@ -114,9 +143,39 @@ impl DirectoryTable {
         entry
     }
 
+    /// Removes every entry originating at `origin`, appending the removed
+    /// ids to `removed` in ascending order (origin-level liveness eviction
+    /// in the delta-gossip plane).
+    pub fn remove_origin(&mut self, origin: RuntimeId, removed: &mut Vec<TranslatorId>) {
+        let from = removed.len();
+        removed.extend(
+            self.entries
+                .range(TranslatorId::new(origin, 0)..=TranslatorId::new(origin, u32::MAX))
+                .map(|(id, _)| *id),
+        );
+        // Indexed loop (not an iterator) because `self.remove` needs
+        // `&mut self` while `removed` stays borrowed by an iterator.
+        let mut i = from;
+        while i < removed.len() {
+            self.remove(removed[i]);
+            i += 1;
+        }
+    }
+
+    /// Entries originating at `origin`, in ascending id order.
+    pub fn origin_entries(&self, origin: RuntimeId) -> impl Iterator<Item = &DirectoryEntry> {
+        self.entries
+            .range(TranslatorId::new(origin, 0)..=TranslatorId::new(origin, u32::MAX))
+            .map(|(_, e)| e)
+    }
+
     fn index(&mut self, id: TranslatorId, profile: &TranslatorProfile) {
         for port in profile.shape().ports() {
             if let PortKind::Digital(mime) = &port.kind {
+                self.digital_by_direction
+                    .entry(port.direction)
+                    .or_default()
+                    .insert(id);
                 if mime.is_pattern() {
                     self.pattern_ports
                         .entry(port.direction)
@@ -135,6 +194,12 @@ impl DirectoryTable {
     fn deindex(&mut self, id: TranslatorId, profile: &TranslatorProfile) {
         for port in profile.shape().ports() {
             if let PortKind::Digital(mime) = &port.kind {
+                if let Some(ids) = self.digital_by_direction.get_mut(&port.direction) {
+                    ids.remove(&id);
+                    if ids.is_empty() {
+                        self.digital_by_direction.remove(&port.direction);
+                    }
+                }
                 if mime.is_pattern() {
                     if let Some(ids) = self.pattern_ports.get_mut(&port.direction) {
                         ids.remove(&id);
@@ -155,14 +220,16 @@ impl DirectoryTable {
         }
     }
 
-    /// Drops remote entries whose TTL lapsed; returns the expired ids
-    /// in ascending id order.
+    /// Drops remote entries whose TTL lapsed, appending the expired ids
+    /// to `dead` (cleared first) in ascending id order.
     ///
     /// Only heap entries that are due are examined — `O(due log n)`
     /// rather than a full-table scan. A popped entry whose table row was
-    /// refreshed (later `expires`) or removed is simply discarded.
-    pub fn expire(&mut self, now: SimTime) -> Vec<TranslatorId> {
-        let mut dead = Vec::new();
+    /// refreshed (later `expires`) or removed is simply discarded. The
+    /// caller-supplied buffer makes the steady state (nothing due)
+    /// allocation-free; see [`Self::expire`] for the allocating wrapper.
+    pub fn expire_into(&mut self, now: SimTime, dead: &mut Vec<TranslatorId>) {
+        dead.clear();
         while let Some(Reverse((at, id))) = self.expiry.peek().copied() {
             if at > now {
                 break;
@@ -178,6 +245,12 @@ impl DirectoryTable {
             }
         }
         dead.sort_unstable();
+    }
+
+    /// Allocating convenience wrapper around [`Self::expire_into`].
+    pub fn expire(&mut self, now: SimTime) -> Vec<TranslatorId> {
+        let mut dead = Vec::new();
+        self.expire_into(now, &mut dead);
         dead
     }
 
@@ -188,48 +261,140 @@ impl DirectoryTable {
 
     /// Serves the paper's `lookup(Query)`: profiles matching the query.
     ///
-    /// When the query (or one conjunct of an `And` chain) demands a port
-    /// with a concrete digital type, only entries the MIME index nominates
-    /// are visited; every candidate is still checked against the full
-    /// query, so the result is identical to a table scan.
+    /// When the query (or one conjunct of an `And` chain) demands a
+    /// digital port, only entries the indexes nominate are visited —
+    /// the `(direction, mime)` posting for concrete types, the
+    /// per-direction digital side list for wildcard patterns; candidates
+    /// are checked against the full query (skipped only where the index
+    /// invariant already guarantees a match), so the result is identical
+    /// to a table scan.
     pub fn lookup(&self, query: &Query) -> Vec<&TranslatorProfile> {
-        if let Some((direction, mime)) = Self::indexable_port(query) {
-            let mut ids: BTreeSet<TranslatorId> = BTreeSet::new();
-            if let Some(exact) = self.mime_index.get(&(direction, mime.clone())) {
-                ids.extend(exact.iter().copied());
+        match Self::index_plan(query) {
+            Some(IndexPlan::Concrete(direction, mime)) => {
+                // When the whole query *is* the concrete port demand (the
+                // federation hot path — every dynamic binding attempt),
+                // exact postings satisfy it by the index invariant: the
+                // posting is keyed on precisely the queried
+                // `(direction, mime)`. Skipping the per-candidate
+                // re-check matters at scale — `Query::matches` walks
+                // every port of the profile, turning O(results) into
+                // O(results * ports-per-profile).
+                let root_is_plan = matches!(query, Query::HasPort { .. });
+                let exact = self.mime_index.get(&(direction, mime.clone()));
+                // Wildcard-typed ports match any concrete query type.
+                let patterns = self.pattern_ports.get(&direction);
+                if root_is_plan && patterns.is_none() {
+                    return exact
+                        .into_iter()
+                        .flatten()
+                        .filter_map(|id| self.entries.get(id))
+                        .map(|e| &e.profile)
+                        .collect();
+                }
+                let mut ids: BTreeSet<TranslatorId> = BTreeSet::new();
+                ids.extend(exact.into_iter().flatten().copied());
+                ids.extend(patterns.into_iter().flatten().copied());
+                ids.iter()
+                    .filter_map(|id| self.entries.get(id).map(|e| (id, &e.profile)))
+                    .filter(|(id, p)| {
+                        (root_is_plan && exact.is_some_and(|s| s.contains(id))) || query.matches(p)
+                    })
+                    .map(|(_, p)| p)
+                    .collect()
             }
-            // Wildcard-typed ports match any concrete query type.
-            if let Some(patterns) = self.pattern_ports.get(&direction) {
-                ids.extend(patterns.iter().copied());
-            }
-            return ids
-                .iter()
+            Some(IndexPlan::AnyDigital(direction)) => self
+                .digital_by_direction
+                .get(&direction)
+                .into_iter()
+                .flatten()
                 .filter_map(|id| self.entries.get(id))
                 .map(|e| &e.profile)
                 .filter(|p| query.matches(p))
-                .collect();
+                .collect(),
+            None => {
+                self.scan_fallbacks.set(self.scan_fallbacks.get() + 1);
+                self.entries
+                    .values()
+                    .map(|e| &e.profile)
+                    .filter(|p| query.matches(p))
+                    .collect()
+            }
         }
-        self.entries
-            .values()
-            .map(|e| &e.profile)
-            .filter(|p| query.matches(p))
-            .collect()
     }
 
-    /// Finds a concrete digital-port demand the index can serve: the
-    /// query itself, or any conjunct of a top-level `And` chain (every
-    /// match of the conjunction also matches the conjunct, so its
-    /// candidate set is a safe superset). `Or`/`Not` roots cannot narrow
+    /// How many lookups have fallen back to the full table scan (queries
+    /// no index can narrow: name/attribute predicates, `Or`/`Not` roots).
+    pub fn scan_fallbacks(&self) -> u64 {
+        self.scan_fallbacks.get()
+    }
+
+    /// Finds a digital-port demand the indexes can serve: the query
+    /// itself, or any conjunct of a top-level `And` chain (every match of
+    /// the conjunction also matches the conjunct, so its candidate set is
+    /// a safe superset). A concrete plan is preferred over a wildcard one
+    /// — its candidate list is narrower. `Or`/`Not` roots cannot narrow
     /// the scan and fall through to `None`.
-    fn indexable_port(query: &Query) -> Option<(Direction, &MimeType)> {
+    fn index_plan(query: &Query) -> Option<IndexPlan<'_>> {
         match query {
             Query::HasPort {
                 direction,
                 kind: PortKind::Digital(mime),
-            } if !mime.is_pattern() => Some((*direction, mime)),
-            Query::And(a, b) => Self::indexable_port(a).or_else(|| Self::indexable_port(b)),
+            } => {
+                if mime.is_pattern() {
+                    Some(IndexPlan::AnyDigital(*direction))
+                } else {
+                    Some(IndexPlan::Concrete(*direction, mime))
+                }
+            }
+            Query::And(a, b) => match (Self::index_plan(a), Self::index_plan(b)) {
+                (Some(c @ IndexPlan::Concrete(..)), _) => Some(c),
+                (_, Some(c @ IndexPlan::Concrete(..))) => Some(c),
+                (a, b) => a.or(b),
+            },
             _ => None,
         }
+    }
+
+    /// A canonical FNV-1a digest of the replicated content: entry ids,
+    /// profiles and home addresses, in id order. TTL bookkeeping
+    /// (`expires`) and the observer-relative `local` flag are excluded,
+    /// so two replicas that agree on the federation's state produce the
+    /// same fingerprint regardless of which runtime computed it. The
+    /// convergence battery and anti-entropy tests compare these.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (id, e) in &self.entries {
+            fnv_u64(&mut h, ((id.runtime.0 as u64) << 32) | id.local as u64);
+            fnv_str(&mut h, e.profile.name());
+            fnv_str(&mut h, e.profile.platform());
+            fnv_u64(&mut h, e.profile.shape().ports().len() as u64);
+            for port in e.profile.shape().ports() {
+                fnv_str(&mut h, &port.name);
+                fnv_u64(&mut h, port.direction as u64);
+                match &port.kind {
+                    PortKind::Digital(mime) => {
+                        fnv_u64(&mut h, 0);
+                        fnv_str(&mut h, mime.ty());
+                        fnv_str(&mut h, mime.subtype());
+                    }
+                    PortKind::Physical { perception, media } => {
+                        fnv_u64(&mut h, 1);
+                        fnv_u64(&mut h, *perception as u64);
+                        fnv_str(&mut h, media);
+                    }
+                }
+            }
+            let mut attrs = 0u64;
+            for (k, v) in e.profile.attrs() {
+                fnv_str(&mut h, k);
+                fnv_str(&mut h, v);
+                attrs += 1;
+            }
+            fnv_u64(&mut h, attrs);
+            fnv_u64(&mut h, e.home.node.index() as u64);
+            fnv_u64(&mut h, e.home.port as u64);
+        }
+        h
     }
 
     /// All entries, ordered by translator id.
@@ -250,6 +415,21 @@ impl DirectoryTable {
     /// Returns `true` if the table is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn fnv_str(h: &mut u64, s: &str) {
+    fnv_u64(h, s.len() as u64);
+    for b in s.as_bytes() {
+        *h ^= *b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
     }
 }
 
@@ -300,6 +480,33 @@ mod tests {
         t.upsert(profile(1, "x"), addr(), SimTime::from_secs(25), false);
         assert!(t.expire(SimTime::from_secs(20)).is_empty());
         assert_eq!(t.expire(SimTime::from_secs(25)).len(), 1);
+    }
+
+    #[test]
+    fn expire_into_reuses_the_caller_buffer() {
+        let mut t = DirectoryTable::new();
+        t.upsert(profile(1, "a"), addr(), SimTime::from_secs(10), false);
+        t.upsert(profile(2, "b"), addr(), SimTime::from_secs(40), false);
+        let mut scratch = Vec::new();
+        t.expire_into(SimTime::from_secs(20), &mut scratch);
+        assert_eq!(scratch, vec![TranslatorId::new(RuntimeId(0), 1)]);
+        // A quiet tick clears the buffer but keeps its capacity.
+        let cap = scratch.capacity();
+        t.expire_into(SimTime::from_secs(25), &mut scratch);
+        assert!(scratch.is_empty());
+        assert_eq!(scratch.capacity(), cap);
+    }
+
+    #[test]
+    fn max_ttl_entries_never_enter_the_expiry_heap() {
+        let mut t = DirectoryTable::new();
+        // Delta-gossip remotes carry MAX expiry (origin-level liveness);
+        // the heap must stay empty so a million-entry table doesn't drag
+        // a million dead weights through every tick.
+        t.upsert(profile(1, "remote"), addr(), SimTime::MAX, false);
+        assert!(t.expiry.is_empty());
+        assert!(t.expire(SimTime::from_secs(1_000_000)).is_empty());
+        assert_eq!(t.len(), 1);
     }
 
     #[test]
@@ -403,11 +610,13 @@ mod tests {
                 Direction::Input,
                 PortKind::Digital("audio/pcm".parse().expect("mime")),
             ),
-            // Pattern query: not indexable, must fall back to the scan.
+            // Pattern queries: served from the per-direction side list.
             Query::has_port(
                 Direction::Input,
                 PortKind::Digital("image/*".parse().expect("mime")),
             ),
+            Query::has_port(Direction::Input, PortKind::Digital(MimeType::any())),
+            Query::has_port(Direction::Output, PortKind::Digital(MimeType::any())),
             // Unknown type: indexed path returns only wildcard candidates.
             Query::has_port(
                 Direction::Input,
@@ -416,6 +625,9 @@ mod tests {
             // Conjunctions pick the indexable conjunct from either side.
             jpeg_in.clone().and(Query::NameContains("print".to_owned())),
             Query::NameContains("disp".to_owned()).and(jpeg_in.clone()),
+            // A concrete conjunct beats a pattern conjunct.
+            Query::has_port(Direction::Input, PortKind::Digital(MimeType::any()))
+                .and(jpeg_in.clone()),
             // Disjunction and negation stay on the scan path.
             jpeg_in.clone().or(Query::NameIs("Plain".to_owned())),
             jpeg_in.clone().not(),
@@ -423,6 +635,42 @@ mod tests {
         for q in &queries {
             assert_eq!(t.lookup(q), scan(&t, q), "index/scan disagree on {q:?}");
         }
+    }
+
+    #[test]
+    fn port_queries_never_fall_back_to_the_scan() {
+        let t = mixed_table();
+        let port_queries = vec![
+            Query::has_port(
+                Direction::Input,
+                PortKind::Digital("image/jpeg".parse().expect("mime")),
+            ),
+            // Double-wildcard and half-wildcard patterns: the side list
+            // serves them without touching non-digital entries.
+            Query::has_port(Direction::Input, PortKind::Digital(MimeType::any())),
+            Query::has_port(Direction::Output, PortKind::Digital(MimeType::any())),
+            Query::has_port(
+                Direction::Input,
+                PortKind::Digital("image/*".parse().expect("mime")),
+            ),
+            Query::has_port(
+                Direction::Output,
+                PortKind::Digital("*/pcm".parse().expect("mime")),
+            ),
+            Query::has_port(Direction::Input, PortKind::Digital(MimeType::any()))
+                .and(Query::NameContains("disp".to_owned())),
+        ];
+        for q in &port_queries {
+            assert_eq!(t.lookup(q), scan(&t, q), "index/scan disagree on {q:?}");
+        }
+        assert_eq!(
+            t.scan_fallbacks(),
+            0,
+            "digital port queries must be index-served"
+        );
+        // Non-port predicates legitimately scan.
+        t.lookup(&Query::NameContains("cam".to_owned()));
+        assert_eq!(t.scan_fallbacks(), 1);
     }
 
     #[test]
@@ -466,6 +714,70 @@ mod tests {
         t.expire(SimTime::from_secs(10));
         assert!(t.lookup(&jpeg_in).is_empty());
         assert_eq!(t.lookup(&jpeg_in), scan(&t, &jpeg_in));
+
+        // The wildcard side list follows as well.
+        let any_in = Query::has_port(Direction::Input, PortKind::Digital(MimeType::any()));
+        assert_eq!(t.lookup(&any_in), scan(&t, &any_in));
+    }
+
+    #[test]
+    fn remove_origin_drops_exactly_that_origin() {
+        let mut t = DirectoryTable::new();
+        for (rt, local, name) in [(1, 0, "a"), (1, 7, "b"), (2, 0, "c"), (3, 1, "d")] {
+            t.upsert(
+                shaped_profile(local, name, &[("o", Direction::Output, "x/y")])
+                    .with_id(TranslatorId::new(RuntimeId(rt), local)),
+                addr(),
+                SimTime::MAX,
+                false,
+            );
+        }
+        let mut gone = Vec::new();
+        t.remove_origin(RuntimeId(1), &mut gone);
+        assert_eq!(
+            gone,
+            vec![
+                TranslatorId::new(RuntimeId(1), 0),
+                TranslatorId::new(RuntimeId(1), 7)
+            ]
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.origin_entries(RuntimeId(1)).count(), 0);
+        assert_eq!(t.origin_entries(RuntimeId(2)).count(), 1);
+        // The index dropped the removed origin's postings.
+        let q = Query::has_port(
+            Direction::Output,
+            PortKind::Digital("x/y".parse().expect("mime")),
+        );
+        assert_eq!(t.lookup(&q), scan(&t, &q));
+        assert_eq!(t.lookup(&q).len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_replicated_content_only() {
+        let build = |local_flag: bool, ttl: SimTime| {
+            let mut t = DirectoryTable::new();
+            t.upsert(
+                shaped_profile(1, "Cam", &[("o", Direction::Output, "image/jpeg")]),
+                addr(),
+                ttl,
+                local_flag,
+            );
+            t.upsert(profile(2, "Plain"), addr(), ttl, false);
+            t
+        };
+        // Observer-relative liveness bookkeeping must not change the
+        // digest; content must.
+        let a = build(true, SimTime::MAX);
+        let b = build(false, SimTime::from_secs(15));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = build(true, SimTime::MAX);
+        c.upsert(profile(3, "Extra"), addr(), SimTime::MAX, false);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = build(true, SimTime::MAX);
+        d.remove(TranslatorId::new(RuntimeId(0), 2));
+        d.upsert(profile(2, "Plain2"), addr(), SimTime::MAX, false);
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

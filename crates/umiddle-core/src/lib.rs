@@ -67,6 +67,7 @@ mod mime;
 mod profile;
 mod qos;
 mod query;
+mod replica;
 mod runtime;
 mod shape;
 pub mod shardlink;
@@ -85,6 +86,7 @@ pub use mime::MimeType;
 pub use profile::{TranslatorProfile, TranslatorProfileBuilder};
 pub use qos::{BufferStats, OverflowPolicy, QosPolicy, RateLimit, TranslationBuffer};
 pub use query::Query;
+pub use replica::{DeltaOutcome, DirectoryReplica, ServeReply};
 pub use runtime::{RuntimeConfig, RuntimeStats, UmiddleRuntime};
 pub use shape::{Direction, PerceptionType, PortKind, PortSpec, Shape, ShapeBuilder};
-pub use wire::{FrameDecoder, FramedBatch, WireMessage, WireTarget};
+pub use wire::{DeltaOp, FrameDecoder, FramedBatch, WireMessage, WireTarget};

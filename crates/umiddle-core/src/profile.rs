@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::id::TranslatorId;
 use crate::shape::Shape;
@@ -12,6 +13,14 @@ use crate::shape::Shape;
 ///
 /// Profiles are what [`lookup`](crate::Query) returns and what the
 /// directory module gossips between runtimes.
+///
+/// The description itself lives behind an [`Arc`]: cloning a profile is a
+/// reference-count bump, so fanning one appearance out to N directory
+/// listeners, replicating it across tables, or carrying it through the
+/// delta-gossip plane costs O(1) per copy regardless of how many ports
+/// and attributes it has. The rare mutating operations
+/// ([`with_id`](TranslatorProfile::with_id),
+/// [`with_attr`](TranslatorProfile::with_attr)) copy-on-write.
 ///
 /// # Examples
 ///
@@ -32,8 +41,13 @@ use crate::shape::Shape;
 /// assert_eq!(profile.platform(), "bluetooth");
 /// # Ok::<(), umiddle_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct TranslatorProfile {
+    inner: Arc<ProfileInner>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ProfileInner {
     id: TranslatorId,
     name: String,
     platform: String,
@@ -46,7 +60,7 @@ impl TranslatorProfile {
     /// meaning a native uMiddle service.
     pub fn builder(id: TranslatorId, name: impl Into<String>) -> TranslatorProfileBuilder {
         TranslatorProfileBuilder {
-            profile: TranslatorProfile {
+            profile: ProfileInner {
                 id,
                 name: name.into(),
                 platform: "umiddle".to_owned(),
@@ -58,39 +72,42 @@ impl TranslatorProfile {
 
     /// The globally unique translator id.
     pub fn id(&self) -> TranslatorId {
-        self.id
+        self.inner.id
     }
 
     /// Human-readable device name.
     pub fn name(&self) -> &str {
-        &self.name
+        &self.inner.name
     }
 
     /// The platform the device was imported from (`"upnp"`,
     /// `"bluetooth"`, `"rmi"`, `"umiddle"` for native services, …).
     pub fn platform(&self) -> &str {
-        &self.platform
+        &self.inner.platform
     }
 
     /// The device's shape (its set of typed ports).
     pub fn shape(&self) -> &Shape {
-        &self.shape
+        &self.inner.shape
     }
 
     /// Looks up a free-form attribute.
     pub fn attr(&self, key: &str) -> Option<&str> {
-        self.attrs.get(key).map(String::as_str)
+        self.inner.attrs.get(key).map(String::as_str)
     }
 
     /// All attributes, sorted by key.
     pub fn attrs(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.attrs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+        self.inner
+            .attrs
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
     }
 
     /// Re-keys a profile onto a different translator id (used when the
     /// same device description is instantiated repeatedly).
     pub fn with_id(mut self, id: TranslatorId) -> TranslatorProfile {
-        self.id = id;
+        Arc::make_mut(&mut self.inner).id = id;
         self
     }
 
@@ -100,8 +117,28 @@ impl TranslatorProfile {
         key: impl Into<String>,
         value: impl Into<String>,
     ) -> TranslatorProfile {
-        self.attrs.insert(key.into(), value.into());
+        Arc::make_mut(&mut self.inner)
+            .attrs
+            .insert(key.into(), value.into());
         self
+    }
+
+    /// `true` if both handles point at the same shared description (used
+    /// by tests pinning the O(1)-clone behavior).
+    pub fn shares_storage(&self, other: &TranslatorProfile) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl PartialEq for TranslatorProfile {
+    fn eq(&self, other: &TranslatorProfile) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner == other.inner
+    }
+}
+
+impl fmt::Debug for TranslatorProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
     }
 }
 
@@ -110,7 +147,7 @@ impl fmt::Display for TranslatorProfile {
         write!(
             f,
             "{} {:?} [{}] {}",
-            self.id, self.name, self.platform, self.shape
+            self.inner.id, self.inner.name, self.inner.platform, self.inner.shape
         )
     }
 }
@@ -118,7 +155,7 @@ impl fmt::Display for TranslatorProfile {
 /// Builder for [`TranslatorProfile`].
 #[derive(Debug, Clone)]
 pub struct TranslatorProfileBuilder {
-    profile: TranslatorProfile,
+    profile: ProfileInner,
 }
 
 impl TranslatorProfileBuilder {
@@ -146,7 +183,9 @@ impl TranslatorProfileBuilder {
 
     /// Finishes the profile.
     pub fn build(self) -> TranslatorProfile {
-        self.profile
+        TranslatorProfile {
+            inner: Arc::new(self.profile),
+        }
     }
 }
 
@@ -179,6 +218,19 @@ mod tests {
         let q = p.clone().with_id(TranslatorId::new(RuntimeId(9), 9));
         assert_eq!(q.id(), TranslatorId::new(RuntimeId(9), 9));
         assert_eq!(q.name(), p.name());
+    }
+
+    #[test]
+    fn clones_share_storage_and_cow_detaches() {
+        let p = TranslatorProfile::builder(TranslatorId::new(RuntimeId(0), 1), "Cam").build();
+        let q = p.clone();
+        assert!(p.shares_storage(&q), "clone is a refcount bump");
+        assert_eq!(p, q);
+        // A mutation must not write through to other handles.
+        let r = q.clone().with_attr("room", "den");
+        assert!(!r.shares_storage(&p));
+        assert_eq!(p.attr("room"), None);
+        assert_eq!(r.attr("room"), Some("den"));
     }
 
     #[test]

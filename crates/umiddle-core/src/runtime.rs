@@ -16,7 +16,7 @@ use simnet::{
 };
 
 use crate::api::{ConnectTarget, DirectoryEvent, InputDelivery, RuntimeEvent, RuntimeRequest};
-use crate::directory::{DirectoryTable, UpsertEffect};
+use crate::directory::UpsertEffect;
 use crate::error::{CoreError, CoreResult};
 use crate::id::{ConnectionId, PortRef, RuntimeId, TranslatorId};
 use crate::intern::Symbol;
@@ -24,8 +24,9 @@ use crate::message::UMessage;
 use crate::profile::TranslatorProfile;
 use crate::qos::{QosPolicy, TranslationBuffer};
 use crate::query::Query;
+use crate::replica::{DeltaOutcome, DirectoryReplica, ServeReply};
 use crate::shape::{Direction, PortKind};
-use crate::wire::{FrameDecoder, FramedBatch, WireMessage, WireTarget};
+use crate::wire::{DeltaOp, FrameDecoder, FramedBatch, WireMessage, WireTarget};
 
 /// Timer token for the periodic advertise/expire tick.
 const TIMER_TICK: u64 = 0;
@@ -65,6 +66,14 @@ pub struct RuntimeConfig {
     pub ttl_factor: u32,
     /// Maximum unacknowledged local input deliveries per path.
     pub delivery_credit: u32,
+    /// Legacy advertisement mode: re-broadcast the full local profile
+    /// table every tick with per-entry TTL expiry, instead of the
+    /// delta-gossip protocol. Kept for A/B measurement (E12); the two
+    /// modes interoperate in one federation.
+    pub full_refresh: bool,
+    /// How many of its own delta ops a runtime retains to serve
+    /// anti-entropy requests before falling back to snapshots.
+    pub delta_log_cap: usize,
 }
 
 impl RuntimeConfig {
@@ -78,6 +87,8 @@ impl RuntimeConfig {
             advertise_interval: SimDuration::from_secs(5),
             ttl_factor: 3,
             delivery_credit: 4,
+            full_refresh: false,
+            delta_log_cap: 256,
         }
     }
 
@@ -147,6 +158,11 @@ pub struct RuntimeStats {
     pub buffered_bytes: usize,
     /// High-water mark of total buffered bytes across all paths.
     pub max_buffered_bytes: usize,
+    /// Entries currently in the directory (local + replicated).
+    pub directory_entries: u64,
+    /// Virtual time (ns) of the last visible directory change, used by
+    /// experiments to measure convergence after churn.
+    pub last_directory_change_ns: u64,
 }
 
 /// The uMiddle runtime process. Add one to a node with
@@ -173,7 +189,7 @@ pub struct RuntimeStats {
 #[derive(Debug)]
 pub struct UmiddleRuntime {
     cfg: RuntimeConfig,
-    directory: DirectoryTable,
+    directory: DirectoryReplica,
     next_translator: u32,
     next_connection: u32,
     next_path_uid: u64,
@@ -208,6 +224,12 @@ pub struct UmiddleRuntime {
     input_scratch: Vec<InputDelivery>,
     /// Reusable scratch for one-pass wire-frame decoding.
     decode_scratch: Vec<CoreResult<WireMessage>>,
+    /// Reusable scratch for directory expiry/eviction sweeps, so the
+    /// steady-state tick (nothing expired) allocates nothing.
+    expire_scratch: Vec<TranslatorId>,
+    /// Reusable scratch for directory events surfaced by delta/snapshot
+    /// application.
+    event_scratch: Vec<DirectoryEvent>,
     listeners: Vec<(ProcId, Query)>,
     /// Forwarded connect requests awaiting a reply: wire token →
     /// (local requester, its token).
@@ -227,9 +249,10 @@ impl UmiddleRuntime {
     /// Creates a runtime with the given configuration.
     pub fn new(cfg: RuntimeConfig) -> UmiddleRuntime {
         let scope = format!("rt{}", cfg.id.0);
+        let directory = DirectoryReplica::new(cfg.id, cfg.delta_log_cap);
         UmiddleRuntime {
             cfg,
-            directory: DirectoryTable::new(),
+            directory,
             next_translator: 1,
             next_connection: 1,
             next_path_uid: 0,
@@ -246,6 +269,8 @@ impl UmiddleRuntime {
             scratch: Vec::new(),
             input_scratch: Vec::new(),
             decode_scratch: Vec::new(),
+            expire_scratch: Vec::new(),
+            event_scratch: Vec::new(),
             listeners: Vec::new(),
             pending_connects: HashMap::new(),
             peers: HashMap::new(),
@@ -294,22 +319,58 @@ impl UmiddleRuntime {
     // Directory protocol
     // ------------------------------------------------------------------
 
-    fn multicast_wire(&mut self, ctx: &mut Ctx<'_>, msg: &WireMessage) {
-        let _ = ctx.multicast(
-            self.cfg.directory_port,
-            self.cfg.multicast_group,
-            msg.encode(),
-        );
+    /// Multicasts a directory-plane message, charging its encoded length
+    /// to the federation-wide `directory.bytes_gossiped` counter (the
+    /// measure E12's full-refresh vs delta A/B compares).
+    fn gossip_multicast(&mut self, ctx: &mut Ctx<'_>, msg: &WireMessage) {
+        let bytes = msg.encode();
+        ctx.bump("directory.bytes_gossiped", bytes.len() as u64);
+        let _ = ctx.multicast(self.cfg.directory_port, self.cfg.multicast_group, bytes);
     }
 
+    /// Unicasts a directory-plane message, with the same byte accounting
+    /// as [`Self::gossip_multicast`].
+    fn gossip_unicast(&mut self, ctx: &mut Ctx<'_>, to: Addr, msg: &WireMessage) {
+        let bytes = msg.encode();
+        ctx.bump("directory.bytes_gossiped", bytes.len() as u64);
+        let _ = ctx.send_to(self.cfg.directory_port, to, bytes);
+    }
+
+    /// Unicasts a control message (connect/disconnect plumbing — not
+    /// directory gossip, so not charged to `directory.bytes_gossiped`).
     fn unicast_wire(&mut self, ctx: &mut Ctx<'_>, to: Addr, msg: &WireMessage) {
         let _ = ctx.send_to(self.cfg.directory_port, to, msg.encode());
+    }
+
+    /// A peer's directory (control) address, derived from its advertised
+    /// transport address: by convention every runtime keeps the same
+    /// offset between the two ports.
+    fn peer_directory(&self, home: Addr) -> Addr {
+        Addr::new(
+            home.node,
+            home.port
+                .wrapping_sub(self.cfg.transport_port)
+                .wrapping_add(self.cfg.directory_port),
+        )
     }
 
     fn advertise(&mut self, ctx: &mut Ctx<'_>, profile: TranslatorProfile) {
         let home = self.transport_addr(ctx);
         ctx.bump(&self.metric("advertisements_sent"), 1);
-        self.multicast_wire(ctx, &WireMessage::Advertise { profile, home });
+        self.gossip_multicast(ctx, &WireMessage::Advertise { profile, home });
+    }
+
+    /// This runtime's anti-entropy digest: just its own watermark. Peers
+    /// learn about third parties from those parties' own digests, which
+    /// keeps the steady-state gossip payload a few dozen bytes no matter
+    /// how large the federation or the table grows.
+    fn own_digest(&self, ctx: &Ctx<'_>) -> WireMessage {
+        WireMessage::Digest {
+            origin: self.cfg.id,
+            reply_to: self.directory_addr(ctx),
+            home: self.transport_addr(ctx),
+            vector: vec![(self.cfg.id, self.directory.own_version())],
+        }
     }
 
     fn notify_listeners(&self, ctx: &mut Ctx<'_>, event: &DirectoryEvent) {
@@ -321,17 +382,60 @@ impl UmiddleRuntime {
                 DirectoryEvent::Disappeared(_) => true,
             };
             if interested {
+                // Profiles are Arc-backed, so this clone is a refcount
+                // bump: N listeners cost O(1) work each, not a deep copy
+                // of the profile per listener.
                 ctx.send_local(*proc, RuntimeEvent::Directory(event.clone()));
             }
         }
     }
 
+    /// Refreshes the stats-plane view of the directory after a visible
+    /// change (entry count + change timestamp drive E12's convergence
+    /// measurement).
+    fn note_directory_change(&mut self, ctx: &Ctx<'_>) {
+        let mut stats = self.stats.borrow_mut();
+        stats.directory_entries = self.directory.table().len() as u64;
+        stats.last_directory_change_ns = ctx.now().as_nanos();
+    }
+
+    /// Records discovery latency for a profile seen for the first time
+    /// (registration stamp to first sight; virtual time is
+    /// federation-global).
+    fn observe_discovery(&self, ctx: &mut Ctx<'_>, profile: &TranslatorProfile) {
+        if let Some(reg_ns) = profile
+            .attr(REGISTERED_AT_ATTR)
+            .and_then(|v| v.parse().ok())
+        {
+            let d = ctx.now() - simnet::SimTime::from_nanos(reg_ns);
+            ctx.observe("umiddle.discovery_latency", d);
+        }
+    }
+
+    /// Dispatches directory events surfaced by delta/snapshot
+    /// application: appearance metrics, listener notification, and
+    /// late-binding, exactly as the legacy advertise path.
+    fn process_directory_events(&mut self, ctx: &mut Ctx<'_>, events: &mut Vec<DirectoryEvent>) {
+        for event in events.drain(..) {
+            match event {
+                DirectoryEvent::Appeared(profile) => {
+                    ctx.bump("umiddle.directory_appearances", 1);
+                    self.observe_discovery(ctx, &profile);
+                    self.handle_appearance(ctx, &profile);
+                }
+                DirectoryEvent::Disappeared(id) => self.handle_disappearance(ctx, id),
+            }
+        }
+    }
+
     fn handle_appearance(&mut self, ctx: &mut Ctx<'_>, profile: &TranslatorProfile) {
+        self.note_directory_change(ctx);
         self.notify_listeners(ctx, &DirectoryEvent::Appeared(profile.clone()));
         self.bind_query_connections(ctx, profile);
     }
 
     fn handle_disappearance(&mut self, ctx: &mut Ctx<'_>, id: TranslatorId) {
+        self.note_directory_change(ctx);
         self.notify_listeners(ctx, &DirectoryEvent::Disappeared(id));
         // Remove connections whose source vanished; the source index
         // names them directly, no sweep over unrelated connections.
@@ -453,39 +557,182 @@ impl UmiddleRuntime {
         };
         match msg {
             WireMessage::Advertise { profile, home } => {
+                // Legacy full-refresh gossip from a peer running in that
+                // mode: TTL-governed upsert, exactly as before.
                 if profile.id().runtime == self.cfg.id {
                     return; // our own advertisement echoed back
                 }
                 let expires = ctx.now() + self.cfg.ttl();
-                let effect = self.directory.upsert(profile.clone(), home, expires, false);
+                let effect =
+                    self.directory
+                        .table_mut()
+                        .upsert(profile.clone(), home, expires, false);
                 if effect == UpsertEffect::Appeared {
                     ctx.bump("umiddle.directory_appearances", 1);
-                    // Discovery latency: registration stamp to first sight.
-                    if let Some(reg_ns) = profile
-                        .attr(REGISTERED_AT_ATTR)
-                        .and_then(|v| v.parse().ok())
-                    {
-                        let d = ctx.now() - simnet::SimTime::from_nanos(reg_ns);
-                        ctx.observe("umiddle.discovery_latency", d);
-                    }
+                    self.observe_discovery(ctx, &profile);
                     self.handle_appearance(ctx, &profile);
                 }
             }
             WireMessage::Bye { translator } => {
-                if self.directory.remove(translator).is_some() {
+                if self.directory.table_mut().remove(translator).is_some() {
                     self.handle_disappearance(ctx, translator);
                 }
             }
             WireMessage::Probe { reply_to } => {
-                let home = self.transport_addr(ctx);
-                let locals: Vec<TranslatorProfile> = self
-                    .directory
-                    .local_entries()
-                    .map(|e| e.profile.clone())
-                    .collect();
-                for profile in locals {
-                    self.unicast_wire(ctx, reply_to, &WireMessage::Advertise { profile, home });
+                if self.cfg.full_refresh {
+                    let home = self.transport_addr(ctx);
+                    let locals: Vec<TranslatorProfile> = self
+                        .directory
+                        .table()
+                        .local_entries()
+                        .map(|e| e.profile.clone())
+                        .collect();
+                    for profile in locals {
+                        self.gossip_unicast(
+                            ctx,
+                            reply_to,
+                            &WireMessage::Advertise { profile, home },
+                        );
+                    }
+                } else {
+                    // Boot sync: the digest tells the prober our
+                    // watermark; it requests the range it is missing
+                    // (all of it) and we serve ops or a snapshot.
+                    let digest = self.own_digest(ctx);
+                    self.gossip_unicast(ctx, reply_to, &digest);
                 }
+            }
+            WireMessage::Delta {
+                origin,
+                home,
+                first,
+                ops,
+            } => {
+                if origin == self.cfg.id {
+                    return; // our own delta echoed back
+                }
+                let mut events = std::mem::take(&mut self.event_scratch);
+                events.clear();
+                let outcome =
+                    self.directory
+                        .apply_delta(origin, home, first, &ops, ctx.now(), &mut events);
+                match outcome {
+                    DeltaOutcome::Applied(n) => {
+                        if n > 0 {
+                            ctx.bump("directory.deltas_applied", n);
+                        }
+                    }
+                    DeltaOutcome::Gap { from } => {
+                        // Missed earlier deltas: drop this one and pull
+                        // exactly the missing range from the origin.
+                        let backoff = self.cfg.advertise_interval;
+                        if self.directory.note_request(origin, ctx.now(), backoff) {
+                            ctx.bump("directory.antientropy_repairs", 1);
+                            let reply_to = self.directory_addr(ctx);
+                            let to = self.peer_directory(home);
+                            self.gossip_unicast(
+                                ctx,
+                                to,
+                                &WireMessage::DeltaRequest {
+                                    origin,
+                                    from,
+                                    reply_to,
+                                },
+                            );
+                        }
+                    }
+                    DeltaOutcome::Ignored => {}
+                }
+                self.process_directory_events(ctx, &mut events);
+                self.event_scratch = events;
+            }
+            WireMessage::Digest {
+                origin,
+                reply_to,
+                home: _,
+                vector,
+            } => {
+                if origin == self.cfg.id {
+                    return; // our own digest echoed back
+                }
+                let backoff = self.cfg.advertise_interval;
+                if let Some(from) =
+                    self.directory
+                        .observe_digest(origin, &vector, ctx.now(), backoff)
+                {
+                    ctx.bump("directory.antientropy_repairs", 1);
+                    let my_reply = self.directory_addr(ctx);
+                    self.gossip_unicast(
+                        ctx,
+                        reply_to,
+                        &WireMessage::DeltaRequest {
+                            origin,
+                            from,
+                            reply_to: my_reply,
+                        },
+                    );
+                }
+            }
+            WireMessage::DeltaRequest {
+                origin,
+                from,
+                reply_to,
+            } => {
+                if origin != self.cfg.id {
+                    return; // only the origin serves its own history
+                }
+                let home = self.transport_addr(ctx);
+                match self.directory.serve_request(from) {
+                    ServeReply::Ops { first, ops } => {
+                        self.gossip_unicast(
+                            ctx,
+                            reply_to,
+                            &WireMessage::Delta {
+                                origin,
+                                home,
+                                first,
+                                ops,
+                            },
+                        );
+                    }
+                    ServeReply::Snapshot { version, profiles } => {
+                        self.gossip_unicast(
+                            ctx,
+                            reply_to,
+                            &WireMessage::Snapshot {
+                                origin,
+                                home,
+                                version,
+                                profiles,
+                            },
+                        );
+                    }
+                }
+            }
+            WireMessage::Snapshot {
+                origin,
+                home,
+                version,
+                profiles,
+            } => {
+                if origin == self.cfg.id {
+                    return;
+                }
+                let mut events = std::mem::take(&mut self.event_scratch);
+                events.clear();
+                let changes = self.directory.apply_snapshot(
+                    origin,
+                    home,
+                    version,
+                    &profiles,
+                    ctx.now(),
+                    &mut events,
+                );
+                if changes > 0 {
+                    ctx.bump("directory.deltas_applied", changes);
+                }
+                self.process_directory_events(ctx, &mut events);
+                self.event_scratch = events;
             }
             WireMessage::ConnectReply { token, result } => {
                 if let Some((proc, local_token)) = self.pending_connects.remove(&token) {
@@ -540,8 +787,6 @@ impl UmiddleRuntime {
             .with_id(id)
             .with_attr(REGISTERED_AT_ATTR, ctx.now().as_nanos().to_string());
         let home = self.transport_addr(ctx);
-        self.directory
-            .upsert(profile.clone(), home, simnet::SimTime::MAX, true);
         self.local_translators.insert(
             id,
             LocalTranslator {
@@ -558,7 +803,26 @@ impl UmiddleRuntime {
         );
         ctx.bump("umiddle.registrations", 1);
         ctx.bump(&self.metric("registrations"), 1);
-        self.advertise(ctx, profile.clone());
+        if self.cfg.full_refresh {
+            self.directory
+                .table_mut()
+                .upsert(profile.clone(), home, simnet::SimTime::MAX, true);
+            self.advertise(ctx, profile.clone());
+        } else {
+            // Event-driven delta: the registration is gossiped once, as
+            // the next versioned op in our stream.
+            let first = self.directory.record_local_add(profile.clone(), home);
+            ctx.bump(&self.metric("advertisements_sent"), 1);
+            self.gossip_multicast(
+                ctx,
+                &WireMessage::Delta {
+                    origin: self.cfg.id,
+                    home,
+                    first,
+                    ops: vec![DeltaOp::Add(profile.clone())],
+                },
+            );
+        }
         self.handle_appearance(ctx, &profile);
     }
 
@@ -566,8 +830,21 @@ impl UmiddleRuntime {
         if self.local_translators.remove(&translator).is_none() {
             return;
         }
-        self.directory.remove(translator);
-        self.multicast_wire(ctx, &WireMessage::Bye { translator });
+        if self.cfg.full_refresh {
+            self.directory.table_mut().remove(translator);
+            self.gossip_multicast(ctx, &WireMessage::Bye { translator });
+        } else if let Some(first) = self.directory.record_local_remove(translator) {
+            let home = self.transport_addr(ctx);
+            self.gossip_multicast(
+                ctx,
+                &WireMessage::Delta {
+                    origin: self.cfg.id,
+                    home,
+                    first,
+                    ops: vec![DeltaOp::Remove(translator)],
+                },
+            );
+        }
         self.handle_disappearance(ctx, translator);
     }
 
@@ -579,6 +856,7 @@ impl UmiddleRuntime {
     fn validate_src(&self, src: &PortRef) -> CoreResult<PortKind> {
         let entry = self
             .directory
+            .table()
             .get(src.translator)
             .ok_or(CoreError::UnknownTranslator(src.translator))?;
         let port = entry
@@ -604,6 +882,7 @@ impl UmiddleRuntime {
     fn validate_dst(&self, src_kind: &PortKind, dst: &PortRef) -> CoreResult<Option<Addr>> {
         let entry = self
             .directory
+            .table()
             .get(dst.translator)
             .ok_or(CoreError::UnknownTranslator(dst.translator))?;
         let port = entry
@@ -724,7 +1003,7 @@ impl UmiddleRuntime {
         src_kind: &PortKind,
     ) -> Vec<(PortRef, Option<Addr>)> {
         let mut out = Vec::new();
-        for entry in self.directory.iter() {
+        for entry in self.directory.table().iter() {
             let profile = &entry.profile;
             if profile.id() == src.translator || !query.matches(profile) {
                 continue;
@@ -747,6 +1026,7 @@ impl UmiddleRuntime {
     fn bind_query_connections(&mut self, ctx: &mut Ctx<'_>, profile: &TranslatorProfile) {
         let entry_home =
             self.directory
+                .table()
                 .get(profile.id())
                 .map(|e| if e.local { None } else { Some(e.home) });
         let Some(home) = entry_home else { return };
@@ -816,7 +1096,7 @@ impl UmiddleRuntime {
             return;
         }
         // Source is remote: forward to its home runtime.
-        let Some(entry) = self.directory.get(src.translator) else {
+        let Some(entry) = self.directory.table().get(src.translator) else {
             ctx.send_local(
                 from,
                 RuntimeEvent::ConnectFailed {
@@ -835,16 +1115,9 @@ impl UmiddleRuntime {
             ConnectTarget::Port(p) => WireTarget::Port(p),
             ConnectTarget::Query(q) => WireTarget::Query(q),
         };
-        // Control traffic goes to the peer's directory port; by convention
-        // the peer's directory port is its transport port's sibling, but we
-        // only know the transport address from advertisements, so control
-        // messages are sent there minus the offset between the two ports.
-        let peer_directory = Addr::new(
-            home.node,
-            home.port
-                .wrapping_sub(self.cfg.transport_port)
-                .wrapping_add(self.cfg.directory_port),
-        );
+        // Control traffic goes to the peer's directory port; we only know
+        // its transport address from advertisements, so derive it.
+        let peer_directory = self.peer_directory(home);
         self.unicast_wire(
             ctx,
             peer_directory,
@@ -891,16 +1164,12 @@ impl UmiddleRuntime {
         // directory entry from that runtime gives us its address).
         let home = self
             .directory
+            .table()
             .iter()
             .find(|e| e.profile.id().runtime == connection.runtime && !e.local)
             .map(|e| e.home);
         if let Some(home) = home {
-            let peer_directory = Addr::new(
-                home.node,
-                home.port
-                    .wrapping_sub(self.cfg.transport_port)
-                    .wrapping_add(self.cfg.directory_port),
-            );
+            let peer_directory = self.peer_directory(home);
             self.unicast_wire(
                 ctx,
                 peer_directory,
@@ -1484,21 +1753,47 @@ impl UmiddleRuntime {
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
-        // Refresh our advertisements.
-        let locals: Vec<TranslatorProfile> = self
-            .directory
-            .local_entries()
-            .map(|e| e.profile.clone())
-            .collect();
-        for profile in locals {
-            self.advertise(ctx, profile);
+        if self.cfg.full_refresh {
+            // Legacy mode: re-broadcast every local profile each tick.
+            let locals: Vec<TranslatorProfile> = self
+                .directory
+                .table()
+                .local_entries()
+                .map(|e| e.profile.clone())
+                .collect();
+            for profile in locals {
+                self.advertise(ctx, profile);
+            }
+        } else {
+            // Delta mode: the periodic payload is just our watermark.
+            let digest = self.own_digest(ctx);
+            self.gossip_multicast(ctx, &digest);
         }
-        // Expire stale remote entries.
-        for id in self.directory.expire(ctx.now()) {
+        // Origin-level liveness for delta-replicated entries: an origin
+        // that stopped gossiping (crash, partition) takes its whole
+        // slice of the directory with it.
+        let mut dead = std::mem::take(&mut self.expire_scratch);
+        let mut events = std::mem::take(&mut self.event_scratch);
+        events.clear();
+        self.directory
+            .evict_stale_origins(ctx.now(), self.cfg.ttl(), &mut events, &mut dead);
+        events.clear(); // handle_disappearance re-derives the notifications
+        self.event_scratch = events;
+        for &id in &dead {
             ctx.bump("umiddle.directory_expiries", 1);
             ctx.bump(&self.metric("advertisements_expired"), 1);
             self.handle_disappearance(ctx, id);
         }
+        // Per-entry TTL expiry for full-refresh-advertised entries. Both
+        // sweeps reuse the same scratch buffer, so a steady-state tick
+        // allocates nothing.
+        self.directory.table_mut().expire_into(ctx.now(), &mut dead);
+        for &id in &dead {
+            ctx.bump("umiddle.directory_expiries", 1);
+            ctx.bump(&self.metric("advertisements_expired"), 1);
+            self.handle_disappearance(ctx, id);
+        }
+        self.expire_scratch = dead;
         let interval = self.cfg.advertise_interval;
         ctx.set_timer(interval, TIMER_TICK);
     }
@@ -1516,7 +1811,7 @@ impl Process for UmiddleRuntime {
             .expect("transport port available");
         let _ = ctx.join_group(self.cfg.multicast_group);
         let reply_to = self.directory_addr(ctx);
-        self.multicast_wire(ctx, &WireMessage::Probe { reply_to });
+        self.gossip_multicast(ctx, &WireMessage::Probe { reply_to });
         let interval = self.cfg.advertise_interval;
         ctx.set_timer(interval, TIMER_TICK);
     }
@@ -1579,14 +1874,24 @@ impl Process for UmiddleRuntime {
             } => self.handle_register(ctx, from, token, profile, delegate),
             RuntimeRequest::Unregister { translator } => self.handle_unregister(ctx, translator),
             RuntimeRequest::Lookup { token, query } => {
-                let profiles: Vec<TranslatorProfile> =
-                    self.directory.lookup(&query).into_iter().cloned().collect();
+                let profiles: Vec<TranslatorProfile> = self
+                    .directory
+                    .table()
+                    .lookup(&query)
+                    .into_iter()
+                    .cloned()
+                    .collect();
                 ctx.send_local(from, RuntimeEvent::LookupResult { token, profiles });
             }
             RuntimeRequest::AddListener { query } => {
                 // Report existing matches immediately.
-                let matches: Vec<TranslatorProfile> =
-                    self.directory.lookup(&query).into_iter().cloned().collect();
+                let matches: Vec<TranslatorProfile> = self
+                    .directory
+                    .table()
+                    .lookup(&query)
+                    .into_iter()
+                    .cloned()
+                    .collect();
                 for profile in matches {
                     ctx.send_local(
                         from,
@@ -1626,10 +1931,38 @@ impl Process for UmiddleRuntime {
     }
 
     fn on_stop(&mut self, ctx: &mut Ctx<'_>) {
-        // Orderly shutdown: tell peers our translators are gone.
-        let ids: Vec<TranslatorId> = self.local_translators.keys().copied().collect();
-        for translator in ids {
-            self.multicast_wire(ctx, &WireMessage::Bye { translator });
+        // Orderly shutdown: tell peers our translators are gone (sorted
+        // so the wire order is deterministic).
+        let mut ids: Vec<TranslatorId> = self.local_translators.keys().copied().collect();
+        ids.sort_unstable();
+        if self.cfg.full_refresh {
+            for translator in ids {
+                self.gossip_multicast(ctx, &WireMessage::Bye { translator });
+            }
+            return;
+        }
+        // One batched delta retracts everything.
+        let mut first = 0;
+        let mut ops = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(v) = self.directory.record_local_remove(id) {
+                if ops.is_empty() {
+                    first = v;
+                }
+                ops.push(DeltaOp::Remove(id));
+            }
+        }
+        if !ops.is_empty() {
+            let home = self.transport_addr(ctx);
+            self.gossip_multicast(
+                ctx,
+                &WireMessage::Delta {
+                    origin: self.cfg.id,
+                    home,
+                    first,
+                    ops,
+                },
+            );
         }
     }
 }
