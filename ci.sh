@@ -7,7 +7,7 @@
 #   lint          rustfmt, clippy -D warnings, BENCH_*.json record lint
 #   build-test    release build + full workspace test suite
 #   determinism   double-run byte-diff gates (E8 trace, E10 doctor,
-#                 E11 incident bundle)
+#                 E11 incident bundle, E13 attribution)
 #   perf          perf_payload + perf_sched regression checks
 #   all           every stage in order (the default; what `./ci.sh` runs)
 #
@@ -23,6 +23,13 @@
 #   PERF_RECORDER_OVERHEAD  ceiling on the always-on flight recorder's
 #                        wall-clock ratio at N=1000 (default 1.03 —
 #                        the <=3% budget for keeping it on everywhere)
+#   PERF_ATTRIB_OVERHEAD ceiling on the attribution plane's wall-clock
+#                        ratio at N=1000 (default 1.03 — same always-on
+#                        budget as the recorder). perf_sched --check
+#                        also runs the differential perf doctor: the
+#                        E13 attribution run diffed against the
+#                        checked-in artifacts/E13_attrib_baseline.json,
+#                        so a regression is reported by component.
 #   PERF_SHARD_SPEEDUP   E9c 4-shard over 1-shard events/sec floor at
 #                        N=10000 (default 1.5; auto-skipped on hosts
 #                        with fewer than 4 cores, where a 4-way shard
@@ -47,6 +54,7 @@ STAGE="${1:-all}"
 : "${PERF_FLOOR_EVPS:=50000}"
 : "${PERF_P99_BUDGET_US:=200}"
 : "${PERF_RECORDER_OVERHEAD:=1.03}"
+: "${PERF_ATTRIB_OVERHEAD:=1.03}"
 : "${PERF_SHARD_SPEEDUP:=1.5}"
 : "${PERF_DIR_RATIO:=10}"
 : "${PERF_DIR_P99_US:=200}"
@@ -155,6 +163,15 @@ stage_determinism() {
     gate incident-determinism run_determinism_gate incident incident_export \
         --bundle @OUT.incident.json \
         --doctor @OUT.doctor.json
+    # E13 attribution gate: the continuous profiler's snapshot, the
+    # differential doctor's diff and the checked-in baseline must all
+    # come out byte-identical across two runs — the incremental span
+    # fold, the exemplar capture and the diff ranking are pure
+    # functions of the deterministic span journal.
+    gate attrib-determinism run_determinism_gate attrib attrib_export \
+        --attrib @OUT.attrib.json \
+        --diff @OUT.attrib_diff.json \
+        --baseline @OUT.attrib_baseline.json
 }
 
 stage_perf() {
@@ -165,13 +182,16 @@ stage_perf() {
     # Scheduler gates: timer-wheel kernel vs reference heap, E9
     # events/sec floor and near-linearity, p99 dispatch budget, E9b
     # batched-vs-unbatched speedup floor, telemetry sampler overhead
-    # ceiling, flight-recorder overhead ceiling, E9c shard-scaling
-    # floor (enforced only on >=4-core hosts). Knobs come from
-    # PERF_FLOOR_EVPS / PERF_P99_BUDGET_US / PERF_RECORDER_OVERHEAD /
+    # ceiling, flight-recorder and attribution overhead ceilings, the
+    # differential perf doctor against the checked-in attribution
+    # baseline, E9c shard-scaling floor (enforced only on >=4-core
+    # hosts). Knobs come from PERF_FLOOR_EVPS / PERF_P99_BUDGET_US /
+    # PERF_RECORDER_OVERHEAD / PERF_ATTRIB_OVERHEAD /
     # PERF_SHARD_SPEEDUP.
     gate perf-sched cargo run --offline --release -p bench --bin perf_sched -- \
         --check --floor-evps "$PERF_FLOOR_EVPS" --p99-budget-us "$PERF_P99_BUDGET_US" \
         --recorder-overhead "$PERF_RECORDER_OVERHEAD" \
+        --attrib-overhead "$PERF_ATTRIB_OVERHEAD" \
         --shard-speedup "$PERF_SHARD_SPEEDUP"
     # Directory-federation gates: the E12 full-refresh vs delta-gossip
     # A/B must keep its steady-state bytes ratio above the floor with

@@ -1,0 +1,77 @@
+//! Exports the E13 attribution run as deterministic artifacts: the
+//! post-fault attribution snapshot, the differential doctor's ranked
+//! diff, and the healthy-half baseline snapshot the `perf_sched
+//! --check` differential doctor compares future runs against.
+//!
+//! Usage:
+//!
+//! ```text
+//! attrib_export [--attrib FILE] [--diff FILE] [--baseline FILE]
+//! ```
+//!
+//! With no flags, writes `artifacts/E13_attrib.json`,
+//! `artifacts/E13_attrib_diff.json` and
+//! `artifacts/E13_attrib_baseline.json` relative to the current
+//! directory. All outputs are byte-identical across runs (the `ci.sh`
+//! determinism gate diffs two of them), and the diff's ranked verdict
+//! is always printed to stdout.
+
+use bench::experiments::e13_attribution;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut attrib_out = None;
+    let mut diff_out = None;
+    let mut baseline_out = None;
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--attrib" => {
+                attrib_out = raw.get(i + 1).cloned();
+                i += 2;
+            }
+            "--diff" => {
+                diff_out = raw.get(i + 1).cloned();
+                i += 2;
+            }
+            "--baseline" => {
+                baseline_out = raw.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: attrib_export [--attrib FILE] [--diff FILE] [--baseline FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if attrib_out.is_none() && diff_out.is_none() && baseline_out.is_none() {
+        attrib_out = Some("artifacts/E13_attrib.json".to_owned());
+        diff_out = Some("artifacts/E13_attrib_diff.json".to_owned());
+        baseline_out = Some("artifacts/E13_attrib_baseline.json".to_owned());
+    }
+
+    let r = e13_attribution();
+    println!(
+        "E13 attribution: {} components, {} spans folded ({} lost), {} bundle(s)",
+        r.after.components.len(),
+        r.after.spans_folded,
+        r.after.spans_lost,
+        r.bundles.len()
+    );
+    print!("{}", r.diff_text);
+    println!(
+        "exemplar corr {:#x} -> {} span(s) in the incident bundle",
+        r.exemplar_corr,
+        r.exemplar_journey.len()
+    );
+    for (path, body, what) in [
+        (&attrib_out, &r.attrib_json, "attribution snapshot"),
+        (&diff_out, &r.diff_json, "attribution diff"),
+        (&baseline_out, &r.before_json, "attribution baseline"),
+    ] {
+        if let Some(path) = path {
+            bench::report::write_artifact(path, body, what);
+        }
+    }
+}

@@ -367,6 +367,37 @@ fn lint_trace_loss(at: &str, loss: &Json) -> Vec<String> {
     problems
 }
 
+/// Validates one `attrib` value from the observability record: an
+/// object carrying the side's mode label and the measured wall-clock
+/// overhead ratio; the `after` side (attribution on) must also carry
+/// the budget the perf gate enforces.
+fn lint_attrib(at: &str, attrib: &Json, is_after: bool) -> Vec<String> {
+    let mut problems = Vec::new();
+    if !matches!(attrib, Json::Object(_)) {
+        return vec![format!("{at}: attrib must be an object")];
+    }
+    match attrib.get("mode") {
+        Some(Json::String(s)) if !s.is_empty() => {}
+        Some(_) => problems.push(format!("{at}: attrib \"mode\" must be a non-empty string")),
+        None => problems.push(format!("{at}: attrib missing required key \"mode\"")),
+    }
+    match attrib.get("overhead_ratio") {
+        Some(Json::Number(_)) => {}
+        Some(_) => problems.push(format!(
+            "{at}: attrib key \"overhead_ratio\" is not a number"
+        )),
+        None => problems.push(format!(
+            "{at}: attrib missing required key \"overhead_ratio\""
+        )),
+    }
+    if is_after && !matches!(attrib.get("budget_ratio"), Some(Json::Number(_))) {
+        problems.push(format!(
+            "{at}: attrib \"after\" side must carry a numeric \"budget_ratio\""
+        ));
+    }
+    problems
+}
+
 /// Numeric keys both sides of the perf_dir record's `e12_delta_gossip`
 /// A/B row must carry.
 const GOSSIP_ROW_KEYS: [&str; 5] = [
@@ -473,14 +504,21 @@ fn lint_record(text: &str) -> Vec<String> {
         }
     }
     // Observability convention: the record's before/after comparison is
-    // the trace-loss A/B (drop-on-full vs flight recorder), so both
-    // sides must carry a well-formed `trace_loss` object.
+    // the trace-loss A/B (drop-on-full vs flight recorder) plus the
+    // attribution-overhead A/B (fold off vs on), so both sides must
+    // carry well-formed `trace_loss` and `attrib` objects.
     if matches!(doc.get("name"), Some(Json::String(s)) if s == "observability") {
         for key in ["before", "after"] {
             match doc.get(key).and_then(|side| side.get("trace_loss")) {
                 Some(loss) => problems.extend(lint_trace_loss(key, loss)),
                 None => problems.push(format!(
                     "observability record: {key:?} must carry a \"trace_loss\" object"
+                )),
+            }
+            match doc.get(key).and_then(|side| side.get("attrib")) {
+                Some(attrib) => problems.extend(lint_attrib(key, attrib, key == "after")),
+                None => problems.push(format!(
+                    "observability record: {key:?} must carry an \"attrib\" object"
                 )),
             }
         }
@@ -609,21 +647,27 @@ mod tests {
     #[test]
     fn lint_enforces_observability_trace_loss() {
         let ok = r#"{"name": "observability", "units": "spans",
-            "before": {"trace_loss": {"mode": "drop-on-full", "retained": 256, "lost": 90, "tail_survives": false}},
-            "after": {"trace_loss": {"mode": "flight-recorder", "retained": 256, "lost": 90, "tail_survives": true}}}"#;
+            "before": {"trace_loss": {"mode": "drop-on-full", "retained": 256, "lost": 90, "tail_survives": false},
+                       "attrib": {"mode": "attribution-off", "overhead_ratio": 1.0}},
+            "after": {"trace_loss": {"mode": "flight-recorder", "retained": 256, "lost": 90, "tail_survives": true},
+                      "attrib": {"mode": "attribution-on", "overhead_ratio": 1.004, "budget_ratio": 1.03}}}"#;
         assert_eq!(lint_record(ok), Vec::<String>::new());
 
         let missing_side = r#"{"name": "observability", "units": "spans",
-            "before": {"trace_loss": {"mode": "drop-on-full", "retained": 1, "lost": 2}},
-            "after": {"snapshot": {}}}"#;
+            "before": {"trace_loss": {"mode": "drop-on-full", "retained": 1, "lost": 2},
+                       "attrib": {"mode": "attribution-off", "overhead_ratio": 1.0}},
+            "after": {"snapshot": {},
+                      "attrib": {"mode": "attribution-on", "overhead_ratio": 1.0, "budget_ratio": 1.03}}}"#;
         assert_eq!(
             lint_record(missing_side),
             vec!["observability record: \"after\" must carry a \"trace_loss\" object".to_owned()]
         );
 
         let bad_fields = r#"{"name": "observability", "units": "spans",
-            "before": {"trace_loss": {"mode": "", "retained": 1, "lost": 2}},
-            "after": {"trace_loss": {"mode": "flight-recorder", "retained": "many"}}}"#;
+            "before": {"trace_loss": {"mode": "", "retained": 1, "lost": 2},
+                       "attrib": {"mode": "attribution-off", "overhead_ratio": 1.0}},
+            "after": {"trace_loss": {"mode": "flight-recorder", "retained": "many"},
+                      "attrib": {"mode": "attribution-on", "overhead_ratio": 1.0, "budget_ratio": 1.03}}}"#;
         assert_eq!(
             lint_record(bad_fields),
             vec![
@@ -636,6 +680,48 @@ mod tests {
         // Non-observability records are exempt from the convention.
         let other = r#"{"name": "n", "units": "ns", "before": 1, "after": 2}"#;
         assert!(lint_record(other).is_empty());
+    }
+
+    #[test]
+    fn lint_enforces_observability_attrib_shape() {
+        let loss = r#""trace_loss": {"mode": "m", "retained": 1, "lost": 2}"#;
+
+        let missing = format!(
+            r#"{{"name": "observability", "units": "ns",
+                "before": {{{loss}}}, "after": {{{loss}}}}}"#
+        );
+        assert_eq!(
+            lint_record(&missing),
+            vec![
+                "observability record: \"before\" must carry an \"attrib\" object".to_owned(),
+                "observability record: \"after\" must carry an \"attrib\" object".to_owned(),
+            ]
+        );
+
+        let bad = format!(
+            r#"{{"name": "observability", "units": "ns",
+                "before": {{{loss}, "attrib": {{"mode": "", "overhead_ratio": "fast"}}}},
+                "after": {{{loss}, "attrib": {{"overhead_ratio": 1.0}}}}}}"#
+        );
+        assert_eq!(
+            lint_record(&bad),
+            vec![
+                "before: attrib \"mode\" must be a non-empty string".to_owned(),
+                "before: attrib key \"overhead_ratio\" is not a number".to_owned(),
+                "after: attrib missing required key \"mode\"".to_owned(),
+                "after: attrib \"after\" side must carry a numeric \"budget_ratio\"".to_owned(),
+            ]
+        );
+
+        let not_object = format!(
+            r#"{{"name": "observability", "units": "ns",
+                "before": {{{loss}, "attrib": 7}},
+                "after": {{{loss}, "attrib": {{"mode": "on", "overhead_ratio": 1.0, "budget_ratio": 1.03}}}}}}"#
+        );
+        assert_eq!(
+            lint_record(&not_object),
+            vec!["before: attrib must be an object".to_owned()]
+        );
     }
 
     #[test]

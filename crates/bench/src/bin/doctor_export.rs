@@ -58,24 +58,10 @@ fn main() {
             o.severity_milli, o.kind, o.subject
         );
     }
-    let ensure_dir = |path: &str| {
-        if let Some(dir) = std::path::Path::new(path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("create artifact directory");
-            }
-        }
-    };
     if let Some(path) = &doctor_out {
-        ensure_dir(path);
-        std::fs::write(path, &r.doctor_json).expect("write doctor report");
-        println!("wrote {path} ({} B)", r.doctor_json.len());
+        bench::report::write_artifact(path, &r.doctor_json, "doctor report");
     }
     if let Some(path) = &om_out {
-        ensure_dir(path);
-        std::fs::write(path, &r.open_metrics).expect("write OpenMetrics exposition");
-        println!(
-            "wrote {path} ({} B) — OpenMetrics text format",
-            r.open_metrics.len()
-        );
+        bench::report::write_artifact(path, &r.open_metrics, "OpenMetrics text format");
     }
 }

@@ -1,9 +1,11 @@
 //! CLI harness: runs every experiment and prints the paper-vs-measured
 //! tables. Pass experiment ids (`e1 e3 ...`) to run a subset,
 //! `--json FILE` to also dump the BENCH_observability record (the E11
-//! trace-loss A/B as before/after plus the E8 metrics snapshot), and
+//! trace-loss A/B and the E13 attribution-overhead A/B as
+//! before/after, plus the E8 metrics snapshot), and
 //! `--perfetto FILE` / `--folded FILE` to write the E8 trace exports
-//! (see also the dedicated `trace_export` and `incident_export` bins).
+//! (see also the dedicated `trace_export`, `incident_export` and
+//! `attrib_export` bins).
 
 use bench::experiments::*;
 use bench::report::*;
@@ -62,10 +64,10 @@ fn main() {
             // The dump doubles as the repo-recorded BENCH_observability
             // record, so it carries the bench_lint key convention
             // (name/before/after/units). The before/after comparison is
-            // the trace-loss A/B: the drop-on-full policy (before the
-            // flight recorder) loses the incident tail, the ring
-            // journal (after) keeps it; the E8 metrics snapshot rides
-            // along under "snapshot".
+            // the trace-loss A/B (drop-on-full vs flight recorder) plus
+            // the attribution-overhead A/B on the E9b busy-sink fixture
+            // (telemetry alone vs telemetry + attribution fold); the E8
+            // metrics snapshot rides along under "snapshot".
             let (drop_side, ring_side) = e11_trace_loss_ab();
             let loss = |s: &TraceLossSide| {
                 format!(
@@ -73,6 +75,13 @@ fn main() {
                      \"tail_survives\": {}}}",
                     s.mode, s.retained, s.lost, s.tail_survives
                 )
+            };
+            let attrib_ratio = e13_attrib_overhead(1000, simnet::SimDuration::from_secs(2), 3);
+            let attrib = |mode: &str, ratio: f64, budget: Option<f64>| {
+                let budget = budget
+                    .map(|b| format!(", \"budget_ratio\": {b:.2}"))
+                    .unwrap_or_default();
+                format!("{{\"mode\": \"{mode}\", \"overhead_ratio\": {ratio:.3}{budget}}}")
             };
             let after = r.snapshot.to_json();
             let record = format!(
@@ -82,13 +91,16 @@ fn main() {
                     "  \"units\": \"counters/gauges: dimensionless totals; ",
                     "histograms: event counts per bucket; ",
                     "bucket_bounds_ns: nanoseconds; ",
-                    "trace_loss: span records at equal trace capacity\",\n",
-                    "  \"before\": {{\n    \"trace_loss\": {}\n  }},\n",
-                    "  \"after\": {{\n    \"trace_loss\": {},\n    \"snapshot\": {}\n  }}\n",
+                    "trace_loss: span records at equal trace capacity; ",
+                    "attrib: wall-clock overhead ratio at N=1000\",\n",
+                    "  \"before\": {{\n    \"trace_loss\": {},\n    \"attrib\": {}\n  }},\n",
+                    "  \"after\": {{\n    \"trace_loss\": {},\n    \"attrib\": {},\n    \"snapshot\": {}\n  }}\n",
                     "}}"
                 ),
                 loss(&drop_side),
+                attrib("attribution-off", 1.0, None),
                 loss(&ring_side),
+                attrib("attribution-on", attrib_ratio, Some(1.03)),
                 after.trim_end().replace('\n', "\n    ")
             );
             std::fs::write(path, record).expect("write metrics snapshot");
@@ -108,6 +120,9 @@ fn main() {
     }
     if want("e11") {
         println!("{}", render_e11(&e11_sharded_incident()));
+    }
+    if want("e13") {
+        println!("{}", render_e13(&e13_attribution()));
     }
     // Scheduler scaling sweep (opt-in: `cargo run -p bench -- e9`) —
     // a reduced version of the full `perf_sched --json` sweep, which

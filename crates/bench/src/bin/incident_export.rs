@@ -69,13 +69,7 @@ fn main() {
         (&doctor_out, &r.doctor_json, "doctor report"),
     ] {
         if let Some(path) = path {
-            if let Some(dir) = std::path::Path::new(path).parent() {
-                if !dir.as_os_str().is_empty() {
-                    std::fs::create_dir_all(dir).expect("create artifact directory");
-                }
-            }
-            std::fs::write(path, body).expect("write artifact");
-            println!("wrote {path} ({} B) — {what}", body.len());
+            bench::report::write_artifact(path, body, what);
         }
     }
 }

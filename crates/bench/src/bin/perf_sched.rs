@@ -9,7 +9,9 @@
 //! events/sec floor at N = 1000, a near-linearity bound on the
 //! per-event wall cost from N = 100 to N = 1000, a p99 dispatch-latency
 //! budget, a batched-dispatch speedup floor, ceilings on the telemetry
-//! sampler's and the flight recorder's overhead at N = 1000, and a
+//! sampler's, the flight recorder's and the attribution plane's
+//! overhead at N = 1000, the differential perf doctor (the E13
+//! attribution run diffed against its checked-in baseline), and a
 //! shard-scaling floor at 4 shards / N = 10 000 — or with `--json FILE` to write the sweep as
 //! deterministic-schema JSON (values are wall-clock and
 //! machine-dependent; the schema is what golden files assert on). The
@@ -23,6 +25,15 @@
 //! * `--recorder-overhead X` — ceiling on the always-on flight
 //!   recorder's wall-clock ratio at N = 1000 (default 1.03;
 //!   `PERF_RECORDER_OVERHEAD` env).
+//! * `--attrib-overhead X` — ceiling on the attribution plane's
+//!   wall-clock ratio at N = 1000 (default 1.03;
+//!   `PERF_ATTRIB_OVERHEAD` env).
+//! * `--attrib-baseline FILE` — checked-in attribution baseline the
+//!   differential perf doctor diffs the current E13 run against
+//!   (default `artifacts/E13_attrib_baseline.json`; skipped when the
+//!   file is absent). A positive delta fails the check *naming the
+//!   regressed component*; regenerate the baseline with the
+//!   `attrib_export` bin when the change is intentional.
 //! * `--shard-speedup X` — E9c 4-shard events/sec floor, as a ratio
 //!   over the 1-shard run (default 1.5; `PERF_SHARD_SPEEDUP` env).
 //!   Automatically *not enforced* when the host exposes fewer than 4
@@ -34,7 +45,8 @@
 //!   wall time).
 
 use bench::experiments::{
-    e10_sampler_overhead, e11_recorder_overhead, e9_sched_scale, e9b_batch_ab, e9c_shard_scale,
+    e10_sampler_overhead, e11_recorder_overhead, e13_attrib_overhead, e13_attribution,
+    e9_sched_scale, e9b_batch_ab, e9c_shard_scale,
 };
 use bench::report::{render_e9, render_e9b, render_e9c};
 use bench::timing::sched_kernel;
@@ -81,6 +93,19 @@ const CHECK_SAMPLER_OVERHEAD: f64 = 1.05;
 /// cost is a few pointer moves; 3% is the issue's budget for keeping
 /// the recorder on in every run.
 const CHECK_RECORDER_OVERHEAD: f64 = 1.03;
+
+/// `--check` ceiling on the attribution plane's wall-clock overhead at
+/// N = 1000 (min paired ratio over alternating passes, telemetry +
+/// attribution fold vs telemetry alone, on the E9b busy-sink fixture).
+/// The fold is incremental — a cursor walk over spans begun or closed
+/// since the last sample — so its amortized cost is a few map updates
+/// per span; 3% matches the flight recorder's budget for keeping the
+/// profiler on continuously.
+const CHECK_ATTRIB_OVERHEAD: f64 = 1.03;
+
+/// Default `--attrib-baseline`: the checked-in healthy-half attribution
+/// snapshot the differential perf doctor diffs against.
+const DEFAULT_ATTRIB_BASELINE: &str = "artifacts/E13_attrib_baseline.json";
 
 /// Default `--shard-speedup`: E9c events/sec at 4 shards must be at
 /// least this multiple of the 1-shard run, at N = 10 000. Linear
@@ -135,11 +160,61 @@ fn main() {
         "--recorder-overhead",
         env_recorder.unwrap_or(CHECK_RECORDER_OVERHEAD),
     );
+    // Ceiling priority: --attrib-overhead flag, then
+    // PERF_ATTRIB_OVERHEAD env, then the default.
+    let env_attrib = std::env::var("PERF_ATTRIB_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+    let attrib_ceiling: f64 = flag_value(
+        &args,
+        "--attrib-overhead",
+        env_attrib.unwrap_or(CHECK_ATTRIB_OVERHEAD),
+    );
+    let attrib_baseline: String = flag_value(
+        &args,
+        "--attrib-baseline",
+        DEFAULT_ATTRIB_BASELINE.to_owned(),
+    );
     let host_cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
 
     if check {
+        // Differential perf doctor, first so a behavioral regression is
+        // reported by *component* rather than surfacing later as an
+        // anonymous wall-clock floor failure. The E13 attribution run
+        // is a pure function of the seed, so against a baseline from
+        // the same code the diff is empty; any code change that moves
+        // virtual time shows up as a ranked per-component delta.
+        let baseline = std::fs::read_to_string(&attrib_baseline)
+            .ok()
+            .and_then(|text| simnet::AttributionReport::from_json(&text));
+        match baseline {
+            Some(baseline) => {
+                let current = e13_attribution();
+                let diff = simnet::diff_attribution(&baseline, &current.before);
+                if let Some(top) = diff.top_regression() {
+                    eprint!("{}", diff.to_text(8));
+                    panic!(
+                        "attribution drifted from {attrib_baseline}: {}/{} grew by {} ns \
+                         (exemplar corr {:#x}) — regenerate the baseline with the \
+                         attrib_export bin if the change is intentional",
+                        top.component, top.kind, top.delta_ns, top.exemplar_corr
+                    );
+                }
+                println!(
+                    "perf_sched --check: attribution matches {attrib_baseline} \
+                     ({} components, {} cells moved, none regressed)",
+                    current.before.components.len(),
+                    diff.rows.len()
+                );
+            }
+            None => println!(
+                "perf_sched --check: no attribution baseline at {attrib_baseline}; \
+                 differential doctor skipped"
+            ),
+        }
+
         // Kernel smoke: both structures must run; the wheel must not be
         // grossly slower than the heap it replaced on a mixed schedule.
         let k = sched_kernel(10_000, 100_000);
@@ -215,6 +290,18 @@ fn main() {
              (override with --recorder-overhead / PERF_RECORDER_OVERHEAD on a noisy host)"
         );
 
+        // Attribution plane: the continuous time-decomposition fold
+        // must stay within its overhead budget on the same fixture —
+        // like the recorder, the profiler only earns always-on status
+        // if nobody is tempted to turn it off. Min paired ratio over
+        // alternating passes, same rationale as the sampler gate.
+        let attrib = e13_attrib_overhead(1000, SimDuration::from_secs(5), 5);
+        assert!(
+            attrib <= attrib_ceiling,
+            "attribution overhead x{attrib:.3} at N=1000 exceeds x{attrib_ceiling} \
+             (override with --attrib-overhead / PERF_ATTRIB_OVERHEAD on a noisy host)"
+        );
+
         // E9c: sharded execution must keep paying for itself — the
         // 4-shard run of the N = 10k wing federation must beat the
         // 1-shard run by the configured floor. On a host with fewer
@@ -251,7 +338,7 @@ fn main() {
         }
 
         println!(
-            "perf_sched --check: ok (N=1000 {:.0} events/s, per-event cost x{:.2} over 10x devices, p99 {} ns <= {} ns, batch speedup x{:.2}, sampler overhead x{:.3}, recorder overhead x{:.3}, shard speedup x{:.2} at 4 shards on {} core(s), wheel {:.0} ns/op vs heap {:.0} ns/op)",
+            "perf_sched --check: ok (N=1000 {:.0} events/s, per-event cost x{:.2} over 10x devices, p99 {} ns <= {} ns, batch speedup x{:.2}, sampler overhead x{:.3}, recorder overhead x{:.3}, attribution overhead x{:.3}, shard speedup x{:.2} at 4 shards on {} core(s), wheel {:.0} ns/op vs heap {:.0} ns/op)",
             large.events_per_sec,
             cost_large / cost_small,
             large.p99_dispatch_ns,
@@ -259,6 +346,7 @@ fn main() {
             big.speedup,
             overhead,
             recorder,
+            attrib,
             sharded_speedup,
             host_cores,
             k.wheel_ns_per_op,

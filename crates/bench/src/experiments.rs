@@ -4,10 +4,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use simnet::{
-    merge_shard_spans, Addr, AlertState, AlertTransition, BurnRateRule, CriticalPath, Ctx,
-    HealthReport, IncidentBundle, IncidentConfig, MetricsSnapshot, Objective, ProcId, Process,
-    SamplerConfig, SegmentConfig, SimDuration, SimTime, SloKind, SpanRecord, StreamEvent, StreamId,
-    TelemetryConfig, World,
+    diff_attribution, merge_shard_spans, Addr, AlertState, AlertTransition, AttributionReport,
+    BurnRateRule, CriticalPath, Ctx, HealthReport, IncidentBundle, IncidentConfig, MetricsSnapshot,
+    Objective, ProcId, Process, SamplerConfig, SegmentConfig, SimDuration, SimTime, SloKind,
+    SpanRecord, StreamEvent, StreamId, TelemetryConfig, World,
 };
 use umiddle_bridges::{
     behaviors, direct, BluetoothMapper, MediaBrokerMapper, NativeService, RmiMapper, UpnpMapper,
@@ -2270,20 +2270,14 @@ pub struct TelemetryFaultResults {
     pub samples: u64,
 }
 
-/// Runs the telemetry-plane experiment: the E8 federation (Bluetooth
-/// mouse on h1 bridged to a UPnP light on h2 over the 10 Mbps hub)
-/// instrumented with a 500 ms sampler and two burn-rate SLOs, then hit
-/// with two concurrent faults at t = 30 s:
-///
-/// - the UPnP mapper is removed (the bridge goes silent mid-run), and
-/// - a flooder saturates the shared Ethernet hub, pushing every
-///   bridged click past the latency SLO's 20 ms threshold.
-///
-/// The run proves the alerts fire in the configured burn-rate windows
-/// and the doctor localizes both faults: the silenced bridge shows up
-/// as `silent` with a firing availability SLO, and the saturated
-/// segment is the top offender by burn rate.
-pub fn e10_telemetry_faults() -> TelemetryFaultResults {
+/// Builds the unsharded E10 fault-injection world — the E8 federation
+/// (Bluetooth mouse on h1 bridged to a UPnP light on h2 over the
+/// 10 Mbps hub) with the 500 ms sampler and both burn-rate SLOs armed,
+/// and the hub flooder primed to fire at t = 30 s. Returns the world,
+/// the UPnP mapper's id (so the caller can inject the silence fault),
+/// and the fault instant. Shared by E10 and E13, which layer different
+/// observers over the identical fault pair.
+fn e10_world() -> (World, ProcId, SimTime) {
     use platform_bluetooth::{HidpMouse, MouseConfig};
     use platform_upnp::{LightLogic, UpnpDevice};
 
@@ -2371,6 +2365,22 @@ pub fn e10_telemetry_faults() -> TelemetryFaultResults {
     // rate at 100x budget. (Shared with E11, which re-runs this fault
     // pair across a shard boundary.)
     world.enable_telemetry(e10_objectives());
+    (world, upnp_mapper, fault_at)
+}
+
+/// Runs the telemetry-plane experiment: the [`e10_world`] federation,
+/// hit with two concurrent faults at t = 30 s:
+///
+/// - the UPnP mapper is removed (the bridge goes silent mid-run), and
+/// - a flooder saturates the shared Ethernet hub, pushing every
+///   bridged click past the latency SLO's 20 ms threshold.
+///
+/// The run proves the alerts fire in the configured burn-rate windows
+/// and the doctor localizes both faults: the silenced bridge shows up
+/// as `silent` with a firing availability SLO, and the saturated
+/// segment is the top offender by burn rate.
+pub fn e10_telemetry_faults() -> TelemetryFaultResults {
+    let (mut world, upnp_mapper, fault_at) = e10_world();
 
     // Healthy half, fault injection, degraded half.
     world.run_until(fault_at);
@@ -2915,6 +2925,149 @@ pub fn e11_recorder_overhead(n: usize, measure: SimDuration, passes: usize) -> f
 }
 
 // =====================================================================
+// E13 — latency attribution: time decomposition + differential doctor
+// =====================================================================
+
+/// The latency-SLO threshold the E13 exemplar is resolved against
+/// (matches the `hub-latency` objective in [`e10_objectives`]).
+const E13_LATENCY_THRESHOLD_NS: u64 = 20_000_000;
+
+/// Results of the attribution-plane experiment.
+#[derive(Debug, Clone)]
+pub struct AttributionResults {
+    /// Attribution snapshot taken at the fault instant, before the
+    /// faults land — the healthy baseline.
+    pub before: AttributionReport,
+    /// Attribution snapshot at the end of the degraded half.
+    pub after: AttributionReport,
+    /// Deterministic JSON of `before` — the shape checked in as the
+    /// perf doctor's baseline artifact.
+    pub before_json: String,
+    /// Deterministic JSON of `after` — the CI byte-diff artifact.
+    pub attrib_json: String,
+    /// The differential doctor's ranked verdict, `before` → `after`:
+    /// what regressed, where, by how much.
+    pub diff: simnet::export::AttributionDiff,
+    /// Deterministic JSON of `diff`.
+    pub diff_json: String,
+    /// Human-readable diff rendering (what a failed CI floor prints).
+    pub diff_text: String,
+    /// Exemplar corr the path-latency histogram captured for the first
+    /// observation past the 20 ms SLO threshold.
+    pub exemplar_corr: u64,
+    /// Spans of the exemplar's journey found inside the first captured
+    /// incident bundle.
+    pub exemplar_journey: Vec<SpanRecord>,
+    /// Incident bundles the trigger plane captured.
+    pub bundles: Vec<IncidentBundle>,
+    /// The doctor's final report, offenders annotated with dominant
+    /// time components and exemplar corrs.
+    pub report: HealthReport,
+}
+
+/// Runs the attribution experiment: the [`e10_world`] fault pair with
+/// the continuous profiler and the flight recorder both on. The
+/// attribution fold rides the 500 ms telemetry sampler; one snapshot is
+/// cut at the fault instant and one at the end, and the differential
+/// doctor diffs them.
+///
+/// The run proves the plane localizes the regression end to end:
+///
+/// 1. **Time decomposition** — the post-fault snapshot pins the
+///    saturated hub's damage as *queue-wait* time on the runtime
+///    component, dwarfing every self-time delta.
+/// 2. **Exemplar linkage** — the `umiddle.path_latency` histogram's
+///    first-over-20 ms exemplar corr resolves to a journey inside the
+///    incident bundle the trigger plane captured when the SLO fired,
+///    including the `queue.wait` span that explains the latency.
+pub fn e13_attribution() -> AttributionResults {
+    let (mut world, upnp_mapper, fault_at) = e10_world();
+    world.enable_flight_recorder(IncidentConfig::default());
+    world.enable_attribution();
+
+    // Healthy half → baseline snapshot → fault injection → degraded
+    // half → regression snapshot.
+    world.run_until(fault_at);
+    let before = world.attribution_report().expect("attribution enabled");
+    world
+        .remove_process(upnp_mapper)
+        .expect("upnp mapper alive at fault time");
+    world.run_until(SimTime::from_secs(60));
+    let after = world.attribution_report().expect("attribution enabled");
+
+    let diff = diff_attribution(&before, &after);
+
+    let exemplar_corr = world
+        .trace()
+        .metrics()
+        .histogram("umiddle.path_latency")
+        .and_then(|h| h.exemplar_above_ns(E13_LATENCY_THRESHOLD_NS))
+        .unwrap_or(0);
+    let bundles = world.incidents().to_vec();
+    let exemplar_journey: Vec<SpanRecord> = bundles
+        .first()
+        .map(|b| {
+            b.spans
+                .iter()
+                .filter(|s| s.corr == exemplar_corr)
+                .cloned()
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let report = world.doctor().expect("telemetry enabled");
+
+    AttributionResults {
+        before_json: before.to_json(),
+        attrib_json: after.to_json(),
+        diff_json: diff.to_json(),
+        diff_text: diff.to_text(8),
+        before,
+        after,
+        diff,
+        exemplar_corr,
+        exemplar_journey,
+        bundles,
+        report,
+    }
+}
+
+/// Measures the attribution plane's overhead on the E9b busy-sink A/B:
+/// the same seeded world over the same virtual window with a 250 ms
+/// telemetry sampler on both sides and the attribution fold only on the
+/// measure side, `passes` times, minimum *paired* ratio (same noise
+/// discipline as [`e10_sampler_overhead`]). `perf_sched --check` holds
+/// this under its 3% budget at n = 1000.
+pub fn e13_attrib_overhead(n: usize, measure: SimDuration, passes: usize) -> f64 {
+    let setup = SimTime::from_secs(AB_SETUP);
+    let run = |attrib: bool| {
+        let (mut world, _count) = e9b_world(n, simnet::BatchPolicy::default());
+        world.enable_telemetry(TelemetryConfig {
+            sampler: SamplerConfig {
+                interval: SimDuration::from_millis(250),
+                window: 64,
+            },
+            objectives: vec![],
+            liveness_timeout: SimDuration::from_secs(5),
+        });
+        if attrib {
+            world.enable_attribution();
+        }
+        world.run_until(setup);
+        let t0 = std::time::Instant::now();
+        world.run_until(setup + measure);
+        t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..passes.max(2) {
+        let plain = run(false);
+        let attributed = run(true);
+        best = best.min(attributed / plain);
+    }
+    best
+}
+
+// =====================================================================
 // E12 — delta-gossip directory federation (bytes, convergence, lookup)
 // =====================================================================
 
@@ -3411,6 +3564,78 @@ mod tests {
             "doctor did not localize the saturated hub"
         );
         assert!(r.doctor_json.contains("\"firing\""));
+    }
+
+    /// The attribution plane must localize the E10 fault pair end to
+    /// end: the differential doctor's top regression is queue-wait on
+    /// the runtime component (the saturated hub's backlog), the
+    /// latency exemplar resolves to a journey inside the captured
+    /// incident bundle — including the `queue.wait` span that explains
+    /// the latency — and the doctor's offenders carry attribution
+    /// annotations.
+    #[test]
+    fn e13_attribution_localizes_queue_wait_regression() {
+        let r = e13_attribution();
+
+        // Both halves folded real spans, losslessly.
+        assert!(r.before.spans_folded > 0, "baseline folded nothing");
+        assert!(
+            r.after.spans_folded > r.before.spans_folded,
+            "degraded half folded nothing new"
+        );
+        assert!(
+            r.before.components.contains_key("bridge:upnp"),
+            "healthy half missing bridge components: {:?}",
+            r.before.components.keys().collect::<Vec<_>>()
+        );
+
+        // The differential doctor pins the regression: queue-wait on
+        // the runtime component dwarfs every other delta.
+        let top = r.diff.top_regression().expect("a ranked regression");
+        assert_eq!(
+            (top.component.as_str(), top.kind),
+            ("process:umiddle-runtime", "queue"),
+            "regression not localized to runtime queue-wait:\n{}",
+            r.diff_text
+        );
+        assert!(r.diff_text.contains("process:umiddle-runtime/queue"));
+
+        // The exemplar corr captured at the first over-threshold
+        // observation resolves to a journey inside the incident bundle
+        // the trigger plane cut when the SLO fired.
+        assert_ne!(r.exemplar_corr, 0, "no exemplar past the 20 ms threshold");
+        assert!(!r.bundles.is_empty(), "no incident bundle captured");
+        assert!(
+            !r.exemplar_journey.is_empty(),
+            "exemplar corr {:#x} not found in the incident bundle",
+            r.exemplar_corr
+        );
+        assert!(
+            r.exemplar_journey.iter().any(|s| s.stage == "queue.wait"),
+            "exemplar journey has no queue.wait span: {:?}",
+            r.exemplar_journey
+                .iter()
+                .map(|s| s.stage.as_str())
+                .collect::<Vec<_>>()
+        );
+
+        // The doctor annotates its offenders with the dominant time
+        // component; the latency SLO's offender carries the exemplar.
+        let slo = r
+            .report
+            .top_offenders
+            .iter()
+            .find(|o| o.name == "hub-latency")
+            .expect("hub-latency offender listed");
+        assert_eq!(slo.dominant, "process:umiddle-runtime/queue");
+        assert_eq!(slo.exemplar_corr, r.exemplar_corr);
+
+        // Snapshots and diff export deterministically and round-trip.
+        let parsed =
+            AttributionReport::from_json(&r.before_json).expect("baseline JSON round-trips");
+        assert_eq!(parsed.to_json(), r.before_json);
+        assert!(r.attrib_json.contains("\"components\""));
+        assert!(r.diff_json.contains("\"rows\""));
     }
 
     /// The trace-loss A/B behind `BENCH_observability.json`: at equal

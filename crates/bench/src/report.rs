@@ -1,9 +1,26 @@
-//! Plain-text report rendering for the experiment harness.
+//! Plain-text report rendering for the experiment harness, plus the
+//! shared artifact writer the exporter bins use.
 
 use crate::experiments::*;
 
 fn hr(title: &str) -> String {
     format!("\n=== {title} ===\n")
+}
+
+/// Writes one deterministic artifact to `path`, creating parent
+/// directories as needed, and prints the canonical
+/// `wrote {path} ({len} B) — {what}` line. Every exporter bin
+/// (`doctor_export`, `incident_export`, `attrib_export`) funnels its
+/// writes through here so the CI determinism gates see one consistent
+/// write path and stdout shape.
+pub fn write_artifact(path: &str, body: &str, what: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create artifact directory");
+        }
+    }
+    std::fs::write(path, body).expect("write artifact");
+    println!("wrote {path} ({} B) — {what}", body.len());
 }
 
 /// Renders the Figure-10 table.
@@ -302,6 +319,58 @@ pub fn render_e11(r: &ShardedIncidentResults) -> String {
          (write them with the incident_export bin)\n",
         r.bundle_json.len(),
         r.doctor_json.len()
+    ));
+    out
+}
+
+/// Renders the E13 attribution run: the time decomposition on both
+/// sides of the fault, the differential doctor's ranked verdict, and
+/// the exemplar's resolution into the incident bundle.
+pub fn render_e13(r: &AttributionResults) -> String {
+    let mut out = hr("E13 — latency attribution: time decomposition + differential doctor");
+    out.push_str(&format!(
+        "snapshots: healthy at {} ns ({} spans folded), degraded at {} ns ({} spans folded, {} lost)\n",
+        r.before.at_ns, r.before.spans_folded, r.after.at_ns, r.after.spans_folded, r.after.spans_lost
+    ));
+    out.push_str(&format!(
+        "{:28} {:>16} {:>16} {:>16} {:>8}\n",
+        "component", "self ns", "queue ns", "barrier ns", "spans"
+    ));
+    for (name, c) in &r.after.components {
+        out.push_str(&format!(
+            "{:28} {:>16} {:>16} {:>16} {:>8}\n",
+            name, c.self_ns, c.queue_ns, c.barrier_ns, c.spans
+        ));
+    }
+    out.push('\n');
+    out.push_str(&r.diff_text);
+    out.push_str(&format!(
+        "\nexemplar: corr {:#x} past the 20 ms SLO threshold resolves to {} span(s) \
+         in the incident bundle ({} bundle(s) captured)\n",
+        r.exemplar_corr,
+        r.exemplar_journey.len(),
+        r.bundles.len()
+    ));
+    out.push_str("annotated offenders:\n");
+    for o in &r.report.top_offenders {
+        out.push_str(&format!(
+            "  {:>6} milli  {:14} {:20} {:34} {}\n",
+            o.severity_milli,
+            o.kind,
+            o.subject,
+            o.dominant,
+            if o.exemplar_corr != 0 {
+                format!("corr {:#x}", o.exemplar_corr)
+            } else {
+                String::new()
+            }
+        ));
+    }
+    out.push_str(&format!(
+        "exports: attribution JSON {} B, diff JSON {} B \
+         (write them with the attrib_export bin)\n",
+        r.attrib_json.len(),
+        r.diff_json.len()
     ));
     out
 }

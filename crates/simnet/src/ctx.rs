@@ -96,6 +96,17 @@ impl<'w> Ctx<'w> {
         self.world.trace.metrics_mut().observe(histogram, d);
     }
 
+    /// Records a virtual-time duration into the named latency histogram
+    /// tagged with the trace correlation id of the journey it measures,
+    /// so the histogram keeps exemplars linking its slow buckets back to
+    /// traces (see [`crate::Histogram::record_corr`]).
+    pub fn observe_corr(&mut self, histogram: &str, d: SimDuration, corr: u64) {
+        self.world
+            .trace
+            .metrics_mut()
+            .observe_corr(histogram, d, corr);
+    }
+
     /// Read access to the world's metrics registry (counters, gauges,
     /// histograms). Useful for answering metric queries from inside a
     /// process handler.

@@ -213,6 +213,140 @@ pub fn open_metrics(snapshot: &MetricsSnapshot) -> String {
     out
 }
 
+/// One row of a differential attribution comparison: how much one
+/// (component, time-kind) cell moved between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributionDelta {
+    /// Attribution component key (`process:…`, `bridge:…`, `shard:…`).
+    pub component: String,
+    /// Time category: `"self"`, `"queue"`, or `"barrier"`.
+    pub kind: &'static str,
+    /// Attributed nanoseconds in the baseline snapshot.
+    pub before_ns: u64,
+    /// Attributed nanoseconds in the current snapshot.
+    pub after_ns: u64,
+    /// `after - before`, signed (positive = regression).
+    pub delta_ns: i128,
+    /// The current snapshot's exemplar corr for the component (zero
+    /// when it has none) — the journey to look at first.
+    pub exemplar_corr: u64,
+}
+
+/// A ranked differential attribution report: every (component, kind)
+/// cell that moved between two snapshots, biggest regression first.
+/// This is the perf doctor's answer to "what regressed, where, by how
+/// much" — `perf_sched --check` renders it when a floor fails, so CI
+/// names the offending component instead of an aggregate number.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttributionDiff {
+    /// Virtual time of the baseline snapshot, ns.
+    pub before_at_ns: u64,
+    /// Virtual time of the current snapshot, ns.
+    pub after_at_ns: u64,
+    /// Changed cells, ranked by `delta_ns` descending (regressions
+    /// first), ties broken by component then kind.
+    pub rows: Vec<AttributionDelta>,
+}
+
+impl AttributionDiff {
+    /// The worst regression (largest positive delta), if any cell
+    /// regressed at all.
+    pub fn top_regression(&self) -> Option<&AttributionDelta> {
+        self.rows.first().filter(|r| r.delta_ns > 0)
+    }
+
+    /// Deterministic pretty JSON; byte-identical across identical runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"before_at_ns\": {},\n", self.before_at_ns));
+        out.push_str(&format!("  \"after_at_ns\": {},\n", self.after_at_ns));
+        out.push_str("  \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"component\": ");
+            push_json_string(&mut out, &r.component);
+            out.push_str(&format!(
+                ", \"kind\": \"{}\", \"before_ns\": {}, \"after_ns\": {}, \"delta_ns\": {}, \"exemplar_corr\": {}}}",
+                r.kind, r.before_ns, r.after_ns, r.delta_ns, r.exemplar_corr,
+            ));
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Human-readable ranking for CI logs, at most `limit` rows.
+    pub fn to_text(&self, limit: usize) -> String {
+        if self.rows.is_empty() {
+            return "attribution diff: no component moved\n".to_owned();
+        }
+        let mut out = String::from("attribution diff (worst regression first):\n");
+        for r in self.rows.iter().take(limit.max(1)) {
+            let sign = if r.delta_ns >= 0 { "+" } else { "" };
+            out.push_str(&format!(
+                "  {}/{}: {} -> {} ns ({sign}{} ns, exemplar corr {:#x})\n",
+                r.component, r.kind, r.before_ns, r.after_ns, r.delta_ns, r.exemplar_corr,
+            ));
+        }
+        out
+    }
+}
+
+/// Compares two attribution snapshots — a checked-in baseline and the
+/// current run — and ranks every (component, time-kind) cell by how
+/// much it regressed. Cells are the union of both snapshots' component
+/// sets (a component present on only one side diffs against zero), and
+/// unchanged cells are omitted, so a byte-identical pair of snapshots
+/// yields an empty diff.
+pub fn diff_attribution(
+    before: &crate::attrib::AttributionReport,
+    after: &crate::attrib::AttributionReport,
+) -> AttributionDiff {
+    let zero = crate::attrib::ComponentTimes::default();
+    let mut rows = Vec::new();
+    let keys: std::collections::BTreeSet<&String> = before
+        .components
+        .keys()
+        .chain(after.components.keys())
+        .collect();
+    for key in keys {
+        let b = before.components.get(key).unwrap_or(&zero);
+        let a = after.components.get(key).unwrap_or(&zero);
+        for (kind, before_ns, after_ns) in [
+            ("self", b.self_ns, a.self_ns),
+            ("queue", b.queue_ns, a.queue_ns),
+            ("barrier", b.barrier_ns, a.barrier_ns),
+        ] {
+            if before_ns == after_ns {
+                continue;
+            }
+            rows.push(AttributionDelta {
+                component: key.clone(),
+                kind,
+                before_ns,
+                after_ns,
+                delta_ns: i128::from(after_ns) - i128::from(before_ns),
+                exemplar_corr: a.exemplar_corr,
+            });
+        }
+    }
+    rows.sort_by(|x, y| {
+        y.delta_ns
+            .cmp(&x.delta_ns)
+            .then_with(|| x.component.cmp(&y.component))
+            .then_with(|| x.kind.cmp(y.kind))
+    });
+    AttributionDiff {
+        before_at_ns: before.at_ns,
+        after_at_ns: after.at_ns,
+        rows,
+    }
+}
+
 /// Maps a dot-scoped registry name onto the OpenMetrics charset: every
 /// byte outside `[a-zA-Z0-9_:]` becomes `_`.
 fn sanitize_metric_name(name: &str) -> String {
@@ -354,5 +488,76 @@ mod tests {
             "bridge_upnp_last_traffic_ns"
         );
         assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+    }
+
+    #[test]
+    fn diff_attribution_ranks_regressions_and_skips_unchanged_cells() {
+        use crate::attrib::{AttributionReport, ComponentTimes};
+        let mut before = AttributionReport {
+            at_ns: 100,
+            ..AttributionReport::default()
+        };
+        before.components.insert(
+            "process:rt".to_owned(),
+            ComponentTimes {
+                self_ns: 50,
+                queue_ns: 10,
+                ..ComponentTimes::default()
+            },
+        );
+        before.components.insert(
+            "bridge:upnp".to_owned(),
+            ComponentTimes {
+                self_ns: 30,
+                ..ComponentTimes::default()
+            },
+        );
+        let mut after = AttributionReport {
+            at_ns: 200,
+            ..AttributionReport::default()
+        };
+        after.components.insert(
+            "process:rt".to_owned(),
+            ComponentTimes {
+                self_ns: 50, // unchanged → omitted
+                queue_ns: 5_010,
+                exemplar_corr: 0xAB,
+                ..ComponentTimes::default()
+            },
+        );
+        // bridge:upnp vanished → diffs against zero.
+        after.components.insert(
+            "shard:s1".to_owned(),
+            ComponentTimes {
+                barrier_ns: 7,
+                ..ComponentTimes::default()
+            },
+        );
+
+        let diff = diff_attribution(&before, &after);
+        let cells: Vec<(&str, &str, i128)> = diff
+            .rows
+            .iter()
+            .map(|r| (r.component.as_str(), r.kind, r.delta_ns))
+            .collect();
+        assert_eq!(
+            cells,
+            vec![
+                ("process:rt", "queue", 5_000),
+                ("shard:s1", "barrier", 7),
+                ("bridge:upnp", "self", -30),
+            ]
+        );
+        let top = diff.top_regression().expect("regressed");
+        assert_eq!(top.component, "process:rt");
+        assert_eq!(top.exemplar_corr, 0xAB);
+        assert_eq!(diff.to_json(), diff_attribution(&before, &after).to_json());
+        assert!(diff.to_text(10).contains("process:rt/queue"));
+
+        // Identical snapshots → empty diff, no regression.
+        let same = diff_attribution(&after, &after);
+        assert!(same.rows.is_empty());
+        assert!(same.top_regression().is_none());
+        assert!(same.to_text(10).contains("no component moved"));
     }
 }

@@ -393,6 +393,14 @@ pub struct Offender {
     pub subject: String,
     /// Severity in milli, comparable across kinds (1000 ≈ at limit).
     pub severity_milli: u64,
+    /// Where the time went: `{component}/{kind}` from the attribution
+    /// plane (e.g. `process:umiddle-runtime/queue`), empty when
+    /// attribution is off or has nothing folded.
+    pub dominant: String,
+    /// Trace correlation id of an exemplar journey for this offender —
+    /// a latency SLO's slow-tail exemplar, or the blamed component's
+    /// longest-span corr. Zero when no exemplar exists.
+    pub exemplar_corr: u64,
 }
 
 /// The federation doctor's aggregated health report.
@@ -435,6 +443,10 @@ const SHARD_STRAGGLER_MILLI: u64 = 1_500;
 impl HealthReport {
     /// Builds the report from the live telemetry plane. Pure function
     /// of its inputs; two identical runs produce identical reports.
+    /// `attribution` (when the attribution plane is on) annotates each
+    /// ranked offender with its dominant time component and an exemplar
+    /// corr.
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         now: SimTime,
         telemetry: &Telemetry,
@@ -443,6 +455,7 @@ impl HealthReport {
         segments: &[SegmentSample],
         events_pending: u64,
         liveness_timeout: SimDuration,
+        attribution: Option<&crate::attrib::AttributionReport>,
     ) -> HealthReport {
         let now_ns = now.as_nanos();
         let timeout_ns = liveness_timeout.as_nanos().max(1);
@@ -532,6 +545,8 @@ impl HealthReport {
                     name: a.name.clone(),
                     subject: a.subject.clone(),
                     severity_milli: a.burn_long_milli,
+                    dominant: String::new(),
+                    exemplar_corr: 0,
                 });
             }
         }
@@ -542,6 +557,8 @@ impl HealthReport {
                     name: b.platform.clone(),
                     subject: format!("bridge:{}", b.platform),
                     severity_milli: b.idle_ns.saturating_mul(1_000) / timeout_ns,
+                    dominant: String::new(),
+                    exemplar_corr: 0,
                 });
             }
         }
@@ -552,6 +569,8 @@ impl HealthReport {
                     name: s.label.clone(),
                     subject: s.label.clone(),
                     severity_milli: s.utilization_milli,
+                    dominant: String::new(),
+                    exemplar_corr: 0,
                 });
             }
         }
@@ -573,6 +592,8 @@ impl HealthReport {
                     name: format!("shard{id}"),
                     subject: format!("shard:{id}"),
                     severity_milli: share,
+                    dominant: String::new(),
+                    exemplar_corr: 0,
                 });
             }
         }
@@ -582,6 +603,51 @@ impl HealthReport {
                 .then_with(|| a.kind.cmp(&b.kind))
                 .then_with(|| a.name.cmp(&b.name))
         });
+
+        // Annotate each ranked offender with where the time actually
+        // went. A latency SLO pulls an exemplar from its histogram's
+        // slow tail (the first journey to cross a bucket above the
+        // threshold). Subjects that map onto an attribution component
+        // (`bridge:X`, `shard:N`) read their own row; an unmapped
+        // subject — a shared segment, typically — is annotated with
+        // the federation's hottest component, the doctor's best answer
+        // to "whose time is it".
+        for o in &mut top_offenders {
+            if o.kind == "slo" {
+                if let Some(obj) = engine.objectives().iter().find(|x| x.name == o.name) {
+                    if let SloKind::LatencyAbove {
+                        histogram,
+                        threshold_ns,
+                        ..
+                    } = &obj.kind
+                    {
+                        if let Some(h) = metrics.histogram(histogram) {
+                            o.exemplar_corr = h.exemplar_above_ns(*threshold_ns).unwrap_or(0);
+                        }
+                    }
+                }
+            }
+            let Some(attr) = attribution else {
+                continue;
+            };
+            let mapped = if o.subject.starts_with("bridge:") {
+                attr.components
+                    .get_key_value(o.subject.as_str())
+                    .map(|(k, v)| (k.as_str(), v))
+            } else if let Some(id) = o.subject.strip_prefix("shard:") {
+                attr.components
+                    .get_key_value(format!("shard:s{id}").as_str())
+                    .map(|(k, v)| (k.as_str(), v))
+            } else {
+                None
+            };
+            if let Some((key, c)) = mapped.or_else(|| attr.top_component()) {
+                o.dominant = format!("{key}/{}", c.dominant());
+                if o.exemplar_corr == 0 {
+                    o.exemplar_corr = c.exemplar_corr;
+                }
+            }
+        }
 
         HealthReport {
             generated_ns: now_ns,
@@ -679,7 +745,10 @@ impl HealthReport {
             push_json_string(&mut out, &o.name);
             out.push_str(", \"subject\": ");
             push_json_string(&mut out, &o.subject);
-            out.push_str(&format!(", \"severity_milli\": {}}}", o.severity_milli));
+            out.push_str(&format!(", \"severity_milli\": {}", o.severity_milli));
+            out.push_str(", \"dominant\": ");
+            push_json_string(&mut out, &o.dominant);
+            out.push_str(&format!(", \"exemplar_corr\": {}}}", o.exemplar_corr));
         }
         if !self.top_offenders.is_empty() {
             out.push_str("\n  ");
@@ -866,6 +935,7 @@ mod tests {
             &segs,
             7,
             SimDuration::from_secs(5),
+            None,
         );
         assert_eq!(report.bridges.len(), 2);
         let upnp = report
@@ -917,6 +987,7 @@ mod tests {
             &[],
             0,
             SimDuration::from_secs(5),
+            None,
         );
         assert_eq!(report.top_offenders.len(), 1);
         assert_eq!(report.top_offenders[0].kind, "shard-straggler");
@@ -968,6 +1039,7 @@ mod tests {
             &segs,
             0,
             SimDuration::from_secs(5),
+            None,
         );
         let ranked: Vec<(&str, &str, u64)> = report
             .top_offenders
@@ -984,5 +1056,197 @@ mod tests {
                 ("segment-hot", "seg1:ethernet-100mbps-switch", 900),
             ]
         );
+    }
+
+    /// Pins the engine's ordering guarantees across interleaved
+    /// objectives: `transitions` is strictly ordered by evaluation time
+    /// and, within one evaluation instant, by objective configuration
+    /// order; `HealthReport::alert_states` is a `BTreeMap`, so its
+    /// iteration order is the lexicographic name order regardless of
+    /// how the objectives were configured or when they transitioned.
+    #[test]
+    fn alert_states_and_transitions_keep_total_order_across_interleaved_objectives() {
+        let mut metrics = Metrics::default();
+        let mut trace = Trace::default();
+        let mut t = Telemetry::new(sample_cfg(100));
+        // Deliberately non-lexicographic configuration order.
+        let objective = |name: &str, counter: &str| Objective {
+            name: name.to_owned(),
+            subject: format!("bridge:{name}"),
+            ..liveness_objective(counter)
+        };
+        let mut engine = SloEngine::new(vec![
+            objective("zeta", "c1"),
+            objective("alpha", "c2"),
+            objective("mid", "c3"),
+        ]);
+        for c in ["c1", "c2", "c3"] {
+            metrics.counter_add(c, 1);
+        }
+        t.sample(SimTime::ZERO, &metrics);
+        // Four healthy intervals, then zeta and mid go silent together
+        // while alpha stays healthy two intervals longer — their
+        // transitions interleave with alpha's.
+        for i in 1..=10u64 {
+            if i <= 4 {
+                metrics.counter_add("c1", 1);
+                metrics.counter_add("c3", 1);
+            }
+            if i <= 6 {
+                metrics.counter_add("c2", 1);
+            }
+            let now = SimTime::from_millis(100 * i);
+            t.sample(now, &metrics);
+            engine.evaluate(now, &t, &mut trace);
+        }
+        let seen: Vec<(u64, &str, AlertState)> = engine
+            .transitions()
+            .iter()
+            .map(|tr| (tr.at.as_nanos(), tr.objective.as_str(), tr.to))
+            .collect();
+        // Times never decrease, and same-instant transitions follow the
+        // configuration order (zeta before mid — alpha transitions at
+        // its own, later instants).
+        for pair in seen.windows(2) {
+            assert!(
+                pair[0].0 <= pair[1].0,
+                "transition log out of order: {seen:?}"
+            );
+        }
+        let config_index = |name: &str| {
+            ["zeta", "alpha", "mid"]
+                .iter()
+                .position(|n| *n == name)
+                .unwrap()
+        };
+        for pair in seen.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                assert!(
+                    config_index(pair[0].1) < config_index(pair[1].1),
+                    "same-instant transitions must follow configuration order: {seen:?}"
+                );
+            }
+        }
+        // zeta and mid walked Ok→Warning→Firing in lockstep; alpha
+        // followed two intervals later.
+        let per = |name: &str| {
+            seen.iter()
+                .filter(|(_, n, _)| *n == name)
+                .map(|&(at, _, to)| (at, to))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(per("zeta"), per("mid"));
+        assert_eq!(per("zeta").len(), 2);
+        assert_eq!(per("alpha").len(), 2);
+        assert!(per("alpha")[0].0 > per("zeta")[1].0);
+
+        // The report's summary map re-sorts lexicographically.
+        let report = HealthReport::build(
+            SimTime::from_secs(1),
+            &t,
+            &engine,
+            &metrics,
+            &[],
+            0,
+            SimDuration::from_secs(5),
+            None,
+        );
+        // Alerts stay in configuration order…
+        let configured: Vec<&str> = report.alerts.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(configured, vec!["zeta", "alpha", "mid"]);
+        // …while the BTreeMap summary iterates in name order.
+        let keys: Vec<&str> = report.alert_states().into_keys().collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+    }
+
+    /// Offenders carry their attribution annotation: mapped subjects
+    /// read their own component, unmapped subjects fall back to the
+    /// federation's hottest component, and a latency SLO pulls its
+    /// exemplar from the guarded histogram's slow tail.
+    #[test]
+    fn offenders_annotated_with_dominant_component_and_exemplar() {
+        use crate::attrib::{AttributionReport, ComponentTimes};
+
+        let mut metrics = Metrics::default();
+        let mut trace = Trace::default();
+        let mut t = Telemetry::new(sample_cfg(100));
+        // A latency SLO driven straight to firing, with a correlated
+        // slow observation planting the exemplar.
+        let obj = Objective {
+            name: "lat".to_owned(),
+            subject: "seg0:hub".to_owned(),
+            kind: SloKind::LatencyAbove {
+                histogram: "h".to_owned(),
+                threshold_ns: 1_000_000,
+                budget_ppm: 100_000,
+            },
+            warning: BurnRateRule {
+                long_intervals: 4,
+                short_intervals: 1,
+                factor_milli: 1_000,
+            },
+            firing: BurnRateRule {
+                long_intervals: 4,
+                short_intervals: 1,
+                factor_milli: 4_000,
+            },
+        };
+        let mut engine = SloEngine::new(vec![obj]);
+        metrics.observe("h", SimDuration::from_micros(10));
+        t.sample(SimTime::ZERO, &metrics);
+        metrics.observe_corr("h", SimDuration::from_millis(5), 0x77);
+        t.sample(SimTime::from_millis(100), &metrics);
+        engine.evaluate(SimTime::from_millis(100), &t, &mut trace);
+        assert_eq!(engine.status()[0].state, AlertState::Firing);
+        // A silent bridge with its own attribution component.
+        metrics.gauge_set("bridge.upnp.last_traffic_ns", 0);
+
+        let mut attribution = AttributionReport::default();
+        attribution.components.insert(
+            "bridge:upnp".to_owned(),
+            ComponentTimes {
+                self_ns: 10,
+                exemplar_corr: 42,
+                ..ComponentTimes::default()
+            },
+        );
+        attribution.components.insert(
+            "process:umiddle-runtime".to_owned(),
+            ComponentTimes {
+                self_ns: 5,
+                queue_ns: 999,
+                exemplar_corr: 9,
+                ..ComponentTimes::default()
+            },
+        );
+        let report = HealthReport::build(
+            SimTime::from_secs(10),
+            &t,
+            &engine,
+            &metrics,
+            &[],
+            0,
+            SimDuration::from_secs(5),
+            Some(&attribution),
+        );
+        let by_kind = |kind: &str| {
+            report
+                .top_offenders
+                .iter()
+                .find(|o| o.kind == kind)
+                .unwrap_or_else(|| panic!("offender {kind} present"))
+        };
+        let slo = by_kind("slo");
+        // Unmapped subject → hottest component; exemplar from the
+        // histogram's slow tail, not from the component.
+        assert_eq!(slo.dominant, "process:umiddle-runtime/queue");
+        assert_eq!(slo.exemplar_corr, 0x77);
+        let silent = by_kind("bridge-silent");
+        assert_eq!(silent.dominant, "bridge:upnp/self");
+        assert_eq!(silent.exemplar_corr, 42);
+        // The annotations survive the JSON render.
+        let json = report.to_json();
+        assert!(json.contains("\"dominant\": \"process:umiddle-runtime/queue\""));
+        assert!(json.contains(&format!("\"exemplar_corr\": {}", 0x77)));
     }
 }

@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attrib;
 mod ctx;
 mod error;
 pub mod export;
@@ -82,9 +83,10 @@ mod trace;
 pub mod wheel;
 mod world;
 
+pub use attrib::{AttributionPlane, AttributionReport, ComponentTimes};
 pub use ctx::{Ctx, TimerHandle};
 pub use error::{SimError, SimResult};
-pub use export::{folded_stacks, open_metrics, perfetto_trace_json};
+pub use export::{diff_attribution, folded_stacks, open_metrics, perfetto_trace_json};
 pub use health::{
     AlertState, AlertStatus, AlertTransition, BurnRateRule, HealthReport, Objective, SloEngine,
     SloKind, TelemetryConfig,

@@ -168,6 +168,14 @@ pub struct Histogram {
     sum_ns: u128,
     min_ns: u64,
     max_ns: u64,
+    /// Trace correlation id of the observation currently holding the
+    /// recorded maximum (zero = the max came from an uncorrelated
+    /// observation).
+    max_corr: u64,
+    /// Per-bucket exemplars: the corr id of the *first* correlated
+    /// observation that landed in each bucket. Zero = no correlated
+    /// observation has reached this bucket yet.
+    bucket_corr: [u64; LATENCY_BUCKET_BOUNDS_NS.len() + 1],
 }
 
 impl Default for Histogram {
@@ -178,6 +186,8 @@ impl Default for Histogram {
             sum_ns: 0,
             min_ns: u64::MAX,
             max_ns: 0,
+            max_corr: 0,
+            bucket_corr: [0; LATENCY_BUCKET_BOUNDS_NS.len() + 1],
         }
     }
 }
@@ -186,6 +196,16 @@ impl Histogram {
     /// Records one duration. All count/sum arithmetic saturates, so a
     /// pathological run degrades to clamped totals instead of wrapping.
     pub fn record(&mut self, d: SimDuration) {
+        self.record_corr(d, 0);
+    }
+
+    /// Records one duration tagged with a trace correlation id, keeping
+    /// exemplars: the corr that set the running max, and the first
+    /// non-zero corr to land in each bucket. An uncorrelated
+    /// observation (`corr == 0`) still claims `max_corr` when it sets a
+    /// new max — `max_corr` always describes the *current* max holder —
+    /// but never claims a bucket exemplar.
+    pub fn record_corr(&mut self, d: SimDuration, corr: u64) {
         let ns = d.as_nanos();
         let idx = LATENCY_BUCKET_BOUNDS_NS
             .iter()
@@ -195,7 +215,44 @@ impl Histogram {
         self.count = self.count.saturating_add(1);
         self.sum_ns = self.sum_ns.saturating_add(u128::from(ns));
         self.min_ns = self.min_ns.min(ns);
+        if ns > self.max_ns || self.count == 1 {
+            self.max_corr = corr;
+        }
         self.max_ns = self.max_ns.max(ns);
+        if corr != 0 && self.bucket_corr[idx] == 0 {
+            self.bucket_corr[idx] = corr;
+        }
+    }
+
+    /// Corr id of the observation holding the recorded maximum, or zero
+    /// if the max holder was uncorrelated (or the histogram is empty).
+    pub fn max_corr(&self) -> u64 {
+        self.max_corr
+    }
+
+    /// Per-bucket first-corr exemplars, one per bound plus the overflow
+    /// bucket, aligned with [`Histogram::bucket_counts`]. Zero entries
+    /// mean no correlated observation landed in that bucket.
+    pub fn bucket_exemplars(&self) -> &[u64] {
+        &self.bucket_corr
+    }
+
+    /// Exemplar for the slow tail above `threshold_ns`: the first-corr
+    /// exemplar of the lowest populated bucket whose entire range lies
+    /// above the threshold, falling back to higher buckets and finally
+    /// to the max holder's corr. Returns `None` when no correlated
+    /// observation exists above the threshold.
+    pub fn exemplar_above_ns(&self, threshold_ns: u64) -> Option<u64> {
+        let first = LATENCY_BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| bound >= threshold_ns)
+            .map_or(LATENCY_BUCKET_BOUNDS_NS.len(), |i| i + 1);
+        for idx in first..self.bucket_corr.len() {
+            if self.bucket_corr[idx] != 0 {
+                return Some(self.bucket_corr[idx]);
+            }
+        }
+        (self.max_corr != 0 && self.max_ns > threshold_ns).then_some(self.max_corr)
     }
 
     /// Number of recorded values.
@@ -350,6 +407,17 @@ impl Metrics {
             .entry(name.to_owned())
             .or_default()
             .record(d);
+    }
+
+    /// Records a duration into the named histogram tagged with a trace
+    /// correlation id, so the histogram keeps exemplars linking its max
+    /// and upper buckets back to trace journeys (see
+    /// [`Histogram::record_corr`]).
+    pub fn observe_corr(&mut self, name: &str, d: SimDuration, corr: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record_corr(d, corr);
     }
 
     /// Reads a histogram, if it has ever been observed.
@@ -515,17 +583,33 @@ impl MetricsSnapshot {
             push_json_string(&mut out, name);
             out.push_str(": {");
             out.push_str(&format!(
-                "\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"buckets\": [",
+                "\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"max_corr\": {}, \"buckets\": [",
                 h.count(),
                 h.sum_ns(),
                 h.min().as_nanos(),
                 h.max().as_nanos(),
+                h.max_corr(),
             ));
             for (i, c) in h.bucket_counts().iter().enumerate() {
                 if i > 0 {
                     out.push_str(", ");
                 }
                 out.push_str(&c.to_string());
+            }
+            // Exemplars render sparse — [bucket index, corr] pairs —
+            // but the key is always present, so sharded-vs-single and
+            // exemplar-vs-none snapshots differ only in values.
+            out.push_str("], \"exemplars\": [");
+            let mut first_ex = true;
+            for (i, &corr) in h.bucket_exemplars().iter().enumerate() {
+                if corr == 0 {
+                    continue;
+                }
+                if !first_ex {
+                    out.push_str(", ");
+                }
+                first_ex = false;
+                out.push_str(&format!("[{i}, {corr}]"));
             }
             out.push_str("]}");
         }
@@ -1199,6 +1283,7 @@ mod tests {
             sum_ns: u128::MAX,
             min_ns: 0,
             max_ns: 0,
+            ..Histogram::default()
         };
         h.record(SimDuration::from_micros(1));
         assert_eq!(h.count(), u64::MAX);

@@ -399,6 +399,8 @@ pub struct World {
     shard: Option<Box<ShardMembership>>,
     /// The incident trigger plane, when the flight recorder is on.
     incident: Option<Box<IncidentPlane>>,
+    /// The continuous latency-attribution profiler, when enabled.
+    attrib: Option<Box<crate::attrib::AttributionPlane>>,
 }
 
 /// The world's in-run telemetry state (boxed to keep `World` small for
@@ -466,6 +468,7 @@ impl World {
             dgram_batch: Vec::new(),
             shard: None,
             incident: None,
+            attrib: None,
         }
     }
 
@@ -790,6 +793,54 @@ impl World {
         self.incident.is_some()
     }
 
+    /// Turns on the continuous latency-attribution profiler
+    /// ([`crate::attrib`]): every telemetry sample incrementally folds
+    /// the span journal into per-component self/queue/barrier time
+    /// totals, each with an exemplar corr linking back to a trace
+    /// journey. The continuous cadence needs
+    /// [`World::enable_telemetry`]; without it the fold only advances
+    /// when [`World::attribution_report`] is called. Calling it again
+    /// resets the profiler.
+    pub fn enable_attribution(&mut self) {
+        self.attrib = Some(Box::new(crate::attrib::AttributionPlane::new()));
+    }
+
+    /// Whether [`World::enable_attribution`] is on.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attrib.is_some()
+    }
+
+    /// Advances the attribution fold over everything begun or closed in
+    /// the span journal since the last fold. No-op when attribution is
+    /// off.
+    fn fold_attribution(&mut self) {
+        let Some(plane) = self.attrib.as_mut() else {
+            return;
+        };
+        let barrier = self
+            .shard
+            .as_ref()
+            .map(|m| (m.config.shard, m.barrier_stall.sum_ns()));
+        plane.fold(self.trace.spans(), barrier);
+    }
+
+    /// Catches the attribution fold up to right now and snapshots it.
+    /// `None` when [`World::enable_attribution`] is off.
+    pub fn attribution_report(&mut self) -> Option<crate::AttributionReport> {
+        self.attrib.as_ref()?;
+        self.fold_attribution();
+        let now = self.now;
+        self.attrib.as_ref().map(|p| p.report(now))
+    }
+
+    /// The attribution aggregates as of the last fold (the most recent
+    /// telemetry sample), without advancing the fold — this is what the
+    /// doctor reads, since it only holds `&self`. `None` when
+    /// attribution is off.
+    pub fn attribution(&self) -> Option<crate::AttributionReport> {
+        self.attrib.as_ref().map(|p| p.report(self.now))
+    }
+
     /// The incident bundles captured so far, in trigger order.
     pub fn incidents(&self) -> &[IncidentBundle] {
         self.incident.as_ref().map_or(&[], |p| &p.bundles)
@@ -949,6 +1000,7 @@ impl World {
                 stats: s.stats,
             })
             .collect();
+        let attribution = self.attribution();
         Some(HealthReport::build(
             self.now,
             &plane.store,
@@ -957,6 +1009,7 @@ impl World {
             &segments,
             self.queue.len() as u64,
             plane.liveness_timeout,
+            attribution.as_ref(),
         ))
     }
 
@@ -978,15 +1031,21 @@ impl World {
         if self.batch_sizes.count() > 0 {
             metrics.histogram_set("sched.batch_size", self.batch_sizes.clone());
         }
+        // `shard.barrier_stall_ns` is registered unconditionally — empty
+        // when unsharded, or sharded with wall-health folding off — so
+        // sharded and single-process exports carry the same metric set
+        // and diff only in values.
+        let stall = self
+            .shard
+            .as_ref()
+            .map(|m| m.barrier_stall.clone())
+            .unwrap_or_default();
+        metrics.histogram_set("shard.barrier_stall_ns", stall);
         if let Some(m) = self.shard.as_ref() {
             let id = m.config.shard;
-            let stall = (m.barrier_stall.count() > 0).then(|| m.barrier_stall.clone());
             let metrics = self.trace.metrics_mut();
             metrics.gauge_set(&format!("shard.s{id}.sched.events_pending"), pending as i64);
             metrics.histogram_set(&format!("shard.s{id}.sched.lag_ns"), self.sched_lag.clone());
-            if let Some(stall) = stall {
-                metrics.histogram_set("shard.barrier_stall_ns", stall);
-            }
         }
         for (i, seg) in self.segments.iter().enumerate() {
             self.trace.metrics_mut().gauge_set(
@@ -1021,6 +1080,7 @@ impl World {
             return;
         }
         self.fold_sched_metrics();
+        self.fold_attribution();
         let plane = self.telemetry.as_mut().expect("checked above");
         plane.store.sample(self.now, self.trace.metrics());
         plane

@@ -38,7 +38,7 @@ pub(crate) fn record_hop(
         format!("port={port}"),
     );
     ctx.span_end(span);
-    record_translation(ctx, platform, cost);
+    record_translation_corr(ctx, platform, cost, connection.corr());
     span
 }
 
@@ -58,8 +58,20 @@ pub(crate) fn record_egress(ctx: &mut Ctx<'_>, platform: &str, cost: SimDuration
 /// histograms, with no span context, and refreshes the platform's
 /// liveness traffic counter and last-traffic watermark.
 pub(crate) fn record_translation(ctx: &mut Ctx<'_>, platform: &str, cost: SimDuration) {
-    ctx.observe("umiddle.translation_latency", cost);
-    ctx.observe(&format!("bridge.{platform}.translation"), cost);
+    record_translation_corr(ctx, platform, cost, 0);
+}
+
+/// [`record_translation`] with a correlation-id exemplar: inbound hops
+/// know the path they serve, so their histogram observations carry the
+/// corr that lets a p99 bucket resolve back to a trace journey.
+pub(crate) fn record_translation_corr(
+    ctx: &mut Ctx<'_>,
+    platform: &str,
+    cost: SimDuration,
+    corr: u64,
+) {
+    ctx.observe_corr("umiddle.translation_latency", cost, corr);
+    ctx.observe_corr(&format!("bridge.{platform}.translation"), cost, corr);
     ctx.bump(&format!("bridge.{platform}.traffic"), 1);
     touch(ctx, platform);
 }

@@ -1370,7 +1370,7 @@ impl UmiddleRuntime {
                         };
                         match polled {
                             Ok(Some(mut msg)) => {
-                                self.finish_queue_span(ctx, &mut msg);
+                                self.finish_queue_span(ctx, cid, &mut msg);
                                 self.stats.borrow_mut().local_deliveries += 1;
                                 self.observe_delivery(ctx, cid, &dst, &msg);
                                 batch.push(InputDelivery {
@@ -1453,7 +1453,7 @@ impl UmiddleRuntime {
                         };
                         match polled {
                             Ok(Some(mut msg)) => {
-                                self.finish_queue_span(ctx, &mut msg);
+                                self.finish_queue_span(ctx, cid, &mut msg);
                                 // The transport.send span stays open
                                 // across the wire; the receiving runtime
                                 // closes it, so its duration is the full
@@ -1604,7 +1604,7 @@ impl UmiddleRuntime {
             .and_then(|v| v.parse().ok())
         {
             if let Some(d) = ctx.span_end(simnet::SpanId(id)) {
-                ctx.observe(&self.metric("transport_latency"), d);
+                ctx.observe_corr(&self.metric("transport_latency"), d, connection.corr());
             }
         }
         ctx.span(connection.corr(), "transport.receive", format!("dst={dst}"));
@@ -1631,11 +1631,12 @@ impl UmiddleRuntime {
 
     /// Closes the `queue.wait` span begun when this message copy entered
     /// its path buffer, stripping the id from the metadata, and records
-    /// the wait in the runtime's `queue_wait` histogram.
-    fn finish_queue_span(&self, ctx: &mut Ctx<'_>, msg: &mut UMessage) {
+    /// the wait in the runtime's `queue_wait` histogram with the
+    /// connection's correlation id as the exemplar.
+    fn finish_queue_span(&self, ctx: &mut Ctx<'_>, cid: ConnectionId, msg: &mut UMessage) {
         if let Some(id) = msg.take_meta(QUEUE_SPAN_META).and_then(|v| v.parse().ok()) {
             if let Some(d) = ctx.span_end(simnet::SpanId(id)) {
-                ctx.observe(&self.metric("queue_wait"), d);
+                ctx.observe_corr(&self.metric("queue_wait"), d, cid.corr());
             }
         }
     }
@@ -1652,7 +1653,7 @@ impl UmiddleRuntime {
         ctx.span(cid.corr(), "deliver.local", format!("dst={dst}"));
         if let Some(sent_ns) = msg.meta(SENT_AT_META).and_then(|v| v.parse().ok()) {
             let d = ctx.now() - simnet::SimTime::from_nanos(sent_ns);
-            ctx.observe("umiddle.path_latency", d);
+            ctx.observe_corr("umiddle.path_latency", d, cid.corr());
         }
     }
 
